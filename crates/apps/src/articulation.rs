@@ -1,0 +1,198 @@
+//! Articulation points and bridges (Hopcroft–Tarjan low-links) — the
+//! structural-analysis application family of §1 (biconnectivity is the
+//! example the paper's "DFS-avoidance" citation [27] reformulates;
+//! this is the DFS-based original).
+
+use db_graph::CsrGraph;
+
+/// Cut structure of an undirected graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutResult {
+    /// `true` for vertices whose removal disconnects their component.
+    pub articulation: Vec<bool>,
+    /// Bridge edges `(u, v)` with `u < v`, sorted.
+    pub bridges: Vec<(u32, u32)>,
+}
+
+/// Computes articulation points and bridges via iterative DFS low-links.
+///
+/// # Panics
+///
+/// Panics if `g` is directed.
+pub fn articulation_points(g: &CsrGraph) -> CutResult {
+    assert!(!g.is_directed(), "articulation points are defined on undirected graphs");
+    let n = g.num_vertices();
+    const UNSET: u32 = u32::MAX;
+    let mut disc = vec![UNSET; n];
+    let mut low = vec![0u32; n];
+    let mut parent = vec![UNSET; n];
+    let mut articulation = vec![false; n];
+    let mut bridges = Vec::new();
+    let mut timer = 0u32;
+    // (vertex, next offset, tree children count)
+    let mut stack: Vec<(u32, u32, u32)> = Vec::new();
+
+    for root in 0..n as u32 {
+        if disc[root as usize] != UNSET {
+            continue;
+        }
+        disc[root as usize] = timer;
+        low[root as usize] = timer;
+        timer += 1;
+        stack.push((root, 0, 0));
+
+        while let Some(&(u, off, _)) = stack.last() {
+            let row = g.neighbors(u);
+            if (off as usize) < row.len() {
+                stack.last_mut().expect("nonempty").1 = off + 1;
+                let v = row[off as usize];
+                if v == u {
+                    continue; // self loop
+                }
+                if disc[v as usize] == UNSET {
+                    parent[v as usize] = u;
+                    stack.last_mut().expect("nonempty").2 += 1;
+                    disc[v as usize] = timer;
+                    low[v as usize] = timer;
+                    timer += 1;
+                    stack.push((v, 0, 0));
+                } else if v != parent[u as usize] {
+                    // Back edge (parallel edges to the parent are merged
+                    // by the builder, so skipping one parent arc is safe).
+                    low[u as usize] = low[u as usize].min(disc[v as usize]);
+                }
+            } else {
+                let (_, _, children) = stack.pop().expect("nonempty");
+                if let Some(&mut (p, _, _)) = stack.last_mut() {
+                    low[p as usize] = low[p as usize].min(low[u as usize]);
+                    if parent[u as usize] == p {
+                        if low[u as usize] >= disc[p as usize] && parent[p as usize] != UNSET {
+                            articulation[p as usize] = true;
+                        }
+                        if low[u as usize] > disc[p as usize] {
+                            bridges.push((p.min(u), p.max(u)));
+                        }
+                    }
+                } else {
+                    // u is a DFS root: articulation iff >= 2 tree children.
+                    articulation[u as usize] = children >= 2;
+                }
+            }
+        }
+    }
+    bridges.sort_unstable();
+    bridges.dedup();
+    CutResult { articulation, bridges }
+}
+
+/// Brute-force verifier for small graphs: `v` is an articulation point
+/// iff removing it increases the component count of its component.
+pub fn verify_articulation(g: &CsrGraph, result: &CutResult) -> Result<(), String> {
+    let n = g.num_vertices();
+    let (comp, _) = db_graph::traversal::connected_components(g);
+    for v in 0..n as u32 {
+        // Count reachable pairs within v's component before/after removal.
+        let members: Vec<u32> =
+            (0..n as u32).filter(|&u| comp[u as usize] == comp[v as usize] && u != v).collect();
+        if members.is_empty() {
+            if result.articulation[v as usize] {
+                return Err(format!("isolated vertex {v} flagged as articulation"));
+            }
+            continue;
+        }
+        // BFS within the component avoiding v.
+        let start = members[0];
+        let mut seen = vec![false; n];
+        seen[start as usize] = true;
+        let mut queue = vec![start];
+        while let Some(u) = queue.pop() {
+            for &w in g.neighbors(u) {
+                if w != v && !seen[w as usize] {
+                    seen[w as usize] = true;
+                    queue.push(w);
+                }
+            }
+        }
+        let disconnects = members.iter().any(|&u| !seen[u as usize]);
+        if disconnects != result.articulation[v as usize] {
+            return Err(format!(
+                "vertex {v}: computed articulation={}, brute force={disconnects}",
+                result.articulation[v as usize]
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use db_graph::GraphBuilder;
+
+    #[test]
+    fn path_interior_vertices_are_cuts() {
+        let g = GraphBuilder::undirected(4).edges([(0, 1), (1, 2), (2, 3)]).build();
+        let r = articulation_points(&g);
+        assert_eq!(r.articulation, vec![false, true, true, false]);
+        assert_eq!(r.bridges, vec![(0, 1), (1, 2), (2, 3)]);
+        verify_articulation(&g, &r).unwrap();
+    }
+
+    #[test]
+    fn cycle_has_no_cuts() {
+        let g = GraphBuilder::undirected(5)
+            .edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+            .build();
+        let r = articulation_points(&g);
+        assert!(r.articulation.iter().all(|&b| !b));
+        assert!(r.bridges.is_empty());
+        verify_articulation(&g, &r).unwrap();
+    }
+
+    #[test]
+    fn barbell_center_is_a_cut() {
+        // Two triangles joined by a bridge 2-3.
+        let g = GraphBuilder::undirected(6)
+            .edges([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
+            .build();
+        let r = articulation_points(&g);
+        assert!(r.articulation[2] && r.articulation[3]);
+        assert_eq!(r.bridges, vec![(2, 3)]);
+        verify_articulation(&g, &r).unwrap();
+    }
+
+    #[test]
+    fn star_center_is_a_cut() {
+        let g = GraphBuilder::undirected(5).edges([(0, 1), (0, 2), (0, 3), (0, 4)]).build();
+        let r = articulation_points(&g);
+        assert!(r.articulation[0]);
+        assert!(!r.articulation[1]);
+        assert_eq!(r.bridges.len(), 4);
+        verify_articulation(&g, &r).unwrap();
+    }
+
+    #[test]
+    fn root_with_two_children_rule() {
+        // Root 0 of the DFS with two independent branches is a cut point.
+        let g = GraphBuilder::undirected(3).edges([(0, 1), (0, 2)]).build();
+        let r = articulation_points(&g);
+        assert!(r.articulation[0]);
+        verify_articulation(&g, &r).unwrap();
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let g = GraphBuilder::undirected(3).edges([(0, 0), (0, 1), (1, 2)]).build();
+        let r = articulation_points(&g);
+        assert!(r.articulation[1]);
+        verify_articulation(&g, &r).unwrap();
+    }
+
+    #[test]
+    fn deep_path_no_stack_overflow() {
+        let n = 200_000u32;
+        let g = GraphBuilder::undirected(n).edges((0..n - 1).map(|i| (i, i + 1))).build();
+        let r = articulation_points(&g);
+        assert_eq!(r.bridges.len(), n as usize - 1);
+    }
+}

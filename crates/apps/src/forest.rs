@@ -1,0 +1,196 @@
+//! Spanning forests and component labeling via *parallel* DFS.
+//!
+//! The DiggerBees engines traverse one component per root; covering a
+//! whole graph means restarting from an unvisited vertex until none
+//! remain — exactly how DFS-based forest construction composes with the
+//! paper's primitive. Works with either engine through the
+//! [`DfsEngine`] adapter.
+
+use db_core::native::{NativeConfig, NativeEngine};
+use db_core::{run_sim, DiggerBeesConfig};
+use db_gpu_sim::MachineModel;
+use db_graph::{CsrGraph, VertexId, NO_PARENT};
+
+/// Anything that can run a single-root parallel DFS.
+pub trait DfsEngine {
+    /// Traverses from `root`; returns `(visited, parent)`.
+    fn traverse(&self, g: &CsrGraph, root: VertexId) -> (Vec<bool>, Vec<u32>);
+}
+
+/// The native multithreaded engine.
+pub struct NativeDfs(pub NativeConfig);
+
+impl DfsEngine for NativeDfs {
+    fn traverse(&self, g: &CsrGraph, root: VertexId) -> (Vec<bool>, Vec<u32>) {
+        let out = NativeEngine::new(self.0).run(g, root);
+        (out.visited, out.parent)
+    }
+}
+
+/// The simulated-GPU engine.
+pub struct SimDfs {
+    /// Algorithm configuration.
+    pub cfg: DiggerBeesConfig,
+    /// Machine model to simulate on.
+    pub machine: MachineModel,
+}
+
+impl DfsEngine for SimDfs {
+    fn traverse(&self, g: &CsrGraph, root: VertexId) -> (Vec<bool>, Vec<u32>) {
+        let out = run_sim(g, root, &self.cfg, &self.machine);
+        (out.visited, out.parent)
+    }
+}
+
+/// A spanning forest of the whole graph.
+#[derive(Debug, Clone)]
+pub struct Forest {
+    /// Parent per vertex ([`NO_PARENT`] for roots).
+    pub parent: Vec<u32>,
+    /// Component id per vertex (dense, 0-based).
+    pub comp: Vec<u32>,
+    /// The DFS root of each component.
+    pub roots: Vec<u32>,
+}
+
+impl Forest {
+    /// Number of components (trees in the forest).
+    pub fn num_components(&self) -> usize {
+        self.roots.len()
+    }
+}
+
+/// Builds a spanning forest by repeated parallel DFS.
+pub fn spanning_forest<E: DfsEngine>(g: &CsrGraph, engine: &E) -> Forest {
+    let n = g.num_vertices();
+    let mut parent = vec![NO_PARENT; n];
+    let mut comp = vec![u32::MAX; n];
+    let mut roots = Vec::new();
+    let mut covered = vec![false; n];
+    for v in 0..n as u32 {
+        if covered[v as usize] {
+            continue;
+        }
+        let cid = roots.len() as u32;
+        roots.push(v);
+        let (visited, par) = engine.traverse(g, v);
+        for u in 0..n {
+            if visited[u] {
+                debug_assert!(!covered[u], "components must not overlap");
+                covered[u] = true;
+                comp[u] = cid;
+                parent[u] = par[u];
+            }
+        }
+    }
+    Forest { parent, comp, roots }
+}
+
+/// Verifies a forest: component labels match the reference connected
+/// components (up to renaming) and every tree is a valid spanning tree.
+pub fn verify_forest(g: &CsrGraph, f: &Forest) -> Result<(), String> {
+    assert!(!g.is_directed(), "forest verification is for undirected graphs");
+    let (want, count) = db_graph::traversal::connected_components(g);
+    if f.num_components() != count as usize {
+        return Err(format!("expected {count} components, got {}", f.num_components()));
+    }
+    // Same partition up to renaming.
+    let n = g.num_vertices();
+    let mut rename = vec![u32::MAX; f.num_components()];
+    for (v, &w) in want.iter().enumerate().take(n) {
+        let c = f.comp[v] as usize;
+        if rename[c] == u32::MAX {
+            rename[c] = w;
+        } else if rename[c] != w {
+            return Err(format!("component mismatch at vertex {v}"));
+        }
+    }
+    // Every tree valid (restrict the parent array to the tree: the
+    // validator requires unvisited vertices to carry no parent).
+    for (cid, &root) in f.roots.iter().enumerate() {
+        let visited: Vec<bool> = (0..n).map(|v| f.comp[v] == cid as u32).collect();
+        let tree_parent: Vec<u32> = (0..n)
+            .map(|v| if visited[v] { f.parent[v] } else { NO_PARENT })
+            .collect();
+        db_graph::validate::check_spanning_tree(g, root, &visited, &tree_parent)
+            .map_err(|e| format!("tree {cid}: {e}"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use db_graph::GraphBuilder;
+
+    fn engine() -> NativeDfs {
+        NativeDfs(NativeConfig {
+            algo: DiggerBeesConfig {
+                blocks: 2,
+                warps_per_block: 2,
+                hot_size: 16,
+                hot_cutoff: 4,
+                cold_cutoff: 8,
+                flush_batch: 8,
+                ..Default::default()
+            },
+        })
+    }
+
+    #[test]
+    fn forest_covers_three_components() {
+        let mut b = GraphBuilder::undirected(10);
+        b.edge(0, 1);
+        b.edge(1, 2);
+        b.edge(4, 5);
+        // 3, 6..9 isolated
+        let g = b.build();
+        let f = spanning_forest(&g, &engine());
+        assert_eq!(f.num_components(), 7);
+        verify_forest(&g, &f).unwrap();
+    }
+
+    #[test]
+    fn forest_with_sim_engine() {
+        let mut b = GraphBuilder::undirected(60);
+        for i in 0..29 {
+            b.edge(i, i + 1);
+        }
+        for i in 30..59 {
+            b.edge(i, i + 1);
+        }
+        let g = b.build();
+        let sim = SimDfs {
+            cfg: DiggerBeesConfig {
+                blocks: 2,
+                warps_per_block: 2,
+                hot_size: 16,
+                hot_cutoff: 4,
+                cold_cutoff: 8,
+                flush_batch: 8,
+                ..Default::default()
+            },
+            machine: MachineModel::h100(),
+        };
+        let f = spanning_forest(&g, &sim);
+        assert_eq!(f.num_components(), 2);
+        verify_forest(&g, &f).unwrap();
+    }
+
+    #[test]
+    fn single_component() {
+        let g = GraphBuilder::undirected(50).edges((0..49).map(|i| (i, i + 1))).build();
+        let f = spanning_forest(&g, &engine());
+        assert_eq!(f.num_components(), 1);
+        assert_eq!(f.roots, vec![0]);
+        verify_forest(&g, &f).unwrap();
+    }
+
+    #[test]
+    fn empty_graph_forest() {
+        let g = GraphBuilder::undirected(4).build();
+        let f = spanning_forest(&g, &engine());
+        assert_eq!(f.num_components(), 4);
+        verify_forest(&g, &f).unwrap();
+    }
+}

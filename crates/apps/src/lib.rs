@@ -1,0 +1,34 @@
+//! # db-apps — DFS applications
+//!
+//! §1 of the paper motivates an efficient parallel DFS primitive with
+//! its downstream uses: "structural analysis (e.g., strongly connected
+//! components), ordering problems (e.g., topological sorting), and
+//! pattern recognition". This crate implements those applications on
+//! top of the workspace's DFS engines, demonstrating the API a consumer
+//! would actually program against:
+//!
+//! * [`topo`] — topological sorting of DAGs and cycle detection in
+//!   directed graphs (DFS finish-time based, Tarjan-style coloring).
+//! * [`scc`] — strongly connected components (iterative Tarjan), the
+//!   classic DFS application the paper's §1 cites.
+//! * [`articulation`] — articulation points and bridges of undirected
+//!   graphs via DFS low-links (Hopcroft–Tarjan).
+//! * [`forest`] — spanning forests of entire graphs via repeated
+//!   parallel DFS (the DiggerBees engines traverse one component per
+//!   root; the forest builder restarts them across components), plus
+//!   connected-component labeling derived from the forest.
+//! * [`reach`] — multi-source reachability oracles built from parallel
+//!   DFS `visited` arrays.
+//!
+//! Serial DFS-tree algorithms (Tarjan/Hopcroft-style) operate on the
+//! lexicographic DFS; parallel applications consume the *unordered* DFS
+//! output (Table 2's `visited` + `parent` semantics), showing what
+//! unordered parallel DFS is and is not sufficient for.
+
+#![warn(missing_docs)]
+
+pub mod articulation;
+pub mod forest;
+pub mod reach;
+pub mod scc;
+pub mod topo;

@@ -1,0 +1,153 @@
+//! Topological sorting and directed-cycle detection — the "ordering
+//! problems" application of §1 (the paper cites Kahn's algorithm; the
+//! DFS formulation uses reverse finish order).
+
+use db_graph::CsrGraph;
+
+/// Result of a directed traversal ordering attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopoResult {
+    /// A valid topological order (every arc goes forward in it).
+    Order(Vec<u32>),
+    /// The graph contains a directed cycle through this vertex.
+    Cycle(u32),
+}
+
+/// DFS-based topological sort over the whole graph (all roots).
+///
+/// Iterative three-color DFS: white = unvisited, gray = on the current
+/// DFS path, black = finished. A gray→gray arc is a back edge, i.e. a
+/// directed cycle. Vertices are emitted in reverse finish order.
+///
+/// # Panics
+///
+/// Panics if `g` is undirected (topological order is a directed notion).
+pub fn topo_sort(g: &CsrGraph) -> TopoResult {
+    assert!(g.is_directed(), "topological sort requires a directed graph");
+    let n = g.num_vertices();
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut color = vec![WHITE; n];
+    let mut finish_rev: Vec<u32> = Vec::with_capacity(n);
+    let mut stack: Vec<(u32, u32)> = Vec::new();
+
+    for root in 0..n as u32 {
+        if color[root as usize] != WHITE {
+            continue;
+        }
+        color[root as usize] = GRAY;
+        stack.push((root, 0));
+        while let Some(&mut (u, ref mut next)) = stack.last_mut() {
+            let row = g.neighbors(u);
+            if (*next as usize) < row.len() {
+                let v = row[*next as usize];
+                *next += 1;
+                match color[v as usize] {
+                    WHITE => {
+                        color[v as usize] = GRAY;
+                        stack.push((v, 0));
+                    }
+                    GRAY => return TopoResult::Cycle(v),
+                    _ => {}
+                }
+            } else {
+                color[u as usize] = BLACK;
+                finish_rev.push(u);
+                stack.pop();
+            }
+        }
+    }
+    finish_rev.reverse();
+    TopoResult::Order(finish_rev)
+}
+
+/// Whether the directed graph is acyclic.
+pub fn is_dag(g: &CsrGraph) -> bool {
+    matches!(topo_sort(g), TopoResult::Order(_))
+}
+
+/// Checks that `order` is a valid topological order of `g`: a
+/// permutation of all vertices where every arc points forward.
+pub fn verify_topo_order(g: &CsrGraph, order: &[u32]) -> Result<(), String> {
+    let n = g.num_vertices();
+    if order.len() != n {
+        return Err(format!("order has {} entries, graph has {n}", order.len()));
+    }
+    let mut pos = vec![usize::MAX; n];
+    for (i, &v) in order.iter().enumerate() {
+        if (v as usize) >= n || pos[v as usize] != usize::MAX {
+            return Err(format!("order is not a permutation (vertex {v})"));
+        }
+        pos[v as usize] = i;
+    }
+    for (u, v) in g.arcs() {
+        if pos[u as usize] >= pos[v as usize] {
+            return Err(format!("arc {u}->{v} points backward in the order"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use db_graph::GraphBuilder;
+
+    #[test]
+    fn sorts_a_diamond_dag() {
+        let g = GraphBuilder::directed(4).edges([(0, 1), (0, 2), (1, 3), (2, 3)]).build();
+        let TopoResult::Order(order) = topo_sort(&g) else {
+            panic!("diamond is acyclic")
+        };
+        verify_topo_order(&g, &order).unwrap();
+        assert!(is_dag(&g));
+    }
+
+    #[test]
+    fn detects_cycles() {
+        let g = GraphBuilder::directed(3).edges([(0, 1), (1, 2), (2, 0)]).build();
+        assert!(matches!(topo_sort(&g), TopoResult::Cycle(_)));
+        assert!(!is_dag(&g));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let g = GraphBuilder::directed(2).edges([(0, 0), (0, 1)]).build();
+        assert_eq!(topo_sort(&g), TopoResult::Cycle(0));
+    }
+
+    #[test]
+    fn disconnected_dag_covers_all_vertices() {
+        let g = GraphBuilder::directed(6).edges([(0, 1), (2, 3)]).build();
+        let TopoResult::Order(order) = topo_sort(&g) else { panic!() };
+        assert_eq!(order.len(), 6);
+        verify_topo_order(&g, &order).unwrap();
+    }
+
+    #[test]
+    fn verifier_rejects_bad_orders() {
+        let g = GraphBuilder::directed(3).edges([(0, 1), (1, 2)]).build();
+        assert!(verify_topo_order(&g, &[2, 1, 0]).is_err());
+        assert!(verify_topo_order(&g, &[0, 1]).is_err());
+        assert!(verify_topo_order(&g, &[0, 0, 1]).is_err());
+        verify_topo_order(&g, &[0, 1, 2]).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "directed")]
+    fn rejects_undirected_input() {
+        let g = GraphBuilder::undirected(2).edges([(0, 1)]).build();
+        topo_sort(&g);
+    }
+
+    #[test]
+    fn deep_dag_does_not_overflow_stack() {
+        // 200k-vertex chain: the iterative implementation must not recurse.
+        let n = 200_000u32;
+        let g = GraphBuilder::directed(n).edges((0..n - 1).map(|i| (i, i + 1))).build();
+        let TopoResult::Order(order) = topo_sort(&g) else { panic!() };
+        assert_eq!(order[0], 0);
+        assert_eq!(order[n as usize - 1], n - 1);
+    }
+}

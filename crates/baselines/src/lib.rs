@@ -1,0 +1,36 @@
+//! # db-baselines — every comparison point of the DiggerBees evaluation
+//!
+//! The paper compares against five systems (Table 1/2). Each is
+//! reimplemented here from its published description, with its native
+//! output semantics preserved:
+//!
+//! | module | method | platform | outputs |
+//! |---|---|---|---|
+//! | [`serial`] | serial stack DFS (Alg. 1) | 1 core | visited + tree + order |
+//! | [`cpu_ws`] | CKL-PDFS (Cong et al., ICPP'08) | 64-core CPU | visited |
+//! | [`cpu_ws`] | ACR-PDFS (Acar et al., SC'15) | 64-core CPU | visited |
+//! | [`nvg`] | NVG-DFS (Naumov et al., IA3'17) | GPU | visited + *ordered* tree |
+//! | [`bfs`] | Gunrock BFS (Wang et al., PPoPP'16) | GPU | visited + level |
+//! | [`bfs`] | BerryBees BFS (Niu & Casas, PPoPP'25) | GPU | visited + level |
+//! | [`deque_dfs`] | crossbeam-deque DFS (extra ablation) | native threads | visited + tree |
+//!
+//! CPU baselines execute on the simulated 64-core Xeon Max model; GPU
+//! baselines on the simulated A100/H100 (see `db-gpu-sim` and DESIGN.md
+//! §1 for the hardware substitution). All engines are deterministic.
+//!
+//! [`run::BaselineRun`] is the common result shape used by the benchmark
+//! harness; methods that can fail (NVG-DFS exhausts memory on deep
+//! graphs, by design of its path-tracking labels) return an error that
+//! the harness records as a failed run, mirroring "NVG-DFS … failing on
+//! 44 out of 234 graphs" (§4.2).
+
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod cpu_ws;
+pub mod deque_dfs;
+pub mod nvg;
+pub mod run;
+pub mod serial;
+
+pub use run::BaselineRun;

@@ -1,0 +1,313 @@
+//! NVG-DFS — Naumov, Vrielink & Garland, "Parallel Depth-First Search
+//! for Directed Acyclic Graphs" (IA3 2017), reimplemented from the
+//! paper's description (the original GPU code was never released; the
+//! DiggerBees authors also reimplemented it — §4.1 footnote).
+//!
+//! The method constructs the **lexicographic** DFS tree with BFS-style
+//! phases: every vertex carries a *path label* — the sequence of
+//! child-ranks along its discovery path — and labels are iteratively
+//! relaxed until fixpoint. The lexicographically minimal simple-path
+//! label of a vertex is exactly its serial-DFS discovery path, so the
+//! fixpoint reproduces Algorithm 1's tree and ordering (our integration
+//! tests check this against `serial_dfs`).
+//!
+//! The design's two documented pathologies fall out naturally:
+//!
+//! * **Memory**: labels are O(depth) words per vertex; deep graphs blow
+//!   through any budget. We enforce a configurable budget and return
+//!   [`crate::run::RunError`] when exceeded — this is the mechanism
+//!   behind "NVG-DFS … failing on 44 out of 234 graphs" (§4.2) and its
+//!   0.0-MTEPS entries in Fig. 6.
+//! * **Time**: the fixpoint needs ~depth level-synchronous rounds, each
+//!   streaming edges *and* comparing/copying labels, so it is orders of
+//!   magnitude slower than unordered DFS — the 30.18× average gap.
+
+use crate::run::{BaselineRun, RunError};
+use db_gpu_sim::level_sync::{total_cycles, LevelWork};
+use db_gpu_sim::MachineModel;
+use db_graph::{CsrGraph, VertexId, NO_PARENT};
+
+/// Configuration for NVG-DFS.
+#[derive(Debug, Clone, Copy)]
+pub struct NvgConfig {
+    /// Label-storage budget in bytes. The default (256 MB) is the
+    /// paper's 80 GB GPU scaled by roughly the same factor as the
+    /// graphs themselves, so the failure profile matches §4.2's.
+    pub memory_budget_bytes: u64,
+    /// Relaxation work budget (label words processed). Deep-DFS graphs
+    /// make the fixpoint crawl for hours; the evaluation kills such runs
+    /// the same way the paper's harness bounds each method's runtime.
+    pub work_budget_words: u64,
+}
+
+impl Default for NvgConfig {
+    fn default() -> Self {
+        Self { memory_budget_bytes: 256 << 20, work_budget_words: 400_000_000 }
+    }
+}
+
+/// `label(u) ++ [rank] < lv` under lexicographic order with
+/// prefix-less-than-extension, without building the candidate.
+fn candidate_less(lu: &[u32], rank: u32, lv: &[u32]) -> bool {
+    let common = lu.len().min(lv.len());
+    for k in 0..common {
+        match lu[k].cmp(&lv[k]) {
+            std::cmp::Ordering::Less => return true,
+            std::cmp::Ordering::Greater => return false,
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    if lu.len() < lv.len() {
+        // candidate = lu ++ [rank]; lv continues with lv[lu.len()]
+        match rank.cmp(&lv[lu.len()]) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            // equal: candidate has length lu.len()+1 <= lv.len(); it is
+            // a prefix (or equal), hence <= lv; strictly less only if
+            // shorter.
+            std::cmp::Ordering::Equal => lu.len() + 1 < lv.len(),
+        }
+    } else {
+        // lu is at least as long as lv and equal on the common prefix:
+        // lv is a prefix of the candidate, so candidate >= lv.
+        false
+    }
+}
+
+/// Runs NVG-DFS on `g` from `root` under machine `m`.
+///
+/// # Errors
+///
+/// Returns an error when the path labels exceed the memory budget.
+pub fn run(
+    g: &CsrGraph,
+    root: VertexId,
+    cfg: &NvgConfig,
+    m: &MachineModel,
+) -> Result<BaselineRun, RunError> {
+    let n = g.num_vertices();
+    assert!((root as usize) < n, "root out of range");
+
+    let mut label: Vec<Option<Box<[u32]>>> = vec![None; n];
+    let mut parent = vec![NO_PARENT; n];
+    label[root as usize] = Some(Box::new([]));
+    let mut frontier = vec![root];
+    let mut label_bytes: u64 = 0;
+    let mut total_work: u64 = 0;
+    let mut levels: Vec<LevelWork> = Vec::new();
+
+    while !frontier.is_empty() {
+        let mut next: Vec<u32> = Vec::new();
+        let mut scanned_edges: u64 = 0;
+        let mut label_words: u64 = 0;
+        for &u in &frontier {
+            // Clone the label once per frontier vertex (the kernels keep
+            // labels in global memory; we charge the words they touch).
+            let lu = label[u as usize].clone().expect("frontier vertex has a label");
+            for (i, &v) in g.neighbors(u).iter().enumerate() {
+                scanned_edges += 1;
+                // Candidate label = label(u) ++ [rank of v in u's row],
+                // compared without materializing it.
+                let better = match &label[v as usize] {
+                    None => true,
+                    Some(lv) => {
+                        label_words += lv.len().min(lu.len()) as u64 + 1;
+                        candidate_less(&lu, i as u32, lv)
+                    }
+                };
+                if better {
+                    let mut cand = Vec::with_capacity(lu.len() + 1);
+                    cand.extend_from_slice(&lu);
+                    cand.push(i as u32);
+                    label_words += cand.len() as u64;
+                    if let Some(old) = &label[v as usize] {
+                        label_bytes = label_bytes.saturating_sub(4 * old.len() as u64);
+                    }
+                    label_bytes += 4 * cand.len() as u64;
+                    label[v as usize] = Some(cand.into_boxed_slice());
+                    parent[v as usize] = u;
+                    next.push(v);
+                    if label_bytes > cfg.memory_budget_bytes {
+                        return Err(RunError {
+                            reason: format!(
+                                "NVG-DFS path labels exceeded the memory budget: \
+                                 {} > {} bytes",
+                                label_bytes, cfg.memory_budget_bytes
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        if label_bytes > cfg.memory_budget_bytes {
+            return Err(RunError {
+                reason: format!(
+                    "NVG-DFS path labels exceeded the memory budget: {} > {} bytes",
+                    label_bytes, cfg.memory_budget_bytes
+                ),
+            });
+        }
+        total_work += scanned_edges + label_words;
+        if total_work > cfg.work_budget_words {
+            return Err(RunError {
+                reason: format!(
+                    "NVG-DFS exceeded the relaxation work budget ({} label words)",
+                    cfg.work_budget_words
+                ),
+            });
+        }
+        next.sort_unstable();
+        next.dedup();
+        // Naumov's phases order the next frontier by path label (child
+        // ordering); charge the comparison traffic of that sort.
+        let f = next.len() as u64;
+        let label_total: u64 =
+            next.iter().map(|&v| label[v as usize].as_ref().map_or(0, |l| l.len() as u64)).sum();
+        let avg_label = label_total.checked_div(f).unwrap_or(0);
+        let sort_words = f * (64 - f.leading_zeros() as u64) * avg_label.max(1);
+        levels.push(LevelWork {
+            frontier_vertices: frontier.len() as u64,
+            // label traffic streams through the same memory system
+            scanned_edges: scanned_edges + label_words + sort_words,
+        });
+        frontier = next;
+    }
+
+    let visited: Vec<bool> = label.iter().map(Option::is_some).collect();
+    // Discovery order = vertices sorted by label (lexicographic).
+    let mut order: Vec<u32> = (0..n as u32).filter(|&v| visited[v as usize]).collect();
+    order.sort_by(|&a, &b| label[a as usize].as_ref().cmp(&label[b as usize].as_ref()));
+    let edges: u64 = (0..n as u32)
+        .filter(|&v| visited[v as usize])
+        .map(|v| g.degree(v) as u64)
+        .sum();
+    let cycles = total_cycles(m, &levels);
+
+    Ok(BaselineRun {
+        visited,
+        parent: Some(parent),
+        level: None,
+        order: Some(order),
+        cycles: 0,
+        edges_traversed: edges,
+        mteps: 0.0,
+    }
+    .with_cost(m, cycles))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use db_graph::{serial_dfs, GraphBuilder};
+
+    fn h100() -> MachineModel {
+        MachineModel::h100()
+    }
+
+    #[test]
+    fn matches_serial_dfs_on_figure1() {
+        let g = GraphBuilder::undirected(6)
+            .edges([(0, 1), (0, 2), (1, 3), (2, 4), (3, 4), (2, 5)])
+            .build();
+        let nvg = run(&g, 0, &NvgConfig::default(), &h100()).unwrap();
+        let serial = serial_dfs(&g, 0);
+        assert_eq!(nvg.order.as_ref().unwrap(), &serial.order);
+        assert_eq!(nvg.parent.as_ref().unwrap(), &serial.parent);
+        assert_eq!(nvg.visited, serial.visited);
+    }
+
+    #[test]
+    fn matches_serial_on_dag() {
+        let g = GraphBuilder::directed(7)
+            .edges([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (1, 5), (5, 6), (2, 6)])
+            .build();
+        let nvg = run(&g, 0, &NvgConfig::default(), &h100()).unwrap();
+        let serial = serial_dfs(&g, 0);
+        assert_eq!(nvg.order.as_ref().unwrap(), &serial.order);
+        assert_eq!(nvg.parent.as_ref().unwrap(), &serial.parent);
+    }
+
+    #[test]
+    fn cycle_with_shortcut_matches_serial() {
+        // a-b, a-c, c-d, d-b: DFS order a,b,d,c (see module analysis).
+        let g = GraphBuilder::undirected(4)
+            .edges([(0, 1), (0, 2), (2, 3), (3, 1)])
+            .build();
+        let nvg = run(&g, 0, &NvgConfig::default(), &h100()).unwrap();
+        let serial = serial_dfs(&g, 0);
+        assert_eq!(nvg.order.as_ref().unwrap(), &serial.order);
+    }
+
+    #[test]
+    fn deep_graph_exhausts_memory() {
+        // A path of 100k vertices: labels average ~50k words; way past
+        // a tiny budget — the §4.2 failure mode.
+        let n = 100_000u32;
+        let g = GraphBuilder::undirected(n).edges((0..n - 1).map(|i| (i, i + 1))).build();
+        let cfg = NvgConfig { memory_budget_bytes: 1 << 20, ..Default::default() };
+        let err = run(&g, 0, &cfg, &h100()).unwrap_err();
+        assert!(err.reason.contains("memory budget"));
+    }
+
+    #[test]
+    fn shallow_graph_fits_comfortably() {
+        let g = GraphBuilder::undirected(100)
+            .edges((1..100).map(|i| (0, i)))
+            .build(); // star: depth 1
+        let r = run(&g, 0, &NvgConfig::default(), &h100()).unwrap();
+        assert_eq!(r.num_visited(), 100);
+        assert!(r.mteps > 0.0);
+    }
+
+    #[test]
+    fn respects_reachability() {
+        let mut b = GraphBuilder::undirected(10);
+        b.edge(0, 1);
+        b.edge(1, 2);
+        b.edge(5, 6);
+        let g = b.build();
+        let r = run(&g, 0, &NvgConfig::default(), &h100()).unwrap();
+        assert!(r.visited[2]);
+        assert!(!r.visited[5]);
+    }
+
+    #[test]
+    fn ordered_semantics_cost_more_than_unordered() {
+        // NVG pays per-level launches plus label traffic; even on a
+        // shallow graph it must be far slower than a single streaming
+        // pass over the edges.
+        let n = 2000u32;
+        let mut b = GraphBuilder::undirected(n);
+        for i in 1..n {
+            b.edge(0, i); // star: depth 1
+        }
+        for i in 1..n - 1 {
+            b.edge(i, i + 1); // rim: forces label comparisons
+        }
+        let g = b.build();
+        let r = run(&g, 0, &NvgConfig::default(), &h100()).unwrap();
+        let single_pass =
+            (g.num_arcs() as f64 / h100().costs.stream_edges_per_cycle) as u64;
+        assert!(r.cycles > 10 * single_pass, "{} vs {}", r.cycles, single_pass);
+    }
+
+    #[test]
+    fn deep_mesh_exceeds_work_budget() {
+        // Even a small lattice drives the label fixpoint past the work
+        // budget — the practical face of NVG's 30x+ slowdowns (§4.2).
+        let mut b = GraphBuilder::undirected(32 * 32);
+        for y in 0..32u32 {
+            for x in 0..32u32 {
+                if x + 1 < 32 {
+                    b.edge(y * 32 + x, y * 32 + x + 1);
+                }
+                if y + 1 < 32 {
+                    b.edge(y * 32 + x, (y + 1) * 32 + x);
+                }
+            }
+        }
+        let g = b.build();
+        let err = run(&g, 0, &NvgConfig::default(), &h100()).unwrap_err();
+        assert!(err.reason.contains("budget"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Common result type for baseline traversals.
+
+use db_gpu_sim::MachineModel;
+
+/// Result of one baseline traversal, with that method's native output
+/// semantics (Table 2): fields the method does not produce are `None`.
+#[derive(Debug, Clone)]
+pub struct BaselineRun {
+    /// Reachability flags — produced by every method.
+    pub visited: Vec<bool>,
+    /// DFS-tree parents (NVG-DFS, serial DFS, deque DFS).
+    pub parent: Option<Vec<u32>>,
+    /// BFS levels (Gunrock, BerryBees).
+    pub level: Option<Vec<u32>>,
+    /// Lexicographic discovery order (serial DFS, NVG-DFS).
+    pub order: Option<Vec<u32>>,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Adjacency entries examined (TEPS numerator).
+    pub edges_traversed: u64,
+    /// MTEPS under the machine the method ran on.
+    pub mteps: f64,
+}
+
+impl BaselineRun {
+    /// Fills `cycles`/`mteps` from a machine model.
+    pub fn with_cost(mut self, m: &MachineModel, cycles: u64) -> Self {
+        self.cycles = cycles;
+        self.mteps = m.mteps(self.edges_traversed, cycles);
+        self
+    }
+
+    /// Number of visited vertices.
+    pub fn num_visited(&self) -> usize {
+        self.visited.iter().filter(|&&b| b).count()
+    }
+}
+
+/// A failed baseline run (NVG-DFS memory exhaustion).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunError {
+    /// Human-readable failure reason.
+    pub reason: String,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.reason)
+    }
+}
+
+impl std::error::Error for RunError {}

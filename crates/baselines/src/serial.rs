@@ -1,0 +1,47 @@
+//! Serial DFS baseline — Algorithm 1 on one simulated core.
+//!
+//! Mostly a reference point for correctness and for the speedup
+//! denominators in the harness; the paper itself does not report serial
+//! numbers, but every parallel method must beat this to be interesting.
+
+use crate::run::BaselineRun;
+use db_gpu_sim::MachineModel;
+use db_graph::{serial_dfs, CsrGraph, VertexId};
+
+/// Runs serial DFS and prices it on one core of `m`: each adjacency
+/// entry costs `edge_chunk` (per-edge on CPUs) and each vertex pays one
+/// global-latency visit plus stack bookkeeping.
+pub fn run(g: &CsrGraph, root: VertexId, m: &MachineModel) -> BaselineRun {
+    let out = serial_dfs(g, root);
+    let edges = out.traversed_edges(g);
+    let vertices = out.num_visited() as u64;
+    let c = &m.costs;
+    let cycles = edges * c.edge_chunk + vertices * (c.gmem_latency + 2 * c.smem_op);
+    BaselineRun {
+        visited: out.visited,
+        parent: Some(out.parent),
+        level: None,
+        order: Some(out.order),
+        cycles: 0,
+        edges_traversed: edges,
+        mteps: 0.0,
+    }
+    .with_cost(m, cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use db_graph::GraphBuilder;
+
+    #[test]
+    fn serial_baseline_outputs_everything() {
+        let g = GraphBuilder::undirected(4).edges([(0, 1), (1, 2), (2, 3)]).build();
+        let r = run(&g, 0, &MachineModel::xeon_max());
+        assert_eq!(r.num_visited(), 4);
+        assert!(r.parent.is_some());
+        assert!(r.order.is_some());
+        assert!(r.cycles > 0);
+        assert!(r.mteps > 0.0);
+    }
+}

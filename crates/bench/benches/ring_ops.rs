@@ -1,0 +1,75 @@
+//! Microbenchmarks of the §3.2 two-level stack primitives: fast push /
+//! fast pop on the HotRing, flush / refill between HotRing and ColdSeg,
+//! and batch steals from both ends.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use db_core::stack::{ColdSeg, HotRing};
+
+fn bench_push_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotring");
+    group.throughput(Throughput::Elements(128));
+    group.bench_function("push_pop_128", |b| {
+        b.iter(|| {
+            let mut r = HotRing::new(128);
+            for i in 0..128u32 {
+                r.push(black_box((i, 0))).unwrap();
+            }
+            for _ in 0..128 {
+                black_box(r.pop());
+            }
+        })
+    });
+    group.bench_function("update_top", |b| {
+        let mut r = HotRing::new(128);
+        r.push((7, 0)).unwrap();
+        b.iter(|| {
+            for i in 0..64u32 {
+                r.update_top(black_box((7, i)));
+            }
+        })
+    });
+    group.bench_function("steal_tail_16", |b| {
+        b.iter(|| {
+            let mut r = HotRing::new(128);
+            for i in 0..64u32 {
+                r.push((i, 0)).unwrap();
+            }
+            black_box(r.take_from_tail(16))
+        })
+    });
+    group.finish();
+}
+
+fn bench_flush_refill(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coldseg");
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("flush_refill_64", |b| {
+        b.iter(|| {
+            let mut r = HotRing::new(128);
+            let mut cseg = ColdSeg::new(1024);
+            for i in 0..128u32 {
+                r.push((i, 0)).unwrap();
+            }
+            let batch = r.take_from_tail(64);
+            cseg.push_top(&batch);
+            let refill = cseg.take_from_top(64);
+            r.push_batch(black_box(&refill));
+        })
+    });
+    group.bench_function("steal_bottom_32", |b| {
+        b.iter(|| {
+            let mut cseg = ColdSeg::new(1024);
+            let entries: Vec<(u32, u32)> = (0..128u32).map(|i| (i, 0)).collect();
+            cseg.push_top(&entries);
+            black_box(cseg.take_from_bottom(32))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_push_pop, bench_flush_refill
+}
+criterion_main!(benches);

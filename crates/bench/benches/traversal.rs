@@ -1,0 +1,44 @@
+//! End-to-end traversal benchmarks: one small graph per family, every
+//! simulated method. These measure *host* cost of the simulation (useful
+//! for harness budgeting); the simulated MTEPS numbers come from the
+//! figure binaries.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use db_baselines::bfs::{self, BfsFlavor};
+use db_baselines::cpu_ws::{self, CpuWsConfig, CpuWsStyle};
+use db_core::{run_sim, DiggerBeesConfig};
+use db_gen::Suite;
+use db_gpu_sim::MachineModel;
+use db_graph::serial_dfs;
+
+fn bench_traversal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traversal");
+    group.sample_size(10);
+    for name in ["road_s", "social_s"] {
+        let g = Suite::by_name(name).expect("known graph").build();
+        let h100 = MachineModel::h100();
+        let xeon = MachineModel::xeon_max();
+
+        group.bench_with_input(BenchmarkId::new("serial_dfs", name), &g, |b, g| {
+            b.iter(|| black_box(serial_dfs(g, 0)))
+        });
+        group.bench_with_input(BenchmarkId::new("diggerbees_sim", name), &g, |b, g| {
+            let cfg = DiggerBeesConfig::v4(h100.sm_count);
+            b.iter(|| black_box(run_sim(g, 0, &cfg, &h100)))
+        });
+        group.bench_with_input(BenchmarkId::new("ckl_sim", name), &g, |b, g| {
+            b.iter(|| black_box(cpu_ws::run(g, 0, CpuWsStyle::Ckl, &CpuWsConfig::default(), &xeon)))
+        });
+        group.bench_with_input(BenchmarkId::new("berrybees_model", name), &g, |b, g| {
+            b.iter(|| black_box(bfs::run(g, 0, BfsFlavor::BerryBees, &h100)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_traversal
+}
+criterion_main!(benches);

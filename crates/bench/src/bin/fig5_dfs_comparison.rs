@@ -1,0 +1,74 @@
+//! Figure 5: the four DFS methods (CKL-PDFS, ACR-PDFS, NVG-DFS,
+//! DiggerBees) over the full benchmark sweep, with the paper's speedup
+//! summaries — geometric-mean speedup of DiggerBees over each baseline
+//! and NVG-DFS's failure count (§4.2).
+//!
+//! Usage: `fig5_dfs_comparison [--csv]`; env `DB_SOURCES` (default 4).
+
+use db_bench::methods::{average_mteps, geomean_speedup, sources_per_graph, Method};
+use db_bench::report::{csv_flag, fmt_mteps, Table};
+use db_gen::Suite;
+use db_gpu_sim::MachineModel;
+
+fn main() {
+    let h100 = MachineModel::h100();
+    let srcs = sources_per_graph();
+    let methods = [
+        Method::Ckl,
+        Method::Acr,
+        Method::Nvg(h100.clone()),
+        Method::diggerbees_default(&h100),
+    ];
+
+    let mut table = Table::new([
+        "graph", "family", "|V|", "|E|", "CKL-PDFS", "ACR-PDFS", "NVG-DFS", "DiggerBees",
+        "DB/CKL", "DB/ACR", "DB/NVG",
+    ]);
+    let mut vs_ckl = Vec::new();
+    let mut vs_acr = Vec::new();
+    let mut vs_nvg = Vec::new();
+    let mut nvg_failures = 0usize;
+    let suite = Suite::full();
+    eprintln!("fig5: {} graphs, {srcs} sources each (MTEPS)", suite.len());
+    for spec in &suite {
+        let g = spec.build();
+        let vals: Vec<Option<f64>> =
+            methods.iter().map(|m| average_mteps(&g, m, srcs, 42)).collect();
+        let db = vals[3];
+        if vals[2].is_none() {
+            nvg_failures += 1;
+        }
+        vs_ckl.push((db, vals[0]));
+        vs_acr.push((db, vals[1]));
+        vs_nvg.push((db, vals[2]));
+        let ratio = |b: Option<f64>| match (db, b) {
+            (Some(d), Some(x)) if x > 0.0 => format!("{:.2}x", d / x),
+            _ => "-".to_string(),
+        };
+        table.row([
+            spec.name.to_string(),
+            spec.family.to_string(),
+            g.num_vertices().to_string(),
+            g.num_edges().to_string(),
+            fmt_mteps(vals[0]),
+            fmt_mteps(vals[1]),
+            fmt_mteps(vals[2]),
+            fmt_mteps(db),
+            ratio(vals[0]),
+            ratio(vals[1]),
+            ratio(vals[2]),
+        ]);
+        eprintln!("  {} done", spec.name);
+    }
+    table.emit("fig5_dfs_comparison", csv_flag());
+    println!(
+        "geomean speedups of DiggerBees (paper: 1.37x vs CKL, 1.83x vs ACR, 30.18x vs NVG):"
+    );
+    println!("  vs CKL-PDFS: {:.2}x", geomean_speedup(&vs_ckl));
+    println!("  vs ACR-PDFS: {:.2}x", geomean_speedup(&vs_acr));
+    println!("  vs NVG-DFS : {:.2}x (over graphs where NVG completed)", geomean_speedup(&vs_nvg));
+    println!(
+        "NVG-DFS failed on {nvg_failures}/{} graphs (paper: 44/234 — memory-bound path labels)",
+        suite.len()
+    );
+}

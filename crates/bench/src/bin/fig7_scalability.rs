@@ -1,0 +1,64 @@
+//! Figure 7: A100 → H100 scalability of DiggerBees vs NVG-DFS across the
+//! benchmark sweep. The paper reports geometric-mean H100/A100 speedups
+//! of 1.33× for DiggerBees versus 1.18× for NVG-DFS (§4.4): DiggerBees
+//! tracks the 22.2% SM increase (108 → 132) plus clock, while NVG-DFS's
+//! level-synchronous phases are launch/bandwidth-bound.
+//!
+//! Usage: `fig7_scalability [--csv]`; env `DB_SOURCES` (default 4).
+
+use db_bench::methods::{average_mteps, sources_per_graph, Method};
+use db_bench::report::{csv_flag, fmt_mteps, Table};
+use db_gen::Suite;
+use db_gpu_sim::stats::geometric_mean;
+use db_gpu_sim::MachineModel;
+
+fn main() {
+    let a100 = MachineModel::a100();
+    let h100 = MachineModel::h100();
+    let srcs = sources_per_graph();
+
+    let mut table = Table::new([
+        "graph", "|E|", "NVG(A100)", "NVG(H100)", "NVG H/A", "DB(A100)", "DB(H100)", "DB H/A",
+    ]);
+    let mut nvg_ratios = Vec::new();
+    let mut db_ratios = Vec::new();
+    let suite = Suite::full();
+    eprintln!("fig7: {} graphs on A100 and H100 models", suite.len());
+    for spec in &suite {
+        let g = spec.build();
+        let nvg_a = average_mteps(&g, &Method::Nvg(a100.clone()), srcs, 42);
+        let nvg_h = average_mteps(&g, &Method::Nvg(h100.clone()), srcs, 42);
+        let db_a = average_mteps(&g, &Method::diggerbees_default(&a100), srcs, 42);
+        let db_h = average_mteps(&g, &Method::diggerbees_default(&h100), srcs, 42);
+        let ratio = |a: Option<f64>, h: Option<f64>| -> (String, Option<f64>) {
+            match (a, h) {
+                (Some(x), Some(y)) if x > 0.0 => (format!("{:.2}x", y / x), Some(y / x)),
+                _ => ("-".to_string(), None),
+            }
+        };
+        let (nvg_s, nvg_r) = ratio(nvg_a, nvg_h);
+        let (db_s, db_r) = ratio(db_a, db_h);
+        if let Some(r) = nvg_r {
+            nvg_ratios.push(r);
+        }
+        if let Some(r) = db_r {
+            db_ratios.push(r);
+        }
+        table.row([
+            spec.name.to_string(),
+            g.num_edges().to_string(),
+            fmt_mteps(nvg_a),
+            fmt_mteps(nvg_h),
+            nvg_s,
+            fmt_mteps(db_a),
+            fmt_mteps(db_h),
+            db_s,
+        ]);
+        eprintln!("  {} done", spec.name);
+    }
+    table.emit("fig7_scalability", csv_flag());
+    println!("geomean H100/A100 speedup (paper: DiggerBees 1.33x, NVG-DFS 1.18x):");
+    println!("  DiggerBees: {:.2}x", geometric_mean(&db_ratios));
+    println!("  NVG-DFS   : {:.2}x", geometric_mean(&nvg_ratios));
+    println!("SM ratio: 132/108 = 1.22x; DiggerBees should track it more closely than NVG.");
+}

@@ -1,0 +1,60 @@
+//! Figure 8: performance breakdown of the four progressive DiggerBees
+//! versions on six representative graphs (H100):
+//!
+//! * v1 — one-level (global-memory) stack, 1 block, intra-block stealing
+//! * v2 — two-level stack, 1 block, intra-block stealing
+//! * v3 — two-level stack, 66 blocks, intra- + inter-block stealing
+//! * v4 — two-level stack, 132 blocks (one per SM)
+//!
+//! Paper shapes (§4.5): v2 ≈ 1.45× v1 (two-level stack), v3 ≈ 10–38× v2
+//! (inter-block stealing), v4 ≈ 1.7× v3 on large graphs but only 1.0–1.1×
+//! on small ones (amazon, google).
+//!
+//! Usage: `fig8_breakdown [--csv]`; env `DB_SOURCES` (default 4).
+
+use db_bench::methods::{average_mteps, sources_per_graph, Method};
+use db_bench::report::{csv_flag, Table};
+use db_core::DiggerBeesConfig;
+use db_gen::Suite;
+use db_gpu_sim::MachineModel;
+
+fn main() {
+    let h100 = MachineModel::h100();
+    let srcs = sources_per_graph();
+    let versions: [(&str, DiggerBeesConfig); 4] = [
+        ("v1", DiggerBeesConfig::v1()),
+        ("v2", DiggerBeesConfig::v2()),
+        ("v3", DiggerBeesConfig::v3()),
+        ("v4", DiggerBeesConfig::v4(h100.sm_count)),
+    ];
+
+    let mut table =
+        Table::new(["graph", "v1", "v2", "v3", "v4", "v2/v1", "v3/v2", "v4/v3"]);
+    eprintln!("fig8: v1..v4 on six representative graphs (MTEPS)");
+    for spec in Suite::representative6() {
+        let g = spec.build();
+        let mut mteps = Vec::new();
+        for (name, cfg) in &versions {
+            let v = average_mteps(&g, &Method::DiggerBees(*cfg, h100.clone()), srcs, 42)
+                .unwrap_or(0.0);
+            mteps.push(v);
+            eprintln!("  {} {} done: {:.1}", spec.name, name, v);
+        }
+        let r = |a: f64, b: f64| if a > 0.0 { format!("{:.2}x", b / a) } else { "-".into() };
+        table.row([
+            spec.name.to_string(),
+            format!("{:.1}", mteps[0]),
+            format!("{:.1}", mteps[1]),
+            format!("{:.1}", mteps[2]),
+            format!("{:.1}", mteps[3]),
+            r(mteps[0], mteps[1]),
+            r(mteps[1], mteps[2]),
+            r(mteps[2], mteps[3]),
+        ]);
+    }
+    table.emit("fig8_breakdown", csv_flag());
+    println!(
+        "Paper shapes: v2/v1 ~1.45x (two-level stack), v3/v2 ~10-38x (inter-block\n\
+         stealing), v4/v3 ~1.7x on big graphs and ~1.0-1.1x on small ones."
+    );
+}

@@ -1,0 +1,157 @@
+//! Shared method runners for the figure harnesses.
+
+use db_baselines::bfs::{self, BfsFlavor};
+use db_baselines::cpu_ws::{self, CpuWsConfig, CpuWsStyle};
+use db_baselines::nvg::{self, NvgConfig};
+use db_core::{run_sim, DiggerBeesConfig};
+use db_gpu_sim::stats::geometric_mean;
+use db_gpu_sim::MachineModel;
+use db_graph::{sources::select_sources, CsrGraph};
+
+/// A traversal method, with everything needed to run it.
+#[derive(Debug, Clone)]
+pub enum Method {
+    /// CKL-PDFS on the simulated 64-core CPU.
+    Ckl,
+    /// ACR-PDFS on the simulated 64-core CPU.
+    Acr,
+    /// NVG-DFS on the given GPU model.
+    Nvg(MachineModel),
+    /// Gunrock BFS on the given GPU model.
+    Gunrock(MachineModel),
+    /// BerryBees BFS on the given GPU model.
+    BerryBees(MachineModel),
+    /// Best of the two BFS baselines per source.
+    BestBfs(MachineModel),
+    /// DiggerBees with an explicit configuration and GPU model.
+    DiggerBees(DiggerBeesConfig, MachineModel),
+}
+
+impl Method {
+    /// DiggerBees v4 (full implementation) on the given machine: one
+    /// block per SM, paper-default cutoffs.
+    pub fn diggerbees_default(m: &MachineModel) -> Self {
+        Method::DiggerBees(DiggerBeesConfig::v4(m.sm_count), m.clone())
+    }
+
+    /// Display name used in tables and CSV.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Ckl => "CKL-PDFS",
+            Method::Acr => "ACR-PDFS",
+            Method::Nvg(_) => "NVG-DFS",
+            Method::Gunrock(_) => "Gunrock",
+            Method::BerryBees(_) => "BerryBees",
+            Method::BestBfs(_) => "BestBFS",
+            Method::DiggerBees(..) => "DiggerBees",
+        }
+    }
+}
+
+/// Outcome of one (method, source) run.
+#[derive(Debug, Clone, Copy)]
+pub enum MethodOutcome {
+    /// MTEPS for a successful run.
+    Ok(f64),
+    /// The method failed on this input (e.g. NVG-DFS memory exhaustion).
+    Failed,
+}
+
+/// Runs `method` from one source and returns its MTEPS.
+pub fn run_once(g: &CsrGraph, root: u32, method: &Method) -> MethodOutcome {
+    match method {
+        Method::Ckl => {
+            let m = MachineModel::xeon_max();
+            MethodOutcome::Ok(cpu_ws::run(g, root, CpuWsStyle::Ckl, &CpuWsConfig::default(), &m).mteps)
+        }
+        Method::Acr => {
+            let m = MachineModel::xeon_max();
+            MethodOutcome::Ok(cpu_ws::run(g, root, CpuWsStyle::Acr, &CpuWsConfig::default(), &m).mteps)
+        }
+        Method::Nvg(m) => match nvg::run(g, root, &NvgConfig::default(), m) {
+            Ok(r) => MethodOutcome::Ok(r.mteps),
+            Err(_) => MethodOutcome::Failed,
+        },
+        Method::Gunrock(m) => MethodOutcome::Ok(bfs::run(g, root, BfsFlavor::Gunrock, m).mteps),
+        Method::BerryBees(m) => MethodOutcome::Ok(bfs::run(g, root, BfsFlavor::BerryBees, m).mteps),
+        Method::BestBfs(m) => MethodOutcome::Ok(bfs::best_bfs(g, root, m).1.mteps),
+        Method::DiggerBees(cfg, m) => MethodOutcome::Ok(run_sim(g, root, cfg, m).mteps),
+    }
+}
+
+/// Average MTEPS of `method` over GAP-style sources (§4.1 methodology).
+/// Returns `None` if the method failed on any source (the paper reports
+/// such graphs as failures / 0.0 MTEPS).
+pub fn average_mteps(g: &CsrGraph, method: &Method, n_sources: usize, seed: u64) -> Option<f64> {
+    let sources = select_sources(g, n_sources, seed);
+    let mut vals = Vec::with_capacity(sources.len());
+    for &s in &sources {
+        match run_once(g, s, method) {
+            MethodOutcome::Ok(v) => vals.push(v),
+            MethodOutcome::Failed => return None,
+        }
+    }
+    Some(vals.iter().sum::<f64>() / vals.len().max(1) as f64)
+}
+
+/// Sources-per-graph knob (`DB_SOURCES`, default 4 — the paper uses 64;
+/// 4 keeps the full sweep minutes-scale on one host).
+pub fn sources_per_graph() -> usize {
+    std::env::var("DB_SOURCES").ok().and_then(|s| s.parse().ok()).unwrap_or(4)
+}
+
+/// Geometric-mean speedup of `a` over `b` across graphs, skipping pairs
+/// where either failed (the §4.2 "average speedup (geomean)" metric).
+pub fn geomean_speedup(pairs: &[(Option<f64>, Option<f64>)]) -> f64 {
+    let ratios: Vec<f64> = pairs
+        .iter()
+        .filter_map(|(a, b)| match (a, b) {
+            (Some(x), Some(y)) if *y > 0.0 => Some(x / y),
+            _ => None,
+        })
+        .collect();
+    geometric_mean(&ratios)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use db_graph::GraphBuilder;
+
+    fn small_graph() -> CsrGraph {
+        let mut b = GraphBuilder::undirected(400);
+        for i in 0..399 {
+            b.edge(i, i + 1);
+        }
+        for i in (0..390).step_by(7) {
+            b.edge(i, i + 5);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn every_method_runs_on_a_small_graph() {
+        let g = small_graph();
+        let h = MachineModel::h100();
+        for m in [
+            Method::Ckl,
+            Method::Acr,
+            Method::Nvg(h.clone()),
+            Method::Gunrock(h.clone()),
+            Method::BerryBees(h.clone()),
+            Method::BestBfs(h.clone()),
+            Method::diggerbees_default(&h),
+        ] {
+            let out = average_mteps(&g, &m, 2, 1);
+            assert!(out.is_some(), "{} failed", m.name());
+            assert!(out.unwrap() > 0.0, "{} returned 0 MTEPS", m.name());
+        }
+    }
+
+    #[test]
+    fn geomean_speedup_skips_failures() {
+        let pairs = [(Some(4.0), Some(2.0)), (None, Some(1.0)), (Some(8.0), Some(2.0))];
+        let s = geomean_speedup(&pairs);
+        assert!((s - (2.0f64 * 4.0).sqrt()).abs() < 1e-9);
+    }
+}

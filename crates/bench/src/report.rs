@@ -1,0 +1,145 @@
+//! Aligned-table and CSV reporting for the figure harnesses.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table with CSV export.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as an aligned text table.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut width = vec![0usize; ncol];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                width[i] = width[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |row: &[String], width: &[usize], out: &mut String| {
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(out, "{:>w$}  ", cell, w = width[i]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &width, &mut out);
+        let total: usize = width.iter().sum::<usize>() + 2 * ncol;
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &width, &mut out);
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table; with `csv` also prints the CSV block and writes
+    /// it to `results/<name>.csv` (best effort).
+    pub fn emit(&self, name: &str, csv: bool) {
+        println!("{}", self.render());
+        if csv {
+            println!("--- CSV ({name}) ---");
+            println!("{}", self.to_csv());
+        }
+        let _ = std::fs::create_dir_all("results");
+        let _ = std::fs::write(format!("results/{name}.csv"), self.to_csv());
+    }
+}
+
+/// Formats an MTEPS value the way the paper's figures do (one decimal,
+/// 0.0 for failures).
+pub fn fmt_mteps(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.1}"),
+        None => "0.0 (fail)".to_string(),
+    }
+}
+
+/// True when `--csv` was passed to the binary.
+pub fn csv_flag() -> bool {
+    std::env::args().any(|a| a == "--csv")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(["graph", "mteps"]);
+        t.row(["euro_osm", "2292.4"]);
+        t.row(["rgg", "2897.2"]);
+        let s = t.render();
+        assert!(s.contains("euro_osm"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["x,y", "plain"]);
+        assert!(t.to_csv().contains("\"x,y\",plain"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn fmt_mteps_failure() {
+        assert_eq!(fmt_mteps(None), "0.0 (fail)");
+        assert_eq!(fmt_mteps(Some(12.34)), "12.3");
+    }
+}

@@ -1,0 +1,199 @@
+//! DiggerBees configuration: stack shape, stealing cutoffs, victim
+//! policy, and the v1–v4 variant presets of the §4.5 breakdown.
+
+/// How the per-warp stack is organized (§3.2 / §4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackLevels {
+    /// Single stack resident in global memory (the paper's breakdown
+    /// version v1). No HotRing, no flush/refill; every stack operation
+    /// pays global-memory cost.
+    One,
+    /// Two-level stack: shared-memory HotRing + global-memory ColdSeg
+    /// (the paper's design, §3.2).
+    Two,
+}
+
+/// Victim-block selection policy for inter-block stealing (§3.5, Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VictimPolicy {
+    /// Uniformly random victim block — the Fig. 9 "Baseline".
+    Random,
+    /// Power-of-two-choices, load-aware: sample two blocks, steal from
+    /// the heavier one (the paper's design, after Mitzenmacher).
+    TwoChoice,
+}
+
+/// Full algorithm configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DiggerBeesConfig {
+    /// HotRing capacity in entries. Paper: 128 (§3.2).
+    pub hot_size: u32,
+    /// Intra-block steal threshold on `hot_rest`. Paper: 32 (§3.4).
+    pub hot_cutoff: u32,
+    /// Inter-block steal threshold on `cold_rest`. Paper: 64 (§3.5).
+    pub cold_cutoff: u32,
+    /// Entries moved per flush when the HotRing fills (oldest first,
+    /// from `tail` — §3.3's locality/steal-candidate argument).
+    pub flush_batch: u32,
+    /// Thread blocks to launch. The paper's full version uses one block
+    /// per SM (v4: 132 on H100).
+    pub blocks: u32,
+    /// Warps per block.
+    pub warps_per_block: u32,
+    /// Stack organization.
+    pub stack: StackLevels,
+    /// Whether inter-block stealing is enabled (v1/v2 disable it).
+    pub inter_block: bool,
+    /// Victim-block selection policy.
+    pub victim_policy: VictimPolicy,
+    /// Seed for victim sampling.
+    pub seed: u64,
+}
+
+impl Default for DiggerBeesConfig {
+    /// The paper's default configuration (hot_size 128, hot_cutoff 32,
+    /// cold_cutoff 64, two-level stack, two-choice inter-block stealing).
+    /// Block count defaults to the H100's 132 SMs; engines typically
+    /// override it from their machine model.
+    fn default() -> Self {
+        Self {
+            hot_size: 128,
+            hot_cutoff: 32,
+            cold_cutoff: 64,
+            flush_batch: 64,
+            blocks: 132,
+            warps_per_block: 8,
+            stack: StackLevels::Two,
+            inter_block: true,
+            victim_policy: VictimPolicy::TwoChoice,
+            seed: 0x5eed_d166e4,
+        }
+    }
+}
+
+impl DiggerBeesConfig {
+    /// Breakdown version v1: one-level (global) stack, a single block,
+    /// intra-block stealing only (§4.5).
+    pub fn v1() -> Self {
+        Self {
+            stack: StackLevels::One,
+            blocks: 1,
+            inter_block: false,
+            ..Self::default()
+        }
+    }
+
+    /// Breakdown version v2: two-level stack, a single block, intra-block
+    /// stealing only.
+    pub fn v2() -> Self {
+        Self { blocks: 1, inter_block: false, ..Self::default() }
+    }
+
+    /// Breakdown version v3: two-level stack, 66 blocks, intra- and
+    /// inter-block stealing.
+    pub fn v3() -> Self {
+        Self { blocks: 66, ..Self::default() }
+    }
+
+    /// Breakdown version v4 (the full implementation): one block per SM.
+    pub fn v4(sm_count: u32) -> Self {
+        Self { blocks: sm_count, ..Self::default() }
+    }
+
+    /// Total number of warps.
+    pub fn total_warps(&self) -> u32 {
+        self.blocks * self.warps_per_block
+    }
+
+    /// Entries an intra-block thief reserves (`hot_cutoff / 2`, Alg. 3).
+    pub fn hot_steal_batch(&self) -> u32 {
+        (self.hot_cutoff / 2).max(1)
+    }
+
+    /// Entries an inter-block thief reserves (`cold_cutoff / 2`, Alg. 4).
+    pub fn cold_steal_batch(&self) -> u32 {
+        (self.cold_cutoff / 2).max(1)
+    }
+
+    /// Validates internal consistency; engines call this on entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent parameters (zero sizes, cutoff larger than
+    /// the ring, steal batch that cannot fit).
+    pub fn validate(&self) {
+        assert!(self.hot_size >= 4, "hot_size must be at least 4");
+        assert!(self.hot_cutoff >= 2, "hot_cutoff must be at least 2");
+        assert!(
+            self.hot_cutoff <= self.hot_size,
+            "hot_cutoff {} exceeds hot_size {}",
+            self.hot_cutoff,
+            self.hot_size
+        );
+        assert!(self.cold_cutoff >= 2, "cold_cutoff must be at least 2");
+        assert!(self.flush_batch >= 1 && self.flush_batch <= self.hot_size);
+        assert!(self.blocks >= 1 && self.warps_per_block >= 1);
+        assert!(
+            self.hot_steal_batch() < self.hot_size,
+            "steal batch must fit in the thief's ring"
+        );
+        assert!(
+            self.cold_steal_batch() <= self.hot_size,
+            "inter-block steal batch ({}) must fit in the thief's HotRing ({})",
+            self.cold_steal_batch(),
+            self.hot_size
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = DiggerBeesConfig::default();
+        assert_eq!(c.hot_size, 128);
+        assert_eq!(c.hot_cutoff, 32);
+        assert_eq!(c.cold_cutoff, 64);
+        assert_eq!(c.stack, StackLevels::Two);
+        assert_eq!(c.victim_policy, VictimPolicy::TwoChoice);
+        c.validate();
+    }
+
+    #[test]
+    fn breakdown_variants() {
+        assert_eq!(DiggerBeesConfig::v1().stack, StackLevels::One);
+        assert_eq!(DiggerBeesConfig::v1().blocks, 1);
+        assert!(!DiggerBeesConfig::v2().inter_block);
+        assert_eq!(DiggerBeesConfig::v3().blocks, 66);
+        assert_eq!(DiggerBeesConfig::v4(132).blocks, 132);
+        for c in [
+            DiggerBeesConfig::v1(),
+            DiggerBeesConfig::v2(),
+            DiggerBeesConfig::v3(),
+            DiggerBeesConfig::v4(132),
+        ] {
+            c.validate();
+        }
+    }
+
+    #[test]
+    fn steal_batches_are_half_cutoffs() {
+        let c = DiggerBeesConfig::default();
+        assert_eq!(c.hot_steal_batch(), 16);
+        assert_eq!(c.cold_steal_batch(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "hot_cutoff")]
+    fn rejects_cutoff_above_ring() {
+        DiggerBeesConfig { hot_cutoff: 256, ..Default::default() }.validate();
+    }
+
+    #[test]
+    fn total_warps_product() {
+        let c = DiggerBeesConfig { blocks: 66, warps_per_block: 8, ..Default::default() };
+        assert_eq!(c.total_warps(), 528);
+    }
+}

@@ -1,0 +1,42 @@
+//! # db-core — the DiggerBees algorithm
+//!
+//! Implements the paper's contribution (§3): parallel unordered DFS with
+//! a **two-level stack** (shared-memory HotRing + global-memory ColdSeg)
+//! and **hierarchical block-level work stealing** (warp-level DFS,
+//! intra-block stealing via `tail` reservation, inter-block stealing via
+//! power-of-two-choices victim blocks and `bottom` reservation).
+//!
+//! Two engines execute the same algorithm:
+//!
+//! * [`sim`] — the deterministic GPU-simulated engine used for every
+//!   figure in the paper's evaluation (the hardware substitute; see
+//!   DESIGN.md §1). Warps are state machines scheduled by the
+//!   discrete-event core of `db-gpu-sim`, and performance is reported in
+//!   simulated cycles / MTEPS under a machine model (A100/H100 presets).
+//! * [`native`] — a real multithreaded engine for library users: the
+//!   same two-level structure and stealing hierarchy mapped onto OS
+//!   threads ("warps") grouped into thread groups ("blocks"), with
+//!   per-ring locks standing in for the GPU's `atomicCAS` ring protocol.
+//! * [`native_lockfree`] — the same engine on the GPU-faithful lock-free
+//!   ring protocol ([`lockfree::StampedRing`]): packed head/tail CAS
+//!   claims plus per-slot stamps for safe payload transfer.
+//!
+//! Shared pieces:
+//!
+//! * [`config`] — `hot_size` / `hot_cutoff` / `cold_cutoff`, block
+//!   geometry, victim policy, and the §4.5 breakdown presets
+//!   ([`config::DiggerBeesConfig::v1`] … `v4`).
+//! * [`stack`] — the HotRing / ColdSeg data structures of §3.2 with the
+//!   four core operations (fast push, fast pop, flush, refill).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lockfree;
+pub mod native;
+pub mod native_lockfree;
+pub mod sim;
+pub mod stack;
+
+pub use config::{DiggerBeesConfig, StackLevels, VictimPolicy};
+pub use sim::{run_sim, SimResult};

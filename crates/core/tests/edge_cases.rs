@@ -1,0 +1,177 @@
+//! Edge-case and stress tests for both DiggerBees engines: ColdSeg
+//! overflow (spill), extreme degrees, self loops, directed inputs,
+//! adversarial cutoff settings, and the execution example of §3.6.
+
+use db_core::native::{NativeConfig, NativeEngine};
+use db_core::{run_sim, DiggerBeesConfig, StackLevels};
+use db_gpu_sim::MachineModel;
+use db_graph::validate::{check_reachability, check_spanning_tree};
+use db_graph::GraphBuilder;
+
+fn h100() -> MachineModel {
+    MachineModel::h100()
+}
+
+/// Tiny rings + tiny cold capacity force the spill path: `cold_size`
+/// is computed as nv/nw but clamped, so to overflow we need one warp
+/// holding nearly the whole graph while nobody steals.
+#[test]
+fn cold_spill_on_single_warp_deep_graph() {
+    let n = 40_000u32;
+    let g = GraphBuilder::undirected(n).edges((0..n - 1).map(|i| (i, i + 1))).build();
+    let cfg = DiggerBeesConfig {
+        blocks: 1,
+        warps_per_block: 1,
+        inter_block: false,
+        hot_size: 8,
+        hot_cutoff: 4,
+        cold_cutoff: 4,
+        flush_batch: 4,
+        ..Default::default()
+    };
+    // cold capacity = max(nv/1, 16) = nv — never spills with one warp.
+    // Force spill with many warps on one block so each ColdSeg is small
+    // but the first warp still owns the whole path.
+    let spill_cfg = DiggerBeesConfig { warps_per_block: 64, ..cfg };
+    for c in [cfg, spill_cfg] {
+        let r = run_sim(&g, 0, &c, &h100());
+        check_reachability(&g, 0, &r.visited).unwrap();
+        check_spanning_tree(&g, 0, &r.visited, &r.parent).unwrap();
+    }
+}
+
+#[test]
+fn star_graph_with_huge_degree() {
+    // One vertex with degree 50k: exercises long chunk-scans of a single
+    // row and CAS-heavy claiming.
+    let n = 50_000u32;
+    let g = GraphBuilder::undirected(n).edges((1..n).map(|i| (0, i))).build();
+    let cfg = DiggerBeesConfig {
+        blocks: 8,
+        warps_per_block: 4,
+        ..Default::default()
+    };
+    let r = run_sim(&g, 0, &cfg, &h100());
+    assert_eq!(r.stats.vertices_visited, n as u64);
+    check_spanning_tree(&g, 0, &r.visited, &r.parent).unwrap();
+    // Everyone hangs off the hub.
+    assert!(r.parent.iter().skip(1).all(|&p| p == 0));
+}
+
+#[test]
+fn self_loops_are_harmless() {
+    let g = GraphBuilder::undirected(5)
+        .edges([(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (3, 3)])
+        .build();
+    let r = run_sim(&g, 0, &DiggerBeesConfig::v2(), &h100());
+    check_reachability(&g, 0, &r.visited).unwrap();
+    check_spanning_tree(&g, 0, &r.visited, &r.parent).unwrap();
+    assert!(!r.visited[3], "self-looped isolated vertex is unreachable");
+}
+
+#[test]
+fn directed_cycle_traversal() {
+    let n = 1000u32;
+    let g = GraphBuilder::directed(n).edges((0..n).map(|i| (i, (i + 1) % n))).build();
+    let r = run_sim(&g, 17, &DiggerBeesConfig::v2(), &h100());
+    assert_eq!(r.stats.vertices_visited, n as u64);
+    check_spanning_tree(&g, 17, &r.visited, &r.parent).unwrap();
+}
+
+/// The §3.6 execution example: 2 blocks × 3 warps. We check the
+/// collaboration machinery engages (intra steals in block 0, an inter
+/// steal activating block 1) on a graph with enough branching.
+#[test]
+fn section36_two_blocks_three_warps() {
+    let g = db_gen_like_tree();
+    let cfg = DiggerBeesConfig {
+        blocks: 2,
+        warps_per_block: 3,
+        hot_size: 8,
+        hot_cutoff: 2,
+        cold_cutoff: 2,
+        flush_batch: 4,
+        ..Default::default()
+    };
+    let r = run_sim(&g, 0, &cfg, &h100());
+    check_spanning_tree(&g, 0, &r.visited, &r.parent).unwrap();
+    assert!(r.stats.steals_intra > 0, "intra-block stealing should engage");
+    assert!(r.stats.steals_inter > 0, "inter-block stealing should engage");
+    assert!(r.stats.tasks_per_block.iter().all(|&t| t > 0), "both blocks should work");
+}
+
+fn db_gen_like_tree() -> db_graph::CsrGraph {
+    // Dense binary tree + extra cross edges: lots of stealable branches.
+    let depth = 13u32;
+    let n: u32 = (1 << depth) - 1;
+    let mut b = GraphBuilder::undirected(n);
+    for i in 0..n {
+        for c in [2 * i + 1, 2 * i + 2] {
+            if c < n {
+                b.edge(i, c);
+            }
+        }
+    }
+    b.build()
+}
+
+#[test]
+fn one_level_stack_handles_every_graph_shape() {
+    for g in [
+        GraphBuilder::undirected(1).build(),
+        GraphBuilder::undirected(2).edges([(0, 1)]).build(),
+        db_gen_like_tree(),
+    ] {
+        let cfg = DiggerBeesConfig {
+            stack: StackLevels::One,
+            blocks: 1,
+            warps_per_block: 4,
+            inter_block: false,
+            hot_cutoff: 4,
+            cold_cutoff: 4,
+            ..Default::default()
+        };
+        let r = run_sim(&g, 0, &cfg, &h100());
+        check_reachability(&g, 0, &r.visited).unwrap();
+    }
+}
+
+#[test]
+fn native_star_and_path_stress() {
+    let star = GraphBuilder::undirected(5000).edges((1..5000).map(|i| (0, i))).build();
+    let path = GraphBuilder::undirected(5000).edges((0..4999).map(|i| (i, i + 1))).build();
+    let engine = NativeEngine::new(NativeConfig::default());
+    for g in [star, path] {
+        let r = engine.run(&g, 0);
+        check_reachability(&g, 0, &r.visited).unwrap();
+        check_spanning_tree(&g, 0, &r.visited, &r.parent).unwrap();
+        assert_eq!(r.stats.vertices_visited, 5000);
+    }
+}
+
+#[test]
+fn adversarial_cutoffs_still_correct() {
+    let g = db_gen_like_tree();
+    for (hot, cold) in [(2u32, 2u32), (127, 126), (4, 128)] {
+        let cfg = DiggerBeesConfig {
+            blocks: 3,
+            warps_per_block: 3,
+            hot_cutoff: hot,
+            cold_cutoff: cold,
+            ..Default::default()
+        };
+        cfg.validate();
+        let r = run_sim(&g, 0, &cfg, &h100());
+        check_reachability(&g, 0, &r.visited).unwrap();
+    }
+}
+
+#[test]
+fn zero_degree_root() {
+    let g = GraphBuilder::undirected(3).edges([(1, 2)]).build();
+    let r = run_sim(&g, 0, &DiggerBeesConfig::v2(), &h100());
+    assert_eq!(r.stats.vertices_visited, 1);
+    assert!(r.visited[0] && !r.visited[1]);
+    let native = NativeEngine::new(NativeConfig::default()).run(&g, 0);
+    assert_eq!(native.visited, r.visited);
+}

@@ -1,0 +1,187 @@
+//! Road-network analogues.
+//!
+//! Road networks (DIMACS10's `europe_osm`, `il2010`, …) are sparse
+//! (average degree ~2–3), near-planar, and have huge diameter — the graph
+//! class on which the paper's DFS beats level-synchronous BFS by an order
+//! of magnitude (Fig. 6, §4.3). We model them as 2-D lattices with
+//! randomly deleted edges (dead ends, sparse connectivity) plus a few
+//! long-range "highway" shortcuts, which reproduces both the degree
+//! distribution and the deep, narrow traversal structure.
+
+use db_graph::{CsrGraph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a `width × height` road-network-like lattice.
+///
+/// Every lattice edge is kept with probability `keep_prob` (values around
+/// 0.8–0.95 give realistic dead ends while keeping the graph mostly
+/// connected); `highways` long-range shortcut edges are added between
+/// random lattice nodes. Vertex `(x, y)` has id `y * width + x`.
+pub fn grid_road(width: u32, height: u32, keep_prob: f64, highways: u32, seed: u64) -> CsrGraph {
+    assert!(width >= 1 && height >= 1, "grid must be non-empty");
+    assert!((0.0..=1.0).contains(&keep_prob), "keep_prob must be in [0,1]");
+    let n = width
+        .checked_mul(height)
+        .expect("grid dimensions overflow u32");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::undirected(n);
+    b.reserve(2 * n as usize);
+    let id = |x: u32, y: u32| y * width + x;
+    for y in 0..height {
+        for x in 0..width {
+            if x + 1 < width && rng.gen_bool(keep_prob) {
+                b.edge(id(x, y), id(x + 1, y));
+            }
+            if y + 1 < height && rng.gen_bool(keep_prob) {
+                b.edge(id(x, y), id(x, y + 1));
+            }
+        }
+    }
+    for _ in 0..highways {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            b.edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// A simple path of `n` vertices — the pathological deepest-possible DFS
+/// workload (stack depth = n), used to stress the two-level stack's
+/// flush/refill machinery.
+pub fn long_path(n: u32) -> CsrGraph {
+    assert!(n >= 1);
+    GraphBuilder::undirected(n).edges((0..n.saturating_sub(1)).map(|i| (i, i + 1))).build()
+}
+
+/// A perfect `k`-ary tree with `depth` levels (root = vertex 0).
+/// Trees are the best case for work stealing: every steal yields an
+/// independent subtree.
+pub fn kary_tree(k: u32, depth: u32) -> CsrGraph {
+    assert!(k >= 1 && depth >= 1);
+    // n = (k^depth - 1) / (k - 1) for k > 1, depth for k == 1.
+    let mut n: u64 = 0;
+    let mut level = 1u64;
+    for _ in 0..depth {
+        n += level;
+        level *= k as u64;
+    }
+    assert!(n <= u32::MAX as u64, "tree too large");
+    let n = n as u32;
+    let mut b = GraphBuilder::undirected(n);
+    // children of i are k*i + 1 ..= k*i + k (heap layout)
+    for i in 0..n {
+        for c in 1..=k {
+            let child = (i as u64) * (k as u64) + c as u64;
+            if child < n as u64 {
+                b.edge(i, child as u32);
+            }
+        }
+    }
+    b.build()
+}
+
+/// "Comb" graph: a long spine with short teeth. Deep like a path but with
+/// steady small amounts of stealable branch work — a worst-ish case for
+/// stealing productivity.
+pub fn comb(spine: u32, tooth_len: u32) -> CsrGraph {
+    assert!(spine >= 1);
+    let n = spine
+        .checked_mul(1 + tooth_len)
+        .expect("comb dimensions overflow");
+    let mut b = GraphBuilder::undirected(n);
+    for i in 0..spine - 1 {
+        b.edge(i, i + 1);
+    }
+    // teeth occupy ids spine..n, tooth j of spine vertex i hangs off i
+    let mut next = spine;
+    for i in 0..spine {
+        let mut prev = i;
+        for _ in 0..tooth_len {
+            b.edge(prev, next);
+            prev = next;
+            next += 1;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use db_graph::traversal::{bfs_levels, largest_component};
+
+    #[test]
+    fn full_grid_structure() {
+        let g = grid_road(4, 3, 1.0, 0, 1);
+        assert_eq!(g.num_vertices(), 12);
+        // 2*4*3 - 4 - 3 = 17 lattice edges
+        assert_eq!(g.num_edges(), 17);
+        // corner has degree 2, middle vertex degree 4
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(5), 4);
+    }
+
+    #[test]
+    fn keep_prob_thins_the_grid() {
+        let full = grid_road(50, 50, 1.0, 0, 7);
+        let thin = grid_road(50, 50, 0.7, 0, 7);
+        assert!(thin.num_edges() < full.num_edges());
+        assert!(thin.num_edges() > full.num_edges() / 2);
+    }
+
+    #[test]
+    fn grid_is_deterministic() {
+        assert_eq!(grid_road(20, 20, 0.9, 5, 3), grid_road(20, 20, 0.9, 5, 3));
+        assert_ne!(grid_road(20, 20, 0.9, 5, 3), grid_road(20, 20, 0.9, 5, 4));
+    }
+
+    #[test]
+    fn grid_has_large_diameter() {
+        let g = grid_road(64, 64, 1.0, 0, 1);
+        let (_, depth) = bfs_levels(&g, 0);
+        assert_eq!(depth as usize, 64 + 64 - 1); // Manhattan diameter + 1
+    }
+
+    #[test]
+    fn mostly_connected_at_high_keep_prob() {
+        let g = grid_road(40, 40, 0.95, 10, 5);
+        let (_, size) = largest_component(&g);
+        assert!(size > 1400, "giant component too small: {size}");
+    }
+
+    #[test]
+    fn long_path_is_a_path() {
+        let g = long_path(100);
+        assert_eq!(g.num_edges(), 99);
+        let (_, depth) = bfs_levels(&g, 0);
+        assert_eq!(depth, 100);
+    }
+
+    #[test]
+    fn kary_tree_shape() {
+        let g = kary_tree(2, 4); // 1+2+4+8 = 15 vertices
+        assert_eq!(g.num_vertices(), 15);
+        assert_eq!(g.num_edges(), 14);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(14), 1); // leaf
+    }
+
+    #[test]
+    fn unary_tree_is_path() {
+        let g = kary_tree(1, 5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn comb_shape() {
+        let g = comb(10, 3);
+        assert_eq!(g.num_vertices(), 40);
+        assert_eq!(g.num_edges(), 9 + 30);
+        let (_, depth) = bfs_levels(&g, 0);
+        assert_eq!(depth, 13); // spine 10 + tooth 3
+    }
+}

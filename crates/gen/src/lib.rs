@@ -1,0 +1,36 @@
+//! # db-gen — synthetic workload generators
+//!
+//! The paper evaluates on 234 SuiteSparse graphs from three collections
+//! (Table 3): **DIMACS10** (clustering, numerical simulation, road
+//! networks), **SNAP** (social, citation, web), and **LAW** (web crawls).
+//! Those graphs are not available offline, so this crate generates seeded
+//! synthetic graphs with the same *structural* character — the property
+//! that actually drives the paper's results (traversal depth, degree
+//! skew, branching factor):
+//!
+//! * [`grid`] — road-network analogues: sparse, near-planar, enormous
+//!   diameter (euro_osm needs 17,346 BFS levels in the paper).
+//! * [`mesh`] — Delaunay-like triangulated meshes and the bubble meshes
+//!   of `hugebubbles` (moderate degree, large diameter).
+//! * [`rgg`] — random geometric graphs (DIMACS10's `rgg_n_2_*` series).
+//! * [`rmat`] — Kronecker/R-MAT power-law graphs: social networks and web
+//!   crawls (SNAP's `wiki`, LAW's `ljournal`/`hollywood`): tiny diameter,
+//!   heavy-tailed degrees.
+//! * [`pref`] — preferential-attachment graphs (SNAP's `amazon`,
+//!   `google`, DIMACS10's `citation`).
+//! * [`suite`] — the registry mapping the paper's Table 4 representative
+//!   graphs (and the broader three-family benchmark sweep) to scaled
+//!   analogues, used by every figure harness in `db-bench`.
+//!
+//! All generators take an explicit `seed` and are fully deterministic.
+
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod mesh;
+pub mod pref;
+pub mod rgg;
+pub mod rmat;
+pub mod suite;
+
+pub use suite::{GraphFamily, GraphSpec, Suite};

@@ -1,0 +1,135 @@
+//! Mesh analogues: Delaunay-like triangulations and bubble meshes.
+//!
+//! DIMACS10's `delaunay_n24` and `hugebubbles` are numerical-simulation
+//! meshes: bounded degree (~6 for Delaunay), planar-ish, diameter
+//! O(√n) — deep enough that the paper's DFS beats BFS on them (Fig. 6).
+//!
+//! A true Delaunay triangulation is overkill for traversal structure; we
+//! triangulate a jittered lattice (every quad gets a random diagonal),
+//! which matches Delaunay's degree distribution (4–8) and diameter class.
+//! Bubble meshes are modeled as rings ("bubbles") stitched along a long
+//! chain with occasional cross-links, matching `hugebubbles`' extremely
+//! deep, locally-cyclic structure.
+
+use db_graph::{CsrGraph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Triangulated lattice: `width × height` grid where every unit square is
+/// split by one randomly chosen diagonal. Degree 4–8, diameter O(w + h) —
+/// the Delaunay-mesh analogue.
+pub fn delaunay_mesh(width: u32, height: u32, seed: u64) -> CsrGraph {
+    assert!(width >= 2 && height >= 2, "mesh needs at least 2x2 vertices");
+    let n = width.checked_mul(height).expect("mesh dimensions overflow");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::undirected(n);
+    b.reserve(3 * n as usize);
+    let id = |x: u32, y: u32| y * width + x;
+    for y in 0..height {
+        for x in 0..width {
+            if x + 1 < width {
+                b.edge(id(x, y), id(x + 1, y));
+            }
+            if y + 1 < height {
+                b.edge(id(x, y), id(x, y + 1));
+            }
+            if x + 1 < width && y + 1 < height {
+                if rng.gen_bool(0.5) {
+                    b.edge(id(x, y), id(x + 1, y + 1));
+                } else {
+                    b.edge(id(x + 1, y), id(x, y + 1));
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Bubble mesh: `bubbles` rings of `bubble_size` vertices each, stitched
+/// into a chain (each bubble shares a junction edge with the next), with
+/// `cross_links` extra random intra-chain links. Mirrors `hugebubbles`'
+/// chained-cavity structure: locally cyclic, globally path-like, so both
+/// DFS depth and BFS level count are enormous.
+pub fn bubbles(bubbles: u32, bubble_size: u32, cross_links: u32, seed: u64) -> CsrGraph {
+    assert!(bubbles >= 1 && bubble_size >= 3, "need >=1 bubble of >=3 vertices");
+    let n = bubbles.checked_mul(bubble_size).expect("bubble dimensions overflow");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::undirected(n);
+    b.reserve(n as usize + cross_links as usize);
+    for i in 0..bubbles {
+        let base = i * bubble_size;
+        for j in 0..bubble_size {
+            b.edge(base + j, base + (j + 1) % bubble_size);
+        }
+        if i + 1 < bubbles {
+            // junction: connect the "far side" of this bubble to the next
+            b.edge(base + bubble_size / 2, base + bubble_size);
+        }
+    }
+    for _ in 0..cross_links {
+        // Links stay local (within a window of 3 bubbles) so the global
+        // path-like structure — the property that starves BFS — survives.
+        let bi = rng.gen_range(0..bubbles);
+        let bj = (bi + rng.gen_range(0..3).min(bubbles - 1 - bi)).min(bubbles - 1);
+        let u = bi * bubble_size + rng.gen_range(0..bubble_size);
+        let v = bj * bubble_size + rng.gen_range(0..bubble_size);
+        if u != v {
+            b.edge(u, v);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use db_graph::traversal::{bfs_levels, largest_component};
+
+    #[test]
+    fn delaunay_is_connected_with_bounded_degree() {
+        let g = delaunay_mesh(30, 30, 11);
+        let (_, size) = largest_component(&g);
+        assert_eq!(size, 900);
+        assert!(g.max_degree() <= 8, "max degree {} too high", g.max_degree());
+        // avg degree close to 6 for interior-dominated meshes
+        let avg = g.num_arcs() as f64 / g.num_vertices() as f64;
+        assert!((4.0..7.0).contains(&avg), "avg degree {avg}");
+    }
+
+    #[test]
+    fn delaunay_deterministic() {
+        assert_eq!(delaunay_mesh(10, 10, 5), delaunay_mesh(10, 10, 5));
+        assert_ne!(delaunay_mesh(10, 10, 5), delaunay_mesh(10, 10, 6));
+    }
+
+    #[test]
+    fn delaunay_diameter_is_lattice_like() {
+        let g = delaunay_mesh(40, 40, 2);
+        let (_, depth) = bfs_levels(&g, 0);
+        assert!((40..=80).contains(&depth), "depth {depth}");
+    }
+
+    #[test]
+    fn bubbles_connected_and_deep() {
+        let g = bubbles(50, 12, 20, 3);
+        assert_eq!(g.num_vertices(), 600);
+        let (_, size) = largest_component(&g);
+        assert_eq!(size, 600);
+        let (_, depth) = bfs_levels(&g, 0);
+        // chain of 50 bubbles, each needing ~size/2 levels to cross
+        assert!(depth > 100, "bubbles should be deep, got {depth} levels");
+    }
+
+    #[test]
+    fn bubbles_deterministic() {
+        assert_eq!(bubbles(10, 8, 5, 9), bubbles(10, 8, 5, 9));
+    }
+
+    #[test]
+    fn single_bubble_is_a_cycle() {
+        let g = bubbles(1, 6, 0, 0);
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 6);
+        assert!((0..6).all(|v| g.degree(v) == 2));
+    }
+}

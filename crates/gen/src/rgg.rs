@@ -1,0 +1,121 @@
+//! Random geometric graphs (DIMACS10's `rgg_n_2_*` series).
+//!
+//! `n` points uniform in the unit square, an edge between every pair at
+//! distance ≤ `radius`. Built with a cell grid so generation is O(n)
+//! for the connectivity-threshold radii used in DIMACS10
+//! (`r ≈ c·sqrt(ln n / n)`).
+
+use db_graph::{CsrGraph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random geometric graph with `n` vertices and connection
+/// radius `radius`.
+pub fn rgg(n: u32, radius: f64, seed: u64) -> CsrGraph {
+    assert!(n >= 1);
+    assert!(radius > 0.0 && radius <= 1.0, "radius must be in (0,1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+
+    // Cell grid with cell side >= radius: candidates live in the 3x3
+    // neighborhood of a point's cell.
+    let cells_per_side = ((1.0 / radius).floor() as usize).clamp(1, 4096);
+    let cell_of = |x: f64, y: f64| -> (usize, usize) {
+        let cx = ((x * cells_per_side as f64) as usize).min(cells_per_side - 1);
+        let cy = ((y * cells_per_side as f64) as usize).min(cells_per_side - 1);
+        (cx, cy)
+    };
+    let mut grid: Vec<Vec<u32>> = vec![Vec::new(); cells_per_side * cells_per_side];
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        let (cx, cy) = cell_of(x, y);
+        grid[cy * cells_per_side + cx].push(i as u32);
+    }
+
+    let r2 = radius * radius;
+    let mut b = GraphBuilder::undirected(n);
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        let (cx, cy) = cell_of(x, y);
+        let x0 = cx.saturating_sub(1);
+        let y0 = cy.saturating_sub(1);
+        let x1 = (cx + 1).min(cells_per_side - 1);
+        let y1 = (cy + 1).min(cells_per_side - 1);
+        for gy in y0..=y1 {
+            for gx in x0..=x1 {
+                for &j in &grid[gy * cells_per_side + gx] {
+                    if (j as usize) <= i {
+                        continue;
+                    }
+                    let (xj, yj) = pts[j as usize];
+                    let dx = x - xj;
+                    let dy = y - yj;
+                    if dx * dx + dy * dy <= r2 {
+                        b.edge(i as u32, j);
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Radius at the connectivity threshold for `n` points:
+/// `c * sqrt(ln n / n)` with `c = 1.2`, the regime DIMACS10 uses.
+pub fn threshold_radius(n: u32) -> f64 {
+    let n = n.max(2) as f64;
+    1.2 * (n.ln() / n).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use db_graph::traversal::largest_component;
+
+    #[test]
+    fn rgg_deterministic() {
+        assert_eq!(rgg(500, 0.06, 1), rgg(500, 0.06, 1));
+        assert_ne!(rgg(500, 0.06, 1), rgg(500, 0.06, 2));
+    }
+
+    #[test]
+    fn rgg_at_threshold_is_mostly_connected() {
+        let n = 2000;
+        let g = rgg(n, threshold_radius(n), 42);
+        let (_, size) = largest_component(&g);
+        assert!(size as f64 > 0.95 * n as f64, "giant component {size}/{n}");
+    }
+
+    #[test]
+    fn rgg_edges_respect_radius() {
+        // Brute-force check on a small instance: every edge pair distance
+        // <= r. (Point positions are re-derived by re-seeding.)
+        let n = 200u32;
+        let r = 0.15;
+        let g = rgg(n, r, 7);
+        let mut rng = StdRng::seed_from_u64(7);
+        let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        for (u, v) in g.arcs() {
+            let (x1, y1) = pts[u as usize];
+            let (x2, y2) = pts[v as usize];
+            let d2 = (x1 - x2).powi(2) + (y1 - y2).powi(2);
+            assert!(d2 <= r * r + 1e-12, "edge ({u},{v}) too long: {d2}");
+        }
+        // And completeness: count brute-force pairs == edge count.
+        let mut expect = 0;
+        for i in 0..n as usize {
+            for j in i + 1..n as usize {
+                let d2 = (pts[i].0 - pts[j].0).powi(2) + (pts[i].1 - pts[j].1).powi(2);
+                if d2 <= r * r {
+                    expect += 1;
+                }
+            }
+        }
+        assert_eq!(g.num_edges(), expect);
+    }
+
+    #[test]
+    fn tiny_rgg() {
+        let g = rgg(1, 0.5, 0);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,427 @@
+//! Benchmark-suite registry.
+//!
+//! Maps the paper's datasets to scaled synthetic analogues:
+//!
+//! * [`Suite::representative12`] — Table 4's 12 representative graphs
+//!   (Fig. 6).
+//! * [`Suite::representative6`] — the 6 graphs used for Figs. 8, 9, 10
+//!   (`euro_osm`, `delaunay`, `hugebubbles`, `amazon`, `google`,
+//!   `ljournal`).
+//! * [`Suite::full`] — the broad three-family sweep standing in for the
+//!   234-graph SuiteSparse run of Figs. 5 and 7.
+//!
+//! Every spec is deterministic (fixed seed derived from its name) and
+//! scaled to laptop size; DESIGN.md §1 documents the substitution.
+
+use crate::{grid, mesh, pref, rgg, rmat};
+use db_graph::CsrGraph;
+
+/// The paper's three graph collections (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphFamily {
+    /// DIMACS10: clustering, numerical simulation, road networks.
+    Dimacs10,
+    /// SNAP: social, citation, and web graphs.
+    Snap,
+    /// LAW: large web crawls.
+    Law,
+}
+
+impl std::fmt::Display for GraphFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphFamily::Dimacs10 => write!(f, "DIMACS10"),
+            GraphFamily::Snap => write!(f, "SNAP"),
+            GraphFamily::Law => write!(f, "LAW"),
+        }
+    }
+}
+
+/// Parameterized generator recipe (kept as data so specs are `'static`).
+#[derive(Debug, Clone, Copy)]
+pub enum Recipe {
+    /// `grid::grid_road(width, height, keep_prob, highways, seed)`
+    GridRoad {
+        /// lattice width
+        width: u32,
+        /// lattice height
+        height: u32,
+        /// per-edge keep probability
+        keep_prob: f64,
+        /// number of long-range shortcuts
+        highways: u32,
+    },
+    /// `mesh::delaunay_mesh(width, height, seed)`
+    Delaunay {
+        /// lattice width
+        width: u32,
+        /// lattice height
+        height: u32,
+    },
+    /// `mesh::bubbles(bubbles, bubble_size, cross_links, seed)`
+    Bubbles {
+        /// number of chained bubbles
+        bubbles: u32,
+        /// vertices per bubble
+        bubble_size: u32,
+        /// extra local links
+        cross_links: u32,
+    },
+    /// `rgg::rgg(n, radius_scale * threshold, seed)`
+    Rgg {
+        /// vertex count
+        n: u32,
+        /// multiple of the connectivity-threshold radius
+        radius_scale: f64,
+    },
+    /// `rmat::rmat(scale, edge_factor, default params, seed)`
+    Rmat {
+        /// log2 of the vertex count
+        scale: u32,
+        /// sampled edges per vertex
+        edge_factor: u32,
+    },
+    /// `grid::kary_tree(k, depth)` — shallow hierarchical graphs
+    /// (directory trees, shallow web hierarchies).
+    Tree {
+        /// branching factor
+        k: u32,
+        /// number of levels
+        depth: u32,
+    },
+    /// `grid::comb(spine, tooth_len)` — caterpillar trees: a long spine
+    /// with long teeth. Deep enough that work stealing engages, yet
+    /// tree-structured so path-label methods stay within budget.
+    Comb {
+        /// spine length
+        spine: u32,
+        /// vertices per tooth
+        tooth: u32,
+    },
+    /// `pref::pref_attach(n, edges_per_vertex, locality, seed)`
+    Pref {
+        /// vertex count
+        n: u32,
+        /// arcs per arriving vertex
+        epv: u32,
+        /// recency-attachment probability
+        locality: f64,
+    },
+}
+
+/// A named benchmark graph: recipe + provenance.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphSpec {
+    /// Short name used in figures and CSV output.
+    pub name: &'static str,
+    /// Which paper collection this graph stands in for.
+    pub family: GraphFamily,
+    /// The SuiteSparse graph it is an analogue of, if any.
+    pub paper_analogue: Option<&'static str>,
+    /// Generator recipe.
+    pub recipe: Recipe,
+}
+
+impl GraphSpec {
+    /// Deterministic seed derived from the graph name (FNV-1a).
+    pub fn seed(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    /// Materializes the graph.
+    pub fn build(&self) -> CsrGraph {
+        let seed = self.seed();
+        match self.recipe {
+            Recipe::GridRoad { width, height, keep_prob, highways } => {
+                grid::grid_road(width, height, keep_prob, highways, seed)
+            }
+            Recipe::Delaunay { width, height } => mesh::delaunay_mesh(width, height, seed),
+            Recipe::Bubbles { bubbles, bubble_size, cross_links } => {
+                mesh::bubbles(bubbles, bubble_size, cross_links, seed)
+            }
+            Recipe::Rgg { n, radius_scale } => {
+                rgg::rgg(n, rgg::threshold_radius(n) * radius_scale, seed)
+            }
+            Recipe::Rmat { scale, edge_factor } => {
+                rmat::rmat(scale, edge_factor, rmat::RmatParams::default(), seed)
+            }
+            Recipe::Tree { k, depth } => grid::kary_tree(k, depth),
+            Recipe::Comb { spine, tooth } => grid::comb(spine, tooth),
+            Recipe::Pref { n, epv, locality } => pref::pref_attach(n, epv, locality, seed),
+        }
+    }
+}
+
+/// Static registry of benchmark suites.
+pub struct Suite;
+
+impl Suite {
+    /// Table 4's 12 representative graphs as scaled analogues.
+    pub fn representative12() -> &'static [GraphSpec] {
+        REPRESENTATIVE12
+    }
+
+    /// The 6 graphs used in Figs. 8–10.
+    pub fn representative6() -> Vec<GraphSpec> {
+        const SIX: [&str; 6] =
+            ["euro_osm", "delaunay", "hugebubbles", "amazon", "google", "ljournal"];
+        REPRESENTATIVE12
+            .iter()
+            .filter(|s| SIX.contains(&s.name))
+            .copied()
+            .collect()
+    }
+
+    /// The broad sweep standing in for the 234-graph run (Figs. 5 and 7):
+    /// the 12 representative graphs plus size ladders per family.
+    pub fn full() -> Vec<GraphSpec> {
+        let mut v: Vec<GraphSpec> = REPRESENTATIVE12.to_vec();
+        v.extend_from_slice(SWEEP);
+        v
+    }
+
+    /// Looks a spec up by name across all suites.
+    pub fn by_name(name: &str) -> Option<GraphSpec> {
+        Self::full().into_iter().find(|s| s.name == name)
+    }
+}
+
+/// Scaled analogues of Table 4. Original sizes are noted per entry; the
+/// scale-down factor is ~10–60× on vertices — large enough to keep the
+/// paper's parameters (hot_size 128, cutoffs 32/64) in their intended
+/// regime, small enough that the whole evaluation runs in minutes.
+static REPRESENTATIVE12: &[GraphSpec] = &[
+    // euro_osm: 50.9M V / 108.1M E road network, 17,346 BFS levels.
+    GraphSpec {
+        name: "euro_osm",
+        family: GraphFamily::Dimacs10,
+        paper_analogue: Some("europe_osm"),
+        recipe: Recipe::GridRoad { width: 2000, height: 2000, keep_prob: 0.88, highways: 0 },
+    },
+    // delaunay: 16.8M V / 100.7M E triangulation.
+    GraphSpec {
+        name: "delaunay",
+        family: GraphFamily::Dimacs10,
+        paper_analogue: Some("delaunay_n24"),
+        recipe: Recipe::Delaunay { width: 1400, height: 1400 },
+    },
+    // rgg: 16.8M V / 265.1M E random geometric graph.
+    GraphSpec {
+        name: "rgg",
+        family: GraphFamily::Dimacs10,
+        paper_analogue: Some("rgg_n_2_24_s0"),
+        recipe: Recipe::Rgg { n: 400_000, radius_scale: 0.72 },
+    },
+    // hugebubbles: 21.2M V / 63.6M E adaptive 2-D frame mesh with
+    // bubble-shaped cavities: very sparse (avg degree 3), huge diameter.
+    GraphSpec {
+        name: "hugebubbles",
+        family: GraphFamily::Dimacs10,
+        paper_analogue: Some("hugebubbles-00020"),
+        recipe: Recipe::GridRoad { width: 1250, height: 1250, keep_prob: 0.77, highways: 0 },
+    },
+    // auto: 0.4M V / 6.6M E 3-D mesh partitioning graph — dense (avg
+    // degree ~33) and comparatively shallow, the one mesh where BFS wins
+    // in Fig. 6.
+    GraphSpec {
+        name: "auto",
+        family: GraphFamily::Dimacs10,
+        paper_analogue: Some("auto"),
+        recipe: Recipe::Rgg { n: 250_000, radius_scale: 0.77 },
+    },
+    // citation: 0.3M V / 2.3M E citation network.
+    GraphSpec {
+        name: "citation",
+        family: GraphFamily::Dimacs10,
+        paper_analogue: Some("citationCiteseer"),
+        recipe: Recipe::Pref { n: 150_000, epv: 7, locality: 0.5 },
+    },
+    // il2010: 0.5M V / 2.2M E census-block road-ish network.
+    GraphSpec {
+        name: "il2010",
+        family: GraphFamily::Dimacs10,
+        paper_analogue: Some("il2010"),
+        recipe: Recipe::GridRoad { width: 450, height: 450, keep_prob: 0.92, highways: 16 },
+    },
+    // amazon: 0.3M V / 1.2M E co-purchase.
+    GraphSpec {
+        name: "amazon",
+        family: GraphFamily::Snap,
+        paper_analogue: Some("amazon0601"),
+        recipe: Recipe::Pref { n: 200_000, epv: 4, locality: 0.88 },
+    },
+    // google: 0.9M V / 5.1M E web graph.
+    GraphSpec {
+        name: "google",
+        family: GraphFamily::Snap,
+        paper_analogue: Some("web-Google"),
+        recipe: Recipe::Pref { n: 300_000, epv: 6, locality: 0.4 },
+    },
+    // wiki: 1.8M V / 28.6M E hyperlink graph.
+    GraphSpec {
+        name: "wiki",
+        family: GraphFamily::Snap,
+        paper_analogue: Some("wiki-Talk"),
+        recipe: Recipe::Rmat { scale: 18, edge_factor: 12 },
+    },
+    // ljournal: 5.4M V / 79.0M E social network.
+    GraphSpec {
+        name: "ljournal",
+        family: GraphFamily::Law,
+        paper_analogue: Some("ljournal-2008"),
+        recipe: Recipe::Rmat { scale: 19, edge_factor: 10 },
+    },
+    // hollywood: 1.1M V / 113.9M E dense collaboration network.
+    GraphSpec {
+        name: "hollywood",
+        family: GraphFamily::Law,
+        paper_analogue: Some("hollywood-2009"),
+        recipe: Recipe::Rmat { scale: 17, edge_factor: 36 },
+    },
+];
+
+/// Size ladders per family for the Fig. 5 / Fig. 7 sweep.
+static SWEEP: &[GraphSpec] = &[
+    // --- DIMACS10: roads ---
+    GraphSpec { name: "road_s", family: GraphFamily::Dimacs10, paper_analogue: None,
+        recipe: Recipe::GridRoad { width: 192, height: 192, keep_prob: 0.9, highways: 2 } },
+    GraphSpec { name: "road_m", family: GraphFamily::Dimacs10, paper_analogue: None,
+        recipe: Recipe::GridRoad { width: 384, height: 384, keep_prob: 0.9, highways: 3 } },
+    GraphSpec { name: "road_l", family: GraphFamily::Dimacs10, paper_analogue: None,
+        recipe: Recipe::GridRoad { width: 768, height: 768, keep_prob: 0.9, highways: 4 } },
+    GraphSpec { name: "road_xl", family: GraphFamily::Dimacs10, paper_analogue: None,
+        recipe: Recipe::GridRoad { width: 1400, height: 1400, keep_prob: 0.9, highways: 6 } },
+    // --- DIMACS10: meshes ---
+    GraphSpec { name: "mesh_s", family: GraphFamily::Dimacs10, paper_analogue: None,
+        recipe: Recipe::Delaunay { width: 150, height: 150 } },
+    GraphSpec { name: "mesh_m", family: GraphFamily::Dimacs10, paper_analogue: None,
+        recipe: Recipe::Delaunay { width: 320, height: 320 } },
+    GraphSpec { name: "mesh_l", family: GraphFamily::Dimacs10, paper_analogue: None,
+        recipe: Recipe::Delaunay { width: 640, height: 640 } },
+    GraphSpec { name: "mesh_xl", family: GraphFamily::Dimacs10, paper_analogue: None,
+        recipe: Recipe::Delaunay { width: 1000, height: 1000 } },
+    // --- DIMACS10: bubbles ---
+    GraphSpec { name: "bubbles_s", family: GraphFamily::Dimacs10, paper_analogue: None,
+        recipe: Recipe::Bubbles { bubbles: 600, bubble_size: 20, cross_links: 300 } },
+    GraphSpec { name: "bubbles_m", family: GraphFamily::Dimacs10, paper_analogue: None,
+        recipe: Recipe::Bubbles { bubbles: 600, bubble_size: 20, cross_links: 300 } },
+    GraphSpec { name: "bubbles_l", family: GraphFamily::Dimacs10, paper_analogue: None,
+        recipe: Recipe::Bubbles { bubbles: 4000, bubble_size: 25, cross_links: 2000 } },
+    // --- DIMACS10: rgg ---
+    GraphSpec { name: "rgg_s", family: GraphFamily::Dimacs10, paper_analogue: None,
+        recipe: Recipe::Rgg { n: 30_000, radius_scale: 0.85 } },
+    GraphSpec { name: "rgg_m", family: GraphFamily::Dimacs10, paper_analogue: None,
+        recipe: Recipe::Rgg { n: 120_000, radius_scale: 0.78 } },
+    GraphSpec { name: "rgg_l", family: GraphFamily::Dimacs10, paper_analogue: None,
+        recipe: Recipe::Rgg { n: 300_000, radius_scale: 0.74 } },
+    // --- SNAP: social / web ---
+    GraphSpec { name: "social_s", family: GraphFamily::Snap, paper_analogue: None,
+        recipe: Recipe::Rmat { scale: 14, edge_factor: 10 } },
+    GraphSpec { name: "social_m", family: GraphFamily::Snap, paper_analogue: None,
+        recipe: Recipe::Rmat { scale: 16, edge_factor: 12 } },
+    GraphSpec { name: "social_l", family: GraphFamily::Snap, paper_analogue: None,
+        recipe: Recipe::Rmat { scale: 18, edge_factor: 12 } },
+    GraphSpec { name: "copurchase_s", family: GraphFamily::Snap, paper_analogue: None,
+        recipe: Recipe::Pref { n: 40_000, epv: 4, locality: 0.6 } },
+    GraphSpec { name: "copurchase_m", family: GraphFamily::Snap, paper_analogue: None,
+        recipe: Recipe::Pref { n: 120_000, epv: 5, locality: 0.55 } },
+    GraphSpec { name: "web_m", family: GraphFamily::Snap, paper_analogue: None,
+        recipe: Recipe::Pref { n: 200_000, epv: 8, locality: 0.35 } },
+    // Hierarchies. Tree-structured graphs are the one class where
+    // ordered path-label methods (NVG-DFS) stay within budget. The
+    // bushy `hier_flat` tree is also a stress case for DiggerBees
+    // itself: its DFS stack never reaches hot_cutoff, so stealing
+    // cannot engage (documented in EXPERIMENTS.md). The caterpillar
+    // `hier_*` combs are deep enough for hierarchical stealing.
+    GraphSpec { name: "hier_flat", family: GraphFamily::Snap, paper_analogue: None,
+        recipe: Recipe::Tree { k: 4, depth: 9 } },
+    GraphSpec { name: "hier_s", family: GraphFamily::Snap, paper_analogue: None,
+        recipe: Recipe::Comb { spine: 120, tooth: 150 } },
+    GraphSpec { name: "hier_m", family: GraphFamily::Snap, paper_analogue: None,
+        recipe: Recipe::Comb { spine: 200, tooth: 300 } },
+    GraphSpec { name: "hier_l", family: GraphFamily::Snap, paper_analogue: None,
+        recipe: Recipe::Comb { spine: 280, tooth: 450 } },
+    // --- LAW: crawls ---
+    GraphSpec { name: "crawl_s", family: GraphFamily::Law, paper_analogue: None,
+        recipe: Recipe::Rmat { scale: 14, edge_factor: 24 } },
+    GraphSpec { name: "crawl_m", family: GraphFamily::Law, paper_analogue: None,
+        recipe: Recipe::Rmat { scale: 16, edge_factor: 28 } },
+    GraphSpec { name: "crawl_l", family: GraphFamily::Law, paper_analogue: None,
+        recipe: Recipe::Rmat { scale: 18, edge_factor: 24 } },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use db_graph::traversal::bfs_levels;
+
+    #[test]
+    fn twelve_representative_graphs() {
+        assert_eq!(Suite::representative12().len(), 12);
+        let names: Vec<_> = Suite::representative12().iter().map(|s| s.name).collect();
+        for expect in
+            ["euro_osm", "delaunay", "rgg", "hugebubbles", "auto", "citation", "il2010",
+             "amazon", "google", "wiki", "ljournal", "hollywood"]
+        {
+            assert!(names.contains(&expect), "missing {expect}");
+        }
+    }
+
+    #[test]
+    fn six_subset_matches_figure8() {
+        let six = Suite::representative6();
+        assert_eq!(six.len(), 6);
+    }
+
+    #[test]
+    fn names_are_unique_across_full_suite() {
+        let mut names: Vec<_> = Suite::full().iter().map(|s| s.name).collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total);
+        assert!(total >= 30, "full suite should be broad, got {total}");
+    }
+
+    #[test]
+    fn seeds_differ_per_name() {
+        let specs = Suite::full();
+        let mut seeds: Vec<_> = specs.iter().map(|s| s.seed()).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), specs.len());
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert!(Suite::by_name("euro_osm").is_some());
+        assert!(Suite::by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn small_specs_build() {
+        for name in ["road_s", "mesh_s", "bubbles_s", "rgg_s", "social_s", "copurchase_s"] {
+            let g = Suite::by_name(name).unwrap().build();
+            assert!(g.num_vertices() > 0, "{name} is empty");
+            assert!(g.num_edges() > 0, "{name} has no edges");
+        }
+    }
+
+    #[test]
+    fn road_analogue_is_deep_and_social_is_shallow() {
+        let road = Suite::by_name("road_s").unwrap().build();
+        let (_, road_depth) = bfs_levels(&road, 0);
+        let social = Suite::by_name("social_s").unwrap().build();
+        let hub = (0..social.num_vertices() as u32).max_by_key(|&v| social.degree(v)).unwrap();
+        let (_, social_depth) = bfs_levels(&social, hub);
+        assert!(
+            road_depth > 8 * social_depth,
+            "road {road_depth} levels vs social {social_depth} — depth contrast lost"
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the workload generators: structural invariants of
+//! each family hold across the parameter space.
+
+use db_gen::{grid, mesh, pref, rgg, rmat};
+use db_graph::traversal::{bfs_levels, largest_component};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn grid_road_structure(w in 3u32..40, h in 3u32..40, keep in 0.5f64..1.0, seed in 0u64..100) {
+        let g = grid::grid_road(w, h, keep, 0, seed);
+        prop_assert_eq!(g.num_vertices(), (w * h) as usize);
+        // Lattice degree bound.
+        prop_assert!(g.max_degree() <= 4);
+        // Edge count bounded by the full lattice.
+        let full = (w * (h - 1) + h * (w - 1)) as usize;
+        prop_assert!(g.num_edges() <= full);
+    }
+
+    #[test]
+    fn delaunay_structure(w in 2u32..30, h in 2u32..30, seed in 0u64..100) {
+        let g = mesh::delaunay_mesh(w, h, seed);
+        prop_assert_eq!(g.num_vertices(), (w * h) as usize);
+        prop_assert!(g.max_degree() <= 8, "triangulated lattice degree bound");
+        // Exactly lattice edges + one diagonal per cell.
+        let expect = (w * (h - 1) + h * (w - 1) + (w - 1) * (h - 1)) as usize;
+        prop_assert_eq!(g.num_edges(), expect);
+        let (_, size) = largest_component(&g);
+        prop_assert_eq!(size, g.num_vertices(), "meshes are connected");
+    }
+
+    #[test]
+    fn bubbles_structure(nb in 1u32..30, size in 3u32..20, links in 0u32..50, seed in 0u64..100) {
+        let g = mesh::bubbles(nb, size, links, seed);
+        prop_assert_eq!(g.num_vertices(), (nb * size) as usize);
+        // Ring + junction edges at minimum.
+        prop_assert!(g.num_edges() >= (nb * size + nb - 1) as usize - 1);
+        let (_, comp) = largest_component(&g);
+        prop_assert_eq!(comp, g.num_vertices(), "bubble chains are connected");
+    }
+
+    #[test]
+    fn rmat_structure(scale in 4u32..12, ef in 1u32..12, seed in 0u64..100) {
+        let g = rmat::rmat(scale, ef, rmat::RmatParams::default(), seed);
+        prop_assert_eq!(g.num_vertices(), 1usize << scale);
+        prop_assert!(g.num_edges() <= (ef as usize) << scale);
+        // No self loops (filtered by the generator).
+        for u in 0..g.num_vertices() as u32 {
+            prop_assert!(!g.has_arc(u, u));
+        }
+    }
+
+    #[test]
+    fn pref_attach_structure(n in 3u32..800, epv in 1u32..5, loc in 0.0f64..1.0, seed in 0u64..100) {
+        let g = pref::pref_attach(n, epv, loc, seed);
+        prop_assert_eq!(g.num_vertices(), n as usize);
+        let (_, size) = largest_component(&g);
+        prop_assert_eq!(size, n as usize, "BA graphs are connected");
+        prop_assert!(g.num_edges() <= (epv as usize) * (n as usize));
+    }
+
+    #[test]
+    fn citation_dag_is_topologically_ordered(n in 3u32..400, epv in 1u32..4, seed in 0u64..50) {
+        let g = pref::citation_dag(n, epv, seed);
+        for (u, v) in g.arcs() {
+            prop_assert!(u > v, "citation arcs must point backwards in time");
+        }
+    }
+
+    #[test]
+    fn rgg_structure(n in 10u32..400, seed in 0u64..50) {
+        let r = rgg::threshold_radius(n);
+        let g = rgg::rgg(n, r, seed);
+        prop_assert_eq!(g.num_vertices(), n as usize);
+        for u in 0..n {
+            prop_assert!(!g.has_arc(u, u));
+        }
+    }
+
+    #[test]
+    fn kary_tree_is_a_tree(k in 1u32..6, depth in 1u32..8) {
+        let g = grid::kary_tree(k, depth);
+        let n = g.num_vertices();
+        prop_assert_eq!(g.num_edges(), n - 1);
+        let (_, size) = largest_component(&g);
+        prop_assert_eq!(size, n);
+        let (_, levels) = bfs_levels(&g, 0);
+        prop_assert_eq!(levels as u64, depth as u64);
+    }
+}

@@ -1,0 +1,99 @@
+//! Work-depth cost model for level-synchronous GPU kernels.
+//!
+//! Gunrock/BerryBees BFS and the BFS-style phases of NVG-DFS launch one
+//! (or a few) kernels per frontier level and synchronize the device in
+//! between. Their cost per level is therefore
+//!
+//! ```text
+//! launch + memory latency + level_work / device_throughput
+//! ```
+//!
+//! Large frontiers amortize the fixed part (social networks: 10 levels,
+//! BFS wins); deep graphs pay it tens of thousands of times (euro_osm:
+//! 17,346 levels in the paper, BFS loses by 12× — §4.3). The model takes
+//! the *actual* per-level work of the algorithm being simulated, so the
+//! crossover emerges from graph structure.
+
+use crate::machine::MachineModel;
+
+/// Work performed by one synchronous level/phase of an algorithm.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LevelWork {
+    /// Frontier size (vertices expanded this level).
+    pub frontier_vertices: u64,
+    /// Adjacency entries scanned this level.
+    pub scanned_edges: u64,
+}
+
+/// Simulated cycles for one level.
+pub fn level_cycles(m: &MachineModel, w: &LevelWork) -> u64 {
+    let c = &m.costs;
+    let fixed = c.kernel_launch + c.gmem_latency;
+    // Vertex-side bookkeeping streams at the same throughput class as
+    // edges but touches ~2 words per vertex.
+    let stream_work =
+        (w.scanned_edges as f64 + 2.0 * w.frontier_vertices as f64) / c.stream_edges_per_cycle;
+    fixed + stream_work.ceil() as u64
+}
+
+/// Simulated cycles for a whole level-synchronous execution.
+pub fn total_cycles(m: &MachineModel, levels: &[LevelWork]) -> u64 {
+    levels.iter().map(|w| level_cycles(m, w)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges_only(e: u64) -> LevelWork {
+        LevelWork { frontier_vertices: 0, scanned_edges: e }
+    }
+
+    #[test]
+    fn fixed_cost_dominates_empty_levels() {
+        let m = MachineModel::h100();
+        let c = level_cycles(&m, &edges_only(0));
+        assert_eq!(c, m.costs.kernel_launch + m.costs.gmem_latency);
+    }
+
+    #[test]
+    fn throughput_dominates_big_levels() {
+        let m = MachineModel::h100();
+        let big = level_cycles(&m, &edges_only(100_000_000));
+        let expect = (100_000_000.0 / m.costs.stream_edges_per_cycle) as u64;
+        assert!(big > expect && big < expect + 20_000);
+    }
+
+    #[test]
+    fn many_shallow_levels_cost_more_than_one_deep() {
+        let m = MachineModel::h100();
+        let total_edges = 1_000_000u64;
+        let deep: Vec<LevelWork> = (0..10_000).map(|_| edges_only(total_edges / 10_000)).collect();
+        let shallow = [edges_only(total_edges)];
+        assert!(
+            total_cycles(&m, &deep) > 20 * total_cycles(&m, &shallow),
+            "level-sync overhead must punish deep traversals"
+        );
+    }
+
+    #[test]
+    fn h100_streams_faster_than_a100() {
+        // In *seconds*: the A100 runs at a lower clock, so its per-cycle
+        // stream rate is higher while its wall-clock throughput is lower.
+        let a = MachineModel::a100();
+        let h = MachineModel::h100();
+        let w = [edges_only(50_000_000)];
+        let a_s = a.cycles_to_seconds(total_cycles(&a, &w));
+        let h_s = h.cycles_to_seconds(total_cycles(&h, &w));
+        assert!(h_s < a_s, "H100 {h_s} should beat A100 {a_s}");
+    }
+
+    #[test]
+    fn vertices_contribute() {
+        let m = MachineModel::h100();
+        let no_v = level_cycles(&m, &edges_only(1000));
+        let with_v =
+            level_cycles(&m, &LevelWork { frontier_vertices: 100_000, scanned_edges: 1000 });
+        assert!(with_v > no_v);
+    }
+}

@@ -1,0 +1,226 @@
+//! Compressed-sparse-row graph representation.
+//!
+//! The layout mirrors the paper's Algorithm 1: `row_ptr` (length `n + 1`,
+//! 64-bit to support multi-billion-edge graphs) and `column_idx` (one
+//! 32-bit vertex id per stored arc). Undirected graphs store each edge in
+//! both directions, which is what DFS/BFS engines traverse.
+
+use crate::VertexId;
+
+/// An immutable CSR graph.
+///
+/// Construct via [`crate::GraphBuilder`] or [`CsrGraph::from_sorted_parts`].
+#[derive(Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    n: u32,
+    row_ptr: Vec<u64>,
+    col_idx: Vec<u32>,
+    directed: bool,
+}
+
+impl std::fmt::Debug for CsrGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CsrGraph")
+            .field("n", &self.n)
+            .field("arcs", &self.col_idx.len())
+            .field("directed", &self.directed)
+            .finish()
+    }
+}
+
+impl CsrGraph {
+    /// Builds a graph directly from pre-validated CSR arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays are inconsistent: `row_ptr` must have length
+    /// `n + 1`, start at 0, be non-decreasing, end at `col_idx.len()`,
+    /// and every column index must be `< n`.
+    pub fn from_sorted_parts(n: u32, row_ptr: Vec<u64>, col_idx: Vec<u32>, directed: bool) -> Self {
+        assert_eq!(row_ptr.len(), n as usize + 1, "row_ptr must have n+1 entries");
+        assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
+        assert_eq!(
+            *row_ptr.last().expect("row_ptr nonempty") as usize,
+            col_idx.len(),
+            "row_ptr must end at the arc count"
+        );
+        assert!(
+            row_ptr.windows(2).all(|w| w[0] <= w[1]),
+            "row_ptr must be non-decreasing"
+        );
+        assert!(
+            col_idx.iter().all(|&v| v < n),
+            "column indices must be < n"
+        );
+        Self { n, row_ptr, col_idx, directed }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Number of stored arcs (an undirected edge counts twice).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Number of logical edges: arcs for directed graphs, arcs/2 rounded
+    /// up for undirected graphs (self-loops are stored once).
+    pub fn num_edges(&self) -> usize {
+        if self.directed {
+            self.num_arcs()
+        } else {
+            let loops = (0..self.n)
+                .map(|u| self.neighbors(u).iter().filter(|&&v| v == u).count())
+                .sum::<usize>();
+            (self.num_arcs() - loops) / 2 + loops
+        }
+    }
+
+    /// Whether the graph is directed.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: VertexId) -> usize {
+        (self.row_ptr[u as usize + 1] - self.row_ptr[u as usize]) as usize
+    }
+
+    /// Slice of `u`'s neighbors (sorted ascending by construction).
+    #[inline]
+    pub fn neighbors(&self, u: VertexId) -> &[u32] {
+        let lo = self.row_ptr[u as usize] as usize;
+        let hi = self.row_ptr[u as usize + 1] as usize;
+        &self.col_idx[lo..hi]
+    }
+
+    /// The raw row-pointer array (length `n + 1`).
+    #[inline]
+    pub fn row_ptr(&self) -> &[u64] {
+        &self.row_ptr
+    }
+
+    /// The raw column-index array.
+    #[inline]
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// Whether the arc `u -> v` exists (binary search over `u`'s row).
+    pub fn has_arc(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all arcs `(u, v)`.
+    pub fn arcs(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.n).flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Maximum out-degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// Approximate CSR memory footprint in bytes, as reported in §4.1
+    /// ("graphs require between 0.08 MB and 43.61 GB of GPU memory in CSR
+    /// format").
+    pub fn memory_bytes(&self) -> usize {
+        self.row_ptr.len() * 8 + self.col_idx.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn diamond() -> CsrGraph {
+        // 0-1, 0-2, 1-3, 2-3 undirected
+        GraphBuilder::undirected(4)
+            .edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+            .build()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_arcs(), 8);
+        assert_eq!(g.num_edges(), 4);
+        assert!(!g.is_directed());
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(3), &[1, 2]);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn has_arc_lookup() {
+        let g = diamond();
+        assert!(g.has_arc(0, 1));
+        assert!(g.has_arc(1, 0));
+        assert!(!g.has_arc(0, 3));
+    }
+
+    #[test]
+    fn arcs_iterator_covers_both_directions() {
+        let g = diamond();
+        let arcs: Vec<_> = g.arcs().collect();
+        assert_eq!(arcs.len(), 8);
+        assert!(arcs.contains(&(0, 1)));
+        assert!(arcs.contains(&(1, 0)));
+    }
+
+    #[test]
+    fn self_loop_edge_count() {
+        let g = GraphBuilder::undirected(2).edges([(0, 0), (0, 1)]).build();
+        // loop stored once, edge stored twice
+        assert_eq!(g.num_arcs(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn memory_bytes_matches_layout() {
+        let g = diamond();
+        assert_eq!(g.memory_bytes(), 5 * 8 + 8 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row_ptr must start at 0")]
+    fn rejects_bad_row_ptr_start() {
+        CsrGraph::from_sorted_parts(1, vec![1, 1], vec![], false);
+    }
+
+    #[test]
+    #[should_panic(expected = "column indices must be < n")]
+    fn rejects_out_of_range_column() {
+        CsrGraph::from_sorted_parts(2, vec![0, 1, 1], vec![5], false);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_decreasing_row_ptr() {
+        CsrGraph::from_sorted_parts(2, vec![0, 2, 1], vec![0], false);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::undirected(0).build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_arcs(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices_have_empty_rows() {
+        let g = GraphBuilder::undirected(3).edges([(0, 1)]).build();
+        assert_eq!(g.degree(2), 0);
+        assert!(g.neighbors(2).is_empty());
+    }
+}

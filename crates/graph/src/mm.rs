@@ -1,0 +1,241 @@
+//! Matrix Market (`.mtx`) I/O.
+//!
+//! The paper's artifact consumes SuiteSparse graphs in Matrix Market
+//! coordinate format (§A.5: "Our matrix parser supports input files in
+//! the Matrix Market format"). This module implements the subset needed
+//! for graph inputs: `matrix coordinate <field> <symmetry>` headers,
+//! 1-based indices, optional values (ignored — we only need structure),
+//! and `general`/`symmetric` symmetry (symmetric inputs are expanded to
+//! both arc directions).
+
+use crate::{CsrGraph, GraphBuilder};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors produced by the Matrix Market reader.
+#[derive(Debug)]
+pub enum MmError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structurally invalid file, with a human-readable reason.
+    Parse(String),
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "I/O error: {e}"),
+            MmError::Parse(msg) => write!(f, "Matrix Market parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<std::io::Error> for MmError {
+    fn from(e: std::io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> MmError {
+    MmError::Parse(msg.into())
+}
+
+/// Reads a Matrix Market coordinate file into a graph.
+///
+/// * `symmetric` headers produce an undirected graph;
+/// * `general` headers produce a directed graph;
+/// * rectangular matrices are rejected (graphs must be square);
+/// * values (`real`/`integer` fields) are parsed and discarded —
+///   only the sparsity pattern matters for traversal.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrGraph, MmError> {
+    let mut lines = BufReader::new(reader).lines();
+
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err("empty file"))??;
+    let header_lc = header.to_ascii_lowercase();
+    let fields: Vec<&str> = header_lc.split_whitespace().collect();
+    if fields.len() < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+        return Err(parse_err(format!("bad header line: {header}")));
+    }
+    if fields[2] != "coordinate" {
+        return Err(parse_err("only coordinate format is supported"));
+    }
+    let has_values = match fields[3] {
+        "pattern" => false,
+        "real" | "integer" | "complex" => true,
+        other => return Err(parse_err(format!("unsupported field type: {other}"))),
+    };
+    let symmetric = match fields[4] {
+        "general" => false,
+        "symmetric" | "skew-symmetric" | "hermitian" => true,
+        other => return Err(parse_err(format!("unsupported symmetry: {other}"))),
+    };
+
+    // Skip comments, find the size line.
+    let size_line = loop {
+        let line = lines
+            .next()
+            .ok_or_else(|| parse_err("missing size line"))??;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        break line;
+    };
+    let mut it = size_line.split_whitespace();
+    let rows: u64 = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| parse_err("bad size line"))?;
+    let cols: u64 = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| parse_err("bad size line"))?;
+    let nnz: u64 = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| parse_err("bad size line"))?;
+    if rows != cols {
+        return Err(parse_err(format!("matrix must be square, got {rows}x{cols}")));
+    }
+    if rows > u32::MAX as u64 {
+        return Err(parse_err("vertex count exceeds u32"));
+    }
+    let n = rows as u32;
+
+    let mut builder = if symmetric { GraphBuilder::undirected(n) } else { GraphBuilder::directed(n) };
+    builder.reserve(nnz as usize);
+    let mut seen = 0u64;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let r: u64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(format!("bad entry line: {t}")))?;
+        let c: u64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(format!("bad entry line: {t}")))?;
+        if has_values && parts.next().is_none() {
+            return Err(parse_err(format!("missing value on line: {t}")));
+        }
+        if r == 0 || c == 0 || r > rows || c > cols {
+            return Err(parse_err(format!("index out of range on line: {t}")));
+        }
+        builder.edge((r - 1) as u32, (c - 1) as u32);
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(format!("expected {nnz} entries, found {seen}")));
+    }
+    Ok(builder.build())
+}
+
+/// Reads a `.mtx` file from disk.
+pub fn read_matrix_market_file(path: impl AsRef<Path>) -> Result<CsrGraph, MmError> {
+    read_matrix_market(std::fs::File::open(path)?)
+}
+
+/// Writes a graph as a Matrix Market pattern file.
+///
+/// Undirected graphs are written with `symmetric` symmetry (lower
+/// triangle only); directed graphs with `general`.
+pub fn write_matrix_market<W: Write>(g: &CsrGraph, mut w: W) -> std::io::Result<()> {
+    let symmetry = if g.is_directed() { "general" } else { "symmetric" };
+    writeln!(w, "%%MatrixMarket matrix coordinate pattern {symmetry}")?;
+    writeln!(w, "% generated by db-graph")?;
+    let entries: Vec<(u32, u32)> = if g.is_directed() {
+        g.arcs().collect()
+    } else {
+        g.arcs().filter(|&(u, v)| v <= u).collect()
+    };
+    writeln!(w, "{} {} {}", g.num_vertices(), g.num_vertices(), entries.len())?;
+    for (u, v) in entries {
+        writeln!(w, "{} {}", u as u64 + 1, v as u64 + 1)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_symmetric_pattern() {
+        let src = "%%MatrixMarket matrix coordinate pattern symmetric\n% comment\n3 3 2\n2 1\n3 2\n";
+        let g = read_matrix_market(src.as_bytes()).unwrap();
+        assert!(!g.is_directed());
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn reads_general_with_values() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 2 3.5\n2 1 -1.0\n";
+        let g = read_matrix_market(src.as_bytes()).unwrap();
+        assert!(g.is_directed());
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let src = "%%MatrixMarket matrix coordinate pattern general\n2 3 1\n1 2\n";
+        assert!(matches!(read_matrix_market(src.as_bytes()), Err(MmError::Parse(_))));
+    }
+
+    #[test]
+    fn rejects_entry_count_mismatch() {
+        let src = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n";
+        let err = read_matrix_market(src.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected 2 entries"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_index() {
+        let src = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 5\n";
+        assert!(read_matrix_market(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_array_format() {
+        let src = "%%MatrixMarket matrix array real general\n2 2\n1.0\n2.0\n3.0\n4.0\n";
+        assert!(read_matrix_market(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn round_trip_undirected() {
+        let g = crate::GraphBuilder::undirected(4)
+            .edges([(0, 1), (1, 2), (2, 3), (3, 0), (1, 1)])
+            .build();
+        let mut buf = Vec::new();
+        write_matrix_market(&g, &mut buf).unwrap();
+        let g2 = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn round_trip_directed() {
+        let g = crate::GraphBuilder::directed(3).edges([(0, 1), (1, 2), (2, 0)]).build();
+        let mut buf = Vec::new();
+        write_matrix_market(&g, &mut buf).unwrap();
+        let g2 = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn skew_symmetric_treated_as_undirected() {
+        let src = "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 1.0\n";
+        let g = read_matrix_market(src.as_bytes()).unwrap();
+        assert!(!g.is_directed());
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+}

@@ -1,0 +1,342 @@
+//! Validation of traversal outputs.
+//!
+//! Three levels of checking, from weakest to strongest:
+//!
+//! 1. [`check_spanning_tree`] — the `parent` array forms a forest with a
+//!    single tree rooted at `root`, every tree edge exists in the graph,
+//!    and `visited` equals exactly the tree's vertex set. This is the
+//!    contract of the paper's Table 2 output semantics (`visited` +
+//!    `parent` = "DFS Tree") that *every* engine must satisfy.
+//! 2. [`check_reachability`] — `visited` equals the true reachable set.
+//! 3. [`check_dfs_tree_property`] — the strict (unordered) DFS-tree
+//!    property for undirected graphs: every non-tree edge connects an
+//!    ancestor/descendant pair (no cross edges). Serial DFS always
+//!    satisfies it; concurrent work-stealing traversals satisfy it per
+//!    stolen subtree but may introduce cross edges between subtrees
+//!    explored concurrently (see DESIGN.md §1), so engines are validated
+//!    at level 1+2 and the strict check is used for the serial reference
+//!    and for the lexicographic NVG-DFS baseline.
+
+use crate::{CsrGraph, VertexId, NO_PARENT};
+
+/// A failed validation, with a human-readable reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError(pub String);
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "validation failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+fn fail(msg: impl Into<String>) -> Result<(), ValidationError> {
+    Err(ValidationError(msg.into()))
+}
+
+/// Checks that `(visited, parent)` encodes a valid spanning tree of the
+/// visited set, rooted at `root`, whose edges all exist in `g`.
+pub fn check_spanning_tree(
+    g: &CsrGraph,
+    root: VertexId,
+    visited: &[bool],
+    parent: &[u32],
+) -> Result<(), ValidationError> {
+    let n = g.num_vertices();
+    if visited.len() != n || parent.len() != n {
+        return fail(format!(
+            "output arrays have wrong length: visited={}, parent={}, n={n}",
+            visited.len(),
+            parent.len()
+        ));
+    }
+    if !visited[root as usize] {
+        return fail("root is not marked visited");
+    }
+    if parent[root as usize] != NO_PARENT {
+        return fail("root must have no parent");
+    }
+    for v in 0..n as u32 {
+        let p = parent[v as usize];
+        if !visited[v as usize] {
+            if p != NO_PARENT {
+                return fail(format!("unvisited vertex {v} has parent {p}"));
+            }
+            continue;
+        }
+        if v == root {
+            continue;
+        }
+        if p == NO_PARENT {
+            return fail(format!("visited vertex {v} has no parent"));
+        }
+        if p as usize >= n {
+            return fail(format!("vertex {v} has out-of-range parent {p}"));
+        }
+        if !visited[p as usize] {
+            return fail(format!("vertex {v} has unvisited parent {p}"));
+        }
+        // Tree edges must be graph arcs parent -> child.
+        if !g.has_arc(p, v) {
+            return fail(format!("tree edge {p} -> {v} is not a graph arc"));
+        }
+    }
+    // Acyclicity + connectivity to root: walk up with path tracking.
+    // `state[v]`: 0 unknown, 1 confirmed reaches root, 2 on current path.
+    let mut state = vec![0u8; n];
+    state[root as usize] = 1;
+    let mut path = Vec::new();
+    for v0 in 0..n as u32 {
+        if !visited[v0 as usize] || state[v0 as usize] == 1 {
+            continue;
+        }
+        let mut v = v0;
+        path.clear();
+        loop {
+            match state[v as usize] {
+                1 => break,
+                2 => return fail(format!("parent pointers contain a cycle through {v}")),
+                _ => {
+                    state[v as usize] = 2;
+                    path.push(v);
+                    v = parent[v as usize];
+                }
+            }
+        }
+        for &u in &path {
+            state[u as usize] = 1;
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `visited` equals the true set of vertices reachable from
+/// `root` (the output semantics shared by *all* methods in Table 2).
+pub fn check_reachability(
+    g: &CsrGraph,
+    root: VertexId,
+    visited: &[bool],
+) -> Result<(), ValidationError> {
+    let truth = crate::traversal::reachable_set(g, root);
+    if visited.len() != truth.len() {
+        return fail("visited array has wrong length");
+    }
+    for (v, (&got, &want)) in visited.iter().zip(&truth).enumerate() {
+        if got != want {
+            return fail(format!(
+                "vertex {v}: visited={got}, reachable={want}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Euler-tour intervals: `in_time[v]`/`out_time[v]` such that `u` is an
+/// ancestor of `v` iff `in[u] <= in[v] && out[v] <= out[u]`.
+fn euler_intervals(
+    n: usize,
+    root: VertexId,
+    visited: &[bool],
+    parent: &[u32],
+) -> (Vec<u32>, Vec<u32>) {
+    // Build children lists.
+    let mut child_cnt = vec![0u32; n];
+    for v in 0..n {
+        if visited[v] && v as u32 != root {
+            child_cnt[parent[v] as usize] += 1;
+        }
+    }
+    let mut child_ptr = vec![0u32; n + 1];
+    for v in 0..n {
+        child_ptr[v + 1] = child_ptr[v] + child_cnt[v];
+    }
+    let mut children = vec![0u32; child_ptr[n] as usize];
+    let mut cursor = child_ptr.clone();
+    for v in 0..n {
+        if visited[v] && v as u32 != root {
+            let p = parent[v] as usize;
+            children[cursor[p] as usize] = v as u32;
+            cursor[p] += 1;
+        }
+    }
+    // Iterative Euler tour.
+    let mut tin = vec![0u32; n];
+    let mut tout = vec![0u32; n];
+    let mut clock = 0u32;
+    // Stack of (vertex, next child slot).
+    let mut stack: Vec<(u32, u32)> = vec![(root, child_ptr[root as usize])];
+    tin[root as usize] = clock;
+    clock += 1;
+    while let Some(&mut (u, ref mut next)) = stack.last_mut() {
+        if *next < child_ptr[u as usize + 1] {
+            let c = children[*next as usize];
+            *next += 1;
+            tin[c as usize] = clock;
+            clock += 1;
+            stack.push((c, child_ptr[c as usize]));
+        } else {
+            tout[u as usize] = clock;
+            clock += 1;
+            stack.pop();
+        }
+    }
+    (tin, tout)
+}
+
+/// Checks the strict DFS-tree property for **undirected** graphs: for
+/// every graph edge `{u, v}` with both endpoints visited, `u` and `v`
+/// must be in an ancestor/descendant relationship in the tree.
+///
+/// Requires `(visited, parent)` to already pass [`check_spanning_tree`].
+///
+/// # Panics
+///
+/// Panics if `g` is directed (the directed DFS-forest condition is
+/// different; see module docs).
+pub fn check_dfs_tree_property(
+    g: &CsrGraph,
+    root: VertexId,
+    visited: &[bool],
+    parent: &[u32],
+) -> Result<(), ValidationError> {
+    assert!(
+        !g.is_directed(),
+        "strict DFS-tree check is defined for undirected graphs"
+    );
+    check_spanning_tree(g, root, visited, parent)?;
+    let n = g.num_vertices();
+    let (tin, tout) = euler_intervals(n, root, visited, parent);
+    let is_ancestor = |a: u32, b: u32| -> bool {
+        tin[a as usize] <= tin[b as usize] && tout[b as usize] <= tout[a as usize]
+    };
+    for u in 0..n as u32 {
+        if !visited[u as usize] {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if v < u {
+                continue; // each undirected edge once
+            }
+            if !visited[v as usize] {
+                return fail(format!("edge {{{u},{v}}} leaves the visited set"));
+            }
+            if !(is_ancestor(u, v) || is_ancestor(v, u)) {
+                return fail(format!(
+                    "cross edge {{{u},{v}}}: endpoints are not ancestor/descendant"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::serial_dfs;
+    use crate::GraphBuilder;
+
+    fn figure1() -> CsrGraph {
+        GraphBuilder::undirected(6)
+            .edges([(0, 1), (0, 2), (1, 3), (2, 4), (3, 4), (2, 5)])
+            .build()
+    }
+
+    #[test]
+    fn serial_dfs_passes_all_checks() {
+        let g = figure1();
+        let out = serial_dfs(&g, 0);
+        check_spanning_tree(&g, 0, &out.visited, &out.parent).unwrap();
+        check_reachability(&g, 0, &out.visited).unwrap();
+        check_dfs_tree_property(&g, 0, &out.visited, &out.parent).unwrap();
+    }
+
+    #[test]
+    fn figure1c_parallel_tree_is_valid() {
+        // Figure 1(c): the non-lexicographic tree a->{b,c}, b->d, c->{e},
+        // e via c... In the paper's example one processor walks a->b->d and
+        // the other c->e->f. Tree edges: a-b, b-d, a-c, c-e, c-f.
+        let g = figure1();
+        let visited = vec![true; 6];
+        let mut parent = vec![NO_PARENT; 6];
+        parent[1] = 0; // b <- a
+        parent[3] = 1; // d <- b
+        parent[2] = 0; // c <- a
+        parent[4] = 2; // e <- c
+        parent[5] = 2; // f <- c
+        check_spanning_tree(&g, 0, &visited, &parent).unwrap();
+        // Edge d-e (3-4) joins the two concurrently explored subtrees and
+        // is a cross edge, so the strict property fails — exactly the
+        // cross-edge caveat documented in DESIGN.md.
+        assert!(check_dfs_tree_property(&g, 0, &visited, &parent).is_err());
+    }
+
+    #[test]
+    fn detects_missing_graph_edge() {
+        let g = figure1();
+        let visited = vec![true, true, false, false, false, false];
+        let mut parent = vec![NO_PARENT; 6];
+        parent[1] = 0;
+        check_spanning_tree(&g, 0, &visited, &parent).unwrap();
+        // claim 1's parent is 4 (no edge 4-1)
+        let mut bad = parent.clone();
+        bad[1] = 4;
+        let visited2 = vec![true, true, false, false, true, false];
+        assert!(check_spanning_tree(&g, 0, &visited2, &bad).is_err());
+    }
+
+    #[test]
+    fn detects_parent_cycle() {
+        let g = GraphBuilder::undirected(3).edges([(0, 1), (1, 2), (2, 0)]).build();
+        let visited = vec![true; 3];
+        // 1 -> 2 -> 1 cycle, root 0 ok.
+        let parent = vec![NO_PARENT, 2, 1];
+        let err = check_spanning_tree(&g, 0, &visited, &parent).unwrap_err();
+        assert!(err.0.contains("cycle"));
+    }
+
+    #[test]
+    fn detects_root_with_parent() {
+        let g = GraphBuilder::undirected(2).edges([(0, 1)]).build();
+        let visited = vec![true, true];
+        let parent = vec![1, 0];
+        assert!(check_spanning_tree(&g, 0, &visited, &parent).is_err());
+    }
+
+    #[test]
+    fn detects_unvisited_with_parent() {
+        let g = GraphBuilder::undirected(2).edges([(0, 1)]).build();
+        let visited = vec![true, false];
+        let parent = vec![NO_PARENT, 0];
+        assert!(check_spanning_tree(&g, 0, &visited, &parent).is_err());
+    }
+
+    #[test]
+    fn detects_wrong_reachability() {
+        let g = GraphBuilder::undirected(3).edges([(0, 1)]).build();
+        assert!(check_reachability(&g, 0, &[true, true, true]).is_err());
+        assert!(check_reachability(&g, 0, &[true, false, false]).is_err());
+        check_reachability(&g, 0, &[true, true, false]).unwrap();
+    }
+
+    #[test]
+    fn strict_check_accepts_path_tree() {
+        // Cycle graph: serial DFS gives a path; the closing edge is a
+        // back edge to the root — ancestor/descendant, so valid.
+        let g = GraphBuilder::undirected(4).edges([(0, 1), (1, 2), (2, 3), (3, 0)]).build();
+        let out = serial_dfs(&g, 0);
+        check_dfs_tree_property(&g, 0, &out.visited, &out.parent).unwrap();
+    }
+
+    #[test]
+    fn strict_check_rejects_bfs_tree_on_triangle_plus() {
+        // Diamond 0-1, 0-2, 1-3, 2-3: BFS tree from 0 has 1 and 2 as
+        // siblings, and 3 child of 1; edge 2-3 becomes a cross edge.
+        let g = GraphBuilder::undirected(4).edges([(0, 1), (0, 2), (1, 3), (2, 3)]).build();
+        let visited = vec![true; 4];
+        let parent = vec![NO_PARENT, 0, 0, 1];
+        let err = check_dfs_tree_property(&g, 0, &visited, &parent).unwrap_err();
+        assert!(err.0.contains("cross edge"));
+    }
+}

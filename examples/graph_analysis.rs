@@ -1,0 +1,69 @@
+//! Structural analysis with the apps layer — the §1 motivation end to
+//! end.
+//!
+//! ```text
+//! cargo run --release --example graph_analysis
+//! ```
+//!
+//! Takes a citation-style DAG and a fragmented road network and runs the
+//! DFS application stack over them: topological sorting, SCC, spanning
+//! forests (via the parallel engines), articulation points, and a
+//! reachability oracle.
+
+use diggerbees::apps::articulation::articulation_points;
+use diggerbees::apps::forest::{spanning_forest, NativeDfs};
+use diggerbees::apps::reach::ReachOracle;
+use diggerbees::apps::scc::scc;
+use diggerbees::apps::topo::{topo_sort, verify_topo_order, TopoResult};
+use diggerbees::core::native::NativeConfig;
+use diggerbees::gen::{grid, pref};
+
+fn main() {
+    // --- Ordering problems: topological sort of a citation DAG ---
+    let dag = pref::citation_dag(5000, 4, 7);
+    println!(
+        "citation DAG: {} vertices, {} arcs",
+        dag.num_vertices(),
+        dag.num_arcs()
+    );
+    match topo_sort(&dag) {
+        TopoResult::Order(order) => {
+            verify_topo_order(&dag, &order).expect("valid order");
+            println!("  topological order verified ({} vertices)", order.len());
+        }
+        TopoResult::Cycle(v) => println!("  unexpected cycle through {v}"),
+    }
+    let comps = scc(&dag);
+    println!("  SCCs: {} (all singletons in a DAG)", comps.count);
+
+    // --- Structural analysis: a fragmented road network ---
+    let road = grid::grid_road(120, 120, 0.55, 0, 9);
+    let engine = NativeDfs(NativeConfig::default());
+    let forest = spanning_forest(&road, &engine);
+    println!(
+        "\nroad network: {} vertices, {} edges, {} connected components",
+        road.num_vertices(),
+        road.num_edges(),
+        forest.num_components()
+    );
+    let cuts = articulation_points(&road);
+    let n_cuts = cuts.articulation.iter().filter(|&&b| b).count();
+    println!(
+        "  {} articulation points, {} bridges — single points of failure",
+        n_cuts,
+        cuts.bridges.len()
+    );
+
+    // --- Reachability oracle over depot hubs ---
+    let hubs: Vec<u32> = (0..4).map(|i| i * (road.num_vertices() as u32 / 4) + 7).collect();
+    let oracle = ReachOracle::build(&road, &hubs, &engine);
+    println!("\ndepot coverage (vertices reachable per hub):");
+    for (i, &h) in oracle.hubs().iter().enumerate() {
+        println!("  hub {h}: {} vertices", oracle.coverage(i));
+    }
+    let target = road.num_vertices() as u32 - 1;
+    println!(
+        "  hubs reaching vertex {target}: {:?}",
+        oracle.sources_reaching(target)
+    );
+}

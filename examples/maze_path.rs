@@ -1,0 +1,70 @@
+//! Using the DFS tree: path extraction in a maze.
+//!
+//! ```text
+//! cargo run --release --example maze_path
+//! ```
+//!
+//! The `parent` array DiggerBees produces (Table 2's "DFS Tree" output)
+//! is directly useful: after one traversal from the maze entrance, the
+//! path to *any* reachable cell falls out by walking parent pointers.
+//! This is the kind of downstream use (structural analysis, §1) that
+//! reachability-only methods like CKL-/ACR-PDFS cannot serve.
+
+use diggerbees::core::native::{NativeConfig, NativeEngine};
+use diggerbees::gen::grid::grid_road;
+use diggerbees::graph::NO_PARENT;
+
+fn main() {
+    // A 60x60 maze: a thinned lattice (dead ends and walls).
+    let side = 60u32;
+    let g = grid_road(side, side, 0.75, 0, 2026);
+    let entrance = 0u32; // top-left
+    let exit = side * side - 1; // bottom-right
+
+    let engine = NativeEngine::new(NativeConfig::default());
+    let out = engine.run(&g, entrance);
+
+    if !out.visited[exit as usize] {
+        println!("exit unreachable from the entrance (walled off) — try another seed");
+        return;
+    }
+
+    // Walk parent pointers from the exit back to the entrance.
+    let mut path = vec![exit];
+    let mut v = exit;
+    while v != entrance {
+        v = out.parent[v as usize];
+        assert_ne!(v, NO_PARENT, "visited vertices have parents");
+        path.push(v);
+    }
+    path.reverse();
+
+    println!(
+        "maze {}x{}: DFS visited {} of {} cells in {:?}",
+        side,
+        side,
+        out.visited.iter().filter(|&&b| b).count(),
+        g.num_vertices(),
+        out.wall
+    );
+    println!("path entrance -> exit: {} steps", path.len() - 1);
+
+    // Render a small corner of the maze with the path marked.
+    let window = 30u32;
+    let on_path: std::collections::HashSet<u32> = path.iter().copied().collect();
+    for y in 0..window {
+        let mut row = String::new();
+        for x in 0..window {
+            let id = y * side + x;
+            row.push(if on_path.contains(&id) {
+                '*'
+            } else if out.visited[id as usize] {
+                '.'
+            } else {
+                '#'
+            });
+        }
+        println!("{row}");
+    }
+    println!("(top-left {window}x{window} corner: '*' path, '.' visited, '#' unreachable)");
+}

@@ -1,0 +1,19 @@
+#!/bin/bash
+# Regenerates every table and figure of the DiggerBees evaluation.
+# Outputs: results/*.csv plus the printed tables (tee'd to results/*.log).
+set -u
+cd "$(dirname "$0")"
+export DB_SOURCES="${DB_SOURCES:-2}"
+BIN=./target/release
+mkdir -p results
+for exp in tables fig6_representative fig9_balance fig8_breakdown ablation_tma \
+           ablation_scheduler fig10_sensitivity fig5_dfs_comparison fig7_scalability; do
+  echo "=== $exp (DB_SOURCES=$DB_SOURCES) ==="
+  start=$SECONDS
+  if $BIN/$exp --csv > results/$exp.log 2>&1; then
+    echo "  ok in $((SECONDS-start))s"
+  else
+    echo "FAILED: $exp (see results/$exp.log)"
+  fi
+done
+echo "all experiments complete"

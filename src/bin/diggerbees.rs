@@ -1,0 +1,252 @@
+//! `diggerbees` — command-line traversal runner.
+//!
+//! ```text
+//! diggerbees <graph> [options]
+//!
+//! <graph>                a suite name (euro_osm, ljournal, road_s, …)
+//!                        or a path to a Matrix Market .mtx file
+//! --method <m>           diggerbees (default) | serial | ckl | acr |
+//!                        nvg | gunrock | berrybees | native | lockfree
+//! --machine <m>          h100 (default) | a100 | xeon
+//! --source <v>           source vertex (default: GAP-style pick)
+//! --sources <n>          average over n GAP-style sources (default 1)
+//! --blocks <n>           thread blocks (default: one per SM)
+//! --warps <n>            warps per block (default 8)
+//! --hot-cutoff <n>       intra-block steal threshold (default 32)
+//! --cold-cutoff <n>      inter-block steal threshold (default 64)
+//! --stats                print graph characterization first
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! diggerbees euro_osm
+//! diggerbees ljournal --method berrybees
+//! diggerbees my_graph.mtx --method native --blocks 4 --warps 2
+//! ```
+
+use diggerbees::baselines::bfs::{self, BfsFlavor};
+use diggerbees::baselines::cpu_ws::{self, CpuWsConfig, CpuWsStyle};
+use diggerbees::baselines::nvg::{self, NvgConfig};
+use diggerbees::baselines::serial;
+use diggerbees::core::native::{NativeConfig, NativeEngine};
+use diggerbees::core::native_lockfree::LockFreeEngine;
+use diggerbees::core::{run_sim, DiggerBeesConfig};
+use diggerbees::gen::Suite;
+use diggerbees::graph::{mm, sources::select_sources, stats::graph_stats, CsrGraph};
+use diggerbees::sim::MachineModel;
+use std::process::ExitCode;
+
+struct Args {
+    graph: String,
+    method: String,
+    machine: String,
+    source: Option<u32>,
+    sources: usize,
+    blocks: Option<u32>,
+    warps: u32,
+    hot_cutoff: u32,
+    cold_cutoff: u32,
+    stats: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        graph: String::new(),
+        method: "diggerbees".into(),
+        machine: "h100".into(),
+        source: None,
+        sources: 1,
+        blocks: None,
+        warps: 8,
+        hot_cutoff: 32,
+        cold_cutoff: 64,
+        stats: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--method" => args.method = take("--method")?,
+            "--machine" => args.machine = take("--machine")?,
+            "--source" => args.source = Some(parse_num(&take("--source")?)?),
+            "--sources" => args.sources = parse_num(&take("--sources")?)? as usize,
+            "--blocks" => args.blocks = Some(parse_num(&take("--blocks")?)?),
+            "--warps" => args.warps = parse_num(&take("--warps")?)?,
+            "--hot-cutoff" => args.hot_cutoff = parse_num(&take("--hot-cutoff")?)?,
+            "--cold-cutoff" => args.cold_cutoff = parse_num(&take("--cold-cutoff")?)?,
+            "--stats" => args.stats = true,
+            "--help" | "-h" => {
+                return Err("usage: diggerbees <graph> [--method m] [--machine m] \
+                            [--source v] [--sources n] [--blocks n] [--warps n] \
+                            [--hot-cutoff n] [--cold-cutoff n] [--stats]"
+                    .into())
+            }
+            other if args.graph.is_empty() && !other.starts_with('-') => {
+                args.graph = other.to_string();
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if args.graph.is_empty() {
+        return Err("missing <graph> (a suite name or a .mtx path); --help for usage".into());
+    }
+    Ok(args)
+}
+
+fn parse_num(s: &str) -> Result<u32, String> {
+    s.parse().map_err(|_| format!("invalid number: {s}"))
+}
+
+fn load_graph(name: &str) -> Result<CsrGraph, String> {
+    if name.ends_with(".mtx") {
+        return mm::read_matrix_market_file(name).map_err(|e| e.to_string());
+    }
+    match Suite::by_name(name) {
+        Some(spec) => Ok(spec.build()),
+        None => {
+            let known: Vec<&str> = Suite::full().iter().map(|s| s.name).collect();
+            Err(format!("unknown graph '{name}'; known: {}", known.join(", ")))
+        }
+    }
+}
+
+fn machine(name: &str) -> Result<MachineModel, String> {
+    match name {
+        "h100" => Ok(MachineModel::h100()),
+        "a100" => Ok(MachineModel::a100()),
+        "xeon" => Ok(MachineModel::xeon_max()),
+        other => Err(format!("unknown machine '{other}' (h100|a100|xeon)")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let g = match load_graph(&args.graph) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let m = match machine(&args.machine) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{}: {} vertices, {} edges ({:.1} MB CSR)",
+        args.graph,
+        g.num_vertices(),
+        g.num_edges(),
+        g.memory_bytes() as f64 / 1e6
+    );
+
+    let roots: Vec<u32> = match args.source {
+        Some(s) => vec![s],
+        None => select_sources(&g, args.sources, 42),
+    };
+    if args.stats {
+        let s = graph_stats(&g, roots[0]);
+        println!(
+            "stats: avg deg {:.2}, max deg {}, skew {:.1}, BFS levels {}, DFS stack {}, reachable {}",
+            s.avg_degree, s.max_degree, s.degree_skew, s.bfs_levels, s.dfs_max_stack, s.reachable
+        );
+    }
+
+    let cfg = DiggerBeesConfig {
+        blocks: args.blocks.unwrap_or(m.sm_count),
+        warps_per_block: args.warps,
+        hot_cutoff: args.hot_cutoff,
+        cold_cutoff: args.cold_cutoff,
+        ..Default::default()
+    };
+
+    let mut mteps_all = Vec::new();
+    for &root in &roots {
+        let label = args.method.as_str();
+        let mteps = match label {
+            "diggerbees" => {
+                let r = run_sim(&g, root, &cfg, &m);
+                println!(
+                    "root {root}: {:.1} MTEPS, {} cycles, {} visited, steals {}+{}",
+                    r.mteps,
+                    r.stats.cycles,
+                    r.stats.vertices_visited,
+                    r.stats.steals_intra,
+                    r.stats.steals_inter
+                );
+                Some(r.mteps)
+            }
+            "serial" => Some(serial::run(&g, root, &MachineModel::xeon_max()).mteps),
+            "ckl" => Some(
+                cpu_ws::run(&g, root, CpuWsStyle::Ckl, &CpuWsConfig::default(),
+                            &MachineModel::xeon_max()).mteps,
+            ),
+            "acr" => Some(
+                cpu_ws::run(&g, root, CpuWsStyle::Acr, &CpuWsConfig::default(),
+                            &MachineModel::xeon_max()).mteps,
+            ),
+            "nvg" => match nvg::run(&g, root, &NvgConfig::default(), &m) {
+                Ok(r) => Some(r.mteps),
+                Err(e) => {
+                    println!("root {root}: NVG-DFS failed ({e})");
+                    None
+                }
+            },
+            "gunrock" => Some(bfs::run(&g, root, BfsFlavor::Gunrock, &m).mteps),
+            "berrybees" => Some(bfs::run(&g, root, BfsFlavor::BerryBees, &m).mteps),
+            "native" | "lockfree" => {
+                let ncfg = NativeConfig {
+                    algo: DiggerBeesConfig {
+                        blocks: args.blocks.unwrap_or(2),
+                        warps_per_block: if args.warps == 8 { 2 } else { args.warps },
+                        hot_cutoff: args.hot_cutoff,
+                        cold_cutoff: args.cold_cutoff,
+                        ..Default::default()
+                    },
+                };
+                let out = if label == "native" {
+                    NativeEngine::new(ncfg).run(&g, root)
+                } else {
+                    LockFreeEngine::new(ncfg).run(&g, root)
+                };
+                println!(
+                    "root {root}: wall {:?}, {} visited, steals {}+{}",
+                    out.wall,
+                    out.stats.vertices_visited,
+                    out.stats.steals_intra,
+                    out.stats.steals_inter
+                );
+                Some(out.mteps())
+            }
+            other => {
+                eprintln!("unknown method '{other}'");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(v) = mteps {
+            mteps_all.push(v);
+        }
+    }
+    if !mteps_all.is_empty() {
+        println!(
+            "{} on {}: {:.1} MTEPS (avg over {} source(s))",
+            args.method,
+            args.machine,
+            mteps_all.iter().sum::<f64>() / mteps_all.len() as f64,
+            mteps_all.len()
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,45 @@
+//! # diggerbees — facade crate
+//!
+//! A pure-Rust reproduction of *"DiggerBees: Depth First Search Leveraging
+//! Hierarchical Block-Level Stealing on GPUs"* (PPoPP 2026). This crate
+//! re-exports the workspace members under one roof:
+//!
+//! * [`graph`] — CSR graphs, Matrix Market I/O, reference traversals,
+//!   output validation ([`db_graph`]).
+//! * [`gen`] — seeded synthetic workload generators mirroring the paper's
+//!   DIMACS10/SNAP/LAW graph families ([`db_gen`]).
+//! * [`sim`] — the deterministic GPU/CPU execution-model simulator that
+//!   substitutes for the A100/H100 hardware ([`db_gpu_sim`]).
+//! * [`core`] — the DiggerBees algorithm itself: two-level stack
+//!   (HotRing + ColdSeg), warp-level DFS, intra-block and inter-block
+//!   work stealing; both a native multithreaded engine and a simulated
+//!   GPU engine ([`db_core`]).
+//! * [`baselines`] — every comparison point from the paper's evaluation
+//!   ([`db_baselines`]).
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the reproduction
+//! notes. Runnable examples live in `examples/`: `quickstart`,
+//! `road_network`, `maze_path`, `gpu_scaling`, and `tuning`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use diggerbees::graph::{GraphBuilder, validate};
+//! use diggerbees::core::native::{NativeEngine, NativeConfig};
+//!
+//! // The example graph from Figure 1 of the paper.
+//! let g = GraphBuilder::undirected(6)
+//!     .edges([(0, 1), (0, 2), (1, 3), (2, 4), (3, 4), (2, 5)])
+//!     .build();
+//! let engine = NativeEngine::new(NativeConfig::default());
+//! let out = engine.run(&g, 0);
+//! validate::check_spanning_tree(&g, 0, &out.visited, &out.parent).unwrap();
+//! validate::check_reachability(&g, 0, &out.visited).unwrap();
+//! ```
+
+pub use db_apps as apps;
+pub use db_baselines as baselines;
+pub use db_core as core;
+pub use db_gen as gen;
+pub use db_gpu_sim as sim;
+pub use db_graph as graph;

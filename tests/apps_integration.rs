@@ -1,0 +1,113 @@
+//! Cross-crate application tests: the §1 use cases running on generated
+//! workloads with both DiggerBees engines underneath.
+
+use diggerbees::apps::articulation::{articulation_points, verify_articulation};
+use diggerbees::apps::forest::{spanning_forest, verify_forest, NativeDfs, SimDfs};
+use diggerbees::apps::reach::ReachOracle;
+use diggerbees::apps::scc::{scc, verify_scc};
+use diggerbees::apps::topo::{is_dag, topo_sort, verify_topo_order, TopoResult};
+use diggerbees::core::native::NativeConfig;
+use diggerbees::core::DiggerBeesConfig;
+use diggerbees::gen::{grid, mesh, pref, rmat};
+use diggerbees::graph::traversal::reachable_set;
+use diggerbees::sim::MachineModel;
+
+fn small_algo() -> DiggerBeesConfig {
+    DiggerBeesConfig {
+        blocks: 2,
+        warps_per_block: 2,
+        hot_size: 16,
+        hot_cutoff: 4,
+        cold_cutoff: 8,
+        flush_batch: 8,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn citation_dags_topo_sort_and_scc_agree() {
+    for seed in [1u64, 2, 3] {
+        let g = pref::citation_dag(800, 3, seed);
+        // A citation DAG is acyclic: topo sort succeeds…
+        let TopoResult::Order(order) = topo_sort(&g) else {
+            panic!("citation DAG must be acyclic");
+        };
+        verify_topo_order(&g, &order).unwrap();
+        // …and every SCC is a singleton.
+        let r = scc(&g);
+        assert_eq!(r.count as usize, g.num_vertices());
+    }
+}
+
+#[test]
+fn rmat_dag_construction_is_acyclic() {
+    let und = rmat::rmat(10, 6, rmat::RmatParams::default(), 9);
+    let dag = rmat::to_dag(&und);
+    assert!(is_dag(&dag));
+}
+
+#[test]
+fn directed_cycles_are_caught_and_grouped() {
+    // Ring of rings: 3 cycles chained by one-way bridges.
+    let mut b = diggerbees::graph::GraphBuilder::directed(9);
+    for c in 0..3u32 {
+        let base = c * 3;
+        b.edge(base, base + 1);
+        b.edge(base + 1, base + 2);
+        b.edge(base + 2, base);
+        if c < 2 {
+            b.edge(base, base + 3);
+        }
+    }
+    let g = b.build();
+    assert!(!is_dag(&g));
+    let r = scc(&g);
+    assert_eq!(r.count, 3);
+    verify_scc(&g, &r).unwrap();
+}
+
+#[test]
+fn mesh_articulation_matches_brute_force() {
+    let g = mesh::bubbles(6, 8, 0, 3); // chain of rings: junctions are cuts
+    let r = articulation_points(&g);
+    verify_articulation(&g, &r).unwrap();
+    assert!(r.articulation.iter().any(|&b| b), "bubble junctions are articulation points");
+}
+
+#[test]
+fn forest_on_fragmented_road_network() {
+    // A heavily thinned grid fragments into many components.
+    let g = grid::grid_road(40, 40, 0.45, 0, 11);
+    let native = NativeDfs(NativeConfig { algo: small_algo() });
+    let f = spanning_forest(&g, &native);
+    assert!(f.num_components() > 1, "thin grid should fragment");
+    verify_forest(&g, &f).unwrap();
+
+    // The simulated engine builds an equivalent partition.
+    let sim = SimDfs { cfg: small_algo(), machine: MachineModel::h100() };
+    let f2 = spanning_forest(&g, &sim);
+    assert_eq!(f.num_components(), f2.num_components());
+    for v in 0..g.num_vertices() {
+        // Same partition (components discovered in the same root order).
+        assert_eq!(f.comp[v], f2.comp[v]);
+    }
+}
+
+#[test]
+fn oracle_on_social_graph() {
+    let g = rmat::rmat(10, 8, rmat::RmatParams::default(), 4);
+    let hubs: Vec<u32> = (0..4)
+        .map(|i| {
+            (0..g.num_vertices() as u32)
+                .filter(|&v| v % 4 == i)
+                .max_by_key(|&v| g.degree(v))
+                .unwrap()
+        })
+        .collect();
+    let native = NativeDfs(NativeConfig { algo: small_algo() });
+    let oracle = ReachOracle::build(&g, &hubs, &native);
+    for (i, &h) in hubs.iter().enumerate() {
+        let truth = reachable_set(&g, h);
+        assert_eq!(oracle.coverage(i), truth.iter().filter(|&&b| b).count());
+    }
+}

@@ -1,0 +1,132 @@
+//! Cross-crate equivalence: every traversal method in the workspace
+//! agrees on the reachable set, and the ordered methods agree on the
+//! lexicographic order, across graphs from every generator family.
+
+use diggerbees::baselines::bfs::{self, BfsFlavor};
+use diggerbees::baselines::cpu_ws::{self, CpuWsConfig, CpuWsStyle};
+use diggerbees::baselines::deque_dfs;
+use diggerbees::baselines::nvg::{self, NvgConfig};
+use diggerbees::core::native::{NativeConfig, NativeEngine};
+use diggerbees::core::{run_sim, DiggerBeesConfig};
+use diggerbees::gen::{grid, mesh, pref, rmat};
+use diggerbees::graph::traversal::{bfs_levels, reachable_set};
+use diggerbees::graph::{serial_dfs, CsrGraph};
+use diggerbees::sim::MachineModel;
+
+fn test_graphs() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("grid", grid::grid_road(40, 40, 0.85, 3, 11)),
+        ("mesh", mesh::delaunay_mesh(30, 30, 5)),
+        ("bubbles", mesh::bubbles(30, 10, 15, 9)),
+        ("rmat", rmat::rmat(10, 8, rmat::RmatParams::default(), 3)),
+        ("pref", pref::pref_attach(900, 3, 0.5, 7)),
+        ("comb", grid::comb(80, 4)),
+        ("tree", grid::kary_tree(3, 7)),
+    ]
+}
+
+fn small_db() -> DiggerBeesConfig {
+    DiggerBeesConfig {
+        blocks: 4,
+        warps_per_block: 4,
+        hot_size: 16,
+        hot_cutoff: 4,
+        cold_cutoff: 8,
+        flush_batch: 8,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn all_methods_agree_on_reachability() {
+    let h100 = MachineModel::h100();
+    let xeon = MachineModel::xeon_max();
+    for (name, g) in test_graphs() {
+        let sources = diggerbees::graph::sources::select_sources(&g, 2, 42);
+        for &root in &sources {
+            let truth = reachable_set(&g, root);
+
+            let db = run_sim(&g, root, &small_db(), &h100);
+            assert_eq!(db.visited, truth, "DiggerBees sim on {name} from {root}");
+
+            let native = NativeEngine::new(NativeConfig { algo: small_db() }).run(&g, root);
+            assert_eq!(native.visited, truth, "DiggerBees native on {name} from {root}");
+
+            let ckl = cpu_ws::run(&g, root, CpuWsStyle::Ckl, &CpuWsConfig::default(), &xeon);
+            assert_eq!(ckl.visited, truth, "CKL on {name} from {root}");
+
+            let acr = cpu_ws::run(&g, root, CpuWsStyle::Acr, &CpuWsConfig::default(), &xeon);
+            assert_eq!(acr.visited, truth, "ACR on {name} from {root}");
+
+            let gun = bfs::run(&g, root, BfsFlavor::Gunrock, &h100);
+            assert_eq!(gun.visited, truth, "Gunrock on {name} from {root}");
+
+            let berry = bfs::run(&g, root, BfsFlavor::BerryBees, &h100);
+            assert_eq!(berry.visited, truth, "BerryBees on {name} from {root}");
+
+            let dq = deque_dfs::run(&g, root, 3, 42);
+            assert_eq!(dq.visited, truth, "deque DFS on {name} from {root}");
+        }
+    }
+}
+
+#[test]
+fn nvg_matches_serial_lexicographic_order() {
+    let h100 = MachineModel::h100();
+    let cfg = NvgConfig::default();
+    for (name, g) in test_graphs() {
+        // Bound the work: skip graphs NVG legitimately fails on.
+        match nvg::run(&g, 0, &cfg, &h100) {
+            Ok(r) => {
+                let want = serial_dfs(&g, 0);
+                assert_eq!(
+                    r.order.as_ref().unwrap(),
+                    &want.order,
+                    "NVG order differs from serial DFS on {name}"
+                );
+                assert_eq!(
+                    r.parent.as_ref().unwrap(),
+                    &want.parent,
+                    "NVG parents differ from serial DFS on {name}"
+                );
+            }
+            Err(e) => {
+                assert!(
+                    e.reason.contains("budget"),
+                    "NVG failed on {name} for an unexpected reason: {e}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bfs_levels_match_reference_everywhere() {
+    let h100 = MachineModel::h100();
+    for (name, g) in test_graphs() {
+        let (want, _) = bfs_levels(&g, 0);
+        for flavor in [BfsFlavor::Gunrock, BfsFlavor::BerryBees] {
+            let r = bfs::run(&g, 0, flavor, &h100);
+            assert_eq!(r.level.as_ref().unwrap(), &want, "levels differ on {name}");
+        }
+    }
+}
+
+#[test]
+fn directed_graphs_respect_arc_direction() {
+    let g = pref::citation_dag(400, 3, 5);
+    let h100 = MachineModel::h100();
+    // In a citation DAG arcs point to older vertices; from the newest
+    // vertex much is reachable, from vertex 0 nothing is.
+    let truth_from_0 = reachable_set(&g, 0);
+    assert_eq!(truth_from_0.iter().filter(|&&b| b).count(), 1);
+    let db = run_sim(&g, 0, &small_db(), &h100);
+    assert_eq!(db.visited, truth_from_0);
+
+    let newest = (g.num_vertices() - 1) as u32;
+    let truth = reachable_set(&g, newest);
+    let db = run_sim(&g, newest, &small_db(), &h100);
+    assert_eq!(db.visited, truth);
+    let native = NativeEngine::new(NativeConfig { algo: small_db() }).run(&g, newest);
+    assert_eq!(native.visited, truth);
+}

@@ -1,0 +1,157 @@
+//! Smoke tests of every figure's experimental pathway at toy scale: the
+//! qualitative shapes the paper reports must already be visible on small
+//! inputs, and the harness plumbing (suite registry, method runners,
+//! stats) must hold together.
+
+use diggerbees::baselines::bfs;
+use diggerbees::baselines::cpu_ws::{self, CpuWsConfig, CpuWsStyle};
+use diggerbees::baselines::nvg::{self, NvgConfig};
+use diggerbees::core::{run_sim, DiggerBeesConfig, StackLevels, VictimPolicy};
+use diggerbees::gen::grid;
+use diggerbees::gen::Suite;
+use diggerbees::graph::sources::select_sources;
+use diggerbees::sim::MachineModel;
+
+/// Fig. 5/6 pathway: methods produce comparable MTEPS and NVG-DFS fails
+/// on a deep graph while unordered methods sail through.
+#[test]
+fn fig5_pathway_nvg_fails_where_diggerbees_succeeds() {
+    let h100 = MachineModel::h100();
+    let g = grid::long_path(60_000);
+    let nvg = nvg::run(&g, 0, &NvgConfig { memory_budget_bytes: 1 << 20, ..Default::default() }, &h100);
+    assert!(nvg.is_err(), "path-tracking NVG must exhaust memory on deep paths");
+    let db = run_sim(&g, 0, &DiggerBeesConfig::v4(h100.sm_count), &h100);
+    assert_eq!(db.stats.vertices_visited, 60_000);
+    assert!(db.mteps > 0.0);
+}
+
+/// Fig. 6 pathway: the BFS-vs-DFS crossover by graph depth.
+#[test]
+fn fig6_pathway_depth_crossover() {
+    let h100 = MachineModel::h100();
+    // Deep: a large sparse lattice. Shallow: an R-MAT core.
+    let deep = grid::grid_road(300, 300, 0.9, 0, 1);
+    let shallow = diggerbees::gen::rmat::rmat(13, 16, Default::default(), 5);
+    let cfg = DiggerBeesConfig::v4(h100.sm_count);
+
+    let deep_root = select_sources(&deep, 1, 42)[0];
+    let db_deep = run_sim(&deep, deep_root, &cfg, &h100);
+    let bfs_deep = bfs::best_bfs(&deep, deep_root, &h100).1;
+    assert!(
+        db_deep.mteps > bfs_deep.mteps,
+        "DFS must beat BFS on deep graphs: {} vs {}",
+        db_deep.mteps,
+        bfs_deep.mteps
+    );
+
+    let shallow_root = select_sources(&shallow, 1, 42)[0];
+    let db_shallow = run_sim(&shallow, shallow_root, &cfg, &h100);
+    let bfs_shallow = bfs::best_bfs(&shallow, shallow_root, &h100).1;
+    assert!(
+        bfs_shallow.mteps > db_shallow.mteps,
+        "BFS must beat DFS on shallow social graphs: {} vs {}",
+        bfs_shallow.mteps,
+        db_shallow.mteps
+    );
+}
+
+/// Fig. 7 pathway: H100 outruns A100 in seconds on the same workload.
+#[test]
+fn fig7_pathway_h100_scales_over_a100() {
+    let g = grid::grid_road(200, 200, 0.9, 0, 3);
+    let root = select_sources(&g, 1, 42)[0];
+    let a100 = MachineModel::a100();
+    let h100 = MachineModel::h100();
+    let ra = run_sim(&g, root, &DiggerBeesConfig::v4(a100.sm_count), &a100);
+    let rh = run_sim(&g, root, &DiggerBeesConfig::v4(h100.sm_count), &h100);
+    assert!(
+        rh.mteps > ra.mteps,
+        "H100 ({}) must beat A100 ({})",
+        rh.mteps,
+        ra.mteps
+    );
+}
+
+/// Fig. 8 pathway: the breakdown ordering v1 <= v2 <= v3 (allowing
+/// slack), with inter-block stealing the decisive step.
+#[test]
+fn fig8_pathway_breakdown_ordering() {
+    let h100 = MachineModel::h100();
+    let g = grid::grid_road(250, 250, 0.9, 0, 8);
+    let root = select_sources(&g, 1, 42)[0];
+    let run = |cfg: DiggerBeesConfig| run_sim(&g, root, &cfg, &h100).mteps;
+    let v1 = run(DiggerBeesConfig::v1());
+    let v2 = run(DiggerBeesConfig::v2());
+    let v3 = run(DiggerBeesConfig::v3());
+    assert!(v2 > v1, "two-level stack must beat the global stack: {v2} vs {v1}");
+    assert!(v3 > 2.0 * v2, "inter-block stealing must be the big step: {v3} vs {v2}");
+}
+
+/// Fig. 9 pathway: two-choice victim selection balances load at least as
+/// well as random selection.
+#[test]
+fn fig9_pathway_two_choice_balances() {
+    let h100 = MachineModel::h100();
+    let g = diggerbees::gen::pref::pref_attach(40_000, 4, 0.6, 3);
+    let root = select_sources(&g, 1, 42)[0];
+    let cv = |policy| {
+        let cfg = DiggerBeesConfig { victim_policy: policy, ..DiggerBeesConfig::v4(h100.sm_count) };
+        run_sim(&g, root, &cfg, &h100).stats.block_load_cv()
+    };
+    let random = cv(VictimPolicy::Random);
+    let two = cv(VictimPolicy::TwoChoice);
+    assert!(
+        two <= random * 1.15,
+        "two-choice CV ({two:.3}) should not be worse than random ({random:.3})"
+    );
+}
+
+/// Fig. 10 pathway: extreme cutoffs do not beat the defaults by much.
+#[test]
+fn fig10_pathway_default_cutoffs_reasonable() {
+    let h100 = MachineModel::h100();
+    let g = grid::grid_road(200, 200, 0.9, 0, 5);
+    let root = select_sources(&g, 1, 42)[0];
+    let run = |hot, cold| {
+        let cfg = DiggerBeesConfig {
+            hot_cutoff: hot,
+            cold_cutoff: cold,
+            ..DiggerBeesConfig::v4(h100.sm_count)
+        };
+        run_sim(&g, root, &cfg, &h100).mteps
+    };
+    let default = run(32, 64);
+    let tiny = run(2, 2);
+    let huge = run(128, 256); // cold steal batch 128 = the whole HotRing
+    assert!(default > 0.6 * tiny.max(huge), "defaults badly beaten: {default} vs {tiny}/{huge}");
+}
+
+/// Suite registry integrity used by all figure binaries.
+#[test]
+fn suite_registry_supports_harness() {
+    assert_eq!(Suite::representative12().len(), 12);
+    assert_eq!(Suite::representative6().len(), 6);
+    assert!(Suite::full().len() >= 30);
+    // Small members must build quickly and be usable end-to-end.
+    let g = Suite::by_name("road_s").unwrap().build();
+    let xeon = MachineModel::xeon_max();
+    let r = cpu_ws::run(&g, 0, CpuWsStyle::Ckl, &CpuWsConfig::default(), &xeon);
+    assert!(r.mteps > 0.0);
+}
+
+/// The one-level v1 stack pays global-memory cost: on identical small
+/// inputs it must be slower than the two-level configuration per cycle.
+#[test]
+fn one_level_stack_costs_more() {
+    let h100 = MachineModel::h100();
+    let g = grid::long_path(5000);
+    let base = DiggerBeesConfig { blocks: 1, warps_per_block: 1, inter_block: false, ..Default::default() };
+    let one = run_sim(&g, 0, &DiggerBeesConfig { stack: StackLevels::One, ..base }, &h100);
+    let two = run_sim(&g, 0, &base, &h100);
+    assert!(
+        two.stats.cycles < one.stats.cycles,
+        "two-level should be cheaper: {} vs {}",
+        two.stats.cycles,
+        one.stats.cycles
+    );
+}

@@ -1,0 +1,104 @@
+//! Model-based property tests for the lock-free StampedRing: arbitrary
+//! single-threaded operation sequences must behave exactly like the
+//! reference `HotRing`, and multi-threaded stress must conserve entries.
+
+use diggerbees::core::lockfree::StampedRing;
+use diggerbees::core::stack::HotRing;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Single-threaded: StampedRing == HotRing under arbitrary push /
+    /// pop / take_from_tail sequences.
+    #[test]
+    fn stamped_ring_matches_reference(ops in proptest::collection::vec(0u8..4, 1..200)) {
+        let lf = StampedRing::new(8);
+        let mut reference = HotRing::new(8);
+        let mut counter = 0u32;
+        for op in ops {
+            match op {
+                0 | 1 => {
+                    let e = (counter, counter.wrapping_mul(31));
+                    counter += 1;
+                    let a = lf.push(e);
+                    let b = reference.push(e);
+                    prop_assert_eq!(a.is_ok(), b.is_ok(), "push disagreement");
+                }
+                2 => {
+                    let a = lf.pop();
+                    let b = reference.pop();
+                    prop_assert_eq!(a, b, "pop disagreement");
+                }
+                _ => {
+                    // steal two from the tail when at least four remain
+                    let a = lf.take_from_tail(2, 4, 1);
+                    let b = if reference.len() >= 4 {
+                        reference.take_from_tail(2)
+                    } else {
+                        Vec::new()
+                    };
+                    prop_assert_eq!(a, b, "steal disagreement");
+                }
+            }
+            prop_assert_eq!(lf.len() as u64, reference.len(), "length disagreement");
+        }
+    }
+
+    /// Multi-threaded conservation: under a random mix of owner ops and
+    /// two thieves, every pushed entry is consumed exactly once.
+    #[test]
+    fn stamped_ring_concurrent_conservation(total in 200u32..2000, seed in 0u64..32) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let ring = Arc::new(StampedRing::new(16));
+        let consumed = Arc::new(AtomicU64::new(0));
+        let sum = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let ring = Arc::clone(&ring);
+            let consumed = Arc::clone(&consumed);
+            let sum = Arc::clone(&sum);
+            handles.push(std::thread::spawn(move || {
+                while consumed.load(Ordering::Acquire) < total as u64 {
+                    for (v, _) in ring.take_from_tail(3, 2, 1) {
+                        sum.fetch_add(v as u64, Ordering::Relaxed);
+                        consumed.fetch_add(1, Ordering::AcqRel);
+                    }
+                    std::thread::yield_now();
+                }
+            }));
+        }
+        let mut pushed = 0u32;
+        let mut rng = seed.wrapping_add(0x9e3779b97f4a7c15);
+        while pushed < total {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if ring.push((pushed, 0)).is_ok() {
+                pushed += 1;
+            } else if let Some((v, _)) = ring.pop() {
+                sum.fetch_add(v as u64, Ordering::Relaxed);
+                consumed.fetch_add(1, Ordering::AcqRel);
+            }
+            if rng % 5 == 0 {
+                if let Some((v, _)) = ring.pop() {
+                    sum.fetch_add(v as u64, Ordering::Relaxed);
+                    consumed.fetch_add(1, Ordering::AcqRel);
+                }
+            }
+        }
+        while consumed.load(Ordering::Acquire) < total as u64 {
+            if let Some((v, _)) = ring.pop() {
+                sum.fetch_add(v as u64, Ordering::Relaxed);
+                consumed.fetch_add(1, Ordering::AcqRel);
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        prop_assert_eq!(consumed.load(Ordering::Relaxed), total as u64);
+        let expect: u64 = (total as u64 - 1) * total as u64 / 2;
+        prop_assert_eq!(sum.load(Ordering::Relaxed), expect, "entries lost or duplicated");
+    }
+}

@@ -1,0 +1,119 @@
+//! Output-contract tests: every tree-producing engine satisfies the
+//! spanning-tree contract (Table 2's `visited` + `parent` semantics) on
+//! every generator family, and the strict DFS-tree property holds for
+//! the ordered methods.
+
+use diggerbees::baselines::deque_dfs;
+use diggerbees::baselines::nvg::{self, NvgConfig};
+use diggerbees::core::native::{NativeConfig, NativeEngine};
+use diggerbees::core::{run_sim, DiggerBeesConfig, StackLevels, VictimPolicy};
+use diggerbees::gen::{grid, mesh, rmat};
+use diggerbees::graph::validate::{
+    check_dfs_tree_property, check_reachability, check_spanning_tree,
+};
+use diggerbees::graph::{serial_dfs, CsrGraph};
+use diggerbees::sim::MachineModel;
+
+fn graphs() -> Vec<CsrGraph> {
+    vec![
+        grid::grid_road(35, 35, 0.9, 2, 1),
+        mesh::delaunay_mesh(25, 25, 2),
+        rmat::rmat(9, 6, rmat::RmatParams::default(), 8),
+        grid::long_path(3000),
+        grid::kary_tree(2, 10),
+    ]
+}
+
+fn cfgs() -> Vec<DiggerBeesConfig> {
+    let base = DiggerBeesConfig {
+        blocks: 3,
+        warps_per_block: 3,
+        hot_size: 16,
+        hot_cutoff: 4,
+        cold_cutoff: 8,
+        flush_batch: 8,
+        ..Default::default()
+    };
+    vec![
+        base,
+        DiggerBeesConfig { stack: StackLevels::One, blocks: 1, inter_block: false, ..base },
+        DiggerBeesConfig { victim_policy: VictimPolicy::Random, ..base },
+        DiggerBeesConfig { hot_cutoff: 2, cold_cutoff: 2, ..base },
+        DiggerBeesConfig { hot_cutoff: 16, cold_cutoff: 16, hot_size: 32, ..base },
+    ]
+}
+
+#[test]
+fn sim_engine_contract_over_configs() {
+    let h100 = MachineModel::h100();
+    for g in graphs() {
+        for cfg in cfgs() {
+            let r = run_sim(&g, 0, &cfg, &h100);
+            check_reachability(&g, 0, &r.visited).unwrap();
+            check_spanning_tree(&g, 0, &r.visited, &r.parent).unwrap();
+            // Conservation: every visited vertex was counted once.
+            assert_eq!(
+                r.stats.vertices_visited,
+                r.visited.iter().filter(|&&b| b).count() as u64
+            );
+            assert_eq!(
+                r.stats.tasks_per_block.iter().sum::<u64>(),
+                r.stats.vertices_visited,
+                "per-block task counts must sum to visited vertices"
+            );
+        }
+    }
+}
+
+#[test]
+fn native_engine_contract_over_configs() {
+    for g in graphs() {
+        for cfg in cfgs().into_iter().take(3) {
+            let r = NativeEngine::new(NativeConfig { algo: cfg }).run(&g, 0);
+            check_reachability(&g, 0, &r.visited).unwrap();
+            check_spanning_tree(&g, 0, &r.visited, &r.parent).unwrap();
+            assert_eq!(
+                r.stats.tasks_per_block.iter().sum::<u64>(),
+                r.visited.iter().filter(|&&b| b).count() as u64
+            );
+        }
+    }
+}
+
+#[test]
+fn serial_and_nvg_satisfy_strict_dfs_property() {
+    let h100 = MachineModel::h100();
+    for g in graphs() {
+        if g.is_directed() {
+            continue;
+        }
+        let s = serial_dfs(&g, 0);
+        check_dfs_tree_property(&g, 0, &s.visited, &s.parent).unwrap();
+        if let Ok(r) = nvg::run(&g, 0, &NvgConfig::default(), &h100) {
+            check_dfs_tree_property(&g, 0, &r.visited, r.parent.as_ref().unwrap()).unwrap();
+        }
+    }
+}
+
+#[test]
+fn deque_dfs_contract() {
+    for g in graphs() {
+        let r = deque_dfs::run(&g, 0, 3, 7);
+        check_reachability(&g, 0, &r.visited).unwrap();
+        check_spanning_tree(&g, 0, &r.visited, &r.parent).unwrap();
+    }
+}
+
+#[test]
+fn traversed_edges_equals_visited_degree_sum() {
+    let h100 = MachineModel::h100();
+    for g in graphs() {
+        let cfg = cfgs()[0];
+        let r = run_sim(&g, 0, &cfg, &h100);
+        let want: u64 = (0..g.num_vertices() as u32)
+            .filter(|&v| r.visited[v as usize])
+            .map(|v| g.degree(v) as u64)
+            .sum();
+        assert_eq!(r.stats.edges_traversed, want, "TEPS numerator mismatch");
+    }
+}
