@@ -20,7 +20,10 @@ pub struct CutResult {
 ///
 /// Panics if `g` is directed.
 pub fn articulation_points(g: &CsrGraph) -> CutResult {
-    assert!(!g.is_directed(), "articulation points are defined on undirected graphs");
+    assert!(
+        !g.is_directed(),
+        "articulation points are defined on undirected graphs"
+    );
     let n = g.num_vertices();
     const UNSET: u32 = u32::MAX;
     let mut disc = vec![UNSET; n];
@@ -82,7 +85,10 @@ pub fn articulation_points(g: &CsrGraph) -> CutResult {
     }
     bridges.sort_unstable();
     bridges.dedup();
-    CutResult { articulation, bridges }
+    CutResult {
+        articulation,
+        bridges,
+    }
 }
 
 /// Brute-force verifier for small graphs: `v` is an articulation point
@@ -92,8 +98,9 @@ pub fn verify_articulation(g: &CsrGraph, result: &CutResult) -> Result<(), Strin
     let (comp, _) = db_graph::traversal::connected_components(g);
     for v in 0..n as u32 {
         // Count reachable pairs within v's component before/after removal.
-        let members: Vec<u32> =
-            (0..n as u32).filter(|&u| comp[u as usize] == comp[v as usize] && u != v).collect();
+        let members: Vec<u32> = (0..n as u32)
+            .filter(|&u| comp[u as usize] == comp[v as usize] && u != v)
+            .collect();
         if members.is_empty() {
             if result.articulation[v as usize] {
                 return Err(format!("isolated vertex {v} flagged as articulation"));
@@ -131,7 +138,9 @@ mod tests {
 
     #[test]
     fn path_interior_vertices_are_cuts() {
-        let g = GraphBuilder::undirected(4).edges([(0, 1), (1, 2), (2, 3)]).build();
+        let g = GraphBuilder::undirected(4)
+            .edges([(0, 1), (1, 2), (2, 3)])
+            .build();
         let r = articulation_points(&g);
         assert_eq!(r.articulation, vec![false, true, true, false]);
         assert_eq!(r.bridges, vec![(0, 1), (1, 2), (2, 3)]);
@@ -163,7 +172,9 @@ mod tests {
 
     #[test]
     fn star_center_is_a_cut() {
-        let g = GraphBuilder::undirected(5).edges([(0, 1), (0, 2), (0, 3), (0, 4)]).build();
+        let g = GraphBuilder::undirected(5)
+            .edges([(0, 1), (0, 2), (0, 3), (0, 4)])
+            .build();
         let r = articulation_points(&g);
         assert!(r.articulation[0]);
         assert!(!r.articulation[1]);
@@ -182,7 +193,9 @@ mod tests {
 
     #[test]
     fn self_loops_ignored() {
-        let g = GraphBuilder::undirected(3).edges([(0, 0), (0, 1), (1, 2)]).build();
+        let g = GraphBuilder::undirected(3)
+            .edges([(0, 0), (0, 1), (1, 2)])
+            .build();
         let r = articulation_points(&g);
         assert!(r.articulation[1]);
         verify_articulation(&g, &r).unwrap();
@@ -191,7 +204,9 @@ mod tests {
     #[test]
     fn deep_path_no_stack_overflow() {
         let n = 200_000u32;
-        let g = GraphBuilder::undirected(n).edges((0..n - 1).map(|i| (i, i + 1))).build();
+        let g = GraphBuilder::undirected(n)
+            .edges((0..n - 1).map(|i| (i, i + 1)))
+            .build();
         let r = articulation_points(&g);
         assert_eq!(r.bridges.len(), n as usize - 1);
     }

@@ -83,16 +83,26 @@ pub fn spanning_forest<E: DfsEngine>(g: &CsrGraph, engine: &E) -> Forest {
             }
         }
     }
-    Forest { parent, comp, roots }
+    Forest {
+        parent,
+        comp,
+        roots,
+    }
 }
 
 /// Verifies a forest: component labels match the reference connected
 /// components (up to renaming) and every tree is a valid spanning tree.
 pub fn verify_forest(g: &CsrGraph, f: &Forest) -> Result<(), String> {
-    assert!(!g.is_directed(), "forest verification is for undirected graphs");
+    assert!(
+        !g.is_directed(),
+        "forest verification is for undirected graphs"
+    );
     let (want, count) = db_graph::traversal::connected_components(g);
     if f.num_components() != count as usize {
-        return Err(format!("expected {count} components, got {}", f.num_components()));
+        return Err(format!(
+            "expected {count} components, got {}",
+            f.num_components()
+        ));
     }
     // Same partition up to renaming.
     let n = g.num_vertices();
@@ -179,7 +189,9 @@ mod tests {
 
     #[test]
     fn single_component() {
-        let g = GraphBuilder::undirected(50).edges((0..49).map(|i| (i, i + 1))).build();
+        let g = GraphBuilder::undirected(50)
+            .edges((0..49).map(|i| (i, i + 1)))
+            .build();
         let f = spanning_forest(&g, &engine());
         assert_eq!(f.num_components(), 1);
         assert_eq!(f.roots, vec![0]);

@@ -34,7 +34,11 @@ impl ReachOracle {
             }
             rows.push(row);
         }
-        Self { hubs: hubs.to_vec(), rows, n }
+        Self {
+            hubs: hubs.to_vec(),
+            rows,
+            n,
+        }
     }
 
     /// The hubs this oracle covers.
@@ -51,7 +55,10 @@ impl ReachOracle {
 
     /// Number of vertices reachable from `hubs()[hub_idx]`.
     pub fn coverage(&self, hub_idx: usize) -> usize {
-        self.rows[hub_idx].iter().map(|w| w.count_ones() as usize).sum()
+        self.rows[hub_idx]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
     }
 
     /// Hubs that can reach `target`.
@@ -96,7 +103,9 @@ mod tests {
 
     #[test]
     fn sources_reaching_target() {
-        let g = GraphBuilder::directed(5).edges([(0, 2), (1, 2), (3, 4)]).build();
+        let g = GraphBuilder::directed(5)
+            .edges([(0, 2), (1, 2), (3, 4)])
+            .build();
         let oracle = ReachOracle::build(&g, &[0, 1, 3], &engine());
         assert_eq!(oracle.sources_reaching(2), vec![0, 1]);
         assert_eq!(oracle.sources_reaching(4), vec![3]);
@@ -107,7 +116,9 @@ mod tests {
     fn bitset_boundary_at_word_edges() {
         // 130 vertices: exercise bits 63/64/127/128.
         let n = 130u32;
-        let g = GraphBuilder::undirected(n).edges((0..n - 1).map(|i| (i, i + 1))).build();
+        let g = GraphBuilder::undirected(n)
+            .edges((0..n - 1).map(|i| (i, i + 1)))
+            .build();
         let oracle = ReachOracle::build(&g, &[0], &engine());
         for v in [63u32, 64, 127, 128, 129] {
             assert!(oracle.reachable(0, v));

@@ -104,8 +104,9 @@ pub fn scc(g: &CsrGraph) -> SccResult {
 /// `u` and `v` share a component iff each reaches the other.
 pub fn verify_scc(g: &CsrGraph, result: &SccResult) -> Result<(), String> {
     let n = g.num_vertices();
-    let reach: Vec<Vec<bool>> =
-        (0..n as u32).map(|v| db_graph::traversal::reachable_set(g, v)).collect();
+    let reach: Vec<Vec<bool>> = (0..n as u32)
+        .map(|v| db_graph::traversal::reachable_set(g, v))
+        .collect();
     #[allow(clippy::needless_range_loop)] // symmetric double index is clearest
     for u in 0..n {
         for v in 0..n {
@@ -147,7 +148,9 @@ mod tests {
 
     #[test]
     fn dag_has_singleton_components() {
-        let g = GraphBuilder::directed(5).edges([(0, 1), (1, 2), (0, 3), (3, 4)]).build();
+        let g = GraphBuilder::directed(5)
+            .edges([(0, 1), (1, 2), (0, 3), (3, 4)])
+            .build();
         let r = scc(&g);
         assert_eq!(r.count, 5);
         verify_scc(&g, &r).unwrap();
@@ -157,7 +160,16 @@ mod tests {
     fn tarjan_ids_are_reverse_topological() {
         // comp(u) >= comp(v) for every arc u->v in the condensation.
         let g = GraphBuilder::directed(6)
-            .edges([(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (3, 4), (4, 5), (5, 4)])
+            .edges([
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 3),
+                (3, 2),
+                (3, 4),
+                (4, 5),
+                (5, 4),
+            ])
             .build();
         let r = scc(&g);
         for (u, v) in g.arcs() {
@@ -171,7 +183,9 @@ mod tests {
     #[test]
     fn giant_cycle() {
         let n = 100_000u32;
-        let g = GraphBuilder::directed(n).edges((0..n).map(|i| (i, (i + 1) % n))).build();
+        let g = GraphBuilder::directed(n)
+            .edges((0..n).map(|i| (i, (i + 1) % n)))
+            .build();
         let r = scc(&g);
         assert_eq!(r.count, 1);
         assert_eq!(r.largest(), n as usize);
@@ -180,7 +194,9 @@ mod tests {
     #[test]
     fn deep_chain_no_stack_overflow() {
         let n = 200_000u32;
-        let g = GraphBuilder::directed(n).edges((0..n - 1).map(|i| (i, i + 1))).build();
+        let g = GraphBuilder::directed(n)
+            .edges((0..n - 1).map(|i| (i, i + 1)))
+            .build();
         let r = scc(&g);
         assert_eq!(r.count, n);
     }

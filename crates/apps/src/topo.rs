@@ -23,7 +23,10 @@ pub enum TopoResult {
 ///
 /// Panics if `g` is undirected (topological order is a directed notion).
 pub fn topo_sort(g: &CsrGraph) -> TopoResult {
-    assert!(g.is_directed(), "topological sort requires a directed graph");
+    assert!(
+        g.is_directed(),
+        "topological sort requires a directed graph"
+    );
     let n = g.num_vertices();
     const WHITE: u8 = 0;
     const GRAY: u8 = 1;
@@ -96,7 +99,9 @@ mod tests {
 
     #[test]
     fn sorts_a_diamond_dag() {
-        let g = GraphBuilder::directed(4).edges([(0, 1), (0, 2), (1, 3), (2, 3)]).build();
+        let g = GraphBuilder::directed(4)
+            .edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+            .build();
         let TopoResult::Order(order) = topo_sort(&g) else {
             panic!("diamond is acyclic")
         };
@@ -106,7 +111,9 @@ mod tests {
 
     #[test]
     fn detects_cycles() {
-        let g = GraphBuilder::directed(3).edges([(0, 1), (1, 2), (2, 0)]).build();
+        let g = GraphBuilder::directed(3)
+            .edges([(0, 1), (1, 2), (2, 0)])
+            .build();
         assert!(matches!(topo_sort(&g), TopoResult::Cycle(_)));
         assert!(!is_dag(&g));
     }
@@ -120,7 +127,9 @@ mod tests {
     #[test]
     fn disconnected_dag_covers_all_vertices() {
         let g = GraphBuilder::directed(6).edges([(0, 1), (2, 3)]).build();
-        let TopoResult::Order(order) = topo_sort(&g) else { panic!() };
+        let TopoResult::Order(order) = topo_sort(&g) else {
+            panic!()
+        };
         assert_eq!(order.len(), 6);
         verify_topo_order(&g, &order).unwrap();
     }
@@ -145,8 +154,12 @@ mod tests {
     fn deep_dag_does_not_overflow_stack() {
         // 200k-vertex chain: the iterative implementation must not recurse.
         let n = 200_000u32;
-        let g = GraphBuilder::directed(n).edges((0..n - 1).map(|i| (i, i + 1))).build();
-        let TopoResult::Order(order) = topo_sort(&g) else { panic!() };
+        let g = GraphBuilder::directed(n)
+            .edges((0..n - 1).map(|i| (i, i + 1)))
+            .build();
+        let TopoResult::Order(order) = topo_sort(&g) else {
+            panic!()
+        };
         assert_eq!(order[0], 0);
         assert_eq!(order[n as usize - 1], n - 1);
     }

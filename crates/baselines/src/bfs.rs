@@ -87,7 +87,11 @@ pub fn run(g: &CsrGraph, root: VertexId, flavor: BfsFlavor, m: &MachineModel) ->
                 // least once, on top of scanning ~half the unexplored
                 // adjacency (early exit on the first visited parent).
                 let pull = (unexplored / 2).max(unvisited_vertices);
-                let scanned = if push > unexplored / 14 { pull.min(push) } else { push };
+                let scanned = if push > unexplored / 14 {
+                    pull.min(push)
+                } else {
+                    push
+                };
                 LevelWork {
                     frontier_vertices: frontier.len() as u64,
                     scanned_edges: (scanned as f64 / 1.6) as u64,
@@ -150,7 +154,9 @@ mod tests {
     }
 
     fn path(n: u32) -> CsrGraph {
-        GraphBuilder::undirected(n).edges((0..n - 1).map(|i| (i, i + 1))).build()
+        GraphBuilder::undirected(n)
+            .edges((0..n - 1).map(|i| (i, i + 1)))
+            .build()
     }
 
     #[test]
@@ -175,7 +181,10 @@ mod tests {
     fn berrybees_wins_on_social_graphs() {
         let g = star_social(20_000);
         let (name, _) = best_bfs(&g, 0, &h100());
-        assert_eq!(name, "BerryBees", "direction optimization should win on hub graphs");
+        assert_eq!(
+            name, "BerryBees",
+            "direction optimization should win on hub graphs"
+        );
     }
 
     #[test]

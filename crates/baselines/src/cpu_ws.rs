@@ -22,8 +22,24 @@
 use crate::run::BaselineRun;
 use db_gpu_sim::{Des, MachineModel, MemPipeline, SimStats};
 use db_graph::{CsrGraph, VertexId};
+use db_trace::{EventKind, NullTracer, PhaseKind, TraceEvent, Tracer};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// Records an event with CPU-baseline provenance: each worker core is
+/// its own "block" (there is no warp hierarchy), timestamps are
+/// simulated cycles. Folds away entirely under [`NullTracer`].
+#[inline(always)]
+fn emit<T: Tracer>(tracer: &T, cycle: u64, worker: u32, kind: EventKind) {
+    if T::ENABLED {
+        tracer.record(TraceEvent {
+            cycle,
+            block: worker,
+            warp: 0,
+            kind,
+        });
+    }
+}
 
 /// Which CPU baseline to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,7 +65,12 @@ pub struct CpuWsConfig {
 
 impl Default for CpuWsConfig {
     fn default() -> Self {
-        Self { workers: 0, steal_cutoff: 4, chunk: 16, seed: 0xc0ffee }
+        Self {
+            workers: 0,
+            steal_cutoff: 4,
+            chunk: 16,
+            seed: 0xc0ffee,
+        }
     }
 }
 
@@ -75,9 +96,26 @@ pub fn run(
     cfg: &CpuWsConfig,
     m: &MachineModel,
 ) -> BaselineRun {
+    run_traced(g, root, style, cfg, m, &NullTracer)
+}
+
+/// Like [`run`], recording events into `tracer` (worker core as block,
+/// warp lane 0, simulated cycles as timestamps).
+pub fn run_traced<T: Tracer>(
+    g: &CsrGraph,
+    root: VertexId,
+    style: CpuWsStyle,
+    cfg: &CpuWsConfig,
+    m: &MachineModel,
+    tracer: &T,
+) -> BaselineRun {
     let n = g.num_vertices();
     assert!((root as usize) < n, "root out of range");
-    let p = if cfg.workers == 0 { m.sm_count } else { cfg.workers };
+    let p = if cfg.workers == 0 {
+        m.sm_count
+    } else {
+        cfg.workers
+    };
     assert!(p >= 1);
 
     // Per-edge and per-steal charges by style (see module docs).
@@ -93,7 +131,11 @@ pub fn run(
 
     let mut visited = vec![false; n];
     let mut workers: Vec<Worker> = (0..p)
-        .map(|_| Worker { stack: Vec::new(), phase: Phase::IdleScan, backoff: 64 })
+        .map(|_| Worker {
+            stack: Vec::new(),
+            phase: Phase::IdleScan,
+            backoff: 64,
+        })
         .collect();
     visited[root as usize] = true;
     workers[0].stack.push((root, 0));
@@ -106,6 +148,15 @@ pub fn run(
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut mem = MemPipeline::new(c.random_trans_per_cycle);
 
+    emit(
+        tracer,
+        0,
+        0,
+        EventKind::KernelPhase {
+            phase: PhaseKind::Start,
+        },
+    );
+    emit(tracer, 0, 0, EventKind::Push { vertex: root });
     let mut des = Des::new(p);
     while let Some((now, w)) = des.next() {
         let wi = w as usize;
@@ -114,6 +165,7 @@ pub fn run(
                 let Some(&(u, off)) = workers[wi].stack.last() else {
                     workers[wi].phase = Phase::IdleScan;
                     workers[wi].backoff = 64;
+                    emit(tracer, now, w, EventKind::WarpIdle);
                     des.yield_for(w, c.smem_op);
                     continue;
                 };
@@ -121,6 +173,7 @@ pub fn run(
                 let deg = row.len() as u32;
                 if off >= deg {
                     workers[wi].stack.pop();
+                    emit(tracer, now, w, EventKind::Pop { vertex: u });
                     live -= 1;
                     if live == 0 && finish.is_none() {
                         finish = Some(now + c.smem_op);
@@ -145,6 +198,7 @@ pub fn run(
                         stats.tasks_per_block[wi] += 1;
                         *workers[wi].stack.last_mut().expect("nonempty") = (u, i + 1);
                         workers[wi].stack.push((v, 0));
+                        emit(tracer, now, w, EventKind::Push { vertex: v });
                         live += 1;
                         // Dependent-miss chain per discovery: visited CAS,
                         // the new vertex's row_ptr fetch, and the parent /
@@ -198,6 +252,7 @@ pub fn run(
                 let vlen = workers[victim as usize].stack.len();
                 if vlen < cfg.steal_cutoff as usize {
                     stats.steal_failures += 1;
+                    emit(tracer, now, w, EventKind::StealFail { victim });
                     workers[wi].phase = Phase::IdleScan;
                     des.yield_for(w, c.atomic_global);
                     continue;
@@ -205,10 +260,18 @@ pub fn run(
                 // Steal half from the bottom (oldest entries — the
                 // largest unexplored subtrees).
                 let k = vlen / 2;
-                let taken: Vec<(u32, u32)> =
-                    workers[victim as usize].stack.drain(..k).collect();
+                let taken: Vec<(u32, u32)> = workers[victim as usize].stack.drain(..k).collect();
                 workers[wi].stack.extend(taken);
                 stats.steals_intra += 1;
+                emit(
+                    tracer,
+                    now,
+                    w,
+                    EventKind::StealInter {
+                        victim_block: victim,
+                        entries: k as u32,
+                    },
+                );
                 workers[wi].phase = Phase::Working;
                 workers[wi].backoff = 64;
                 des.yield_for(
@@ -223,6 +286,14 @@ pub fn run(
     }
 
     let cycles = finish.unwrap_or_else(|| des.horizon());
+    emit(
+        tracer,
+        cycles,
+        0,
+        EventKind::KernelPhase {
+            phase: PhaseKind::Finish,
+        },
+    );
     stats.cycles = cycles;
     let edges = stats.edges_traversed;
     BaselineRun {
@@ -317,7 +388,10 @@ mod tests {
     fn single_worker_degenerates_to_serial() {
         let g = grid(10, 10);
         let m = MachineModel::xeon_max();
-        let cfg = CpuWsConfig { workers: 1, ..Default::default() };
+        let cfg = CpuWsConfig {
+            workers: 1,
+            ..Default::default()
+        };
         let r = run(&g, 0, CpuWsStyle::Ckl, &cfg, &m);
         check_reachability(&g, 0, &r.visited).unwrap();
     }
@@ -326,7 +400,16 @@ mod tests {
     fn parallel_beats_single_worker_on_big_graphs() {
         let g = grid(100, 100);
         let m = MachineModel::xeon_max();
-        let one = run(&g, 0, CpuWsStyle::Ckl, &CpuWsConfig { workers: 1, ..Default::default() }, &m);
+        let one = run(
+            &g,
+            0,
+            CpuWsStyle::Ckl,
+            &CpuWsConfig {
+                workers: 1,
+                ..Default::default()
+            },
+            &m,
+        );
         let many = run(&g, 0, CpuWsStyle::Ckl, &CpuWsConfig::default(), &m);
         assert!(
             many.cycles * 4 < one.cycles,

@@ -9,10 +9,26 @@
 use crate::run::BaselineRun;
 use crossbeam::deque::{Steal, Stealer, Worker};
 use db_graph::{CsrGraph, VertexId, NO_PARENT};
+use db_trace::{EventKind, NullTracer, TraceEvent, Tracer};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::time::{Duration, Instant};
+
+/// Records an event with flat-scheduler provenance: each deque worker
+/// thread is its own "block" (warp lane 0), timestamps are nanoseconds
+/// since traversal start. Folds away entirely under [`NullTracer`].
+#[inline(always)]
+fn emit<T: Tracer>(tracer: &T, t0: Instant, tid: u32, kind: EventKind) {
+    if T::ENABLED {
+        tracer.record(TraceEvent {
+            cycle: t0.elapsed().as_nanos() as u64,
+            block: tid,
+            warp: 0,
+            kind,
+        });
+    }
+}
 
 /// Result of the crossbeam-deque DFS.
 #[derive(Debug, Clone)]
@@ -47,6 +63,18 @@ impl DequeDfsResult {
 /// Runs parallel DFS from `root` with `threads` workers on crossbeam
 /// deques (LIFO owner end, FIFO steals — the classic Chase-Lev split).
 pub fn run(g: &CsrGraph, root: VertexId, threads: u32, seed: u64) -> DequeDfsResult {
+    run_traced(g, root, threads, seed, &NullTracer)
+}
+
+/// Like [`run`], recording events into `tracer` (worker thread as
+/// block, warp lane 0, nanoseconds since start as timestamps).
+pub fn run_traced<T: Tracer>(
+    g: &CsrGraph,
+    root: VertexId,
+    threads: u32,
+    seed: u64,
+    tracer: &T,
+) -> DequeDfsResult {
     let n = g.num_vertices();
     assert!((root as usize) < n, "root out of range");
     let threads = threads.max(1);
@@ -65,6 +93,15 @@ pub fn run(g: &CsrGraph, root: VertexId, threads: u32, seed: u64) -> DequeDfsRes
     workers[0].push((root, 0));
 
     let start = Instant::now();
+    emit(
+        tracer,
+        start,
+        0,
+        EventKind::KernelPhase {
+            phase: db_trace::PhaseKind::Start,
+        },
+    );
+    emit(tracer, start, 0, EventKind::Push { vertex: root });
     crossbeam::scope(|scope| {
         for (tid, worker) in workers.into_iter().enumerate() {
             let visited = &visited;
@@ -92,12 +129,24 @@ pub fn run(g: &CsrGraph, root: VertexId, threads: u32, seed: u64) -> DequeDfsRes
                             }
                             if let Steal::Success(t) = stealers[v].steal() {
                                 steals.fetch_add(1, Ordering::Relaxed);
+                                emit(
+                                    tracer,
+                                    start,
+                                    tid as u32,
+                                    EventKind::StealInter {
+                                        victim_block: v as u32,
+                                        entries: 1,
+                                    },
+                                );
                                 return Some(t);
                             }
                         }
                         None
                     });
                     let Some((u, off)) = task else {
+                        if backoff == 0 {
+                            emit(tracer, start, tid as u32, EventKind::WarpIdle);
+                        }
                         backoff = (backoff + 1).min(16);
                         if backoff < 4 {
                             std::hint::spin_loop();
@@ -136,8 +185,12 @@ pub fn run(g: &CsrGraph, root: VertexId, threads: u32, seed: u64) -> DequeDfsRes
                         // Parent entry continues, child goes on top.
                         worker.push((u, i));
                         worker.push((v, 0));
-                    } else if live.fetch_sub(1, Ordering::AcqRel) == 1 {
-                        done.store(true, Ordering::Release);
+                        emit(tracer, start, tid as u32, EventKind::Push { vertex: v });
+                    } else {
+                        emit(tracer, start, tid as u32, EventKind::Pop { vertex: u });
+                        if live.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            done.store(true, Ordering::Release);
+                        }
                     }
                 }
                 edges.fetch_add(local_edges, Ordering::Relaxed);
@@ -146,9 +199,20 @@ pub fn run(g: &CsrGraph, root: VertexId, threads: u32, seed: u64) -> DequeDfsRes
     })
     .expect("worker panicked");
     let wall = start.elapsed();
+    emit(
+        tracer,
+        start,
+        0,
+        EventKind::KernelPhase {
+            phase: db_trace::PhaseKind::Finish,
+        },
+    );
 
     DequeDfsResult {
-        visited: visited.iter().map(|a| a.load(Ordering::Acquire) != 0).collect(),
+        visited: visited
+            .iter()
+            .map(|a| a.load(Ordering::Acquire) != 0)
+            .collect(),
         parent: parent.iter().map(|a| a.load(Ordering::Acquire)).collect(),
         wall,
         edges_traversed: edges.load(Ordering::Relaxed),
@@ -212,7 +276,9 @@ mod tests {
         // the traversal short. Deep paths with several threads provoke
         // the original schedule.
         let n = 3000u32;
-        let g = GraphBuilder::undirected(n).edges((0..n - 1).map(|i| (i, i + 1))).build();
+        let g = GraphBuilder::undirected(n)
+            .edges((0..n - 1).map(|i| (i, i + 1)))
+            .build();
         for seed in 0..6 {
             let r = run(&g, 0, 3, seed);
             check_reachability(&g, 0, &r.visited).unwrap();

@@ -42,7 +42,10 @@ pub struct NvgConfig {
 
 impl Default for NvgConfig {
     fn default() -> Self {
-        Self { memory_budget_bytes: 256 << 20, work_budget_words: 400_000_000 }
+        Self {
+            memory_budget_bytes: 256 << 20,
+            work_budget_words: 400_000_000,
+        }
     }
 }
 
@@ -103,7 +106,9 @@ pub fn run(
         for &u in &frontier {
             // Clone the label once per frontier vertex (the kernels keep
             // labels in global memory; we charge the words they touch).
-            let lu = label[u as usize].clone().expect("frontier vertex has a label");
+            let lu = label[u as usize]
+                .clone()
+                .expect("frontier vertex has a label");
             for (i, &v) in g.neighbors(u).iter().enumerate() {
                 scanned_edges += 1;
                 // Candidate label = label(u) ++ [rank of v in u's row],
@@ -161,8 +166,10 @@ pub fn run(
         // Naumov's phases order the next frontier by path label (child
         // ordering); charge the comparison traffic of that sort.
         let f = next.len() as u64;
-        let label_total: u64 =
-            next.iter().map(|&v| label[v as usize].as_ref().map_or(0, |l| l.len() as u64)).sum();
+        let label_total: u64 = next
+            .iter()
+            .map(|&v| label[v as usize].as_ref().map_or(0, |l| l.len() as u64))
+            .sum();
         let avg_label = label_total.checked_div(f).unwrap_or(0);
         let sort_words = f * (64 - f.leading_zeros() as u64) * avg_label.max(1);
         levels.push(LevelWork {
@@ -219,7 +226,16 @@ mod tests {
     #[test]
     fn matches_serial_on_dag() {
         let g = GraphBuilder::directed(7)
-            .edges([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (1, 5), (5, 6), (2, 6)])
+            .edges([
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (1, 5),
+                (5, 6),
+                (2, 6),
+            ])
             .build();
         let nvg = run(&g, 0, &NvgConfig::default(), &h100()).unwrap();
         let serial = serial_dfs(&g, 0);
@@ -243,8 +259,13 @@ mod tests {
         // A path of 100k vertices: labels average ~50k words; way past
         // a tiny budget — the §4.2 failure mode.
         let n = 100_000u32;
-        let g = GraphBuilder::undirected(n).edges((0..n - 1).map(|i| (i, i + 1))).build();
-        let cfg = NvgConfig { memory_budget_bytes: 1 << 20, ..Default::default() };
+        let g = GraphBuilder::undirected(n)
+            .edges((0..n - 1).map(|i| (i, i + 1)))
+            .build();
+        let cfg = NvgConfig {
+            memory_budget_bytes: 1 << 20,
+            ..Default::default()
+        };
         let err = run(&g, 0, &cfg, &h100()).unwrap_err();
         assert!(err.reason.contains("memory budget"));
     }
@@ -286,9 +307,13 @@ mod tests {
         }
         let g = b.build();
         let r = run(&g, 0, &NvgConfig::default(), &h100()).unwrap();
-        let single_pass =
-            (g.num_arcs() as f64 / h100().costs.stream_edges_per_cycle) as u64;
-        assert!(r.cycles > 10 * single_pass, "{} vs {}", r.cycles, single_pass);
+        let single_pass = (g.num_arcs() as f64 / h100().costs.stream_edges_per_cycle) as u64;
+        assert!(
+            r.cycles > 10 * single_pass,
+            "{} vs {}",
+            r.cycles,
+            single_pass
+        );
     }
 
     #[test]

@@ -36,7 +36,9 @@ mod tests {
 
     #[test]
     fn serial_baseline_outputs_everything() {
-        let g = GraphBuilder::undirected(4).edges([(0, 1), (1, 2), (2, 3)]).build();
+        let g = GraphBuilder::undirected(4)
+            .edges([(0, 1), (1, 2), (2, 3)])
+            .build();
         let r = run(&g, 0, &MachineModel::xeon_max());
         assert_eq!(r.num_visited(), 4);
         assert!(r.parent.is_some());

@@ -27,7 +27,15 @@ fn bench_traversal(c: &mut Criterion) {
             b.iter(|| black_box(run_sim(g, 0, &cfg, &h100)))
         });
         group.bench_with_input(BenchmarkId::new("ckl_sim", name), &g, |b, g| {
-            b.iter(|| black_box(cpu_ws::run(g, 0, CpuWsStyle::Ckl, &CpuWsConfig::default(), &xeon)))
+            b.iter(|| {
+                black_box(cpu_ws::run(
+                    g,
+                    0,
+                    CpuWsStyle::Ckl,
+                    &CpuWsConfig::default(),
+                    &xeon,
+                ))
+            })
         });
         group.bench_with_input(BenchmarkId::new("berrybees_model", name), &g, |b, g| {
             b.iter(|| black_box(bfs::run(g, 0, BfsFlavor::BerryBees, &h100)))

@@ -23,7 +23,12 @@ use db_graph::validate::check_reachability;
 
 fn main() {
     let mut table = Table::new([
-        "graph", "engine", "threads", "wall ms", "MTEPS(wall)", "steals",
+        "graph",
+        "engine",
+        "threads",
+        "wall ms",
+        "MTEPS(wall)",
+        "steals",
     ]);
     let specs = ["road_s", "mesh_s", "social_s", "copurchase_s"];
     let threads = 4u32;

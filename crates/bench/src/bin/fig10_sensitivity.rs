@@ -19,13 +19,14 @@ use db_gpu_sim::MachineModel;
 
 fn main() {
     let h100 = MachineModel::h100();
-    let srcs = std::env::var("DB_SOURCES").ok().and_then(|s| s.parse().ok()).unwrap_or(2);
+    let srcs = std::env::var("DB_SOURCES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
     let hot_values = [16u32, 32, 64];
     let cold_values = [32u32, 64, 128];
 
-    let mut table = Table::new([
-        "graph", "hot_cutoff", "cold_cutoff", "MTEPS", "normalized",
-    ]);
+    let mut table = Table::new(["graph", "hot_cutoff", "cold_cutoff", "MTEPS", "normalized"]);
     eprintln!("fig10: 3x3 cutoff sweep on six graphs, {srcs} sources");
     for spec in Suite::representative6() {
         let g = spec.build();
@@ -40,7 +41,11 @@ fn main() {
         let baseline = run(32, 64);
         for &hot in &hot_values {
             for &cold in &cold_values {
-                let v = if hot == 32 && cold == 64 { baseline } else { run(hot, cold) };
+                let v = if hot == 32 && cold == 64 {
+                    baseline
+                } else {
+                    run(hot, cold)
+                };
                 table.row([
                     spec.name.to_string(),
                     hot.to_string(),

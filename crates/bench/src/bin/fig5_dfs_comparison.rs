@@ -21,8 +21,17 @@ fn main() {
     ];
 
     let mut table = Table::new([
-        "graph", "family", "|V|", "|E|", "CKL-PDFS", "ACR-PDFS", "NVG-DFS", "DiggerBees",
-        "DB/CKL", "DB/ACR", "DB/NVG",
+        "graph",
+        "family",
+        "|V|",
+        "|E|",
+        "CKL-PDFS",
+        "ACR-PDFS",
+        "NVG-DFS",
+        "DiggerBees",
+        "DB/CKL",
+        "DB/ACR",
+        "DB/NVG",
     ]);
     let mut vs_ckl = Vec::new();
     let mut vs_acr = Vec::new();
@@ -32,8 +41,10 @@ fn main() {
     eprintln!("fig5: {} graphs, {srcs} sources each (MTEPS)", suite.len());
     for spec in &suite {
         let g = spec.build();
-        let vals: Vec<Option<f64>> =
-            methods.iter().map(|m| average_mteps(&g, m, srcs, 42)).collect();
+        let vals: Vec<Option<f64>> = methods
+            .iter()
+            .map(|m| average_mteps(&g, m, srcs, 42))
+            .collect();
         let db = vals[3];
         if vals[2].is_none() {
             nvg_failures += 1;
@@ -61,12 +72,13 @@ fn main() {
         eprintln!("  {} done", spec.name);
     }
     table.emit("fig5_dfs_comparison", csv_flag());
-    println!(
-        "geomean speedups of DiggerBees (paper: 1.37x vs CKL, 1.83x vs ACR, 30.18x vs NVG):"
-    );
+    println!("geomean speedups of DiggerBees (paper: 1.37x vs CKL, 1.83x vs ACR, 30.18x vs NVG):");
     println!("  vs CKL-PDFS: {:.2}x", geomean_speedup(&vs_ckl));
     println!("  vs ACR-PDFS: {:.2}x", geomean_speedup(&vs_acr));
-    println!("  vs NVG-DFS : {:.2}x (over graphs where NVG completed)", geomean_speedup(&vs_nvg));
+    println!(
+        "  vs NVG-DFS : {:.2}x (over graphs where NVG completed)",
+        geomean_speedup(&vs_nvg)
+    );
     println!(
         "NVG-DFS failed on {nvg_failures}/{} graphs (paper: 44/234 — memory-bound path labels)",
         suite.len()

@@ -21,7 +21,14 @@ fn main() {
     ];
 
     let mut table = Table::new([
-        "graph", "family", "|V|", "|E|", "CKL-PDFS", "ACR-PDFS", "NVG-DFS", "BestBFS",
+        "graph",
+        "family",
+        "|V|",
+        "|E|",
+        "CKL-PDFS",
+        "ACR-PDFS",
+        "NVG-DFS",
+        "BestBFS",
         "DiggerBees",
     ]);
     eprintln!("fig6: 12 representative graphs, {srcs} sources each (MTEPS)");

@@ -18,7 +18,14 @@ fn main() {
     let srcs = sources_per_graph();
 
     let mut table = Table::new([
-        "graph", "|E|", "NVG(A100)", "NVG(H100)", "NVG H/A", "DB(A100)", "DB(H100)", "DB H/A",
+        "graph",
+        "|E|",
+        "NVG(A100)",
+        "NVG(H100)",
+        "NVG H/A",
+        "DB(A100)",
+        "DB(H100)",
+        "DB H/A",
     ]);
     let mut nvg_ratios = Vec::new();
     let mut db_ratios = Vec::new();

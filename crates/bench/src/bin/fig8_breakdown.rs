@@ -28,19 +28,24 @@ fn main() {
         ("v4", DiggerBeesConfig::v4(h100.sm_count)),
     ];
 
-    let mut table =
-        Table::new(["graph", "v1", "v2", "v3", "v4", "v2/v1", "v3/v2", "v4/v3"]);
+    let mut table = Table::new(["graph", "v1", "v2", "v3", "v4", "v2/v1", "v3/v2", "v4/v3"]);
     eprintln!("fig8: v1..v4 on six representative graphs (MTEPS)");
     for spec in Suite::representative6() {
         let g = spec.build();
         let mut mteps = Vec::new();
         for (name, cfg) in &versions {
-            let v = average_mteps(&g, &Method::DiggerBees(*cfg, h100.clone()), srcs, 42)
-                .unwrap_or(0.0);
+            let v =
+                average_mteps(&g, &Method::DiggerBees(*cfg, h100.clone()), srcs, 42).unwrap_or(0.0);
             mteps.push(v);
             eprintln!("  {} {} done: {:.1}", spec.name, name, v);
         }
-        let r = |a: f64, b: f64| if a > 0.0 { format!("{:.2}x", b / a) } else { "-".into() };
+        let r = |a: f64, b: f64| {
+            if a > 0.0 {
+                format!("{:.2}x", b / a)
+            } else {
+                "-".into()
+            }
+        };
         table.row([
             spec.name.to_string(),
             format!("{:.1}", mteps[0]),

@@ -18,15 +18,23 @@ use db_graph::sources::select_sources;
 fn main() {
     let h100 = MachineModel::h100();
     let mut table = Table::new([
-        "graph", "policy", "min", "median", "max", "CV", "steals_inter", "MTEPS",
+        "graph",
+        "policy",
+        "min",
+        "median",
+        "max",
+        "CV",
+        "steals_inter",
+        "MTEPS",
     ]);
     eprintln!("fig9: per-block task distribution, Random vs TwoChoice");
     for spec in Suite::representative6() {
         let g = spec.build();
         let root = select_sources(&g, 1, 42)[0];
-        for (label, policy) in
-            [("Baseline(random)", VictimPolicy::Random), ("DiggerBees(2choice)", VictimPolicy::TwoChoice)]
-        {
+        for (label, policy) in [
+            ("Baseline(random)", VictimPolicy::Random),
+            ("DiggerBees(2choice)", VictimPolicy::TwoChoice),
+        ] {
             let cfg = DiggerBeesConfig {
                 victim_policy: policy,
                 ..DiggerBeesConfig::v4(h100.sm_count)

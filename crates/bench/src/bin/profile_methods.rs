@@ -56,6 +56,13 @@ fn main() {
         deciles[d].0 += a as u64;
         deciles[d].1 += 1;
     }
-    let avgs: Vec<u64> = deciles.iter().map(|&(s, c)| s.checked_div(c).unwrap_or(0)).collect();
-    eprintln!("DB active warps by decile: {:?} (of {})", avgs, cfg.total_warps());
+    let avgs: Vec<u64> = deciles
+        .iter()
+        .map(|&(s, c)| s.checked_div(c).unwrap_or(0))
+        .collect();
+    eprintln!(
+        "DB active warps by decile: {:?} (of {})",
+        avgs,
+        cfg.total_warps()
+    );
 }

@@ -27,16 +27,41 @@ fn main() {
 
     // ---- Table 1: platforms and methods ----
     println!("== Table 1: platforms and methods ==");
-    let mut t1 = Table::new(["hardware", "SMs/cores", "clock GHz", "TMA", "method", "type"]);
+    let mut t1 = Table::new([
+        "hardware",
+        "SMs/cores",
+        "clock GHz",
+        "TMA",
+        "method",
+        "type",
+    ]);
     let xeon = MachineModel::xeon_max();
     let a100 = MachineModel::a100();
     let h100 = MachineModel::h100();
-    t1.row([xeon.name.clone(), xeon.sm_count.to_string(), format!("{:.2}", xeon.clock_ghz),
-            "-".into(), "CKL-PDFS / ACR-PDFS".into(), "DFS".into()]);
-    t1.row([a100.name.clone(), a100.sm_count.to_string(), format!("{:.2}", a100.clock_ghz),
-            "no".into(), "NVG-DFS / Gunrock / BerryBees".into(), "DFS/BFS".into()]);
-    t1.row([h100.name.clone(), h100.sm_count.to_string(), format!("{:.2}", h100.clock_ghz),
-            "yes".into(), "DiggerBees (this work)".into(), "DFS".into()]);
+    t1.row([
+        xeon.name.clone(),
+        xeon.sm_count.to_string(),
+        format!("{:.2}", xeon.clock_ghz),
+        "-".into(),
+        "CKL-PDFS / ACR-PDFS".into(),
+        "DFS".into(),
+    ]);
+    t1.row([
+        a100.name.clone(),
+        a100.sm_count.to_string(),
+        format!("{:.2}", a100.clock_ghz),
+        "no".into(),
+        "NVG-DFS / Gunrock / BerryBees".into(),
+        "DFS/BFS".into(),
+    ]);
+    t1.row([
+        h100.name.clone(),
+        h100.sm_count.to_string(),
+        format!("{:.2}", h100.clock_ghz),
+        "yes".into(),
+        "DiggerBees (this work)".into(),
+        "DFS".into(),
+    ]);
     t1.emit("table1_platforms", csv);
 
     // ---- Table 2: output semantics, checked by execution ----
@@ -50,33 +75,65 @@ fn main() {
 
     let ckl = cpu_ws::run(&g, root, CpuWsStyle::Ckl, &CpuWsConfig::default(), &xeon);
     check_reachability(&g, root, &ckl.visited).unwrap();
-    t2.row(["CKL-PDFS".to_string(), "yes".into(), yes_no(ckl.parent.is_some()),
-            "N/A".into(), yes_no(ckl.level.is_some())]);
+    t2.row([
+        "CKL-PDFS".to_string(),
+        "yes".into(),
+        yes_no(ckl.parent.is_some()),
+        "N/A".into(),
+        yes_no(ckl.level.is_some()),
+    ]);
 
     let acr = cpu_ws::run(&g, root, CpuWsStyle::Acr, &CpuWsConfig::default(), &xeon);
     check_reachability(&g, root, &acr.visited).unwrap();
-    t2.row(["ACR-PDFS".to_string(), "yes".into(), yes_no(acr.parent.is_some()),
-            "N/A".into(), yes_no(acr.level.is_some())]);
+    t2.row([
+        "ACR-PDFS".to_string(),
+        "yes".into(),
+        yes_no(acr.parent.is_some()),
+        "N/A".into(),
+        yes_no(acr.level.is_some()),
+    ]);
 
     let nvg = nvg::run(&g, root, &NvgConfig::default(), &h100).unwrap();
     check_spanning_tree(&g, root, &nvg.visited, nvg.parent.as_ref().unwrap()).unwrap();
     let serial_out = serial::run(&g, root, &xeon);
-    assert_eq!(nvg.order, serial_out.order, "NVG order must be lexicographic");
-    t2.row(["NVG-DFS".to_string(), "yes".into(), "yes (ordered)".into(),
-            "yes".into(), "N/A".into()]);
+    assert_eq!(
+        nvg.order, serial_out.order,
+        "NVG order must be lexicographic"
+    );
+    t2.row([
+        "NVG-DFS".to_string(),
+        "yes".into(),
+        "yes (ordered)".into(),
+        "yes".into(),
+        "N/A".into(),
+    ]);
 
-    for (name, flavor) in [("Gunrock", BfsFlavor::Gunrock), ("BerryBees", BfsFlavor::BerryBees)] {
+    for (name, flavor) in [
+        ("Gunrock", BfsFlavor::Gunrock),
+        ("BerryBees", BfsFlavor::BerryBees),
+    ] {
         let r = bfs::run(&g, root, flavor, &h100);
         check_reachability(&g, root, &r.visited).unwrap();
         let (want, _) = bfs_levels(&g, root);
         assert_eq!(r.level.as_ref().unwrap(), &want);
-        t2.row([name.to_string(), "yes".into(), "N/A".into(), "N/A".into(), "yes".into()]);
+        t2.row([
+            name.to_string(),
+            "yes".into(),
+            "N/A".into(),
+            "N/A".into(),
+            "yes".into(),
+        ]);
     }
 
     let db = run_sim(&g, root, &DiggerBeesConfig::v4(h100.sm_count), &h100);
     check_spanning_tree(&g, root, &db.visited, &db.parent).unwrap();
-    t2.row(["DiggerBees (this work)".to_string(), "yes".into(), "yes (unordered)".into(),
-            "N/A".into(), "N/A".into()]);
+    t2.row([
+        "DiggerBees (this work)".to_string(),
+        "yes".into(),
+        "yes (unordered)".into(),
+        "N/A".into(),
+        "N/A".into(),
+    ]);
     t2.emit("table2_semantics", csv);
 
     // ---- Table 3: collections ----
@@ -84,18 +141,34 @@ fn main() {
     let mut t3 = Table::new(["group", "count", "description"]);
     let suite = Suite::full();
     let count = |f: GraphFamily| suite.iter().filter(|s| s.family == f).count().to_string();
-    t3.row(["DIMACS10".to_string(), count(GraphFamily::Dimacs10),
-            "clustering, numerical simulation, road networks (synthetic analogues)".into()]);
-    t3.row(["SNAP".to_string(), count(GraphFamily::Snap),
-            "social, citation, and web graphs (synthetic analogues)".into()]);
-    t3.row(["LAW".to_string(), count(GraphFamily::Law),
-            "large web crawls (synthetic analogues)".into()]);
+    t3.row([
+        "DIMACS10".to_string(),
+        count(GraphFamily::Dimacs10),
+        "clustering, numerical simulation, road networks (synthetic analogues)".into(),
+    ]);
+    t3.row([
+        "SNAP".to_string(),
+        count(GraphFamily::Snap),
+        "social, citation, and web graphs (synthetic analogues)".into(),
+    ]);
+    t3.row([
+        "LAW".to_string(),
+        count(GraphFamily::Law),
+        "large web crawls (synthetic analogues)".into(),
+    ]);
     t3.emit("table3_collections", csv);
 
     // ---- Table 4: representative graphs ----
     println!("== Table 4: representative graphs ==");
     let mut t4 = Table::new([
-        "graph", "group", "|V|", "|E|", "max deg", "CSR MB", "BFS levels", "paper analogue",
+        "graph",
+        "group",
+        "|V|",
+        "|E|",
+        "max deg",
+        "CSR MB",
+        "BFS levels",
+        "paper analogue",
     ]);
     for spec in Suite::representative12() {
         let g = spec.build();

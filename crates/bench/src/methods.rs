@@ -62,11 +62,15 @@ pub fn run_once(g: &CsrGraph, root: u32, method: &Method) -> MethodOutcome {
     match method {
         Method::Ckl => {
             let m = MachineModel::xeon_max();
-            MethodOutcome::Ok(cpu_ws::run(g, root, CpuWsStyle::Ckl, &CpuWsConfig::default(), &m).mteps)
+            MethodOutcome::Ok(
+                cpu_ws::run(g, root, CpuWsStyle::Ckl, &CpuWsConfig::default(), &m).mteps,
+            )
         }
         Method::Acr => {
             let m = MachineModel::xeon_max();
-            MethodOutcome::Ok(cpu_ws::run(g, root, CpuWsStyle::Acr, &CpuWsConfig::default(), &m).mteps)
+            MethodOutcome::Ok(
+                cpu_ws::run(g, root, CpuWsStyle::Acr, &CpuWsConfig::default(), &m).mteps,
+            )
         }
         Method::Nvg(m) => match nvg::run(g, root, &NvgConfig::default(), m) {
             Ok(r) => MethodOutcome::Ok(r.mteps),
@@ -97,7 +101,10 @@ pub fn average_mteps(g: &CsrGraph, method: &Method, n_sources: usize, seed: u64)
 /// Sources-per-graph knob (`DB_SOURCES`, default 4 — the paper uses 64;
 /// 4 keeps the full sweep minutes-scale on one host).
 pub fn sources_per_graph() -> usize {
-    std::env::var("DB_SOURCES").ok().and_then(|s| s.parse().ok()).unwrap_or(4)
+    std::env::var("DB_SOURCES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4)
 }
 
 /// Geometric-mean speedup of `a` over `b` across graphs, skipping pairs
@@ -150,7 +157,11 @@ mod tests {
 
     #[test]
     fn geomean_speedup_skips_failures() {
-        let pairs = [(Some(4.0), Some(2.0)), (None, Some(1.0)), (Some(8.0), Some(2.0))];
+        let pairs = [
+            (Some(4.0), Some(2.0)),
+            (None, Some(1.0)),
+            (Some(8.0), Some(2.0)),
+        ];
         let s = geomean_speedup(&pairs);
         assert!((s - (2.0f64 * 4.0).sqrt()).abs() < 1e-9);
     }

@@ -86,18 +86,28 @@ impl DiggerBeesConfig {
     /// Breakdown version v2: two-level stack, a single block, intra-block
     /// stealing only.
     pub fn v2() -> Self {
-        Self { blocks: 1, inter_block: false, ..Self::default() }
+        Self {
+            blocks: 1,
+            inter_block: false,
+            ..Self::default()
+        }
     }
 
     /// Breakdown version v3: two-level stack, 66 blocks, intra- and
     /// inter-block stealing.
     pub fn v3() -> Self {
-        Self { blocks: 66, ..Self::default() }
+        Self {
+            blocks: 66,
+            ..Self::default()
+        }
     }
 
     /// Breakdown version v4 (the full implementation): one block per SM.
     pub fn v4(sm_count: u32) -> Self {
-        Self { blocks: sm_count, ..Self::default() }
+        Self {
+            blocks: sm_count,
+            ..Self::default()
+        }
     }
 
     /// Total number of warps.
@@ -188,12 +198,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "hot_cutoff")]
     fn rejects_cutoff_above_ring() {
-        DiggerBeesConfig { hot_cutoff: 256, ..Default::default() }.validate();
+        DiggerBeesConfig {
+            hot_cutoff: 256,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]
     fn total_warps_product() {
-        let c = DiggerBeesConfig { blocks: 66, warps_per_block: 8, ..Default::default() };
+        let c = DiggerBeesConfig {
+            blocks: 66,
+            warps_per_block: 8,
+            ..Default::default()
+        };
         assert_eq!(c.total_warps(), 528);
     }
 }

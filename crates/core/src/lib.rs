@@ -39,4 +39,4 @@ pub mod sim;
 pub mod stack;
 
 pub use config::{DiggerBeesConfig, StackLevels, VictimPolicy};
-pub use sim::{run_sim, SimResult};
+pub use sim::{run_sim, run_sim_traced, SimResult};

@@ -82,9 +82,16 @@ impl StampedRing {
     pub fn new(cap: u32) -> Self {
         assert!(cap >= 1, "capacity must be positive");
         let slots = (0..cap)
-            .map(|i| Slot { stamp: AtomicU64::new(writable(i)), data: AtomicU64::new(0) })
+            .map(|i| Slot {
+                stamp: AtomicU64::new(writable(i)),
+                data: AtomicU64::new(0),
+            })
             .collect();
-        Self { control: AtomicU64::new(0), slots, cap }
+        Self {
+            control: AtomicU64::new(0),
+            slots,
+            cap,
+        }
     }
 
     /// Capacity in entries.
@@ -127,7 +134,12 @@ impl StampedRing {
             }
             if self
                 .control
-                .compare_exchange_weak(c, pack(h.wrapping_add(1), t), Ordering::AcqRel, Ordering::Relaxed)
+                .compare_exchange_weak(
+                    c,
+                    pack(h.wrapping_add(1), t),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                )
                 .is_ok()
             {
                 // Position h is ours; wait for the slot's previous
@@ -182,7 +194,12 @@ impl StampedRing {
             let take = k.min(avail);
             if self
                 .control
-                .compare_exchange(c, pack(h, t.wrapping_add(take)), Ordering::AcqRel, Ordering::Relaxed)
+                .compare_exchange(
+                    c,
+                    pack(h, t.wrapping_add(take)),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                )
                 .is_ok()
             {
                 let mut out = Vec::with_capacity(take as usize);
@@ -192,7 +209,8 @@ impl StampedRing {
                     let s = self.slot(p);
                     out.push(unpack_entry(s.data.load(Ordering::Relaxed)));
                     // Release the slot for the *next lap* of this slot.
-                    s.stamp.store(writable(p.wrapping_add(self.cap)), Ordering::Release);
+                    s.stamp
+                        .store(writable(p.wrapping_add(self.cap)), Ordering::Release);
                 }
                 return out;
             }
@@ -324,7 +342,11 @@ mod tests {
         }
         assert_eq!(consumed.load(Ordering::Relaxed), total as u64);
         let expect: u64 = (0..total as u64).sum();
-        assert_eq!(sum.load(Ordering::Relaxed), expect, "entries lost or duplicated");
+        assert_eq!(
+            sum.load(Ordering::Relaxed),
+            expect,
+            "entries lost or duplicated"
+        );
         assert!(ring.is_empty());
     }
 }

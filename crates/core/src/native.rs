@@ -24,11 +24,36 @@ use crate::config::DiggerBeesConfig;
 use crate::stack::{ColdSeg, Entry, HotRing};
 use db_gpu_sim::SimStats;
 use db_graph::{CsrGraph, VertexId, NO_PARENT};
+use db_trace::{EventKind, NullTracer, PhaseKind, TraceEvent, Tracer};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::time::{Duration, Instant};
+
+/// Tracer plus the engine start time; native engines stamp events with
+/// nanoseconds since kernel start (monotone per warp, which is all the
+/// exporters require).
+pub(crate) struct TraceCtx<'t, T: Tracer> {
+    pub(crate) tracer: &'t T,
+    pub(crate) t0: Instant,
+}
+
+impl<T: Tracer> TraceCtx<'_, T> {
+    /// `T::ENABLED` is a compile-time constant: with [`NullTracer`] the
+    /// timestamp read, event construction, and call all fold away.
+    #[inline(always)]
+    pub(crate) fn emit(&self, block: u32, lane: u32, kind: EventKind) {
+        if T::ENABLED {
+            self.tracer.record(TraceEvent {
+                cycle: self.t0.elapsed().as_nanos() as u64,
+                block,
+                warp: lane,
+                kind,
+            });
+        }
+    }
+}
 
 /// Configuration for the native engine: the algorithm parameters plus
 /// nothing else — thread count is `blocks × warps_per_block`.
@@ -140,6 +165,16 @@ impl NativeEngine {
     ///
     /// Panics if `root` is out of range or the configuration is invalid.
     pub fn run(&self, g: &CsrGraph, root: VertexId) -> NativeResult {
+        self.run_traced(g, root, &NullTracer)
+    }
+
+    /// Like [`NativeEngine::run`], recording events into `tracer`.
+    ///
+    /// Event timestamps are nanoseconds since kernel start; block/warp
+    /// provenance maps worker thread `w` to block `w / warps_per_block`,
+    /// lane `w % warps_per_block`. With [`NullTracer`] this compiles to
+    /// exactly [`NativeEngine::run`].
+    pub fn run_traced<T: Tracer>(&self, g: &CsrGraph, root: VertexId, tracer: &T) -> NativeResult {
         let cfg = self.cfg.algo;
         cfg.validate();
         let n = g.num_vertices();
@@ -181,19 +216,40 @@ impl NativeEngine {
         shared.tasks_per_block[0].store(1, Ordering::Relaxed);
         shared.live.store(1, Ordering::Release);
         shared.pending[0].store(1, Ordering::Release);
-        shared.warps[0].hot.lock().push((root, 0)).expect("fresh ring");
+        shared.warps[0]
+            .hot
+            .lock()
+            .push((root, 0))
+            .expect("fresh ring");
         shared.warps[0].hot_len.store(1, Ordering::Release);
         shared.block_active[0].store(1, Ordering::Release);
 
         let start = Instant::now();
+        let tc = TraceCtx { tracer, t0: start };
+        tc.emit(
+            0,
+            0,
+            EventKind::KernelPhase {
+                phase: PhaseKind::Start,
+            },
+        );
+        tc.emit(0, 0, EventKind::Push { vertex: root });
         crossbeam::scope(|scope| {
             for w in 0..nw {
                 let shared = &shared;
-                scope.spawn(move |_| worker(shared, w, w == 0));
+                let tc = &tc;
+                scope.spawn(move |_| worker(shared, w, w == 0, tc));
             }
         })
         .expect("worker panicked");
         let wall = start.elapsed();
+        tc.emit(
+            0,
+            0,
+            EventKind::KernelPhase {
+                phase: PhaseKind::Finish,
+            },
+        );
 
         debug_assert_eq!(shared.live.load(Ordering::SeqCst), 0);
         let mut stats = SimStats::new(cfg.blocks as usize);
@@ -211,18 +267,28 @@ impl NativeEngine {
             .map(|a| a.load(Ordering::Relaxed))
             .collect();
         NativeResult {
-            visited: shared.visited.iter().map(|a| a.load(Ordering::Acquire) != 0).collect(),
-            parent: shared.parent.iter().map(|a| a.load(Ordering::Acquire)).collect(),
+            visited: shared
+                .visited
+                .iter()
+                .map(|a| a.load(Ordering::Acquire) != 0)
+                .collect(),
+            parent: shared
+                .parent
+                .iter()
+                .map(|a| a.load(Ordering::Acquire))
+                .collect(),
             stats,
             wall,
         }
     }
 }
 
-fn worker(s: &Shared<'_>, w: u32, initially_active: bool) {
+fn worker<T: Tracer>(s: &Shared<'_>, w: u32, initially_active: bool, tc: &TraceCtx<'_, T>) {
     let cfg = s.cfg;
     let b = s.block_of(w) as usize;
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (w as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let lane = w % cfg.warps_per_block;
+    let mut rng =
+        SmallRng::seed_from_u64(cfg.seed ^ (w as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
     let mut active = initially_active;
     let mut backoff = 0u32;
 
@@ -236,18 +302,19 @@ fn worker(s: &Shared<'_>, w: u32, initially_active: bool) {
             break;
         }
         if active {
-            if work_step(s, w, b, &mut edges, &mut vertices, &mut tasks) {
+            if work_step(s, w, b, &mut edges, &mut vertices, &mut tasks, tc) {
                 backoff = 0;
                 continue;
             }
             // Out of local work: flip to idle.
             active = false;
             s.block_active[b].fetch_sub(1, Ordering::AcqRel);
+            tc.emit(b as u32, lane, EventKind::WarpIdle);
             continue;
         }
         // Idle: merge hot counters early so other threads see progress,
         // then try to steal.
-        if steal_step(s, w, b, &mut rng) {
+        if steal_step(s, w, b, &mut rng, tc) {
             active = true;
             backoff = 0;
             s.block_active[b].fetch_add(1, Ordering::AcqRel);
@@ -268,14 +335,16 @@ fn worker(s: &Shared<'_>, w: u32, initially_active: bool) {
 
 /// One unit of DFS progress for an active warp. Returns false when the
 /// warp has no local work left (hot and cold both empty).
-fn work_step(
+fn work_step<T: Tracer>(
     s: &Shared<'_>,
     w: u32,
     b: usize,
     edges: &mut u64,
     vertices: &mut u64,
     tasks: &mut u64,
+    tc: &TraceCtx<'_, T>,
 ) -> bool {
+    let lane = w % s.cfg.warps_per_block;
     let ws = &s.warps[w as usize];
     let mut hot = ws.hot.lock();
     if hot.is_empty() {
@@ -290,6 +359,13 @@ fn work_step(
         hot.push_batch(&batch);
         ws.hot_len.store(hot.len(), Ordering::Release);
         s.refills.fetch_add(1, Ordering::Relaxed);
+        tc.emit(
+            b as u32,
+            lane,
+            EventKind::Refill {
+                entries: batch.len() as u32,
+            },
+        );
         return true;
     }
 
@@ -300,6 +376,7 @@ fn work_step(
         hot.pop();
         ws.hot_len.store(hot.len(), Ordering::Release);
         drop(hot);
+        tc.emit(b as u32, lane, EventKind::Pop { vertex: u });
         s.pending[b].fetch_sub(1, Ordering::AcqRel);
         if s.live.fetch_sub(1, Ordering::AcqRel) == 1 {
             // This thread consumed the last live entry: traversal done.
@@ -343,16 +420,25 @@ fn work_step(
                 ws.cold_len.store(cold.len(), Ordering::Release);
                 drop(cold);
                 s.flushes.fetch_add(1, Ordering::Relaxed);
+                tc.emit(
+                    b as u32,
+                    lane,
+                    EventKind::Flush {
+                        entries: batch.len() as u32,
+                    },
+                );
             }
             hot.push((v, 0)).expect("flush guarantees space");
             ws.hot_len.store(hot.len(), Ordering::Release);
             drop(hot);
+            tc.emit(b as u32, lane, EventKind::Push { vertex: v });
         }
         None => {
             // Row exhausted without a claim: the entry dies.
             hot.pop();
             ws.hot_len.store(hot.len(), Ordering::Release);
             drop(hot);
+            tc.emit(b as u32, lane, EventKind::Pop { vertex: u });
             s.pending[b].fetch_sub(1, Ordering::AcqRel);
             if s.live.fetch_sub(1, Ordering::AcqRel) == 1 {
                 s.done.store(true, Ordering::Release);
@@ -363,10 +449,17 @@ fn work_step(
 }
 
 /// One steal attempt for an idle warp. Returns true if work was acquired.
-fn steal_step(s: &Shared<'_>, w: u32, b: usize, rng: &mut SmallRng) -> bool {
+fn steal_step<T: Tracer>(
+    s: &Shared<'_>,
+    w: u32,
+    b: usize,
+    rng: &mut SmallRng,
+    tc: &TraceCtx<'_, T>,
+) -> bool {
     let cfg = s.cfg;
     let wpb = cfg.warps_per_block;
     let first = b as u32 * wpb;
+    let lane = w % wpb;
 
     // --- Intra-block (Algorithm 3) ---
     let mut max_rest = 0u64;
@@ -392,10 +485,19 @@ fn steal_step(s: &Shared<'_>, w: u32, b: usize, rng: &mut SmallRng) -> bool {
                 drop(vhot);
                 deposit(s, w, &batch);
                 s.steals_intra.fetch_add(1, Ordering::Relaxed);
+                tc.emit(
+                    b as u32,
+                    lane,
+                    EventKind::StealIntra {
+                        victim_warp: v % wpb,
+                        entries: batch.len() as u32,
+                    },
+                );
                 return true;
             }
             drop(vhot);
             s.steal_failures.fetch_add(1, Ordering::Relaxed);
+            tc.emit(b as u32, lane, EventKind::StealFail { victim: v % wpb });
         }
     }
 
@@ -426,6 +528,7 @@ fn steal_step(s: &Shared<'_>, w: u32, b: usize, rng: &mut SmallRng) -> bool {
     if vcold.len() < cfg.cold_cutoff as u64 {
         drop(vcold);
         s.steal_failures.fetch_add(1, Ordering::Relaxed);
+        tc.emit(b as u32, lane, EventKind::StealFail { victim: vb });
         return false;
     }
     let batch = vcold.take_from_bottom(cfg.cold_steal_batch() as u64);
@@ -436,6 +539,14 @@ fn steal_step(s: &Shared<'_>, w: u32, b: usize, rng: &mut SmallRng) -> bool {
     s.pending[b].fetch_add(k, Ordering::AcqRel);
     deposit(s, w, &batch);
     s.steals_inter.fetch_add(1, Ordering::Relaxed);
+    tc.emit(
+        b as u32,
+        lane,
+        EventKind::StealInter {
+            victim_block: vb,
+            entries: batch.len() as u32,
+        },
+    );
     true
 }
 
@@ -541,7 +652,9 @@ mod tests {
     fn deep_path_exercises_flush_refill() {
         // Single warp so thieves cannot drain the ring before it fills.
         let n = 5000u32;
-        let g = GraphBuilder::undirected(n).edges((0..n - 1).map(|i| (i, i + 1))).build();
+        let g = GraphBuilder::undirected(n)
+            .edges((0..n - 1).map(|i| (i, i + 1)))
+            .build();
         let cfg = NativeConfig {
             algo: DiggerBeesConfig {
                 blocks: 1,

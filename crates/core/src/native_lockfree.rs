@@ -15,10 +15,11 @@
 
 use crate::config::DiggerBeesConfig;
 use crate::lockfree::StampedRing;
-use crate::native::NativeResult;
+use crate::native::{NativeResult, TraceCtx};
 use crate::stack::{ColdSeg, Entry};
 use db_gpu_sim::SimStats;
 use db_graph::{CsrGraph, VertexId, NO_PARENT};
+use db_trace::{EventKind, NullTracer, PhaseKind, Tracer};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -71,6 +72,13 @@ impl LockFreeEngine {
     ///
     /// Panics if `root` is out of range or the configuration is invalid.
     pub fn run(&self, g: &CsrGraph, root: VertexId) -> NativeResult {
+        self.run_traced(g, root, &NullTracer)
+    }
+
+    /// Like [`LockFreeEngine::run`], recording events into `tracer`
+    /// (same provenance scheme as
+    /// [`crate::native::NativeEngine::run_traced`]).
+    pub fn run_traced<T: Tracer>(&self, g: &CsrGraph, root: VertexId, tracer: &T) -> NativeResult {
         let cfg = self.cfg.algo;
         cfg.validate();
         let n = g.num_vertices();
@@ -114,14 +122,31 @@ impl LockFreeEngine {
         shared.block_active[0].store(1, Ordering::Release);
 
         let start = Instant::now();
+        let tc = TraceCtx { tracer, t0: start };
+        tc.emit(
+            0,
+            0,
+            EventKind::KernelPhase {
+                phase: PhaseKind::Start,
+            },
+        );
+        tc.emit(0, 0, EventKind::Push { vertex: root });
         crossbeam::scope(|scope| {
             for w in 0..nw {
                 let shared = &shared;
-                scope.spawn(move |_| worker(shared, w, w == 0));
+                let tc = &tc;
+                scope.spawn(move |_| worker(shared, w, w == 0, tc));
             }
         })
         .expect("worker panicked");
         let wall = start.elapsed();
+        tc.emit(
+            0,
+            0,
+            EventKind::KernelPhase {
+                phase: PhaseKind::Finish,
+            },
+        );
 
         let mut stats = SimStats::new(cfg.blocks as usize);
         stats.vertices_visited = shared.vertices.load(Ordering::Relaxed);
@@ -132,21 +157,34 @@ impl LockFreeEngine {
         stats.flushes = shared.flushes.load(Ordering::Relaxed);
         stats.refills = shared.refills.load(Ordering::Relaxed);
         stats.visited_cas_failures = shared.cas_failures.load(Ordering::Relaxed);
-        stats.tasks_per_block =
-            shared.tasks_per_block.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+        stats.tasks_per_block = shared
+            .tasks_per_block
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect();
         NativeResult {
-            visited: shared.visited.iter().map(|a| a.load(Ordering::Acquire) != 0).collect(),
-            parent: shared.parent.iter().map(|a| a.load(Ordering::Acquire)).collect(),
+            visited: shared
+                .visited
+                .iter()
+                .map(|a| a.load(Ordering::Acquire) != 0)
+                .collect(),
+            parent: shared
+                .parent
+                .iter()
+                .map(|a| a.load(Ordering::Acquire))
+                .collect(),
             stats,
             wall,
         }
     }
 }
 
-fn worker(s: &Shared<'_>, w: u32, initially_active: bool) {
+fn worker<T: Tracer>(s: &Shared<'_>, w: u32, initially_active: bool, tc: &TraceCtx<'_, T>) {
     let cfg = s.cfg;
     let b = (w / cfg.warps_per_block) as usize;
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (w as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let lane = w % cfg.warps_per_block;
+    let mut rng =
+        SmallRng::seed_from_u64(cfg.seed ^ (w as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
     let mut active = initially_active;
     let mut backoff = 0u32;
     let mut edges = 0u64;
@@ -158,15 +196,16 @@ fn worker(s: &Shared<'_>, w: u32, initially_active: bool) {
             break;
         }
         if active {
-            if work_step(s, w, b, &mut edges, &mut vertices, &mut tasks) {
+            if work_step(s, w, b, &mut edges, &mut vertices, &mut tasks, tc) {
                 backoff = 0;
                 continue;
             }
             active = false;
             s.block_active[b].fetch_sub(1, Ordering::AcqRel);
+            tc.emit(b as u32, lane, EventKind::WarpIdle);
             continue;
         }
-        if steal_step(s, w, b, &mut rng) {
+        if steal_step(s, w, b, &mut rng, tc) {
             active = true;
             backoff = 0;
             s.block_active[b].fetch_add(1, Ordering::AcqRel);
@@ -185,14 +224,16 @@ fn worker(s: &Shared<'_>, w: u32, initially_active: bool) {
 }
 
 /// One pop-process-push step. Returns false when out of local work.
-fn work_step(
+fn work_step<T: Tracer>(
     s: &Shared<'_>,
     w: u32,
     b: usize,
     edges: &mut u64,
     vertices: &mut u64,
     tasks: &mut u64,
+    tc: &TraceCtx<'_, T>,
 ) -> bool {
+    let lane = w % s.cfg.warps_per_block;
     let ws = &s.warps[w as usize];
     let Some((u, off)) = ws.hot.pop() else {
         // Refill from own ColdSeg.
@@ -203,10 +244,12 @@ fn work_step(
         let batch = cold.take_from_top(ws.hot.capacity() as u64 / 2);
         ws.cold_len.store(cold.len(), Ordering::Release);
         drop(cold);
+        let entries = batch.len() as u32;
         for e in batch {
             ws.hot.push(e).expect("refill fits an empty ring");
         }
         s.refills.fetch_add(1, Ordering::Relaxed);
+        tc.emit(b as u32, lane, EventKind::Refill { entries });
         return true;
     };
 
@@ -241,10 +284,12 @@ fn work_step(
             s.live.fetch_add(1, Ordering::AcqRel);
             s.pending[b].fetch_add(1, Ordering::AcqRel);
             // Push the continuation then the child (child on top).
-            push_with_flush(s, w, (u, i));
-            push_with_flush(s, w, (v, 0));
+            push_with_flush(s, w, (u, i), tc);
+            push_with_flush(s, w, (v, 0), tc);
+            tc.emit(b as u32, lane, EventKind::Push { vertex: v });
         }
         None => {
+            tc.emit(b as u32, lane, EventKind::Pop { vertex: u });
             s.pending[b].fetch_sub(1, Ordering::AcqRel);
             if s.live.fetch_sub(1, Ordering::AcqRel) == 1 {
                 s.done.store(true, Ordering::Release);
@@ -257,7 +302,7 @@ fn work_step(
 /// Push, flushing the oldest entries to the ColdSeg when the ring is
 /// full (the flush consumes from `tail` through the same steal path a
 /// thief uses, so it composes with concurrent steals).
-fn push_with_flush(s: &Shared<'_>, w: u32, e: Entry) {
+fn push_with_flush<T: Tracer>(s: &Shared<'_>, w: u32, e: Entry, tc: &TraceCtx<'_, T>) {
     let ws = &s.warps[w as usize];
     loop {
         match ws.hot.push(e) {
@@ -274,15 +319,29 @@ fn push_with_flush(s: &Shared<'_>, w: u32, e: Entry) {
                 ws.cold_len.store(cold.len(), Ordering::Release);
                 drop(cold);
                 s.flushes.fetch_add(1, Ordering::Relaxed);
+                tc.emit(
+                    w / s.cfg.warps_per_block,
+                    w % s.cfg.warps_per_block,
+                    EventKind::Flush {
+                        entries: batch.len() as u32,
+                    },
+                );
             }
         }
     }
 }
 
-fn steal_step(s: &Shared<'_>, w: u32, b: usize, rng: &mut SmallRng) -> bool {
+fn steal_step<T: Tracer>(
+    s: &Shared<'_>,
+    w: u32,
+    b: usize,
+    rng: &mut SmallRng,
+    tc: &TraceCtx<'_, T>,
+) -> bool {
     let cfg = s.cfg;
     let wpb = cfg.warps_per_block;
     let first = b as u32 * wpb;
+    let lane = w % wpb;
 
     // Intra-block: CAS reservation straight on the victim's ring.
     let mut max_rest = 0u32;
@@ -299,18 +358,27 @@ fn steal_step(s: &Shared<'_>, w: u32, b: usize, rng: &mut SmallRng) -> bool {
     }
     if let Some(v) = victim {
         if max_rest >= cfg.hot_cutoff {
-            let batch = s.warps[v as usize].hot.take_from_tail(
-                cfg.hot_steal_batch(),
-                cfg.hot_cutoff,
-                2,
-            );
+            let batch =
+                s.warps[v as usize]
+                    .hot
+                    .take_from_tail(cfg.hot_steal_batch(), cfg.hot_cutoff, 2);
             if batch.is_empty() {
                 s.steal_failures.fetch_add(1, Ordering::Relaxed);
+                tc.emit(b as u32, lane, EventKind::StealFail { victim: v % wpb });
             } else {
+                let entries = batch.len() as u32;
                 for e in batch {
-                    push_with_flush(s, w, e);
+                    push_with_flush(s, w, e, tc);
                 }
                 s.steals_intra.fetch_add(1, Ordering::Relaxed);
+                tc.emit(
+                    b as u32,
+                    lane,
+                    EventKind::StealIntra {
+                        victim_warp: v % wpb,
+                        entries,
+                    },
+                );
                 return true;
             }
         }
@@ -371,6 +439,7 @@ fn steal_step(s: &Shared<'_>, w: u32, b: usize, rng: &mut SmallRng) -> bool {
     if vcold.len() < cfg.cold_cutoff as u64 {
         drop(vcold);
         s.steal_failures.fetch_add(1, Ordering::Relaxed);
+        tc.emit(b as u32, lane, EventKind::StealFail { victim: vb });
         return false;
     }
     let batch = vcold.take_from_bottom(cfg.cold_steal_batch() as u64);
@@ -379,10 +448,19 @@ fn steal_step(s: &Shared<'_>, w: u32, b: usize, rng: &mut SmallRng) -> bool {
     let k = batch.len() as i64;
     s.pending[vb as usize].fetch_sub(k, Ordering::AcqRel);
     s.pending[b].fetch_add(k, Ordering::AcqRel);
+    let entries = batch.len() as u32;
     for e in batch {
-        push_with_flush(s, w, e);
+        push_with_flush(s, w, e, tc);
     }
     s.steals_inter.fetch_add(1, Ordering::Relaxed);
+    tc.emit(
+        b as u32,
+        lane,
+        EventKind::StealInter {
+            victim_block: vb,
+            entries,
+        },
+    );
     true
 }
 
@@ -434,7 +512,9 @@ mod tests {
     #[test]
     fn lockfree_deep_path_flushes() {
         let n = 5000u32;
-        let g = GraphBuilder::undirected(n).edges((0..n - 1).map(|i| (i, i + 1))).build();
+        let g = GraphBuilder::undirected(n)
+            .edges((0..n - 1).map(|i| (i, i + 1)))
+            .build();
         let cfg = NativeConfig {
             algo: DiggerBeesConfig {
                 blocks: 1,

@@ -26,6 +26,7 @@ use crate::config::{DiggerBeesConfig, StackLevels, VictimPolicy};
 use crate::stack::{ColdSeg, HotRing};
 use db_gpu_sim::{Des, MachineModel, MemPipeline, SimStats};
 use db_graph::{CsrGraph, VertexId, NO_PARENT};
+use db_trace::{EventKind, NullTracer, PhaseKind, TraceEvent, Tracer};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -66,8 +67,9 @@ struct Warp {
     backoff: u64,
 }
 
-struct Engine<'g> {
+struct Engine<'g, 't, T: Tracer> {
     g: &'g CsrGraph,
+    tracer: &'t T,
     cfg: DiggerBeesConfig,
     m: MachineModel,
     warps: Vec<Warp>,
@@ -92,8 +94,14 @@ struct Engine<'g> {
 const BACKOFF_START: u64 = 64;
 const BACKOFF_MAX: u64 = 4096;
 
-impl<'g> Engine<'g> {
-    fn new(g: &'g CsrGraph, root: VertexId, cfg: DiggerBeesConfig, m: MachineModel) -> Self {
+impl<'g, 't, T: Tracer> Engine<'g, 't, T> {
+    fn new(
+        g: &'g CsrGraph,
+        root: VertexId,
+        cfg: DiggerBeesConfig,
+        m: MachineModel,
+        tracer: &'t T,
+    ) -> Self {
         cfg.validate();
         let n = g.num_vertices();
         assert!((root as usize) < n, "root out of range");
@@ -118,6 +126,7 @@ impl<'g> Engine<'g> {
         let mem = MemPipeline::new(m.costs.random_trans_per_cycle);
         let mut eng = Self {
             g,
+            tracer,
             cfg,
             m,
             warps,
@@ -143,7 +152,23 @@ impl<'g> Engine<'g> {
         eng.pending[0] = 1;
         eng.set_active(0, true);
         eng.warps[0].phase = Phase::Working;
+        eng.emit(0, 0, EventKind::Push { vertex: root });
         eng
+    }
+
+    /// Records a trace event with (block, lane) provenance derived from
+    /// the global warp id. The `T::ENABLED` guard is a compile-time
+    /// constant: with `NullTracer` this entire function folds away.
+    #[inline(always)]
+    fn emit(&self, w: u32, now: u64, kind: EventKind) {
+        if T::ENABLED {
+            self.tracer.record(TraceEvent {
+                cycle: now,
+                block: self.block_of(w),
+                warp: w % self.cfg.warps_per_block,
+                kind,
+            });
+        }
     }
 
     #[inline]
@@ -219,11 +244,13 @@ impl<'g> Engine<'g> {
                 let k = entries.len() as u64;
                 self.warps[wi].hot.push_batch(&entries);
                 self.stats.refills += 1;
+                self.emit(w, now, EventKind::Refill { entries: k as u32 });
                 return self.m.transfer_cost(k) + self.mem.charge(now, Self::batch_trans(k));
             }
             self.set_active(w, false);
             self.warps[wi].phase = Phase::IdleScan;
             self.warps[wi].backoff = BACKOFF_START;
+            self.emit(w, now, EventKind::WarpIdle);
             return self.m.costs.smem_op;
         }
 
@@ -234,6 +261,7 @@ impl<'g> Engine<'g> {
             self.warps[wi].hot.pop();
             self.live -= 1;
             self.pending[b] -= 1;
+            self.emit(w, now, EventKind::Pop { vertex: u });
             if self.live == 0 && self.finish.is_none() {
                 self.finish = Some(now + self.stack_op_cost());
             }
@@ -264,8 +292,7 @@ impl<'g> Engine<'g> {
                 // row_ptr + contiguous columns (2 transactions), one
                 // scattered visited probe per examined edge, CAS + parent
                 // write (2), plus v1's global stack traffic.
-                let trans =
-                    2 + (i + 1 - off) as u64 + 2 + 2 * self.stack_op_trans();
+                let trans = 2 + (i + 1 - off) as u64 + 2 + 2 * self.stack_op_trans();
                 let mut cost = self.m.costs.edge_chunk
                     + self.m.costs.atomic_global
                     + 2 * self.stack_op_cost()
@@ -279,6 +306,7 @@ impl<'g> Engine<'g> {
                     .expect("flush guarantees space");
                 self.live += 1;
                 self.pending[b] += 1;
+                self.emit(w, now, EventKind::Push { vertex: v });
                 cost
             }
             None => {
@@ -286,9 +314,7 @@ impl<'g> Engine<'g> {
                 self.stats.edges_traversed += (chunk_end - off) as u64;
                 self.warps[wi].hot.update_top((u, chunk_end));
                 let trans = 2 + (chunk_end - off) as u64 + self.stack_op_trans();
-                self.m.costs.edge_chunk
-                    + self.stack_op_cost()
-                    + self.mem.charge(now, trans)
+                self.m.costs.edge_chunk + self.stack_op_cost() + self.mem.charge(now, trans)
             }
         }
     }
@@ -299,10 +325,13 @@ impl<'g> Engine<'g> {
     fn flush(&mut self, w: u32, now: u64) -> u64 {
         debug_assert_eq!(self.cfg.stack, StackLevels::Two);
         let wi = w as usize;
-        let batch = self.warps[wi].hot.take_from_tail(self.cfg.flush_batch as u64);
+        let batch = self.warps[wi]
+            .hot
+            .take_from_tail(self.cfg.flush_batch as u64);
         let k = batch.len() as u64;
         self.warps[wi].cold.push_top(&batch);
         self.stats.flushes += 1;
+        self.emit(w, now, EventKind::Flush { entries: k as u32 });
         self.m.transfer_cost(k) + self.mem.charge(now, Self::batch_trans(k))
     }
 
@@ -422,6 +451,13 @@ impl<'g> Engine<'g> {
         if self.warps[victim as usize].hot.len() < self.cfg.hot_cutoff as u64 {
             self.stats.steal_failures += 1;
             self.warps[w as usize].phase = Phase::IdleScan;
+            self.emit(
+                w,
+                now,
+                EventKind::StealFail {
+                    victim: victim % self.cfg.warps_per_block,
+                },
+            );
             return cas_cost;
         }
         let h_s = self.cfg.hot_steal_batch() as u64;
@@ -429,6 +465,14 @@ impl<'g> Engine<'g> {
         let k = entries.len() as u64;
         self.warps[w as usize].hot.push_batch(&entries);
         self.stats.steals_intra += 1;
+        self.emit(
+            w,
+            now,
+            EventKind::StealIntra {
+                victim_warp: victim % self.cfg.warps_per_block,
+                entries: k as u32,
+            },
+        );
         self.set_active(w, true);
         self.warps[w as usize].phase = Phase::Working;
         self.warps[w as usize].backoff = BACKOFF_START;
@@ -447,6 +491,13 @@ impl<'g> Engine<'g> {
         if self.warps[victim_warp as usize].cold.len() < self.cfg.cold_cutoff as u64 {
             self.stats.steal_failures += 1;
             self.warps[w as usize].phase = Phase::IdleScan;
+            self.emit(
+                w,
+                now,
+                EventKind::StealFail {
+                    victim: self.block_of(victim_warp),
+                },
+            );
             return self.m.costs.atomic_global;
         }
         let c_s = self.cfg.cold_steal_batch() as u64;
@@ -458,6 +509,14 @@ impl<'g> Engine<'g> {
         self.pending[vb] -= k;
         self.pending[mb] += k;
         self.stats.steals_inter += 1;
+        self.emit(
+            w,
+            now,
+            EventKind::StealInter {
+                victim_block: vb as u32,
+                entries: k as u32,
+            },
+        );
         self.set_active(w, true);
         self.warps[w as usize].phase = Phase::Working;
         self.warps[w as usize].backoff = BACKOFF_START;
@@ -473,8 +532,34 @@ impl<'g> Engine<'g> {
 ///
 /// Deterministic: identical inputs produce identical results, including
 /// all statistics.
-pub fn run_sim(g: &CsrGraph, root: VertexId, cfg: &DiggerBeesConfig, m: &MachineModel) -> SimResult {
-    let mut eng = Engine::new(g, root, *cfg, m.clone());
+pub fn run_sim(
+    g: &CsrGraph,
+    root: VertexId,
+    cfg: &DiggerBeesConfig,
+    m: &MachineModel,
+) -> SimResult {
+    run_sim_traced(g, root, cfg, m, &NullTracer)
+}
+
+/// [`run_sim`] with a [`Tracer`] attached. Tracing is observational
+/// only: for any tracer the traversal result and statistics are
+/// identical to the untraced run (the DES never consults the tracer),
+/// and with [`NullTracer`] the instrumentation compiles out entirely.
+pub fn run_sim_traced<T: Tracer>(
+    g: &CsrGraph,
+    root: VertexId,
+    cfg: &DiggerBeesConfig,
+    m: &MachineModel,
+    tracer: &T,
+) -> SimResult {
+    let mut eng = Engine::new(g, root, *cfg, m.clone(), tracer);
+    eng.emit(
+        0,
+        0,
+        EventKind::KernelPhase {
+            phase: PhaseKind::Start,
+        },
+    );
     let mut des = Des::new(cfg.total_warps());
     while let Some((now, w)) = des.next() {
         if now >= eng.trace_next {
@@ -487,8 +572,21 @@ pub fn run_sim(g: &CsrGraph, root: VertexId, cfg: &DiggerBeesConfig, m: &Machine
     }
     let cycles = eng.finish.unwrap_or_else(|| des.horizon());
     eng.stats.cycles = cycles;
+    eng.emit(
+        0,
+        cycles,
+        EventKind::KernelPhase {
+            phase: PhaseKind::Finish,
+        },
+    );
     let mteps = eng.m.mteps(eng.stats.edges_traversed, cycles);
-    SimResult { visited: eng.visited, parent: eng.parent, stats: eng.stats, mteps, trace: eng.trace }
+    SimResult {
+        visited: eng.visited,
+        parent: eng.parent,
+        stats: eng.stats,
+        mteps,
+        trace: eng.trace,
+    }
 }
 
 #[cfg(test)]
@@ -564,9 +662,21 @@ mod tests {
     fn all_variants_produce_valid_output() {
         let g = db_gen_grid(30, 30);
         for cfg in [
-            DiggerBeesConfig { blocks: 1, inter_block: false, stack: StackLevels::One, ..small_cfg() },
-            DiggerBeesConfig { blocks: 1, inter_block: false, ..small_cfg() },
-            DiggerBeesConfig { blocks: 3, ..small_cfg() },
+            DiggerBeesConfig {
+                blocks: 1,
+                inter_block: false,
+                stack: StackLevels::One,
+                ..small_cfg()
+            },
+            DiggerBeesConfig {
+                blocks: 1,
+                inter_block: false,
+                ..small_cfg()
+            },
+            DiggerBeesConfig {
+                blocks: 3,
+                ..small_cfg()
+            },
             small_cfg(),
         ] {
             let r = run_sim(&g, 0, &cfg, &h100());
@@ -591,7 +701,9 @@ mod tests {
         // A path forces stack depth = n >> hot_size. A single warp so
         // thieves cannot drain the ring before it fills.
         let n = 2000u32;
-        let g = GraphBuilder::undirected(n).edges((0..n - 1).map(|i| (i, i + 1))).build();
+        let g = GraphBuilder::undirected(n)
+            .edges((0..n - 1).map(|i| (i, i + 1)))
+            .build();
         let cfg = DiggerBeesConfig {
             blocks: 1,
             warps_per_block: 1,
@@ -607,8 +719,15 @@ mod tests {
     #[test]
     fn one_level_never_flushes() {
         let n = 1000u32;
-        let g = GraphBuilder::undirected(n).edges((0..n - 1).map(|i| (i, i + 1))).build();
-        let cfg = DiggerBeesConfig { stack: StackLevels::One, blocks: 1, inter_block: false, ..small_cfg() };
+        let g = GraphBuilder::undirected(n)
+            .edges((0..n - 1).map(|i| (i, i + 1)))
+            .build();
+        let cfg = DiggerBeesConfig {
+            stack: StackLevels::One,
+            blocks: 1,
+            inter_block: false,
+            ..small_cfg()
+        };
         let r = run_sim(&g, 0, &cfg, &h100());
         assert_eq!(r.stats.flushes, 0);
         assert_eq!(r.stats.refills, 0);
@@ -645,7 +764,10 @@ mod tests {
     #[test]
     fn random_policy_also_valid() {
         let g = db_gen_grid(40, 40);
-        let cfg = DiggerBeesConfig { victim_policy: VictimPolicy::Random, ..small_cfg() };
+        let cfg = DiggerBeesConfig {
+            victim_policy: VictimPolicy::Random,
+            ..small_cfg()
+        };
         let r = run_sim(&g, 0, &cfg, &h100());
         check_reachability(&g, 0, &r.visited).unwrap();
     }
@@ -665,10 +787,22 @@ mod tests {
         let one = run_sim(
             &g,
             0,
-            &DiggerBeesConfig { blocks: 1, inter_block: false, ..small_cfg() },
+            &DiggerBeesConfig {
+                blocks: 1,
+                inter_block: false,
+                ..small_cfg()
+            },
             &h100(),
         );
-        let many = run_sim(&g, 0, &DiggerBeesConfig { blocks: 16, ..small_cfg() }, &h100());
+        let many = run_sim(
+            &g,
+            0,
+            &DiggerBeesConfig {
+                blocks: 16,
+                ..small_cfg()
+            },
+            &h100(),
+        );
         assert!(
             many.stats.cycles < one.stats.cycles,
             "16 blocks ({}) should beat 1 block ({})",

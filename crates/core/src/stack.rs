@@ -38,7 +38,12 @@ impl HotRing {
     /// Creates a ring with `cap` slots (paper: `hot_size = 128`).
     pub fn new(cap: u32) -> Self {
         assert!(cap >= 1, "HotRing capacity must be positive");
-        Self { buf: vec![(0, 0); cap as usize].into_boxed_slice(), cap: cap as u64, head: 0, tail: 0 }
+        Self {
+            buf: vec![(0, 0); cap as usize].into_boxed_slice(),
+            cap: cap as u64,
+            head: 0,
+            tail: 0,
+        }
     }
 
     /// `hot_rest`: live entries (§3.4).

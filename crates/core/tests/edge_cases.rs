@@ -18,7 +18,9 @@ fn h100() -> MachineModel {
 #[test]
 fn cold_spill_on_single_warp_deep_graph() {
     let n = 40_000u32;
-    let g = GraphBuilder::undirected(n).edges((0..n - 1).map(|i| (i, i + 1))).build();
+    let g = GraphBuilder::undirected(n)
+        .edges((0..n - 1).map(|i| (i, i + 1)))
+        .build();
     let cfg = DiggerBeesConfig {
         blocks: 1,
         warps_per_block: 1,
@@ -32,7 +34,10 @@ fn cold_spill_on_single_warp_deep_graph() {
     // cold capacity = max(nv/1, 16) = nv — never spills with one warp.
     // Force spill with many warps on one block so each ColdSeg is small
     // but the first warp still owns the whole path.
-    let spill_cfg = DiggerBeesConfig { warps_per_block: 64, ..cfg };
+    let spill_cfg = DiggerBeesConfig {
+        warps_per_block: 64,
+        ..cfg
+    };
     for c in [cfg, spill_cfg] {
         let r = run_sim(&g, 0, &c, &h100());
         check_reachability(&g, 0, &r.visited).unwrap();
@@ -45,7 +50,9 @@ fn star_graph_with_huge_degree() {
     // One vertex with degree 50k: exercises long chunk-scans of a single
     // row and CAS-heavy claiming.
     let n = 50_000u32;
-    let g = GraphBuilder::undirected(n).edges((1..n).map(|i| (0, i))).build();
+    let g = GraphBuilder::undirected(n)
+        .edges((1..n).map(|i| (0, i)))
+        .build();
     let cfg = DiggerBeesConfig {
         blocks: 8,
         warps_per_block: 4,
@@ -72,7 +79,9 @@ fn self_loops_are_harmless() {
 #[test]
 fn directed_cycle_traversal() {
     let n = 1000u32;
-    let g = GraphBuilder::directed(n).edges((0..n).map(|i| (i, (i + 1) % n))).build();
+    let g = GraphBuilder::directed(n)
+        .edges((0..n).map(|i| (i, (i + 1) % n)))
+        .build();
     let r = run_sim(&g, 17, &DiggerBeesConfig::v2(), &h100());
     assert_eq!(r.stats.vertices_visited, n as u64);
     check_spanning_tree(&g, 17, &r.visited, &r.parent).unwrap();
@@ -95,9 +104,18 @@ fn section36_two_blocks_three_warps() {
     };
     let r = run_sim(&g, 0, &cfg, &h100());
     check_spanning_tree(&g, 0, &r.visited, &r.parent).unwrap();
-    assert!(r.stats.steals_intra > 0, "intra-block stealing should engage");
-    assert!(r.stats.steals_inter > 0, "inter-block stealing should engage");
-    assert!(r.stats.tasks_per_block.iter().all(|&t| t > 0), "both blocks should work");
+    assert!(
+        r.stats.steals_intra > 0,
+        "intra-block stealing should engage"
+    );
+    assert!(
+        r.stats.steals_inter > 0,
+        "inter-block stealing should engage"
+    );
+    assert!(
+        r.stats.tasks_per_block.iter().all(|&t| t > 0),
+        "both blocks should work"
+    );
 }
 
 fn db_gen_like_tree() -> db_graph::CsrGraph {
@@ -138,8 +156,12 @@ fn one_level_stack_handles_every_graph_shape() {
 
 #[test]
 fn native_star_and_path_stress() {
-    let star = GraphBuilder::undirected(5000).edges((1..5000).map(|i| (0, i))).build();
-    let path = GraphBuilder::undirected(5000).edges((0..4999).map(|i| (i, i + 1))).build();
+    let star = GraphBuilder::undirected(5000)
+        .edges((1..5000).map(|i| (0, i)))
+        .build();
+    let path = GraphBuilder::undirected(5000)
+        .edges((0..4999).map(|i| (i, i + 1)))
+        .build();
     let engine = NativeEngine::new(NativeConfig::default());
     for g in [star, path] {
         let r = engine.run(&g, 0);

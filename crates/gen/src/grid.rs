@@ -20,7 +20,10 @@ use rand::{Rng, SeedableRng};
 /// random lattice nodes. Vertex `(x, y)` has id `y * width + x`.
 pub fn grid_road(width: u32, height: u32, keep_prob: f64, highways: u32, seed: u64) -> CsrGraph {
     assert!(width >= 1 && height >= 1, "grid must be non-empty");
-    assert!((0.0..=1.0).contains(&keep_prob), "keep_prob must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&keep_prob),
+        "keep_prob must be in [0,1]"
+    );
     let n = width
         .checked_mul(height)
         .expect("grid dimensions overflow u32");
@@ -53,7 +56,9 @@ pub fn grid_road(width: u32, height: u32, keep_prob: f64, highways: u32, seed: u
 /// flush/refill machinery.
 pub fn long_path(n: u32) -> CsrGraph {
     assert!(n >= 1);
-    GraphBuilder::undirected(n).edges((0..n.saturating_sub(1)).map(|i| (i, i + 1))).build()
+    GraphBuilder::undirected(n)
+        .edges((0..n.saturating_sub(1)).map(|i| (i, i + 1)))
+        .build()
 }
 
 /// A perfect `k`-ary tree with `depth` levels (root = vertex 0).

@@ -19,7 +19,10 @@ use rand::{Rng, SeedableRng};
 /// split by one randomly chosen diagonal. Degree 4–8, diameter O(w + h) —
 /// the Delaunay-mesh analogue.
 pub fn delaunay_mesh(width: u32, height: u32, seed: u64) -> CsrGraph {
-    assert!(width >= 2 && height >= 2, "mesh needs at least 2x2 vertices");
+    assert!(
+        width >= 2 && height >= 2,
+        "mesh needs at least 2x2 vertices"
+    );
     let n = width.checked_mul(height).expect("mesh dimensions overflow");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = GraphBuilder::undirected(n);
@@ -51,8 +54,13 @@ pub fn delaunay_mesh(width: u32, height: u32, seed: u64) -> CsrGraph {
 /// chained-cavity structure: locally cyclic, globally path-like, so both
 /// DFS depth and BFS level count are enormous.
 pub fn bubbles(bubbles: u32, bubble_size: u32, cross_links: u32, seed: u64) -> CsrGraph {
-    assert!(bubbles >= 1 && bubble_size >= 3, "need >=1 bubble of >=3 vertices");
-    let n = bubbles.checked_mul(bubble_size).expect("bubble dimensions overflow");
+    assert!(
+        bubbles >= 1 && bubble_size >= 3,
+        "need >=1 bubble of >=3 vertices"
+    );
+    let n = bubbles
+        .checked_mul(bubble_size)
+        .expect("bubble dimensions overflow");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = GraphBuilder::undirected(n);
     b.reserve(n as usize + cross_links as usize);
@@ -90,7 +98,11 @@ mod tests {
         let g = delaunay_mesh(30, 30, 11);
         let (_, size) = largest_component(&g);
         assert_eq!(size, 900);
-        assert!(g.max_degree() <= 8, "max degree {} too high", g.max_degree());
+        assert!(
+            g.max_degree() <= 8,
+            "max degree {} too high",
+            g.max_degree()
+        );
         // avg degree close to 6 for interior-dominated meshes
         let avg = g.num_arcs() as f64 / g.num_vertices() as f64;
         assert!((4.0..7.0).contains(&avg), "avg degree {avg}");

@@ -15,7 +15,9 @@ pub fn rgg(n: u32, radius: f64, seed: u64) -> CsrGraph {
     assert!(n >= 1);
     assert!(radius > 0.0 && radius <= 1.0, "radius must be in (0,1]");
     let mut rng = StdRng::seed_from_u64(seed);
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
 
     // Cell grid with cell side >= radius: candidates live in the 3x3
     // neighborhood of a point's cell.
@@ -92,7 +94,9 @@ mod tests {
         let r = 0.15;
         let g = rgg(n, r, 7);
         let mut rng = StdRng::seed_from_u64(7);
-        let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
         for (u, v) in g.arcs() {
             let (x1, y1) = pts[u as usize];
             let (x2, y2) = pts[v as usize];

@@ -24,7 +24,11 @@ pub struct RmatParams {
 impl Default for RmatParams {
     fn default() -> Self {
         // Graph500 reference parameters.
-        Self { a: 0.57, b: 0.19, c: 0.19 }
+        Self {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
     }
 }
 
@@ -134,7 +138,11 @@ mod tests {
 
     #[test]
     fn uniform_params_give_erdos_renyi_like() {
-        let p = RmatParams { a: 0.25, b: 0.25, c: 0.25 };
+        let p = RmatParams {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+        };
         let g = rmat(10, 8, p, 3);
         let avg = g.num_arcs() as f64 / g.num_vertices() as f64;
         let max = g.max_degree() as f64;
@@ -154,6 +162,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "probabilities exceed 1")]
     fn rejects_bad_params() {
-        rmat(5, 2, RmatParams { a: 0.5, b: 0.4, c: 0.3 }, 0);
+        rmat(
+            5,
+            2,
+            RmatParams {
+                a: 0.5,
+                b: 0.4,
+                c: 0.3,
+            },
+            0,
+        );
     }
 }

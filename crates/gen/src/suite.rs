@@ -137,13 +137,18 @@ impl GraphSpec {
     pub fn build(&self) -> CsrGraph {
         let seed = self.seed();
         match self.recipe {
-            Recipe::GridRoad { width, height, keep_prob, highways } => {
-                grid::grid_road(width, height, keep_prob, highways, seed)
-            }
+            Recipe::GridRoad {
+                width,
+                height,
+                keep_prob,
+                highways,
+            } => grid::grid_road(width, height, keep_prob, highways, seed),
             Recipe::Delaunay { width, height } => mesh::delaunay_mesh(width, height, seed),
-            Recipe::Bubbles { bubbles, bubble_size, cross_links } => {
-                mesh::bubbles(bubbles, bubble_size, cross_links, seed)
-            }
+            Recipe::Bubbles {
+                bubbles,
+                bubble_size,
+                cross_links,
+            } => mesh::bubbles(bubbles, bubble_size, cross_links, seed),
             Recipe::Rgg { n, radius_scale } => {
                 rgg::rgg(n, rgg::threshold_radius(n) * radius_scale, seed)
             }
@@ -168,8 +173,14 @@ impl Suite {
 
     /// The 6 graphs used in Figs. 8–10.
     pub fn representative6() -> Vec<GraphSpec> {
-        const SIX: [&str; 6] =
-            ["euro_osm", "delaunay", "hugebubbles", "amazon", "google", "ljournal"];
+        const SIX: [&str; 6] = [
+            "euro_osm",
+            "delaunay",
+            "hugebubbles",
+            "amazon",
+            "google",
+            "ljournal",
+        ];
         REPRESENTATIVE12
             .iter()
             .filter(|s| SIX.contains(&s.name))
@@ -201,21 +212,32 @@ static REPRESENTATIVE12: &[GraphSpec] = &[
         name: "euro_osm",
         family: GraphFamily::Dimacs10,
         paper_analogue: Some("europe_osm"),
-        recipe: Recipe::GridRoad { width: 2000, height: 2000, keep_prob: 0.88, highways: 0 },
+        recipe: Recipe::GridRoad {
+            width: 2000,
+            height: 2000,
+            keep_prob: 0.88,
+            highways: 0,
+        },
     },
     // delaunay: 16.8M V / 100.7M E triangulation.
     GraphSpec {
         name: "delaunay",
         family: GraphFamily::Dimacs10,
         paper_analogue: Some("delaunay_n24"),
-        recipe: Recipe::Delaunay { width: 1400, height: 1400 },
+        recipe: Recipe::Delaunay {
+            width: 1400,
+            height: 1400,
+        },
     },
     // rgg: 16.8M V / 265.1M E random geometric graph.
     GraphSpec {
         name: "rgg",
         family: GraphFamily::Dimacs10,
         paper_analogue: Some("rgg_n_2_24_s0"),
-        recipe: Recipe::Rgg { n: 400_000, radius_scale: 0.72 },
+        recipe: Recipe::Rgg {
+            n: 400_000,
+            radius_scale: 0.72,
+        },
     },
     // hugebubbles: 21.2M V / 63.6M E adaptive 2-D frame mesh with
     // bubble-shaped cavities: very sparse (avg degree 3), huge diameter.
@@ -223,7 +245,12 @@ static REPRESENTATIVE12: &[GraphSpec] = &[
         name: "hugebubbles",
         family: GraphFamily::Dimacs10,
         paper_analogue: Some("hugebubbles-00020"),
-        recipe: Recipe::GridRoad { width: 1250, height: 1250, keep_prob: 0.77, highways: 0 },
+        recipe: Recipe::GridRoad {
+            width: 1250,
+            height: 1250,
+            keep_prob: 0.77,
+            highways: 0,
+        },
     },
     // auto: 0.4M V / 6.6M E 3-D mesh partitioning graph — dense (avg
     // degree ~33) and comparatively shallow, the one mesh where BFS wins
@@ -232,127 +259,356 @@ static REPRESENTATIVE12: &[GraphSpec] = &[
         name: "auto",
         family: GraphFamily::Dimacs10,
         paper_analogue: Some("auto"),
-        recipe: Recipe::Rgg { n: 250_000, radius_scale: 0.77 },
+        recipe: Recipe::Rgg {
+            n: 250_000,
+            radius_scale: 0.77,
+        },
     },
     // citation: 0.3M V / 2.3M E citation network.
     GraphSpec {
         name: "citation",
         family: GraphFamily::Dimacs10,
         paper_analogue: Some("citationCiteseer"),
-        recipe: Recipe::Pref { n: 150_000, epv: 7, locality: 0.5 },
+        recipe: Recipe::Pref {
+            n: 150_000,
+            epv: 7,
+            locality: 0.5,
+        },
     },
     // il2010: 0.5M V / 2.2M E census-block road-ish network.
     GraphSpec {
         name: "il2010",
         family: GraphFamily::Dimacs10,
         paper_analogue: Some("il2010"),
-        recipe: Recipe::GridRoad { width: 450, height: 450, keep_prob: 0.92, highways: 16 },
+        recipe: Recipe::GridRoad {
+            width: 450,
+            height: 450,
+            keep_prob: 0.92,
+            highways: 16,
+        },
     },
     // amazon: 0.3M V / 1.2M E co-purchase.
     GraphSpec {
         name: "amazon",
         family: GraphFamily::Snap,
         paper_analogue: Some("amazon0601"),
-        recipe: Recipe::Pref { n: 200_000, epv: 4, locality: 0.88 },
+        recipe: Recipe::Pref {
+            n: 200_000,
+            epv: 4,
+            locality: 0.88,
+        },
     },
     // google: 0.9M V / 5.1M E web graph.
     GraphSpec {
         name: "google",
         family: GraphFamily::Snap,
         paper_analogue: Some("web-Google"),
-        recipe: Recipe::Pref { n: 300_000, epv: 6, locality: 0.4 },
+        recipe: Recipe::Pref {
+            n: 300_000,
+            epv: 6,
+            locality: 0.4,
+        },
     },
     // wiki: 1.8M V / 28.6M E hyperlink graph.
     GraphSpec {
         name: "wiki",
         family: GraphFamily::Snap,
         paper_analogue: Some("wiki-Talk"),
-        recipe: Recipe::Rmat { scale: 18, edge_factor: 12 },
+        recipe: Recipe::Rmat {
+            scale: 18,
+            edge_factor: 12,
+        },
     },
     // ljournal: 5.4M V / 79.0M E social network.
     GraphSpec {
         name: "ljournal",
         family: GraphFamily::Law,
         paper_analogue: Some("ljournal-2008"),
-        recipe: Recipe::Rmat { scale: 19, edge_factor: 10 },
+        recipe: Recipe::Rmat {
+            scale: 19,
+            edge_factor: 10,
+        },
     },
     // hollywood: 1.1M V / 113.9M E dense collaboration network.
     GraphSpec {
         name: "hollywood",
         family: GraphFamily::Law,
         paper_analogue: Some("hollywood-2009"),
-        recipe: Recipe::Rmat { scale: 17, edge_factor: 36 },
+        recipe: Recipe::Rmat {
+            scale: 17,
+            edge_factor: 36,
+        },
     },
 ];
 
 /// Size ladders per family for the Fig. 5 / Fig. 7 sweep.
 static SWEEP: &[GraphSpec] = &[
     // --- DIMACS10: roads ---
-    GraphSpec { name: "road_s", family: GraphFamily::Dimacs10, paper_analogue: None,
-        recipe: Recipe::GridRoad { width: 192, height: 192, keep_prob: 0.9, highways: 2 } },
-    GraphSpec { name: "road_m", family: GraphFamily::Dimacs10, paper_analogue: None,
-        recipe: Recipe::GridRoad { width: 384, height: 384, keep_prob: 0.9, highways: 3 } },
-    GraphSpec { name: "road_l", family: GraphFamily::Dimacs10, paper_analogue: None,
-        recipe: Recipe::GridRoad { width: 768, height: 768, keep_prob: 0.9, highways: 4 } },
-    GraphSpec { name: "road_xl", family: GraphFamily::Dimacs10, paper_analogue: None,
-        recipe: Recipe::GridRoad { width: 1400, height: 1400, keep_prob: 0.9, highways: 6 } },
+    GraphSpec {
+        name: "road_s",
+        family: GraphFamily::Dimacs10,
+        paper_analogue: None,
+        recipe: Recipe::GridRoad {
+            width: 192,
+            height: 192,
+            keep_prob: 0.9,
+            highways: 2,
+        },
+    },
+    GraphSpec {
+        name: "road_m",
+        family: GraphFamily::Dimacs10,
+        paper_analogue: None,
+        recipe: Recipe::GridRoad {
+            width: 384,
+            height: 384,
+            keep_prob: 0.9,
+            highways: 3,
+        },
+    },
+    GraphSpec {
+        name: "road_l",
+        family: GraphFamily::Dimacs10,
+        paper_analogue: None,
+        recipe: Recipe::GridRoad {
+            width: 768,
+            height: 768,
+            keep_prob: 0.9,
+            highways: 4,
+        },
+    },
+    GraphSpec {
+        name: "road_xl",
+        family: GraphFamily::Dimacs10,
+        paper_analogue: None,
+        recipe: Recipe::GridRoad {
+            width: 1400,
+            height: 1400,
+            keep_prob: 0.9,
+            highways: 6,
+        },
+    },
     // --- DIMACS10: meshes ---
-    GraphSpec { name: "mesh_s", family: GraphFamily::Dimacs10, paper_analogue: None,
-        recipe: Recipe::Delaunay { width: 150, height: 150 } },
-    GraphSpec { name: "mesh_m", family: GraphFamily::Dimacs10, paper_analogue: None,
-        recipe: Recipe::Delaunay { width: 320, height: 320 } },
-    GraphSpec { name: "mesh_l", family: GraphFamily::Dimacs10, paper_analogue: None,
-        recipe: Recipe::Delaunay { width: 640, height: 640 } },
-    GraphSpec { name: "mesh_xl", family: GraphFamily::Dimacs10, paper_analogue: None,
-        recipe: Recipe::Delaunay { width: 1000, height: 1000 } },
+    GraphSpec {
+        name: "mesh_s",
+        family: GraphFamily::Dimacs10,
+        paper_analogue: None,
+        recipe: Recipe::Delaunay {
+            width: 150,
+            height: 150,
+        },
+    },
+    GraphSpec {
+        name: "mesh_m",
+        family: GraphFamily::Dimacs10,
+        paper_analogue: None,
+        recipe: Recipe::Delaunay {
+            width: 320,
+            height: 320,
+        },
+    },
+    GraphSpec {
+        name: "mesh_l",
+        family: GraphFamily::Dimacs10,
+        paper_analogue: None,
+        recipe: Recipe::Delaunay {
+            width: 640,
+            height: 640,
+        },
+    },
+    GraphSpec {
+        name: "mesh_xl",
+        family: GraphFamily::Dimacs10,
+        paper_analogue: None,
+        recipe: Recipe::Delaunay {
+            width: 1000,
+            height: 1000,
+        },
+    },
     // --- DIMACS10: bubbles ---
-    GraphSpec { name: "bubbles_s", family: GraphFamily::Dimacs10, paper_analogue: None,
-        recipe: Recipe::Bubbles { bubbles: 600, bubble_size: 20, cross_links: 300 } },
-    GraphSpec { name: "bubbles_m", family: GraphFamily::Dimacs10, paper_analogue: None,
-        recipe: Recipe::Bubbles { bubbles: 600, bubble_size: 20, cross_links: 300 } },
-    GraphSpec { name: "bubbles_l", family: GraphFamily::Dimacs10, paper_analogue: None,
-        recipe: Recipe::Bubbles { bubbles: 4000, bubble_size: 25, cross_links: 2000 } },
+    GraphSpec {
+        name: "bubbles_s",
+        family: GraphFamily::Dimacs10,
+        paper_analogue: None,
+        recipe: Recipe::Bubbles {
+            bubbles: 600,
+            bubble_size: 20,
+            cross_links: 300,
+        },
+    },
+    GraphSpec {
+        name: "bubbles_m",
+        family: GraphFamily::Dimacs10,
+        paper_analogue: None,
+        recipe: Recipe::Bubbles {
+            bubbles: 600,
+            bubble_size: 20,
+            cross_links: 300,
+        },
+    },
+    GraphSpec {
+        name: "bubbles_l",
+        family: GraphFamily::Dimacs10,
+        paper_analogue: None,
+        recipe: Recipe::Bubbles {
+            bubbles: 4000,
+            bubble_size: 25,
+            cross_links: 2000,
+        },
+    },
     // --- DIMACS10: rgg ---
-    GraphSpec { name: "rgg_s", family: GraphFamily::Dimacs10, paper_analogue: None,
-        recipe: Recipe::Rgg { n: 30_000, radius_scale: 0.85 } },
-    GraphSpec { name: "rgg_m", family: GraphFamily::Dimacs10, paper_analogue: None,
-        recipe: Recipe::Rgg { n: 120_000, radius_scale: 0.78 } },
-    GraphSpec { name: "rgg_l", family: GraphFamily::Dimacs10, paper_analogue: None,
-        recipe: Recipe::Rgg { n: 300_000, radius_scale: 0.74 } },
+    GraphSpec {
+        name: "rgg_s",
+        family: GraphFamily::Dimacs10,
+        paper_analogue: None,
+        recipe: Recipe::Rgg {
+            n: 30_000,
+            radius_scale: 0.85,
+        },
+    },
+    GraphSpec {
+        name: "rgg_m",
+        family: GraphFamily::Dimacs10,
+        paper_analogue: None,
+        recipe: Recipe::Rgg {
+            n: 120_000,
+            radius_scale: 0.78,
+        },
+    },
+    GraphSpec {
+        name: "rgg_l",
+        family: GraphFamily::Dimacs10,
+        paper_analogue: None,
+        recipe: Recipe::Rgg {
+            n: 300_000,
+            radius_scale: 0.74,
+        },
+    },
     // --- SNAP: social / web ---
-    GraphSpec { name: "social_s", family: GraphFamily::Snap, paper_analogue: None,
-        recipe: Recipe::Rmat { scale: 14, edge_factor: 10 } },
-    GraphSpec { name: "social_m", family: GraphFamily::Snap, paper_analogue: None,
-        recipe: Recipe::Rmat { scale: 16, edge_factor: 12 } },
-    GraphSpec { name: "social_l", family: GraphFamily::Snap, paper_analogue: None,
-        recipe: Recipe::Rmat { scale: 18, edge_factor: 12 } },
-    GraphSpec { name: "copurchase_s", family: GraphFamily::Snap, paper_analogue: None,
-        recipe: Recipe::Pref { n: 40_000, epv: 4, locality: 0.6 } },
-    GraphSpec { name: "copurchase_m", family: GraphFamily::Snap, paper_analogue: None,
-        recipe: Recipe::Pref { n: 120_000, epv: 5, locality: 0.55 } },
-    GraphSpec { name: "web_m", family: GraphFamily::Snap, paper_analogue: None,
-        recipe: Recipe::Pref { n: 200_000, epv: 8, locality: 0.35 } },
+    GraphSpec {
+        name: "social_s",
+        family: GraphFamily::Snap,
+        paper_analogue: None,
+        recipe: Recipe::Rmat {
+            scale: 14,
+            edge_factor: 10,
+        },
+    },
+    GraphSpec {
+        name: "social_m",
+        family: GraphFamily::Snap,
+        paper_analogue: None,
+        recipe: Recipe::Rmat {
+            scale: 16,
+            edge_factor: 12,
+        },
+    },
+    GraphSpec {
+        name: "social_l",
+        family: GraphFamily::Snap,
+        paper_analogue: None,
+        recipe: Recipe::Rmat {
+            scale: 18,
+            edge_factor: 12,
+        },
+    },
+    GraphSpec {
+        name: "copurchase_s",
+        family: GraphFamily::Snap,
+        paper_analogue: None,
+        recipe: Recipe::Pref {
+            n: 40_000,
+            epv: 4,
+            locality: 0.6,
+        },
+    },
+    GraphSpec {
+        name: "copurchase_m",
+        family: GraphFamily::Snap,
+        paper_analogue: None,
+        recipe: Recipe::Pref {
+            n: 120_000,
+            epv: 5,
+            locality: 0.55,
+        },
+    },
+    GraphSpec {
+        name: "web_m",
+        family: GraphFamily::Snap,
+        paper_analogue: None,
+        recipe: Recipe::Pref {
+            n: 200_000,
+            epv: 8,
+            locality: 0.35,
+        },
+    },
     // Hierarchies. Tree-structured graphs are the one class where
     // ordered path-label methods (NVG-DFS) stay within budget. The
     // bushy `hier_flat` tree is also a stress case for DiggerBees
     // itself: its DFS stack never reaches hot_cutoff, so stealing
     // cannot engage (documented in EXPERIMENTS.md). The caterpillar
     // `hier_*` combs are deep enough for hierarchical stealing.
-    GraphSpec { name: "hier_flat", family: GraphFamily::Snap, paper_analogue: None,
-        recipe: Recipe::Tree { k: 4, depth: 9 } },
-    GraphSpec { name: "hier_s", family: GraphFamily::Snap, paper_analogue: None,
-        recipe: Recipe::Comb { spine: 120, tooth: 150 } },
-    GraphSpec { name: "hier_m", family: GraphFamily::Snap, paper_analogue: None,
-        recipe: Recipe::Comb { spine: 200, tooth: 300 } },
-    GraphSpec { name: "hier_l", family: GraphFamily::Snap, paper_analogue: None,
-        recipe: Recipe::Comb { spine: 280, tooth: 450 } },
+    GraphSpec {
+        name: "hier_flat",
+        family: GraphFamily::Snap,
+        paper_analogue: None,
+        recipe: Recipe::Tree { k: 4, depth: 9 },
+    },
+    GraphSpec {
+        name: "hier_s",
+        family: GraphFamily::Snap,
+        paper_analogue: None,
+        recipe: Recipe::Comb {
+            spine: 120,
+            tooth: 150,
+        },
+    },
+    GraphSpec {
+        name: "hier_m",
+        family: GraphFamily::Snap,
+        paper_analogue: None,
+        recipe: Recipe::Comb {
+            spine: 200,
+            tooth: 300,
+        },
+    },
+    GraphSpec {
+        name: "hier_l",
+        family: GraphFamily::Snap,
+        paper_analogue: None,
+        recipe: Recipe::Comb {
+            spine: 280,
+            tooth: 450,
+        },
+    },
     // --- LAW: crawls ---
-    GraphSpec { name: "crawl_s", family: GraphFamily::Law, paper_analogue: None,
-        recipe: Recipe::Rmat { scale: 14, edge_factor: 24 } },
-    GraphSpec { name: "crawl_m", family: GraphFamily::Law, paper_analogue: None,
-        recipe: Recipe::Rmat { scale: 16, edge_factor: 28 } },
-    GraphSpec { name: "crawl_l", family: GraphFamily::Law, paper_analogue: None,
-        recipe: Recipe::Rmat { scale: 18, edge_factor: 24 } },
+    GraphSpec {
+        name: "crawl_s",
+        family: GraphFamily::Law,
+        paper_analogue: None,
+        recipe: Recipe::Rmat {
+            scale: 14,
+            edge_factor: 24,
+        },
+    },
+    GraphSpec {
+        name: "crawl_m",
+        family: GraphFamily::Law,
+        paper_analogue: None,
+        recipe: Recipe::Rmat {
+            scale: 16,
+            edge_factor: 28,
+        },
+    },
+    GraphSpec {
+        name: "crawl_l",
+        family: GraphFamily::Law,
+        paper_analogue: None,
+        recipe: Recipe::Rmat {
+            scale: 18,
+            edge_factor: 24,
+        },
+    },
 ];
 
 #[cfg(test)]
@@ -364,10 +620,20 @@ mod tests {
     fn twelve_representative_graphs() {
         assert_eq!(Suite::representative12().len(), 12);
         let names: Vec<_> = Suite::representative12().iter().map(|s| s.name).collect();
-        for expect in
-            ["euro_osm", "delaunay", "rgg", "hugebubbles", "auto", "citation", "il2010",
-             "amazon", "google", "wiki", "ljournal", "hollywood"]
-        {
+        for expect in [
+            "euro_osm",
+            "delaunay",
+            "rgg",
+            "hugebubbles",
+            "auto",
+            "citation",
+            "il2010",
+            "amazon",
+            "google",
+            "wiki",
+            "ljournal",
+            "hollywood",
+        ] {
             assert!(names.contains(&expect), "missing {expect}");
         }
     }
@@ -405,7 +671,14 @@ mod tests {
 
     #[test]
     fn small_specs_build() {
-        for name in ["road_s", "mesh_s", "bubbles_s", "rgg_s", "social_s", "copurchase_s"] {
+        for name in [
+            "road_s",
+            "mesh_s",
+            "bubbles_s",
+            "rgg_s",
+            "social_s",
+            "copurchase_s",
+        ] {
             let g = Suite::by_name(name).unwrap().build();
             assert!(g.num_vertices() > 0, "{name} is empty");
             assert!(g.num_edges() > 0, "{name} has no edges");
@@ -417,7 +690,9 @@ mod tests {
         let road = Suite::by_name("road_s").unwrap().build();
         let (_, road_depth) = bfs_levels(&road, 0);
         let social = Suite::by_name("social_s").unwrap().build();
-        let hub = (0..social.num_vertices() as u32).max_by_key(|&v| social.degree(v)).unwrap();
+        let hub = (0..social.num_vertices() as u32)
+            .max_by_key(|&v| social.degree(v))
+            .unwrap();
         let (_, social_depth) = bfs_levels(&social, hub);
         assert!(
             road_depth > 8 * social_depth,

@@ -30,12 +30,22 @@ impl Des {
         for id in 0..n {
             heap.push(Reverse((0, id)));
         }
-        Self { heap, now: 0, horizon: 0, events: 0 }
+        Self {
+            heap,
+            now: 0,
+            horizon: 0,
+            events: 0,
+        }
     }
 
     /// Creates an empty scheduler; agents are added with [`Des::schedule`].
     pub fn empty() -> Self {
-        Self { heap: BinaryHeap::new(), now: 0, horizon: 0, events: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            now: 0,
+            horizon: 0,
+            events: 0,
+        }
     }
 
     /// Next `(time, agent)` pair, advancing the global clock. Returns

@@ -46,7 +46,10 @@ mod tests {
     use super::*;
 
     fn edges_only(e: u64) -> LevelWork {
-        LevelWork { frontier_vertices: 0, scanned_edges: e }
+        LevelWork {
+            frontier_vertices: 0,
+            scanned_edges: e,
+        }
     }
 
     #[test]
@@ -68,7 +71,9 @@ mod tests {
     fn many_shallow_levels_cost_more_than_one_deep() {
         let m = MachineModel::h100();
         let total_edges = 1_000_000u64;
-        let deep: Vec<LevelWork> = (0..10_000).map(|_| edges_only(total_edges / 10_000)).collect();
+        let deep: Vec<LevelWork> = (0..10_000)
+            .map(|_| edges_only(total_edges / 10_000))
+            .collect();
         let shallow = [edges_only(total_edges)];
         assert!(
             total_cycles(&m, &deep) > 20 * total_cycles(&m, &shallow),
@@ -92,8 +97,13 @@ mod tests {
     fn vertices_contribute() {
         let m = MachineModel::h100();
         let no_v = level_cycles(&m, &edges_only(1000));
-        let with_v =
-            level_cycles(&m, &LevelWork { frontier_vertices: 100_000, scanned_edges: 1000 });
+        let with_v = level_cycles(
+            &m,
+            &LevelWork {
+                frontier_vertices: 100_000,
+                scanned_edges: 1000,
+            },
+        );
         assert!(with_v > no_v);
     }
 }

@@ -30,7 +30,11 @@ impl MemPipeline {
     /// Creates a pipeline serving `per_cycle` transactions per cycle.
     pub fn new(per_cycle: f64) -> Self {
         assert!(per_cycle > 0.0, "throughput must be positive");
-        Self { free_at: 0.0, per_cycle, total: 0 }
+        Self {
+            free_at: 0.0,
+            per_cycle,
+            total: 0,
+        }
     }
 
     /// Issues `trans` transactions at time `now`; returns the queueing

@@ -5,10 +5,8 @@
 //! (Fig. 9), and failure modes (NVG-DFS "failing on 44 out of 234
 //! graphs"). [`SimStats`] collects all of it.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters accumulated during a simulated traversal.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SimStats {
     /// Simulated makespan in cycles.
     pub cycles: u64,
@@ -35,7 +33,10 @@ pub struct SimStats {
 impl SimStats {
     /// Creates stats with `blocks` per-block task slots.
     pub fn new(blocks: usize) -> Self {
-        Self { tasks_per_block: vec![0; blocks], ..Default::default() }
+        Self {
+            tasks_per_block: vec![0; blocks],
+            ..Default::default()
+        }
     }
 
     /// Coefficient of variation (stddev / mean) of `tasks_per_block`,
@@ -79,7 +80,12 @@ pub fn coefficient_of_variation(xs: &[u64]) -> f64 {
 /// Geometric mean of positive values; entries `<= 0` are skipped (the
 /// paper's "average speedup (geometric mean)" of §4.2).
 pub fn geometric_mean(xs: &[f64]) -> f64 {
-    let logs: Vec<f64> = xs.iter().copied().filter(|&x| x > 0.0).map(f64::ln).collect();
+    let logs: Vec<f64> = xs
+        .iter()
+        .copied()
+        .filter(|&x| x > 0.0)
+        .map(f64::ln)
+        .collect();
     if logs.is_empty() {
         return 0.0;
     }
@@ -105,8 +111,15 @@ mod tests {
 
     #[test]
     fn cv_handles_degenerate() {
+        // Pinned: empty and all-zero inputs must be exactly 0.0 — never
+        // NaN — or every figure that prints a CV column corrupts its CSV.
         assert_eq!(coefficient_of_variation(&[]), 0.0);
         assert_eq!(coefficient_of_variation(&[0, 0]), 0.0);
+        assert_eq!(coefficient_of_variation(&[0]), 0.0);
+        assert!(!coefficient_of_variation(&[]).is_nan());
+        assert!(!coefficient_of_variation(&[0, 0, 0]).is_nan());
+        assert_eq!(SimStats::new(0).block_load_cv(), 0.0);
+        assert_eq!(SimStats::new(8).block_load_cv(), 0.0);
     }
 
     #[test]
@@ -123,6 +136,18 @@ mod tests {
         // zeros / negatives skipped (failed runs)
         assert!((geometric_mean(&[4.0, 0.0]) - 4.0).abs() < 1e-12);
         assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_handles_degenerate() {
+        // Pinned: empty and all-zero (or all-negative) inputs must be
+        // exactly 0.0, never NaN.
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert_eq!(geometric_mean(&[0.0]), 0.0);
+        assert_eq!(geometric_mean(&[0.0, 0.0, 0.0]), 0.0);
+        assert_eq!(geometric_mean(&[-1.0, -2.0]), 0.0);
+        assert!(!geometric_mean(&[0.0, 0.0]).is_nan());
+        assert_eq!(geometric_mean(&[f64::NAN]), 0.0);
     }
 
     #[test]

@@ -24,12 +24,20 @@ impl GraphBuilder {
     /// Starts an undirected graph over `n` vertices. Every added edge is
     /// stored in both directions.
     pub fn undirected(n: u32) -> Self {
-        Self { n, directed: false, arcs: Vec::new() }
+        Self {
+            n,
+            directed: false,
+            arcs: Vec::new(),
+        }
     }
 
     /// Starts a directed graph over `n` vertices.
     pub fn directed(n: u32) -> Self {
-        Self { n, directed: true, arcs: Vec::new() }
+        Self {
+            n,
+            directed: true,
+            arcs: Vec::new(),
+        }
     }
 
     /// Adds one edge (arc for directed graphs).
@@ -38,7 +46,11 @@ impl GraphBuilder {
     ///
     /// Panics if either endpoint is out of range.
     pub fn edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
-        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range for n={}", self.n);
+        assert!(
+            u < self.n && v < self.n,
+            "edge ({u},{v}) out of range for n={}",
+            self.n
+        );
         self.arcs.push((u, v));
         if !self.directed && u != v {
             self.arcs.push((v, u));
@@ -86,7 +98,11 @@ impl GraphBuilder {
 
 /// Builds an undirected graph from an edge list in one call.
 pub fn from_edge_list(n: u32, edges: &[(VertexId, VertexId)], directed: bool) -> CsrGraph {
-    let mut b = if directed { GraphBuilder::directed(n) } else { GraphBuilder::undirected(n) };
+    let mut b = if directed {
+        GraphBuilder::directed(n)
+    } else {
+        GraphBuilder::undirected(n)
+    };
     b.reserve(edges.len());
     for &(u, v) in edges {
         b.edge(u, v);
@@ -100,7 +116,9 @@ mod tests {
 
     #[test]
     fn dedups_parallel_edges() {
-        let g = GraphBuilder::undirected(2).edges([(0, 1), (0, 1), (1, 0)]).build();
+        let g = GraphBuilder::undirected(2)
+            .edges([(0, 1), (0, 1), (1, 0)])
+            .build();
         assert_eq!(g.num_arcs(), 2);
         assert_eq!(g.neighbors(0), &[1]);
     }
@@ -115,7 +133,9 @@ mod tests {
 
     #[test]
     fn neighbors_are_sorted() {
-        let g = GraphBuilder::undirected(5).edges([(0, 4), (0, 2), (0, 3), (0, 1)]).build();
+        let g = GraphBuilder::undirected(5)
+            .edges([(0, 4), (0, 2), (0, 3), (0, 1)])
+            .build();
         assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
     }
 

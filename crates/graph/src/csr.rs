@@ -37,7 +37,11 @@ impl CsrGraph {
     /// `n + 1`, start at 0, be non-decreasing, end at `col_idx.len()`,
     /// and every column index must be `< n`.
     pub fn from_sorted_parts(n: u32, row_ptr: Vec<u64>, col_idx: Vec<u32>, directed: bool) -> Self {
-        assert_eq!(row_ptr.len(), n as usize + 1, "row_ptr must have n+1 entries");
+        assert_eq!(
+            row_ptr.len(),
+            n as usize + 1,
+            "row_ptr must have n+1 entries"
+        );
         assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
         assert_eq!(
             *row_ptr.last().expect("row_ptr nonempty") as usize,
@@ -48,11 +52,13 @@ impl CsrGraph {
             row_ptr.windows(2).all(|w| w[0] <= w[1]),
             "row_ptr must be non-decreasing"
         );
-        assert!(
-            col_idx.iter().all(|&v| v < n),
-            "column indices must be < n"
-        );
-        Self { n, row_ptr, col_idx, directed }
+        assert!(col_idx.iter().all(|&v| v < n), "column indices must be < n");
+        Self {
+            n,
+            row_ptr,
+            col_idx,
+            directed,
+        }
     }
 
     /// Number of vertices.

@@ -52,9 +52,7 @@ fn parse_err(msg: impl Into<String>) -> MmError {
 pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrGraph, MmError> {
     let mut lines = BufReader::new(reader).lines();
 
-    let header = lines
-        .next()
-        .ok_or_else(|| parse_err("empty file"))??;
+    let header = lines.next().ok_or_else(|| parse_err("empty file"))??;
     let header_lc = header.to_ascii_lowercase();
     let fields: Vec<&str> = header_lc.split_whitespace().collect();
     if fields.len() < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
@@ -99,14 +97,20 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrGraph, MmError> {
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| parse_err("bad size line"))?;
     if rows != cols {
-        return Err(parse_err(format!("matrix must be square, got {rows}x{cols}")));
+        return Err(parse_err(format!(
+            "matrix must be square, got {rows}x{cols}"
+        )));
     }
     if rows > u32::MAX as u64 {
         return Err(parse_err("vertex count exceeds u32"));
     }
     let n = rows as u32;
 
-    let mut builder = if symmetric { GraphBuilder::undirected(n) } else { GraphBuilder::directed(n) };
+    let mut builder = if symmetric {
+        GraphBuilder::undirected(n)
+    } else {
+        GraphBuilder::directed(n)
+    };
     builder.reserve(nnz as usize);
     let mut seen = 0u64;
     for line in lines {
@@ -149,7 +153,11 @@ pub fn read_matrix_market_file(path: impl AsRef<Path>) -> Result<CsrGraph, MmErr
 /// Undirected graphs are written with `symmetric` symmetry (lower
 /// triangle only); directed graphs with `general`.
 pub fn write_matrix_market<W: Write>(g: &CsrGraph, mut w: W) -> std::io::Result<()> {
-    let symmetry = if g.is_directed() { "general" } else { "symmetric" };
+    let symmetry = if g.is_directed() {
+        "general"
+    } else {
+        "symmetric"
+    };
     writeln!(w, "%%MatrixMarket matrix coordinate pattern {symmetry}")?;
     writeln!(w, "% generated by db-graph")?;
     let entries: Vec<(u32, u32)> = if g.is_directed() {
@@ -157,7 +165,13 @@ pub fn write_matrix_market<W: Write>(g: &CsrGraph, mut w: W) -> std::io::Result<
     } else {
         g.arcs().filter(|&(u, v)| v <= u).collect()
     };
-    writeln!(w, "{} {} {}", g.num_vertices(), g.num_vertices(), entries.len())?;
+    writeln!(
+        w,
+        "{} {} {}",
+        g.num_vertices(),
+        g.num_vertices(),
+        entries.len()
+    )?;
     for (u, v) in entries {
         writeln!(w, "{} {}", u as u64 + 1, v as u64 + 1)?;
     }
@@ -170,7 +184,8 @@ mod tests {
 
     #[test]
     fn reads_symmetric_pattern() {
-        let src = "%%MatrixMarket matrix coordinate pattern symmetric\n% comment\n3 3 2\n2 1\n3 2\n";
+        let src =
+            "%%MatrixMarket matrix coordinate pattern symmetric\n% comment\n3 3 2\n2 1\n3 2\n";
         let g = read_matrix_market(src.as_bytes()).unwrap();
         assert!(!g.is_directed());
         assert_eq!(g.num_vertices(), 3);
@@ -189,7 +204,10 @@ mod tests {
     #[test]
     fn rejects_rectangular() {
         let src = "%%MatrixMarket matrix coordinate pattern general\n2 3 1\n1 2\n";
-        assert!(matches!(read_matrix_market(src.as_bytes()), Err(MmError::Parse(_))));
+        assert!(matches!(
+            read_matrix_market(src.as_bytes()),
+            Err(MmError::Parse(_))
+        ));
     }
 
     #[test]
@@ -224,7 +242,9 @@ mod tests {
 
     #[test]
     fn round_trip_directed() {
-        let g = crate::GraphBuilder::directed(3).edges([(0, 1), (1, 2), (2, 0)]).build();
+        let g = crate::GraphBuilder::directed(3)
+            .edges([(0, 1), (1, 2), (2, 0)])
+            .build();
         let mut buf = Vec::new();
         write_matrix_market(&g, &mut buf).unwrap();
         let g2 = read_matrix_market(buf.as_slice()).unwrap();

@@ -64,8 +64,16 @@ pub fn graph_stats(g: &CsrGraph, root: VertexId) -> GraphStats {
         edges: g.num_edges(),
         avg_degree: avg,
         max_degree,
-        degree_skew: if avg > 0.0 { max_degree as f64 / avg } else { 0.0 },
-        isolated_fraction: if n > 0 { isolated as f64 / n as f64 } else { 0.0 },
+        degree_skew: if avg > 0.0 {
+            max_degree as f64 / avg
+        } else {
+            0.0
+        },
+        isolated_fraction: if n > 0 {
+            isolated as f64 / n as f64
+        } else {
+            0.0
+        },
         bfs_levels,
         dfs_max_stack: max_stack,
         reachable,
@@ -78,7 +86,11 @@ pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
     let mut hist = Vec::new();
     for v in 0..g.num_vertices() as u32 {
         let d = g.degree(v);
-        let bucket = if d <= 1 { 0 } else { (usize::BITS - d.leading_zeros()) as usize - 1 };
+        let bucket = if d <= 1 {
+            0
+        } else {
+            (usize::BITS - d.leading_zeros()) as usize - 1
+        };
         if hist.len() <= bucket {
             hist.resize(bucket + 1, 0);
         }
@@ -94,7 +106,9 @@ mod tests {
 
     #[test]
     fn path_stats() {
-        let g = GraphBuilder::undirected(100).edges((0..99).map(|i| (i, i + 1))).build();
+        let g = GraphBuilder::undirected(100)
+            .edges((0..99).map(|i| (i, i + 1)))
+            .build();
         let s = graph_stats(&g, 0);
         assert_eq!(s.vertices, 100);
         assert_eq!(s.edges, 99);
@@ -107,7 +121,9 @@ mod tests {
 
     #[test]
     fn star_stats() {
-        let g = GraphBuilder::undirected(101).edges((1..101).map(|i| (0, i))).build();
+        let g = GraphBuilder::undirected(101)
+            .edges((1..101).map(|i| (0, i)))
+            .build();
         let s = graph_stats(&g, 0);
         assert_eq!(s.bfs_levels, 2);
         assert_eq!(s.dfs_max_stack, 2, "star DFS never stacks deep");
@@ -140,7 +156,9 @@ mod tests {
     fn deep_stack_vs_shallow_levels_diverge() {
         // A cycle: BFS depth ~ n/2 but DFS stack ~ n.
         let n = 1000u32;
-        let g = GraphBuilder::undirected(n).edges((0..n).map(|i| (i, (i + 1) % n))).build();
+        let g = GraphBuilder::undirected(n)
+            .edges((0..n).map(|i| (i, (i + 1) % n)))
+            .build();
         let s = graph_stats(&g, 0);
         assert_eq!(s.dfs_max_stack, n as usize);
         assert_eq!(s.bfs_levels as usize, n as usize / 2 + 1);

@@ -79,7 +79,11 @@ pub fn serial_dfs(g: &CsrGraph, root: VertexId) -> DfsOutput {
         }
     }
 
-    DfsOutput { visited, parent, order }
+    DfsOutput {
+        visited,
+        parent,
+        order,
+    }
 }
 
 /// Serial BFS from `root`. Returns `level[v]` (`u32::MAX` if unreachable)
@@ -112,7 +116,11 @@ pub fn bfs_levels(g: &CsrGraph, root: VertexId) -> (Vec<u32>, u32) {
 
 /// Set of vertices reachable from `root` (directed reachability).
 pub fn reachable_set(g: &CsrGraph, root: VertexId) -> Vec<bool> {
-    bfs_levels(g, root).0.into_iter().map(|l| l != u32::MAX).collect()
+    bfs_levels(g, root)
+        .0
+        .into_iter()
+        .map(|l| l != u32::MAX)
+        .collect()
 }
 
 /// Connected components of an undirected graph. Returns `(comp_id, count)`.
@@ -121,7 +129,10 @@ pub fn reachable_set(g: &CsrGraph, root: VertexId) -> Vec<bool> {
 ///
 /// Panics if the graph is directed (component semantics differ).
 pub fn connected_components(g: &CsrGraph) -> (Vec<u32>, u32) {
-    assert!(!g.is_directed(), "connected_components requires an undirected graph");
+    assert!(
+        !g.is_directed(),
+        "connected_components requires an undirected graph"
+    );
     let n = g.num_vertices();
     let mut comp = vec![u32::MAX; n];
     let mut count = 0u32;
@@ -211,7 +222,9 @@ mod tests {
 
     #[test]
     fn bfs_levels_on_path() {
-        let g = GraphBuilder::undirected(4).edges([(0, 1), (1, 2), (2, 3)]).build();
+        let g = GraphBuilder::undirected(4)
+            .edges([(0, 1), (1, 2), (2, 3)])
+            .build();
         let (levels, depth) = bfs_levels(&g, 0);
         assert_eq!(levels, vec![0, 1, 2, 3]);
         assert_eq!(depth, 4);
@@ -237,7 +250,9 @@ mod tests {
 
     #[test]
     fn largest_component_size() {
-        let g = GraphBuilder::undirected(6).edges([(0, 1), (1, 2), (3, 4)]).build();
+        let g = GraphBuilder::undirected(6)
+            .edges([(0, 1), (1, 2), (3, 4)])
+            .build();
         let (_, size) = largest_component(&g);
         assert_eq!(size, 3);
     }

@@ -124,9 +124,7 @@ pub fn check_reachability(
     }
     for (v, (&got, &want)) in visited.iter().zip(&truth).enumerate() {
         if got != want {
-            return fail(format!(
-                "vertex {v}: visited={got}, reachable={want}"
-            ));
+            return fail(format!("vertex {v}: visited={got}, reachable={want}"));
         }
     }
     Ok(())
@@ -288,7 +286,9 @@ mod tests {
 
     #[test]
     fn detects_parent_cycle() {
-        let g = GraphBuilder::undirected(3).edges([(0, 1), (1, 2), (2, 0)]).build();
+        let g = GraphBuilder::undirected(3)
+            .edges([(0, 1), (1, 2), (2, 0)])
+            .build();
         let visited = vec![true; 3];
         // 1 -> 2 -> 1 cycle, root 0 ok.
         let parent = vec![NO_PARENT, 2, 1];
@@ -324,7 +324,9 @@ mod tests {
     fn strict_check_accepts_path_tree() {
         // Cycle graph: serial DFS gives a path; the closing edge is a
         // back edge to the root — ancestor/descendant, so valid.
-        let g = GraphBuilder::undirected(4).edges([(0, 1), (1, 2), (2, 3), (3, 0)]).build();
+        let g = GraphBuilder::undirected(4)
+            .edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+            .build();
         let out = serial_dfs(&g, 0);
         check_dfs_tree_property(&g, 0, &out.visited, &out.parent).unwrap();
     }
@@ -333,7 +335,9 @@ mod tests {
     fn strict_check_rejects_bfs_tree_on_triangle_plus() {
         // Diamond 0-1, 0-2, 1-3, 2-3: BFS tree from 0 has 1 and 2 as
         // siblings, and 3 child of 1; edge 2-3 becomes a cross edge.
-        let g = GraphBuilder::undirected(4).edges([(0, 1), (0, 2), (1, 3), (2, 3)]).build();
+        let g = GraphBuilder::undirected(4)
+            .edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+            .build();
         let visited = vec![true; 4];
         let parent = vec![NO_PARENT, 0, 0, 1];
         let err = check_dfs_tree_property(&g, 0, &visited, &parent).unwrap_err();

@@ -23,7 +23,10 @@ fn main() {
         g.num_vertices(),
         g.num_edges()
     );
-    println!("{:>7} {:>7} {:>12} {:>10} {:>8}", "blocks", "warps", "cycles", "MTEPS", "speedup");
+    println!(
+        "{:>7} {:>7} {:>12} {:>10} {:>8}",
+        "blocks", "warps", "cycles", "MTEPS", "speedup"
+    );
 
     let mut base = None;
     for blocks in [1u32, 2, 4, 8, 16, 33, 66, 108, 132, 164] {

@@ -55,7 +55,9 @@ fn main() {
     );
 
     // --- Reachability oracle over depot hubs ---
-    let hubs: Vec<u32> = (0..4).map(|i| i * (road.num_vertices() as u32 / 4) + 7).collect();
+    let hubs: Vec<u32> = (0..4)
+        .map(|i| i * (road.num_vertices() as u32 / 4) + 7)
+        .collect();
     let oracle = ReachOracle::build(&road, &hubs, &engine);
     println!("\ndepot coverage (vertices reachable per hub):");
     for (i, &h) in oracle.hubs().iter().enumerate() {

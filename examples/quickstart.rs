@@ -21,7 +21,11 @@ fn main() {
         .edges([(0, 1), (0, 2), (1, 3), (2, 4), (3, 4), (2, 5)])
         .build();
     let names = ["a", "b", "c", "d", "e", "f"];
-    println!("graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+    println!(
+        "graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     // --- Native engine: real threads, hierarchical stealing ---
     let engine = NativeEngine::new(NativeConfig::default());

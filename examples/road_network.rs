@@ -18,7 +18,10 @@ use diggerbees::graph::traversal::bfs_levels;
 use diggerbees::sim::MachineModel;
 
 fn main() {
-    let side: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(700);
+    let side: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(700);
     let g = grid_road(side, side, 0.88, 0, 42);
     let h100 = MachineModel::h100();
     let root = diggerbees::graph::sources::select_sources(&g, 1, 7)[0];
@@ -36,7 +39,10 @@ fn main() {
     println!("serial DFS (1 Xeon core) : {:8.1} MTEPS", ser.mteps);
 
     let gun = bfs::run(&g, root, BfsFlavor::Gunrock, &h100);
-    println!("Gunrock BFS   (H100)     : {:8.1} MTEPS ({} kernel launches)", gun.mteps, levels);
+    println!(
+        "Gunrock BFS   (H100)     : {:8.1} MTEPS ({} kernel launches)",
+        gun.mteps, levels
+    );
 
     let berry = bfs::run(&g, root, BfsFlavor::BerryBees, &h100);
     println!("BerryBees BFS (H100)     : {:8.1} MTEPS", berry.mteps);

@@ -1,0 +1,123 @@
+//! Work-stealing deque with the `crossbeam-deque` API shape: LIFO owner
+//! end, FIFO steals (Chase-Lev split), backed by a mutexed `VecDeque`.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+pub struct Worker<T> {
+    q: Arc<Mutex<VecDeque<T>>>,
+}
+
+pub struct Stealer<T> {
+    q: Arc<Mutex<VecDeque<T>>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    Empty,
+    Success(T),
+    Retry,
+}
+
+impl<T> Worker<T> {
+    pub fn new_lifo() -> Self {
+        Worker {
+            q: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Owner pushes and pops at the back (LIFO, depth-first order).
+    pub fn push(&self, task: T) {
+        self.q
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(task);
+    }
+
+    pub fn pop(&self) -> Option<T> {
+        self.q
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_back()
+    }
+
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            q: Arc::clone(&self.q),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.q
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.q.lock().unwrap_or_else(PoisonError::into_inner).len()
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Thieves take from the front (the oldest, shallowest task).
+    pub fn steal(&self) -> Steal<T> {
+        match self.q.lock() {
+            Ok(mut g) => match g.pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            },
+            Err(p) => match p.into_inner().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            },
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.q
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_empty()
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            q: Arc::clone(&self.q),
+        }
+    }
+}
+
+impl<T> Steal<T> {
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Steal, Worker};
+
+    #[test]
+    fn owner_lifo_thief_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1)); // oldest first
+        assert_eq!(w.pop(), Some(3)); // newest first
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+}

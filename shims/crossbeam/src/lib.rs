@@ -1,0 +1,10 @@
+//! Offline shim for `crossbeam`: scoped threads layered over
+//! `std::thread::scope` plus a mutex-based work-stealing deque with the
+//! `crossbeam-deque` owner/stealer API. Correctness-equivalent, not
+//! performance-equivalent: the deque serializes owner and thieves on one
+//! lock, which is acceptable for the baseline ablation it backs.
+
+pub mod deque;
+pub mod thread;
+
+pub use thread::scope;

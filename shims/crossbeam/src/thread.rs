@@ -1,0 +1,61 @@
+//! `crossbeam::scope` compatibility over `std::thread::scope`.
+//!
+//! Differences from real crossbeam: child panics propagate out of
+//! `scope` (std behaviour) instead of being collected into `Err`, so the
+//! returned `Result` is always `Ok`. Workspace callers immediately
+//! `.expect()` the result, which behaves identically either way.
+
+pub type ScopedJoinHandle<'scope, T> = std::thread::ScopedJoinHandle<'scope, T>;
+
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn spawned_threads_join_before_scope_returns() {
+        let n = AtomicU32::new(0);
+        super::scope(|s| {
+            for _ in 0..8 {
+                let n = &n;
+                s.spawn(move |_| n.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(n.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let n = AtomicU32::new(0);
+        super::scope(|s| {
+            let n = &n;
+            s.spawn(move |s2| {
+                s2.spawn(move |_| n.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(n.load(Ordering::Relaxed), 1);
+    }
+}

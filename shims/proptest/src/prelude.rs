@@ -1,0 +1,7 @@
+//! Glob-import surface mirroring `proptest::prelude::*`.
+
+pub use crate::{
+    any, Any, Arbitrary, ProptestConfig, Strategy, TestCaseError, TestRng, TestRunner,
+};
+
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};

@@ -1,0 +1,51 @@
+//! Concrete RNGs: xoshiro256++ seeded with splitmix64.
+
+use super::{RngCore, SeedableRng};
+
+/// Small, fast, deterministic RNG (xoshiro256++).
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut st = seed;
+        let s = [
+            splitmix64(&mut st),
+            splitmix64(&mut st),
+            splitmix64(&mut st),
+            splitmix64(&mut st),
+        ];
+        SmallRng { s }
+    }
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// The workspace never relies on `StdRng`'s specific stream, only on
+/// determinism for a fixed seed, so it shares the xoshiro256++ core.
+pub type StdRng = SmallRng;

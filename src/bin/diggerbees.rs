@@ -15,6 +15,10 @@
 //! --hot-cutoff <n>       intra-block steal threshold (default 32)
 //! --cold-cutoff <n>      inter-block steal threshold (default 64)
 //! --stats                print graph characterization first
+//! --trace <out>          record execution events for the first source
+//!                        and write Chrome-trace JSON (or CSV when the
+//!                        path ends in .csv); supported for diggerbees,
+//!                        native, lockfree, ckl, acr
 //! ```
 //!
 //! Examples:
@@ -31,11 +35,19 @@ use diggerbees::baselines::nvg::{self, NvgConfig};
 use diggerbees::baselines::serial;
 use diggerbees::core::native::{NativeConfig, NativeEngine};
 use diggerbees::core::native_lockfree::LockFreeEngine;
-use diggerbees::core::{run_sim, DiggerBeesConfig};
+use diggerbees::core::{run_sim, run_sim_traced, DiggerBeesConfig};
 use diggerbees::gen::Suite;
 use diggerbees::graph::{mm, sources::select_sources, stats::graph_stats, CsrGraph};
 use diggerbees::sim::MachineModel;
+use diggerbees::trace::{chrome, csv, RingBufferTracer};
 use std::process::ExitCode;
+
+/// Ring capacity for `--trace`: newest ~4M events are kept (~100 MB);
+/// older events are dropped and the drop count is reported.
+const TRACE_CAPACITY: usize = 1 << 22;
+
+/// Methods whose engines are instrumented for `--trace`.
+const TRACEABLE: &[&str] = &["diggerbees", "native", "lockfree", "ckl", "acr"];
 
 struct Args {
     graph: String,
@@ -48,6 +60,7 @@ struct Args {
     hot_cutoff: u32,
     cold_cutoff: u32,
     stats: bool,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -62,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
         hot_cutoff: 32,
         cold_cutoff: 64,
         stats: false,
+        trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -78,10 +92,12 @@ fn parse_args() -> Result<Args, String> {
             "--hot-cutoff" => args.hot_cutoff = parse_num(&take("--hot-cutoff")?)?,
             "--cold-cutoff" => args.cold_cutoff = parse_num(&take("--cold-cutoff")?)?,
             "--stats" => args.stats = true,
+            "--trace" => args.trace = Some(take("--trace")?),
             "--help" | "-h" => {
                 return Err("usage: diggerbees <graph> [--method m] [--machine m] \
                             [--source v] [--sources n] [--blocks n] [--warps n] \
-                            [--hot-cutoff n] [--cold-cutoff n] [--stats]"
+                            [--hot-cutoff n] [--cold-cutoff n] [--stats] \
+                            [--trace out.json]"
                     .into())
             }
             other if args.graph.is_empty() && !other.starts_with('-') => {
@@ -108,7 +124,10 @@ fn load_graph(name: &str) -> Result<CsrGraph, String> {
         Some(spec) => Ok(spec.build()),
         None => {
             let known: Vec<&str> = Suite::full().iter().map(|s| s.name).collect();
-            Err(format!("unknown graph '{name}'; known: {}", known.join(", ")))
+            Err(format!(
+                "unknown graph '{name}'; known: {}",
+                known.join(", ")
+            ))
         }
     }
 }
@@ -152,10 +171,26 @@ fn main() -> ExitCode {
         g.memory_bytes() as f64 / 1e6
     );
 
+    if args.trace.is_some() && !TRACEABLE.contains(&args.method.as_str()) {
+        eprintln!(
+            "--trace is not supported for method '{}' (supported: {})",
+            args.method,
+            TRACEABLE.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+    let tracer = args
+        .trace
+        .as_ref()
+        .map(|_| RingBufferTracer::new(TRACE_CAPACITY));
+
     let roots: Vec<u32> = match args.source {
         Some(s) => vec![s],
         None => select_sources(&g, args.sources, 42),
     };
+    if tracer.is_some() && roots.len() > 1 {
+        println!("note: --trace records the first source only");
+    }
     if args.stats {
         let s = graph_stats(&g, roots[0]);
         println!(
@@ -173,11 +208,16 @@ fn main() -> ExitCode {
     };
 
     let mut mteps_all = Vec::new();
-    for &root in &roots {
+    for (ri, &root) in roots.iter().enumerate() {
         let label = args.method.as_str();
+        // Only the first source goes into the trace ring.
+        let rt = if ri == 0 { tracer.as_ref() } else { None };
         let mteps = match label {
             "diggerbees" => {
-                let r = run_sim(&g, root, &cfg, &m);
+                let r = match rt {
+                    Some(t) => run_sim_traced(&g, root, &cfg, &m, t),
+                    None => run_sim(&g, root, &cfg, &m),
+                };
                 println!(
                     "root {root}: {:.1} MTEPS, {} cycles, {} visited, steals {}+{}",
                     r.mteps,
@@ -189,14 +229,20 @@ fn main() -> ExitCode {
                 Some(r.mteps)
             }
             "serial" => Some(serial::run(&g, root, &MachineModel::xeon_max()).mteps),
-            "ckl" => Some(
-                cpu_ws::run(&g, root, CpuWsStyle::Ckl, &CpuWsConfig::default(),
-                            &MachineModel::xeon_max()).mteps,
-            ),
-            "acr" => Some(
-                cpu_ws::run(&g, root, CpuWsStyle::Acr, &CpuWsConfig::default(),
-                            &MachineModel::xeon_max()).mteps,
-            ),
+            "ckl" | "acr" => {
+                let style = if label == "ckl" {
+                    CpuWsStyle::Ckl
+                } else {
+                    CpuWsStyle::Acr
+                };
+                let xeon = MachineModel::xeon_max();
+                let ws_cfg = CpuWsConfig::default();
+                let r = match rt {
+                    Some(t) => cpu_ws::run_traced(&g, root, style, &ws_cfg, &xeon, t),
+                    None => cpu_ws::run(&g, root, style, &ws_cfg, &xeon),
+                };
+                Some(r.mteps)
+            }
             "nvg" => match nvg::run(&g, root, &NvgConfig::default(), &m) {
                 Ok(r) => Some(r.mteps),
                 Err(e) => {
@@ -216,10 +262,11 @@ fn main() -> ExitCode {
                         ..Default::default()
                     },
                 };
-                let out = if label == "native" {
-                    NativeEngine::new(ncfg).run(&g, root)
-                } else {
-                    LockFreeEngine::new(ncfg).run(&g, root)
+                let out = match (label, rt) {
+                    ("native", Some(t)) => NativeEngine::new(ncfg).run_traced(&g, root, t),
+                    ("native", None) => NativeEngine::new(ncfg).run(&g, root),
+                    (_, Some(t)) => LockFreeEngine::new(ncfg).run_traced(&g, root, t),
+                    (_, None) => LockFreeEngine::new(ncfg).run(&g, root),
                 };
                 println!(
                     "root {root}: wall {:?}, {} visited, steals {}+{}",
@@ -248,5 +295,33 @@ fn main() -> ExitCode {
             mteps_all.len()
         );
     }
+    if let (Some(path), Some(tracer)) = (&args.trace, &tracer) {
+        if let Err(e) = write_trace(path, tracer) {
+            eprintln!("failed to write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// Drains the ring and writes Chrome-trace JSON (or CSV for `.csv`
+/// paths) to `path`.
+fn write_trace(path: &str, tracer: &RingBufferTracer) -> std::io::Result<()> {
+    let dropped = tracer.dropped();
+    let events = tracer.snapshot();
+    let file = std::fs::File::create(path)?;
+    let mut out = std::io::BufWriter::new(file);
+    if path.ends_with(".csv") {
+        csv::write_csv(&events, &mut out)?;
+    } else {
+        chrome::write_chrome_trace(&events, &mut out)?;
+    }
+    println!("trace: {} events written to {path}", events.len());
+    if dropped > 0 {
+        println!(
+            "trace: ring overflowed; oldest {dropped} events dropped \
+             (capacity {TRACE_CAPACITY})"
+        );
+    }
+    Ok(())
 }

@@ -16,6 +16,8 @@
 //!   GPU engine ([`db_core`]).
 //! * [`baselines`] — every comparison point from the paper's evaluation
 //!   ([`db_baselines`]).
+//! * [`trace`] — typed execution-event tracing: zero-overhead-when-off
+//!   tracer backends plus Chrome-trace and CSV exporters ([`db_trace`]).
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the reproduction
 //! notes. Runnable examples live in `examples/`: `quickstart`,
@@ -43,3 +45,4 @@ pub use db_core as core;
 pub use db_gen as gen;
 pub use db_gpu_sim as sim;
 pub use db_graph as graph;
+pub use db_trace as trace;

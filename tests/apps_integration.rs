@@ -71,7 +71,10 @@ fn mesh_articulation_matches_brute_force() {
     let g = mesh::bubbles(6, 8, 0, 3); // chain of rings: junctions are cuts
     let r = articulation_points(&g);
     verify_articulation(&g, &r).unwrap();
-    assert!(r.articulation.iter().any(|&b| b), "bubble junctions are articulation points");
+    assert!(
+        r.articulation.iter().any(|&b| b),
+        "bubble junctions are articulation points"
+    );
 }
 
 #[test]
@@ -84,7 +87,10 @@ fn forest_on_fragmented_road_network() {
     verify_forest(&g, &f).unwrap();
 
     // The simulated engine builds an equivalent partition.
-    let sim = SimDfs { cfg: small_algo(), machine: MachineModel::h100() };
+    let sim = SimDfs {
+        cfg: small_algo(),
+        machine: MachineModel::h100(),
+    };
     let f2 = spanning_forest(&g, &sim);
     assert_eq!(f.num_components(), f2.num_components());
     for v in 0..g.num_vertices() {

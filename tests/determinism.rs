@@ -82,7 +82,10 @@ fn machine_model_changes_cycles_not_outputs() {
     let a = run_sim(&g, 0, &cfg(1), &MachineModel::a100());
     let h = run_sim(&g, 0, &cfg(1), &MachineModel::h100());
     assert_eq!(a.visited, h.visited);
-    assert_ne!(a.stats.cycles, h.stats.cycles, "different machines, different cycles");
+    assert_ne!(
+        a.stats.cycles, h.stats.cycles,
+        "different machines, different cycles"
+    );
     // H100 must be at least as fast in wall-clock terms.
     let a_s = MachineModel::a100().cycles_to_seconds(a.stats.cycles);
     let h_s = MachineModel::h100().cycles_to_seconds(h.stats.cycles);

@@ -50,7 +50,10 @@ fn all_methods_agree_on_reachability() {
             assert_eq!(db.visited, truth, "DiggerBees sim on {name} from {root}");
 
             let native = NativeEngine::new(NativeConfig { algo: small_db() }).run(&g, root);
-            assert_eq!(native.visited, truth, "DiggerBees native on {name} from {root}");
+            assert_eq!(
+                native.visited, truth,
+                "DiggerBees native on {name} from {root}"
+            );
 
             let ckl = cpu_ws::run(&g, root, CpuWsStyle::Ckl, &CpuWsConfig::default(), &xeon);
             assert_eq!(ckl.visited, truth, "CKL on {name} from {root}");

@@ -18,8 +18,19 @@ use diggerbees::sim::MachineModel;
 fn fig5_pathway_nvg_fails_where_diggerbees_succeeds() {
     let h100 = MachineModel::h100();
     let g = grid::long_path(60_000);
-    let nvg = nvg::run(&g, 0, &NvgConfig { memory_budget_bytes: 1 << 20, ..Default::default() }, &h100);
-    assert!(nvg.is_err(), "path-tracking NVG must exhaust memory on deep paths");
+    let nvg = nvg::run(
+        &g,
+        0,
+        &NvgConfig {
+            memory_budget_bytes: 1 << 20,
+            ..Default::default()
+        },
+        &h100,
+    );
+    assert!(
+        nvg.is_err(),
+        "path-tracking NVG must exhaust memory on deep paths"
+    );
     let db = run_sim(&g, 0, &DiggerBeesConfig::v4(h100.sm_count), &h100);
     assert_eq!(db.stats.vertices_visited, 60_000);
     assert!(db.mteps > 0.0);
@@ -83,8 +94,14 @@ fn fig8_pathway_breakdown_ordering() {
     let v1 = run(DiggerBeesConfig::v1());
     let v2 = run(DiggerBeesConfig::v2());
     let v3 = run(DiggerBeesConfig::v3());
-    assert!(v2 > v1, "two-level stack must beat the global stack: {v2} vs {v1}");
-    assert!(v3 > 2.0 * v2, "inter-block stealing must be the big step: {v3} vs {v2}");
+    assert!(
+        v2 > v1,
+        "two-level stack must beat the global stack: {v2} vs {v1}"
+    );
+    assert!(
+        v3 > 2.0 * v2,
+        "inter-block stealing must be the big step: {v3} vs {v2}"
+    );
 }
 
 /// Fig. 9 pathway: two-choice victim selection balances load at least as
@@ -95,7 +112,10 @@ fn fig9_pathway_two_choice_balances() {
     let g = diggerbees::gen::pref::pref_attach(40_000, 4, 0.6, 3);
     let root = select_sources(&g, 1, 42)[0];
     let cv = |policy| {
-        let cfg = DiggerBeesConfig { victim_policy: policy, ..DiggerBeesConfig::v4(h100.sm_count) };
+        let cfg = DiggerBeesConfig {
+            victim_policy: policy,
+            ..DiggerBeesConfig::v4(h100.sm_count)
+        };
         run_sim(&g, root, &cfg, &h100).stats.block_load_cv()
     };
     let random = cv(VictimPolicy::Random);
@@ -123,7 +143,10 @@ fn fig10_pathway_default_cutoffs_reasonable() {
     let default = run(32, 64);
     let tiny = run(2, 2);
     let huge = run(128, 256); // cold steal batch 128 = the whole HotRing
-    assert!(default > 0.6 * tiny.max(huge), "defaults badly beaten: {default} vs {tiny}/{huge}");
+    assert!(
+        default > 0.6 * tiny.max(huge),
+        "defaults badly beaten: {default} vs {tiny}/{huge}"
+    );
 }
 
 /// Suite registry integrity used by all figure binaries.
@@ -145,8 +168,21 @@ fn suite_registry_supports_harness() {
 fn one_level_stack_costs_more() {
     let h100 = MachineModel::h100();
     let g = grid::long_path(5000);
-    let base = DiggerBeesConfig { blocks: 1, warps_per_block: 1, inter_block: false, ..Default::default() };
-    let one = run_sim(&g, 0, &DiggerBeesConfig { stack: StackLevels::One, ..base }, &h100);
+    let base = DiggerBeesConfig {
+        blocks: 1,
+        warps_per_block: 1,
+        inter_block: false,
+        ..Default::default()
+    };
+    let one = run_sim(
+        &g,
+        0,
+        &DiggerBeesConfig {
+            stack: StackLevels::One,
+            ..base
+        },
+        &h100,
+    );
     let two = run_sim(&g, 0, &base, &h100);
     assert!(
         two.stats.cycles < one.stats.cycles,

@@ -36,10 +36,27 @@ fn cfgs() -> Vec<DiggerBeesConfig> {
     };
     vec![
         base,
-        DiggerBeesConfig { stack: StackLevels::One, blocks: 1, inter_block: false, ..base },
-        DiggerBeesConfig { victim_policy: VictimPolicy::Random, ..base },
-        DiggerBeesConfig { hot_cutoff: 2, cold_cutoff: 2, ..base },
-        DiggerBeesConfig { hot_cutoff: 16, cold_cutoff: 16, hot_size: 32, ..base },
+        DiggerBeesConfig {
+            stack: StackLevels::One,
+            blocks: 1,
+            inter_block: false,
+            ..base
+        },
+        DiggerBeesConfig {
+            victim_policy: VictimPolicy::Random,
+            ..base
+        },
+        DiggerBeesConfig {
+            hot_cutoff: 2,
+            cold_cutoff: 2,
+            ..base
+        },
+        DiggerBeesConfig {
+            hot_cutoff: 16,
+            cold_cutoff: 16,
+            hot_size: 32,
+            ..base
+        },
     ]
 }
 
