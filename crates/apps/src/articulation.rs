@@ -1,6 +1,6 @@
 //! Articulation points and bridges (Hopcroft–Tarjan low-links) — the
 //! structural-analysis application family of §1 (biconnectivity is the
-//! example the paper's "DFS-avoidance" citation [27] reformulates;
+//! example the paper's "DFS-avoidance" citation \[27\] reformulates;
 //! this is the DFS-based original).
 
 use db_graph::CsrGraph;

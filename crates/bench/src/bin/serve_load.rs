@@ -1,0 +1,466 @@
+//! Seeded load generator for the `db-serve` service layer.
+//!
+//! Two modes:
+//!
+//! * **in-process** (default): starts a fresh [`Server`] per run,
+//!   drives it through the in-process handle, and — when `--runs` ≥ 2 —
+//!   asserts that every run produces identical response digests
+//!   (outcome determinism across schedules).
+//! * **TCP** (`--addr host:port`): drives an already-running
+//!   `diggerbees serve` endpoint over newline-delimited JSON;
+//!   `--shutdown` sends `{"op":"shutdown"}` afterwards.
+//!
+//! Load shapes: `--mode closed` (each client thread keeps one request
+//! in flight) or `--mode open --rate R` (fixed-rate arrivals,
+//! independent of completions).
+//!
+//! Emits a JSON report (default `BENCH_serve.json`) with exact
+//! client-side latency percentiles, throughput, cache hit rate, and
+//! the per-run outcome digest. Exits nonzero on any error response,
+//! any rejection, or a cross-run digest mismatch.
+
+use db_serve::net::roundtrip_line;
+use db_serve::{EngineKind, Request, Response, ServeConfig, Server, Status, Workload};
+use db_trace::json::Value;
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+struct Args {
+    workers: usize,
+    clients: usize,
+    requests: usize,
+    seed: u64,
+    graphs: Vec<String>,
+    mode: String,
+    rate: f64,
+    deadline_ms: Option<u64>,
+    runs: usize,
+    out: String,
+    addr: Option<String>,
+    shutdown: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            workers: 4,
+            clients: 8,
+            requests: 10_000,
+            seed: 42,
+            graphs: ["grid:60:60", "path:5000", "dag:4000"]
+                .map(String::from)
+                .to_vec(),
+            mode: "closed".into(),
+            rate: 2000.0,
+            deadline_ms: None,
+            runs: 2,
+            out: "BENCH_serve.json".into(),
+            addr: None,
+            shutdown: false,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut a = Args::default();
+    let mut it = std::env::args().skip(1);
+    let die = |msg: String| -> ! {
+        eprintln!("serve_load: {msg}");
+        eprintln!(
+            "usage: serve_load [--workers N] [--clients N] [--requests N] [--seed S] \
+             [--graphs k1,k2,...] [--mode closed|open] [--rate R] [--deadline-ms MS] \
+             [--runs N] [--out FILE] [--addr HOST:PORT] [--shutdown]"
+        );
+        std::process::exit(2);
+    };
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| die(format!("missing value for {name}")))
+        };
+        match flag.as_str() {
+            "--workers" => {
+                a.workers = val("--workers")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --workers".into()))
+            }
+            "--clients" => {
+                a.clients = val("--clients")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --clients".into()))
+            }
+            "--requests" => {
+                a.requests = val("--requests")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --requests".into()))
+            }
+            "--seed" => {
+                a.seed = val("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --seed".into()))
+            }
+            "--graphs" => a.graphs = val("--graphs").split(',').map(str::to_string).collect(),
+            "--mode" => a.mode = val("--mode"),
+            "--rate" => {
+                a.rate = val("--rate")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --rate".into()))
+            }
+            "--deadline-ms" => {
+                a.deadline_ms = Some(
+                    val("--deadline-ms")
+                        .parse()
+                        .unwrap_or_else(|_| die("bad --deadline-ms".into())),
+                )
+            }
+            "--runs" => {
+                a.runs = val("--runs")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --runs".into()))
+            }
+            "--out" => a.out = val("--out"),
+            "--addr" => a.addr = Some(val("--addr")),
+            "--shutdown" => a.shutdown = true,
+            other => die(format!("unknown flag '{other}'")),
+        }
+    }
+    if a.graphs.is_empty() || a.requests == 0 || a.clients == 0 || a.workers == 0 {
+        die("need nonzero --workers/--clients/--requests and at least one graph".into());
+    }
+    if a.mode != "closed" && a.mode != "open" {
+        die(format!("unknown --mode '{}'", a.mode));
+    }
+    a
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// Directed corpus keys support scc/topo; undirected ones support
+/// articulation. Suite graph names are treated as undirected (all
+/// current suite recipes are).
+fn is_directed_key(key: &str) -> bool {
+    key.starts_with("dag:") || key.starts_with("ring:")
+}
+
+fn vertex_count(key: &str) -> u32 {
+    db_serve::corpus::build_graph(key)
+        .map(|g| g.num_vertices() as u32)
+        .unwrap_or_else(|e| {
+            eprintln!("serve_load: {e}");
+            std::process::exit(2);
+        })
+}
+
+/// Deterministic request list: same seed + knobs → same requests.
+fn generate(a: &Args) -> Vec<Request> {
+    let sizes: Vec<u32> = a.graphs.iter().map(|g| vertex_count(g)).collect();
+    let mut rng = a.seed ^ 0x6a09_e667_f3bc_c908;
+    (0..a.requests as u64)
+        .map(|id| {
+            let gi = (xorshift(&mut rng) % a.graphs.len() as u64) as usize;
+            let graph = a.graphs[gi].clone();
+            let n = sizes[gi].max(1);
+            let directed = is_directed_key(&graph);
+            let root = (xorshift(&mut rng) % n as u64) as u32;
+            let target = (xorshift(&mut rng) % n as u64) as u32;
+            let workload = match xorshift(&mut rng) % 10 {
+                0..=5 => Workload::Dfs { root },
+                6 | 7 => Workload::Reach { root, target },
+                8 => {
+                    if directed {
+                        Workload::Scc
+                    } else {
+                        Workload::Articulation
+                    }
+                }
+                _ => {
+                    if directed {
+                        Workload::Topo
+                    } else {
+                        Workload::Dfs { root }
+                    }
+                }
+            };
+            let engine = match xorshift(&mut rng) % 4 {
+                0 | 1 => EngineKind::Native,
+                2 => EngineKind::LockFree,
+                _ => EngineKind::Serial,
+            };
+            Request {
+                id,
+                tenant: format!("tenant{}", xorshift(&mut rng) % 4),
+                graph,
+                workload,
+                engine,
+                deadline_ms: a.deadline_ms,
+            }
+        })
+        .collect()
+}
+
+/// FNV-1a over all digests in id order: one number per run to compare.
+fn combined_digest(mut results: Vec<(u64, String)>) -> (u64, Vec<(u64, String)>) {
+    results.sort();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for (_, d) in &results {
+        for b in d.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    (h, results)
+}
+
+struct RunReport {
+    wall: Duration,
+    latencies_us: Vec<u64>,
+    ok: u64,
+    expired: u64,
+    rejected: u64,
+    errors: u64,
+    digest: u64,
+    cache_hit_rate: f64,
+    steals: u64,
+}
+
+fn quantile_exact(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn tally(responses: Vec<Response>, wall: Duration, hit_rate: f64, steals: u64) -> RunReport {
+    let mut latencies: Vec<u64> = responses.iter().map(|r| r.latency_us).collect();
+    latencies.sort_unstable();
+    let count = |s: Status| responses.iter().filter(|r| r.status == s).count() as u64;
+    let (digest, _) = combined_digest(responses.iter().map(|r| (r.id, r.digest())).collect());
+    RunReport {
+        wall,
+        latencies_us: latencies,
+        ok: count(Status::Ok),
+        expired: count(Status::Expired),
+        rejected: count(Status::Rejected),
+        errors: count(Status::Error),
+        digest,
+        cache_hit_rate: hit_rate,
+        steals,
+    }
+}
+
+/// One in-process run: fresh server, closed or open loop, drain.
+fn run_in_process(a: &Args, reqs: &[Request]) -> RunReport {
+    let server = Server::start(ServeConfig {
+        workers: a.workers,
+        queue_capacity: reqs.len() + a.clients + 1,
+        tenant_quota: None,
+        ..ServeConfig::default()
+    });
+    let h = server.handle();
+    let start = Instant::now();
+    let responses: Vec<Response> = if a.mode == "closed" {
+        let next = AtomicUsize::new(0);
+        let out = Mutex::new(Vec::with_capacity(reqs.len()));
+        std::thread::scope(|s| {
+            for _ in 0..a.clients {
+                s.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= reqs.len() {
+                            break;
+                        }
+                        mine.push(h.run(reqs[i].clone()));
+                    }
+                    out.lock().unwrap().append(&mut mine);
+                });
+            }
+        });
+        out.into_inner().unwrap()
+    } else {
+        let gap = Duration::from_secs_f64(1.0 / a.rate.max(1.0));
+        let mut rxs = Vec::with_capacity(reqs.len());
+        let mut due = Instant::now();
+        for r in reqs {
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+            rxs.push(h.submit(r.clone()));
+            due += gap;
+        }
+        rxs.into_iter()
+            .map(|rx| {
+                rx.recv()
+                    .unwrap_or_else(|_| Response::failure(0, Status::Error, "server died"))
+            })
+            .collect()
+    };
+    let wall = start.elapsed();
+    let m = server.shutdown();
+    tally(responses, wall, m.cache_hit_rate(), m.steals)
+}
+
+/// One TCP run against an external endpoint; closed loop only.
+fn run_tcp(a: &Args, reqs: &[Request], addr: &str) -> RunReport {
+    let next = AtomicUsize::new(0);
+    let out = Mutex::new(Vec::with_capacity(reqs.len()));
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..a.clients {
+            s.spawn(|| {
+                let stream = TcpStream::connect(addr).unwrap_or_else(|e| {
+                    eprintln!("serve_load: cannot connect to {addr}: {e}");
+                    std::process::exit(2);
+                });
+                let mut writer = stream.try_clone().expect("clone stream");
+                let mut reader = BufReader::new(stream);
+                let mut mine = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= reqs.len() {
+                        break;
+                    }
+                    let line = reqs[i].to_value().to_json();
+                    let reply = roundtrip_line(&mut reader, &mut writer, &line)
+                        .expect("request round trip");
+                    let doc = Value::parse(&reply).expect("response JSON");
+                    mine.push(Response::from_value(&doc).expect("response shape"));
+                }
+                out.lock().unwrap().append(&mut mine);
+            });
+        }
+    });
+    let wall = start.elapsed();
+    let responses = out.into_inner().unwrap();
+    // Cache/steal gauges come from the remote metrics op.
+    let (hit_rate, steals) = std::net::ToSocketAddrs::to_socket_addrs(addr)
+        .ok()
+        .and_then(|mut it| it.next())
+        .and_then(|sa| db_serve::net::fetch_metrics(&sa).ok())
+        .map(|m| (m.cache_hit_rate(), m.steals))
+        .unwrap_or((f64::NAN, 0));
+    tally(responses, wall, hit_rate, steals)
+}
+
+fn report_value(a: &Args, reports: &[RunReport], deterministic: bool) -> Value {
+    let runs: Vec<Value> = reports
+        .iter()
+        .map(|r| {
+            let total = r.ok + r.expired + r.rejected + r.errors;
+            Value::Obj(vec![
+                ("requests".into(), Value::u64(total)),
+                ("ok".into(), Value::u64(r.ok)),
+                ("expired".into(), Value::u64(r.expired)),
+                ("rejected".into(), Value::u64(r.rejected)),
+                ("errors".into(), Value::u64(r.errors)),
+                ("wall_ms".into(), Value::u64(r.wall.as_millis() as u64)),
+                (
+                    "throughput_rps".into(),
+                    Value::Num(total as f64 / r.wall.as_secs_f64().max(1e-9)),
+                ),
+                (
+                    "p50_us".into(),
+                    Value::u64(quantile_exact(&r.latencies_us, 0.50)),
+                ),
+                (
+                    "p90_us".into(),
+                    Value::u64(quantile_exact(&r.latencies_us, 0.90)),
+                ),
+                (
+                    "p99_us".into(),
+                    Value::u64(quantile_exact(&r.latencies_us, 0.99)),
+                ),
+                ("cache_hit_rate".into(), Value::Num(r.cache_hit_rate)),
+                ("steals".into(), Value::u64(r.steals)),
+                ("digest".into(), Value::str(format!("{:016x}", r.digest))),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("bench".into(), Value::str("serve_load")),
+        ("mode".into(), Value::str(&a.mode)),
+        ("workers".into(), Value::u64(a.workers as u64)),
+        ("clients".into(), Value::u64(a.clients as u64)),
+        ("seed".into(), Value::u64(a.seed)),
+        (
+            "graphs".into(),
+            Value::Arr(a.graphs.iter().map(Value::str).collect()),
+        ),
+        ("runs".into(), Value::Arr(runs)),
+        ("deterministic".into(), Value::Bool(deterministic)),
+    ])
+}
+
+fn main() {
+    let a = parse_args();
+    let reqs = generate(&a);
+    let mut reports = Vec::new();
+    if let Some(addr) = &a.addr {
+        for run in 0..a.runs.max(1) {
+            eprintln!("serve_load: TCP run {} against {addr}...", run + 1);
+            reports.push(run_tcp(&a, &reqs, addr));
+        }
+        if a.shutdown {
+            if let Ok(stream) = TcpStream::connect(addr.as_str()) {
+                let mut writer = stream.try_clone().expect("clone stream");
+                let mut reader = BufReader::new(stream);
+                let _ = roundtrip_line(&mut reader, &mut writer, r#"{"op":"shutdown"}"#);
+            }
+        }
+    } else {
+        for run in 0..a.runs.max(1) {
+            eprintln!(
+                "serve_load: in-process run {} ({} requests, {} workers)...",
+                run + 1,
+                a.requests,
+                a.workers
+            );
+            reports.push(run_in_process(&a, &reqs));
+        }
+    }
+    let deterministic = reports.windows(2).all(|w| w[0].digest == w[1].digest);
+    let doc = report_value(&a, &reports, deterministic);
+    let mut f = std::fs::File::create(&a.out).unwrap_or_else(|e| {
+        eprintln!("serve_load: cannot write {}: {e}", a.out);
+        std::process::exit(2);
+    });
+    f.write_all(doc.to_json().as_bytes()).expect("write report");
+    f.write_all(b"\n").expect("write report");
+    for (i, r) in reports.iter().enumerate() {
+        eprintln!(
+            "run {}: {} ok / {} expired / {} rejected / {} errors; \
+             p50 {} us, p99 {} us, {:.0} req/s, hit rate {:.3}, {} steals, digest {:016x}",
+            i + 1,
+            r.ok,
+            r.expired,
+            r.rejected,
+            r.errors,
+            quantile_exact(&r.latencies_us, 0.50),
+            quantile_exact(&r.latencies_us, 0.99),
+            (r.ok + r.expired + r.rejected + r.errors) as f64 / r.wall.as_secs_f64().max(1e-9),
+            r.cache_hit_rate,
+            r.steals,
+            r.digest,
+        );
+    }
+    let bad = reports.iter().any(|r| r.errors > 0 || r.rejected > 0);
+    if bad {
+        eprintln!("serve_load: FAILED — error or rejected responses present");
+        std::process::exit(1);
+    }
+    if !deterministic {
+        eprintln!("serve_load: FAILED — outcome digests differ across runs");
+        std::process::exit(1);
+    }
+    eprintln!("serve_load: OK — report written to {}", a.out);
+}

@@ -91,7 +91,9 @@ impl Table {
     }
 
     /// Prints the table; with `csv` also prints the CSV block and writes
-    /// it to `results/<name>.csv` (best effort).
+    /// it to `results/<name>.csv` (best effort). The CSV lands via a
+    /// temp-file + rename so a crash mid-write never leaves a truncated
+    /// file where a previous complete run's output used to be.
     pub fn emit(&self, name: &str, csv: bool) {
         println!("{}", self.render());
         if csv {
@@ -99,7 +101,11 @@ impl Table {
             println!("{}", self.to_csv());
         }
         let _ = std::fs::create_dir_all("results");
-        let _ = std::fs::write(format!("results/{name}.csv"), self.to_csv());
+        let tmp = format!("results/.{name}.csv.tmp");
+        let dst = format!("results/{name}.csv");
+        if std::fs::write(&tmp, self.to_csv()).is_ok() {
+            let _ = std::fs::rename(&tmp, &dst);
+        }
     }
 }
 

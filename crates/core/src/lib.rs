@@ -28,9 +28,13 @@
 //!   ([`config::DiggerBeesConfig::v1`] … `v4`).
 //! * [`stack`] — the HotRing / ColdSeg data structures of §3.2 with the
 //!   four core operations (fast push, fast pop, flush, refill).
+//! * [`cancel`] — cooperative cancellation tokens polled by the native
+//!   engines' worker loops, so a service layer can enforce per-request
+//!   deadlines without killing threads.
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod config;
 pub mod lockfree;
 pub mod native;
@@ -38,5 +42,6 @@ pub mod native_lockfree;
 pub mod sim;
 pub mod stack;
 
+pub use cancel::CancelToken;
 pub use config::{DiggerBeesConfig, StackLevels, VictimPolicy};
 pub use sim::{run_sim, run_sim_traced, SimResult};

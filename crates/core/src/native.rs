@@ -20,6 +20,7 @@
 //! the `done` flag. (Entries being copied during a steal stay counted —
 //! they are live, merely in transit.)
 
+use crate::cancel::CancelToken;
 use crate::config::DiggerBeesConfig;
 use crate::stack::{ColdSeg, Entry, HotRing};
 use db_gpu_sim::SimStats;
@@ -88,6 +89,9 @@ pub struct NativeResult {
     pub stats: SimStats,
     /// Wall-clock duration of the traversal (excluding setup).
     pub wall: Duration,
+    /// `false` when the run was stopped early by a [`CancelToken`]; the
+    /// output arrays then describe a consistent partial traversal.
+    pub completed: bool,
 }
 
 impl NativeResult {
@@ -119,6 +123,8 @@ struct Shared<'g> {
     /// Entries logically alive anywhere (rings, segments, in transit).
     live: AtomicI64,
     done: AtomicBool,
+    /// Set when a worker observed a cancelled token and raised `done`.
+    cancelled: AtomicBool,
     /// Pending entries per block — the Alg. 4 load signal.
     pending: Vec<AtomicI64>,
     /// Active warps per block — the §3.4 mask, as a counter.
@@ -168,6 +174,19 @@ impl NativeEngine {
         self.run_traced(g, root, &NullTracer)
     }
 
+    /// Like [`NativeEngine::run`], but every worker polls `token` at the
+    /// top of its loop (one poll per vertex-expansion step). When the
+    /// token cancels — by hand or by deadline — all workers stop within
+    /// one step and the result comes back with `completed == false`.
+    pub fn run_cancellable(
+        &self,
+        g: &CsrGraph,
+        root: VertexId,
+        token: &CancelToken,
+    ) -> NativeResult {
+        self.run_inner(g, root, &NullTracer, Some(token))
+    }
+
     /// Like [`NativeEngine::run`], recording events into `tracer`.
     ///
     /// Event timestamps are nanoseconds since kernel start; block/warp
@@ -175,6 +194,16 @@ impl NativeEngine {
     /// lane `w % warps_per_block`. With [`NullTracer`] this compiles to
     /// exactly [`NativeEngine::run`].
     pub fn run_traced<T: Tracer>(&self, g: &CsrGraph, root: VertexId, tracer: &T) -> NativeResult {
+        self.run_inner(g, root, tracer, None)
+    }
+
+    fn run_inner<T: Tracer>(
+        &self,
+        g: &CsrGraph,
+        root: VertexId,
+        tracer: &T,
+        cancel: Option<&CancelToken>,
+    ) -> NativeResult {
         let cfg = self.cfg.algo;
         cfg.validate();
         let n = g.num_vertices();
@@ -197,6 +226,7 @@ impl NativeEngine {
                 .collect(),
             live: AtomicI64::new(0),
             done: AtomicBool::new(false),
+            cancelled: AtomicBool::new(false),
             pending: (0..cfg.blocks).map(|_| AtomicI64::new(0)).collect(),
             block_active: (0..cfg.blocks).map(|_| AtomicU32::new(0)).collect(),
             tasks_per_block: (0..cfg.blocks).map(|_| AtomicU64::new(0)).collect(),
@@ -238,7 +268,8 @@ impl NativeEngine {
             for w in 0..nw {
                 let shared = &shared;
                 let tc = &tc;
-                scope.spawn(move |_| worker(shared, w, w == 0, tc));
+                let poller = cancel.map(CancelToken::poller);
+                scope.spawn(move |_| worker(shared, w, w == 0, tc, poller));
             }
         })
         .expect("worker panicked");
@@ -251,7 +282,8 @@ impl NativeEngine {
             },
         );
 
-        debug_assert_eq!(shared.live.load(Ordering::SeqCst), 0);
+        let completed = !shared.cancelled.load(Ordering::Acquire);
+        debug_assert!(!completed || shared.live.load(Ordering::SeqCst) == 0);
         let mut stats = SimStats::new(cfg.blocks as usize);
         stats.vertices_visited = shared.vertices.load(Ordering::Relaxed);
         stats.edges_traversed = shared.edges.load(Ordering::Relaxed);
@@ -279,11 +311,18 @@ impl NativeEngine {
                 .collect(),
             stats,
             wall,
+            completed,
         }
     }
 }
 
-fn worker<T: Tracer>(s: &Shared<'_>, w: u32, initially_active: bool, tc: &TraceCtx<'_, T>) {
+fn worker<T: Tracer>(
+    s: &Shared<'_>,
+    w: u32,
+    initially_active: bool,
+    tc: &TraceCtx<'_, T>,
+    mut poller: Option<crate::cancel::CancelPoller>,
+) {
     let cfg = s.cfg;
     let b = s.block_of(w) as usize;
     let lane = w % cfg.warps_per_block;
@@ -300,6 +339,14 @@ fn worker<T: Tracer>(s: &Shared<'_>, w: u32, initially_active: bool, tc: &TraceC
     loop {
         if s.done.load(Ordering::Acquire) {
             break;
+        }
+        // Cooperative cancellation poll point: one poll per step.
+        if let Some(p) = poller.as_mut() {
+            if p.poll() {
+                s.cancelled.store(true, Ordering::Release);
+                s.done.store(true, Ordering::Release);
+                break;
+            }
         }
         if active {
             if work_step(s, w, b, &mut edges, &mut vertices, &mut tasks, tc) {
@@ -704,6 +751,50 @@ mod tests {
         let out = NativeEngine::new(small_cfg()).run(&g, 0);
         assert!(out.mteps() > 0.0);
         assert!(out.wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn precancelled_token_stops_immediately() {
+        let g = grid(60, 60);
+        let token = CancelToken::new();
+        token.cancel();
+        let out = NativeEngine::new(small_cfg()).run_cancellable(&g, 0, &token);
+        assert!(!out.completed);
+        // Workers poll before their first step, so (at most) the
+        // pre-seeded root is marked.
+        assert!(out.visited.iter().filter(|&&v| v).count() < g.num_vertices());
+    }
+
+    #[test]
+    fn uncancelled_token_runs_to_completion() {
+        let g = grid(30, 30);
+        let token = CancelToken::new();
+        let out = NativeEngine::new(small_cfg()).run_cancellable(&g, 0, &token);
+        assert!(out.completed);
+        check_reachability(&g, 0, &out.visited).unwrap();
+        check_spanning_tree(&g, 0, &out.visited, &out.parent).unwrap();
+    }
+
+    #[test]
+    fn expired_deadline_yields_partial_but_consistent_prefix() {
+        // A long path forces a serial frontier, so the traversal cannot
+        // finish before the (already expired) deadline is observed at
+        // the first poll point.
+        let n = 200_000u32;
+        let g = GraphBuilder::undirected(n)
+            .edges((0..n - 1).map(|i| (i, i + 1)))
+            .build();
+        let token = CancelToken::with_deadline(std::time::Instant::now());
+        let out = NativeEngine::new(small_cfg()).run_cancellable(&g, 0, &token);
+        assert!(!out.completed);
+        // The visited prefix must still be parent-consistent: every
+        // visited non-root vertex has a visited parent.
+        for v in 1..n as usize {
+            if out.visited[v] {
+                let p = out.parent[v];
+                assert!(p != NO_PARENT && out.visited[p as usize]);
+            }
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! accounting is unchanged: an entry in the owner's hand is still live,
 //! and `live == 0` terminates.
 
+use crate::cancel::CancelToken;
 use crate::config::DiggerBeesConfig;
 use crate::lockfree::StampedRing;
 use crate::native::{NativeResult, TraceCtx};
@@ -40,6 +41,7 @@ struct Shared<'g> {
     warps: Vec<WarpShared>,
     live: AtomicI64,
     done: AtomicBool,
+    cancelled: AtomicBool,
     pending: Vec<AtomicI64>,
     block_active: Vec<AtomicU32>,
     tasks_per_block: Vec<AtomicU64>,
@@ -75,10 +77,32 @@ impl LockFreeEngine {
         self.run_traced(g, root, &NullTracer)
     }
 
+    /// Like [`LockFreeEngine::run`], polling `token` at every worker
+    /// step (same contract as
+    /// [`crate::native::NativeEngine::run_cancellable`]).
+    pub fn run_cancellable(
+        &self,
+        g: &CsrGraph,
+        root: VertexId,
+        token: &CancelToken,
+    ) -> NativeResult {
+        self.run_inner(g, root, &NullTracer, Some(token))
+    }
+
     /// Like [`LockFreeEngine::run`], recording events into `tracer`
     /// (same provenance scheme as
     /// [`crate::native::NativeEngine::run_traced`]).
     pub fn run_traced<T: Tracer>(&self, g: &CsrGraph, root: VertexId, tracer: &T) -> NativeResult {
+        self.run_inner(g, root, tracer, None)
+    }
+
+    fn run_inner<T: Tracer>(
+        &self,
+        g: &CsrGraph,
+        root: VertexId,
+        tracer: &T,
+        cancel: Option<&CancelToken>,
+    ) -> NativeResult {
         let cfg = self.cfg.algo;
         cfg.validate();
         let n = g.num_vertices();
@@ -100,6 +124,7 @@ impl LockFreeEngine {
                 .collect(),
             live: AtomicI64::new(0),
             done: AtomicBool::new(false),
+            cancelled: AtomicBool::new(false),
             pending: (0..cfg.blocks).map(|_| AtomicI64::new(0)).collect(),
             block_active: (0..cfg.blocks).map(|_| AtomicU32::new(0)).collect(),
             tasks_per_block: (0..cfg.blocks).map(|_| AtomicU64::new(0)).collect(),
@@ -135,7 +160,8 @@ impl LockFreeEngine {
             for w in 0..nw {
                 let shared = &shared;
                 let tc = &tc;
-                scope.spawn(move |_| worker(shared, w, w == 0, tc));
+                let poller = cancel.map(CancelToken::poller);
+                scope.spawn(move |_| worker(shared, w, w == 0, tc, poller));
             }
         })
         .expect("worker panicked");
@@ -175,11 +201,18 @@ impl LockFreeEngine {
                 .collect(),
             stats,
             wall,
+            completed: !shared.cancelled.load(Ordering::Acquire),
         }
     }
 }
 
-fn worker<T: Tracer>(s: &Shared<'_>, w: u32, initially_active: bool, tc: &TraceCtx<'_, T>) {
+fn worker<T: Tracer>(
+    s: &Shared<'_>,
+    w: u32,
+    initially_active: bool,
+    tc: &TraceCtx<'_, T>,
+    mut poller: Option<crate::cancel::CancelPoller>,
+) {
     let cfg = s.cfg;
     let b = (w / cfg.warps_per_block) as usize;
     let lane = w % cfg.warps_per_block;
@@ -194,6 +227,14 @@ fn worker<T: Tracer>(s: &Shared<'_>, w: u32, initially_active: bool, tc: &TraceC
     loop {
         if s.done.load(Ordering::Acquire) {
             break;
+        }
+        // Cooperative cancellation poll point: one poll per step.
+        if let Some(p) = poller.as_mut() {
+            if p.poll() {
+                s.cancelled.store(true, Ordering::Release);
+                s.done.store(true, Ordering::Release);
+                break;
+            }
         }
         if active {
             if work_step(s, w, b, &mut edges, &mut vertices, &mut tasks, tc) {

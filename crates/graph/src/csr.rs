@@ -7,6 +7,72 @@
 
 use crate::VertexId;
 
+/// A structural defect in raw CSR arrays, reported by
+/// [`CsrGraph::try_from_sorted_parts`] instead of panicking — the entry
+/// point for untrusted inputs (network services, file loaders).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsrError {
+    /// `row_ptr.len() != n + 1`.
+    RowPtrLength {
+        /// Required length (`n + 1`).
+        expected: usize,
+        /// Actual length.
+        got: usize,
+    },
+    /// `row_ptr[0] != 0`; carries the offending first offset.
+    RowPtrStart(u64),
+    /// `row_ptr` does not end at `col_idx.len()`.
+    RowPtrEnd {
+        /// Required final offset (`col_idx.len()`).
+        expected: usize,
+        /// Actual final offset.
+        got: u64,
+    },
+    /// `row_ptr[at] > row_ptr[at + 1]`.
+    RowPtrDecreasing {
+        /// First index where the offsets decrease.
+        at: usize,
+    },
+    /// `col_idx[at] >= n`.
+    ColumnOutOfRange {
+        /// Index of the offending column entry.
+        at: usize,
+        /// The out-of-range vertex id.
+        value: u32,
+        /// The vertex count it must stay below.
+        n: u32,
+    },
+}
+
+impl std::fmt::Display for CsrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsrError::RowPtrLength { expected, got } => {
+                write!(
+                    f,
+                    "row_ptr must have n+1 entries (expected {expected}, got {got})"
+                )
+            }
+            CsrError::RowPtrStart(v) => write!(f, "row_ptr must start at 0 (got {v})"),
+            CsrError::RowPtrEnd { expected, got } => write!(
+                f,
+                "row_ptr must end at the arc count (expected {expected}, got {got})"
+            ),
+            CsrError::RowPtrDecreasing { at } => {
+                write!(f, "row_ptr must be non-decreasing (violated at index {at})")
+            }
+            CsrError::ColumnOutOfRange { at, value, n } => {
+                write!(
+                    f,
+                    "column indices must be < n (col_idx[{at}] = {value}, n = {n})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsrError {}
+
 /// An immutable CSR graph.
 ///
 /// Construct via [`crate::GraphBuilder`] or [`CsrGraph::from_sorted_parts`].
@@ -37,28 +103,54 @@ impl CsrGraph {
     /// `n + 1`, start at 0, be non-decreasing, end at `col_idx.len()`,
     /// and every column index must be `< n`.
     pub fn from_sorted_parts(n: u32, row_ptr: Vec<u64>, col_idx: Vec<u32>, directed: bool) -> Self {
-        assert_eq!(
-            row_ptr.len(),
-            n as usize + 1,
-            "row_ptr must have n+1 entries"
-        );
-        assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
-        assert_eq!(
-            *row_ptr.last().expect("row_ptr nonempty") as usize,
-            col_idx.len(),
-            "row_ptr must end at the arc count"
-        );
-        assert!(
-            row_ptr.windows(2).all(|w| w[0] <= w[1]),
-            "row_ptr must be non-decreasing"
-        );
-        assert!(col_idx.iter().all(|&v| v < n), "column indices must be < n");
-        Self {
+        match Self::try_from_sorted_parts(n, row_ptr, col_idx, directed) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Non-panicking form of [`CsrGraph::from_sorted_parts`]: validates
+    /// the arrays and reports the first structural defect as a
+    /// [`CsrError`]. Use this for untrusted inputs so a malformed graph
+    /// is rejected at the boundary rather than corrupting a traversal.
+    pub fn try_from_sorted_parts(
+        n: u32,
+        row_ptr: Vec<u64>,
+        col_idx: Vec<u32>,
+        directed: bool,
+    ) -> Result<Self, CsrError> {
+        if row_ptr.len() != n as usize + 1 {
+            return Err(CsrError::RowPtrLength {
+                expected: n as usize + 1,
+                got: row_ptr.len(),
+            });
+        }
+        if row_ptr[0] != 0 {
+            return Err(CsrError::RowPtrStart(row_ptr[0]));
+        }
+        let last = *row_ptr.last().expect("row_ptr nonempty");
+        if last as usize != col_idx.len() {
+            return Err(CsrError::RowPtrEnd {
+                expected: col_idx.len(),
+                got: last,
+            });
+        }
+        if let Some(at) = row_ptr.windows(2).position(|w| w[0] > w[1]) {
+            return Err(CsrError::RowPtrDecreasing { at });
+        }
+        if let Some(at) = col_idx.iter().position(|&v| v >= n) {
+            return Err(CsrError::ColumnOutOfRange {
+                at,
+                value: col_idx[at],
+                n,
+            });
+        }
+        Ok(Self {
             n,
             row_ptr,
             col_idx,
             directed,
-        }
+        })
     }
 
     /// Number of vertices.

@@ -42,7 +42,7 @@ pub mod traversal;
 pub mod validate;
 
 pub use builder::GraphBuilder;
-pub use csr::CsrGraph;
+pub use csr::{CsrError, CsrGraph};
 pub use traversal::{serial_dfs, DfsOutput};
 
 /// Vertex identifier. The paper's CSR uses 32-bit vertex ids; so do we.

@@ -1,0 +1,339 @@
+//! Request execution: resolves the graph, picks the engine, runs the
+//! workload under a deadline token, and shapes the response payload.
+//!
+//! Deadline semantics per engine:
+//!
+//! * `native` / `lockfree` run through `run_cancellable`, so an expired
+//!   deadline stops the traversal at the next worker poll point and the
+//!   payload describes the consistent partial prefix (`completed:false`).
+//! * `sim` / `serial` and the apps-layer workloads (`scc`, `topo`,
+//!   `articulation`) are not preemptible: the deadline is checked once
+//!   at start (expired → no work is done). If they finish past the
+//!   deadline anyway, the response is still `ok` with
+//!   `deadline_missed:true` — timing metadata, not content, so outcome
+//!   determinism is unaffected.
+//!
+//! Every payload field is a scheduling-independent quantity (visited
+//! counts, component counts, flags); steal/timing counters never leak
+//! into payloads. This is what makes double-run digest comparison in
+//! the load generator meaningful.
+
+use crate::request::{EngineKind, Request, Response, Status, Workload};
+use db_core::native::{NativeConfig, NativeEngine};
+use db_core::native_lockfree::LockFreeEngine;
+use db_core::CancelToken;
+use db_gpu_sim::MachineModel;
+use db_graph::CsrGraph;
+use db_trace::json::Value;
+
+/// Executes `req` against `graph`, consuming the token's deadline.
+/// `latency_us`/`deadline_missed` are filled by the pool afterwards
+/// (they are measured from admission, which the pool owns).
+pub fn execute(req: &Request, graph: &CsrGraph, token: &CancelToken) -> Response {
+    let n = graph.num_vertices() as u32;
+    let check_root = |v: u32, what: &str| -> Result<(), Response> {
+        if v < n {
+            Ok(())
+        } else {
+            Err(Response::failure(
+                req.id,
+                Status::Error,
+                format!("{what} {v} out of range for '{}' (n = {n})", req.graph),
+            ))
+        }
+    };
+    match req.workload {
+        Workload::Dfs { root } => {
+            if let Err(r) = check_root(root, "root") {
+                return r;
+            }
+            let (visited, completed) = traverse(req.engine, graph, root, token);
+            let count = visited.iter().filter(|&&v| v).count() as u64;
+            respond(
+                req.id,
+                completed,
+                vec![
+                    ("visited".into(), Value::u64(count)),
+                    ("completed".into(), Value::Bool(completed)),
+                ],
+            )
+        }
+        Workload::Reach { root, target } => {
+            if let Err(r) = check_root(root, "root").and(check_root(target, "target")) {
+                return r;
+            }
+            let (visited, completed) = traverse(req.engine, graph, root, token);
+            // A partial traversal can prove reachability (target already
+            // visited) but not unreachability; report that case as
+            // expired rather than a false negative.
+            let reachable = visited[target as usize];
+            if !completed && !reachable {
+                return respond(
+                    req.id,
+                    false,
+                    vec![("completed".into(), Value::Bool(false))],
+                );
+            }
+            respond(
+                req.id,
+                true,
+                vec![
+                    ("reachable".into(), Value::Bool(reachable)),
+                    ("completed".into(), Value::Bool(true)),
+                ],
+            )
+        }
+        Workload::Scc => {
+            if !graph.is_directed() {
+                return mismatch(req, "scc requires a directed graph");
+            }
+            if token.is_cancelled() {
+                return respond(req.id, false, Vec::new());
+            }
+            let r = db_apps::scc::scc(graph);
+            respond(
+                req.id,
+                true,
+                vec![
+                    ("components".into(), Value::u64(r.count as u64)),
+                    ("largest".into(), Value::u64(r.largest() as u64)),
+                ],
+            )
+        }
+        Workload::Topo => {
+            if !graph.is_directed() {
+                return mismatch(req, "topo requires a directed graph");
+            }
+            if token.is_cancelled() {
+                return respond(req.id, false, Vec::new());
+            }
+            let payload = match db_apps::topo::topo_sort(graph) {
+                db_apps::topo::TopoResult::Order(order) => vec![
+                    ("is_dag".into(), Value::Bool(true)),
+                    ("order_len".into(), Value::u64(order.len() as u64)),
+                ],
+                db_apps::topo::TopoResult::Cycle(v) => vec![
+                    ("is_dag".into(), Value::Bool(false)),
+                    ("cycle_vertex".into(), Value::u64(v as u64)),
+                ],
+            };
+            respond(req.id, true, payload)
+        }
+        Workload::Articulation => {
+            if graph.is_directed() {
+                return mismatch(req, "articulation requires an undirected graph");
+            }
+            if token.is_cancelled() {
+                return respond(req.id, false, Vec::new());
+            }
+            let r = db_apps::articulation::articulation_points(graph);
+            let cuts = r.articulation.iter().filter(|&&a| a).count() as u64;
+            respond(
+                req.id,
+                true,
+                vec![
+                    ("articulation_points".into(), Value::u64(cuts)),
+                    ("bridges".into(), Value::u64(r.bridges.len() as u64)),
+                ],
+            )
+        }
+    }
+}
+
+/// Runs a single-root traversal on the requested engine; returns the
+/// visited flags and whether the run completed (non-cancellable engines
+/// always complete once started).
+fn traverse(engine: EngineKind, g: &CsrGraph, root: u32, token: &CancelToken) -> (Vec<bool>, bool) {
+    match engine {
+        EngineKind::Native => {
+            let out = NativeEngine::new(NativeConfig::default()).run_cancellable(g, root, token);
+            (out.visited, out.completed)
+        }
+        EngineKind::LockFree => {
+            let out = LockFreeEngine::new(NativeConfig::default()).run_cancellable(g, root, token);
+            (out.visited, out.completed)
+        }
+        EngineKind::Sim => {
+            if token.is_cancelled() {
+                return (vec![false; g.num_vertices()], false);
+            }
+            let out = db_core::run_sim(
+                g,
+                root,
+                &db_core::DiggerBeesConfig::default(),
+                &MachineModel::a100(),
+            );
+            (out.visited, true)
+        }
+        EngineKind::Serial => {
+            if token.is_cancelled() {
+                return (vec![false; g.num_vertices()], false);
+            }
+            let out = db_baselines::serial::run(g, root, &MachineModel::a100());
+            (out.visited, true)
+        }
+    }
+}
+
+fn respond(id: u64, completed: bool, payload: Vec<(String, Value)>) -> Response {
+    Response {
+        id,
+        status: if completed {
+            Status::Ok
+        } else {
+            Status::Expired
+        },
+        error: None,
+        payload: Value::Obj(payload),
+        latency_us: 0,
+        deadline_missed: false,
+    }
+}
+
+fn mismatch(req: &Request, msg: &str) -> Response {
+    Response::failure(
+        req.id,
+        Status::Error,
+        format!("workload/graph mismatch on '{}': {msg}", req.graph),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::build_graph;
+
+    fn req(graph: &str, workload: Workload, engine: EngineKind) -> Request {
+        Request {
+            id: 1,
+            tenant: "t".into(),
+            graph: graph.into(),
+            workload,
+            engine,
+            deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn dfs_visits_whole_component_on_every_engine() {
+        let g = build_graph("grid:6:6").unwrap();
+        for engine in [
+            EngineKind::Native,
+            EngineKind::LockFree,
+            EngineKind::Sim,
+            EngineKind::Serial,
+        ] {
+            let r = execute(
+                &req("grid:6:6", Workload::Dfs { root: 0 }, engine),
+                &g,
+                &CancelToken::new(),
+            );
+            assert_eq!(r.status, Status::Ok, "{engine:?}: {:?}", r.error);
+            assert_eq!(r.payload.get("visited").unwrap().as_u64(), Some(36));
+        }
+    }
+
+    #[test]
+    fn reach_answers_connectivity() {
+        let g = build_graph("path:10").unwrap();
+        let r = execute(
+            &req(
+                "path:10",
+                Workload::Reach { root: 0, target: 9 },
+                EngineKind::Native,
+            ),
+            &g,
+            &CancelToken::new(),
+        );
+        assert_eq!(r.payload.get("reachable").unwrap().as_bool(), Some(true));
+
+        let d = build_graph("dag:10").unwrap();
+        let r = execute(
+            &req(
+                "dag:10",
+                Workload::Reach { root: 5, target: 0 },
+                EngineKind::Serial,
+            ),
+            &d,
+            &CancelToken::new(),
+        );
+        assert_eq!(r.payload.get("reachable").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn apps_workloads_and_mismatches() {
+        let dag = build_graph("dag:50").unwrap();
+        let ring = build_graph("ring:8").unwrap();
+        let grid = build_graph("grid:4:4").unwrap();
+        let t = CancelToken::new();
+
+        let r = execute(&req("dag:50", Workload::Scc, EngineKind::Native), &dag, &t);
+        assert_eq!(r.payload.get("components").unwrap().as_u64(), Some(50));
+
+        let r = execute(&req("ring:8", Workload::Scc, EngineKind::Native), &ring, &t);
+        assert_eq!(r.payload.get("components").unwrap().as_u64(), Some(1));
+        assert_eq!(r.payload.get("largest").unwrap().as_u64(), Some(8));
+
+        let r = execute(&req("dag:50", Workload::Topo, EngineKind::Native), &dag, &t);
+        assert_eq!(r.payload.get("is_dag").unwrap().as_bool(), Some(true));
+
+        let r = execute(
+            &req("ring:8", Workload::Topo, EngineKind::Native),
+            &ring,
+            &t,
+        );
+        assert_eq!(r.payload.get("is_dag").unwrap().as_bool(), Some(false));
+
+        let r = execute(
+            &req("path:10", Workload::Articulation, EngineKind::Native),
+            &build_graph("path:10").unwrap(),
+            &t,
+        );
+        // Interior vertices of a path are all articulation points.
+        assert_eq!(
+            r.payload.get("articulation_points").unwrap().as_u64(),
+            Some(8)
+        );
+
+        // Mismatches are errors, not panics.
+        let r = execute(
+            &req("grid:4:4", Workload::Scc, EngineKind::Native),
+            &grid,
+            &t,
+        );
+        assert_eq!(r.status, Status::Error);
+        let r = execute(
+            &req("dag:50", Workload::Articulation, EngineKind::Native),
+            &dag,
+            &t,
+        );
+        assert_eq!(r.status, Status::Error);
+        let r = execute(
+            &req("grid:4:4", Workload::Dfs { root: 99 }, EngineKind::Native),
+            &grid,
+            &t,
+        );
+        assert_eq!(r.status, Status::Error);
+    }
+
+    #[test]
+    fn expired_token_yields_expired_status() {
+        let g = build_graph("path:50000").unwrap();
+        let t = CancelToken::new();
+        t.cancel();
+        for engine in [EngineKind::Native, EngineKind::LockFree, EngineKind::Sim] {
+            let r = execute(
+                &req("path:50000", Workload::Dfs { root: 0 }, engine),
+                &g,
+                &t,
+            );
+            assert_eq!(r.status, Status::Expired, "{engine:?}");
+        }
+        let r = execute(
+            &req("path:50000", Workload::Articulation, EngineKind::Native),
+            &g,
+            &t,
+        );
+        assert_eq!(r.status, Status::Expired);
+    }
+}

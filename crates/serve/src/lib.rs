@@ -1,0 +1,62 @@
+//! # db-serve — multi-tenant graph-traversal service layer
+//!
+//! The paper's thesis is that hierarchical work stealing keeps a GPU's
+//! blocks busy on irregular DFS. This crate applies the same idea one
+//! level up: a long-lived service where whole *requests* are the stolen
+//! unit, layered on the workspace's engines:
+//!
+//! * [`corpus`] — graph registry: corpus keys resolve to `Arc`-shared
+//!   [`db_graph::CsrGraph`]s, cached under a byte budget with LRU
+//!   eviction.
+//! * [`request`] — the typed request/response model (`dfs`, `reach`,
+//!   `scc`, `topo`, `articulation` over any engine) and its NDJSON
+//!   codec.
+//! * [`pool`] — the serving core: bounded admission with per-tenant
+//!   quotas, per-worker earliest-deadline-first deques with
+//!   steal-half-from-the-back request stealing (two-choice victim
+//!   selection, after §3.4 of the paper), deadline cancellation via
+//!   [`db_core::CancelToken`] poll points inside the native engines,
+//!   and graceful drain.
+//! * [`exec`] — workload execution and payload shaping; payloads carry
+//!   only scheduling-independent quantities so a request's outcome is
+//!   deterministic under any interleaving.
+//! * [`metrics`] — latency histogram (p50/p90/p99), queue depth, cache
+//!   hit rate, rejection counters; also emitted as
+//!   [`db_trace::EventKind::Serve`] events for Chrome-trace export.
+//! * [`net`] — a `std::net` TCP endpoint speaking newline-delimited
+//!   JSON, plus client helpers.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use db_serve::{Server, ServeConfig, Request, Workload, EngineKind, Status};
+//!
+//! let server = Server::start(ServeConfig { workers: 2, ..ServeConfig::default() });
+//! let handle = server.handle();
+//! let resp = handle.run(Request {
+//!     id: 1,
+//!     tenant: "docs".into(),
+//!     graph: "grid:8:8".into(),
+//!     workload: Workload::Dfs { root: 0 },
+//!     engine: EngineKind::Native,
+//!     deadline_ms: Some(5_000),
+//! });
+//! assert_eq!(resp.status, Status::Ok);
+//! assert_eq!(resp.payload.get("visited").unwrap().as_u64(), Some(64));
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod exec;
+pub mod metrics;
+pub mod net;
+pub mod pool;
+pub mod request;
+
+pub use corpus::CorpusCache;
+pub use metrics::MetricsSnapshot;
+pub use net::TcpServer;
+pub use pool::{ServeConfig, ServeHandle, Server};
+pub use request::{EngineKind, Request, Response, Status, Workload};

@@ -1,0 +1,273 @@
+//! Service metrics: admission/outcome counters and a latency histogram.
+//!
+//! Counters are relaxed atomics (monotonic, read via snapshot). The
+//! latency histogram uses power-of-two microsecond buckets, so reported
+//! quantiles are upper bounds with at most 2× resolution error — fine
+//! for the live `metrics` endpoint; the load generator computes exact
+//! quantiles client-side from per-response latencies.
+
+use db_trace::json::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two latency buckets: bucket `i` holds latencies
+/// in `[2^(i-1), 2^i)` µs (bucket 0 holds `0..1` µs). Bucket 39 tops
+/// out above 9 minutes, far beyond any sane request deadline.
+const BUCKETS: usize = 40;
+
+/// Lock-free power-of-two histogram of request latencies (µs).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one latency sample.
+    pub fn record(&self, us: u64) {
+        let idx = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (0 < q ≤ 1) in µs;
+    /// 0 when no samples were recorded.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                // Upper edge of bucket i: 2^i - 1 (bucket 0 → 0).
+                return (1u64 << i) - 1;
+            }
+        }
+        u64::MAX
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in µs (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        let c = self.count.load(Ordering::Relaxed);
+        self.sum_us
+            .load(Ordering::Relaxed)
+            .checked_div(c)
+            .unwrap_or(0)
+    }
+}
+
+/// Live counters for a server instance.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests accepted into a worker queue.
+    pub admitted: AtomicU64,
+    /// Requests refused because the global queue was full.
+    pub rejected_capacity: AtomicU64,
+    /// Requests refused because their tenant was over quota.
+    pub rejected_tenant: AtomicU64,
+    /// Requests refused because the server was draining.
+    pub rejected_draining: AtomicU64,
+    /// Requests that finished with [`crate::Status::Ok`].
+    pub completed: AtomicU64,
+    /// Requests whose deadline expired.
+    pub expired: AtomicU64,
+    /// Requests that failed (bad graph key, workload mismatch, …).
+    pub errors: AtomicU64,
+    /// Request batches stolen between worker queues.
+    pub steals: AtomicU64,
+    /// Latency of all finished requests (any status).
+    pub latency: LatencyHistogram,
+}
+
+/// Plain-data snapshot of [`Metrics`] plus cache/queue gauges, as
+/// returned by [`crate::ServeHandle::metrics`] and the TCP `metrics` op.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into a worker queue.
+    pub admitted: u64,
+    /// Refusals: queue full.
+    pub rejected_capacity: u64,
+    /// Refusals: tenant over quota.
+    pub rejected_tenant: u64,
+    /// Refusals: server draining.
+    pub rejected_draining: u64,
+    /// Requests finished `ok`.
+    pub completed: u64,
+    /// Requests finished `expired`.
+    pub expired: u64,
+    /// Requests finished `error`.
+    pub errors: u64,
+    /// Inter-queue request steals.
+    pub steals: u64,
+    /// Corpus-cache hits.
+    pub cache_hits: u64,
+    /// Corpus-cache misses (graph builds).
+    pub cache_misses: u64,
+    /// Corpus-cache evictions.
+    pub cache_evictions: u64,
+    /// Graphs currently resident.
+    pub resident_graphs: u64,
+    /// Bytes of CSR currently resident.
+    pub resident_bytes: u64,
+    /// Requests currently queued (all workers).
+    pub queue_depth: u64,
+    /// Finished-request count (denominator of the quantiles).
+    pub latency_count: u64,
+    /// Mean finished-request latency, µs.
+    pub latency_mean_us: u64,
+    /// p50 latency upper bound, µs.
+    pub p50_us: u64,
+    /// p90 latency upper bound, µs.
+    pub p90_us: u64,
+    /// p99 latency upper bound, µs.
+    pub p99_us: u64,
+}
+
+impl MetricsSnapshot {
+    /// Total refusals of any kind.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_capacity + self.rejected_tenant + self.rejected_draining
+    }
+
+    /// Cache hit rate in `[0, 1]`; 1.0 when the cache was never used.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Serializes to JSON for the TCP `metrics` op and BENCH output.
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("admitted".into(), Value::u64(self.admitted)),
+            (
+                "rejected_capacity".into(),
+                Value::u64(self.rejected_capacity),
+            ),
+            ("rejected_tenant".into(), Value::u64(self.rejected_tenant)),
+            (
+                "rejected_draining".into(),
+                Value::u64(self.rejected_draining),
+            ),
+            ("completed".into(), Value::u64(self.completed)),
+            ("expired".into(), Value::u64(self.expired)),
+            ("errors".into(), Value::u64(self.errors)),
+            ("steals".into(), Value::u64(self.steals)),
+            ("cache_hits".into(), Value::u64(self.cache_hits)),
+            ("cache_misses".into(), Value::u64(self.cache_misses)),
+            ("cache_evictions".into(), Value::u64(self.cache_evictions)),
+            ("resident_graphs".into(), Value::u64(self.resident_graphs)),
+            ("resident_bytes".into(), Value::u64(self.resident_bytes)),
+            ("queue_depth".into(), Value::u64(self.queue_depth)),
+            ("latency_count".into(), Value::u64(self.latency_count)),
+            ("latency_mean_us".into(), Value::u64(self.latency_mean_us)),
+            ("p50_us".into(), Value::u64(self.p50_us)),
+            ("p90_us".into(), Value::u64(self.p90_us)),
+            ("p99_us".into(), Value::u64(self.p99_us)),
+        ])
+    }
+
+    /// Parses the JSON produced by [`MetricsSnapshot::to_value`].
+    pub fn from_value(v: &Value) -> Result<MetricsSnapshot, String> {
+        let f = |k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("metrics: missing '{k}'"))
+        };
+        Ok(MetricsSnapshot {
+            admitted: f("admitted")?,
+            rejected_capacity: f("rejected_capacity")?,
+            rejected_tenant: f("rejected_tenant")?,
+            rejected_draining: f("rejected_draining")?,
+            completed: f("completed")?,
+            expired: f("expired")?,
+            errors: f("errors")?,
+            steals: f("steals")?,
+            cache_hits: f("cache_hits")?,
+            cache_misses: f("cache_misses")?,
+            cache_evictions: f("cache_evictions")?,
+            resident_graphs: f("resident_graphs")?,
+            resident_bytes: f("resident_bytes")?,
+            queue_depth: f("queue_depth")?,
+            latency_count: f("latency_count")?,
+            latency_mean_us: f("latency_mean_us")?,
+            p50_us: f("p50_us")?,
+            p90_us: f("p90_us")?,
+            p99_us: f("p99_us")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_upper_bounds() {
+        let h = LatencyHistogram::default();
+        for us in [1u64, 2, 3, 100, 100, 100, 1000, 10_000] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 8);
+        let p50 = h.quantile(0.5);
+        assert!((100..=127).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((10_000..=16_383).contains(&p99), "p99 = {p99}");
+        assert!(
+            h.mean_us() >= 1400 && h.mean_us() <= 1500,
+            "{}",
+            h.mean_us()
+        );
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean_us(), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let s = MetricsSnapshot {
+            admitted: 10,
+            completed: 8,
+            expired: 1,
+            errors: 1,
+            steals: 3,
+            cache_hits: 9,
+            cache_misses: 1,
+            queue_depth: 2,
+            latency_count: 10,
+            p50_us: 127,
+            p99_us: 1023,
+            ..MetricsSnapshot::default()
+        };
+        let back =
+            MetricsSnapshot::from_value(&Value::parse(&s.to_value().to_json()).unwrap()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.cache_hit_rate(), 0.9);
+    }
+}

@@ -1,0 +1,185 @@
+//! Newline-delimited-JSON TCP front-end over a [`ServeHandle`].
+//!
+//! Protocol: each line the client sends is either a [`Request`] object
+//! or a control op:
+//!
+//! * `{"op":"metrics"}` — replies with one [`MetricsSnapshot`] line;
+//! * `{"op":"shutdown"}` — replies `{"ok":true}` and flags shutdown;
+//!   the process hosting the listener decides when to act on it
+//!   (see [`TcpServer::shutdown_requested`]).
+//!
+//! Every request line gets exactly one response line, in submission
+//! order per connection (the connection thread blocks on each
+//! response; pipelining across requests comes from opening several
+//! connections, which is what the load generator does).
+//!
+//! Built on `std::net` only — no async runtime, matching the
+//! workspace's no-external-deps rule. One thread per connection is
+//! plenty for a benchmark-grade endpoint.
+
+use crate::metrics::MetricsSnapshot;
+use crate::pool::ServeHandle;
+use crate::request::{Request, Response, Status};
+use db_trace::json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A listening NDJSON endpoint bound to a running server.
+#[derive(Debug)]
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    shutdown_requested: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts accepting connections, dispatching requests into
+    /// `handle`'s server.
+    pub fn bind(handle: ServeHandle, addr: &str) -> std::io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let shutdown_requested = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let shutdown_requested = Arc::clone(&shutdown_requested);
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        let handle = handle.clone();
+                        let shutdown_requested = Arc::clone(&shutdown_requested);
+                        // Connection threads detach; they exit when the
+                        // client closes its end.
+                        let _ = std::thread::Builder::new()
+                            .name("serve-conn".into())
+                            .spawn(move || serve_connection(stream, handle, shutdown_requested));
+                    }
+                })
+                .expect("spawn acceptor")
+        };
+        Ok(TcpServer {
+            addr: local,
+            stop,
+            shutdown_requested,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether some client sent `{"op":"shutdown"}`.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown_requested.load(Ordering::Acquire)
+    }
+
+    /// Stops accepting new connections and joins the acceptor thread.
+    /// In-flight connections finish on their own.
+    pub fn stop(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            self.stop.store(true, Ordering::Release);
+            // Self-connect to unblock the accept() call.
+            let _ = TcpStream::connect(self.addr);
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_connection(stream: TcpStream, handle: ServeHandle, shutdown_requested: Arc<AtomicBool>) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = dispatch_line(&line, &handle, &shutdown_requested);
+        if writer
+            .write_all(reply.as_bytes())
+            .and_then(|_| writer.write_all(b"\n"))
+            .is_err()
+        {
+            break;
+        }
+    }
+}
+
+/// Handles one request line, returning one response line (no newline).
+fn dispatch_line(line: &str, handle: &ServeHandle, shutdown_requested: &AtomicBool) -> String {
+    let doc = match Value::parse(line.trim()) {
+        Ok(doc) => doc,
+        Err(e) => {
+            return Response::failure(0, Status::Error, format!("bad request line: {e}"))
+                .to_value()
+                .to_json()
+        }
+    };
+    match doc.get("op").and_then(Value::as_str) {
+        Some("metrics") => handle.metrics().to_value().to_json(),
+        Some("shutdown") => {
+            shutdown_requested.store(true, Ordering::Release);
+            Value::Obj(vec![("ok".into(), Value::Bool(true))]).to_json()
+        }
+        Some(other) => Response::failure(0, Status::Error, format!("unknown op '{other}'"))
+            .to_value()
+            .to_json(),
+        None => match Request::from_value(&doc) {
+            Ok(req) => handle.run(req).to_value().to_json(),
+            Err(e) => Response::failure(
+                doc.get("id").and_then(Value::as_u64).unwrap_or(0),
+                Status::Error,
+                e,
+            )
+            .to_value()
+            .to_json(),
+        },
+    }
+}
+
+/// Client-side helper: sends one NDJSON line and reads one reply line.
+/// Used by the load generator's TCP mode and the integration tests.
+pub fn roundtrip_line(
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+    line: &str,
+) -> std::io::Result<String> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let mut reply = String::new();
+    reader.read_line(&mut reply)?;
+    Ok(reply.trim_end().to_string())
+}
+
+/// Client-side helper: fetches a [`MetricsSnapshot`] over a fresh
+/// connection to `addr`.
+pub fn fetch_metrics(addr: &SocketAddr) -> std::io::Result<MetricsSnapshot> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let line = roundtrip_line(&mut reader, &mut writer, r#"{"op":"metrics"}"#)?;
+    let doc = Value::parse(&line)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    MetricsSnapshot::from_value(&doc)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}

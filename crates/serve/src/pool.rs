@@ -1,0 +1,581 @@
+//! The serving core: bounded admission, per-worker EDF deques with
+//! request-level stealing, deadline tokens, and graceful drain.
+//!
+//! This is the paper's hierarchical stealing transplanted one level up.
+//! Inside an engine, *vertices* are the stolen unit (HotRing/ColdSeg);
+//! here, *requests* are. Each worker owns a deque ordered by
+//! earliest-deadline-first; the owner pops from the front (most urgent
+//! work first), and an idle worker steals the **back half** of a
+//! victim's deque — the least-urgent tail, the same
+//! steal-far-from-the-owner heuristic the ColdSeg uses so thief and
+//! victim don't contend on the same end. Victims are picked by
+//! two-choice sampling on queue depth, the paper's §3.4 policy, with a
+//! full scan as fallback so drain always terminates.
+//!
+//! Everything synchronizes through one mutex + condvar: queue moves are
+//! microseconds against multi-millisecond traversals, so lock
+//! granularity is not the bottleneck here (DESIGN.md contrasts this
+//! with the engines' fine-grained two-level stacks).
+
+use crate::corpus::CorpusCache;
+use crate::exec;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::request::{Request, Response, Status};
+use db_core::CancelToken;
+use db_trace::{EventKind, RingBufferTracer, ServeOp, TraceEvent, Tracer};
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (each owns one request deque).
+    pub workers: usize,
+    /// Total queued-request bound across all workers; submissions
+    /// beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Per-tenant bound on queued requests (`None` = unlimited).
+    pub tenant_quota: Option<usize>,
+    /// Corpus-cache budget in bytes.
+    pub corpus_budget_bytes: usize,
+    /// Ring-buffer capacity for serve trace events; 0 disables tracing.
+    pub trace_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 1024,
+            tenant_quota: None,
+            corpus_budget_bytes: 256 << 20,
+            trace_capacity: 0,
+        }
+    }
+}
+
+/// A queued request plus its bookkeeping.
+#[derive(Debug)]
+struct Job {
+    req: Request,
+    seq: u64,
+    submitted: Instant,
+    deadline: Option<Instant>,
+    reply: mpsc::Sender<Response>,
+}
+
+/// EDF order: earlier deadline first; no deadline sorts last; FIFO
+/// (by admission sequence) within a class.
+fn edf_cmp(a: &Job, b: &Job) -> CmpOrdering {
+    match (a.deadline, b.deadline) {
+        (Some(x), Some(y)) => x.cmp(&y).then(a.seq.cmp(&b.seq)),
+        (Some(_), None) => CmpOrdering::Less,
+        (None, Some(_)) => CmpOrdering::Greater,
+        (None, None) => a.seq.cmp(&b.seq),
+    }
+}
+
+#[derive(Debug)]
+struct PoolState {
+    queues: Vec<VecDeque<Job>>,
+    queued_total: usize,
+    per_tenant: HashMap<String, usize>,
+    draining: bool,
+}
+
+#[derive(Debug)]
+struct ServerInner {
+    cfg: ServeConfig,
+    state: Mutex<PoolState>,
+    cv: Condvar,
+    cache: CorpusCache,
+    metrics: Metrics,
+    tracer: Option<RingBufferTracer>,
+    seq: AtomicU64,
+    started: Instant,
+}
+
+impl ServerInner {
+    fn lock(&self) -> MutexGuard<'_, PoolState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Emits a serve event into the ring buffer, if tracing is on.
+    /// Provenance: `block` = worker index (`u32::MAX` for the admission
+    /// path), `cycle` = nanoseconds since server start.
+    fn trace(&self, worker: u32, op: ServeOp, value: u32) {
+        if let Some(t) = &self.tracer {
+            t.record(TraceEvent {
+                cycle: self.started.elapsed().as_nanos() as u64,
+                block: worker,
+                warp: 0,
+                kind: EventKind::Serve { op, value },
+            });
+        }
+    }
+
+    fn snapshot(&self) -> MetricsSnapshot {
+        let (resident_graphs, resident_bytes) = self.cache.resident();
+        let queue_depth = self.lock().queued_total as u64;
+        let m = &self.metrics;
+        MetricsSnapshot {
+            admitted: m.admitted.load(Ordering::Relaxed),
+            rejected_capacity: m.rejected_capacity.load(Ordering::Relaxed),
+            rejected_tenant: m.rejected_tenant.load(Ordering::Relaxed),
+            rejected_draining: m.rejected_draining.load(Ordering::Relaxed),
+            completed: m.completed.load(Ordering::Relaxed),
+            expired: m.expired.load(Ordering::Relaxed),
+            errors: m.errors.load(Ordering::Relaxed),
+            steals: m.steals.load(Ordering::Relaxed),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_evictions: self.cache.evictions(),
+            resident_graphs: resident_graphs as u64,
+            resident_bytes: resident_bytes as u64,
+            queue_depth,
+            latency_count: m.latency.count(),
+            latency_mean_us: m.latency.mean_us(),
+            p50_us: m.latency.quantile(0.50),
+            p90_us: m.latency.quantile(0.90),
+            p99_us: m.latency.quantile(0.99),
+        }
+    }
+}
+
+/// Clonable in-process client of a running [`Server`].
+#[derive(Clone)]
+pub struct ServeHandle {
+    inner: Arc<ServerInner>,
+}
+
+impl std::fmt::Debug for ServeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeHandle").finish_non_exhaustive()
+    }
+}
+
+impl ServeHandle {
+    /// Submits a request. Always returns a receiver that will yield
+    /// exactly one [`Response`]; admission refusals are delivered
+    /// through it immediately with [`Status::Rejected`].
+    pub fn submit(&self, req: Request) -> Receiver<Response> {
+        let (tx, rx) = mpsc::channel();
+        let inner = &self.inner;
+        let now = Instant::now();
+        let deadline = req.deadline_ms.map(|ms| now + Duration::from_millis(ms));
+        let mut st = inner.lock();
+        let reject = if st.draining {
+            inner
+                .metrics
+                .rejected_draining
+                .fetch_add(1, Ordering::Relaxed);
+            Some("server is draining")
+        } else if st.queued_total >= inner.cfg.queue_capacity {
+            inner
+                .metrics
+                .rejected_capacity
+                .fetch_add(1, Ordering::Relaxed);
+            Some("admission queue full")
+        } else if inner
+            .cfg
+            .tenant_quota
+            .is_some_and(|q| st.per_tenant.get(&req.tenant).copied().unwrap_or(0) >= q)
+        {
+            inner
+                .metrics
+                .rejected_tenant
+                .fetch_add(1, Ordering::Relaxed);
+            Some("tenant over quota")
+        } else {
+            None
+        };
+        if let Some(reason) = reject {
+            let depth = st.queued_total as u32;
+            drop(st);
+            inner.trace(u32::MAX, ServeOp::Reject, depth);
+            let _ = tx.send(Response::failure(req.id, Status::Rejected, reason));
+            return rx;
+        }
+        *st.per_tenant.entry(req.tenant.clone()).or_insert(0) += 1;
+        let job = Job {
+            seq: inner.seq.fetch_add(1, Ordering::Relaxed),
+            submitted: now,
+            deadline,
+            reply: tx,
+            req,
+        };
+        // Place on the shallowest queue (ties → lowest index): cheap
+        // load balancing so stealing is the corrective, not the norm.
+        let target = (0..st.queues.len())
+            .min_by_key(|&i| st.queues[i].len())
+            .expect("at least one worker");
+        let q = &mut st.queues[target];
+        let pos = q
+            .binary_search_by(|j| edf_cmp(j, &job))
+            .unwrap_or_else(|p| p);
+        q.insert(pos, job);
+        st.queued_total += 1;
+        let depth = st.queued_total as u32;
+        drop(st);
+        inner.metrics.admitted.fetch_add(1, Ordering::Relaxed);
+        inner.trace(u32::MAX, ServeOp::Admit, depth);
+        inner.cv.notify_all();
+        rx
+    }
+
+    /// Submits and blocks for the response (convenience for tests and
+    /// the CLI). If the server dies mid-request, reports an error
+    /// response rather than panicking.
+    pub fn run(&self, req: Request) -> Response {
+        let id = req.id;
+        self.submit(req)
+            .recv()
+            .unwrap_or_else(|_| Response::failure(id, Status::Error, "server shut down"))
+    }
+
+    /// Current metrics (counters + gauges + latency quantiles).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.snapshot()
+    }
+
+    /// Copies the serve trace buffer (empty when tracing is disabled).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.inner
+            .tracer
+            .as_ref()
+            .map(|t| t.snapshot())
+            .unwrap_or_default()
+    }
+}
+
+/// A running multi-tenant traversal server.
+///
+/// Dropping a `Server` without calling [`Server::shutdown`] aborts the
+/// worker threads' queues by draining them with rejections (the Drop
+/// impl calls `shutdown` internally), so no client blocks forever.
+#[derive(Debug)]
+pub struct Server {
+    inner: Arc<ServerInner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts `cfg.workers` worker threads and returns the running
+    /// server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.workers == 0` or `cfg.queue_capacity == 0`.
+    pub fn start(cfg: ServeConfig) -> Server {
+        assert!(cfg.workers > 0, "need at least one worker");
+        assert!(cfg.queue_capacity > 0, "need a nonzero admission queue");
+        let inner = Arc::new(ServerInner {
+            state: Mutex::new(PoolState {
+                queues: (0..cfg.workers).map(|_| VecDeque::new()).collect(),
+                queued_total: 0,
+                per_tenant: HashMap::new(),
+                draining: false,
+            }),
+            cv: Condvar::new(),
+            cache: CorpusCache::new(cfg.corpus_budget_bytes),
+            metrics: Metrics::default(),
+            tracer: (cfg.trace_capacity > 0).then(|| RingBufferTracer::new(cfg.trace_capacity)),
+            seq: AtomicU64::new(0),
+            started: Instant::now(),
+            cfg,
+        });
+        let workers = (0..inner.cfg.workers)
+            .map(|idx| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{idx}"))
+                    .spawn(move || worker_loop(inner, idx))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Server { inner, workers }
+    }
+
+    /// In-process client handle (clonable, sendable across threads).
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Graceful drain: stop admitting, finish everything queued, join
+    /// the workers, and return the final metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.drain_and_join();
+        self.inner.snapshot()
+    }
+
+    fn drain_and_join(&mut self) {
+        {
+            let mut st = self.inner.lock();
+            st.draining = true;
+        }
+        self.inner.cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.drain_and_join();
+        }
+    }
+}
+
+/// Picks a steal victim among nonempty queues: two-choice sampling by
+/// depth, falling back to the deepest queue overall. Returns `None`
+/// when every other queue is empty.
+fn pick_victim(st: &PoolState, thief: usize, rng: &mut u64) -> Option<usize> {
+    let n = st.queues.len();
+    if n <= 1 {
+        return None;
+    }
+    let mut next = || {
+        // xorshift64* — deterministic per-worker sequence.
+        *rng ^= *rng << 13;
+        *rng ^= *rng >> 7;
+        *rng ^= *rng << 17;
+        (*rng).wrapping_mul(0x2545_f491_4f6c_dd1d) as usize
+    };
+    let cand = |k: usize| {
+        let mut v = k % (n - 1);
+        if v >= thief {
+            v += 1; // skip self
+        }
+        v
+    };
+    let a = cand(next());
+    let b = cand(next());
+    let best = if st.queues[a].len() >= st.queues[b].len() {
+        a
+    } else {
+        b
+    };
+    if !st.queues[best].is_empty() {
+        return Some(best);
+    }
+    // Fallback scan: guarantees progress during drain.
+    (0..n)
+        .filter(|&i| i != thief && !st.queues[i].is_empty())
+        .max_by_key(|&i| st.queues[i].len())
+}
+
+/// Steals the back (least-urgent) half of `victim`'s queue into
+/// `thief`'s. Both deques are EDF-sorted, and the thief only steals
+/// when empty, so the moved tail is sorted in place.
+fn steal_half(st: &mut PoolState, thief: usize, victim: usize) -> usize {
+    let vq = &mut st.queues[victim];
+    let take = vq.len().div_ceil(2);
+    let tail = vq.split_off(vq.len() - take);
+    debug_assert!(st.queues[thief].is_empty());
+    st.queues[thief] = tail;
+    take
+}
+
+fn worker_loop(inner: Arc<ServerInner>, idx: usize) {
+    let mut rng: u64 = 0x9e37_79b9_7f4a_7c15 ^ ((idx as u64 + 1) << 32 | 0xdead_beef);
+    loop {
+        let job = {
+            let mut st = inner.lock();
+            loop {
+                if let Some(job) = st.queues[idx].pop_front() {
+                    st.queued_total -= 1;
+                    if let Some(c) = st.per_tenant.get_mut(&job.req.tenant) {
+                        *c = c.saturating_sub(1);
+                        if *c == 0 {
+                            st.per_tenant.remove(&job.req.tenant);
+                        }
+                    }
+                    break Some(job);
+                }
+                if let Some(victim) = pick_victim(&st, idx, &mut rng) {
+                    steal_half(&mut st, idx, victim);
+                    inner.metrics.steals.fetch_add(1, Ordering::Relaxed);
+                    inner.trace(idx as u32, ServeOp::Steal, victim as u32);
+                    continue; // loop around to pop from our own queue
+                }
+                if st.draining && st.queued_total == 0 {
+                    break None;
+                }
+                st = inner
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        let Some(job) = job else {
+            // Wake siblings so they observe the drained state too.
+            inner.cv.notify_all();
+            return;
+        };
+        run_job(&inner, idx as u32, job);
+    }
+}
+
+/// Executes one dequeued job end to end: graph resolution, deadline
+/// token, engine run, response delivery, metrics and trace emission.
+fn run_job(inner: &ServerInner, worker: u32, job: Job) {
+    inner.trace(worker, ServeOp::Start, job.req.id as u32);
+    let token = match job.deadline {
+        Some(d) => CancelToken::with_deadline(d),
+        None => CancelToken::new(),
+    };
+    let mut resp = match inner.cache.resolve(&job.req.graph) {
+        Ok((graph, info)) => {
+            let op = if info.hit {
+                ServeOp::CacheHit
+            } else {
+                ServeOp::CacheMiss
+            };
+            inner.trace(worker, op, info.resident as u32);
+            exec::execute(&job.req, &graph, &token)
+        }
+        Err(msg) => Response::failure(job.req.id, Status::Error, msg),
+    };
+    let latency = job.submitted.elapsed();
+    resp.latency_us = latency.as_micros() as u64;
+    resp.deadline_missed =
+        resp.status == Status::Ok && job.deadline.is_some_and(|d| Instant::now() > d);
+    inner.metrics.latency.record(resp.latency_us);
+    match resp.status {
+        Status::Ok => {
+            inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
+            inner.trace(
+                worker,
+                ServeOp::Done,
+                resp.latency_us.min(u32::MAX as u64) as u32,
+            );
+        }
+        Status::Expired => {
+            inner.metrics.expired.fetch_add(1, Ordering::Relaxed);
+            inner.trace(worker, ServeOp::Expire, job.req.id as u32);
+        }
+        _ => {
+            inner.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            inner.trace(
+                worker,
+                ServeOp::Done,
+                resp.latency_us.min(u32::MAX as u64) as u32,
+            );
+        }
+    }
+    // The client may have hung up (e.g. a TCP connection dropped);
+    // delivery failure is not a server error.
+    let _ = job.reply.send(resp);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{EngineKind, Workload};
+
+    fn req(id: u64, graph: &str, root: u32) -> Request {
+        Request {
+            id,
+            tenant: "t0".into(),
+            graph: graph.into(),
+            workload: Workload::Dfs { root },
+            engine: EngineKind::Native,
+            deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn serves_a_request_end_to_end() {
+        let server = Server::start(ServeConfig {
+            workers: 2,
+            trace_capacity: 1024,
+            ..ServeConfig::default()
+        });
+        let h = server.handle();
+        let resp = h.run(req(1, "grid:8:8", 0));
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.payload.get("visited").unwrap().as_u64(), Some(64));
+        assert!(resp.latency_us > 0);
+        let m = server.shutdown();
+        assert_eq!(m.admitted, 1);
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.cache_misses, 1);
+    }
+
+    #[test]
+    fn rejects_beyond_capacity_and_quota() {
+        // Zero workers would hang; use one worker and saturate it with
+        // a tiny queue instead: capacity 1 means the second concurrent
+        // submission with a slow first job can be rejected. To keep the
+        // test deterministic we only check the tenant quota (a pure
+        // admission-time property) plus the draining rejection.
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            queue_capacity: 1024,
+            tenant_quota: Some(0),
+            ..ServeConfig::default()
+        });
+        let h = server.handle();
+        let resp = h.run(req(1, "path:10", 0));
+        assert_eq!(resp.status, Status::Rejected);
+        assert!(resp.error.as_deref().unwrap().contains("quota"));
+        let m = server.shutdown();
+        assert_eq!(m.rejected_tenant, 1);
+        assert_eq!(m.admitted, 0);
+    }
+
+    #[test]
+    fn drain_completes_queued_work() {
+        let server = Server::start(ServeConfig {
+            workers: 3,
+            ..ServeConfig::default()
+        });
+        let h = server.handle();
+        let rxs: Vec<_> = (0..64)
+            .map(|i| h.submit(req(i, "grid:12:12", (i % 144) as u32)))
+            .collect();
+        let m = server.shutdown();
+        assert_eq!(m.completed, 64);
+        assert_eq!(m.queue_depth, 0);
+        for rx in rxs {
+            let r = rx.recv().unwrap();
+            assert_eq!(r.status, Status::Ok);
+            assert_eq!(r.payload.get("visited").unwrap().as_u64(), Some(144));
+        }
+    }
+
+    #[test]
+    fn edf_orders_jobs_and_stealing_keeps_workers_busy() {
+        let server = Server::start(ServeConfig {
+            workers: 4,
+            trace_capacity: 1 << 16,
+            ..ServeConfig::default()
+        });
+        let h = server.handle();
+        let mut rxs = Vec::new();
+        for i in 0..200u64 {
+            let mut r = req(i, "grid:16:16", (i % 256) as u32);
+            // Mixed deadline classes; generous enough to never expire.
+            r.deadline_ms = if i % 3 == 0 { Some(60_000) } else { None };
+            rxs.push(h.submit(r));
+        }
+        for rx in rxs {
+            assert_eq!(rx.recv().unwrap().status, Status::Ok);
+        }
+        let m = server.shutdown();
+        assert_eq!(m.completed, 200);
+        // 200 requests over one cached graph: exactly one miss.
+        assert_eq!(m.cache_misses, 1);
+        assert_eq!(m.cache_hits, 199);
+    }
+}

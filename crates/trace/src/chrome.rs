@@ -2,12 +2,12 @@
 //!
 //! Emits the Trace Event Format (`{"traceEvents": [...]}`): one *process*
 //! per block, one *thread* (lane) per warp, so `chrome://tracing` or
-//! https://ui.perfetto.dev renders a per-block timeline with a lane per
+//! <https://ui.perfetto.dev> renders a per-block timeline with a lane per
 //! warp. Every engine event becomes an instant event (`"ph": "i"`) whose
 //! `ts` is the engine's cycle stamp and whose `args` carry the payload
 //! (vertex, victim, entry count).
 
-use crate::event::{EventKind, PhaseKind, TraceEvent};
+use crate::event::{EventKind, PhaseKind, ServeOp, TraceEvent};
 use crate::json::Value;
 use std::io::{self, Write};
 
@@ -98,6 +98,10 @@ pub fn event_to_json(e: &TraceEvent) -> Value {
                 }),
             ));
         }
+        EventKind::Serve { op, value } => {
+            args.push(("op".into(), Value::str(op.name())));
+            args.push(("value".into(), Value::u64(value as u64)));
+        }
     }
     Value::Obj(vec![
         ("name".into(), Value::str(e.kind.name())),
@@ -155,6 +159,10 @@ pub fn event_from_json(v: &Value) -> Option<TraceEvent> {
                 _ => return None,
             },
         },
+        "Serve" => EventKind::Serve {
+            op: ServeOp::from_name(args.get("op")?.as_str()?)?,
+            value: arg("value")?,
+        },
         _ => return None,
     };
     Some(TraceEvent {
@@ -207,6 +215,15 @@ mod tests {
                 kind: EventKind::StealInter {
                     victim_block: 0,
                     entries: 16,
+                },
+            },
+            TraceEvent {
+                cycle: 12,
+                block: 0,
+                warp: 0,
+                kind: EventKind::Serve {
+                    op: ServeOp::Done,
+                    value: 431,
                 },
             },
         ];

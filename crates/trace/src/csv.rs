@@ -31,6 +31,9 @@ fn row(e: &TraceEvent) -> String {
                 PhaseKind::Finish => "finish",
             }),
         ),
+        // Serve events reuse the payload columns: the op name lands in
+        // the `phase` column, the op payload in `entries`.
+        EventKind::Serve { op, value } => (None, None, Some(value), Some(op.name())),
     };
     let opt = |x: Option<u32>| x.map(|v| v.to_string()).unwrap_or_default();
     format!(

@@ -13,6 +13,61 @@ pub enum PhaseKind {
     Finish,
 }
 
+/// What a service-layer [`EventKind::Serve`] event records. The serve
+/// pipeline reuses the engine provenance scheme one level up: `block` is
+/// the pool worker index, `warp` is 0, `cycle` is nanoseconds since
+/// server start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServeOp {
+    /// Request admitted; `value` = queue depth after admission.
+    Admit,
+    /// Request rejected at admission; `value` = queue depth at rejection.
+    Reject,
+    /// Request dequeued and started; `value` = request id (low 32 bits).
+    Start,
+    /// Request finished; `value` = latency in microseconds (saturating).
+    Done,
+    /// Request expired (deadline passed); `value` = request id.
+    Expire,
+    /// A worker stole queued requests; `value` = victim worker index.
+    Steal,
+    /// Corpus-cache hit; `value` = resident graph count.
+    CacheHit,
+    /// Corpus-cache miss (graph built/loaded); `value` = resident count.
+    CacheMiss,
+}
+
+impl ServeOp {
+    /// Display name used by the exporters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServeOp::Admit => "admit",
+            ServeOp::Reject => "reject",
+            ServeOp::Start => "start",
+            ServeOp::Done => "done",
+            ServeOp::Expire => "expire",
+            ServeOp::Steal => "steal",
+            ServeOp::CacheHit => "cache_hit",
+            ServeOp::CacheMiss => "cache_miss",
+        }
+    }
+
+    /// Inverse of [`ServeOp::name`].
+    pub fn from_name(name: &str) -> Option<ServeOp> {
+        Some(match name {
+            "admit" => ServeOp::Admit,
+            "reject" => ServeOp::Reject,
+            "start" => ServeOp::Start,
+            "done" => ServeOp::Done,
+            "expire" => ServeOp::Expire,
+            "steal" => ServeOp::Steal,
+            "cache_hit" => ServeOp::CacheHit,
+            "cache_miss" => ServeOp::CacheMiss,
+            _ => return None,
+        })
+    }
+}
+
 /// What happened. Payloads carry the quantities the paper's figures are
 /// built from: vertices for push/pop, entry counts for bulk transfers,
 /// victim identity for steals.
@@ -36,11 +91,15 @@ pub enum EventKind {
     WarpIdle,
     /// Kernel phase boundary.
     KernelPhase { phase: PhaseKind },
+    /// Service-layer event from `db-serve` (request lifecycle, queue
+    /// depth, corpus cache) — the paper's stealing discipline applied at
+    /// request granularity shows up on the same timeline as the engines.
+    Serve { op: ServeOp, value: u32 },
 }
 
 impl EventKind {
     /// Number of distinct kinds (for counter arrays).
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 10;
 
     /// Dense index for counter arrays; stable across releases only
     /// within one trace file (the name, not the index, is exported).
@@ -55,6 +114,7 @@ impl EventKind {
             EventKind::StealFail { .. } => 6,
             EventKind::WarpIdle => 7,
             EventKind::KernelPhase { .. } => 8,
+            EventKind::Serve { .. } => 9,
         }
     }
 
@@ -70,6 +130,7 @@ impl EventKind {
             EventKind::StealFail { .. } => "StealFail",
             EventKind::WarpIdle => "WarpIdle",
             EventKind::KernelPhase { .. } => "KernelPhase",
+            EventKind::Serve { .. } => "Serve",
         }
     }
 
@@ -85,6 +146,7 @@ impl EventKind {
             "StealFail" => 6,
             "WarpIdle" => 7,
             "KernelPhase" => 8,
+            "Serve" => 9,
             _ => return None,
         })
     }
@@ -126,6 +188,10 @@ mod tests {
             EventKind::KernelPhase {
                 phase: PhaseKind::Start,
             },
+            EventKind::Serve {
+                op: ServeOp::Admit,
+                value: 0,
+            },
         ];
         assert_eq!(kinds.len(), EventKind::COUNT);
         for (i, k) in kinds.iter().enumerate() {
@@ -133,5 +199,23 @@ mod tests {
             assert_eq!(EventKind::index_of_name(k.name()), Some(i));
         }
         assert_eq!(EventKind::index_of_name("Bogus"), None);
+    }
+
+    #[test]
+    fn serve_op_names_round_trip() {
+        let ops = [
+            ServeOp::Admit,
+            ServeOp::Reject,
+            ServeOp::Start,
+            ServeOp::Done,
+            ServeOp::Expire,
+            ServeOp::Steal,
+            ServeOp::CacheHit,
+            ServeOp::CacheMiss,
+        ];
+        for op in ops {
+            assert_eq!(ServeOp::from_name(op.name()), Some(op));
+        }
+        assert_eq!(ServeOp::from_name("bogus"), None);
     }
 }

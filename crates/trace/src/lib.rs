@@ -28,5 +28,5 @@ pub mod event;
 pub mod json;
 pub mod tracer;
 
-pub use event::{EventKind, PhaseKind, TraceEvent};
+pub use event::{EventKind, PhaseKind, ServeOp, TraceEvent};
 pub use tracer::{emit, CounterSnapshot, CountingTracer, NullTracer, RingBufferTracer, Tracer};

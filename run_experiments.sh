@@ -1,19 +1,36 @@
 #!/bin/bash
 # Regenerates every table and figure of the DiggerBees evaluation.
 # Outputs: results/*.csv plus the printed tables (tee'd to results/*.log).
-set -u
+set -euo pipefail
 cd "$(dirname "$0")"
 export DB_SOURCES="${DB_SOURCES:-2}"
 BIN=./target/release
-mkdir -p results
-for exp in tables fig6_representative fig9_balance fig8_breakdown ablation_tma \
-           ablation_scheduler fig10_sensitivity fig5_dfs_comparison fig7_scalability; do
-  echo "=== $exp (DB_SOURCES=$DB_SOURCES) ==="
-  start=$SECONDS
-  if $BIN/$exp --csv > results/$exp.log 2>&1; then
-    echo "  ok in $((SECONDS-start))s"
-  else
-    echo "FAILED: $exp (see results/$exp.log)"
+EXPERIMENTS="tables fig6_representative fig9_balance fig8_breakdown ablation_tma \
+             ablation_scheduler fig10_sensitivity fig5_dfs_comparison fig7_scalability"
+
+# Fail fast before any experiment runs if a binary is missing: a partial
+# results/ directory from a stale build is worse than no results at all.
+for exp in $EXPERIMENTS; do
+  if [ ! -x "$BIN/$exp" ]; then
+    echo "missing binary: $BIN/$exp (run 'cargo build --release' first)" >&2
+    exit 1
   fi
 done
+
+mkdir -p results
+failed=0
+for exp in $EXPERIMENTS; do
+  echo "=== $exp (DB_SOURCES=$DB_SOURCES) ==="
+  start=$SECONDS
+  if "$BIN/$exp" --csv > "results/$exp.log" 2>&1; then
+    echo "  ok in $((SECONDS-start))s"
+  else
+    echo "FAILED: $exp (see results/$exp.log)" >&2
+    failed=1
+  fi
+done
+if [ "$failed" -ne 0 ]; then
+  echo "some experiments failed" >&2
+  exit 1
+fi
 echo "all experiments complete"

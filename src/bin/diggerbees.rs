@@ -1,4 +1,4 @@
-//! `diggerbees` — command-line traversal runner.
+//! `diggerbees` — command-line traversal runner and server.
 //!
 //! ```text
 //! diggerbees <graph> [options]
@@ -16,9 +16,20 @@
 //! --cold-cutoff <n>      inter-block steal threshold (default 64)
 //! --stats                print graph characterization first
 //! --trace <out>          record execution events for the first source
-//!                        and write Chrome-trace JSON (or CSV when the
-//!                        path ends in .csv); supported for diggerbees,
-//!                        native, lockfree, ckl, acr
+//!                        and write them to <out>; supported for
+//!                        diggerbees, native, lockfree, ckl, acr
+//! --trace-format <f>     chrome | csv; default: by extension
+//!                        (.csv → csv, anything else → chrome)
+//!
+//! diggerbees serve [options]        run the NDJSON traversal service
+//!
+//! --addr <host:port>     listen address (default 127.0.0.1:7345)
+//! --workers <n>          worker threads (default 4)
+//! --queue-cap <n>        admission queue bound (default 1024)
+//! --tenant-quota <n>     per-tenant queued-request bound (default none)
+//! --budget-mb <n>        corpus-cache budget in MB (default 256)
+//! --trace <out>          write serve events on shutdown
+//! --trace-format <f>     chrome | csv (as above)
 //! ```
 //!
 //! Examples:
@@ -27,7 +38,12 @@
 //! diggerbees euro_osm
 //! diggerbees ljournal --method berrybees
 //! diggerbees my_graph.mtx --method native --blocks 4 --warps 2
+//! diggerbees serve --addr 127.0.0.1:7345 --workers 4
 //! ```
+//!
+//! The server runs until a client sends `{"op":"shutdown"}`, then
+//! drains its queues and exits. See README.md "Serving" for the wire
+//! protocol.
 
 use diggerbees::baselines::bfs::{self, BfsFlavor};
 use diggerbees::baselines::cpu_ws::{self, CpuWsConfig, CpuWsStyle};
@@ -38,8 +54,9 @@ use diggerbees::core::native_lockfree::LockFreeEngine;
 use diggerbees::core::{run_sim, run_sim_traced, DiggerBeesConfig};
 use diggerbees::gen::Suite;
 use diggerbees::graph::{mm, sources::select_sources, stats::graph_stats, CsrGraph};
+use diggerbees::serve::{ServeConfig, Server, TcpServer};
 use diggerbees::sim::MachineModel;
-use diggerbees::trace::{chrome, csv, RingBufferTracer};
+use diggerbees::trace::{chrome, csv, RingBufferTracer, TraceEvent};
 use std::process::ExitCode;
 
 /// Ring capacity for `--trace`: newest ~4M events are kept (~100 MB);
@@ -48,6 +65,32 @@ const TRACE_CAPACITY: usize = 1 << 22;
 
 /// Methods whose engines are instrumented for `--trace`.
 const TRACEABLE: &[&str] = &["diggerbees", "native", "lockfree", "ckl", "acr"];
+
+/// Explicit trace export format (`--trace-format`); `None` falls back
+/// to extension sniffing (`.csv` → CSV, anything else → Chrome JSON).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Chrome,
+    Csv,
+}
+
+impl TraceFormat {
+    fn parse(s: &str) -> Result<TraceFormat, String> {
+        match s {
+            "chrome" => Ok(TraceFormat::Chrome),
+            "csv" => Ok(TraceFormat::Csv),
+            other => Err(format!("unknown trace format '{other}' (chrome|csv)")),
+        }
+    }
+
+    fn for_path(explicit: Option<TraceFormat>, path: &str) -> TraceFormat {
+        explicit.unwrap_or(if path.ends_with(".csv") {
+            TraceFormat::Csv
+        } else {
+            TraceFormat::Chrome
+        })
+    }
+}
 
 struct Args {
     graph: String,
@@ -61,6 +104,7 @@ struct Args {
     cold_cutoff: u32,
     stats: bool,
     trace: Option<String>,
+    trace_format: Option<TraceFormat>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -76,6 +120,7 @@ fn parse_args() -> Result<Args, String> {
         cold_cutoff: 64,
         stats: false,
         trace: None,
+        trace_format: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -93,11 +138,17 @@ fn parse_args() -> Result<Args, String> {
             "--cold-cutoff" => args.cold_cutoff = parse_num(&take("--cold-cutoff")?)?,
             "--stats" => args.stats = true,
             "--trace" => args.trace = Some(take("--trace")?),
+            "--trace-format" => {
+                args.trace_format = Some(TraceFormat::parse(&take("--trace-format")?)?)
+            }
             "--help" | "-h" => {
                 return Err("usage: diggerbees <graph> [--method m] [--machine m] \
                             [--source v] [--sources n] [--blocks n] [--warps n] \
                             [--hot-cutoff n] [--cold-cutoff n] [--stats] \
-                            [--trace out.json]"
+                            [--trace out.json] [--trace-format chrome|csv]\n\
+                            \x20      diggerbees serve [--addr host:port] [--workers n] \
+                            [--queue-cap n] [--tenant-quota n] [--budget-mb n] \
+                            [--trace out.json] [--trace-format chrome|csv]"
                     .into())
             }
             other if args.graph.is_empty() && !other.starts_with('-') => {
@@ -142,6 +193,9 @@ fn machine(name: &str) -> Result<MachineModel, String> {
 }
 
 fn main() -> ExitCode {
+    if std::env::args().nth(1).as_deref() == Some("serve") {
+        return serve_main();
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -179,6 +233,18 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    // Fail fast on an unwritable trace destination: creating the file
+    // up front beats discovering a bad path after minutes of traversal.
+    let trace_file = match &args.trace {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => Some(f),
+            Err(e) => {
+                eprintln!("cannot write trace file '{path}': {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let tracer = args
         .trace
         .as_ref()
@@ -295,33 +361,135 @@ fn main() -> ExitCode {
             mteps_all.len()
         );
     }
-    if let (Some(path), Some(tracer)) = (&args.trace, &tracer) {
-        if let Err(e) = write_trace(path, tracer) {
-            eprintln!("failed to write trace to {path}: {e}");
+    if let (Some(path), Some(file), Some(tracer)) = (&args.trace, trace_file, &tracer) {
+        let format = TraceFormat::for_path(args.trace_format, path);
+        let dropped = tracer.dropped();
+        let events = tracer.snapshot();
+        if let Err(e) = write_trace(file, format, &events) {
+            eprintln!("failed to write trace to '{path}': {e}");
             return ExitCode::FAILURE;
+        }
+        println!(
+            "trace: {} events written to {path} ({format:?})",
+            events.len()
+        );
+        if dropped > 0 {
+            println!(
+                "trace: ring overflowed; oldest {dropped} events dropped \
+                 (capacity {TRACE_CAPACITY})"
+            );
         }
     }
     ExitCode::SUCCESS
 }
 
-/// Drains the ring and writes Chrome-trace JSON (or CSV for `.csv`
-/// paths) to `path`.
-fn write_trace(path: &str, tracer: &RingBufferTracer) -> std::io::Result<()> {
-    let dropped = tracer.dropped();
-    let events = tracer.snapshot();
-    let file = std::fs::File::create(path)?;
+/// Writes `events` to an already-opened trace file in the given format.
+fn write_trace(
+    file: std::fs::File,
+    format: TraceFormat,
+    events: &[TraceEvent],
+) -> std::io::Result<()> {
+    use std::io::Write;
     let mut out = std::io::BufWriter::new(file);
-    if path.ends_with(".csv") {
-        csv::write_csv(&events, &mut out)?;
-    } else {
-        chrome::write_chrome_trace(&events, &mut out)?;
+    match format {
+        TraceFormat::Csv => csv::write_csv(events, &mut out)?,
+        TraceFormat::Chrome => chrome::write_chrome_trace(events, &mut out)?,
     }
-    println!("trace: {} events written to {path}", events.len());
-    if dropped > 0 {
+    out.flush()
+}
+
+/// `diggerbees serve`: bind the NDJSON endpoint and run until a client
+/// sends `{"op":"shutdown"}`, then drain and report.
+fn serve_main() -> ExitCode {
+    let mut addr = "127.0.0.1:7345".to_string();
+    let mut cfg = ServeConfig::default();
+    let mut trace: Option<String> = None;
+    let mut trace_format: Option<TraceFormat> = None;
+    let mut it = std::env::args().skip(2);
+    let fail = |e: String| {
+        eprintln!("{e}");
+        ExitCode::FAILURE
+    };
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        let r = (|| -> Result<(), String> {
+            match a.as_str() {
+                "--addr" => addr = take("--addr")?,
+                "--workers" => cfg.workers = parse_num(&take("--workers")?)?.max(1) as usize,
+                "--queue-cap" => {
+                    cfg.queue_capacity = parse_num(&take("--queue-cap")?)?.max(1) as usize
+                }
+                "--tenant-quota" => {
+                    cfg.tenant_quota = Some(parse_num(&take("--tenant-quota")?)? as usize)
+                }
+                "--budget-mb" => {
+                    cfg.corpus_budget_bytes = (parse_num(&take("--budget-mb")?)? as usize) << 20
+                }
+                "--trace" => trace = Some(take("--trace")?),
+                "--trace-format" => {
+                    trace_format = Some(TraceFormat::parse(&take("--trace-format")?)?)
+                }
+                other => return Err(format!("unknown argument: {other} (see --help)")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = r {
+            return fail(e);
+        }
+    }
+    let trace_file = match &trace {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => Some(f),
+            Err(e) => return fail(format!("cannot write trace file '{path}': {e}")),
+        },
+        None => None,
+    };
+    if trace.is_some() {
+        cfg.trace_capacity = TRACE_CAPACITY;
+    }
+    let server = Server::start(cfg.clone());
+    let mut tcp = match TcpServer::bind(server.handle(), &addr) {
+        Ok(t) => t,
+        Err(e) => return fail(format!("cannot bind {addr}: {e}")),
+    };
+    println!(
+        "serving on {} ({} workers, queue {}, corpus budget {} MB); \
+         send {{\"op\":\"shutdown\"}} to stop",
+        tcp.addr(),
+        cfg.workers,
+        cfg.queue_capacity,
+        cfg.corpus_budget_bytes >> 20
+    );
+    while !tcp.shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    println!("shutdown requested; draining...");
+    tcp.stop();
+    let events = server.handle().trace_events();
+    let m = server.shutdown();
+    println!(
+        "served {} ok / {} expired / {} rejected / {} errors; \
+         p50 {} us, p99 {} us; cache hit rate {:.3}, {} steals",
+        m.completed,
+        m.expired,
+        m.rejected(),
+        m.errors,
+        m.p50_us,
+        m.p99_us,
+        m.cache_hit_rate(),
+        m.steals
+    );
+    if let (Some(path), Some(file)) = (&trace, trace_file) {
+        let format = TraceFormat::for_path(trace_format, path);
+        if let Err(e) = write_trace(file, format, &events) {
+            return fail(format!("failed to write trace to '{path}': {e}"));
+        }
         println!(
-            "trace: ring overflowed; oldest {dropped} events dropped \
-             (capacity {TRACE_CAPACITY})"
+            "trace: {} events written to {path} ({format:?})",
+            events.len()
         );
     }
-    Ok(())
+    ExitCode::SUCCESS
 }

@@ -18,6 +18,9 @@
 //!   ([`db_baselines`]).
 //! * [`trace`] — typed execution-event tracing: zero-overhead-when-off
 //!   tracer backends plus Chrome-trace and CSV exporters ([`db_trace`]).
+//! * [`serve`] — a multi-tenant traversal service: corpus cache,
+//!   admission control, deadline-aware request-stealing worker pool,
+//!   NDJSON TCP front-end ([`db_serve`]).
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the reproduction
 //! notes. Runnable examples live in `examples/`: `quickstart`,
@@ -45,4 +48,5 @@ pub use db_core as core;
 pub use db_gen as gen;
 pub use db_gpu_sim as sim;
 pub use db_graph as graph;
+pub use db_serve as serve;
 pub use db_trace as trace;
