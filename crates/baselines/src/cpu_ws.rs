@@ -145,6 +145,7 @@ pub fn run_traced<T: Tracer>(
     let mut stats = SimStats::new(p as usize);
     stats.vertices_visited = 1;
     stats.tasks_per_block[0] = 1;
+    stats.hot_high_water = 1; // the seeded root
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut mem = MemPipeline::new(c.random_trans_per_cycle);
 
@@ -198,6 +199,8 @@ pub fn run_traced<T: Tracer>(
                         stats.tasks_per_block[wi] += 1;
                         *workers[wi].stack.last_mut().expect("nonempty") = (u, i + 1);
                         workers[wi].stack.push((v, 0));
+                        stats.hot_high_water =
+                            stats.hot_high_water.max(workers[wi].stack.len() as u64);
                         emit(tracer, now, w, EventKind::Push { vertex: v });
                         live += 1;
                         // Dependent-miss chain per discovery: visited CAS,
@@ -262,6 +265,7 @@ pub fn run_traced<T: Tracer>(
                 let k = vlen / 2;
                 let taken: Vec<(u32, u32)> = workers[victim as usize].stack.drain(..k).collect();
                 workers[wi].stack.extend(taken);
+                stats.hot_high_water = stats.hot_high_water.max(workers[wi].stack.len() as u64);
                 stats.steals_intra += 1;
                 emit(
                     tracer,
@@ -295,6 +299,13 @@ pub fn run_traced<T: Tracer>(
         },
     );
     stats.cycles = cycles;
+    stats.record_to(
+        db_metrics::global(),
+        match style {
+            CpuWsStyle::Ckl => "cpu_ws_ckl",
+            CpuWsStyle::Acr => "cpu_ws_acr",
+        },
+    );
     let edges = stats.edges_traversed;
     BaselineRun {
         visited,

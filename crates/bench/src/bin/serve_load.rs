@@ -222,6 +222,12 @@ fn combined_digest(mut results: Vec<(u64, String)>) -> (u64, Vec<(u64, String)>)
 struct RunReport {
     wall: Duration,
     latencies_us: Vec<u64>,
+    /// Tail stats from the shared registry histogram type (the same
+    /// power-of-two buckets the server's scrape endpoint exposes), so
+    /// the report's tail agrees with a live `db_serve_request_latency_us`
+    /// scrape up to the histogram's 2× bucket resolution.
+    p999_us: u64,
+    max_us: u64,
     ok: u64,
     expired: u64,
     rejected: u64,
@@ -242,11 +248,17 @@ fn quantile_exact(sorted: &[u64], q: f64) -> u64 {
 fn tally(responses: Vec<Response>, wall: Duration, hit_rate: f64, steals: u64) -> RunReport {
     let mut latencies: Vec<u64> = responses.iter().map(|r| r.latency_us).collect();
     latencies.sort_unstable();
+    let hist = db_metrics::Histogram::default();
+    for &us in &latencies {
+        hist.observe(us);
+    }
     let count = |s: Status| responses.iter().filter(|r| r.status == s).count() as u64;
     let (digest, _) = combined_digest(responses.iter().map(|r| (r.id, r.digest())).collect());
     RunReport {
         wall,
         latencies_us: latencies,
+        p999_us: hist.quantile(0.999),
+        max_us: hist.max_value(),
         ok: count(Status::Ok),
         expired: count(Status::Expired),
         rejected: count(Status::Rejected),
@@ -380,6 +392,8 @@ fn report_value(a: &Args, reports: &[RunReport], deterministic: bool) -> Value {
                     "p99_us".into(),
                     Value::u64(quantile_exact(&r.latencies_us, 0.99)),
                 ),
+                ("p999_us".into(), Value::u64(r.p999_us)),
+                ("max_us".into(), Value::u64(r.max_us)),
                 ("cache_hit_rate".into(), Value::Num(r.cache_hit_rate)),
                 ("steals".into(), Value::u64(r.steals)),
                 ("digest".into(), Value::str(format!("{:016x}", r.digest))),
@@ -439,7 +453,8 @@ fn main() {
     for (i, r) in reports.iter().enumerate() {
         eprintln!(
             "run {}: {} ok / {} expired / {} rejected / {} errors; \
-             p50 {} us, p99 {} us, {:.0} req/s, hit rate {:.3}, {} steals, digest {:016x}",
+             p50 {} us, p99 {} us, p99.9 {} us, max {} us, {:.0} req/s, \
+             hit rate {:.3}, {} steals, digest {:016x}",
             i + 1,
             r.ok,
             r.expired,
@@ -447,6 +462,8 @@ fn main() {
             r.errors,
             quantile_exact(&r.latencies_us, 0.50),
             quantile_exact(&r.latencies_us, 0.99),
+            r.p999_us,
+            r.max_us,
             (r.ok + r.expired + r.rejected + r.errors) as f64 / r.wall.as_secs_f64().max(1e-9),
             r.cache_hit_rate,
             r.steals,

@@ -44,4 +44,4 @@ pub mod stack;
 
 pub use cancel::CancelToken;
 pub use config::{DiggerBeesConfig, StackLevels, VictimPolicy};
-pub use sim::{run_sim, run_sim_traced, SimResult};
+pub use sim::{run_sim, run_sim_profiled, run_sim_traced, SimResult};

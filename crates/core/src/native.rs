@@ -138,6 +138,10 @@ struct Shared<'g> {
     cas_failures: AtomicU64,
     edges: AtomicU64,
     vertices: AtomicU64,
+    /// High-water marks across all rings/segments (fetch_max updated
+    /// wherever a stack grows).
+    hot_hw: AtomicU64,
+    cold_hw: AtomicU64,
 }
 
 impl<'g> Shared<'g> {
@@ -238,6 +242,8 @@ impl NativeEngine {
             cas_failures: AtomicU64::new(0),
             edges: AtomicU64::new(0),
             vertices: AtomicU64::new(0),
+            hot_hw: AtomicU64::new(1), // the seeded root
+            cold_hw: AtomicU64::new(0),
         };
 
         // Seed the root into warp 0.
@@ -293,11 +299,14 @@ impl NativeEngine {
         stats.flushes = shared.flushes.load(Ordering::Relaxed);
         stats.refills = shared.refills.load(Ordering::Relaxed);
         stats.visited_cas_failures = shared.cas_failures.load(Ordering::Relaxed);
+        stats.hot_high_water = shared.hot_hw.load(Ordering::Relaxed);
+        stats.cold_high_water = shared.cold_hw.load(Ordering::Relaxed);
         stats.tasks_per_block = shared
             .tasks_per_block
             .iter()
             .map(|a| a.load(Ordering::Relaxed))
             .collect();
+        stats.record_to(db_metrics::global(), "native");
         NativeResult {
             visited: shared
                 .visited
@@ -405,6 +414,7 @@ fn work_step<T: Tracer>(
         drop(cold);
         hot.push_batch(&batch);
         ws.hot_len.store(hot.len(), Ordering::Release);
+        s.hot_hw.fetch_max(hot.len(), Ordering::Relaxed);
         s.refills.fetch_add(1, Ordering::Relaxed);
         tc.emit(
             b as u32,
@@ -465,6 +475,7 @@ fn work_step<T: Tracer>(
                 let mut cold = ws.cold.lock();
                 cold.push_top(&batch);
                 ws.cold_len.store(cold.len(), Ordering::Release);
+                s.cold_hw.fetch_max(cold.len(), Ordering::Relaxed);
                 drop(cold);
                 s.flushes.fetch_add(1, Ordering::Relaxed);
                 tc.emit(
@@ -477,6 +488,7 @@ fn work_step<T: Tracer>(
             }
             hot.push((v, 0)).expect("flush guarantees space");
             ws.hot_len.store(hot.len(), Ordering::Release);
+            s.hot_hw.fetch_max(hot.len(), Ordering::Relaxed);
             drop(hot);
             tc.emit(b as u32, lane, EventKind::Push { vertex: v });
         }
@@ -638,6 +650,7 @@ fn deposit(s: &Shared<'_>, w: u32, batch: &[Entry]) {
     let mut hot = ws.hot.lock();
     hot.push_batch(batch);
     ws.hot_len.store(hot.len(), Ordering::Release);
+    s.hot_hw.fetch_max(hot.len(), Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -795,6 +808,19 @@ mod tests {
                 assert!(p != NO_PARENT && out.visited[p as usize]);
             }
         }
+    }
+
+    #[test]
+    fn run_records_into_global_registry() {
+        let runs = db_metrics::global().counter(
+            "db_engine_runs_total",
+            "Completed traversal runs per engine",
+            &[("engine", "native")],
+        );
+        let before = runs.get();
+        let out = NativeEngine::new(small_cfg()).run(&grid(20, 20), 0);
+        assert!(out.stats.hot_high_water >= 1);
+        assert!(runs.get() > before, "run must bump the global run counter");
     }
 
     #[test]

@@ -53,6 +53,8 @@ struct Shared<'g> {
     cas_failures: AtomicU64,
     edges: AtomicU64,
     vertices: AtomicU64,
+    hot_hw: AtomicU64,
+    cold_hw: AtomicU64,
 }
 
 /// Lock-free-HotRing DiggerBees engine (same API as
@@ -136,6 +138,8 @@ impl LockFreeEngine {
             cas_failures: AtomicU64::new(0),
             edges: AtomicU64::new(0),
             vertices: AtomicU64::new(0),
+            hot_hw: AtomicU64::new(1), // the seeded root
+            cold_hw: AtomicU64::new(0),
         };
 
         shared.visited[root as usize].store(1, Ordering::Release);
@@ -183,11 +187,14 @@ impl LockFreeEngine {
         stats.flushes = shared.flushes.load(Ordering::Relaxed);
         stats.refills = shared.refills.load(Ordering::Relaxed);
         stats.visited_cas_failures = shared.cas_failures.load(Ordering::Relaxed);
+        stats.hot_high_water = shared.hot_hw.load(Ordering::Relaxed);
+        stats.cold_high_water = shared.cold_hw.load(Ordering::Relaxed);
         stats.tasks_per_block = shared
             .tasks_per_block
             .iter()
             .map(|a| a.load(Ordering::Relaxed))
             .collect();
+        stats.record_to(db_metrics::global(), "lockfree");
         NativeResult {
             visited: shared
                 .visited
@@ -289,6 +296,7 @@ fn work_step<T: Tracer>(
         for e in batch {
             ws.hot.push(e).expect("refill fits an empty ring");
         }
+        s.hot_hw.fetch_max(ws.hot.len() as u64, Ordering::Relaxed);
         s.refills.fetch_add(1, Ordering::Relaxed);
         tc.emit(b as u32, lane, EventKind::Refill { entries });
         return true;
@@ -347,7 +355,10 @@ fn push_with_flush<T: Tracer>(s: &Shared<'_>, w: u32, e: Entry, tc: &TraceCtx<'_
     let ws = &s.warps[w as usize];
     loop {
         match ws.hot.push(e) {
-            Ok(()) => return,
+            Ok(()) => {
+                s.hot_hw.fetch_max(ws.hot.len() as u64, Ordering::Relaxed);
+                return;
+            }
             Err(_) => {
                 let batch = ws.hot.take_from_tail(s.cfg.flush_batch, 1, 4);
                 if batch.is_empty() {
@@ -358,6 +369,7 @@ fn push_with_flush<T: Tracer>(s: &Shared<'_>, w: u32, e: Entry, tc: &TraceCtx<'_
                 let mut cold = ws.cold.lock();
                 cold.push_top(&batch);
                 ws.cold_len.store(cold.len(), Ordering::Release);
+                s.cold_hw.fetch_max(cold.len(), Ordering::Relaxed);
                 drop(cold);
                 s.flushes.fetch_add(1, Ordering::Relaxed);
                 tc.emit(

@@ -24,7 +24,7 @@
 
 use crate::config::{DiggerBeesConfig, StackLevels, VictimPolicy};
 use crate::stack::{ColdSeg, HotRing};
-use db_gpu_sim::{Des, MachineModel, MemPipeline, SimStats};
+use db_gpu_sim::{Des, MachineModel, MemPipeline, NoProfiler, Profiler, SimPhase, SimStats};
 use db_graph::{CsrGraph, VertexId, NO_PARENT};
 use db_trace::{EventKind, NullTracer, PhaseKind, TraceEvent, Tracer};
 use rand::rngs::SmallRng;
@@ -67,9 +67,10 @@ struct Warp {
     backoff: u64,
 }
 
-struct Engine<'g, 't, T: Tracer> {
+struct Engine<'g, 't, 'p, T: Tracer, P: Profiler> {
     g: &'g CsrGraph,
     tracer: &'t T,
+    profiler: &'p P,
     cfg: DiggerBeesConfig,
     m: MachineModel,
     warps: Vec<Warp>,
@@ -94,13 +95,14 @@ struct Engine<'g, 't, T: Tracer> {
 const BACKOFF_START: u64 = 64;
 const BACKOFF_MAX: u64 = 4096;
 
-impl<'g, 't, T: Tracer> Engine<'g, 't, T> {
+impl<'g, 't, 'p, T: Tracer, P: Profiler> Engine<'g, 't, 'p, T, P> {
     fn new(
         g: &'g CsrGraph,
         root: VertexId,
         cfg: DiggerBeesConfig,
         m: MachineModel,
         tracer: &'t T,
+        profiler: &'p P,
     ) -> Self {
         cfg.validate();
         let n = g.num_vertices();
@@ -127,6 +129,7 @@ impl<'g, 't, T: Tracer> Engine<'g, 't, T> {
         let mut eng = Self {
             g,
             tracer,
+            profiler,
             cfg,
             m,
             warps,
@@ -147,6 +150,8 @@ impl<'g, 't, T: Tracer> Engine<'g, 't, T> {
         eng.visited[root as usize] = true;
         eng.stats.vertices_visited = 1;
         eng.stats.tasks_per_block[0] += 1;
+        eng.prof_task(0);
+        eng.stats.hot_high_water = 1;
         eng.warps[0].hot.push((root, 0)).expect("fresh ring");
         eng.live = 1;
         eng.pending[0] = 1;
@@ -169,6 +174,32 @@ impl<'g, 't, T: Tracer> Engine<'g, 't, T> {
                 kind,
             });
         }
+    }
+
+    /// Charges `cycles` to `phase` on warp `w`'s SM. Like `emit`, the
+    /// `P::ENABLED` guard is compile-time: with `NoProfiler` every
+    /// charge site folds away.
+    #[inline(always)]
+    fn prof(&self, w: u32, phase: SimPhase, cycles: u64) {
+        if P::ENABLED {
+            self.profiler.charge(self.block_of(w), phase, cycles);
+        }
+    }
+
+    /// Counts one claimed vertex on warp `w`'s SM (Fig. 9 numerator).
+    #[inline(always)]
+    fn prof_task(&self, w: u32) {
+        if P::ENABLED {
+            self.profiler.count_task(self.block_of(w));
+        }
+    }
+
+    /// Updates the stack high-water marks after warp `w`'s stacks grew.
+    #[inline]
+    fn note_high_water(&mut self, w: u32) {
+        let wp = &self.warps[w as usize];
+        self.stats.hot_high_water = self.stats.hot_high_water.max(wp.hot.len());
+        self.stats.cold_high_water = self.stats.cold_high_water.max(wp.cold.len());
     }
 
     #[inline]
@@ -243,14 +274,18 @@ impl<'g, 't, T: Tracer> Engine<'g, 't, T> {
                 let entries = self.warps[wi].cold.take_from_top(batch);
                 let k = entries.len() as u64;
                 self.warps[wi].hot.push_batch(&entries);
+                self.note_high_water(w);
                 self.stats.refills += 1;
                 self.emit(w, now, EventKind::Refill { entries: k as u32 });
-                return self.m.transfer_cost(k) + self.mem.charge(now, Self::batch_trans(k));
+                let cost = self.m.transfer_cost(k) + self.mem.charge(now, Self::batch_trans(k));
+                self.prof(w, SimPhase::TmaWait, cost);
+                return cost;
             }
             self.set_active(w, false);
             self.warps[wi].phase = Phase::IdleScan;
             self.warps[wi].backoff = BACKOFF_START;
             self.emit(w, now, EventKind::WarpIdle);
+            self.prof(w, SimPhase::Idle, self.m.costs.smem_op);
             return self.m.costs.smem_op;
         }
 
@@ -265,7 +300,9 @@ impl<'g, 't, T: Tracer> Engine<'g, 't, T> {
             if self.live == 0 && self.finish.is_none() {
                 self.finish = Some(now + self.stack_op_cost());
             }
-            return self.stack_op_cost() + self.mem.charge(now, self.stack_op_trans());
+            let cost = self.stack_op_cost() + self.mem.charge(now, self.stack_op_trans());
+            self.prof(w, SimPhase::RingPop, cost);
+            return cost;
         }
 
         // Scan one warp-wide chunk of u's row for an unvisited neighbor.
@@ -288,15 +325,19 @@ impl<'g, 't, T: Tracer> Engine<'g, 't, T> {
                 self.stats.vertices_visited += 1;
                 self.stats.edges_traversed += (i + 1 - off) as u64;
                 self.stats.tasks_per_block[b] += 1;
+                self.prof_task(w);
                 self.warps[wi].hot.update_top((u, i + 1));
                 // row_ptr + contiguous columns (2 transactions), one
                 // scattered visited probe per examined edge, CAS + parent
                 // write (2), plus v1's global stack traffic.
                 let trans = 2 + (i + 1 - off) as u64 + 2 + 2 * self.stack_op_trans();
-                let mut cost = self.m.costs.edge_chunk
+                let expand_cost = self.m.costs.edge_chunk
                     + self.m.costs.atomic_global
-                    + 2 * self.stack_op_cost()
                     + self.mem.charge(now, trans);
+                let push_cost = 2 * self.stack_op_cost();
+                self.prof(w, SimPhase::Expand, expand_cost);
+                self.prof(w, SimPhase::RingPush, push_cost);
+                let mut cost = expand_cost + push_cost;
                 if self.warps[wi].hot.is_full() {
                     cost += self.flush(w, now);
                 }
@@ -304,6 +345,7 @@ impl<'g, 't, T: Tracer> Engine<'g, 't, T> {
                     .hot
                     .push((v, 0))
                     .expect("flush guarantees space");
+                self.note_high_water(w);
                 self.live += 1;
                 self.pending[b] += 1;
                 self.emit(w, now, EventKind::Push { vertex: v });
@@ -314,7 +356,10 @@ impl<'g, 't, T: Tracer> Engine<'g, 't, T> {
                 self.stats.edges_traversed += (chunk_end - off) as u64;
                 self.warps[wi].hot.update_top((u, chunk_end));
                 let trans = 2 + (chunk_end - off) as u64 + self.stack_op_trans();
-                self.m.costs.edge_chunk + self.stack_op_cost() + self.mem.charge(now, trans)
+                let cost =
+                    self.m.costs.edge_chunk + self.stack_op_cost() + self.mem.charge(now, trans);
+                self.prof(w, SimPhase::Expand, cost);
+                cost
             }
         }
     }
@@ -330,9 +375,12 @@ impl<'g, 't, T: Tracer> Engine<'g, 't, T> {
             .take_from_tail(self.cfg.flush_batch as u64);
         let k = batch.len() as u64;
         self.warps[wi].cold.push_top(&batch);
+        self.note_high_water(w);
         self.stats.flushes += 1;
         self.emit(w, now, EventKind::Flush { entries: k as u32 });
-        self.m.transfer_cost(k) + self.mem.charge(now, Self::batch_trans(k))
+        let cost = self.m.transfer_cost(k) + self.mem.charge(now, Self::batch_trans(k));
+        self.prof(w, SimPhase::TmaWait, cost);
+        cost
     }
 
     fn step_idle_scan(&mut self, w: u32) -> Option<u64> {
@@ -360,6 +408,7 @@ impl<'g, 't, T: Tracer> Engine<'g, 't, T> {
         if let Some(v) = victim {
             if max_rest >= self.cfg.hot_cutoff as u64 {
                 self.warps[w as usize].phase = Phase::IntraReserve { victim: v };
+                self.prof(w, SimPhase::StealSearch, scan_cost);
                 return Some(scan_cost);
             }
         }
@@ -373,11 +422,15 @@ impl<'g, 't, T: Tracer> Engine<'g, 't, T> {
             if let Some(vw) = self.select_inter_victim(b) {
                 self.warps[w as usize].phase = Phase::InterReserve { victim_warp: vw };
                 // two sampled blocks + a warp scan inside the victim
-                return Some(scan_cost + (2 + wpb as u64) * self.m.costs.steal_scan);
+                let cost = scan_cost + (2 + wpb as u64) * self.m.costs.steal_scan;
+                self.prof(w, SimPhase::StealSearch, cost);
+                return Some(cost);
             }
         }
 
         // Nothing stealable: exponential backoff poll.
+        self.prof(w, SimPhase::StealSearch, scan_cost);
+        self.prof(w, SimPhase::Idle, self.warps[w as usize].backoff);
         let cost = scan_cost + self.warps[w as usize].backoff;
         let bo = &mut self.warps[w as usize].backoff;
         *bo = (*bo * 2).min(BACKOFF_MAX);
@@ -458,12 +511,14 @@ impl<'g, 't, T: Tracer> Engine<'g, 't, T> {
                     victim: victim % self.cfg.warps_per_block,
                 },
             );
+            self.prof(w, SimPhase::StealSearch, cas_cost);
             return cas_cost;
         }
         let h_s = self.cfg.hot_steal_batch() as u64;
         let entries = self.warps[victim as usize].hot.take_from_tail(h_s);
         let k = entries.len() as u64;
         self.warps[w as usize].hot.push_batch(&entries);
+        self.note_high_water(w);
         self.stats.steals_intra += 1;
         self.emit(
             w,
@@ -479,10 +534,12 @@ impl<'g, 't, T: Tracer> Engine<'g, 't, T> {
         // CAS + threadfence_block + local transfer (shared→shared for
         // the two-level stack; global traffic for the v1 variant).
         let trans = 2 * self.stack_op_trans() * Self::batch_trans(k);
-        cas_cost
+        let cost = cas_cost
             + self.stack_op_cost()
             + k * self.m.costs.copy_per_entry
-            + self.mem.charge(now, trans)
+            + self.mem.charge(now, trans);
+        self.prof(w, SimPhase::StealCopy, cost);
+        cost
     }
 
     /// Steps 3–4 of Algorithm 4: re-validate, reserve via global CAS,
@@ -498,12 +555,14 @@ impl<'g, 't, T: Tracer> Engine<'g, 't, T> {
                     victim: self.block_of(victim_warp),
                 },
             );
+            self.prof(w, SimPhase::StealSearch, self.m.costs.atomic_global);
             return self.m.costs.atomic_global;
         }
         let c_s = self.cfg.cold_steal_batch() as u64;
         let entries = self.warps[victim_warp as usize].cold.take_from_bottom(c_s);
         let k = entries.len() as u64;
         self.warps[w as usize].hot.push_batch(&entries);
+        self.note_high_water(w);
         let vb = self.block_of(victim_warp) as usize;
         let mb = self.block_of(w) as usize;
         self.pending[vb] -= k;
@@ -521,9 +580,11 @@ impl<'g, 't, T: Tracer> Engine<'g, 't, T> {
         self.warps[w as usize].phase = Phase::Working;
         self.warps[w as usize].backoff = BACKOFF_START;
         // global CAS + threadfence + async copy from global memory.
-        self.m.costs.atomic_global
+        let cost = self.m.costs.atomic_global
             + self.m.transfer_cost(k)
-            + self.mem.charge(now, Self::batch_trans(k))
+            + self.mem.charge(now, Self::batch_trans(k));
+        self.prof(w, SimPhase::StealCopy, cost);
+        cost
     }
 }
 
@@ -552,7 +613,30 @@ pub fn run_sim_traced<T: Tracer>(
     m: &MachineModel,
     tracer: &T,
 ) -> SimResult {
-    let mut eng = Engine::new(g, root, *cfg, m.clone(), tracer);
+    run_sim_profiled(g, root, cfg, m, tracer, &NoProfiler)
+}
+
+/// [`run_sim_traced`] with a cycle-attribution [`Profiler`] attached:
+/// every simulated cycle a warp spends is charged to a
+/// [`SimPhase`] on its SM, and claimed vertices are counted per SM.
+/// Profiling is observational only, like tracing — the traversal
+/// result and statistics are identical for any profiler, and with
+/// [`NoProfiler`] the charge sites compile out.
+///
+/// After the run, [`Profiler::finalize`] is invoked with the makespan
+/// so the implementation can top up [`db_gpu_sim::SimPhase::Idle`]
+/// with the unattributed remainder; a
+/// [`db_gpu_sim::CycleProfiler`] then partitions the full
+/// `makespan × warps` cycle budget across the seven phases.
+pub fn run_sim_profiled<T: Tracer, P: Profiler>(
+    g: &CsrGraph,
+    root: VertexId,
+    cfg: &DiggerBeesConfig,
+    m: &MachineModel,
+    tracer: &T,
+    profiler: &P,
+) -> SimResult {
+    let mut eng = Engine::new(g, root, *cfg, m.clone(), tracer, profiler);
     eng.emit(
         0,
         0,
@@ -564,6 +648,9 @@ pub fn run_sim_traced<T: Tracer>(
     while let Some((now, w)) = des.next() {
         if now >= eng.trace_next {
             eng.trace.push((now, eng.active_total));
+            if P::ENABLED {
+                eng.profiler.sample(now, eng.active_total);
+            }
             eng.trace_next = now + (1 << 14);
         }
         if let Some(cost) = eng.step(w, now) {
@@ -572,6 +659,9 @@ pub fn run_sim_traced<T: Tracer>(
     }
     let cycles = eng.finish.unwrap_or_else(|| des.horizon());
     eng.stats.cycles = cycles;
+    if P::ENABLED {
+        eng.profiler.finalize(cycles, cfg.warps_per_block);
+    }
     eng.emit(
         0,
         cycles,
@@ -579,6 +669,7 @@ pub fn run_sim_traced<T: Tracer>(
             phase: PhaseKind::Finish,
         },
     );
+    eng.stats.record_to(db_metrics::global(), "sim");
     let mteps = eng.m.mteps(eng.stats.edges_traversed, cycles);
     SimResult {
         visited: eng.visited,
@@ -779,6 +870,65 @@ mod tests {
         let g = figure1();
         let r = run_sim(&g, 0, &small_cfg(), &h100());
         assert!(r.stats.cycles > 0);
+    }
+
+    #[test]
+    fn profiler_is_observational_and_partitions_cycles() {
+        use db_gpu_sim::{CycleProfiler, SimPhase};
+        let g = db_gen_grid(40, 40);
+        let cfg = small_cfg();
+        let plain = run_sim(&g, 0, &cfg, &h100());
+        let prof = CycleProfiler::new(cfg.blocks as usize);
+        let profiled = run_sim_profiled(&g, 0, &cfg, &h100(), &NullTracer, &prof);
+
+        // Observational: identical results and statistics.
+        assert_eq!(plain.visited, profiled.visited);
+        assert_eq!(plain.stats.cycles, profiled.stats.cycles);
+        assert_eq!(plain.stats.steals_intra, profiled.stats.steals_intra);
+
+        // The live task gauges reproduce Fig. 9's distribution exactly.
+        assert_eq!(prof.tasks_per_sm(), profiled.stats.tasks_per_block);
+
+        // Real work was attributed.
+        assert!(prof.total_cycles(SimPhase::Expand) > 0);
+        assert!(prof.total_cycles(SimPhase::StealSearch) > 0);
+
+        // Each SM's phase total covers at least the makespan budget
+        // (finalize tops idle up to it; explicit charges past the
+        // finish time can only push it over).
+        let budget = profiled.stats.cycles * cfg.warps_per_block as u64;
+        for sm in 0..cfg.blocks {
+            let total: u64 = SimPhase::ALL
+                .iter()
+                .map(|p| prof.phase_cycles(sm, *p))
+                .sum();
+            assert!(
+                total >= budget,
+                "sm{sm}: attributed {total} < budget {budget}"
+            );
+        }
+
+        // Occupancy timeline mirrors the result's sampled trace.
+        assert_eq!(prof.occupancy_timeline(), profiled.trace);
+    }
+
+    #[test]
+    fn stack_high_water_marks_are_tracked() {
+        let n = 2000u32;
+        let g = GraphBuilder::undirected(n)
+            .edges((0..n - 1).map(|i| (i, i + 1)))
+            .build();
+        let cfg = DiggerBeesConfig {
+            blocks: 1,
+            warps_per_block: 1,
+            inter_block: false,
+            ..small_cfg()
+        };
+        let r = run_sim(&g, 0, &cfg, &h100());
+        // A deep path fills the ring (flushes happen at hot_size) and
+        // pushes most of the path into the ColdSeg.
+        assert_eq!(r.stats.hot_high_water, cfg.hot_size as u64);
+        assert!(r.stats.cold_high_water > n as u64 / 2);
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //!   global time order with ties broken by agent id, so shared-state
 //!   interactions (visited-array CAS, steal CAS) are serialized
 //!   deterministically and contention emerges from the schedule itself.
+//! * [`profile`] — cycle-attribution profiler: charges every simulated
+//!   cycle to a phase (expand, ring-push/pop, steal-search, steal-copy,
+//!   TMA-wait, idle) per SM, with folded-stacks export, an occupancy
+//!   timeline, and live gauges via `db-metrics`. Zero-cost when
+//!   disabled, mirroring the `db-trace` tracer pattern.
 //! * [`stats`] — counters shared by all engines (traversed edges, steals,
 //!   flushes/refills, per-block task distribution with the coefficient of
 //!   variation reported in Fig. 9) and MTEPS conversion.
@@ -36,9 +41,11 @@ pub mod des;
 pub mod level_sync;
 pub mod machine;
 pub mod pipeline;
+pub mod profile;
 pub mod stats;
 
 pub use des::Des;
 pub use machine::{CostModel, MachineModel};
 pub use pipeline::MemPipeline;
+pub use profile::{CycleProfiler, NoProfiler, Profiler, SimPhase};
 pub use stats::SimStats;

@@ -1,0 +1,36 @@
+//! # db-metrics — unified live metrics for the DiggerBees workspace
+//!
+//! The trace ring (`db-trace`) answers *what happened, in order* for one
+//! diagnostic run; this crate answers *what is happening, right now* for
+//! a long-lived process. It is the substrate behind the `diggerbees
+//! metrics` CLI, the serve layer's `{"op":"prometheus"}` / `GET /metrics`
+//! scrape, and the engines' per-level steal counters.
+//!
+//! * [`Registry`] — a process- or instance-scoped set of named series.
+//!   Registration takes a short mutex; the returned [`Counter`],
+//!   [`Gauge`], and [`Histogram`] handles are `Arc`-shared atomics, so
+//!   the hot path (increment/observe) is lock-free. Re-registering the
+//!   same `(name, labels)` returns a handle to the same underlying
+//!   series.
+//! * [`Histogram`] — power-of-two bucket histogram with exact count,
+//!   sum, and max. This generalizes (and replaced) the old
+//!   `db_serve::metrics::LatencyHistogram`: quantiles are upper bounds
+//!   with at most 2× resolution error.
+//! * [`render`] / [`Registry::render_prometheus`] — Prometheus text
+//!   exposition (format 0.0.4): `# HELP`/`# TYPE` headers, escaped label
+//!   values, stable series ordering, cumulative `le` buckets with
+//!   `+Inf`/`_sum`/`_count`.
+//! * [`parse_exposition`] / [`validate_exposition`] — a parser for the
+//!   same text format, used by round-trip tests and the CI smoke job
+//!   that scrapes a live server and fails on any malformed line.
+//! * [`global`] — the process-wide default registry the engines record
+//!   into (each `db_serve::Server` keeps its own instance registry on
+//!   top, so unit tests stay isolated).
+
+#![warn(missing_docs)]
+
+pub mod prometheus;
+pub mod registry;
+
+pub use prometheus::{parse_exposition, validate_exposition, Sample};
+pub use registry::{global, render, Counter, Gauge, Histogram, Registry, HISTOGRAM_BUCKETS};

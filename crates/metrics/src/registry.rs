@@ -1,0 +1,541 @@
+//! The metrics registry and its series handles.
+//!
+//! A [`Registry`] maps `(name, labels)` pairs to series. Registration
+//! (first call for a pair) takes the registry mutex; the returned
+//! handles are clones of `Arc`-shared atomics, so recording values is
+//! lock-free and wait-free — the "lock-light" contract the engines'
+//! hot paths require. Scraping takes the mutex only long enough to
+//! clone the handle list.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Number of power-of-two histogram buckets: bucket `i` holds values in
+/// `[2^(i-1), 2^i)` (bucket 0 holds `0..1`); the last bucket absorbs
+/// everything at or above `2^(BUCKETS-2)` and renders as `+Inf`.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// Monotonically increasing counter handle.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins gauge handle (also supports add/sub/max updates).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (e.g. a worker going busy).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`, saturating at zero.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (high-water marks).
+    #[inline]
+    pub fn max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Lock-free power-of-two histogram handle.
+///
+/// The generalization of the old serve-layer `LatencyHistogram`:
+/// quantiles are upper bounds with at most 2× resolution error, while
+/// `count`, `sum`, and `max` are exact.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Records one sample.
+    pub fn observe(&self, v: u64) {
+        let idx = (64 - v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
+        let c = &self.0;
+        c.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed);
+        c.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (0 < q ≤ 1); 0 when no
+    /// samples were recorded. The top bucket reports the exact maximum
+    /// rather than an unbounded edge.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                if i == HISTOGRAM_BUCKETS - 1 {
+                    return self.max_value();
+                }
+                // Upper edge of bucket i: 2^i - 1 (bucket 0 → 0).
+                return (1u64 << i) - 1;
+            }
+        }
+        self.max_value()
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample observed (exact; 0 when empty).
+    pub fn max_value(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Per-bucket counts (non-cumulative), for exposition and tests.
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// One registered series' value cell.
+#[derive(Debug, Clone)]
+enum Cell {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Cell {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Cell::Counter(_) => "counter",
+            Cell::Gauge(_) => "gauge",
+            Cell::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SeriesEntry {
+    name: String,
+    labels: Vec<(String, String)>,
+    help: String,
+    cell: Cell,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    entries: Vec<SeriesEntry>,
+    index: HashMap<(String, Vec<(String, String)>), usize>,
+}
+
+/// A set of named, labeled metric series.
+///
+/// Use [`global`] for the process-wide registry the engines record
+/// into, or create instances (one per `db_serve::Server`) when series
+/// must not be shared across components or tests.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+/// Validates a metric or label name: `[a-zA-Z_:][a-zA-Z0-9_:]*` for
+/// metrics, `[a-zA-Z_][a-zA-Z0-9_]*` for labels.
+fn valid_name(s: &str, allow_colon: bool) -> bool {
+    let mut chars = s.chars();
+    let head_ok = chars
+        .clone()
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || (allow_colon && c == ':'));
+    head_ok && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || (allow_colon && c == ':'))
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, RegistryInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn series(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Cell,
+        kind: &'static str,
+    ) -> Cell {
+        assert!(valid_name(name, true), "invalid metric name '{name}'");
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| {
+                assert!(valid_name(k, false), "invalid label name '{k}'");
+                assert!(k != "le", "label 'le' is reserved for histogram buckets");
+                (k.to_string(), v.to_string())
+            })
+            .collect();
+        labels.sort();
+        let mut g = self.lock();
+        let key = (name.to_string(), labels.clone());
+        if let Some(&i) = g.index.get(&key) {
+            let cell = g.entries[i].cell.clone();
+            assert_eq!(
+                cell.type_name(),
+                kind,
+                "series '{name}' re-registered as a different type"
+            );
+            return cell;
+        }
+        let cell = make();
+        let i = g.entries.len();
+        g.entries.push(SeriesEntry {
+            name: name.to_string(),
+            labels,
+            help: help.to_string(),
+            cell: cell.clone(),
+        });
+        g.index.insert(key, i);
+        cell
+    }
+
+    /// Registers (or looks up) a counter.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.series(
+            name,
+            help,
+            labels,
+            || Cell::Counter(Counter(Arc::new(AtomicU64::new(0)))),
+            "counter",
+        ) {
+            Cell::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Registers (or looks up) a gauge.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.series(
+            name,
+            help,
+            labels,
+            || Cell::Gauge(Gauge(Arc::new(AtomicU64::new(0)))),
+            "gauge",
+        ) {
+            Cell::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Registers (or looks up) a histogram.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.series(
+            name,
+            help,
+            labels,
+            || Cell::Histogram(Histogram::default()),
+            "histogram",
+        ) {
+            Cell::Histogram(h) => h,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Number of registered series.
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// Whether the registry has no series.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders this registry alone; see [`render`].
+    pub fn render_prometheus(&self) -> String {
+        render(&[self])
+    }
+}
+
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Renders the union of `registries` in Prometheus text exposition
+/// format (0.0.4): stable ordering (series sorted by name, then by
+/// label set), one `# HELP`/`# TYPE` pair per metric name, escaped
+/// label values and help text, and for histograms the cumulative
+/// `_bucket{le=...}` ladder ending in `+Inf`, plus `_sum` and
+/// `_count`.
+pub fn render(registries: &[&Registry]) -> String {
+    let mut entries: Vec<SeriesEntry> = Vec::new();
+    for r in registries {
+        entries.extend(r.lock().entries.iter().cloned());
+    }
+    entries.sort_by(|a, b| a.name.cmp(&b.name).then_with(|| a.labels.cmp(&b.labels)));
+
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for e in &entries {
+        if last_name != Some(e.name.as_str()) {
+            if !e.help.is_empty() {
+                out.push_str(&format!("# HELP {} {}\n", e.name, escape_help(&e.help)));
+            }
+            out.push_str(&format!("# TYPE {} {}\n", e.name, e.cell.type_name()));
+            last_name = Some(e.name.as_str());
+        }
+        match &e.cell {
+            Cell::Counter(c) => {
+                out.push_str(&format!(
+                    "{}{} {}\n",
+                    e.name,
+                    label_block(&e.labels, None),
+                    c.get()
+                ));
+            }
+            Cell::Gauge(g) => {
+                out.push_str(&format!(
+                    "{}{} {}\n",
+                    e.name,
+                    label_block(&e.labels, None),
+                    g.get()
+                ));
+            }
+            Cell::Histogram(h) => {
+                let counts = h.bucket_counts();
+                let mut cum = 0u64;
+                // Buckets 0..BUCKETS-1 get finite `le` edges (the upper
+                // edge of bucket i is 2^i - 1); the top bucket is +Inf.
+                for (i, &c) in counts.iter().enumerate().take(HISTOGRAM_BUCKETS - 1) {
+                    cum += c;
+                    let le = ((1u128 << i) - 1).to_string();
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        e.name,
+                        label_block(&e.labels, Some(("le", &le))),
+                        cum
+                    ));
+                }
+                out.push_str(&format!(
+                    "{}_bucket{} {}\n",
+                    e.name,
+                    label_block(&e.labels, Some(("le", "+Inf"))),
+                    h.count()
+                ));
+                out.push_str(&format!(
+                    "{}_sum{} {}\n",
+                    e.name,
+                    label_block(&e.labels, None),
+                    h.sum()
+                ));
+                out.push_str(&format!(
+                    "{}_count{} {}\n",
+                    e.name,
+                    label_block(&e.labels, None),
+                    h.count()
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The process-wide default registry. Engines record their per-run
+/// series here; `diggerbees metrics` and the serve scrape render it
+/// alongside any instance registries.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("db_test_total", "help", &[("engine", "sim")]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same (name, labels) → same series.
+        let c2 = r.counter("db_test_total", "other help ignored", &[("engine", "sim")]);
+        assert_eq!(c2.get(), 5);
+        // Different labels → different series.
+        let c3 = r.counter("db_test_total", "h", &[("engine", "native")]);
+        assert_eq!(c3.get(), 0);
+        assert_eq!(r.len(), 2);
+
+        let g = r.gauge("db_depth", "queue depth", &[]);
+        g.set(7);
+        g.add(3);
+        g.sub(20);
+        assert_eq!(g.get(), 0, "sub saturates");
+        g.max(9);
+        g.max(4);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn histogram_matches_old_latency_histogram_semantics() {
+        let h = Histogram::default();
+        for us in [1u64, 2, 3, 100, 100, 100, 1000, 10_000] {
+            h.observe(us);
+        }
+        assert_eq!(h.count(), 8);
+        let p50 = h.quantile(0.5);
+        assert!((100..=127).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((10_000..=16_383).contains(&p99), "p99 = {p99}");
+        assert!(h.mean() >= 1400 && h.mean() <= 1500, "{}", h.mean());
+        assert_eq!(h.max_value(), 10_000);
+        assert_eq!(h.sum(), 1 + 2 + 3 + 300 + 1000 + 10_000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.max_value(), 0);
+    }
+
+    #[test]
+    fn histogram_top_bucket_reports_exact_max() {
+        let h = Histogram::default();
+        h.observe(u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("db_x", "", &[]);
+        let _ = r.gauge("db_x", "", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn le_label_is_reserved() {
+        let r = Registry::new();
+        let _ = r.counter("db_x", "", &[("le", "1")]);
+    }
+
+    #[test]
+    fn global_is_a_singleton() {
+        let a = global().counter("db_global_test_total", "", &[]);
+        a.inc();
+        let b = global().counter("db_global_test_total", "", &[]);
+        assert!(b.get() >= 1);
+    }
+}

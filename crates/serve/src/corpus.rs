@@ -19,18 +19,25 @@
 //! load generator's cross-run outcome comparison.
 
 use db_graph::{builder::from_edge_list, CsrGraph, GraphBuilder};
+use db_metrics::{Counter, Gauge, Registry};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Keyed graph cache with a byte budget and LRU eviction.
+///
+/// Hit/miss/eviction counts and residency gauges are registry series
+/// (`db_serve_cache_*`, `db_serve_resident_*`), so the cache reports
+/// the same numbers through [`CorpusCache::hits`]-style accessors and
+/// through a Prometheus scrape of the owning registry.
 #[derive(Debug)]
 pub struct CorpusCache {
     budget_bytes: usize,
     inner: Mutex<CacheInner>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    resident_graphs: Gauge,
+    resident_bytes: Gauge,
 }
 
 #[derive(Debug, Default)]
@@ -60,13 +67,40 @@ impl CorpusCache {
     /// Creates a cache bounded to roughly `budget_bytes` of CSR data.
     /// A single graph larger than the whole budget is still admitted
     /// (alone); the budget bounds the *sum* of resident graphs.
+    ///
+    /// Registers its series in a private throwaway registry; use
+    /// [`CorpusCache::new_in`] to make them scrapeable.
     pub fn new(budget_bytes: usize) -> Self {
+        Self::new_in(budget_bytes, &Registry::new())
+    }
+
+    /// Like [`CorpusCache::new`], registering the cache's counter and
+    /// gauge series in `reg` (the server instance's registry).
+    pub fn new_in(budget_bytes: usize, reg: &Registry) -> Self {
         CorpusCache {
             budget_bytes,
             inner: Mutex::new(CacheInner::default()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits: reg.counter("db_serve_cache_hits_total", "Corpus-cache hits", &[]),
+            misses: reg.counter(
+                "db_serve_cache_misses_total",
+                "Corpus-cache misses (graph builds)",
+                &[],
+            ),
+            evictions: reg.counter(
+                "db_serve_cache_evictions_total",
+                "Graphs evicted from the corpus cache",
+                &[],
+            ),
+            resident_graphs: reg.gauge(
+                "db_serve_resident_graphs",
+                "Graphs currently resident in the corpus cache",
+                &[],
+            ),
+            resident_bytes: reg.gauge(
+                "db_serve_resident_bytes",
+                "Bytes of CSR currently resident in the corpus cache",
+                &[],
+            ),
         }
     }
 
@@ -92,7 +126,7 @@ impl CorpusCache {
             let g = Arc::clone(&e.graph);
             let resident = inner.map.len();
             drop(inner);
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             return Ok((
                 g,
                 ResolveInfo {
@@ -113,7 +147,7 @@ impl CorpusCache {
                 .expect("nonempty map has a minimum");
             let e = inner.map.remove(&victim).expect("victim present");
             inner.total_bytes -= e.bytes;
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.inc();
         }
         inner.total_bytes += bytes;
         inner.map.insert(
@@ -125,8 +159,10 @@ impl CorpusCache {
             },
         );
         let resident = inner.map.len();
+        self.resident_graphs.set(resident as u64);
+        self.resident_bytes.set(inner.total_bytes as u64);
         drop(inner);
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         Ok((
             graph,
             ResolveInfo {
@@ -138,17 +174,17 @@ impl CorpusCache {
 
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Cache misses (= builds) so far.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 
     /// Graphs evicted so far.
     pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
+        self.evictions.get()
     }
 
     /// `(resident graph count, resident bytes)`.
@@ -289,6 +325,20 @@ mod tests {
         assert!(info.hit, "recently used survivor must still be resident");
         let (_, info) = c.resolve("path:1001").unwrap();
         assert!(!info.hit, "LRU entry must have been evicted");
+    }
+
+    #[test]
+    fn cache_series_track_residency_in_the_registry() {
+        let reg = Registry::new();
+        let c = CorpusCache::new_in(usize::MAX, &reg);
+        c.resolve("grid:8:8").unwrap();
+        c.resolve("grid:8:8").unwrap();
+        let exp = db_metrics::parse_exposition(&reg.render_prometheus()).unwrap();
+        let get = |n: &str| exp.samples.iter().find(|s| s.name == n).unwrap().value;
+        assert_eq!(get("db_serve_cache_hits_total"), 1.0);
+        assert_eq!(get("db_serve_cache_misses_total"), 1.0);
+        assert_eq!(get("db_serve_resident_graphs"), 1.0);
+        assert!(get("db_serve_resident_bytes") > 0.0);
     }
 
     #[test]

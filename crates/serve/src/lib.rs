@@ -20,11 +20,15 @@
 //! * [`exec`] — workload execution and payload shaping; payloads carry
 //!   only scheduling-independent quantities so a request's outcome is
 //!   deterministic under any interleaving.
-//! * [`metrics`] — latency histogram (p50/p90/p99), queue depth, cache
-//!   hit rate, rejection counters; also emitted as
+//! * [`metrics`] — `db_serve_*` series in a per-instance
+//!   [`db_metrics::Registry`]: latency histogram (p50/p90/p99/p99.9,
+//!   max), queue depth, worker occupancy, cache hit rate, rejection
+//!   counters; scrapeable via [`ServeHandle::prometheus`] merged with
+//!   the process-global engine series, and also emitted as
 //!   [`db_trace::EventKind::Serve`] events for Chrome-trace export.
 //! * [`net`] — a `std::net` TCP endpoint speaking newline-delimited
-//!   JSON, plus client helpers.
+//!   JSON (plus a one-shot `GET /metrics` scrape path), with client
+//!   helpers.
 //!
 //! ## Quickstart
 //!

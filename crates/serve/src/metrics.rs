@@ -1,101 +1,105 @@
-//! Service metrics: admission/outcome counters and a latency histogram.
+//! Service metrics: registry-backed counters/gauges and the shared
+//! power-of-two latency histogram.
 //!
-//! Counters are relaxed atomics (monotonic, read via snapshot). The
-//! latency histogram uses power-of-two microsecond buckets, so reported
-//! quantiles are upper bounds with at most 2× resolution error — fine
-//! for the live `metrics` endpoint; the load generator computes exact
-//! quantiles client-side from per-response latencies.
+//! Each server instance owns a private [`db_metrics::Registry`], so
+//! concurrent servers in one process (tests, embedded use) never share
+//! counters; the Prometheus scrape merges the instance registry with
+//! the process-global one (engine and sim-profiler series) through
+//! [`db_metrics::render`]. All serve series use the `db_serve_` name
+//! prefix, disjoint from the engines' `db_engine_`/`db_sim_` prefixes.
+//!
+//! The latency histogram is [`db_metrics::Histogram`] — power-of-two
+//! microsecond buckets, so reported quantiles are upper bounds with at
+//! most 2× resolution error (fine for the live `metrics` endpoint; the
+//! load generator computes exact quantiles client-side from
+//! per-response latencies). `count`, `sum`, and `max` are exact.
 
+use db_metrics::{Counter, Gauge, Histogram, Registry};
 use db_trace::json::Value;
-use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Number of power-of-two latency buckets: bucket `i` holds latencies
-/// in `[2^(i-1), 2^i)` µs (bucket 0 holds `0..1` µs). Bucket 39 tops
-/// out above 9 minutes, far beyond any sane request deadline.
-const BUCKETS: usize = 40;
-
-/// Lock-free power-of-two histogram of request latencies (µs).
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    sum_us: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum_us: AtomicU64::new(0),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// Records one latency sample.
-    pub fn record(&self, us: u64) {
-        let idx = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
-    }
-
-    /// Upper-bound estimate of the `q`-quantile (0 < q ≤ 1) in µs;
-    /// 0 when no samples were recorded.
-    pub fn quantile(&self, q: f64) -> u64 {
-        let count = self.count.load(Ordering::Relaxed);
-        if count == 0 {
-            return 0;
-        }
-        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= target {
-                // Upper edge of bucket i: 2^i - 1 (bucket 0 → 0).
-                return (1u64 << i) - 1;
-            }
-        }
-        u64::MAX
-    }
-
-    /// Number of samples.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Mean latency in µs (0 when empty).
-    pub fn mean_us(&self) -> u64 {
-        let c = self.count.load(Ordering::Relaxed);
-        self.sum_us
-            .load(Ordering::Relaxed)
-            .checked_div(c)
-            .unwrap_or(0)
-    }
-}
-
-/// Live counters for a server instance.
-#[derive(Debug, Default)]
+/// Live series handles for one server instance.
+///
+/// Handles are `Arc`-shared atomics cloned out of the instance
+/// [`Registry`]; recording is lock-free. The same series are rendered
+/// verbatim by the Prometheus scrape, so there is exactly one source
+/// of truth for every number the server reports.
+#[derive(Debug, Clone)]
 pub struct Metrics {
     /// Requests accepted into a worker queue.
-    pub admitted: AtomicU64,
+    pub admitted: Counter,
     /// Requests refused because the global queue was full.
-    pub rejected_capacity: AtomicU64,
+    pub rejected_capacity: Counter,
     /// Requests refused because their tenant was over quota.
-    pub rejected_tenant: AtomicU64,
+    pub rejected_tenant: Counter,
     /// Requests refused because the server was draining.
-    pub rejected_draining: AtomicU64,
+    pub rejected_draining: Counter,
     /// Requests that finished with [`crate::Status::Ok`].
-    pub completed: AtomicU64,
+    pub completed: Counter,
     /// Requests whose deadline expired.
-    pub expired: AtomicU64,
+    pub expired: Counter,
     /// Requests that failed (bad graph key, workload mismatch, …).
-    pub errors: AtomicU64,
+    pub errors: Counter,
     /// Request batches stolen between worker queues.
-    pub steals: AtomicU64,
-    /// Latency of all finished requests (any status).
-    pub latency: LatencyHistogram,
+    pub steals: Counter,
+    /// Requests currently queued across all workers.
+    pub queue_depth: Gauge,
+    /// Workers currently executing a request (occupancy).
+    pub busy_workers: Gauge,
+    /// Latency of all finished requests (any status), µs.
+    pub latency: Histogram,
+}
+
+impl Metrics {
+    /// Registers the serve series in `reg` and returns the handles.
+    pub fn register(reg: &Registry) -> Metrics {
+        let rejected = |reason: &str| {
+            reg.counter(
+                "db_serve_rejected_total",
+                "Requests refused at admission, by reason",
+                &[("reason", reason)],
+            )
+        };
+        let finished = |status: &str| {
+            reg.counter(
+                "db_serve_requests_total",
+                "Finished requests by final status",
+                &[("status", status)],
+            )
+        };
+        Metrics {
+            admitted: reg.counter(
+                "db_serve_admitted_total",
+                "Requests accepted into a worker queue",
+                &[],
+            ),
+            rejected_capacity: rejected("capacity"),
+            rejected_tenant: rejected("tenant_quota"),
+            rejected_draining: rejected("draining"),
+            completed: finished("ok"),
+            expired: finished("expired"),
+            errors: finished("error"),
+            steals: reg.counter(
+                "db_serve_steals_total",
+                "Request batches stolen between worker queues",
+                &[],
+            ),
+            queue_depth: reg.gauge(
+                "db_serve_queue_depth",
+                "Requests currently queued across all workers",
+                &[],
+            ),
+            busy_workers: reg.gauge(
+                "db_serve_busy_workers",
+                "Workers currently executing a request",
+                &[],
+            ),
+            latency: reg.histogram(
+                "db_serve_request_latency_us",
+                "Finished-request latency in microseconds (any status)",
+                &[],
+            ),
+        }
+    }
 }
 
 /// Plain-data snapshot of [`Metrics`] plus cache/queue gauges, as
@@ -130,6 +134,8 @@ pub struct MetricsSnapshot {
     pub resident_bytes: u64,
     /// Requests currently queued (all workers).
     pub queue_depth: u64,
+    /// Workers currently executing a request.
+    pub busy_workers: u64,
     /// Finished-request count (denominator of the quantiles).
     pub latency_count: u64,
     /// Mean finished-request latency, µs.
@@ -140,6 +146,10 @@ pub struct MetricsSnapshot {
     pub p90_us: u64,
     /// p99 latency upper bound, µs.
     pub p99_us: u64,
+    /// p99.9 latency upper bound, µs.
+    pub p999_us: u64,
+    /// Largest single finished-request latency (exact), µs.
+    pub max_us: u64,
 }
 
 impl MetricsSnapshot {
@@ -181,11 +191,14 @@ impl MetricsSnapshot {
             ("resident_graphs".into(), Value::u64(self.resident_graphs)),
             ("resident_bytes".into(), Value::u64(self.resident_bytes)),
             ("queue_depth".into(), Value::u64(self.queue_depth)),
+            ("busy_workers".into(), Value::u64(self.busy_workers)),
             ("latency_count".into(), Value::u64(self.latency_count)),
             ("latency_mean_us".into(), Value::u64(self.latency_mean_us)),
             ("p50_us".into(), Value::u64(self.p50_us)),
             ("p90_us".into(), Value::u64(self.p90_us)),
             ("p99_us".into(), Value::u64(self.p99_us)),
+            ("p999_us".into(), Value::u64(self.p999_us)),
+            ("max_us".into(), Value::u64(self.max_us)),
         ])
     }
 
@@ -211,11 +224,14 @@ impl MetricsSnapshot {
             resident_graphs: f("resident_graphs")?,
             resident_bytes: f("resident_bytes")?,
             queue_depth: f("queue_depth")?,
+            busy_workers: f("busy_workers")?,
             latency_count: f("latency_count")?,
             latency_mean_us: f("latency_mean_us")?,
             p50_us: f("p50_us")?,
             p90_us: f("p90_us")?,
             p99_us: f("p99_us")?,
+            p999_us: f("p999_us")?,
+            max_us: f("max_us")?,
         })
     }
 }
@@ -225,28 +241,55 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_quantiles_are_upper_bounds() {
-        let h = LatencyHistogram::default();
+    fn registered_series_render_as_valid_exposition() {
+        let reg = Registry::new();
+        let m = Metrics::register(&reg);
+        m.admitted.inc();
+        m.rejected_tenant.inc();
+        m.completed.inc();
+        m.queue_depth.set(3);
+        m.busy_workers.add(2);
+        m.latency.observe(100);
+        m.latency.observe(10_000);
+        let text = reg.render_prometheus();
+        let exp = db_metrics::validate_exposition(&text).unwrap();
+        assert_eq!(
+            exp.types.get("db_serve_request_latency_us").map(|s| &**s),
+            Some("histogram")
+        );
+        let admitted = exp
+            .samples
+            .iter()
+            .find(|s| s.name == "db_serve_admitted_total")
+            .unwrap();
+        assert_eq!(admitted.value, 1.0);
+        // The three rejection reasons are distinct series of one name.
+        let reasons: Vec<_> = exp
+            .samples
+            .iter()
+            .filter(|s| s.name == "db_serve_rejected_total")
+            .filter_map(|s| s.label("reason"))
+            .collect();
+        assert_eq!(reasons, ["capacity", "draining", "tenant_quota"]);
+    }
+
+    #[test]
+    fn latency_quantiles_match_the_old_histogram_contract() {
+        // The shared histogram absorbed the old serve LatencyHistogram;
+        // the quantile/mean contract the serve tests relied on must
+        // carry over unchanged.
+        let reg = Registry::new();
+        let h = reg.histogram("db_serve_request_latency_us", "", &[]);
         for us in [1u64, 2, 3, 100, 100, 100, 1000, 10_000] {
-            h.record(us);
+            h.observe(us);
         }
         assert_eq!(h.count(), 8);
         let p50 = h.quantile(0.5);
         assert!((100..=127).contains(&p50), "p50 = {p50}");
         let p99 = h.quantile(0.99);
         assert!((10_000..=16_383).contains(&p99), "p99 = {p99}");
-        assert!(
-            h.mean_us() >= 1400 && h.mean_us() <= 1500,
-            "{}",
-            h.mean_us()
-        );
-    }
-
-    #[test]
-    fn empty_histogram_reports_zero() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.quantile(0.5), 0);
-        assert_eq!(h.mean_us(), 0);
+        assert!(h.mean() >= 1400 && h.mean() <= 1500, "{}", h.mean());
+        assert_eq!(h.max_value(), 10_000);
     }
 
     #[test]
@@ -260,9 +303,12 @@ mod tests {
             cache_hits: 9,
             cache_misses: 1,
             queue_depth: 2,
+            busy_workers: 1,
             latency_count: 10,
             p50_us: 127,
             p99_us: 1023,
+            p999_us: 2047,
+            max_us: 1600,
             ..MetricsSnapshot::default()
         };
         let back =

@@ -4,9 +4,17 @@
 //! or a control op:
 //!
 //! * `{"op":"metrics"}` — replies with one [`MetricsSnapshot`] line;
+//! * `{"op":"prometheus"}` — replies `{"ok":true,"text":"..."}` with a
+//!   full Prometheus text-format scrape ([`ServeHandle::prometheus`]);
 //! * `{"op":"shutdown"}` — replies `{"ok":true}` and flags shutdown;
 //!   the process hosting the listener decides when to act on it
 //!   (see [`TcpServer::shutdown_requested`]).
+//!
+//! As a convenience for stock scrapers (`curl`, Prometheus itself), a
+//! line starting with `GET /metrics` is answered with a one-shot
+//! HTTP/1.0 response carrying the same scrape body, after which the
+//! connection closes — enough HTTP for a pull-based collector without
+//! an HTTP server dependency.
 //!
 //! Every request line gets exactly one response line, in submission
 //! order per connection (the connection thread blocks on each
@@ -113,6 +121,22 @@ fn serve_connection(stream: TcpStream, handle: ServeHandle, shutdown_requested: 
         if line.trim().is_empty() {
             continue;
         }
+        if line.starts_with("GET /metrics") {
+            // One-shot HTTP-style scrape; remaining request headers are
+            // never read — the response closes the connection.
+            let body = handle.prometheus();
+            let _ = writer.write_all(
+                format!(
+                    "HTTP/1.0 200 OK\r\n\
+                     Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+                     Content-Length: {}\r\n\
+                     Connection: close\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            );
+            break;
+        }
         let reply = dispatch_line(&line, &handle, &shutdown_requested);
         if writer
             .write_all(reply.as_bytes())
@@ -136,6 +160,11 @@ fn dispatch_line(line: &str, handle: &ServeHandle, shutdown_requested: &AtomicBo
     };
     match doc.get("op").and_then(Value::as_str) {
         Some("metrics") => handle.metrics().to_value().to_json(),
+        Some("prometheus") => Value::Obj(vec![
+            ("ok".into(), Value::Bool(true)),
+            ("text".into(), Value::Str(handle.prometheus())),
+        ])
+        .to_json(),
         Some("shutdown") => {
             shutdown_requested.store(true, Ordering::Release);
             Value::Obj(vec![("ok".into(), Value::Bool(true))]).to_json()
@@ -182,4 +211,24 @@ pub fn fetch_metrics(addr: &SocketAddr) -> std::io::Result<MetricsSnapshot> {
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     MetricsSnapshot::from_value(&doc)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Client-side helper: fetches a Prometheus text-format scrape over a
+/// fresh connection to `addr` (via the NDJSON `prometheus` op).
+pub fn fetch_prometheus(addr: &SocketAddr) -> std::io::Result<String> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let line = roundtrip_line(&mut reader, &mut writer, r#"{"op":"prometheus"}"#)?;
+    let doc = Value::parse(&line)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    doc.get("text")
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "prometheus reply missing 'text'",
+            )
+        })
 }

@@ -93,6 +93,9 @@ struct ServerInner {
     state: Mutex<PoolState>,
     cv: Condvar,
     cache: CorpusCache,
+    /// Instance-private registry holding every `db_serve_*` series;
+    /// merged with the process-global registry at scrape time.
+    registry: db_metrics::Registry,
     metrics: Metrics,
     tracer: Option<RingBufferTracer>,
     seq: AtomicU64,
@@ -125,25 +128,28 @@ impl ServerInner {
         let queue_depth = self.lock().queued_total as u64;
         let m = &self.metrics;
         MetricsSnapshot {
-            admitted: m.admitted.load(Ordering::Relaxed),
-            rejected_capacity: m.rejected_capacity.load(Ordering::Relaxed),
-            rejected_tenant: m.rejected_tenant.load(Ordering::Relaxed),
-            rejected_draining: m.rejected_draining.load(Ordering::Relaxed),
-            completed: m.completed.load(Ordering::Relaxed),
-            expired: m.expired.load(Ordering::Relaxed),
-            errors: m.errors.load(Ordering::Relaxed),
-            steals: m.steals.load(Ordering::Relaxed),
+            admitted: m.admitted.get(),
+            rejected_capacity: m.rejected_capacity.get(),
+            rejected_tenant: m.rejected_tenant.get(),
+            rejected_draining: m.rejected_draining.get(),
+            completed: m.completed.get(),
+            expired: m.expired.get(),
+            errors: m.errors.get(),
+            steals: m.steals.get(),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
             cache_evictions: self.cache.evictions(),
             resident_graphs: resident_graphs as u64,
             resident_bytes: resident_bytes as u64,
             queue_depth,
+            busy_workers: m.busy_workers.get(),
             latency_count: m.latency.count(),
-            latency_mean_us: m.latency.mean_us(),
+            latency_mean_us: m.latency.mean(),
             p50_us: m.latency.quantile(0.50),
             p90_us: m.latency.quantile(0.90),
             p99_us: m.latency.quantile(0.99),
+            p999_us: m.latency.quantile(0.999),
+            max_us: m.latency.max_value(),
         }
     }
 }
@@ -171,26 +177,17 @@ impl ServeHandle {
         let deadline = req.deadline_ms.map(|ms| now + Duration::from_millis(ms));
         let mut st = inner.lock();
         let reject = if st.draining {
-            inner
-                .metrics
-                .rejected_draining
-                .fetch_add(1, Ordering::Relaxed);
+            inner.metrics.rejected_draining.inc();
             Some("server is draining")
         } else if st.queued_total >= inner.cfg.queue_capacity {
-            inner
-                .metrics
-                .rejected_capacity
-                .fetch_add(1, Ordering::Relaxed);
+            inner.metrics.rejected_capacity.inc();
             Some("admission queue full")
         } else if inner
             .cfg
             .tenant_quota
             .is_some_and(|q| st.per_tenant.get(&req.tenant).copied().unwrap_or(0) >= q)
         {
-            inner
-                .metrics
-                .rejected_tenant
-                .fetch_add(1, Ordering::Relaxed);
+            inner.metrics.rejected_tenant.inc();
             Some("tenant over quota")
         } else {
             None
@@ -222,8 +219,9 @@ impl ServeHandle {
         q.insert(pos, job);
         st.queued_total += 1;
         let depth = st.queued_total as u32;
+        inner.metrics.queue_depth.set(st.queued_total as u64);
         drop(st);
-        inner.metrics.admitted.fetch_add(1, Ordering::Relaxed);
+        inner.metrics.admitted.inc();
         inner.trace(u32::MAX, ServeOp::Admit, depth);
         inner.cv.notify_all();
         rx
@@ -252,6 +250,23 @@ impl ServeHandle {
             .map(|t| t.snapshot())
             .unwrap_or_default()
     }
+
+    /// Events the serve trace ring overwrote (0 when tracing is off).
+    pub fn trace_dropped(&self) -> u64 {
+        self.inner.tracer.as_ref().map(|t| t.dropped()).unwrap_or(0)
+    }
+
+    /// Renders a Prometheus text-format scrape: this server instance's
+    /// `db_serve_*` series merged with the process-global registry
+    /// (`db_engine_*` engine counters, `db_sim_*` profiler gauges).
+    pub fn prometheus(&self) -> String {
+        // The queue-depth gauge is updated opportunistically on the hot
+        // path; refresh it from the authoritative count so a scrape of
+        // an idle server is exact.
+        let depth = self.inner.lock().queued_total as u64;
+        self.inner.metrics.queue_depth.set(depth);
+        db_metrics::render(&[&self.inner.registry, db_metrics::global()])
+    }
 }
 
 /// A running multi-tenant traversal server.
@@ -275,6 +290,9 @@ impl Server {
     pub fn start(cfg: ServeConfig) -> Server {
         assert!(cfg.workers > 0, "need at least one worker");
         assert!(cfg.queue_capacity > 0, "need a nonzero admission queue");
+        let registry = db_metrics::Registry::new();
+        let metrics = Metrics::register(&registry);
+        let cache = CorpusCache::new_in(cfg.corpus_budget_bytes, &registry);
         let inner = Arc::new(ServerInner {
             state: Mutex::new(PoolState {
                 queues: (0..cfg.workers).map(|_| VecDeque::new()).collect(),
@@ -283,8 +301,9 @@ impl Server {
                 draining: false,
             }),
             cv: Condvar::new(),
-            cache: CorpusCache::new(cfg.corpus_budget_bytes),
-            metrics: Metrics::default(),
+            cache,
+            registry,
+            metrics,
             tracer: (cfg.trace_capacity > 0).then(|| RingBufferTracer::new(cfg.trace_capacity)),
             seq: AtomicU64::new(0),
             started: Instant::now(),
@@ -394,6 +413,7 @@ fn worker_loop(inner: Arc<ServerInner>, idx: usize) {
             loop {
                 if let Some(job) = st.queues[idx].pop_front() {
                     st.queued_total -= 1;
+                    inner.metrics.queue_depth.set(st.queued_total as u64);
                     if let Some(c) = st.per_tenant.get_mut(&job.req.tenant) {
                         *c = c.saturating_sub(1);
                         if *c == 0 {
@@ -404,7 +424,7 @@ fn worker_loop(inner: Arc<ServerInner>, idx: usize) {
                 }
                 if let Some(victim) = pick_victim(&st, idx, &mut rng) {
                     steal_half(&mut st, idx, victim);
-                    inner.metrics.steals.fetch_add(1, Ordering::Relaxed);
+                    inner.metrics.steals.inc();
                     inner.trace(idx as u32, ServeOp::Steal, victim as u32);
                     continue; // loop around to pop from our own queue
                 }
@@ -429,6 +449,7 @@ fn worker_loop(inner: Arc<ServerInner>, idx: usize) {
 /// Executes one dequeued job end to end: graph resolution, deadline
 /// token, engine run, response delivery, metrics and trace emission.
 fn run_job(inner: &ServerInner, worker: u32, job: Job) {
+    inner.metrics.busy_workers.add(1);
     inner.trace(worker, ServeOp::Start, job.req.id as u32);
     let token = match job.deadline {
         Some(d) => CancelToken::with_deadline(d),
@@ -450,10 +471,10 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) {
     resp.latency_us = latency.as_micros() as u64;
     resp.deadline_missed =
         resp.status == Status::Ok && job.deadline.is_some_and(|d| Instant::now() > d);
-    inner.metrics.latency.record(resp.latency_us);
+    inner.metrics.latency.observe(resp.latency_us);
     match resp.status {
         Status::Ok => {
-            inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.completed.inc();
             inner.trace(
                 worker,
                 ServeOp::Done,
@@ -461,11 +482,11 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) {
             );
         }
         Status::Expired => {
-            inner.metrics.expired.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.expired.inc();
             inner.trace(worker, ServeOp::Expire, job.req.id as u32);
         }
         _ => {
-            inner.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.errors.inc();
             inner.trace(
                 worker,
                 ServeOp::Done,
@@ -473,6 +494,7 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) {
             );
         }
     }
+    inner.metrics.busy_workers.sub(1);
     // The client may have hung up (e.g. a TCP connection dropped);
     // delivery failure is not a server error.
     let _ = job.reply.send(resp);
@@ -552,6 +574,50 @@ mod tests {
             assert_eq!(r.status, Status::Ok);
             assert_eq!(r.payload.get("visited").unwrap().as_u64(), Some(144));
         }
+    }
+
+    #[test]
+    fn prometheus_scrape_merges_instance_and_global_series() {
+        let server = Server::start(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        let h = server.handle();
+        assert_eq!(h.run(req(1, "grid:8:8", 0)).status, Status::Ok);
+        let text = h.prometheus();
+        let exp = db_metrics::validate_exposition(&text).unwrap();
+        let get = |n: &str| exp.samples.iter().find(|s| s.name == n).map(|s| s.value);
+        assert_eq!(get("db_serve_admitted_total"), Some(1.0));
+        assert_eq!(get("db_serve_cache_misses_total"), Some(1.0));
+        assert_eq!(get("db_serve_request_latency_us_count"), Some(1.0));
+        assert_eq!(get("db_serve_queue_depth"), Some(0.0));
+        // The request ran the native engine, which records into the
+        // process-global registry; the merged scrape must carry it.
+        let runs = exp
+            .samples
+            .iter()
+            .find(|s| s.name == "db_engine_runs_total" && s.label("engine") == Some("native"))
+            .expect("global engine series in scrape");
+        assert!(runs.value >= 1.0);
+        // Per-instance isolation: a sibling server's scrape reports its
+        // own zeroed serve counters.
+        let other = Server::start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let other_text = other.handle().prometheus();
+        let other_exp = db_metrics::validate_exposition(&other_text).unwrap();
+        let other_admitted = other_exp
+            .samples
+            .iter()
+            .find(|s| s.name == "db_serve_admitted_total")
+            .unwrap();
+        assert_eq!(other_admitted.value, 0.0);
+        other.shutdown();
+        let m = server.shutdown();
+        assert_eq!(m.latency_count, 1);
+        assert!(m.max_us > 0, "exact max latency must be recorded");
+        assert!(m.p999_us >= m.p50_us);
     }
 
     #[test]

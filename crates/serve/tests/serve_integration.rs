@@ -2,7 +2,7 @@
 //! cross-run outcome determinism, corpus-cache behavior under load,
 //! and the NDJSON TCP front-end.
 
-use db_serve::net::{fetch_metrics, roundtrip_line};
+use db_serve::net::{fetch_metrics, fetch_prometheus, roundtrip_line};
 use db_serve::{EngineKind, Request, Response, ServeConfig, Server, Status, TcpServer, Workload};
 use db_trace::json::Value;
 use db_trace::EventKind;
@@ -235,6 +235,36 @@ fn tcp_endpoint_round_trips() {
     let m = fetch_metrics(&addr).unwrap();
     assert_eq!(m.completed, 2);
     assert_eq!(m.errors, 1);
+
+    // Prometheus scrape over the NDJSON `prometheus` op: valid
+    // exposition agreeing with the snapshot above.
+    let text = fetch_prometheus(&addr).unwrap();
+    let exp = db_metrics::validate_exposition(&text).unwrap();
+    assert!(exp
+        .samples
+        .iter()
+        .any(|s| s.name == "db_serve_requests_total"
+            && s.label("status") == Some("ok")
+            && s.value == 2.0));
+    assert!(exp
+        .samples
+        .iter()
+        .any(|s| s.name == "db_serve_request_latency_us_count" && s.value == 3.0));
+
+    // The same body over the one-shot `GET /metrics` HTTP path.
+    {
+        use std::io::{Read, Write};
+        let http = TcpStream::connect(addr).unwrap();
+        let mut w = http.try_clone().unwrap();
+        w.write_all(b"GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut raw = String::new();
+        BufReader::new(http).read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.0 200 OK\r\n"), "{raw}");
+        assert!(raw.contains("Content-Type: text/plain; version=0.0.4"));
+        let body = raw.split("\r\n\r\n").nth(1).unwrap();
+        db_metrics::validate_exposition(body).unwrap();
+    }
 
     // Shutdown op flags the listener.
     assert!(!tcp.shutdown_requested());

@@ -11,8 +11,16 @@ use crate::event::{EventKind, PhaseKind, ServeOp, TraceEvent};
 use crate::json::Value;
 use std::io::{self, Write};
 
-/// Builds the full Chrome-trace document for `events`.
+/// Builds the full Chrome-trace document for `events` (no drops).
 pub fn chrome_trace_document(events: &[TraceEvent]) -> Value {
+    chrome_trace_document_with_drops(events, 0)
+}
+
+/// Builds the full Chrome-trace document for `events`, recording how
+/// many older events the ring buffer overwrote (`dropped`) in the
+/// document's `otherData.dropped_events` field, so a viewer (or a
+/// later analysis pass) can tell a complete trace from a truncated one.
+pub fn chrome_trace_document_with_drops(events: &[TraceEvent], dropped: u64) -> Value {
     let mut out = Vec::new();
 
     // Metadata: name the tracks. One process per block, one thread per
@@ -56,9 +64,21 @@ pub fn chrome_trace_document(events: &[TraceEvent]) -> Value {
         ("displayTimeUnit".into(), Value::str("ns")),
         (
             "otherData".into(),
-            Value::Obj(vec![("generator".into(), Value::str("db-trace"))]),
+            Value::Obj(vec![
+                ("generator".into(), Value::str("db-trace")),
+                ("dropped_events".into(), Value::u64(dropped)),
+            ]),
         ),
     ])
+}
+
+/// Reads `otherData.dropped_events` back out of a parsed document
+/// (0 for documents written before the field existed).
+pub fn dropped_from_document(doc: &Value) -> u64 {
+    doc.get("otherData")
+        .and_then(|o| o.get("dropped_events"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0)
 }
 
 /// One engine event as a Chrome instant event.
@@ -187,6 +207,19 @@ pub fn write_chrome_trace<W: Write>(events: &[TraceEvent], w: &mut W) -> io::Res
     w.write_all(chrome_trace_document(events).to_json().as_bytes())
 }
 
+/// Like [`write_chrome_trace`], carrying the ring buffer's drop count.
+pub fn write_chrome_trace_with_drops<W: Write>(
+    events: &[TraceEvent],
+    dropped: u64,
+    w: &mut W,
+) -> io::Result<()> {
+    w.write_all(
+        chrome_trace_document_with_drops(events, dropped)
+            .to_json()
+            .as_bytes(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,5 +273,23 @@ mod tests {
             .filter(|v| v.get("ph").and_then(Value::as_str) == Some("M"))
             .count();
         assert_eq!(metas, 2 + 2); // 2 process_name + 2 thread_name
+
+        // A drop-free export records zero dropped events.
+        assert_eq!(dropped_from_document(&parsed), 0);
+    }
+
+    #[test]
+    fn drop_count_rides_in_other_data() {
+        let events = vec![TraceEvent {
+            cycle: 1,
+            block: 0,
+            warp: 0,
+            kind: EventKind::WarpIdle,
+        }];
+        let doc = chrome_trace_document_with_drops(&events, 17);
+        let parsed = Value::parse(&doc.to_json()).unwrap();
+        assert_eq!(dropped_from_document(&parsed), 17);
+        // The drop count never masquerades as an engine event.
+        assert_eq!(events_from_document(&parsed), events);
     }
 }

@@ -50,6 +50,14 @@ fn row(e: &TraceEvent) -> String {
 }
 
 pub fn csv_string(events: &[TraceEvent]) -> String {
+    csv_string_with_drops(events, 0)
+}
+
+/// Like [`csv_string`], appending a `Dropped` trailer row (drop count
+/// in the `entries` column, empty provenance cells) when the ring
+/// buffer overwrote `dropped > 0` older events — the CSV equivalent of
+/// the Chrome exporter's `otherData.dropped_events`.
+pub fn csv_string_with_drops(events: &[TraceEvent], dropped: u64) -> String {
     let mut out = String::with_capacity(events.len() * 32 + CSV_HEADER.len() + 1);
     out.push_str(CSV_HEADER);
     out.push('\n');
@@ -57,11 +65,23 @@ pub fn csv_string(events: &[TraceEvent]) -> String {
         out.push_str(&row(e));
         out.push('\n');
     }
+    if dropped > 0 {
+        out.push_str(&format!(",,,Dropped,,,{dropped},\n"));
+    }
     out
 }
 
 pub fn write_csv<W: Write>(events: &[TraceEvent], w: &mut W) -> io::Result<()> {
     w.write_all(csv_string(events).as_bytes())
+}
+
+/// Like [`write_csv`], carrying the ring buffer's drop count.
+pub fn write_csv_with_drops<W: Write>(
+    events: &[TraceEvent],
+    dropped: u64,
+    w: &mut W,
+) -> io::Result<()> {
+    w.write_all(csv_string_with_drops(events, dropped).as_bytes())
 }
 
 #[cfg(test)]
@@ -111,5 +131,23 @@ mod tests {
         assert!(lines[1].starts_with("1,0,3,Push,42,"));
         assert!(lines[3].contains("StealIntra,,2,4,"));
         assert!(lines[4].ends_with("finish"));
+    }
+
+    #[test]
+    fn dropped_trailer_row_keeps_the_column_count() {
+        let events = vec![TraceEvent {
+            cycle: 1,
+            block: 0,
+            warp: 0,
+            kind: EventKind::WarpIdle,
+        }];
+        let text = csv_string_with_drops(&events, 123);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let cols = CSV_HEADER.split(',').count();
+        assert_eq!(lines[2].split(',').count(), cols, "bad row: {}", lines[2]);
+        assert_eq!(lines[2], ",,,Dropped,,,123,");
+        // No trailer when nothing was dropped.
+        assert_eq!(csv_string_with_drops(&events, 0), csv_string(&events));
     }
 }

@@ -20,6 +20,10 @@
 //!                        diggerbees, native, lockfree, ckl, acr
 //! --trace-format <f>     chrome | csv; default: by extension
 //!                        (.csv → csv, anything else → chrome)
+//! --profile <out>        (diggerbees method only) attribute every
+//!                        simulated cycle of the first source to a
+//!                        phase per SM; writes flamegraph-compatible
+//!                        folded stacks to <out> and prints a summary
 //!
 //! diggerbees serve [options]        run the NDJSON traversal service
 //!
@@ -30,6 +34,14 @@
 //! --budget-mb <n>        corpus-cache budget in MB (default 256)
 //! --trace <out>          write serve events on shutdown
 //! --trace-format <f>     chrome | csv (as above)
+//!
+//! diggerbees metrics [options]      scrape a running server
+//!
+//! --addr <host:port>     server address (default 127.0.0.1:7345)
+//! --json                 print the JSON metrics snapshot instead of
+//!                        the Prometheus text exposition
+//! --check                validate the exposition with the bundled
+//!                        parser; exit nonzero on any malformed line
 //! ```
 //!
 //! Examples:
@@ -51,12 +63,13 @@ use diggerbees::baselines::nvg::{self, NvgConfig};
 use diggerbees::baselines::serial;
 use diggerbees::core::native::{NativeConfig, NativeEngine};
 use diggerbees::core::native_lockfree::LockFreeEngine;
-use diggerbees::core::{run_sim, run_sim_traced, DiggerBeesConfig};
+use diggerbees::core::{run_sim, run_sim_profiled, run_sim_traced, DiggerBeesConfig};
 use diggerbees::gen::Suite;
 use diggerbees::graph::{mm, sources::select_sources, stats::graph_stats, CsrGraph};
+use diggerbees::serve::net::{fetch_metrics, fetch_prometheus};
 use diggerbees::serve::{ServeConfig, Server, TcpServer};
-use diggerbees::sim::MachineModel;
-use diggerbees::trace::{chrome, csv, RingBufferTracer, TraceEvent};
+use diggerbees::sim::{CycleProfiler, MachineModel, SimPhase};
+use diggerbees::trace::{chrome, csv, NullTracer, RingBufferTracer, TraceEvent};
 use std::process::ExitCode;
 
 /// Ring capacity for `--trace`: newest ~4M events are kept (~100 MB);
@@ -105,6 +118,7 @@ struct Args {
     stats: bool,
     trace: Option<String>,
     trace_format: Option<TraceFormat>,
+    profile: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -121,6 +135,7 @@ fn parse_args() -> Result<Args, String> {
         stats: false,
         trace: None,
         trace_format: None,
+        profile: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -141,14 +156,18 @@ fn parse_args() -> Result<Args, String> {
             "--trace-format" => {
                 args.trace_format = Some(TraceFormat::parse(&take("--trace-format")?)?)
             }
+            "--profile" => args.profile = Some(take("--profile")?),
             "--help" | "-h" => {
                 return Err("usage: diggerbees <graph> [--method m] [--machine m] \
                             [--source v] [--sources n] [--blocks n] [--warps n] \
                             [--hot-cutoff n] [--cold-cutoff n] [--stats] \
-                            [--trace out.json] [--trace-format chrome|csv]\n\
+                            [--trace out.json] [--trace-format chrome|csv] \
+                            [--profile out.folded]\n\
                             \x20      diggerbees serve [--addr host:port] [--workers n] \
                             [--queue-cap n] [--tenant-quota n] [--budget-mb n] \
-                            [--trace out.json] [--trace-format chrome|csv]"
+                            [--trace out.json] [--trace-format chrome|csv]\n\
+                            \x20      diggerbees metrics [--addr host:port] [--json] \
+                            [--check]"
                     .into())
             }
             other if args.graph.is_empty() && !other.starts_with('-') => {
@@ -193,8 +212,10 @@ fn machine(name: &str) -> Result<MachineModel, String> {
 }
 
 fn main() -> ExitCode {
-    if std::env::args().nth(1).as_deref() == Some("serve") {
-        return serve_main();
+    match std::env::args().nth(1).as_deref() {
+        Some("serve") => return serve_main(),
+        Some("metrics") => return metrics_main(),
+        _ => {}
     }
     let args = match parse_args() {
         Ok(a) => a,
@@ -230,6 +251,14 @@ fn main() -> ExitCode {
             "--trace is not supported for method '{}' (supported: {})",
             args.method,
             TRACEABLE.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+    if args.profile.is_some() && args.method != "diggerbees" {
+        eprintln!(
+            "--profile attributes simulated cycles and is only supported \
+             for the 'diggerbees' method (got '{}')",
+            args.method
         );
         return ExitCode::FAILURE;
     }
@@ -280,10 +309,21 @@ fn main() -> ExitCode {
         let rt = if ri == 0 { tracer.as_ref() } else { None };
         let mteps = match label {
             "diggerbees" => {
-                let r = match rt {
-                    Some(t) => run_sim_traced(&g, root, &cfg, &m, t),
-                    None => run_sim(&g, root, &cfg, &m),
+                // Only the first source is profiled (same rule as --trace).
+                let profiler = (ri == 0 && args.profile.is_some())
+                    .then(|| CycleProfiler::new(cfg.blocks as usize));
+                let r = match (&profiler, rt) {
+                    (Some(p), Some(t)) => run_sim_profiled(&g, root, &cfg, &m, t, p),
+                    (Some(p), None) => run_sim_profiled(&g, root, &cfg, &m, &NullTracer, p),
+                    (None, Some(t)) => run_sim_traced(&g, root, &cfg, &m, t),
+                    (None, None) => run_sim(&g, root, &cfg, &m),
                 };
+                if let (Some(prof), Some(path)) = (&profiler, &args.profile) {
+                    if let Err(e) = export_profile(prof, path, r.stats.cycles) {
+                        eprintln!("failed to write profile to '{path}': {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
                 println!(
                     "root {root}: {:.1} MTEPS, {} cycles, {} visited, steals {}+{}",
                     r.mteps,
@@ -365,7 +405,7 @@ fn main() -> ExitCode {
         let format = TraceFormat::for_path(args.trace_format, path);
         let dropped = tracer.dropped();
         let events = tracer.snapshot();
-        if let Err(e) = write_trace(file, format, &events) {
+        if let Err(e) = write_trace(file, format, &events, dropped) {
             eprintln!("failed to write trace to '{path}': {e}");
             return ExitCode::FAILURE;
         }
@@ -374,28 +414,115 @@ fn main() -> ExitCode {
             events.len()
         );
         if dropped > 0 {
-            println!(
-                "trace: ring overflowed; oldest {dropped} events dropped \
-                 (capacity {TRACE_CAPACITY})"
+            eprintln!(
+                "warning: trace ring overflowed; oldest {dropped} events dropped \
+                 (capacity {TRACE_CAPACITY}); drop count embedded in the export"
             );
         }
     }
     ExitCode::SUCCESS
 }
 
-/// Writes `events` to an already-opened trace file in the given format.
+/// Writes `events` to an already-opened trace file in the given
+/// format, embedding the ring buffer's drop count (Chrome: an
+/// `otherData.dropped_events` field; CSV: a `Dropped` trailer row).
 fn write_trace(
     file: std::fs::File,
     format: TraceFormat,
     events: &[TraceEvent],
+    dropped: u64,
 ) -> std::io::Result<()> {
     use std::io::Write;
     let mut out = std::io::BufWriter::new(file);
     match format {
-        TraceFormat::Csv => csv::write_csv(events, &mut out)?,
-        TraceFormat::Chrome => chrome::write_chrome_trace(events, &mut out)?,
+        TraceFormat::Csv => csv::write_csv_with_drops(events, dropped, &mut out)?,
+        TraceFormat::Chrome => chrome::write_chrome_trace_with_drops(events, dropped, &mut out)?,
     }
     out.flush()
+}
+
+/// Writes the cycle-attribution profile as flamegraph-compatible
+/// folded stacks (`diggerbees;sm<N>;<phase> <cycles>` lines) and
+/// prints a per-phase summary of where the simulated warp-cycles went.
+fn export_profile(prof: &CycleProfiler, path: &str, makespan: u64) -> std::io::Result<()> {
+    std::fs::write(path, prof.folded_stacks())?;
+    let total: u64 = SimPhase::ALL.iter().map(|&p| prof.total_cycles(p)).sum();
+    println!(
+        "profile: folded stacks for {} SM(s) written to {path} \
+         (makespan {makespan} cycles, {total} warp-cycles attributed)",
+        prof.sms()
+    );
+    for &p in SimPhase::ALL.iter() {
+        let c = prof.total_cycles(p);
+        println!(
+            "profile: {:>12}  {:>14} warp-cycles ({:5.1}%)",
+            p.name(),
+            c,
+            100.0 * c as f64 / total.max(1) as f64
+        );
+    }
+    Ok(())
+}
+
+/// `diggerbees metrics`: scrape a running server over the NDJSON
+/// endpoint — Prometheus text by default, `--json` for the snapshot,
+/// `--check` to validate the exposition with the bundled parser.
+fn metrics_main() -> ExitCode {
+    let mut addr = "127.0.0.1:7345".to_string();
+    let mut json = false;
+    let mut check = false;
+    let mut it = std::env::args().skip(2);
+    let fail = |e: String| {
+        eprintln!("{e}");
+        ExitCode::FAILURE
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = v,
+                None => return fail("--addr requires a value".into()),
+            },
+            "--json" => json = true,
+            "--check" => check = true,
+            other => return fail(format!("unknown argument: {other} (see --help)")),
+        }
+    }
+    use std::net::ToSocketAddrs;
+    let sock = match addr.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+        Some(s) => s,
+        None => return fail(format!("cannot resolve address '{addr}'")),
+    };
+    if json {
+        return match fetch_metrics(&sock) {
+            Ok(m) => {
+                println!("{}", m.to_value().to_json());
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(format!("cannot fetch metrics from {addr}: {e}")),
+        };
+    }
+    let text = match fetch_prometheus(&sock) {
+        Ok(t) => t,
+        Err(e) => return fail(format!("cannot scrape {addr}: {e}")),
+    };
+    if check {
+        match diggerbees::metrics::validate_exposition(&text) {
+            Ok(exp) => {
+                let mut names: Vec<&str> = exp.samples.iter().map(|s| s.name.as_str()).collect();
+                names.dedup();
+                println!(
+                    "ok: {} samples across {} series from {addr}",
+                    exp.samples.len(),
+                    names.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(format!("malformed exposition from {addr}: {e}")),
+        }
+    } else {
+        print!("{text}");
+        ExitCode::SUCCESS
+    }
 }
 
 /// `diggerbees serve`: bind the NDJSON endpoint and run until a client
@@ -467,7 +594,9 @@ fn serve_main() -> ExitCode {
     }
     println!("shutdown requested; draining...");
     tcp.stop();
-    let events = server.handle().trace_events();
+    let handle = server.handle();
+    let events = handle.trace_events();
+    let dropped = handle.trace_dropped();
     let m = server.shutdown();
     println!(
         "served {} ok / {} expired / {} rejected / {} errors; \
@@ -483,13 +612,19 @@ fn serve_main() -> ExitCode {
     );
     if let (Some(path), Some(file)) = (&trace, trace_file) {
         let format = TraceFormat::for_path(trace_format, path);
-        if let Err(e) = write_trace(file, format, &events) {
+        if let Err(e) = write_trace(file, format, &events, dropped) {
             return fail(format!("failed to write trace to '{path}': {e}"));
         }
         println!(
             "trace: {} events written to {path} ({format:?})",
             events.len()
         );
+        if dropped > 0 {
+            eprintln!(
+                "warning: trace ring overflowed; oldest {dropped} events dropped \
+                 (capacity {TRACE_CAPACITY}); drop count embedded in the export"
+            );
+        }
     }
     ExitCode::SUCCESS
 }

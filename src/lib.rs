@@ -18,6 +18,9 @@
 //!   ([`db_baselines`]).
 //! * [`trace`] — typed execution-event tracing: zero-overhead-when-off
 //!   tracer backends plus Chrome-trace and CSV exporters ([`db_trace`]).
+//! * [`metrics`] — lock-light live metrics registry (counters, gauges,
+//!   power-of-two histograms) with Prometheus text exposition and a
+//!   validating parser ([`db_metrics`]).
 //! * [`serve`] — a multi-tenant traversal service: corpus cache,
 //!   admission control, deadline-aware request-stealing worker pool,
 //!   NDJSON TCP front-end ([`db_serve`]).
@@ -48,5 +51,6 @@ pub use db_core as core;
 pub use db_gen as gen;
 pub use db_gpu_sim as sim;
 pub use db_graph as graph;
+pub use db_metrics as metrics;
 pub use db_serve as serve;
 pub use db_trace as trace;
