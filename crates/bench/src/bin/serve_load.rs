@@ -14,17 +14,29 @@
 //! in flight) or `--mode open --rate R` (fixed-rate arrivals,
 //! independent of completions).
 //!
+//! Chaos mode: `--faults <spec>` runs the in-process server under a
+//! deterministic fault plan (fresh injector per run, breaker disabled,
+//! effectively unlimited worker respawns — the same policy as the
+//! `chaos` integration suite, so double runs stay digest-identical even
+//! while workers are being killed). `--allow-failed` tolerates
+//! `failed`/`rejected` responses in the exit status — use it when
+//! driving an external `diggerbees serve --faults` endpoint, where
+//! breaker rejections and retry-exhausted failures are expected.
+//!
 //! Emits a JSON report (default `BENCH_serve.json`) with exact
 //! client-side latency percentiles, throughput, cache hit rate, and
 //! the per-run outcome digest. Exits nonzero on any error response,
-//! any rejection, or a cross-run digest mismatch.
+//! any rejection or failure (unless chaos flags say otherwise), or a
+//! cross-run digest mismatch.
 
+use db_fault::{FaultPlan, Injector};
 use db_serve::net::roundtrip_line;
-use db_serve::{EngineKind, Request, Response, ServeConfig, Server, Status, Workload};
+use db_serve::{EngineKind, Request, Resilience, Response, ServeConfig, Server, Status, Workload};
 use db_trace::json::Value;
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -41,6 +53,8 @@ struct Args {
     out: String,
     addr: Option<String>,
     shutdown: bool,
+    faults: Option<FaultPlan>,
+    allow_failed: bool,
 }
 
 impl Default for Args {
@@ -60,6 +74,8 @@ impl Default for Args {
             out: "BENCH_serve.json".into(),
             addr: None,
             shutdown: false,
+            faults: None,
+            allow_failed: false,
         }
     }
 }
@@ -72,7 +88,8 @@ fn parse_args() -> Args {
         eprintln!(
             "usage: serve_load [--workers N] [--clients N] [--requests N] [--seed S] \
              [--graphs k1,k2,...] [--mode closed|open] [--rate R] [--deadline-ms MS] \
-             [--runs N] [--out FILE] [--addr HOST:PORT] [--shutdown]"
+             [--runs N] [--out FILE] [--addr HOST:PORT] [--shutdown] \
+             [--faults SPEC] [--allow-failed]"
         );
         std::process::exit(2);
     };
@@ -124,6 +141,14 @@ fn parse_args() -> Args {
             "--out" => a.out = val("--out"),
             "--addr" => a.addr = Some(val("--addr")),
             "--shutdown" => a.shutdown = true,
+            "--faults" => {
+                let spec = val("--faults");
+                a.faults = Some(
+                    FaultPlan::parse(&spec)
+                        .unwrap_or_else(|e| die(format!("bad --faults spec '{spec}': {e}"))),
+                )
+            }
+            "--allow-failed" => a.allow_failed = true,
             other => die(format!("unknown flag '{other}'")),
         }
     }
@@ -132,6 +157,14 @@ fn parse_args() -> Args {
     }
     if a.mode != "closed" && a.mode != "open" {
         die(format!("unknown --mode '{}'", a.mode));
+    }
+    if a.faults.is_some() && a.addr.is_some() {
+        die(
+            "--faults injects into the in-process server; against an external \
+             endpoint start `diggerbees serve --faults ...` and pass \
+             --allow-failed here instead"
+                .into(),
+        );
     }
     a
 }
@@ -232,6 +265,7 @@ struct RunReport {
     expired: u64,
     rejected: u64,
     errors: u64,
+    failed: u64,
     digest: u64,
     cache_hit_rate: f64,
     steals: u64,
@@ -263,6 +297,7 @@ fn tally(responses: Vec<Response>, wall: Duration, hit_rate: f64, steals: u64) -
         expired: count(Status::Expired),
         rejected: count(Status::Rejected),
         errors: count(Status::Error),
+        failed: count(Status::Failed),
         digest,
         cache_hit_rate: hit_rate,
         steals,
@@ -271,10 +306,26 @@ fn tally(responses: Vec<Response>, wall: Duration, hit_rate: f64, steals: u64) -
 
 /// One in-process run: fresh server, closed or open loop, drain.
 fn run_in_process(a: &Args, reqs: &[Request]) -> RunReport {
+    // Chaos mode mirrors the chaos integration suite's policy: a fresh
+    // injector per run (so runs replay identically), breaker off and an
+    // effectively unlimited respawn budget (so terminal outcomes depend
+    // only on the plan, never on completion order or worker identity).
+    let resilience = match &a.faults {
+        Some(plan) => Resilience {
+            faults: Some(Arc::new(Injector::new(plan.clone()))),
+            breaker_threshold: 0,
+            restart_budget: 1_000_000,
+            retry_base_ms: 1,
+            retry_cap_ms: 8,
+            ..Resilience::default()
+        },
+        None => Resilience::default(),
+    };
     let server = Server::start(ServeConfig {
         workers: a.workers,
         queue_capacity: reqs.len() + a.clients + 1,
         tenant_quota: None,
+        resilience,
         ..ServeConfig::default()
     });
     let h = server.handle();
@@ -368,13 +419,14 @@ fn report_value(a: &Args, reports: &[RunReport], deterministic: bool) -> Value {
     let runs: Vec<Value> = reports
         .iter()
         .map(|r| {
-            let total = r.ok + r.expired + r.rejected + r.errors;
+            let total = r.ok + r.expired + r.rejected + r.errors + r.failed;
             Value::Obj(vec![
                 ("requests".into(), Value::u64(total)),
                 ("ok".into(), Value::u64(r.ok)),
                 ("expired".into(), Value::u64(r.expired)),
                 ("rejected".into(), Value::u64(r.rejected)),
                 ("errors".into(), Value::u64(r.errors)),
+                ("failed".into(), Value::u64(r.failed)),
                 ("wall_ms".into(), Value::u64(r.wall.as_millis() as u64)),
                 (
                     "throughput_rps".into(),
@@ -452,7 +504,7 @@ fn main() {
     f.write_all(b"\n").expect("write report");
     for (i, r) in reports.iter().enumerate() {
         eprintln!(
-            "run {}: {} ok / {} expired / {} rejected / {} errors; \
+            "run {}: {} ok / {} expired / {} rejected / {} errors / {} failed; \
              p50 {} us, p99 {} us, p99.9 {} us, max {} us, {:.0} req/s, \
              hit rate {:.3}, {} steals, digest {:016x}",
             i + 1,
@@ -460,19 +512,26 @@ fn main() {
             r.expired,
             r.rejected,
             r.errors,
+            r.failed,
             quantile_exact(&r.latencies_us, 0.50),
             quantile_exact(&r.latencies_us, 0.99),
             r.p999_us,
             r.max_us,
-            (r.ok + r.expired + r.rejected + r.errors) as f64 / r.wall.as_secs_f64().max(1e-9),
+            (r.ok + r.expired + r.rejected + r.errors + r.failed) as f64
+                / r.wall.as_secs_f64().max(1e-9),
             r.cache_hit_rate,
             r.steals,
             r.digest,
         );
     }
-    let bad = reports.iter().any(|r| r.errors > 0 || r.rejected > 0);
+    // Under chaos, retry-exhausted failures and breaker rejections are
+    // the fault plan doing its job; invalid-request errors never are.
+    let tolerate = a.faults.is_some() || a.allow_failed;
+    let bad = reports
+        .iter()
+        .any(|r| r.errors > 0 || (!tolerate && (r.rejected > 0 || r.failed > 0)));
     if bad {
-        eprintln!("serve_load: FAILED — error or rejected responses present");
+        eprintln!("serve_load: FAILED — unexpected error/rejected/failed responses present");
         std::process::exit(1);
     }
     if !deterministic {

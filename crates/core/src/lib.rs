@@ -36,6 +36,7 @@
 
 pub mod cancel;
 pub mod config;
+pub mod graph_check;
 pub mod lockfree;
 pub mod native;
 pub mod native_lockfree;
@@ -44,4 +45,5 @@ pub mod stack;
 
 pub use cancel::CancelToken;
 pub use config::{DiggerBeesConfig, StackLevels, VictimPolicy};
-pub use sim::{run_sim, run_sim_profiled, run_sim_traced, SimResult};
+pub use graph_check::{validate_graph, validate_input, GraphError};
+pub use sim::{run_sim, run_sim_faulted, run_sim_profiled, run_sim_traced, SimResult};

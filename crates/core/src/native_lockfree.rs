@@ -107,8 +107,8 @@ impl LockFreeEngine {
     ) -> NativeResult {
         let cfg = self.cfg.algo;
         cfg.validate();
+        crate::graph_check::assert_valid_input(g, root);
         let n = g.num_vertices();
-        assert!((root as usize) < n, "root out of range");
         let nw = cfg.total_warps();
         let cold_cap = ((n as u32) / nw.max(1)).max(4 * cfg.cold_cutoff);
 

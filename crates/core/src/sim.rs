@@ -24,6 +24,7 @@
 
 use crate::config::{DiggerBeesConfig, StackLevels, VictimPolicy};
 use crate::stack::{ColdSeg, HotRing};
+use db_fault::{FaultKind, Injector, Site};
 use db_gpu_sim::{Des, MachineModel, MemPipeline, NoProfiler, Profiler, SimPhase, SimStats};
 use db_graph::{CsrGraph, VertexId, NO_PARENT};
 use db_trace::{EventKind, NullTracer, PhaseKind, TraceEvent, Tracer};
@@ -67,7 +68,29 @@ struct Warp {
     backoff: u64,
 }
 
-struct Engine<'g, 't, 'p, T: Tracer, P: Profiler> {
+/// Outcome of the steal-copy fault check (see [`Engine::fault_steal`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StealFault {
+    None,
+    /// The steal loses its reservation race: entries stay with the victim.
+    Drop,
+    /// The copied entries arrive with corrupted offsets (reset to 0),
+    /// forcing the thief to re-scan their rows.
+    Corrupt,
+}
+
+/// Dense code carried by [`EventKind::Fault`] trace events.
+fn fault_code(kind: &FaultKind) -> u32 {
+    match kind {
+        FaultKind::Kill => 0,
+        FaultKind::Stall { .. } => 1,
+        FaultKind::SlowDown { .. } => 2,
+        FaultKind::CorruptResult => 3,
+        FaultKind::DropSteal => 4,
+    }
+}
+
+struct Engine<'g, 't, 'p, 'f, T: Tracer, P: Profiler> {
     g: &'g CsrGraph,
     tracer: &'t T,
     profiler: &'p P,
@@ -90,12 +113,19 @@ struct Engine<'g, 't, 'p, T: Tracer, P: Profiler> {
     active_total: u32,
     trace: Vec<(u64, u32)>,
     trace_next: u64,
+    /// Fault injector, when running under a chaos plan. `None` keeps the
+    /// fault-free fast path: every check site is a single `is_some` test.
+    injector: Option<&'f Injector>,
+    /// Per-block kill flags — a dead SM never dispatches again.
+    dead: Vec<bool>,
+    /// True once any block died; gates all recovery bookkeeping.
+    any_dead: bool,
 }
 
 const BACKOFF_START: u64 = 64;
 const BACKOFF_MAX: u64 = 4096;
 
-impl<'g, 't, 'p, T: Tracer, P: Profiler> Engine<'g, 't, 'p, T, P> {
+impl<'g, 't, 'p, 'f, T: Tracer, P: Profiler> Engine<'g, 't, 'p, 'f, T, P> {
     fn new(
         g: &'g CsrGraph,
         root: VertexId,
@@ -103,6 +133,7 @@ impl<'g, 't, 'p, T: Tracer, P: Profiler> Engine<'g, 't, 'p, T, P> {
         m: MachineModel,
         tracer: &'t T,
         profiler: &'p P,
+        injector: Option<&'f Injector>,
     ) -> Self {
         cfg.validate();
         let n = g.num_vertices();
@@ -145,6 +176,9 @@ impl<'g, 't, 'p, T: Tracer, P: Profiler> Engine<'g, 't, 'p, T, P> {
             active_total: 0,
             trace: Vec::new(),
             trace_next: 0,
+            injector,
+            dead: vec![false; cfg.blocks as usize],
+            any_dead: false,
         };
         // Initialization (§3.6): root into warp 0's HotRing.
         eng.visited[root as usize] = true;
@@ -251,17 +285,112 @@ impl<'g, 't, 'p, T: Tracer, P: Profiler> Engine<'g, 't, 'p, T, P> {
         1 + k / 16
     }
 
+    /// Evaluates the fault plan at `site` for warp `w`'s SM.
+    #[inline]
+    fn fault(&self, site: Site, w: u32, now: u64) -> Option<FaultKind> {
+        self.injector?.check(site, self.block_of(w), now)
+    }
+
+    /// Records a strike on the trace timeline.
+    fn emit_fault(&self, w: u32, now: u64, kind: FaultKind) {
+        self.emit(
+            w,
+            now,
+            EventKind::Fault {
+                code: fault_code(&kind),
+            },
+        );
+    }
+
+    /// Ring-site fault check (push/pop): only `Stall` applies there; the
+    /// returned extra cycles are added to the step's cost.
+    fn ring_fault(&self, site: Site, w: u32, now: u64) -> u64 {
+        match self.fault(site, w, now) {
+            Some(k @ FaultKind::Stall { cycles }) => {
+                self.emit_fault(w, now, k);
+                cycles
+            }
+            _ => 0,
+        }
+    }
+
+    /// Steal-copy fault check, shared by the intra and inter reserve steps.
+    fn fault_steal(&self, w: u32, now: u64) -> StealFault {
+        match self.fault(Site::StealCopy, w, now) {
+            Some(k @ FaultKind::DropSteal) => {
+                self.emit_fault(w, now, k);
+                StealFault::Drop
+            }
+            Some(k @ FaultKind::CorruptResult) => {
+                self.emit_fault(w, now, k);
+                StealFault::Corrupt
+            }
+            _ => StealFault::None,
+        }
+    }
+
+    /// An injected kill: warp `w`'s whole SM stops dispatching forever.
+    /// Each warp's HotRing is spilled into its ColdSeg (the global-memory
+    /// level survives the SM) so survivors can re-steal the stranded work
+    /// through the recovery path (`select_dead_victim`).
+    fn kill_block(&mut self, w: u32, now: u64) {
+        let b = self.block_of(w);
+        let wpb = self.cfg.warps_per_block;
+        for peer in b * wpb..(b + 1) * wpb {
+            let n = self.warps[peer as usize].hot.len();
+            if n > 0 {
+                let spilled = self.warps[peer as usize].hot.take_from_tail(n);
+                self.warps[peer as usize].cold.push_top(&spilled);
+                self.note_high_water(peer);
+            }
+            self.set_active(peer, false);
+        }
+        self.dead[b as usize] = true;
+        self.any_dead = true;
+        self.stats.sms_killed += 1;
+        self.emit_fault(w, now, FaultKind::Kill);
+    }
+
     /// One protocol step for warp `w`. Returns the cycle cost, or `None`
-    /// to park the warp (traversal finished).
+    /// to park the warp (traversal finished, SM killed, or stranded work
+    /// that can never be recovered).
     fn step(&mut self, w: u32, now: u64) -> Option<u64> {
-        match self.warps[w as usize].phase {
+        let mut scale = 1.0f64;
+        if self.injector.is_some() {
+            if self.dead[self.block_of(w) as usize] {
+                return None;
+            }
+            match self.fault(Site::Dispatch, w, now) {
+                Some(FaultKind::Kill) => {
+                    self.kill_block(w, now);
+                    return None;
+                }
+                Some(k @ FaultKind::Stall { cycles }) => {
+                    self.emit_fault(w, now, k);
+                    let cost = cycles.max(1);
+                    self.prof(w, SimPhase::Idle, cost);
+                    return Some(cost);
+                }
+                Some(k @ FaultKind::SlowDown { factor }) => {
+                    self.emit_fault(w, now, k);
+                    scale = factor;
+                }
+                _ => {}
+            }
+        }
+        let cost = match self.warps[w as usize].phase {
             Phase::Working => Some(self.step_working(w, now)),
             Phase::IdleScan => self.step_idle_scan(w),
             Phase::IntraReserve { victim } => Some(self.step_intra_reserve(w, victim, now)),
             Phase::InterReserve { victim_warp } => {
                 Some(self.step_inter_reserve(w, victim_warp, now))
             }
-        }
+        }?;
+        Some(if scale > 1.0 {
+            (cost as f64 * scale).ceil() as u64
+        } else {
+            cost
+        })
     }
 
     fn step_working(&mut self, w: u32, now: u64) -> u64 {
@@ -300,7 +429,9 @@ impl<'g, 't, 'p, T: Tracer, P: Profiler> Engine<'g, 't, 'p, T, P> {
             if self.live == 0 && self.finish.is_none() {
                 self.finish = Some(now + self.stack_op_cost());
             }
-            let cost = self.stack_op_cost() + self.mem.charge(now, self.stack_op_trans());
+            let cost = self.stack_op_cost()
+                + self.mem.charge(now, self.stack_op_trans())
+                + self.ring_fault(Site::RingPop, w, now);
             self.prof(w, SimPhase::RingPop, cost);
             return cost;
         }
@@ -337,7 +468,7 @@ impl<'g, 't, 'p, T: Tracer, P: Profiler> Engine<'g, 't, 'p, T, P> {
                 let push_cost = 2 * self.stack_op_cost();
                 self.prof(w, SimPhase::Expand, expand_cost);
                 self.prof(w, SimPhase::RingPush, push_cost);
-                let mut cost = expand_cost + push_cost;
+                let mut cost = expand_cost + push_cost + self.ring_fault(Site::RingPush, w, now);
                 if self.warps[wi].hot.is_full() {
                     cost += self.flush(w, now);
                 }
@@ -386,6 +517,20 @@ impl<'g, 't, 'p, T: Tracer, P: Profiler> Engine<'g, 't, 'p, T, P> {
     fn step_idle_scan(&mut self, w: u32) -> Option<u64> {
         if self.live == 0 {
             return None; // traversal complete — park
+        }
+        if self.any_dead {
+            // Stranded-work guard: if every remaining live entry sits on
+            // a killed SM and no recovery path exists (no inter-block
+            // stealing), idle warps would spin on `live > 0` forever.
+            // Park instead; the DES drains and the run terminates with
+            // the stranded vertices unvisited.
+            let stranded: u64 = (0..self.cfg.blocks as usize)
+                .filter(|&db| self.dead[db])
+                .map(|db| self.pending[db])
+                .sum();
+            if stranded == self.live && !(self.cfg.inter_block && self.cfg.blocks > 1) {
+                return None;
+            }
         }
         let b = self.block_of(w);
         let wpb = self.cfg.warps_per_block;
@@ -437,9 +582,36 @@ impl<'g, 't, 'p, T: Tracer, P: Profiler> Engine<'g, 't, 'p, T, P> {
         Some(cost)
     }
 
+    /// Recovery pre-pass: a killed SM never re-activates, so its stacks
+    /// are drained outside the normal victim discipline — the active
+    /// mask (dead blocks are inactive by definition) and the cold cutoff
+    /// (every stranded entry matters) are both ignored. Returns the
+    /// dead-block warp holding the most stranded entries.
+    fn select_dead_victim(&self, my_block: u32) -> Option<u32> {
+        let wpb = self.cfg.warps_per_block;
+        let mut best: Option<(u64, u32)> = None;
+        for b in 0..self.cfg.blocks {
+            if b == my_block || !self.dead[b as usize] {
+                continue;
+            }
+            for peer in b * wpb..(b + 1) * wpb {
+                let rest = self.warps[peer as usize].cold.len();
+                if rest > 0 && best.is_none_or(|(br, _)| rest > br) {
+                    best = Some((rest, peer));
+                }
+            }
+        }
+        best.map(|(_, vw)| vw)
+    }
+
     /// Steps 1–2 of Algorithm 4: pick a victim block (two-choice or
     /// random), then the warp with max `cold_rest` inside it.
     fn select_inter_victim(&mut self, my_block: u32) -> Option<u32> {
+        if self.any_dead {
+            if let Some(vw) = self.select_dead_victim(my_block) {
+                return Some(vw);
+            }
+        }
         let nb = self.cfg.blocks;
         let sample = |rng: &mut SmallRng| -> u32 { rng.gen_range(0..nb) };
         let candidate = match self.cfg.victim_policy {
@@ -514,8 +686,31 @@ impl<'g, 't, 'p, T: Tracer, P: Profiler> Engine<'g, 't, 'p, T, P> {
             self.prof(w, SimPhase::StealSearch, cas_cost);
             return cas_cost;
         }
+        let steal_fault = self.fault_steal(w, now);
+        if steal_fault == StealFault::Drop {
+            // The reservation is lost exactly as a CAS race would lose it.
+            self.stats.steal_failures += 1;
+            self.warps[w as usize].phase = Phase::IdleScan;
+            self.emit(
+                w,
+                now,
+                EventKind::StealFail {
+                    victim: victim % self.cfg.warps_per_block,
+                },
+            );
+            self.prof(w, SimPhase::StealSearch, cas_cost);
+            return cas_cost;
+        }
         let h_s = self.cfg.hot_steal_batch() as u64;
-        let entries = self.warps[victim as usize].hot.take_from_tail(h_s);
+        let mut entries = self.warps[victim as usize].hot.take_from_tail(h_s);
+        if steal_fault == StealFault::Corrupt {
+            // Corrupted copy: offsets reset to 0, so the thief re-scans
+            // each row from the start. Progress is preserved (visited
+            // checks absorb the re-scan); only cycles are lost.
+            for e in entries.iter_mut() {
+                e.1 = 0;
+            }
+        }
         let k = entries.len() as u64;
         self.warps[w as usize].hot.push_batch(&entries);
         self.note_high_water(w);
@@ -545,7 +740,17 @@ impl<'g, 't, 'p, T: Tracer, P: Profiler> Engine<'g, 't, 'p, T, P> {
     /// Steps 3–4 of Algorithm 4: re-validate, reserve via global CAS,
     /// remote transfer into the thief's HotRing.
     fn step_inter_reserve(&mut self, w: u32, victim_warp: u32, now: u64) -> u64 {
-        if self.warps[victim_warp as usize].cold.len() < self.cfg.cold_cutoff as u64 {
+        let vb = self.block_of(victim_warp) as usize;
+        let dead_victim = self.any_dead && self.dead[vb];
+        // Recovery steals from killed SMs relax the cutoff to a single
+        // entry: stranded work must drain completely, not just while it
+        // is plentiful.
+        let threshold = if dead_victim {
+            1
+        } else {
+            self.cfg.cold_cutoff as u64
+        };
+        if self.warps[victim_warp as usize].cold.len() < threshold {
             self.stats.steal_failures += 1;
             self.warps[w as usize].phase = Phase::IdleScan;
             self.emit(
@@ -558,12 +763,31 @@ impl<'g, 't, 'p, T: Tracer, P: Profiler> Engine<'g, 't, 'p, T, P> {
             self.prof(w, SimPhase::StealSearch, self.m.costs.atomic_global);
             return self.m.costs.atomic_global;
         }
+        // The recovery path is the resilience mechanism itself and is
+        // exempt from steal-site faults — otherwise an `always` DropSteal
+        // rule could strand killed work forever.
+        let steal_fault = if dead_victim {
+            StealFault::None
+        } else {
+            self.fault_steal(w, now)
+        };
+        if steal_fault == StealFault::Drop {
+            self.stats.steal_failures += 1;
+            self.warps[w as usize].phase = Phase::IdleScan;
+            self.emit(w, now, EventKind::StealFail { victim: vb as u32 });
+            self.prof(w, SimPhase::StealSearch, self.m.costs.atomic_global);
+            return self.m.costs.atomic_global;
+        }
         let c_s = self.cfg.cold_steal_batch() as u64;
-        let entries = self.warps[victim_warp as usize].cold.take_from_bottom(c_s);
+        let mut entries = self.warps[victim_warp as usize].cold.take_from_bottom(c_s);
+        if steal_fault == StealFault::Corrupt {
+            for e in entries.iter_mut() {
+                e.1 = 0;
+            }
+        }
         let k = entries.len() as u64;
         self.warps[w as usize].hot.push_batch(&entries);
         self.note_high_water(w);
-        let vb = self.block_of(victim_warp) as usize;
         let mb = self.block_of(w) as usize;
         self.pending[vb] -= k;
         self.pending[mb] += k;
@@ -576,6 +800,17 @@ impl<'g, 't, 'p, T: Tracer, P: Profiler> Engine<'g, 't, 'p, T, P> {
                 entries: k as u32,
             },
         );
+        if dead_victim {
+            self.stats.entries_recovered += k;
+            self.emit(
+                w,
+                now,
+                EventKind::Recover {
+                    victim_block: vb as u32,
+                    entries: k as u32,
+                },
+            );
+        }
         self.set_active(w, true);
         self.warps[w as usize].phase = Phase::Working;
         self.warps[w as usize].backoff = BACKOFF_START;
@@ -636,7 +871,53 @@ pub fn run_sim_profiled<T: Tracer, P: Profiler>(
     tracer: &T,
     profiler: &P,
 ) -> SimResult {
-    let mut eng = Engine::new(g, root, *cfg, m.clone(), tracer, profiler);
+    run_impl(g, root, cfg, m, tracer, profiler, None)
+}
+
+/// [`run_sim_traced`] under a deterministic fault [`Injector`].
+///
+/// The plan's SM-domain rules strike the simulated machine at four
+/// sites: **dispatch** (`kill` halts the whole SM and spills its
+/// HotRings to the ColdSegs; `stall` parks the warp for N cycles;
+/// `slow` scales the step's cost), **ring push / ring pop** (`stall`
+/// adds latency), and **steal copy** (`dropsteal` loses the
+/// reservation race; `corrupt` resets the stolen offsets, forcing a
+/// harmless re-scan). A killed SM's stranded work is re-stolen by
+/// surviving blocks through a recovery path that ignores the active
+/// mask and cold cutoff — when inter-block stealing is enabled the
+/// traversal still completes, bit-identical to the fault-free run.
+/// When it is disabled, idle warps park once every live entry is
+/// stranded, so the run terminates (with unvisited vertices) instead
+/// of spinning.
+///
+/// Determinism: faults are pure functions of the plan and per-site
+/// draw counters (see `db-fault`), so same plan + same inputs ⇒ same
+/// injection log, same result, same cycle count. The injector's log
+/// and counters accumulate; [`SimStats::faults_injected`] records only
+/// this run's strikes.
+pub fn run_sim_faulted<T: Tracer>(
+    g: &CsrGraph,
+    root: VertexId,
+    cfg: &DiggerBeesConfig,
+    m: &MachineModel,
+    tracer: &T,
+    injector: &Injector,
+) -> SimResult {
+    run_impl(g, root, cfg, m, tracer, &NoProfiler, Some(injector))
+}
+
+fn run_impl<T: Tracer, P: Profiler>(
+    g: &CsrGraph,
+    root: VertexId,
+    cfg: &DiggerBeesConfig,
+    m: &MachineModel,
+    tracer: &T,
+    profiler: &P,
+    injector: Option<&Injector>,
+) -> SimResult {
+    crate::graph_check::assert_valid_input(g, root);
+    let faults_before = injector.map_or(0, Injector::injected);
+    let mut eng = Engine::new(g, root, *cfg, m.clone(), tracer, profiler, injector);
     eng.emit(
         0,
         0,
@@ -669,6 +950,12 @@ pub fn run_sim_profiled<T: Tracer, P: Profiler>(
             phase: PhaseKind::Finish,
         },
     );
+    if let Some(inj) = injector {
+        eng.stats.faults_injected = inj.injected() - faults_before;
+        eng.stats.blocks_recovered = (0..cfg.blocks as usize)
+            .filter(|&b| eng.dead[b] && eng.pending[b] == 0)
+            .count() as u64;
+    }
     eng.stats.record_to(db_metrics::global(), "sim");
     let mteps = eng.m.mteps(eng.stats.edges_traversed, cycles);
     SimResult {

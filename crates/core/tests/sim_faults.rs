@@ -1,0 +1,206 @@
+//! Chaos tests for the simulated engine: killed SMs must have their
+//! stranded work re-stolen by survivors, and fault injection must be
+//! deterministic end to end (property (b) of the fault-plan suite:
+//! same seed + plan ⇒ identical injection logs across two runs).
+
+use db_core::{run_sim, run_sim_faulted, DiggerBeesConfig};
+use db_fault::{FaultPlan, Injector};
+use db_gpu_sim::MachineModel;
+use db_graph::validate::{check_reachability, check_spanning_tree};
+use db_graph::{CsrGraph, GraphBuilder};
+use proptest::prelude::*;
+
+fn grid(w: u32, h: u32) -> CsrGraph {
+    let mut b = GraphBuilder::undirected(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                b.edge(y * w + x, y * w + x + 1);
+            }
+            if y + 1 < h {
+                b.edge(y * w + x, (y + 1) * w + x);
+            }
+        }
+    }
+    b.build()
+}
+
+fn cfg() -> DiggerBeesConfig {
+    DiggerBeesConfig {
+        blocks: 4,
+        warps_per_block: 4,
+        hot_size: 16,
+        hot_cutoff: 4,
+        cold_cutoff: 8,
+        flush_batch: 8,
+        ..Default::default()
+    }
+}
+
+fn injector(spec: &str) -> Injector {
+    Injector::new(FaultPlan::parse(spec).unwrap())
+}
+
+#[test]
+fn killed_sm_work_is_recovered_by_survivors() {
+    let g = grid(50, 50);
+    let m = MachineModel::h100();
+    let baseline = run_sim(&g, 0, &cfg(), &m);
+
+    let inj = injector("kill:sm=0@cycle=2000");
+    let r = run_sim_faulted(&g, 0, &cfg(), &m, &db_trace::NullTracer, &inj);
+
+    // The kill actually struck the SM that owned the root's work.
+    assert_eq!(r.stats.sms_killed, 1, "SM 0 must die");
+    assert!(r.stats.faults_injected >= 1);
+    assert!(
+        r.stats.entries_recovered > 0,
+        "survivors must re-steal stranded entries"
+    );
+    assert_eq!(r.stats.blocks_recovered, 1, "SM 0 must drain completely");
+
+    // Despite losing an SM mid-run, the traversal is complete and the
+    // reachable set is bit-identical to the fault-free run.
+    assert_eq!(r.visited, baseline.visited);
+    check_reachability(&g, 0, &r.visited).unwrap();
+    check_spanning_tree(&g, 0, &r.visited, &r.parent).unwrap();
+}
+
+#[test]
+fn recovery_shows_up_in_the_trace() {
+    use db_trace::{EventKind, RingBufferTracer};
+    let g = grid(50, 50);
+    let tracer = RingBufferTracer::new(1 << 18);
+    let inj = injector("kill:sm=0@cycle=2000");
+    let r = run_sim_faulted(&g, 0, &cfg(), &MachineModel::h100(), &tracer, &inj);
+    assert!(r.stats.entries_recovered > 0);
+
+    let events = tracer.snapshot();
+    let faults = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Fault { .. }))
+        .count();
+    let recovered: u64 = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Recover {
+                victim_block: 0,
+                entries,
+            } => Some(entries as u64),
+            _ => None,
+        })
+        .sum();
+    assert!(faults >= 1, "kill must appear on the trace timeline");
+    assert_eq!(
+        recovered, r.stats.entries_recovered,
+        "trace recovery events must account for every recovered entry"
+    );
+}
+
+#[test]
+fn kill_without_inter_block_terminates_with_stranded_work() {
+    let g = grid(50, 50);
+    let m = MachineModel::h100();
+    let baseline = run_sim(&g, 0, &cfg(), &m);
+    let no_inter = DiggerBeesConfig {
+        inter_block: false,
+        ..cfg()
+    };
+    let inj = injector("kill:sm=0@cycle=2000");
+    // Must terminate (stranded-work guard parks the idle survivors)
+    // rather than spin on live > 0 forever.
+    let r = run_sim_faulted(&g, 0, &no_inter, &m, &db_trace::NullTracer, &inj);
+    assert_eq!(r.stats.sms_killed, 1);
+    assert_eq!(r.stats.blocks_recovered, 0, "nobody can reach SM 0's work");
+    let visited = r.visited.iter().filter(|&&v| v).count();
+    let full = baseline.visited.iter().filter(|&&v| v).count();
+    assert!(
+        visited < full,
+        "stranded work must be missing ({visited} vs {full})"
+    );
+}
+
+#[test]
+fn empty_plan_is_bit_identical_to_fault_free() {
+    let g = grid(40, 40);
+    let m = MachineModel::h100();
+    let baseline = run_sim(&g, 0, &cfg(), &m);
+    let inj = injector("");
+    let r = run_sim_faulted(&g, 0, &cfg(), &m, &db_trace::NullTracer, &inj);
+    assert_eq!(r.visited, baseline.visited);
+    assert_eq!(r.parent, baseline.parent);
+    assert_eq!(r.stats.cycles, baseline.stats.cycles);
+    assert_eq!(r.stats.steals_intra, baseline.stats.steals_intra);
+    assert_eq!(r.stats.steals_inter, baseline.stats.steals_inter);
+    assert_eq!(r.stats.faults_injected, 0);
+    assert_eq!(inj.injected(), 0);
+}
+
+#[test]
+fn dropsteal_and_corrupt_preserve_correctness() {
+    let g = grid(40, 40);
+    let inj = injector("seed=1;dropsteal:sm=*@p=0.5;corrupt:sm=*@p=0.5");
+    let r = run_sim_faulted(
+        &g,
+        0,
+        &cfg(),
+        &MachineModel::h100(),
+        &db_trace::NullTracer,
+        &inj,
+    );
+    assert!(r.stats.faults_injected > 0, "the plan must actually strike");
+    check_reachability(&g, 0, &r.visited).unwrap();
+    check_spanning_tree(&g, 0, &r.visited, &r.parent).unwrap();
+}
+
+#[test]
+fn stalls_and_slowdowns_cost_cycles() {
+    let g = grid(30, 30);
+    let m = MachineModel::h100();
+    let baseline = run_sim(&g, 0, &cfg(), &m);
+
+    let stall = injector("seed=2;stall=500:sm=*@p=0.5");
+    let rs = run_sim_faulted(&g, 0, &cfg(), &m, &db_trace::NullTracer, &stall);
+    assert!(rs.stats.faults_injected > 0);
+    assert!(
+        rs.stats.cycles > baseline.stats.cycles,
+        "stalls must slow the run ({} vs {})",
+        rs.stats.cycles,
+        baseline.stats.cycles
+    );
+
+    let slow = injector("slow=4:sm=*@always");
+    let rw = run_sim_faulted(&g, 0, &cfg(), &m, &db_trace::NullTracer, &slow);
+    assert!(
+        rw.stats.cycles > baseline.stats.cycles,
+        "a 4x slowdown must slow the run ({} vs {})",
+        rw.stats.cycles,
+        baseline.stats.cycles
+    );
+    check_reachability(&g, 0, &rs.visited).unwrap();
+    check_reachability(&g, 0, &rw.visited).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Property (b): same seed + plan ⇒ identical injection site/cycle
+    /// logs and identical results across two sim runs.
+    #[test]
+    fn same_seed_and_plan_replay_identically(seed in 0u64..1_000_000) {
+        let g = grid(30, 30);
+        let m = MachineModel::h100();
+        let spec = format!(
+            "seed={seed};dropsteal:sm=*@p=0.3;stall=50:sm=*@p=0.05;corrupt:sm=*@p=0.1"
+        );
+        let ia = injector(&spec);
+        let ib = injector(&spec);
+        let a = run_sim_faulted(&g, 0, &cfg(), &m, &db_trace::NullTracer, &ia);
+        let b = run_sim_faulted(&g, 0, &cfg(), &m, &db_trace::NullTracer, &ib);
+        prop_assert_eq!(ia.log_lines(), ib.log_lines());
+        prop_assert_eq!(a.visited, b.visited);
+        prop_assert_eq!(a.parent, b.parent);
+        prop_assert_eq!(a.stats.cycles, b.stats.cycles);
+        prop_assert_eq!(a.stats.faults_injected, b.stats.faults_injected);
+    }
+}

@@ -1,0 +1,417 @@
+//! The deterministic fault injector: evaluates a [`FaultPlan`] at named
+//! injection sites and records every strike in an injection log.
+//!
+//! Determinism contract: probability draws come from a counter-free
+//! splitmix64 hash over `(seed, rule index, site, key)`, where the key
+//! is the sim's per-site check counter (the DES makes check order
+//! reproducible) or serve's `(request id, attempt)` pair (so thread
+//! interleaving cannot change which requests are struck). Two runs
+//! under the same plan therefore produce the same injection decisions;
+//! the sim's log is identical line-for-line, serve's is identical as a
+//! sorted multiset (worker indices are scheduling-dependent and are
+//! excluded from serve log lines).
+
+use crate::plan::{Domain, FaultKind, FaultPlan, Trigger};
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Mutex;
+
+/// An injection site — where in the pipeline a fault check happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Site {
+    /// Sim: an SM dispatches a warp step.
+    Dispatch,
+    /// Sim: a HotRing push.
+    RingPush,
+    /// Sim: a HotRing pop.
+    RingPop,
+    /// Sim: a steal reservation/copy (intra- or inter-block).
+    StealCopy,
+    /// Serve: a worker is about to execute a request attempt.
+    Request,
+}
+
+impl Site {
+    /// Stable lowercase name used in log lines.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Site::Dispatch => "dispatch",
+            Site::RingPush => "ring_push",
+            Site::RingPop => "ring_pop",
+            Site::StealCopy => "steal_copy",
+            Site::Request => "request",
+        }
+    }
+
+    fn index(&self) -> u64 {
+        match self {
+            Site::Dispatch => 0,
+            Site::RingPush => 1,
+            Site::RingPop => 2,
+            Site::StealCopy => 3,
+            Site::Request => 4,
+        }
+    }
+
+    fn domain(&self) -> Domain {
+        match self {
+            Site::Request => Domain::Worker,
+            _ => Domain::Sm,
+        }
+    }
+}
+
+/// Which kinds may strike at which site — rules outside their layer
+/// simply never fire (a `dropsteal:worker=…` rule is inert, not an
+/// error, so one spec string can drive sim and serve together).
+fn applies_at(kind: &FaultKind, site: Site) -> bool {
+    match kind {
+        FaultKind::Kill | FaultKind::SlowDown { .. } => {
+            matches!(site, Site::Dispatch | Site::Request)
+        }
+        FaultKind::Stall { .. } => matches!(
+            site,
+            Site::Dispatch | Site::RingPush | Site::RingPop | Site::Request
+        ),
+        FaultKind::CorruptResult => matches!(site, Site::StealCopy | Site::Request),
+        FaultKind::DropSteal => matches!(site, Site::StealCopy),
+    }
+}
+
+/// One recorded strike.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Injection {
+    /// The site that was struck.
+    pub site: Site,
+    /// SM index (sim sites) or worker index (serve). Worker indices are
+    /// scheduling-dependent and excluded from [`Injection::line`].
+    pub unit: u32,
+    /// Simulated cycle (sim sites) or request id (serve).
+    pub at: u64,
+    /// What struck.
+    pub kind: FaultKind,
+}
+
+impl Injection {
+    /// Canonical log line. Sim lines carry the SM and cycle; serve
+    /// lines carry the request id only, so same-seed double runs
+    /// compare equal as sorted multisets regardless of which worker
+    /// picked the request up.
+    pub fn line(&self) -> String {
+        match self.site {
+            Site::Request => format!("{} req={} {}", self.site.name(), self.at, self.kind),
+            _ => format!(
+                "{} sm={} cycle={} {}",
+                self.site.name(),
+                self.unit,
+                self.at,
+                self.kind
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Injection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.line())
+    }
+}
+
+#[derive(Debug, Default)]
+struct InjectState {
+    /// `(rule index, unit)` pairs whose one-shot `cycle=` trigger fired.
+    fired: HashSet<(usize, u32)>,
+    /// Per-site deterministic draw counters (sim sites only).
+    draws: [u64; 5],
+    log: Vec<Injection>,
+}
+
+/// Evaluates a [`FaultPlan`] and keeps the injection log.
+///
+/// Thread-safe: serve workers share one injector behind an `Arc`; the
+/// sim owns one per run. All decisions are pure functions of the plan,
+/// the seed, and deterministic keys — never of wall-clock time.
+#[derive(Debug)]
+pub struct Injector {
+    plan: FaultPlan,
+    state: Mutex<InjectState>,
+}
+
+impl Injector {
+    /// Wraps a plan. An empty plan yields an injector that never fires.
+    pub fn new(plan: FaultPlan) -> Injector {
+        Injector {
+            plan,
+            state: Mutex::new(InjectState::default()),
+        }
+    }
+
+    /// The wrapped plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Sim-side check: should a fault strike `site` on SM `sm` at
+    /// simulated cycle `cycle`? The first matching rule wins. Strikes
+    /// are appended to the log.
+    pub fn check(&self, site: Site, sm: u32, cycle: u64) -> Option<FaultKind> {
+        debug_assert_ne!(site, Site::Request, "use check_request for serve");
+        if self.plan.rules.is_empty() {
+            return None;
+        }
+        let mut st = self.lock();
+        // Every check at a probabilistic site consumes one draw even if
+        // no rule fires, so rule ordering cannot alias streams.
+        let draw_key = st.draws[site.index() as usize];
+        st.draws[site.index() as usize] += 1;
+        for (i, rule) in self.plan.rules.iter().enumerate() {
+            if rule.target.domain != site.domain() || !applies_at(&rule.kind, site) {
+                continue;
+            }
+            if let Some(u) = rule.target.unit {
+                if u != sm {
+                    continue;
+                }
+            }
+            let fires = match rule.trigger {
+                Trigger::AtCycle(c) => cycle >= c && st.fired.insert((i, sm)),
+                Trigger::OnRequest(_) => false,
+                Trigger::Prob(p) => self.bernoulli(i, site, draw_key, p),
+                Trigger::Always => true,
+            };
+            if fires {
+                let inj = Injection {
+                    site,
+                    unit: sm,
+                    at: cycle,
+                    kind: rule.kind,
+                };
+                st.log.push(inj);
+                return Some(rule.kind);
+            }
+        }
+        None
+    }
+
+    /// Serve-side check: should a fault strike the execution of request
+    /// `req_id` (attempt `attempt`, 0-based) on worker `worker`?
+    /// Decisions are keyed on `(req_id, attempt)`, never on the worker
+    /// or on arrival order, so they are identical across double runs.
+    /// `req=` triggers spare retries (attempt > 0): a request killed on
+    /// first execution demonstrably recovers through the retry path.
+    pub fn check_request(&self, worker: u32, req_id: u64, attempt: u32) -> Option<FaultKind> {
+        if self.plan.rules.is_empty() {
+            return None;
+        }
+        let mut st = self.lock();
+        for (i, rule) in self.plan.rules.iter().enumerate() {
+            if rule.target.domain != Domain::Worker || !applies_at(&rule.kind, Site::Request) {
+                continue;
+            }
+            if let Some(u) = rule.target.unit {
+                if u != worker {
+                    continue;
+                }
+            }
+            let fires = match rule.trigger {
+                Trigger::AtCycle(_) => false,
+                Trigger::OnRequest(id) => req_id == id && attempt == 0,
+                Trigger::Prob(p) => {
+                    self.bernoulli(i, Site::Request, (req_id << 8) | attempt as u64, p)
+                }
+                Trigger::Always => true,
+            };
+            if fires {
+                let inj = Injection {
+                    site: Site::Request,
+                    unit: worker,
+                    at: req_id,
+                    kind: rule.kind,
+                };
+                st.log.push(inj);
+                return Some(rule.kind);
+            }
+        }
+        None
+    }
+
+    /// Deterministic Bernoulli draw for rule `i` at `site` with `key`.
+    fn bernoulli(&self, i: usize, site: Site, key: u64, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        let mut x = self
+            .plan
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((i as u64) << 32)
+            .wrapping_add(site.index().wrapping_mul(0x1000_0000_01b3))
+            .wrapping_add(key.wrapping_mul(0x2545_f491_4f6c_dd1d));
+        // splitmix64 finalizer.
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        // Top 53 bits → uniform in [0, 1).
+        let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+        u < p
+    }
+
+    /// Total strikes so far.
+    pub fn injected(&self) -> u64 {
+        self.lock().log.len() as u64
+    }
+
+    /// Snapshot of the injection log, in strike order.
+    pub fn log(&self) -> Vec<Injection> {
+        self.lock().log.clone()
+    }
+
+    /// The log as canonical lines (see [`Injection::line`]). Compare
+    /// verbatim for sim runs; sort first for serve runs.
+    pub fn log_lines(&self) -> Vec<String> {
+        self.lock().log.iter().map(Injection::line).collect()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, InjectState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultRule, Target};
+
+    fn plan(spec: &str) -> FaultPlan {
+        FaultPlan::parse(spec).unwrap()
+    }
+
+    #[test]
+    fn cycle_trigger_fires_once_per_unit() {
+        let inj = Injector::new(plan("kill:sm=*@cycle=100"));
+        assert_eq!(inj.check(Site::Dispatch, 0, 50), None);
+        assert_eq!(inj.check(Site::Dispatch, 0, 100), Some(FaultKind::Kill));
+        assert_eq!(inj.check(Site::Dispatch, 0, 200), None); // already fired
+        assert_eq!(inj.check(Site::Dispatch, 1, 150), Some(FaultKind::Kill));
+        assert_eq!(inj.injected(), 2);
+    }
+
+    #[test]
+    fn targets_filter_units_and_domains() {
+        let inj = Injector::new(plan("kill:sm=3@always;corrupt:worker=*@always"));
+        assert_eq!(inj.check(Site::Dispatch, 2, 0), None);
+        assert_eq!(inj.check(Site::Dispatch, 3, 0), Some(FaultKind::Kill));
+        // Worker rules never strike sim sites, and vice versa.
+        assert_eq!(inj.check(Site::StealCopy, 3, 0), None);
+        assert_eq!(
+            inj.check_request(0, 7, 0),
+            Some(FaultKind::CorruptResult),
+            "worker wildcard strikes any worker"
+        );
+    }
+
+    #[test]
+    fn req_trigger_spares_retries() {
+        let inj = Injector::new(plan("kill:worker=*@req=5"));
+        assert_eq!(inj.check_request(1, 4, 0), None);
+        assert_eq!(inj.check_request(1, 5, 0), Some(FaultKind::Kill));
+        assert_eq!(inj.check_request(2, 5, 1), None, "retry is spared");
+    }
+
+    #[test]
+    fn prob_draws_are_deterministic_and_roughly_calibrated() {
+        let a = Injector::new(plan("seed=7;corrupt:worker=*@p=0.25"));
+        let b = Injector::new(plan("seed=7;corrupt:worker=*@p=0.25"));
+        let mut hits = 0;
+        for id in 0..4000u64 {
+            let x = a.check_request(0, id, 0);
+            let y = b.check_request(9, id, 0); // different worker, same decision
+            assert_eq!(x.is_some(), y.is_some(), "id {id}");
+            hits += x.is_some() as u32;
+        }
+        assert!((800..1200).contains(&hits), "p=0.25 hit {hits}/4000");
+        // Different seed ⇒ a different decision set.
+        let c = Injector::new(plan("seed=8;corrupt:worker=*@p=0.25"));
+        for id in 0..4000u64 {
+            c.check_request(0, id, 0);
+        }
+        assert_ne!(
+            c.log_lines(),
+            a.log_lines(),
+            "seeds 7 and 8 made identical decisions"
+        );
+    }
+
+    #[test]
+    fn sim_prob_stream_is_reproducible() {
+        let mk = || Injector::new(plan("seed=3;dropsteal:sm=*@p=0.5"));
+        let a = mk();
+        let b = mk();
+        for i in 0..200 {
+            let cycle = i * 17;
+            assert_eq!(
+                a.check(Site::StealCopy, (i % 4) as u32, cycle),
+                b.check(Site::StealCopy, (i % 4) as u32, cycle)
+            );
+        }
+        assert_eq!(a.log_lines(), b.log_lines());
+        assert!(a.injected() > 0);
+    }
+
+    #[test]
+    fn serve_log_lines_exclude_the_worker() {
+        let inj = Injector::new(plan("kill:worker=*@req=1"));
+        inj.check_request(3, 1, 0);
+        assert_eq!(inj.log_lines(), vec!["request req=1 kill".to_string()]);
+    }
+
+    #[test]
+    fn kinds_gate_on_their_sites() {
+        // DropSteal only strikes the steal-copy site.
+        let inj = Injector::new(plan("dropsteal:sm=*@always"));
+        assert_eq!(inj.check(Site::Dispatch, 0, 0), None);
+        assert_eq!(inj.check(Site::RingPush, 0, 0), None);
+        assert_eq!(inj.check(Site::StealCopy, 0, 0), Some(FaultKind::DropSteal));
+        // Stall strikes ring sites too.
+        let inj = Injector::new(plan("stall=9:sm=*@always"));
+        assert_eq!(
+            inj.check(Site::RingPop, 0, 0),
+            Some(FaultKind::Stall { cycles: 9 })
+        );
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let p = FaultPlan {
+            seed: 0,
+            rules: vec![
+                FaultRule {
+                    kind: FaultKind::Stall { cycles: 1 },
+                    target: Target {
+                        domain: Domain::Sm,
+                        unit: None,
+                    },
+                    trigger: Trigger::Always,
+                },
+                FaultRule {
+                    kind: FaultKind::Kill,
+                    target: Target {
+                        domain: Domain::Sm,
+                        unit: None,
+                    },
+                    trigger: Trigger::Always,
+                },
+            ],
+        };
+        let inj = Injector::new(p);
+        assert_eq!(
+            inj.check(Site::Dispatch, 0, 0),
+            Some(FaultKind::Stall { cycles: 1 })
+        );
+    }
+}

@@ -32,6 +32,15 @@ pub struct SimStats {
     pub cold_high_water: u64,
     /// Tasks (vertices) processed per block — Fig. 9's distribution.
     pub tasks_per_block: Vec<u64>,
+    /// Faults injected by a `db-fault` plan during this run (0 for
+    /// fault-free runs; the fault-free fast path never touches these).
+    pub faults_injected: u64,
+    /// SMs (blocks) killed by injected faults.
+    pub sms_killed: u64,
+    /// Killed SMs whose stranded work was fully drained by survivors.
+    pub blocks_recovered: u64,
+    /// Stack entries re-stolen from killed SMs via the recovery path.
+    pub entries_recovered: u64,
 }
 
 impl SimStats {
@@ -133,6 +142,30 @@ impl SimStats {
             labels,
         )
         .max(self.cold_high_water);
+        // Fault series appear only once a fault plan actually struck, so
+        // fault-free deployments scrape a clean exposition.
+        if self.faults_injected > 0 || self.sms_killed > 0 {
+            c(
+                "db_sim_faults_injected",
+                "Faults injected into the simulated machine",
+                self.faults_injected,
+            );
+            c(
+                "db_sim_sms_killed",
+                "SMs killed by injected faults",
+                self.sms_killed,
+            );
+            c(
+                "db_sim_blocks_recovered",
+                "Killed SMs whose stranded work was fully re-stolen",
+                self.blocks_recovered,
+            );
+            c(
+                "db_sim_entries_recovered",
+                "Stack entries re-stolen from killed SMs",
+                self.entries_recovered,
+            );
+        }
     }
 }
 
@@ -265,6 +298,39 @@ mod tests {
         assert_eq!(find("db_engine_runs_total", None), 2.0);
         assert_eq!(find("db_engine_hot_high_water", None), 12.0);
         assert_eq!(find("db_engine_cold_high_water", None), 99.0);
+    }
+
+    #[test]
+    fn fault_series_only_appear_under_faults() {
+        let clean = db_metrics::Registry::new();
+        SimStats::new(2).record_to(&clean, "sim");
+        assert!(
+            !clean.render_prometheus().contains("db_sim_faults_injected"),
+            "fault-free run must not emit fault series"
+        );
+
+        let chaos = db_metrics::Registry::new();
+        let s = SimStats {
+            faults_injected: 3,
+            sms_killed: 1,
+            blocks_recovered: 1,
+            entries_recovered: 17,
+            ..Default::default()
+        };
+        s.record_to(&chaos, "sim");
+        let text = chaos.render_prometheus();
+        let exp = db_metrics::validate_exposition(&text).unwrap();
+        let find = |name: &str| {
+            exp.samples
+                .iter()
+                .find(|smp| smp.name == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .value
+        };
+        assert_eq!(find("db_sim_faults_injected"), 3.0);
+        assert_eq!(find("db_sim_sms_killed"), 1.0);
+        assert_eq!(find("db_sim_blocks_recovered"), 1.0);
+        assert_eq!(find("db_sim_entries_recovered"), 17.0);
     }
 
     #[test]

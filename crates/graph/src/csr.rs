@@ -109,6 +109,28 @@ impl CsrGraph {
         }
     }
 
+    /// Builds a graph from raw CSR arrays **without any validation**.
+    ///
+    /// The caller asserts the [`CsrGraph::try_from_sorted_parts`]
+    /// invariants hold; a graph that violates them makes the accessors
+    /// panic or return garbage. Intended for loaders that validated the
+    /// arrays out-of-band, and for fault-injection tests that need to
+    /// construct deliberately malformed graphs to exercise the engines'
+    /// input validation (`db-core`'s `GraphError`).
+    pub fn from_parts_unchecked(
+        n: u32,
+        row_ptr: Vec<u64>,
+        col_idx: Vec<u32>,
+        directed: bool,
+    ) -> Self {
+        Self {
+            n,
+            row_ptr,
+            col_idx,
+            directed,
+        }
+    }
+
     /// Non-panicking form of [`CsrGraph::from_sorted_parts`]: validates
     /// the arrays and reports the first structural defect as a
     /// [`CsrError`]. Use this for untrusted inputs so a malformed graph

@@ -30,6 +30,16 @@ use db_trace::json::Value;
 /// `latency_us`/`deadline_missed` are filled by the pool afterwards
 /// (they are measured from admission, which the pool owns).
 pub fn execute(req: &Request, graph: &CsrGraph, token: &CancelToken) -> Response {
+    // Engine-entry validation (db-core's typed GraphError), mapped to a
+    // rejection-with-reason: a structurally malformed graph must never
+    // reach a ring, and the client learns exactly which invariant broke.
+    if let Err(e) = db_core::validate_graph(graph) {
+        return Response::failure(
+            req.id,
+            Status::Rejected,
+            format!("invalid graph '{}': {e}", req.graph),
+        );
+    }
     let n = graph.num_vertices() as u32;
     let check_root = |v: u32, what: &str| -> Result<(), Response> {
         if v < n {
@@ -314,6 +324,21 @@ mod tests {
             &t,
         );
         assert_eq!(r.status, Status::Error);
+    }
+
+    #[test]
+    fn malformed_graphs_are_rejected_with_reason() {
+        // from_parts_unchecked lets a structurally broken CSR reach the
+        // executor; it must bounce off the validation boundary as a
+        // rejection naming the defect, never reach an engine.
+        let bad = db_graph::CsrGraph::from_parts_unchecked(2, vec![0, 1, 7], vec![1, 0], false);
+        let r = execute(
+            &req("bad", Workload::Dfs { root: 0 }, EngineKind::Native),
+            &bad,
+            &CancelToken::new(),
+        );
+        assert_eq!(r.status, Status::Rejected);
+        assert!(r.error.as_deref().unwrap().contains("row_ptr"), "{r:?}");
     }
 
     #[test]

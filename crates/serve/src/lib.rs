@@ -17,6 +17,12 @@
 //!   selection, after §3.4 of the paper), deadline cancellation via
 //!   [`db_core::CancelToken`] poll points inside the native engines,
 //!   and graceful drain.
+//! * [`resilience`] — the self-healing policy layer: per-request retry
+//!   with deterministic jittered backoff, per-tenant circuit breakers
+//!   (trip on consecutive failures, half-open on a timer), a capped
+//!   worker-restart budget, and an optional [`db_fault::Injector`]
+//!   driving deterministic chaos (see DESIGN.md "Fault model &
+//!   resilience").
 //! * [`exec`] — workload execution and payload shaping; payloads carry
 //!   only scheduling-independent quantities so a request's outcome is
 //!   deterministic under any interleaving.
@@ -58,9 +64,11 @@ pub mod metrics;
 pub mod net;
 pub mod pool;
 pub mod request;
+pub mod resilience;
 
 pub use corpus::CorpusCache;
 pub use metrics::MetricsSnapshot;
 pub use net::TcpServer;
 pub use pool::{ServeConfig, ServeHandle, Server};
 pub use request::{EngineKind, Request, Response, Status, Workload};
+pub use resilience::{backoff_delay, BreakerEvent, BreakerMap, Resilience};

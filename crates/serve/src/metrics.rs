@@ -33,14 +33,32 @@ pub struct Metrics {
     pub rejected_tenant: Counter,
     /// Requests refused because the server was draining.
     pub rejected_draining: Counter,
+    /// Requests refused because their tenant's circuit breaker was open.
+    pub rejected_breaker: Counter,
     /// Requests that finished with [`crate::Status::Ok`].
     pub completed: Counter,
     /// Requests whose deadline expired.
     pub expired: Counter,
     /// Requests that failed (bad graph key, workload mismatch, …).
     pub errors: Counter,
+    /// Requests that exhausted their retry budget ([`crate::Status::Failed`]).
+    pub failed: Counter,
     /// Request batches stolen between worker queues.
     pub steals: Counter,
+    /// Retry attempts (attempts beyond a request's first).
+    pub retries: Counter,
+    /// Worker panics caught by the per-attempt isolation boundary.
+    pub worker_panics: Counter,
+    /// Worker incarnations respawned after a poisoning panic.
+    pub worker_respawns: Counter,
+    /// Circuit-breaker trips (closed/half-open → open).
+    pub breaker_trips: Counter,
+    /// Requests that completed only via the serial degradation ladder.
+    pub degraded: Counter,
+    /// Faults injected into request handling by the chaos plan.
+    pub faults_injected: Counter,
+    /// Tenant circuit breakers currently open.
+    pub breaker_open: Gauge,
     /// Requests currently queued across all workers.
     pub queue_depth: Gauge,
     /// Workers currently executing a request (occupancy).
@@ -75,12 +93,49 @@ impl Metrics {
             rejected_capacity: rejected("capacity"),
             rejected_tenant: rejected("tenant_quota"),
             rejected_draining: rejected("draining"),
+            rejected_breaker: rejected("breaker"),
             completed: finished("ok"),
             expired: finished("expired"),
             errors: finished("error"),
+            failed: finished("failed"),
             steals: reg.counter(
                 "db_serve_steals_total",
                 "Request batches stolen between worker queues",
+                &[],
+            ),
+            retries: reg.counter(
+                "db_serve_retries_total",
+                "Retry attempts beyond each request's first attempt",
+                &[],
+            ),
+            worker_panics: reg.counter(
+                "db_serve_worker_panics_total",
+                "Worker panics caught by the per-attempt isolation boundary",
+                &[],
+            ),
+            worker_respawns: reg.counter(
+                "db_serve_worker_respawns_total",
+                "Worker incarnations respawned after a poisoning panic",
+                &[],
+            ),
+            breaker_trips: reg.counter(
+                "db_serve_breaker_trips_total",
+                "Circuit-breaker trips (closed or half-open to open)",
+                &[],
+            ),
+            degraded: reg.counter(
+                "db_serve_degraded_total",
+                "Requests completed only via the serial degradation ladder",
+                &[],
+            ),
+            faults_injected: reg.counter(
+                "db_serve_faults_injected_total",
+                "Faults injected into request handling by the chaos plan",
+                &[],
+            ),
+            breaker_open: reg.gauge(
+                "db_serve_breaker_open",
+                "Tenant circuit breakers currently open",
                 &[],
             ),
             queue_depth: reg.gauge(
@@ -114,14 +169,32 @@ pub struct MetricsSnapshot {
     pub rejected_tenant: u64,
     /// Refusals: server draining.
     pub rejected_draining: u64,
+    /// Refusals: tenant circuit breaker open.
+    pub rejected_breaker: u64,
     /// Requests finished `ok`.
     pub completed: u64,
     /// Requests finished `expired`.
     pub expired: u64,
     /// Requests finished `error`.
     pub errors: u64,
+    /// Requests finished `failed` (retry budget exhausted).
+    pub failed: u64,
     /// Inter-queue request steals.
     pub steals: u64,
+    /// Retry attempts beyond each request's first.
+    pub retries: u64,
+    /// Worker panics caught by the isolation boundary.
+    pub worker_panics: u64,
+    /// Worker incarnations respawned after a panic.
+    pub worker_respawns: u64,
+    /// Circuit-breaker trips.
+    pub breaker_trips: u64,
+    /// Tenant breakers currently open.
+    pub breaker_open: u64,
+    /// Requests completed via the serial degradation ladder.
+    pub degraded: u64,
+    /// Faults injected into request handling.
+    pub faults_injected: u64,
     /// Corpus-cache hits.
     pub cache_hits: u64,
     /// Corpus-cache misses (graph builds).
@@ -155,7 +228,10 @@ pub struct MetricsSnapshot {
 impl MetricsSnapshot {
     /// Total refusals of any kind.
     pub fn rejected(&self) -> u64 {
-        self.rejected_capacity + self.rejected_tenant + self.rejected_draining
+        self.rejected_capacity
+            + self.rejected_tenant
+            + self.rejected_draining
+            + self.rejected_breaker
     }
 
     /// Cache hit rate in `[0, 1]`; 1.0 when the cache was never used.
@@ -181,10 +257,19 @@ impl MetricsSnapshot {
                 "rejected_draining".into(),
                 Value::u64(self.rejected_draining),
             ),
+            ("rejected_breaker".into(), Value::u64(self.rejected_breaker)),
             ("completed".into(), Value::u64(self.completed)),
             ("expired".into(), Value::u64(self.expired)),
             ("errors".into(), Value::u64(self.errors)),
+            ("failed".into(), Value::u64(self.failed)),
             ("steals".into(), Value::u64(self.steals)),
+            ("retries".into(), Value::u64(self.retries)),
+            ("worker_panics".into(), Value::u64(self.worker_panics)),
+            ("worker_respawns".into(), Value::u64(self.worker_respawns)),
+            ("breaker_trips".into(), Value::u64(self.breaker_trips)),
+            ("breaker_open".into(), Value::u64(self.breaker_open)),
+            ("degraded".into(), Value::u64(self.degraded)),
+            ("faults_injected".into(), Value::u64(self.faults_injected)),
             ("cache_hits".into(), Value::u64(self.cache_hits)),
             ("cache_misses".into(), Value::u64(self.cache_misses)),
             ("cache_evictions".into(), Value::u64(self.cache_evictions)),
@@ -214,10 +299,19 @@ impl MetricsSnapshot {
             rejected_capacity: f("rejected_capacity")?,
             rejected_tenant: f("rejected_tenant")?,
             rejected_draining: f("rejected_draining")?,
+            rejected_breaker: f("rejected_breaker")?,
             completed: f("completed")?,
             expired: f("expired")?,
             errors: f("errors")?,
+            failed: f("failed")?,
             steals: f("steals")?,
+            retries: f("retries")?,
+            worker_panics: f("worker_panics")?,
+            worker_respawns: f("worker_respawns")?,
+            breaker_trips: f("breaker_trips")?,
+            breaker_open: f("breaker_open")?,
+            degraded: f("degraded")?,
+            faults_injected: f("faults_injected")?,
             cache_hits: f("cache_hits")?,
             cache_misses: f("cache_misses")?,
             cache_evictions: f("cache_evictions")?,
@@ -263,14 +357,14 @@ mod tests {
             .find(|s| s.name == "db_serve_admitted_total")
             .unwrap();
         assert_eq!(admitted.value, 1.0);
-        // The three rejection reasons are distinct series of one name.
+        // The four rejection reasons are distinct series of one name.
         let reasons: Vec<_> = exp
             .samples
             .iter()
             .filter(|s| s.name == "db_serve_rejected_total")
             .filter_map(|s| s.label("reason"))
             .collect();
-        assert_eq!(reasons, ["capacity", "draining", "tenant_quota"]);
+        assert_eq!(reasons, ["breaker", "capacity", "draining", "tenant_quota"]);
     }
 
     #[test]

@@ -24,6 +24,21 @@
 //! Built on `std::net` only — no async runtime, matching the
 //! workspace's no-external-deps rule. One thread per connection is
 //! plenty for a benchmark-grade endpoint.
+//!
+//! ## Hardening
+//!
+//! The endpoint treats every byte from the wire as hostile:
+//!
+//! * line reads are bounded ([`MAX_LINE_BYTES`]); an oversized line is
+//!   drained and answered with a structured `error` response instead of
+//!   buffering without limit;
+//! * invalid UTF-8 is replaced lossily (the JSON parser then reports a
+//!   structured parse error) rather than killing the connection;
+//! * request dispatch runs under `catch_unwind`, so no parser or
+//!   handler panic can take the connection thread down silently;
+//! * a mid-request disconnect (read or write error) closes the
+//!   connection cleanly; the pool still delivers the orphaned response
+//!   to a dropped channel, which is not an error.
 
 use crate::metrics::MetricsSnapshot;
 use crate::pool::ServeHandle;
@@ -31,8 +46,13 @@ use crate::request::{Request, Response, Status};
 use db_trace::json::Value;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// Upper bound on one NDJSON request line. Longer lines are drained
+/// and rejected with a structured error instead of being buffered.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
 
 /// A listening NDJSON endpoint bound to a running server.
 #[derive(Debug)]
@@ -71,8 +91,7 @@ impl TcpServer {
                             .name("serve-conn".into())
                             .spawn(move || serve_connection(stream, handle, shutdown_requested));
                     }
-                })
-                .expect("spawn acceptor")
+                })?
         };
         Ok(TcpServer {
             addr: local,
@@ -110,14 +129,80 @@ impl Drop for TcpServer {
     }
 }
 
+/// Outcome of one bounded line read.
+enum LineRead {
+    /// A complete line (without the newline), lossily decoded.
+    Line(String),
+    /// The line exceeded the bound; its remainder was drained.
+    Oversized,
+    /// Clean end of stream (or EOF in the middle of an unterminated
+    /// line — a mid-request disconnect either way).
+    Eof,
+}
+
+/// Reads one `\n`-terminated line without ever holding more than `max`
+/// bytes of it. Invalid UTF-8 is replaced, not rejected, so byte junk
+/// reaches the JSON parser and earns a structured parse error.
+fn read_line_bounded(reader: &mut impl BufRead, max: usize) -> std::io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut oversized = false;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            // EOF. An unterminated partial line is a disconnect, not a
+            // request; never dispatch it.
+            return Ok(LineRead::Eof);
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let upto = newline.unwrap_or(chunk.len());
+        if !oversized {
+            if buf.len() + upto > max {
+                oversized = true;
+                buf.clear();
+            } else {
+                buf.extend_from_slice(&chunk[..upto]);
+            }
+        }
+        let consumed = newline.map_or(chunk.len(), |p| p + 1);
+        reader.consume(consumed);
+        if newline.is_some() {
+            return Ok(if oversized {
+                LineRead::Oversized
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+    }
+}
+
 fn serve_connection(stream: TcpStream, handle: ServeHandle, shutdown_requested: Arc<AtomicBool>) {
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match read_line_bounded(&mut reader, MAX_LINE_BYTES) {
+            Ok(LineRead::Line(line)) => line,
+            Ok(LineRead::Oversized) => {
+                let reply = Response::failure(
+                    0,
+                    Status::Error,
+                    format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                )
+                .to_value()
+                .to_json();
+                if writer
+                    .write_all(reply.as_bytes())
+                    .and_then(|_| writer.write_all(b"\n"))
+                    .is_err()
+                {
+                    break;
+                }
+                continue;
+            }
+            Ok(LineRead::Eof) | Err(_) => break,
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -137,7 +222,16 @@ fn serve_connection(stream: TcpStream, handle: ServeHandle, shutdown_requested: 
             );
             break;
         }
-        let reply = dispatch_line(&line, &handle, &shutdown_requested);
+        // Panic isolation: no parser or handler bug reachable from
+        // client bytes may kill the connection thread without a reply.
+        let reply = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            dispatch_line(&line, &handle, &shutdown_requested)
+        }))
+        .unwrap_or_else(|_| {
+            Response::failure(0, Status::Error, "internal error handling request line")
+                .to_value()
+                .to_json()
+        });
         if writer
             .write_all(reply.as_bytes())
             .and_then(|_| writer.write_all(b"\n"))

@@ -20,12 +20,16 @@
 use crate::corpus::CorpusCache;
 use crate::exec;
 use crate::metrics::{Metrics, MetricsSnapshot};
-use crate::request::{Request, Response, Status};
+use crate::request::{EngineKind, Request, Response, Status};
+use crate::resilience::{backoff_delay, BreakerEvent, BreakerMap, Resilience};
 use db_core::CancelToken;
+use db_fault::FaultKind;
+use db_metrics::Gauge;
 use db_trace::{EventKind, RingBufferTracer, ServeOp, TraceEvent, Tracer};
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -44,6 +48,9 @@ pub struct ServeConfig {
     pub corpus_budget_bytes: usize,
     /// Ring-buffer capacity for serve trace events; 0 disables tracing.
     pub trace_capacity: usize,
+    /// Self-healing policy: retries, circuit breakers, worker-restart
+    /// budget, and the optional chaos fault plan.
+    pub resilience: Resilience,
 }
 
 impl Default for ServeConfig {
@@ -54,6 +61,7 @@ impl Default for ServeConfig {
             tenant_quota: None,
             corpus_budget_bytes: 256 << 20,
             trace_capacity: 0,
+            resilience: Resilience::default(),
         }
     }
 }
@@ -85,6 +93,10 @@ struct PoolState {
     queued_total: usize,
     per_tenant: HashMap<String, usize>,
     draining: bool,
+    /// Workers that exhausted the restart budget and retired. Their
+    /// queues take no new submissions; leftovers are stolen by
+    /// survivors (or failed outright when the last worker dies).
+    dead: Vec<bool>,
 }
 
 #[derive(Debug)]
@@ -100,6 +112,9 @@ struct ServerInner {
     tracer: Option<RingBufferTracer>,
     seq: AtomicU64,
     started: Instant,
+    breakers: BreakerMap,
+    /// Worker respawns remaining pool-wide.
+    restart_budget: AtomicU32,
 }
 
 impl ServerInner {
@@ -135,7 +150,16 @@ impl ServerInner {
             completed: m.completed.get(),
             expired: m.expired.get(),
             errors: m.errors.get(),
+            rejected_breaker: m.rejected_breaker.get(),
+            failed: m.failed.get(),
             steals: m.steals.get(),
+            retries: m.retries.get(),
+            worker_panics: m.worker_panics.get(),
+            worker_respawns: m.worker_respawns.get(),
+            breaker_trips: m.breaker_trips.get(),
+            breaker_open: self.breakers.open_count(),
+            degraded: m.degraded.get(),
+            faults_injected: m.faults_injected.get(),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
             cache_evictions: self.cache.evictions(),
@@ -175,6 +199,19 @@ impl ServeHandle {
         let inner = &self.inner;
         let now = Instant::now();
         let deadline = req.deadline_ms.map(|ms| now + Duration::from_millis(ms));
+        // Breaker check first (its own lock): an open breaker sheds the
+        // tenant's load before it can take pool capacity.
+        if !inner.breakers.admit(&req.tenant) {
+            inner.metrics.rejected_breaker.inc();
+            inner.metrics.breaker_open.set(inner.breakers.open_count());
+            inner.trace(u32::MAX, ServeOp::Reject, 0);
+            let _ = tx.send(Response::failure(
+                req.id,
+                Status::Rejected,
+                "tenant circuit breaker open",
+            ));
+            return rx;
+        }
         let mut st = inner.lock();
         let reject = if st.draining {
             inner.metrics.rejected_draining.inc();
@@ -199,6 +236,23 @@ impl ServeHandle {
             let _ = tx.send(Response::failure(req.id, Status::Rejected, reason));
             return rx;
         }
+        // Place on the shallowest live queue (ties → lowest index):
+        // cheap load balancing so stealing is the corrective, not the
+        // norm. Retired workers' queues take no new work.
+        let Some(target) = (0..st.queues.len())
+            .filter(|&i| !st.dead[i])
+            .min_by_key(|&i| st.queues[i].len())
+        else {
+            // Every worker exhausted the restart budget and retired.
+            drop(st);
+            inner.metrics.failed.inc();
+            let _ = tx.send(Response::failure(
+                req.id,
+                Status::Failed,
+                "no live workers remain (restart budget exhausted)",
+            ));
+            return rx;
+        };
         *st.per_tenant.entry(req.tenant.clone()).or_insert(0) += 1;
         let job = Job {
             seq: inner.seq.fetch_add(1, Ordering::Relaxed),
@@ -207,11 +261,6 @@ impl ServeHandle {
             reply: tx,
             req,
         };
-        // Place on the shallowest queue (ties → lowest index): cheap
-        // load balancing so stealing is the corrective, not the norm.
-        let target = (0..st.queues.len())
-            .min_by_key(|&i| st.queues[i].len())
-            .expect("at least one worker");
         let q = &mut st.queues[target];
         let pos = q
             .binary_search_by(|j| edf_cmp(j, &job))
@@ -265,6 +314,10 @@ impl ServeHandle {
         // an idle server is exact.
         let depth = self.inner.lock().queued_total as u64;
         self.inner.metrics.queue_depth.set(depth);
+        self.inner
+            .metrics
+            .breaker_open
+            .set(self.inner.breakers.open_count());
         db_metrics::render(&[&self.inner.registry, db_metrics::global()])
     }
 }
@@ -299,6 +352,7 @@ impl Server {
                 queued_total: 0,
                 per_tenant: HashMap::new(),
                 draining: false,
+                dead: vec![false; cfg.workers],
             }),
             cv: Condvar::new(),
             cache,
@@ -307,6 +361,8 @@ impl Server {
             tracer: (cfg.trace_capacity > 0).then(|| RingBufferTracer::new(cfg.trace_capacity)),
             seq: AtomicU64::new(0),
             started: Instant::now(),
+            breakers: BreakerMap::new(&cfg.resilience),
+            restart_budget: AtomicU32::new(cfg.resilience.restart_budget),
             cfg,
         });
         let workers = (0..inner.cfg.workers)
@@ -314,7 +370,7 @@ impl Server {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{idx}"))
-                    .spawn(move || worker_loop(inner, idx))
+                    .spawn(move || worker_entry(inner, idx))
                     .expect("spawn serve worker")
             })
             .collect();
@@ -405,7 +461,76 @@ fn steal_half(st: &mut PoolState, thief: usize, victim: usize) -> usize {
     take
 }
 
-fn worker_loop(inner: Arc<ServerInner>, idx: usize) {
+/// Why a worker incarnation returned control to [`worker_entry`].
+enum WorkerExit {
+    /// Graceful drain finished; the thread can end.
+    Drained,
+    /// A job attempt panicked inside this incarnation. The response was
+    /// still delivered (the per-attempt isolation boundary caught it),
+    /// but the incarnation retires so the entry loop can respawn a
+    /// fresh one from the restart budget.
+    Poisoned,
+}
+
+/// Thread entry: runs worker incarnations, respawning after poisoning
+/// panics until the pool-wide restart budget runs out, then retires the
+/// worker slot.
+fn worker_entry(inner: Arc<ServerInner>, idx: usize) {
+    loop {
+        // Belt and braces: run_job already catches per-attempt panics;
+        // if the loop machinery itself panics, treat that as poisoned
+        // too rather than silently losing the thread.
+        let exit = std::panic::catch_unwind(AssertUnwindSafe(|| worker_loop(&inner, idx)))
+            .unwrap_or(WorkerExit::Poisoned);
+        match exit {
+            WorkerExit::Drained => return,
+            WorkerExit::Poisoned => {
+                let granted = inner
+                    .restart_budget
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+                    .is_ok();
+                if granted {
+                    inner.metrics.worker_respawns.inc();
+                    continue;
+                }
+                retire_worker(&inner, idx);
+                return;
+            }
+        }
+    }
+}
+
+/// Marks worker `idx` dead. If it was the last live worker, every
+/// queued job is failed immediately — an admitted request must never be
+/// silently lost, even when the pool can no longer execute anything.
+fn retire_worker(inner: &ServerInner, idx: usize) {
+    let orphans = {
+        let mut st = inner.lock();
+        st.dead[idx] = true;
+        if st.dead.iter().all(|&d| d) {
+            let orphans: Vec<Job> = st.queues.iter_mut().flat_map(|q| q.drain(..)).collect();
+            st.queued_total = 0;
+            st.per_tenant.clear();
+            inner.metrics.queue_depth.set(0);
+            orphans
+        } else {
+            Vec::new()
+        }
+    };
+    // Survivors must re-examine the queues (they can steal the retired
+    // worker's leftovers).
+    inner.cv.notify_all();
+    for job in orphans {
+        inner.metrics.failed.inc();
+        let _ = job.reply.send(Response::failure(
+            job.req.id,
+            Status::Failed,
+            "no live workers remain (restart budget exhausted)",
+        ));
+    }
+}
+
+fn worker_loop(inner: &Arc<ServerInner>, idx: usize) -> WorkerExit {
     let mut rng: u64 = 0x9e37_79b9_7f4a_7c15 ^ ((idx as u64 + 1) << 32 | 0xdead_beef);
     loop {
         let job = {
@@ -440,22 +565,103 @@ fn worker_loop(inner: Arc<ServerInner>, idx: usize) {
         let Some(job) = job else {
             // Wake siblings so they observe the drained state too.
             inner.cv.notify_all();
-            return;
+            return WorkerExit::Drained;
         };
-        run_job(&inner, idx as u32, job);
+        if run_job(inner, idx as u32, job) {
+            return WorkerExit::Poisoned;
+        }
     }
 }
 
+/// Decrements a gauge on drop, so a panicking traversal can never
+/// leave `busy_workers` (or any other occupancy gauge) permanently
+/// inflated.
+struct GaugeGuard<'a>(&'a Gauge);
+
+impl<'a> GaugeGuard<'a> {
+    fn acquire(g: &'a Gauge) -> GaugeGuard<'a> {
+        g.add(1);
+        GaugeGuard(g)
+    }
+}
+
+impl Drop for GaugeGuard<'_> {
+    fn drop(&mut self) {
+        self.0.sub(1);
+    }
+}
+
+/// Guarantees exactly one [`Response`] per admitted job: the normal
+/// path consumes the guard via [`ReplyGuard::send`]; if the worker
+/// unwinds past it instead, the drop handler delivers a `failed`
+/// response so no client blocks forever on a lost request.
+struct ReplyGuard {
+    reply: Option<(mpsc::Sender<Response>, u64)>,
+}
+
+impl ReplyGuard {
+    fn new(reply: mpsc::Sender<Response>, id: u64) -> ReplyGuard {
+        ReplyGuard {
+            reply: Some((reply, id)),
+        }
+    }
+
+    fn send(mut self, resp: Response) {
+        if let Some((tx, _)) = self.reply.take() {
+            // The client may have hung up (e.g. a TCP connection
+            // dropped); delivery failure is not a server error.
+            let _ = tx.send(resp);
+        }
+    }
+}
+
+impl Drop for ReplyGuard {
+    fn drop(&mut self) {
+        if let Some((tx, id)) = self.reply.take() {
+            let _ = tx.send(Response::failure(
+                id,
+                Status::Failed,
+                "request lost to a worker crash",
+            ));
+        }
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_text(p: &(dyn std::any::Any + Send)) -> &str {
+    p.downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| p.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
+}
+
 /// Executes one dequeued job end to end: graph resolution, deadline
-/// token, engine run, response delivery, metrics and trace emission.
-fn run_job(inner: &ServerInner, worker: u32, job: Job) {
-    inner.metrics.busy_workers.add(1);
+/// token, the retry/degradation attempt loop, response delivery,
+/// breaker accounting, metrics and trace emission.
+///
+/// Attempt semantics: only *crash-class* failures retry — a caught
+/// panic or an injected fault. `error` (invalid request) and `expired`
+/// (deadline) are terminal on their first occurrence; retrying them
+/// could not change the outcome. The final attempt of a request whose
+/// earlier attempts crashed runs on the serial engine (the degradation
+/// ladder): the simplest code path, with no stealing machinery to go
+/// wrong.
+///
+/// Returns `true` if an attempt panicked: the caller's incarnation is
+/// considered poisoned and respawns (heap state touched by the unwound
+/// traversal is untrusted even though the response was delivered).
+fn run_job(inner: &ServerInner, worker: u32, job: Job) -> bool {
+    let _busy = GaugeGuard::acquire(&inner.metrics.busy_workers);
+    let reply = ReplyGuard::new(job.reply.clone(), job.req.id);
     inner.trace(worker, ServeOp::Start, job.req.id as u32);
     let token = match job.deadline {
         Some(d) => CancelToken::with_deadline(d),
         None => CancelToken::new(),
     };
-    let mut resp = match inner.cache.resolve(&job.req.graph) {
+    let policy = &inner.cfg.resilience;
+    let mut poisoned = false;
+
+    let graph = match inner.cache.resolve(&job.req.graph) {
         Ok((graph, info)) => {
             let op = if info.hit {
                 ServeOp::CacheHit
@@ -463,10 +669,125 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) {
                 ServeOp::CacheMiss
             };
             inner.trace(worker, op, info.resident as u32);
-            exec::execute(&job.req, &graph, &token)
+            Some(graph)
         }
-        Err(msg) => Response::failure(job.req.id, Status::Error, msg),
+        Err(msg) => {
+            finish_job(
+                inner,
+                worker,
+                &job,
+                reply,
+                Response::failure(job.req.id, Status::Error, msg),
+                false,
+            );
+            return false;
+        }
     };
+    let graph = graph.expect("graph resolved");
+
+    let attempts = policy.attempts().max(1);
+    let mut done: Option<Response> = None;
+    let mut last_err = String::new();
+    let mut degraded = false;
+    for attempt in 0..attempts {
+        // Degradation ladder: the last attempt of a crashing request
+        // falls back to the serial engine.
+        let degrade =
+            attempt + 1 == attempts && attempt > 0 && job.req.engine != EngineKind::Serial;
+        let engine = if degrade {
+            EngineKind::Serial
+        } else {
+            job.req.engine
+        };
+
+        // Consult the chaos plan (one branch when no plan is loaded).
+        let mut kill = false;
+        let mut corrupt = false;
+        let mut stall = None;
+        if let Some(inj) = &policy.faults {
+            if let Some(kind) = inj.check_request(worker, job.req.id, attempt) {
+                inner.metrics.faults_injected.inc();
+                match kind {
+                    FaultKind::Kill => kill = true,
+                    // Modeled as a checksum mismatch at result delivery.
+                    // The serial rung is exempt: the degraded path is
+                    // the trusted fallback, so an `always` corrupt plan
+                    // still converges instead of failing forever.
+                    FaultKind::CorruptResult => corrupt = !matches!(engine, EngineKind::Serial),
+                    FaultKind::Stall { cycles } => stall = Some(Duration::from_micros(cycles)),
+                    FaultKind::SlowDown { factor } => {
+                        stall = Some(Duration::from_millis(factor.max(0.0).ceil() as u64))
+                    }
+                    // Steal-site only; check_request never yields it.
+                    FaultKind::DropSteal => {}
+                }
+            }
+        }
+
+        let attempt_req;
+        let req = if engine == job.req.engine {
+            &job.req
+        } else {
+            attempt_req = Request {
+                engine,
+                ..job.req.clone()
+            };
+            &attempt_req
+        };
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            if kill {
+                panic!("injected fault: kill");
+            }
+            if let Some(d) = stall {
+                std::thread::sleep(d);
+            }
+            exec::execute(req, &graph, &token)
+        }));
+        match outcome {
+            Err(p) => {
+                poisoned = true;
+                inner.metrics.worker_panics.inc();
+                last_err = format!("attempt {attempt} panicked: {}", panic_text(p.as_ref()));
+            }
+            Ok(_) if corrupt => {
+                last_err = format!("attempt {attempt}: result corrupted in transit");
+            }
+            Ok(resp) => {
+                if degrade {
+                    degraded = true;
+                }
+                done = Some(resp);
+                break;
+            }
+        }
+        if attempt + 1 < attempts {
+            inner.metrics.retries.inc();
+            std::thread::sleep(backoff_delay(policy, job.req.id, attempt + 1));
+        }
+    }
+
+    let resp = done.unwrap_or_else(|| {
+        Response::failure(
+            job.req.id,
+            Status::Failed,
+            format!("failed after {attempts} attempts; {last_err}"),
+        )
+    });
+    finish_job(inner, worker, &job, reply, resp, degraded);
+    poisoned
+}
+
+/// Delivery tail shared by every terminal path: latency stamping,
+/// status metrics, breaker accounting, trace emission, and the
+/// exactly-one-response send.
+fn finish_job(
+    inner: &ServerInner,
+    worker: u32,
+    job: &Job,
+    reply: ReplyGuard,
+    mut resp: Response,
+    degraded: bool,
+) {
     let latency = job.submitted.elapsed();
     resp.latency_us = latency.as_micros() as u64;
     resp.deadline_missed =
@@ -475,6 +796,9 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) {
     match resp.status {
         Status::Ok => {
             inner.metrics.completed.inc();
+            if degraded {
+                inner.metrics.degraded.inc();
+            }
             inner.trace(
                 worker,
                 ServeOp::Done,
@@ -485,6 +809,14 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) {
             inner.metrics.expired.inc();
             inner.trace(worker, ServeOp::Expire, job.req.id as u32);
         }
+        Status::Failed => {
+            inner.metrics.failed.inc();
+            inner.trace(
+                worker,
+                ServeOp::Done,
+                resp.latency_us.min(u32::MAX as u64) as u32,
+            );
+        }
         _ => {
             inner.metrics.errors.inc();
             inner.trace(
@@ -494,10 +826,15 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) {
             );
         }
     }
-    inner.metrics.busy_workers.sub(1);
-    // The client may have hung up (e.g. a TCP connection dropped);
-    // delivery failure is not a server error.
-    let _ = job.reply.send(resp);
+    // Breaker accounting: `error` and `failed` count against the
+    // tenant's streak; `ok` and `expired` reset it (an expired deadline
+    // says the request was slow, not that the service is broken).
+    let failure = matches!(resp.status, Status::Error | Status::Failed);
+    if inner.breakers.record(&job.req.tenant, !failure) == BreakerEvent::Opened {
+        inner.metrics.breaker_trips.inc();
+    }
+    inner.metrics.breaker_open.set(inner.breakers.open_count());
+    reply.send(resp);
 }
 
 #[cfg(test)]

@@ -211,6 +211,9 @@ pub enum Status {
     /// The request itself was invalid (unknown graph, bad root,
     /// workload/graph mismatch).
     Error,
+    /// The request exhausted its retry budget without completing
+    /// (worker panics or injected faults on every attempt).
+    Failed,
 }
 
 impl Status {
@@ -221,6 +224,7 @@ impl Status {
             Status::Rejected => "rejected",
             Status::Expired => "expired",
             Status::Error => "error",
+            Status::Failed => "failed",
         }
     }
 
@@ -231,6 +235,7 @@ impl Status {
             "rejected" => Status::Rejected,
             "expired" => Status::Expired,
             "error" => Status::Error,
+            "failed" => Status::Failed,
             _ => return None,
         })
     }

@@ -1,0 +1,286 @@
+//! Resilience policy for the worker pool: retry budgets with
+//! deterministic jittered backoff, per-tenant circuit breakers, a
+//! capped worker-restart budget, and the optional fault injector that
+//! drives the chaos suites.
+//!
+//! The design mirrors the engines' determinism discipline: every
+//! decision that affects *outcomes* (which requests are struck, how
+//! much backoff a retry gets) is a pure function of request identity —
+//! never of wall-clock time or worker scheduling — so double runs under
+//! the same fault seed produce identical injection logs and identical
+//! response digests. Only *when* things happen (breaker cooldowns,
+//! backoff sleeps) consults the clock.
+
+use db_fault::Injector;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Pool-level resilience policy, part of [`crate::ServeConfig`].
+#[derive(Debug, Clone)]
+pub struct Resilience {
+    /// Retries after the first attempt (total attempts = `retry_max + 1`).
+    /// Only *crash-class* failures retry: caught panics and injected
+    /// faults. Invalid requests (`error`) and expired deadlines are
+    /// terminal on the first attempt.
+    pub retry_max: u32,
+    /// Base backoff before the first retry, milliseconds.
+    pub retry_base_ms: u64,
+    /// Backoff ceiling, milliseconds.
+    pub retry_cap_ms: u64,
+    /// Total worker respawns allowed across the pool's lifetime. A
+    /// worker whose job panicked is respawned from this budget; once it
+    /// is exhausted, poisoned workers retire instead.
+    pub restart_budget: u32,
+    /// Consecutive failed requests (per tenant) that trip the breaker.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker sheds the tenant's load before
+    /// half-opening, milliseconds.
+    pub breaker_cooldown_ms: u64,
+    /// Deterministic fault plan driving injected request faults
+    /// (`None` in production: every check site is one branch).
+    pub faults: Option<Arc<Injector>>,
+}
+
+impl Default for Resilience {
+    fn default() -> Self {
+        Resilience {
+            retry_max: 2,
+            retry_base_ms: 2,
+            retry_cap_ms: 50,
+            restart_budget: 8,
+            breaker_threshold: 5,
+            breaker_cooldown_ms: 250,
+            faults: None,
+        }
+    }
+}
+
+impl Resilience {
+    /// Total attempts a request may make.
+    pub fn attempts(&self) -> u32 {
+        self.retry_max + 1
+    }
+}
+
+/// Deterministic jittered exponential backoff for retry `attempt`
+/// (1-based: the delay before that attempt). The jitter is a pure
+/// function of `(req_id, attempt)` — splitmix64, the same generator
+/// `db-fault` uses — so a replayed run sleeps identically.
+pub fn backoff_delay(r: &Resilience, req_id: u64, attempt: u32) -> Duration {
+    let exp = r
+        .retry_base_ms
+        .saturating_mul(1u64 << attempt.min(16))
+        .min(r.retry_cap_ms);
+    let mut x = req_id
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(attempt as u64);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    let jitter = if r.retry_base_ms > 0 {
+        x % r.retry_base_ms
+    } else {
+        0
+    };
+    Duration::from_millis(exp.saturating_add(jitter))
+}
+
+#[derive(Debug, Default)]
+struct BreakerState {
+    /// Consecutive failed requests since the last success.
+    consecutive: u32,
+    /// While `Some`, the breaker is open and sheds load until the
+    /// instant passes; then it half-opens.
+    open_until: Option<Instant>,
+    /// One probe request is in flight after the cooldown; its outcome
+    /// closes the breaker or re-opens it immediately.
+    half_open: bool,
+}
+
+/// What a [`BreakerMap::record`] observation did to the tenant's breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerEvent {
+    /// No state change.
+    None,
+    /// The breaker tripped open (threshold reached, or the half-open
+    /// probe failed).
+    Opened,
+    /// A half-open probe succeeded; the breaker closed.
+    Closed,
+}
+
+/// Per-tenant circuit breakers.
+///
+/// Closed → (threshold consecutive failures) → Open: admission sheds
+/// the tenant's requests with a `rejected` response. After the cooldown
+/// the breaker half-opens: the next request is admitted as a probe;
+/// success closes the breaker, failure re-opens it for another cooldown.
+#[derive(Debug)]
+pub struct BreakerMap {
+    threshold: u32,
+    cooldown: Duration,
+    state: Mutex<HashMap<String, BreakerState>>,
+}
+
+impl BreakerMap {
+    /// Builds the map from the pool policy. A `breaker_threshold` of 0
+    /// disables breaking entirely (admission always passes).
+    pub fn new(r: &Resilience) -> BreakerMap {
+        BreakerMap {
+            threshold: r.breaker_threshold,
+            cooldown: Duration::from_millis(r.breaker_cooldown_ms),
+            state: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, BreakerState>> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Admission check: may `tenant` submit right now? Transitions an
+    /// expired open breaker to half-open (admitting the probe).
+    pub fn admit(&self, tenant: &str) -> bool {
+        if self.threshold == 0 {
+            return true;
+        }
+        let mut map = self.lock();
+        let Some(b) = map.get_mut(tenant) else {
+            return true;
+        };
+        match b.open_until {
+            Some(t) if Instant::now() < t => false,
+            Some(_) => {
+                b.open_until = None;
+                b.half_open = true;
+                true
+            }
+            None => true,
+        }
+    }
+
+    /// Records a finished request's outcome for `tenant`.
+    pub fn record(&self, tenant: &str, ok: bool) -> BreakerEvent {
+        if self.threshold == 0 {
+            return BreakerEvent::None;
+        }
+        let mut map = self.lock();
+        let b = map.entry(tenant.to_string()).or_default();
+        if ok {
+            let was_probe = b.half_open;
+            b.consecutive = 0;
+            b.half_open = false;
+            b.open_until = None;
+            if was_probe {
+                BreakerEvent::Closed
+            } else {
+                BreakerEvent::None
+            }
+        } else {
+            b.consecutive += 1;
+            if b.half_open || b.consecutive >= self.threshold {
+                b.half_open = false;
+                b.consecutive = 0;
+                b.open_until = Some(Instant::now() + self.cooldown);
+                BreakerEvent::Opened
+            } else {
+                BreakerEvent::None
+            }
+        }
+    }
+
+    /// Breakers currently open (for the `db_serve_breaker_open` gauge).
+    pub fn open_count(&self) -> u64 {
+        let now = Instant::now();
+        self.lock()
+            .values()
+            .filter(|b| b.open_until.is_some_and(|t| now < t))
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(threshold: u32, cooldown_ms: u64) -> Resilience {
+        Resilience {
+            breaker_threshold: threshold,
+            breaker_cooldown_ms: cooldown_ms,
+            ..Resilience::default()
+        }
+    }
+
+    #[test]
+    fn breaker_trips_after_consecutive_failures_and_half_opens() {
+        let b = BreakerMap::new(&policy(3, 20));
+        for _ in 0..2 {
+            assert_eq!(b.record("t", false), BreakerEvent::None);
+        }
+        assert!(b.admit("t"), "still closed below threshold");
+        assert_eq!(b.record("t", false), BreakerEvent::Opened);
+        assert!(!b.admit("t"), "open breaker sheds load");
+        assert_eq!(b.open_count(), 1);
+
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.admit("t"), "cooldown elapsed: half-open probe admitted");
+        assert_eq!(b.open_count(), 0);
+        // Probe fails: straight back to open.
+        assert_eq!(b.record("t", false), BreakerEvent::Opened);
+        assert!(!b.admit("t"));
+
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.admit("t"));
+        assert_eq!(b.record("t", true), BreakerEvent::Closed);
+        assert!(b.admit("t"), "closed after successful probe");
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let b = BreakerMap::new(&policy(3, 1000));
+        b.record("t", false);
+        b.record("t", false);
+        assert_eq!(b.record("t", true), BreakerEvent::None);
+        b.record("t", false);
+        b.record("t", false);
+        assert_eq!(
+            b.record("t", false),
+            BreakerEvent::Opened,
+            "streak restarts after a success"
+        );
+    }
+
+    #[test]
+    fn tenants_are_isolated_and_zero_threshold_disables() {
+        let b = BreakerMap::new(&policy(1, 1000));
+        assert_eq!(b.record("bad", false), BreakerEvent::Opened);
+        assert!(!b.admit("bad"));
+        assert!(b.admit("good"), "other tenants unaffected");
+
+        let off = BreakerMap::new(&policy(0, 1000));
+        for _ in 0..100 {
+            assert_eq!(off.record("t", false), BreakerEvent::None);
+        }
+        assert!(off.admit("t"));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_grows() {
+        let r = Resilience {
+            retry_base_ms: 4,
+            retry_cap_ms: 50,
+            ..Resilience::default()
+        };
+        let d1 = backoff_delay(&r, 42, 1);
+        assert_eq!(d1, backoff_delay(&r, 42, 1), "same inputs, same delay");
+        let distinct: std::collections::HashSet<_> =
+            (0..16u64).map(|id| backoff_delay(&r, id, 1)).collect();
+        assert!(distinct.len() > 1, "jitter must vary across requests");
+        // Exponential part: base * 2^attempt, capped (+ jitter < base).
+        assert!(d1 >= Duration::from_millis(8) && d1 < Duration::from_millis(12));
+        let d10 = backoff_delay(&r, 42, 10);
+        assert!(d10 >= Duration::from_millis(50) && d10 < Duration::from_millis(54));
+    }
+}

@@ -122,6 +122,16 @@ pub fn event_to_json(e: &TraceEvent) -> Value {
             args.push(("op".into(), Value::str(op.name())));
             args.push(("value".into(), Value::u64(value as u64)));
         }
+        EventKind::Fault { code } => {
+            args.push(("code".into(), Value::u64(code as u64)));
+        }
+        EventKind::Recover {
+            victim_block,
+            entries,
+        } => {
+            args.push(("victim_block".into(), Value::u64(victim_block as u64)));
+            args.push(("entries".into(), Value::u64(entries as u64)));
+        }
     }
     Value::Obj(vec![
         ("name".into(), Value::str(e.kind.name())),
@@ -182,6 +192,11 @@ pub fn event_from_json(v: &Value) -> Option<TraceEvent> {
         "Serve" => EventKind::Serve {
             op: ServeOp::from_name(args.get("op")?.as_str()?)?,
             value: arg("value")?,
+        },
+        "Fault" => EventKind::Fault { code: arg("code")? },
+        "Recover" => EventKind::Recover {
+            victim_block: arg("victim_block")?,
+            entries: arg("entries")?,
         },
         _ => return None,
     };
@@ -257,6 +272,21 @@ mod tests {
                 kind: EventKind::Serve {
                     op: ServeOp::Done,
                     value: 431,
+                },
+            },
+            TraceEvent {
+                cycle: 14,
+                block: 1,
+                warp: 2,
+                kind: EventKind::Fault { code: 0 },
+            },
+            TraceEvent {
+                cycle: 15,
+                block: 0,
+                warp: 0,
+                kind: EventKind::Recover {
+                    victim_block: 1,
+                    entries: 8,
                 },
             },
         ];

@@ -34,6 +34,12 @@ fn row(e: &TraceEvent) -> String {
         // Serve events reuse the payload columns: the op name lands in
         // the `phase` column, the op payload in `entries`.
         EventKind::Serve { op, value } => (None, None, Some(value), Some(op.name())),
+        // Fault code rides in `entries`; recovery reuses the steal shape.
+        EventKind::Fault { code } => (None, None, Some(code), None),
+        EventKind::Recover {
+            victim_block,
+            entries,
+        } => (None, Some(victim_block), Some(entries), None),
     };
     let opt = |x: Option<u32>| x.map(|v| v.to_string()).unwrap_or_default();
     format!(

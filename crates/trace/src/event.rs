@@ -95,11 +95,18 @@ pub enum EventKind {
     /// depth, corpus cache) — the paper's stealing discipline applied at
     /// request granularity shows up on the same timeline as the engines.
     Serve { op: ServeOp, value: u32 },
+    /// An injected fault struck this warp's SM; `code` is the dense
+    /// fault-kind index from `db-fault` (0 = kill, 1 = stall,
+    /// 2 = slowdown, 3 = corrupt, 4 = dropsteal).
+    Fault { code: u32 },
+    /// A survivor recovered `entries` stranded tasks from killed SM
+    /// `victim_block`'s stacks via the recovery steal path.
+    Recover { victim_block: u32, entries: u32 },
 }
 
 impl EventKind {
     /// Number of distinct kinds (for counter arrays).
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 12;
 
     /// Dense index for counter arrays; stable across releases only
     /// within one trace file (the name, not the index, is exported).
@@ -115,6 +122,8 @@ impl EventKind {
             EventKind::WarpIdle => 7,
             EventKind::KernelPhase { .. } => 8,
             EventKind::Serve { .. } => 9,
+            EventKind::Fault { .. } => 10,
+            EventKind::Recover { .. } => 11,
         }
     }
 
@@ -131,6 +140,8 @@ impl EventKind {
             EventKind::WarpIdle => "WarpIdle",
             EventKind::KernelPhase { .. } => "KernelPhase",
             EventKind::Serve { .. } => "Serve",
+            EventKind::Fault { .. } => "Fault",
+            EventKind::Recover { .. } => "Recover",
         }
     }
 
@@ -147,6 +158,8 @@ impl EventKind {
             "WarpIdle" => 7,
             "KernelPhase" => 8,
             "Serve" => 9,
+            "Fault" => 10,
+            "Recover" => 11,
             _ => return None,
         })
     }
@@ -191,6 +204,11 @@ mod tests {
             EventKind::Serve {
                 op: ServeOp::Admit,
                 value: 0,
+            },
+            EventKind::Fault { code: 0 },
+            EventKind::Recover {
+                victim_block: 0,
+                entries: 0,
             },
         ];
         assert_eq!(kinds.len(), EventKind::COUNT);

@@ -24,6 +24,11 @@
 //!                        simulated cycle of the first source to a
 //!                        phase per SM; writes flamegraph-compatible
 //!                        folded stacks to <out> and prints a summary
+//! --faults <spec>        (diggerbees method only) run under a
+//!                        deterministic fault plan, e.g.
+//!                        'kill:sm=3@cycle=10000' or
+//!                        'seed=7;dropsteal:sm=*@p=0.1'; prints
+//!                        injection/recovery stats per source
 //!
 //! diggerbees serve [options]        run the NDJSON traversal service
 //!
@@ -34,6 +39,15 @@
 //! --budget-mb <n>        corpus-cache budget in MB (default 256)
 //! --trace <out>          write serve events on shutdown
 //! --trace-format <f>     chrome | csv (as above)
+//! --faults <spec>        inject worker-domain faults into request
+//!                        execution, e.g. 'seed=7;kill:worker=*@p=0.01'
+//! --retry-max <n>        retries per crashed request (default 2); the
+//!                        final attempt degrades to the serial engine
+//! --restart-budget <n>   pool-wide worker respawn budget (default 8)
+//! --breaker-threshold <n> consecutive per-tenant failures that trip
+//!                        the circuit breaker (default 5; 0 disables)
+//! --breaker-cooldown-ms <n> open-breaker cooldown before a half-open
+//!                        probe is admitted (default 250)
 //!
 //! diggerbees metrics [options]      scrape a running server
 //!
@@ -63,7 +77,10 @@ use diggerbees::baselines::nvg::{self, NvgConfig};
 use diggerbees::baselines::serial;
 use diggerbees::core::native::{NativeConfig, NativeEngine};
 use diggerbees::core::native_lockfree::LockFreeEngine;
-use diggerbees::core::{run_sim, run_sim_profiled, run_sim_traced, DiggerBeesConfig};
+use diggerbees::core::{
+    run_sim, run_sim_faulted, run_sim_profiled, run_sim_traced, DiggerBeesConfig,
+};
+use diggerbees::fault::{FaultPlan, Injector};
 use diggerbees::gen::Suite;
 use diggerbees::graph::{mm, sources::select_sources, stats::graph_stats, CsrGraph};
 use diggerbees::serve::net::{fetch_metrics, fetch_prometheus};
@@ -119,6 +136,7 @@ struct Args {
     trace: Option<String>,
     trace_format: Option<TraceFormat>,
     profile: Option<String>,
+    faults: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -136,6 +154,7 @@ fn parse_args() -> Result<Args, String> {
         trace: None,
         trace_format: None,
         profile: None,
+        faults: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -157,15 +176,18 @@ fn parse_args() -> Result<Args, String> {
                 args.trace_format = Some(TraceFormat::parse(&take("--trace-format")?)?)
             }
             "--profile" => args.profile = Some(take("--profile")?),
+            "--faults" => args.faults = Some(take("--faults")?),
             "--help" | "-h" => {
                 return Err("usage: diggerbees <graph> [--method m] [--machine m] \
                             [--source v] [--sources n] [--blocks n] [--warps n] \
                             [--hot-cutoff n] [--cold-cutoff n] [--stats] \
                             [--trace out.json] [--trace-format chrome|csv] \
-                            [--profile out.folded]\n\
+                            [--profile out.folded] [--faults spec]\n\
                             \x20      diggerbees serve [--addr host:port] [--workers n] \
                             [--queue-cap n] [--tenant-quota n] [--budget-mb n] \
-                            [--trace out.json] [--trace-format chrome|csv]\n\
+                            [--trace out.json] [--trace-format chrome|csv] \
+                            [--faults spec] [--retry-max n] [--restart-budget n] \
+                            [--breaker-threshold n] [--breaker-cooldown-ms n]\n\
                             \x20      diggerbees metrics [--addr host:port] [--json] \
                             [--check]"
                     .into())
@@ -262,6 +284,29 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    if args.faults.is_some() && args.method != "diggerbees" {
+        eprintln!(
+            "--faults drives the simulator's SM-domain chaos hooks and is \
+             only supported for the 'diggerbees' method (got '{}'); \
+             worker-domain faults live on `diggerbees serve --faults`",
+            args.method
+        );
+        return ExitCode::FAILURE;
+    }
+    if args.faults.is_some() && args.profile.is_some() {
+        eprintln!("--faults and --profile are mutually exclusive");
+        return ExitCode::FAILURE;
+    }
+    let fault_plan = match &args.faults {
+        Some(spec) => match FaultPlan::parse(spec) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                eprintln!("bad --faults spec '{spec}': {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     // Fail fast on an unwritable trace destination: creating the file
     // up front beats discovering a bad path after minutes of traversal.
     let trace_file = match &args.trace {
@@ -312,11 +357,17 @@ fn main() -> ExitCode {
                 // Only the first source is profiled (same rule as --trace).
                 let profiler = (ri == 0 && args.profile.is_some())
                     .then(|| CycleProfiler::new(cfg.blocks as usize));
-                let r = match (&profiler, rt) {
-                    (Some(p), Some(t)) => run_sim_profiled(&g, root, &cfg, &m, t, p),
-                    (Some(p), None) => run_sim_profiled(&g, root, &cfg, &m, &NullTracer, p),
-                    (None, Some(t)) => run_sim_traced(&g, root, &cfg, &m, t),
-                    (None, None) => run_sim(&g, root, &cfg, &m),
+                // A fresh injector per source: each traversal replays
+                // the plan from a clean slate, so every source is
+                // independently deterministic.
+                let injector = fault_plan.clone().map(Injector::new);
+                let r = match (&injector, &profiler, rt) {
+                    (Some(i), _, Some(t)) => run_sim_faulted(&g, root, &cfg, &m, t, i),
+                    (Some(i), _, None) => run_sim_faulted(&g, root, &cfg, &m, &NullTracer, i),
+                    (None, Some(p), Some(t)) => run_sim_profiled(&g, root, &cfg, &m, t, p),
+                    (None, Some(p), None) => run_sim_profiled(&g, root, &cfg, &m, &NullTracer, p),
+                    (None, None, Some(t)) => run_sim_traced(&g, root, &cfg, &m, t),
+                    (None, None, None) => run_sim(&g, root, &cfg, &m),
                 };
                 if let (Some(prof), Some(path)) = (&profiler, &args.profile) {
                     if let Err(e) = export_profile(prof, path, r.stats.cycles) {
@@ -332,6 +383,16 @@ fn main() -> ExitCode {
                     r.stats.steals_intra,
                     r.stats.steals_inter
                 );
+                if let Some(i) = &injector {
+                    println!(
+                        "root {root}: faults: {} injected, {} SM(s) killed, \
+                         {} block(s) / {} ring entries recovered",
+                        i.injected(),
+                        r.stats.sms_killed,
+                        r.stats.blocks_recovered,
+                        r.stats.entries_recovered
+                    );
+                }
                 Some(r.mteps)
             }
             "serial" => Some(serial::run(&g, root, &MachineModel::xeon_max()).mteps),
@@ -558,6 +619,23 @@ fn serve_main() -> ExitCode {
                 "--trace-format" => {
                     trace_format = Some(TraceFormat::parse(&take("--trace-format")?)?)
                 }
+                "--faults" => {
+                    let spec = take("--faults")?;
+                    let plan = FaultPlan::parse(&spec)
+                        .map_err(|e| format!("bad --faults spec '{spec}': {e}"))?;
+                    cfg.resilience.faults = Some(std::sync::Arc::new(Injector::new(plan)));
+                }
+                "--retry-max" => cfg.resilience.retry_max = parse_num(&take("--retry-max")?)?,
+                "--restart-budget" => {
+                    cfg.resilience.restart_budget = parse_num(&take("--restart-budget")?)?
+                }
+                "--breaker-threshold" => {
+                    cfg.resilience.breaker_threshold = parse_num(&take("--breaker-threshold")?)?
+                }
+                "--breaker-cooldown-ms" => {
+                    cfg.resilience.breaker_cooldown_ms =
+                        parse_num(&take("--breaker-cooldown-ms")?)? as u64
+                }
                 other => return Err(format!("unknown argument: {other} (see --help)")),
             }
             Ok(())
@@ -599,17 +677,31 @@ fn serve_main() -> ExitCode {
     let dropped = handle.trace_dropped();
     let m = server.shutdown();
     println!(
-        "served {} ok / {} expired / {} rejected / {} errors; \
+        "served {} ok / {} expired / {} rejected / {} errors / {} failed; \
          p50 {} us, p99 {} us; cache hit rate {:.3}, {} steals",
         m.completed,
         m.expired,
         m.rejected(),
         m.errors,
+        m.failed,
         m.p50_us,
         m.p99_us,
         m.cache_hit_rate(),
         m.steals
     );
+    if m.retries + m.worker_panics + m.breaker_trips + m.faults_injected > 0 {
+        println!(
+            "resilience: {} faults injected, {} retries, {} degraded to serial; \
+             {} worker panic(s), {} respawn(s); {} breaker trip(s), {} shed",
+            m.faults_injected,
+            m.retries,
+            m.degraded,
+            m.worker_panics,
+            m.worker_respawns,
+            m.breaker_trips,
+            m.rejected_breaker
+        );
+    }
     if let (Some(path), Some(file)) = (&trace, trace_file) {
         let format = TraceFormat::for_path(trace_format, path);
         if let Err(e) = write_trace(file, format, &events, dropped) {

@@ -21,6 +21,10 @@
 //! * [`metrics`] — lock-light live metrics registry (counters, gauges,
 //!   power-of-two histograms) with Prometheus text exposition and a
 //!   validating parser ([`db_metrics`]).
+//! * [`fault`] — deterministic fault injection: seeded, parseable fault
+//!   plans (kill/stall/slowdown/corrupt/drop-steal) shared by the sim's
+//!   chaos hooks and the serve layer's resilience machinery
+//!   ([`db_fault`]).
 //! * [`serve`] — a multi-tenant traversal service: corpus cache,
 //!   admission control, deadline-aware request-stealing worker pool,
 //!   NDJSON TCP front-end ([`db_serve`]).
@@ -48,6 +52,7 @@
 pub use db_apps as apps;
 pub use db_baselines as baselines;
 pub use db_core as core;
+pub use db_fault as fault;
 pub use db_gen as gen;
 pub use db_gpu_sim as sim;
 pub use db_graph as graph;
