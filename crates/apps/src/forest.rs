@@ -18,6 +18,7 @@ pub trait DfsEngine {
 }
 
 /// The native multithreaded engine.
+#[derive(Debug)]
 pub struct NativeDfs(pub NativeConfig);
 
 impl DfsEngine for NativeDfs {
@@ -28,6 +29,7 @@ impl DfsEngine for NativeDfs {
 }
 
 /// The simulated-GPU engine.
+#[derive(Debug)]
 pub struct SimDfs {
     /// Algorithm configuration.
     pub cfg: DiggerBeesConfig,

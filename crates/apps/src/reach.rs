@@ -10,6 +10,7 @@ use crate::forest::DfsEngine;
 use db_graph::{CsrGraph, VertexId};
 
 /// Reachability oracle over a fixed set of source hubs.
+#[derive(Debug)]
 pub struct ReachOracle {
     hubs: Vec<VertexId>,
     /// Row per hub: packed visited bits.

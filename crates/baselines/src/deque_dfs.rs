@@ -128,6 +128,7 @@ pub fn run_traced<T: Tracer>(
                                 continue;
                             }
                             if let Steal::Success(t) = stealers[v].steal() {
+                                // relaxed-ok: statistics counter, read after join
                                 steals.fetch_add(1, Ordering::Relaxed);
                                 emit(
                                     tracer,
@@ -163,9 +164,12 @@ pub fn run_traced<T: Tracer>(
                     while i < deg {
                         let v = row[i as usize];
                         i += 1;
+                        // relaxed-ok: optimistic pre-check; the CAS below decides
                         if visited[v as usize].load(Ordering::Relaxed) != 0 {
                             continue;
                         }
+                        // relaxed-ok: CAS failure means another worker won the
+                        // claim; we read nothing it published, so no acquire
                         if visited[v as usize]
                             .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed)
                             .is_ok()
@@ -193,6 +197,7 @@ pub fn run_traced<T: Tracer>(
                         }
                     }
                 }
+                // relaxed-ok: statistics counter, read after join
                 edges.fetch_add(local_edges, Ordering::Relaxed);
             });
         }
@@ -215,8 +220,8 @@ pub fn run_traced<T: Tracer>(
             .collect(),
         parent: parent.iter().map(|a| a.load(Ordering::Acquire)).collect(),
         wall,
-        edges_traversed: edges.load(Ordering::Relaxed),
-        steals: steals.load(Ordering::Relaxed),
+        edges_traversed: edges.load(Ordering::Relaxed), // relaxed-ok: after join
+        steals: steals.load(Ordering::Relaxed),         // relaxed-ok: after join
     };
 
     // No SimStats here (the flat scheduler tracks its own few counters),

@@ -1,0 +1,594 @@
+//! Post-hoc happens-before race detector over `db-trace` event streams.
+//!
+//! Actors are `(block, warp)` lanes. Each actor's own events are
+//! program-ordered; cross-actor ordering exists **only** where the
+//! engines synchronize:
+//!
+//! * `StealIntra { victim_warp }` — the thief's CAS on the victim's
+//!   ring tail: join the thief's clock with the victim lane's clock.
+//! * `Flush` → `Refill` / `StealInter` — the per-block ColdSeg is a
+//!   locked structure: each block's "cold clock" accumulates flusher
+//!   clocks, and whoever pulls from the ColdSeg joins with it.
+//! * `Recover { victim_block }` — the recovery path drains a killed
+//!   SM's hot rings and ColdSeg: join with the block's cold clock and
+//!   every lane of the victim block.
+//! * `KernelPhase Start/Finish` — the fork/join boundary: `Start`
+//!   happens-before everything, everything happens-before `Finish`.
+//!
+//! With those edges, a vector clock per actor gives the classic
+//! happens-before check. The detector then enforces the transfer
+//! discipline the whole repo rests on: a vertex pushed by one lane and
+//! popped by another **must** be ordered by a steal-edge chain —
+//! otherwise the entry crossed actors through an unsynchronized ring
+//! access (exactly the shared-ring data-race class of Wu et al.).
+//! Duplicate pushes and duplicate pops (lost updates) are flagged
+//! unconditionally.
+//!
+//! The detector consumes any `--trace` output, including faulted runs
+//! (fault/recover events are ordinary synchronization edges). Input
+//! soundness — balanced begin/end markers, per-actor cycle
+//! monotonicity — is delegated to [`db_trace::validate::check_stream`]
+//! and reported as [`RaceError::BadInput`] rather than as findings.
+//!
+//! Native engines stamp wall-clock nanoseconds, so a victim thread can
+//! be descheduled between its ring publish and its `Push` emission,
+//! making the thief's steal event land *earlier* in the merged
+//! timeline. [`RaceConfig::skew`] widens every steal join to also
+//! cover victim events up to `skew` ticks after the steal — 0 for
+//! simulator traces (deterministic cycles, fully sound), a few
+//! microseconds for native traces (documented FP suppression).
+
+use db_trace::{EventKind, PhaseKind, TraceEvent};
+use std::collections::HashMap;
+
+/// Detector configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RaceConfig {
+    /// Timestamp slack (in trace ticks) granted to steal-edge joins;
+    /// see the module docs. 0 = strict happens-before.
+    pub skew: u64,
+}
+
+/// Why the detector refused to analyze a stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RaceError {
+    /// The stream failed the pairing/monotonicity validator.
+    BadInput(String),
+}
+
+impl std::fmt::Display for RaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RaceError::BadInput(e) => write!(f, "unsound trace input: {e}"),
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceFinding {
+    /// Stable, test-matchable rule name.
+    pub rule: &'static str,
+    /// The vertex involved.
+    pub vertex: u32,
+    /// Human-readable description with both endpoints.
+    pub detail: String,
+}
+
+impl std::fmt::Display for RaceFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] vertex {}: {}", self.rule, self.vertex, self.detail)
+    }
+}
+
+/// Detector outcome: findings plus stream statistics.
+#[derive(Debug, Clone, Default)]
+pub struct RaceReport {
+    /// Everything flagged, in stream order.
+    pub findings: Vec<RaceFinding>,
+    /// Events analyzed.
+    pub events: usize,
+    /// Distinct actors ((block, warp) lanes) seen.
+    pub actors: usize,
+    /// Synchronization edges applied (steal/recover joins).
+    pub sync_edges: usize,
+    /// Cross-actor pushes→pops that were properly steal-ordered.
+    pub ordered_transfers: usize,
+}
+
+type Actor = (u32, u32);
+
+/// A sparse vector clock: actor → ticket.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct VClock(HashMap<Actor, u64>);
+
+impl VClock {
+    fn tick(&mut self, a: Actor) {
+        *self.0.entry(a).or_insert(0) += 1;
+    }
+
+    fn join(&mut self, other: &VClock) {
+        for (&a, &t) in &other.0 {
+            let e = self.0.entry(a).or_insert(0);
+            *e = (*e).max(t);
+        }
+    }
+
+    /// `self ≤ other` — every component covered.
+    fn le(&self, other: &VClock) -> bool {
+        self.0
+            .iter()
+            .all(|(a, &t)| other.0.get(a).copied().unwrap_or(0) >= t)
+    }
+}
+
+/// Where a vertex's `Push` happened.
+#[derive(Debug, Clone)]
+struct PushSite {
+    actor: Actor,
+    clock: VClock,
+    cycle: u64,
+}
+
+/// Runs the detector over `events` with `cfg`.
+///
+/// # Errors
+///
+/// Returns [`RaceError::BadInput`] when the stream fails the
+/// `db-trace` pairing validator — findings over an unsound stream
+/// would be meaningless.
+pub fn detect(events: &[TraceEvent], cfg: &RaceConfig) -> Result<RaceReport, RaceError> {
+    db_trace::validate::check_stream(events).map_err(|e| RaceError::BadInput(e.to_string()))?;
+
+    // Merge into one global timeline. Per-actor order is preserved
+    // (sort is stable and per-actor cycles are non-decreasing); the
+    // cross-actor order is the engines' best-effort timestamp order.
+    let mut order: Vec<usize> = (0..events.len()).collect();
+    order.sort_by_key(|&i| events[i].cycle);
+
+    let mut clocks: HashMap<Actor, VClock> = HashMap::new();
+    // Per-block ColdSeg clock: accumulated at Flush, joined at
+    // Refill / StealInter / Recover.
+    let mut cold: HashMap<u32, VClock> = HashMap::new();
+    let mut pushes: HashMap<u32, PushSite> = HashMap::new();
+    let mut popped: HashMap<u32, Actor> = HashMap::new();
+    let mut start_clock: Option<VClock> = None;
+    let mut report = RaceReport {
+        events: events.len(),
+        ..RaceReport::default()
+    };
+
+    // Pre-index per-actor event positions for skew-window joins: for a
+    // steal at cycle c we want the victim's clock as of cycle c + skew.
+    // Processing in merged order makes the current clock exactly "as of
+    // now", so the skew window is applied by deferring steal joins:
+    // simpler and equivalent is to join again after the window passes.
+    // With the modest skews in practice we instead join with the
+    // victim's clock advanced to cover victim events whose cycle is
+    // ≤ steal cycle + skew; those are exactly the victim events not yet
+    // processed that the sort placed after us. We handle this by a
+    // second pass structure: collect victim events by actor first.
+    let mut by_actor: HashMap<Actor, Vec<usize>> = HashMap::new();
+    // pos[i] = position of event i within its actor's list.
+    let mut pos: Vec<usize> = vec![0; events.len()];
+    for &i in &order {
+        let e = &events[i];
+        let list = by_actor.entry((e.block, e.warp)).or_default();
+        pos[i] = list.len();
+        list.push(i);
+    }
+    // Cursor per actor: how many of its events are already in its clock.
+    let mut cursor: HashMap<Actor, usize> = HashMap::new();
+
+    // Advances `victim`'s clock to include its own events up to and
+    // including `deadline`, returning the advanced clock. The victim's
+    // real clock is advanced too (its events are ticked exactly once).
+    fn clock_upto(
+        victim: Actor,
+        deadline: u64,
+        by_actor: &HashMap<Actor, Vec<usize>>,
+        cursor: &mut HashMap<Actor, usize>,
+        clocks: &mut HashMap<Actor, VClock>,
+        events: &[TraceEvent],
+    ) -> VClock {
+        let list = by_actor.get(&victim).map(Vec::as_slice).unwrap_or(&[]);
+        let cur = cursor.entry(victim).or_insert(0);
+        let clock = clocks.entry(victim).or_default();
+        while *cur < list.len() && events[list[*cur]].cycle <= deadline {
+            clock.tick(victim);
+            *cur += 1;
+        }
+        clock.clone()
+    }
+
+    for &i in &order {
+        let e = &events[i];
+        let actor: Actor = (e.block, e.warp);
+        // Tick this actor's clock for this event unless a skew-window
+        // advance already covered it.
+        {
+            let idx = pos[i];
+            let cur = cursor.entry(actor).or_insert(0);
+            if idx >= *cur {
+                let clock = clocks.entry(actor).or_default();
+                for _ in *cur..=idx {
+                    clock.tick(actor);
+                }
+                *cur = idx + 1;
+            }
+        }
+        // Fork edge: everything after Start inherits the Start clock.
+        if let Some(sc) = &start_clock {
+            clocks.entry(actor).or_default().join(sc);
+        }
+
+        match e.kind {
+            EventKind::KernelPhase {
+                phase: PhaseKind::Start,
+            } => {
+                start_clock = Some(clocks[&actor].clone());
+            }
+            EventKind::KernelPhase { .. } => {}
+            EventKind::Push { vertex } => {
+                if let Some(prev) = pushes.get(&vertex) {
+                    report.findings.push(RaceFinding {
+                        rule: "duplicate-push",
+                        vertex,
+                        detail: format!(
+                            "pushed by {:?} at {} and again by {actor:?} at {}",
+                            prev.actor, prev.cycle, e.cycle
+                        ),
+                    });
+                } else {
+                    pushes.insert(
+                        vertex,
+                        PushSite {
+                            actor,
+                            clock: clocks[&actor].clone(),
+                            cycle: e.cycle,
+                        },
+                    );
+                }
+            }
+            EventKind::Pop { vertex } => {
+                if let Some(&first) = popped.get(&vertex) {
+                    report.findings.push(RaceFinding {
+                        rule: "duplicate-pop",
+                        vertex,
+                        detail: format!(
+                            "expansion completed by {first:?} and again by {actor:?} at {} \
+                             (lost update on the ring)",
+                            e.cycle
+                        ),
+                    });
+                    continue;
+                }
+                popped.insert(vertex, actor);
+                match pushes.get(&vertex) {
+                    None => {
+                        report.findings.push(RaceFinding {
+                            rule: "pop-before-push",
+                            vertex,
+                            detail: format!(
+                                "popped by {actor:?} at {} with no prior push in the stream",
+                                e.cycle
+                            ),
+                        });
+                    }
+                    Some(site) if site.actor != actor => {
+                        if site.clock.le(&clocks[&actor]) {
+                            report.ordered_transfers += 1;
+                        } else {
+                            report.findings.push(RaceFinding {
+                                rule: "unsynchronized-transfer",
+                                vertex,
+                                detail: format!(
+                                    "pushed by {:?} at {} but popped by {actor:?} at {} with no \
+                                     steal edge ordering the transfer",
+                                    site.actor, site.cycle, e.cycle
+                                ),
+                            });
+                        }
+                    }
+                    Some(_) => {}
+                }
+            }
+            EventKind::StealIntra { victim_warp, .. } => {
+                let victim: Actor = (e.block, victim_warp);
+                if victim != actor {
+                    let vc = clock_upto(
+                        victim,
+                        e.cycle.saturating_add(cfg.skew),
+                        &by_actor,
+                        &mut cursor,
+                        &mut clocks,
+                        events,
+                    );
+                    clocks.entry(actor).or_default().join(&vc);
+                    report.sync_edges += 1;
+                }
+            }
+            // ColdSeg edges: the per-block cold segment is a locked
+            // structure, so anything flushed into it happens-before
+            // anything later pulled out of it (refill, inter-block
+            // steal, recovery). `cold[b]` accumulates the flushers'
+            // clocks; consumers join with it. This over-approximates
+            // (a refill is ordered after *all* prior flushes, not just
+            // the ones whose entries it took), which can only suppress
+            // findings, never invent them.
+            EventKind::Flush { .. } => {
+                let ac = clocks[&actor].clone();
+                cold.entry(e.block).or_default().join(&ac);
+            }
+            EventKind::Refill { .. } => {
+                if let Some(cc) = cold.get(&e.block) {
+                    clocks.entry(actor).or_default().join(cc);
+                    report.sync_edges += 1;
+                }
+            }
+            EventKind::StealInter { victim_block, .. } => {
+                if let Some(cc) = cold.get(&victim_block) {
+                    clocks.entry(actor).or_default().join(cc);
+                }
+                report.sync_edges += 1;
+            }
+            EventKind::Recover { victim_block, .. } => {
+                // Recovery drains a killed SM's hot rings *and* its
+                // cold segment; the victim's lanes are stopped, so
+                // join with everything the block ever did.
+                if let Some(cc) = cold.get(&victim_block) {
+                    let cc = cc.clone();
+                    clocks.entry(actor).or_default().join(&cc);
+                }
+                let deadline = e.cycle.saturating_add(cfg.skew);
+                let victims: Vec<Actor> = by_actor
+                    .keys()
+                    .filter(|&&(b, _)| b == victim_block)
+                    .copied()
+                    .collect();
+                for victim in victims {
+                    if victim == actor {
+                        continue;
+                    }
+                    let vc = clock_upto(
+                        victim,
+                        deadline,
+                        &by_actor,
+                        &mut cursor,
+                        &mut clocks,
+                        events,
+                    );
+                    clocks.entry(actor).or_default().join(&vc);
+                }
+                report.sync_edges += 1;
+            }
+            _ => {}
+        }
+    }
+    report.actors = by_actor.len();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, block: u32, warp: u32, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            block,
+            warp,
+            kind,
+        }
+    }
+
+    fn wrap(mut body: Vec<TraceEvent>) -> Vec<TraceEvent> {
+        let mut v = vec![ev(
+            0,
+            0,
+            0,
+            EventKind::KernelPhase {
+                phase: PhaseKind::Start,
+            },
+        )];
+        let last = body.iter().map(|e| e.cycle).max().unwrap_or(0);
+        v.append(&mut body);
+        v.push(ev(
+            last + 1,
+            0,
+            0,
+            EventKind::KernelPhase {
+                phase: PhaseKind::Finish,
+            },
+        ));
+        v
+    }
+
+    #[test]
+    fn clean_single_actor_stream_is_green() {
+        let t = wrap(vec![
+            ev(1, 0, 0, EventKind::Push { vertex: 7 }),
+            ev(2, 0, 0, EventKind::Pop { vertex: 7 }),
+        ]);
+        let r = detect(&t, &RaceConfig::default()).unwrap();
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn steal_edge_orders_cross_actor_transfer() {
+        let t = wrap(vec![
+            ev(1, 0, 0, EventKind::Push { vertex: 7 }),
+            ev(
+                2,
+                0,
+                1,
+                EventKind::StealIntra {
+                    victim_warp: 0,
+                    entries: 1,
+                },
+            ),
+            ev(3, 0, 1, EventKind::Pop { vertex: 7 }),
+        ]);
+        let r = detect(&t, &RaceConfig::default()).unwrap();
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.ordered_transfers, 1);
+        assert_eq!(r.sync_edges, 1);
+    }
+
+    #[test]
+    fn missing_steal_edge_is_flagged() {
+        let t = wrap(vec![
+            ev(1, 0, 0, EventKind::Push { vertex: 7 }),
+            ev(3, 0, 1, EventKind::Pop { vertex: 7 }),
+        ]);
+        let r = detect(&t, &RaceConfig::default()).unwrap();
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "unsynchronized-transfer");
+    }
+
+    #[test]
+    fn duplicate_pop_is_flagged() {
+        let t = wrap(vec![
+            ev(1, 0, 0, EventKind::Push { vertex: 7 }),
+            ev(2, 0, 0, EventKind::Pop { vertex: 7 }),
+            ev(
+                3,
+                0,
+                1,
+                EventKind::StealIntra {
+                    victim_warp: 0,
+                    entries: 1,
+                },
+            ),
+            ev(4, 0, 1, EventKind::Pop { vertex: 7 }),
+        ]);
+        let r = detect(&t, &RaceConfig::default()).unwrap();
+        assert!(r.findings.iter().any(|f| f.rule == "duplicate-pop"));
+    }
+
+    #[test]
+    fn flush_then_inter_block_steal_orders_the_transfer() {
+        let t = wrap(vec![
+            ev(1, 0, 1, EventKind::Push { vertex: 9 }),
+            ev(2, 0, 1, EventKind::Flush { entries: 1 }),
+            ev(
+                3,
+                1,
+                0,
+                EventKind::StealInter {
+                    victim_block: 0,
+                    entries: 1,
+                },
+            ),
+            ev(4, 1, 0, EventKind::Pop { vertex: 9 }),
+        ]);
+        let r = detect(&t, &RaceConfig::default()).unwrap();
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn flush_then_refill_orders_cross_warp_transfer() {
+        let t = wrap(vec![
+            ev(1, 0, 0, EventKind::Push { vertex: 9 }),
+            ev(2, 0, 0, EventKind::Flush { entries: 1 }),
+            ev(3, 0, 1, EventKind::Refill { entries: 1 }),
+            ev(4, 0, 1, EventKind::Pop { vertex: 9 }),
+        ]);
+        let r = detect(&t, &RaceConfig::default()).unwrap();
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.ordered_transfers, 1);
+    }
+
+    #[test]
+    fn inter_block_steal_without_flush_is_not_ordered() {
+        // An entry leaving a block that never flushed means the cold
+        // edge cannot explain the transfer: flagged.
+        let t = wrap(vec![
+            ev(1, 0, 1, EventKind::Push { vertex: 9 }),
+            ev(
+                2,
+                1,
+                0,
+                EventKind::StealInter {
+                    victim_block: 0,
+                    entries: 1,
+                },
+            ),
+            ev(3, 1, 0, EventKind::Pop { vertex: 9 }),
+        ]);
+        let r = detect(&t, &RaceConfig::default()).unwrap();
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "unsynchronized-transfer");
+    }
+
+    #[test]
+    fn recovery_joins_killed_block_lanes() {
+        let t = wrap(vec![
+            ev(1, 0, 1, EventKind::Push { vertex: 9 }),
+            ev(2, 0, 1, EventKind::Fault { code: 0 }),
+            ev(
+                3,
+                1,
+                0,
+                EventKind::Recover {
+                    victim_block: 0,
+                    entries: 1,
+                },
+            ),
+            ev(4, 1, 0, EventKind::Pop { vertex: 9 }),
+        ]);
+        let r = detect(&t, &RaceConfig::default()).unwrap();
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn skew_window_covers_late_victim_emission() {
+        // The victim's Push lands at cycle 5, after the thief's steal
+        // at cycle 4 (emission skew). Strict HB flags it; a skew of 2
+        // accepts it.
+        let body = vec![
+            ev(
+                4,
+                0,
+                1,
+                EventKind::StealIntra {
+                    victim_warp: 0,
+                    entries: 1,
+                },
+            ),
+            ev(5, 0, 0, EventKind::Push { vertex: 7 }),
+            ev(6, 0, 1, EventKind::Pop { vertex: 7 }),
+        ];
+        let strict = detect(&wrap(body.clone()), &RaceConfig { skew: 0 }).unwrap();
+        assert_eq!(strict.findings.len(), 1);
+        let lax = detect(&wrap(body), &RaceConfig { skew: 2 }).unwrap();
+        assert!(lax.findings.is_empty(), "{:?}", lax.findings);
+    }
+
+    #[test]
+    fn unsound_stream_is_rejected() {
+        // Finish before Start.
+        let t = vec![
+            ev(
+                1,
+                0,
+                0,
+                EventKind::KernelPhase {
+                    phase: PhaseKind::Finish,
+                },
+            ),
+            ev(
+                2,
+                0,
+                0,
+                EventKind::KernelPhase {
+                    phase: PhaseKind::Start,
+                },
+            ),
+        ];
+        assert!(matches!(
+            detect(&t, &RaceConfig::default()),
+            Err(RaceError::BadInput(_))
+        ));
+    }
+}

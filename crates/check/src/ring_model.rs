@@ -1,0 +1,610 @@
+//! Step-level model of the lock-free HotRing protocol
+//! (`db_core::lockfree::StampedRing`) for the bounded model checker.
+//!
+//! Every atomic access of the real implementation is one explorer step,
+//! in the same order the code performs them:
+//!
+//! * **owner push** — load control; CAS `head+1`; spin until the slot
+//!   stamp is `writable(h)`; store the payload; store `readable(h)`.
+//! * **owner pop** — load control; CAS `head-1`; spin until
+//!   `readable(p)`; load the payload; store `writable(p)`.
+//! * **thief steal** — load control; CAS `tail+take` (bounded retries,
+//!   min-cutoff check); per claimed slot: spin until `readable(p)`,
+//!   load the payload, store `writable(p + cap)` for the next lap.
+//!
+//! The model is validated against the real ring by the differential
+//! tests in `tests/differential.rs` (same op sequence, same results),
+//! and [`RingMutation`] seeds the protocol bugs the checker must catch:
+//! skipping a CAS (blind store), publishing the stamp before the
+//! payload, and reading a claimed slot without waiting for its stamp.
+//!
+//! Oracles:
+//!
+//! * every pushed value is consumed **exactly once** (no lost, no
+//!   duplicated block — covers steal-vs-pop mutual exclusion);
+//! * no consumption of an unpublished slot (stale/garbage payload);
+//! * `tail` is monotone and `head - tail` never exceeds the capacity;
+//! * quiescence: the drained ring ends empty with every slot stamp
+//!   parked at the writable value for its next lap.
+
+use crate::explore::{ActorId, Model, Violation};
+
+/// Sentinel payload meaning "this slot was never published this lap".
+const STALE: u32 = u32::MAX;
+
+#[inline]
+fn pack(head: u32, tail: u32) -> u64 {
+    ((head as u64) << 32) | tail as u64
+}
+
+#[inline]
+fn unpack(c: u64) -> (u32, u32) {
+    ((c >> 32) as u32, c as u32)
+}
+
+#[inline]
+fn writable(p: u32) -> u64 {
+    (p as u64) << 1
+}
+
+#[inline]
+fn readable(p: u32) -> u64 {
+    ((p as u64) << 1) | 1
+}
+
+/// A seeded protocol bug for the mutation tests: each one removes or
+/// reorders a single synchronization step of the faithful protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingMutation {
+    /// The thief reserves its batch with a plain load+store instead of
+    /// a CAS on the control word (lost tail update → double steal).
+    ThiefSkipCas,
+    /// The owner advances `head` with a plain load+store instead of a
+    /// CAS (clobbers a concurrent thief's tail reservation).
+    OwnerPushSkipCas,
+    /// The owner publishes the slot stamp *before* storing the payload
+    /// (a consumer can read the previous lap's value).
+    PublishStampBeforeData,
+    /// The thief reads a claimed slot without spinning on its stamp
+    /// (reads a slot the owner has claimed but not yet published).
+    ThiefSkipStampWait,
+}
+
+impl RingMutation {
+    /// Every mutation, for exhaustive mutation tests.
+    pub const ALL: [RingMutation; 4] = [
+        RingMutation::ThiefSkipCas,
+        RingMutation::OwnerPushSkipCas,
+        RingMutation::PublishStampBeforeData,
+        RingMutation::ThiefSkipStampWait,
+    ];
+}
+
+/// Configuration of one ring-model check: the owner pushes
+/// `values` entries (popping one to make room whenever the ring is
+/// full, then draining), while `thieves` thieves each run
+/// `rounds` bounded `take_from_tail(k, min, attempts)` calls.
+#[derive(Debug, Clone)]
+pub struct RingScenario {
+    /// Ring capacity (2–4 keeps the state space tiny).
+    pub capacity: u32,
+    /// Values the owner pushes (`0..values`).
+    pub values: u32,
+    /// Number of thief actors.
+    pub thieves: usize,
+    /// `k` of each steal call.
+    pub steal_k: u32,
+    /// `min` cutoff of each steal call.
+    pub steal_min: u32,
+    /// CAS retry budget per steal call.
+    pub steal_attempts: u32,
+    /// Steal calls per thief.
+    pub rounds: u32,
+    /// The seeded bug, or `None` for the faithful protocol.
+    pub mutation: Option<RingMutation>,
+}
+
+impl RingScenario {
+    /// The default tiny config: capacity 3, 5 values, 2 thieves.
+    pub fn small() -> Self {
+        RingScenario {
+            capacity: 3,
+            values: 5,
+            thieves: 2,
+            steal_k: 2,
+            steal_min: 1,
+            steal_attempts: 2,
+            rounds: 2,
+            mutation: None,
+        }
+    }
+
+    /// Same scenario with a seeded bug.
+    pub fn with_mutation(mut self, m: RingMutation) -> Self {
+        self.mutation = Some(m);
+        self
+    }
+}
+
+/// Owner program counter. The owner pushes all values in order; a full
+/// ring diverts it through one pop (pop-process-push, as the engine
+/// does around a flush); after the last push it drains the ring.
+#[derive(Debug, Clone, Hash, PartialEq, Eq)]
+enum OwnerPc {
+    /// Decide the next op from `next_value` / drain phase.
+    Decide,
+    PushLoad {
+        v: u32,
+    },
+    PushCas {
+        v: u32,
+        c: u64,
+    },
+    PushWaitSlot {
+        v: u32,
+        h: u32,
+    },
+    PushStoreData {
+        v: u32,
+        h: u32,
+    },
+    PushStoreStamp {
+        v: u32,
+        h: u32,
+    },
+    /// `resume` is the value whose push found the ring full.
+    PopLoad {
+        resume: Option<u32>,
+    },
+    PopCas {
+        c: u64,
+        resume: Option<u32>,
+    },
+    PopWait {
+        p: u32,
+        resume: Option<u32>,
+    },
+    PopRead {
+        p: u32,
+        resume: Option<u32>,
+    },
+    PopStoreStamp {
+        p: u32,
+        resume: Option<u32>,
+    },
+    Done,
+}
+
+/// Thief program counter for bounded `take_from_tail` rounds.
+#[derive(Debug, Clone, Hash, PartialEq, Eq)]
+enum ThiefPc {
+    /// Start of one steal call; `rounds` calls remain.
+    Load {
+        rounds: u32,
+        attempts: u32,
+    },
+    Cas {
+        rounds: u32,
+        attempts: u32,
+        c: u64,
+        take: u32,
+    },
+    WaitSlot {
+        rounds: u32,
+        t: u32,
+        i: u32,
+        take: u32,
+    },
+    ReadSlot {
+        rounds: u32,
+        t: u32,
+        i: u32,
+        take: u32,
+    },
+    StoreStamp {
+        rounds: u32,
+        t: u32,
+        i: u32,
+        take: u32,
+    },
+    Done,
+}
+
+/// Full system state: the ring's three shared locations, every actor's
+/// PC, and the ghost consumption ledger.
+#[derive(Clone, Hash, PartialEq, Eq, Debug)]
+pub struct RingState {
+    control: u64,
+    stamps: Vec<u64>,
+    data: Vec<u32>,
+    owner: OwnerPc,
+    next_value: u32,
+    thieves: Vec<ThiefPc>,
+    /// Ghost: consumption count per pushed value.
+    consumed: Vec<u8>,
+    /// Ghost: highest tail ever written (monotonicity oracle).
+    tail_floor: u32,
+}
+
+/// The checkable model. Owner is actor 0; thieves are 1..=thieves.
+#[derive(Debug, Clone)]
+pub struct RingModel {
+    /// The scenario being checked.
+    pub scenario: RingScenario,
+}
+
+impl RingModel {
+    /// Creates the model for a scenario.
+    pub fn new(scenario: RingScenario) -> Self {
+        RingModel { scenario }
+    }
+
+    #[inline]
+    fn slot(&self, p: u32) -> usize {
+        (p % self.scenario.capacity) as usize
+    }
+
+    fn consume(&self, s: &mut RingState, value: u32, by: &str) -> Result<(), Violation> {
+        if value == STALE || value >= self.scenario.values {
+            return Err(Violation::new(
+                "unpublished-read",
+                format!("{by} consumed unpublished slot payload {value:#x}"),
+            ));
+        }
+        s.consumed[value as usize] += 1;
+        if s.consumed[value as usize] > 1 {
+            return Err(Violation::new(
+                "duplicated-block",
+                format!("value {value} consumed twice ({by} last)"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Writes the control word, enforcing the tail-monotonicity and
+    /// occupancy oracles at the write (transition-level invariants).
+    fn write_control(&self, s: &mut RingState, c: u64, by: &str) -> Result<(), Violation> {
+        let (h, t) = unpack(c);
+        if t.wrapping_sub(s.tail_floor) > self.scenario.capacity {
+            // A tail moving backwards shows up as a huge forward wrap.
+            return Err(Violation::new(
+                "tail-monotonicity",
+                format!("{by} moved tail from {} to {t}", s.tail_floor),
+            ));
+        }
+        if h.wrapping_sub(t) > self.scenario.capacity {
+            return Err(Violation::new(
+                "occupancy",
+                format!("{by} left head-tail = {} > capacity", h.wrapping_sub(t)),
+            ));
+        }
+        s.tail_floor = s.tail_floor.max(t);
+        s.control = c;
+        Ok(())
+    }
+
+    fn step_owner(&self, s: &RingState) -> Result<RingState, Violation> {
+        let cap = self.scenario.capacity;
+        let mut s = s.clone();
+        match s.owner.clone() {
+            OwnerPc::Decide => {
+                s.owner = if s.next_value < self.scenario.values {
+                    OwnerPc::PushLoad { v: s.next_value }
+                } else {
+                    OwnerPc::PopLoad { resume: None }
+                };
+            }
+            OwnerPc::PushLoad { v } => {
+                s.owner = OwnerPc::PushCas { v, c: s.control };
+            }
+            OwnerPc::PushCas { v, c } => {
+                let (h, t) = unpack(c);
+                if h.wrapping_sub(t) >= cap {
+                    // Ring full: pop one (pop-process-push), then retry.
+                    s.owner = OwnerPc::PopLoad { resume: Some(v) };
+                } else if self.scenario.mutation == Some(RingMutation::OwnerPushSkipCas) {
+                    // Mutation: blind store from the stale snapshot.
+                    self.write_control(&mut s, pack(h.wrapping_add(1), t), "owner push (blind)")?;
+                    s.owner = OwnerPc::PushWaitSlot { v, h };
+                } else if s.control == c {
+                    self.write_control(&mut s, pack(h.wrapping_add(1), t), "owner push")?;
+                    s.owner = OwnerPc::PushWaitSlot { v, h };
+                } else {
+                    // CAS failed: reload.
+                    s.owner = OwnerPc::PushLoad { v };
+                }
+            }
+            OwnerPc::PushWaitSlot { v, h } => {
+                debug_assert_eq!(s.stamps[self.slot(h)], writable(h));
+                s.owner = if self.scenario.mutation == Some(RingMutation::PublishStampBeforeData) {
+                    OwnerPc::PushStoreStamp { v, h }
+                } else {
+                    OwnerPc::PushStoreData { v, h }
+                };
+            }
+            OwnerPc::PushStoreData { v, h } => {
+                let sl = self.slot(h);
+                s.data[sl] = v;
+                s.owner = if self.scenario.mutation == Some(RingMutation::PublishStampBeforeData) {
+                    // Mutated order ran the stamp store first; push done.
+                    s.next_value = v + 1;
+                    OwnerPc::Decide
+                } else {
+                    OwnerPc::PushStoreStamp { v, h }
+                };
+            }
+            OwnerPc::PushStoreStamp { v, h } => {
+                let sl = self.slot(h);
+                s.stamps[sl] = readable(h);
+                s.owner = if self.scenario.mutation == Some(RingMutation::PublishStampBeforeData) {
+                    OwnerPc::PushStoreData { v, h }
+                } else {
+                    s.next_value = v + 1;
+                    OwnerPc::Decide
+                };
+            }
+            OwnerPc::PopLoad { resume } => {
+                let (h, t) = unpack(s.control);
+                if h == t {
+                    match resume {
+                        // Drain finished.
+                        None => s.owner = OwnerPc::Done,
+                        // Full-ring pop raced with thieves draining it:
+                        // the push can proceed now.
+                        Some(v) => s.owner = OwnerPc::PushLoad { v },
+                    }
+                } else {
+                    s.owner = OwnerPc::PopCas {
+                        c: s.control,
+                        resume,
+                    };
+                }
+            }
+            OwnerPc::PopCas { c, resume } => {
+                if s.control == c {
+                    let (h, t) = unpack(c);
+                    let p = h.wrapping_sub(1);
+                    self.write_control(&mut s, pack(p, t), "owner pop")?;
+                    s.owner = OwnerPc::PopWait { p, resume };
+                } else {
+                    s.owner = OwnerPc::PopLoad { resume };
+                }
+            }
+            OwnerPc::PopWait { p, resume } => {
+                debug_assert_eq!(s.stamps[self.slot(p)], readable(p));
+                s.owner = OwnerPc::PopRead { p, resume };
+            }
+            OwnerPc::PopRead { p, resume } => {
+                let value = s.data[self.slot(p)];
+                self.consume(&mut s, value, "owner pop")?;
+                s.owner = OwnerPc::PopStoreStamp { p, resume };
+            }
+            OwnerPc::PopStoreStamp { p, resume } => {
+                let sl = self.slot(p);
+                s.stamps[sl] = writable(p);
+                s.owner = match resume {
+                    None => OwnerPc::PopLoad { resume: None },
+                    Some(v) => OwnerPc::PushLoad { v },
+                };
+            }
+            OwnerPc::Done => unreachable!("stepping a done owner"),
+        }
+        Ok(s)
+    }
+
+    fn step_thief(&self, s: &RingState, idx: usize) -> Result<RingState, Violation> {
+        let sc = &self.scenario;
+        let mut s = s.clone();
+        match s.thieves[idx].clone() {
+            ThiefPc::Load { rounds, attempts } => {
+                let c = s.control;
+                let (h, t) = unpack(c);
+                let avail = h.wrapping_sub(t);
+                s.thieves[idx] = if avail < sc.steal_min {
+                    // Under the cutoff: this call returns empty.
+                    self.next_round(rounds)
+                } else {
+                    ThiefPc::Cas {
+                        rounds,
+                        attempts,
+                        c,
+                        take: sc.steal_k.min(avail),
+                    }
+                };
+            }
+            ThiefPc::Cas {
+                rounds,
+                attempts,
+                c,
+                take,
+            } => {
+                let (h, t) = unpack(c);
+                let blind = sc.mutation == Some(RingMutation::ThiefSkipCas);
+                if blind || s.control == c {
+                    self.write_control(
+                        &mut s,
+                        pack(h, t.wrapping_add(take)),
+                        if blind {
+                            "thief steal (blind)"
+                        } else {
+                            "thief steal"
+                        },
+                    )?;
+                    s.thieves[idx] = ThiefPc::WaitSlot {
+                        rounds,
+                        t,
+                        i: 0,
+                        take,
+                    };
+                } else if attempts > 1 {
+                    s.thieves[idx] = ThiefPc::Load {
+                        rounds,
+                        attempts: attempts - 1,
+                    };
+                } else {
+                    // Raced out: this call returns empty.
+                    s.thieves[idx] = self.next_round(rounds);
+                }
+            }
+            ThiefPc::WaitSlot { rounds, t, i, take } => {
+                let p = t.wrapping_add(i);
+                debug_assert!(
+                    sc.mutation == Some(RingMutation::ThiefSkipStampWait)
+                        || s.stamps[self.slot(p)] == readable(p)
+                );
+                s.thieves[idx] = ThiefPc::ReadSlot { rounds, t, i, take };
+            }
+            ThiefPc::ReadSlot { rounds, t, i, take } => {
+                let p = t.wrapping_add(i);
+                let value = s.data[self.slot(p)];
+                self.consume(&mut s, value, "thief steal")?;
+                s.thieves[idx] = ThiefPc::StoreStamp { rounds, t, i, take };
+            }
+            ThiefPc::StoreStamp { rounds, t, i, take } => {
+                let p = t.wrapping_add(i);
+                let sl = self.slot(p);
+                s.stamps[sl] = writable(p.wrapping_add(sc.capacity));
+                s.thieves[idx] = if i + 1 < take {
+                    ThiefPc::WaitSlot {
+                        rounds,
+                        t,
+                        i: i + 1,
+                        take,
+                    }
+                } else {
+                    self.next_round(rounds)
+                };
+            }
+            ThiefPc::Done => unreachable!("stepping a done thief"),
+        }
+        Ok(s)
+    }
+
+    fn next_round(&self, rounds: u32) -> ThiefPc {
+        if rounds > 1 {
+            ThiefPc::Load {
+                rounds: rounds - 1,
+                attempts: self.scenario.steal_attempts,
+            }
+        } else {
+            ThiefPc::Done
+        }
+    }
+}
+
+impl Model for RingModel {
+    type State = RingState;
+
+    fn initial(&self) -> RingState {
+        let sc = &self.scenario;
+        RingState {
+            control: 0,
+            stamps: (0..sc.capacity).map(writable).collect(),
+            data: vec![STALE; sc.capacity as usize],
+            owner: OwnerPc::Decide,
+            next_value: 0,
+            thieves: vec![
+                ThiefPc::Load {
+                    rounds: sc.rounds,
+                    attempts: sc.steal_attempts,
+                };
+                sc.thieves
+            ],
+            consumed: vec![0; sc.values as usize],
+            tail_floor: 0,
+        }
+    }
+
+    fn actors(&self) -> usize {
+        1 + self.scenario.thieves
+    }
+
+    fn done(&self, s: &RingState, a: ActorId) -> bool {
+        if a == 0 {
+            s.owner == OwnerPc::Done
+        } else {
+            s.thieves[a - 1] == ThiefPc::Done
+        }
+    }
+
+    fn enabled(&self, s: &RingState, a: ActorId) -> bool {
+        if self.done(s, a) {
+            return false;
+        }
+        // Spin loops block until their stamp condition holds.
+        if a == 0 {
+            match s.owner {
+                OwnerPc::PushWaitSlot { h, .. } => s.stamps[self.slot(h)] == writable(h),
+                OwnerPc::PopWait { p, .. } => s.stamps[self.slot(p)] == readable(p),
+                _ => true,
+            }
+        } else {
+            match s.thieves[a - 1] {
+                ThiefPc::WaitSlot { t, i, .. } => {
+                    if self.scenario.mutation == Some(RingMutation::ThiefSkipStampWait) {
+                        return true; // mutation: no spin, read immediately
+                    }
+                    let p = t.wrapping_add(i);
+                    s.stamps[self.slot(p)] == readable(p)
+                }
+                _ => true,
+            }
+        }
+    }
+
+    fn is_local(&self, s: &RingState, a: ActorId) -> bool {
+        // Only pure PC bookkeeping is local; every load/CAS/store of
+        // control, a stamp, or a payload is shared.
+        if a == 0 {
+            matches!(s.owner, OwnerPc::Decide)
+        } else {
+            false
+        }
+    }
+
+    fn step(&self, s: &RingState, a: ActorId) -> Result<RingState, Violation> {
+        if a == 0 {
+            self.step_owner(s)
+        } else {
+            self.step_thief(s, a - 1)
+        }
+    }
+
+    fn check(&self, _s: &RingState) -> Result<(), Violation> {
+        // Transition-level invariants run inside write_control/consume.
+        Ok(())
+    }
+
+    fn check_final(&self, s: &RingState) -> Result<(), Violation> {
+        let (h, t) = unpack(s.control);
+        if h != t {
+            return Err(Violation::new(
+                "quiescence",
+                format!("drained ring not empty: head {h}, tail {t}"),
+            ));
+        }
+        for (v, &n) in s.consumed.iter().enumerate() {
+            if n != 1 {
+                return Err(Violation::new(
+                    if n == 0 {
+                        "lost-block"
+                    } else {
+                        "duplicated-block"
+                    },
+                    format!("value {v} consumed {n} times"),
+                ));
+            }
+        }
+        for p in 0..self.scenario.capacity {
+            let stamp = s.stamps[p as usize];
+            // Each slot must be parked writable for some future lap.
+            if stamp & 1 != 0 {
+                return Err(Violation::new(
+                    "quiescence",
+                    format!("slot {p} left readable at quiescence (stamp {stamp})"),
+                ));
+            }
+        }
+        Ok(())
+    }
+}

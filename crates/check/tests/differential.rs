@@ -1,0 +1,151 @@
+//! Differential tests: the ring model checks a *transcription* of
+//! `StampedRing`, so these tests pin the transcription's semantic
+//! assumptions to the real implementation:
+//!
+//! 1. the real ring, driven sequentially, matches the reference
+//!    semantics the model encodes (LIFO owner end, FIFO steal end,
+//!    `min`-cutoff and `k`-clamp on steals, push-fails-when-full);
+//! 2. the real ring, driven concurrently with the exact actor shape of
+//!    [`RingScenario::small`], satisfies the model's oracles (every
+//!    value consumed exactly once, quiescent at the end).
+//!
+//! If the real protocol ever drifts from the model, one of these fails
+//! and the model must be re-transcribed before its green runs mean
+//! anything again.
+
+use db_check::ring_model::RingScenario;
+use db_core::lockfree::StampedRing;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Reference semantics of the ring as the model transcribes them:
+/// owner pushes/pops at the front (LIFO), thieves take from the back
+/// (oldest first).
+#[derive(Debug, Default)]
+struct Reference {
+    deque: VecDeque<(u32, u32)>,
+    cap: usize,
+}
+
+impl Reference {
+    fn push(&mut self, e: (u32, u32)) -> Result<(), (u32, u32)> {
+        if self.deque.len() >= self.cap {
+            return Err(e);
+        }
+        self.deque.push_front(e);
+        Ok(())
+    }
+
+    fn pop(&mut self) -> Option<(u32, u32)> {
+        self.deque.pop_front()
+    }
+
+    fn take_from_tail(&mut self, k: u32, min: u32) -> Vec<(u32, u32)> {
+        if (self.deque.len() as u32) < min {
+            return Vec::new();
+        }
+        let take = k.min(self.deque.len() as u32) as usize;
+        let mut out = Vec::with_capacity(take);
+        for _ in 0..take {
+            out.push(self.deque.pop_back().expect("len checked"));
+        }
+        out
+    }
+}
+
+#[test]
+fn sequential_ops_match_the_reference_semantics() {
+    for seed in 0..20u64 {
+        let mut rng = SmallRng::seed_from_u64(0xD1FF ^ seed);
+        let cap = rng.gen_range(2u32..=5);
+        let ring = StampedRing::new(cap);
+        let mut reference = Reference {
+            deque: VecDeque::new(),
+            cap: cap as usize,
+        };
+        let mut next = 0u32;
+        for _ in 0..400 {
+            match rng.gen_range(0u32..3) {
+                0 => {
+                    let e = (next, next.wrapping_mul(3));
+                    next += 1;
+                    assert_eq!(
+                        ring.push(e).is_ok(),
+                        reference.push(e).is_ok(),
+                        "push full/ok disagreement at cap {cap}"
+                    );
+                }
+                1 => {
+                    assert_eq!(ring.pop(), reference.pop(), "pop disagreement");
+                }
+                _ => {
+                    let k = rng.gen_range(1u32..=3);
+                    let min = rng.gen_range(1u32..=2);
+                    // Sequentially there is no contention, so one
+                    // attempt never races out.
+                    assert_eq!(
+                        ring.take_from_tail(k, min, 1),
+                        reference.take_from_tail(k, min),
+                        "steal disagreement (k {k}, min {min})"
+                    );
+                }
+            }
+            assert_eq!(ring.len() as usize, reference.deque.len());
+        }
+    }
+}
+
+#[test]
+fn concurrent_small_scenario_upholds_the_model_oracles() {
+    // The same actor shape as RingScenario::small(), on the real ring:
+    // one owner pushing `values` entries (popping when full, then
+    // draining), `thieves` thieves each doing `rounds` bounded steals.
+    // Scaled up and repeated so real interleavings actually happen.
+    let sc = RingScenario::small();
+    for round in 0..50u64 {
+        let values = sc.values * 40;
+        let ring = StampedRing::new(sc.capacity);
+        let consumed = Mutex::new(vec![0u8; values as usize]);
+        let done = AtomicBool::new(false);
+        let consume = |batch: &[(u32, u32)]| {
+            let mut c = consumed.lock().unwrap();
+            for &(v, _) in batch {
+                c[v as usize] += 1;
+            }
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..sc.thieves {
+                scope.spawn(|| {
+                    while !done.load(Ordering::Acquire) {
+                        let got = ring.take_from_tail(sc.steal_k, sc.steal_min, sc.steal_attempts);
+                        consume(&got);
+                        std::hint::spin_loop();
+                    }
+                });
+            }
+            // Owner: push all values, popping one when full; then drain.
+            for v in 0..values {
+                let mut e = (v, round as u32);
+                while let Err(back) = ring.push(e) {
+                    if let Some(got) = ring.pop() {
+                        consume(&[got]);
+                    }
+                    e = back;
+                }
+            }
+            while let Some(got) = ring.pop() {
+                consume(&[got]);
+            }
+            done.store(true, Ordering::Release);
+        });
+        // The model's final oracles, on the real execution.
+        assert!(ring.is_empty(), "ring not quiescent after drain");
+        let c = consumed.into_inner().unwrap();
+        for (v, &n) in c.iter().enumerate() {
+            assert_eq!(n, 1, "value {v} consumed {n} times (round {round})");
+        }
+    }
+}

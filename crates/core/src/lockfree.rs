@@ -77,6 +77,17 @@ pub struct StampedRing {
     cap: u32,
 }
 
+impl std::fmt::Debug for StampedRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (h, t) = unpack(self.control.load(Ordering::Relaxed)); // relaxed-ok: debug snapshot
+        f.debug_struct("StampedRing")
+            .field("cap", &self.cap)
+            .field("head", &h)
+            .field("tail", &t)
+            .finish_non_exhaustive()
+    }
+}
+
 impl StampedRing {
     /// Creates a ring with `cap` slots.
     pub fn new(cap: u32) -> Self {
@@ -138,6 +149,7 @@ impl StampedRing {
                     c,
                     pack(h.wrapping_add(1), t),
                     Ordering::AcqRel,
+                    // relaxed-ok: failure retries from a fresh Acquire load
                     Ordering::Relaxed,
                 )
                 .is_ok()
@@ -146,6 +158,7 @@ impl StampedRing {
                 // occupant to be fully consumed, then publish.
                 self.spin_until(h, writable(h));
                 let s = self.slot(h);
+                // relaxed-ok: publication is ordered by the stamp Release below
                 s.data.store(pack_entry(e), Ordering::Relaxed);
                 s.stamp.store(readable(h), Ordering::Release);
                 return Ok(());
@@ -164,11 +177,13 @@ impl StampedRing {
             let p = h.wrapping_sub(1);
             if self
                 .control
+                // relaxed-ok: failure retries from a fresh Acquire load
                 .compare_exchange_weak(c, pack(p, t), Ordering::AcqRel, Ordering::Relaxed)
                 .is_ok()
             {
                 self.spin_until(p, readable(p));
                 let s = self.slot(p);
+                // relaxed-ok: spin_until's Acquire on the stamp orders this read
                 let e = unpack_entry(s.data.load(Ordering::Relaxed));
                 // Release the slot for position p again (the owner may
                 // push back to the same position next).
@@ -198,6 +213,7 @@ impl StampedRing {
                     c,
                     pack(h, t.wrapping_add(take)),
                     Ordering::AcqRel,
+                    // relaxed-ok: failure re-selects a victim or retries fresh
                     Ordering::Relaxed,
                 )
                 .is_ok()
@@ -207,6 +223,7 @@ impl StampedRing {
                     let p = t.wrapping_add(i);
                     self.spin_until(p, readable(p));
                     let s = self.slot(p);
+                    // relaxed-ok: spin_until's Acquire on the stamp orders this read
                     out.push(unpack_entry(s.data.load(Ordering::Relaxed)));
                     // Release the slot for the *next lap* of this slot.
                     s.stamp

@@ -152,6 +152,8 @@ impl<'g> Shared<'g> {
     /// Try to claim vertex `v`; true if this thread won the CAS.
     fn claim(&self, v: u32) -> bool {
         self.visited[v as usize]
+            // relaxed-ok: failure means another worker won the claim; we
+            // read nothing it published, so no acquire is needed
             .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed)
             .is_ok()
     }
@@ -248,6 +250,7 @@ impl NativeEngine {
 
         // Seed the root into warp 0.
         shared.visited[root as usize].store(1, Ordering::Release);
+        // relaxed-ok: stats counters seeded before any worker spawns
         shared.vertices.store(1, Ordering::Relaxed);
         shared.tasks_per_block[0].store(1, Ordering::Relaxed);
         shared.live.store(1, Ordering::Release);
@@ -291,20 +294,22 @@ impl NativeEngine {
         let completed = !shared.cancelled.load(Ordering::Acquire);
         debug_assert!(!completed || shared.live.load(Ordering::SeqCst) == 0);
         let mut stats = SimStats::new(cfg.blocks as usize);
+        // relaxed-ok: stats snapshot after every worker has joined; the
+        // scope join is the synchronization point (also the next 10 loads)
         stats.vertices_visited = shared.vertices.load(Ordering::Relaxed);
         stats.edges_traversed = shared.edges.load(Ordering::Relaxed);
-        stats.steals_intra = shared.steals_intra.load(Ordering::Relaxed);
-        stats.steals_inter = shared.steals_inter.load(Ordering::Relaxed);
-        stats.steal_failures = shared.steal_failures.load(Ordering::Relaxed);
-        stats.flushes = shared.flushes.load(Ordering::Relaxed);
-        stats.refills = shared.refills.load(Ordering::Relaxed);
-        stats.visited_cas_failures = shared.cas_failures.load(Ordering::Relaxed);
-        stats.hot_high_water = shared.hot_hw.load(Ordering::Relaxed);
-        stats.cold_high_water = shared.cold_hw.load(Ordering::Relaxed);
+        stats.steals_intra = shared.steals_intra.load(Ordering::Relaxed); // relaxed-ok: after join
+        stats.steals_inter = shared.steals_inter.load(Ordering::Relaxed); // relaxed-ok: after join
+        stats.steal_failures = shared.steal_failures.load(Ordering::Relaxed); // relaxed-ok: after join
+        stats.flushes = shared.flushes.load(Ordering::Relaxed); // relaxed-ok: after join
+        stats.refills = shared.refills.load(Ordering::Relaxed); // relaxed-ok: after join
+        stats.visited_cas_failures = shared.cas_failures.load(Ordering::Relaxed); // relaxed-ok: after join
+        stats.hot_high_water = shared.hot_hw.load(Ordering::Relaxed); // relaxed-ok: after join
+        stats.cold_high_water = shared.cold_hw.load(Ordering::Relaxed); // relaxed-ok: after join
         stats.tasks_per_block = shared
             .tasks_per_block
             .iter()
-            .map(|a| a.load(Ordering::Relaxed))
+            .map(|a| a.load(Ordering::Relaxed)) // relaxed-ok: after join
             .collect();
         stats.record_to(db_metrics::global(), "native");
         NativeResult {
@@ -384,6 +389,7 @@ fn worker<T: Tracer>(
         }
     }
 
+    // relaxed-ok: stats counters, read only after the scope join
     s.edges.fetch_add(edges, Ordering::Relaxed);
     s.vertices.fetch_add(vertices, Ordering::Relaxed);
     s.tasks_per_block[b].fetch_add(tasks, Ordering::Relaxed);
@@ -414,8 +420,8 @@ fn work_step<T: Tracer>(
         drop(cold);
         hot.push_batch(&batch);
         ws.hot_len.store(hot.len(), Ordering::Release);
-        s.hot_hw.fetch_max(hot.len(), Ordering::Relaxed);
-        s.refills.fetch_add(1, Ordering::Relaxed);
+        s.hot_hw.fetch_max(hot.len(), Ordering::Relaxed); // relaxed-ok: stats
+        s.refills.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats
         tc.emit(
             b as u32,
             lane,
@@ -434,7 +440,9 @@ fn work_step<T: Tracer>(
         ws.hot_len.store(hot.len(), Ordering::Release);
         drop(hot);
         tc.emit(b as u32, lane, EventKind::Pop { vertex: u });
-        s.pending[b].fetch_sub(1, Ordering::AcqRel);
+        // relaxed-ok: pending is an advisory load estimate read only by
+        // two-choice victim selection; nothing is published under it
+        s.pending[b].fetch_sub(1, Ordering::Relaxed);
         if s.live.fetch_sub(1, Ordering::AcqRel) == 1 {
             // This thread consumed the last live entry: traversal done.
             s.done.store(true, Ordering::Release);
@@ -448,6 +456,7 @@ fn work_step<T: Tracer>(
     while i < deg {
         let v = row[i as usize];
         i += 1;
+        // relaxed-ok: optimistic pre-check; claim()'s CAS decides
         if s.visited[v as usize].load(Ordering::Relaxed) != 0 {
             continue;
         }
@@ -456,7 +465,7 @@ fn work_step<T: Tracer>(
             child = Some((v, 0));
             break;
         }
-        s.cas_failures.fetch_add(1, Ordering::Relaxed);
+        s.cas_failures.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats
     }
     *edges += (i - off) as u64;
     match child {
@@ -467,7 +476,8 @@ fn work_step<T: Tracer>(
             // consume the child instantly, and the live counter must
             // never under-count while the parent continuation exists.
             s.live.fetch_add(1, Ordering::AcqRel);
-            s.pending[b].fetch_add(1, Ordering::AcqRel);
+            // relaxed-ok: advisory victim-selection estimate (see above)
+            s.pending[b].fetch_add(1, Ordering::Relaxed);
             hot.update_top((u, i));
             if hot.is_full() {
                 // Flush the oldest entries to the ColdSeg (Figure 2(e)).
@@ -475,9 +485,9 @@ fn work_step<T: Tracer>(
                 let mut cold = ws.cold.lock();
                 cold.push_top(&batch);
                 ws.cold_len.store(cold.len(), Ordering::Release);
-                s.cold_hw.fetch_max(cold.len(), Ordering::Relaxed);
+                s.cold_hw.fetch_max(cold.len(), Ordering::Relaxed); // relaxed-ok: stats
                 drop(cold);
-                s.flushes.fetch_add(1, Ordering::Relaxed);
+                s.flushes.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats
                 tc.emit(
                     b as u32,
                     lane,
@@ -488,7 +498,7 @@ fn work_step<T: Tracer>(
             }
             hot.push((v, 0)).expect("flush guarantees space");
             ws.hot_len.store(hot.len(), Ordering::Release);
-            s.hot_hw.fetch_max(hot.len(), Ordering::Relaxed);
+            s.hot_hw.fetch_max(hot.len(), Ordering::Relaxed); // relaxed-ok: stats
             drop(hot);
             tc.emit(b as u32, lane, EventKind::Push { vertex: v });
         }
@@ -498,7 +508,8 @@ fn work_step<T: Tracer>(
             ws.hot_len.store(hot.len(), Ordering::Release);
             drop(hot);
             tc.emit(b as u32, lane, EventKind::Pop { vertex: u });
-            s.pending[b].fetch_sub(1, Ordering::AcqRel);
+            // relaxed-ok: advisory victim-selection estimate (see above)
+            s.pending[b].fetch_sub(1, Ordering::Relaxed);
             if s.live.fetch_sub(1, Ordering::AcqRel) == 1 {
                 s.done.store(true, Ordering::Release);
             }
@@ -543,7 +554,7 @@ fn steal_step<T: Tracer>(
                 vs.hot_len.store(vhot.len(), Ordering::Release);
                 drop(vhot);
                 deposit(s, w, &batch);
-                s.steals_intra.fetch_add(1, Ordering::Relaxed);
+                s.steals_intra.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats
                 tc.emit(
                     b as u32,
                     lane,
@@ -555,7 +566,7 @@ fn steal_step<T: Tracer>(
                 return true;
             }
             drop(vhot);
-            s.steal_failures.fetch_add(1, Ordering::Relaxed);
+            s.steal_failures.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats
             tc.emit(b as u32, lane, EventKind::StealFail { victim: v % wpb });
         }
     }
@@ -586,7 +597,7 @@ fn steal_step<T: Tracer>(
     let mut vcold = vs.cold.lock();
     if vcold.len() < cfg.cold_cutoff as u64 {
         drop(vcold);
-        s.steal_failures.fetch_add(1, Ordering::Relaxed);
+        s.steal_failures.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats
         tc.emit(b as u32, lane, EventKind::StealFail { victim: vb });
         return false;
     }
@@ -594,10 +605,12 @@ fn steal_step<T: Tracer>(
     vs.cold_len.store(vcold.len(), Ordering::Release);
     drop(vcold);
     let k = batch.len() as i64;
-    s.pending[vb as usize].fetch_sub(k, Ordering::AcqRel);
-    s.pending[b].fetch_add(k, Ordering::AcqRel);
+    // relaxed-ok: advisory victim-selection estimates; a stale value only
+    // costs one misdirected steal probe
+    s.pending[vb as usize].fetch_sub(k, Ordering::Relaxed);
+    s.pending[b].fetch_add(k, Ordering::Relaxed);
     deposit(s, w, &batch);
-    s.steals_inter.fetch_add(1, Ordering::Relaxed);
+    s.steals_inter.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats
     tc.emit(
         b as u32,
         lane,
@@ -630,7 +643,8 @@ fn select_victim_block(s: &Shared<'_>, my_block: u32, rng: &mut SmallRng) -> Opt
                 if c == my_block || s.block_active[c as usize].load(Ordering::Acquire) == 0 {
                     continue;
                 }
-                let load = s.pending[c as usize].load(Ordering::Acquire);
+                // relaxed-ok: advisory estimate; staleness is tolerated
+                let load = s.pending[c as usize].load(Ordering::Relaxed);
                 if best.is_none_or(|(bl, _)| load > bl) {
                     best = Some((load, c));
                 }
@@ -650,7 +664,7 @@ fn deposit(s: &Shared<'_>, w: u32, batch: &[Entry]) {
     let mut hot = ws.hot.lock();
     hot.push_batch(batch);
     ws.hot_len.store(hot.len(), Ordering::Release);
-    s.hot_hw.fetch_max(hot.len(), Ordering::Relaxed);
+    s.hot_hw.fetch_max(hot.len(), Ordering::Relaxed); // relaxed-ok: stats
 }
 
 #[cfg(test)]

@@ -143,6 +143,7 @@ impl LockFreeEngine {
         };
 
         shared.visited[root as usize].store(1, Ordering::Release);
+        // relaxed-ok: stats counters seeded before any worker spawns
         shared.vertices.store(1, Ordering::Relaxed);
         shared.tasks_per_block[0].store(1, Ordering::Relaxed);
         shared.live.store(1, Ordering::Release);
@@ -179,20 +180,21 @@ impl LockFreeEngine {
         );
 
         let mut stats = SimStats::new(cfg.blocks as usize);
+        // relaxed-ok: stats snapshot; the scope join above synchronizes
         stats.vertices_visited = shared.vertices.load(Ordering::Relaxed);
-        stats.edges_traversed = shared.edges.load(Ordering::Relaxed);
-        stats.steals_intra = shared.steals_intra.load(Ordering::Relaxed);
-        stats.steals_inter = shared.steals_inter.load(Ordering::Relaxed);
-        stats.steal_failures = shared.steal_failures.load(Ordering::Relaxed);
-        stats.flushes = shared.flushes.load(Ordering::Relaxed);
-        stats.refills = shared.refills.load(Ordering::Relaxed);
-        stats.visited_cas_failures = shared.cas_failures.load(Ordering::Relaxed);
-        stats.hot_high_water = shared.hot_hw.load(Ordering::Relaxed);
-        stats.cold_high_water = shared.cold_hw.load(Ordering::Relaxed);
+        stats.edges_traversed = shared.edges.load(Ordering::Relaxed); // relaxed-ok: after join
+        stats.steals_intra = shared.steals_intra.load(Ordering::Relaxed); // relaxed-ok: after join
+        stats.steals_inter = shared.steals_inter.load(Ordering::Relaxed); // relaxed-ok: after join
+        stats.steal_failures = shared.steal_failures.load(Ordering::Relaxed); // relaxed-ok: after join
+        stats.flushes = shared.flushes.load(Ordering::Relaxed); // relaxed-ok: after join
+        stats.refills = shared.refills.load(Ordering::Relaxed); // relaxed-ok: after join
+        stats.visited_cas_failures = shared.cas_failures.load(Ordering::Relaxed); // relaxed-ok: after join
+        stats.hot_high_water = shared.hot_hw.load(Ordering::Relaxed); // relaxed-ok: after join
+        stats.cold_high_water = shared.cold_hw.load(Ordering::Relaxed); // relaxed-ok: after join
         stats.tasks_per_block = shared
             .tasks_per_block
             .iter()
-            .map(|a| a.load(Ordering::Relaxed))
+            .map(|a| a.load(Ordering::Relaxed)) // relaxed-ok: after join
             .collect();
         stats.record_to(db_metrics::global(), "lockfree");
         NativeResult {
@@ -266,6 +268,7 @@ fn worker<T: Tracer>(
             std::thread::yield_now();
         }
     }
+    // relaxed-ok: stats counters, read only after the scope join
     s.edges.fetch_add(edges, Ordering::Relaxed);
     s.vertices.fetch_add(vertices, Ordering::Relaxed);
     s.tasks_per_block[b].fetch_add(tasks, Ordering::Relaxed);
@@ -296,8 +299,8 @@ fn work_step<T: Tracer>(
         for e in batch {
             ws.hot.push(e).expect("refill fits an empty ring");
         }
-        s.hot_hw.fetch_max(ws.hot.len() as u64, Ordering::Relaxed);
-        s.refills.fetch_add(1, Ordering::Relaxed);
+        s.hot_hw.fetch_max(ws.hot.len() as u64, Ordering::Relaxed); // relaxed-ok: stats
+        s.refills.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats
         tc.emit(b as u32, lane, EventKind::Refill { entries });
         return true;
     };
@@ -309,9 +312,12 @@ fn work_step<T: Tracer>(
     while i < deg {
         let v = row[i as usize];
         i += 1;
+        // relaxed-ok: optimistic pre-check; the CAS below decides
         if s.visited[v as usize].load(Ordering::Relaxed) != 0 {
             continue;
         }
+        // relaxed-ok: CAS failure means another worker won the claim; we
+        // read nothing it published, so no acquire is needed
         if s.visited[v as usize]
             .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed)
             .is_ok()
@@ -320,7 +326,7 @@ fn work_step<T: Tracer>(
             child = Some((v, 0));
             break;
         }
-        s.cas_failures.fetch_add(1, Ordering::Relaxed);
+        s.cas_failures.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats
     }
     *edges += (i - off) as u64;
     match child {
@@ -331,7 +337,9 @@ fn work_step<T: Tracer>(
             // consume the child instantly; the live counter must never
             // under-count while the parent continuation exists).
             s.live.fetch_add(1, Ordering::AcqRel);
-            s.pending[b].fetch_add(1, Ordering::AcqRel);
+            // relaxed-ok: pending is an advisory load estimate read only by
+            // two-choice victim selection; nothing is published under it
+            s.pending[b].fetch_add(1, Ordering::Relaxed);
             // Push the continuation then the child (child on top).
             push_with_flush(s, w, (u, i), tc);
             push_with_flush(s, w, (v, 0), tc);
@@ -339,7 +347,8 @@ fn work_step<T: Tracer>(
         }
         None => {
             tc.emit(b as u32, lane, EventKind::Pop { vertex: u });
-            s.pending[b].fetch_sub(1, Ordering::AcqRel);
+            // relaxed-ok: advisory victim-selection estimate (see above)
+            s.pending[b].fetch_sub(1, Ordering::Relaxed);
             if s.live.fetch_sub(1, Ordering::AcqRel) == 1 {
                 s.done.store(true, Ordering::Release);
             }
@@ -356,6 +365,7 @@ fn push_with_flush<T: Tracer>(s: &Shared<'_>, w: u32, e: Entry, tc: &TraceCtx<'_
     loop {
         match ws.hot.push(e) {
             Ok(()) => {
+                // relaxed-ok: stats high-water mark
                 s.hot_hw.fetch_max(ws.hot.len() as u64, Ordering::Relaxed);
                 return;
             }
@@ -369,9 +379,9 @@ fn push_with_flush<T: Tracer>(s: &Shared<'_>, w: u32, e: Entry, tc: &TraceCtx<'_
                 let mut cold = ws.cold.lock();
                 cold.push_top(&batch);
                 ws.cold_len.store(cold.len(), Ordering::Release);
-                s.cold_hw.fetch_max(cold.len(), Ordering::Relaxed);
+                s.cold_hw.fetch_max(cold.len(), Ordering::Relaxed); // relaxed-ok: stats
                 drop(cold);
-                s.flushes.fetch_add(1, Ordering::Relaxed);
+                s.flushes.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats
                 tc.emit(
                     w / s.cfg.warps_per_block,
                     w % s.cfg.warps_per_block,
@@ -416,14 +426,14 @@ fn steal_step<T: Tracer>(
                     .hot
                     .take_from_tail(cfg.hot_steal_batch(), cfg.hot_cutoff, 2);
             if batch.is_empty() {
-                s.steal_failures.fetch_add(1, Ordering::Relaxed);
+                s.steal_failures.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats
                 tc.emit(b as u32, lane, EventKind::StealFail { victim: v % wpb });
             } else {
                 let entries = batch.len() as u32;
                 for e in batch {
                     push_with_flush(s, w, e, tc);
                 }
-                s.steals_intra.fetch_add(1, Ordering::Relaxed);
+                s.steals_intra.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats
                 tc.emit(
                     b as u32,
                     lane,
@@ -460,7 +470,8 @@ fn steal_step<T: Tracer>(
                 if c == b as u32 || s.block_active[c as usize].load(Ordering::Acquire) == 0 {
                     continue;
                 }
-                let load = s.pending[c as usize].load(Ordering::Acquire);
+                // relaxed-ok: advisory estimate; staleness is tolerated
+                let load = s.pending[c as usize].load(Ordering::Relaxed);
                 if best.is_none_or(|(bl, _)| load > bl) {
                     best = Some((load, c));
                 }
@@ -491,7 +502,7 @@ fn steal_step<T: Tracer>(
     let mut vcold = vs.cold.lock();
     if vcold.len() < cfg.cold_cutoff as u64 {
         drop(vcold);
-        s.steal_failures.fetch_add(1, Ordering::Relaxed);
+        s.steal_failures.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats
         tc.emit(b as u32, lane, EventKind::StealFail { victim: vb });
         return false;
     }
@@ -499,13 +510,15 @@ fn steal_step<T: Tracer>(
     vs.cold_len.store(vcold.len(), Ordering::Release);
     drop(vcold);
     let k = batch.len() as i64;
-    s.pending[vb as usize].fetch_sub(k, Ordering::AcqRel);
-    s.pending[b].fetch_add(k, Ordering::AcqRel);
+    // relaxed-ok: advisory victim-selection estimates; a stale value only
+    // costs one misdirected steal probe
+    s.pending[vb as usize].fetch_sub(k, Ordering::Relaxed);
+    s.pending[b].fetch_add(k, Ordering::Relaxed);
     let entries = batch.len() as u32;
     for e in batch {
         push_with_flush(s, w, e, tc);
     }
-    s.steals_inter.fetch_add(1, Ordering::Relaxed);
+    s.steals_inter.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats
     tc.emit(
         b as u32,
         lane,

@@ -163,6 +163,7 @@ impl GraphSpec {
 }
 
 /// Static registry of benchmark suites.
+#[derive(Debug)]
 pub struct Suite;
 
 impl Suite {

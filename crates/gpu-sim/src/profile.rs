@@ -168,6 +168,8 @@ impl CycleProfiler {
 
     /// Cycles charged to `phase` on `sm`.
     pub fn phase_cycles(&self, sm: u32, phase: SimPhase) -> u64 {
+        // relaxed-ok: monotonic profiling counter; a momentarily stale
+        // read is fine for reporting (also every load/RMW below)
         self.cells[sm as usize][phase.index()].load(Ordering::Relaxed)
     }
 
@@ -175,7 +177,7 @@ impl CycleProfiler {
     pub fn total_cycles(&self, phase: SimPhase) -> u64 {
         self.cells
             .iter()
-            .map(|c| c[phase.index()].load(Ordering::Relaxed))
+            .map(|c| c[phase.index()].load(Ordering::Relaxed)) // relaxed-ok: reporting
             .sum()
     }
 
@@ -193,7 +195,7 @@ impl CycleProfiler {
     pub fn tasks_per_sm(&self) -> Vec<u64> {
         self.tasks
             .iter()
-            .map(|t| t.load(Ordering::Relaxed))
+            .map(|t| t.load(Ordering::Relaxed)) // relaxed-ok: reporting
             .collect()
     }
 
@@ -212,7 +214,7 @@ impl CycleProfiler {
         let mut out = String::new();
         for (sm, cell) in self.cells.iter().enumerate() {
             for phase in SimPhase::ALL {
-                let cycles = cell[phase.index()].load(Ordering::Relaxed);
+                let cycles = cell[phase.index()].load(Ordering::Relaxed); // relaxed-ok: reporting
                 if cycles > 0 {
                     out.push_str(&format!("diggerbees;sm{sm};{} {cycles}\n", phase.name()));
                 }
@@ -234,14 +236,14 @@ impl CycleProfiler {
                     "Simulated cycles charged to each phase, per SM",
                     &[("phase", phase.name()), ("sm", &sm_label)],
                 )
-                .set(cell[phase.index()].load(Ordering::Relaxed));
+                .set(cell[phase.index()].load(Ordering::Relaxed)); // relaxed-ok: reporting
             }
             reg.gauge(
                 "db_sim_tasks_per_block",
                 "Vertices claimed per block (Fig. 9 distribution)",
                 &[("block", &sm_label)],
             )
-            .set(self.tasks[sm].load(Ordering::Relaxed));
+            .set(self.tasks[sm].load(Ordering::Relaxed)); // relaxed-ok: reporting
         }
     }
 }
@@ -251,11 +253,13 @@ impl Profiler for CycleProfiler {
 
     #[inline]
     fn charge(&self, sm: u32, phase: SimPhase, cycles: u64) {
+        // relaxed-ok: independent profiling counter, no ordering needed
         self.cells[sm as usize][phase.index()].fetch_add(cycles, Ordering::Relaxed);
     }
 
     #[inline]
     fn count_task(&self, sm: u32) {
+        // relaxed-ok: independent profiling counter, no ordering needed
         self.tasks[sm as usize].fetch_add(1, Ordering::Relaxed);
     }
 

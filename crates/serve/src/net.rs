@@ -224,6 +224,8 @@ fn serve_connection(stream: TcpStream, handle: ServeHandle, shutdown_requested: 
         }
         // Panic isolation: no parser or handler bug reachable from
         // client bytes may kill the connection thread without a reply.
+        // guard: no shared state is held across dispatch; the
+        // unwrap_or_else below synthesizes the error reply
         let reply = std::panic::catch_unwind(AssertUnwindSafe(|| {
             dispatch_line(&line, &handle, &shutdown_requested)
         }))

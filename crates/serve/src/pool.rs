@@ -255,6 +255,7 @@ impl ServeHandle {
         };
         *st.per_tenant.entry(req.tenant.clone()).or_insert(0) += 1;
         let job = Job {
+            // relaxed-ok: unique id allocation; only atomicity matters
             seq: inner.seq.fetch_add(1, Ordering::Relaxed),
             submitted: now,
             deadline,
@@ -371,6 +372,7 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{idx}"))
                     .spawn(move || worker_entry(inner, idx))
+                    // unwrap-ok: pool startup, before any request is admitted
                     .expect("spawn serve worker")
             })
             .collect();
@@ -480,6 +482,8 @@ fn worker_entry(inner: Arc<ServerInner>, idx: usize) {
         // Belt and braces: run_job already catches per-attempt panics;
         // if the loop machinery itself panics, treat that as poisoned
         // too rather than silently losing the thread.
+        // guard: per-job state is restored by ReplyGuard/GaugeGuard inside
+        // run_job; the respawn arm below restores pool capacity
         let exit = std::panic::catch_unwind(AssertUnwindSafe(|| worker_loop(&inner, idx)))
             .unwrap_or(WorkerExit::Poisoned);
         match exit {
@@ -487,6 +491,8 @@ fn worker_entry(inner: Arc<ServerInner>, idx: usize) {
             WorkerExit::Poisoned => {
                 let granted = inner
                     .restart_budget
+                    // relaxed-ok: budget counter; the RMW is atomic and
+                    // publishes nothing
                     .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
                     .is_ok();
                 if granted {
@@ -669,7 +675,7 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) -> bool {
                 ServeOp::CacheMiss
             };
             inner.trace(worker, op, info.resident as u32);
-            Some(graph)
+            graph
         }
         Err(msg) => {
             finish_job(
@@ -683,7 +689,6 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) -> bool {
             return false;
         }
     };
-    let graph = graph.expect("graph resolved");
 
     let attempts = policy.attempts().max(1);
     let mut done: Option<Response> = None;
@@ -734,6 +739,8 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) -> bool {
             };
             &attempt_req
         };
+        // guard: ReplyGuard (exactly-one response) and GaugeGuard
+        // (busy_workers) at fn entry survive this unwind
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
             if kill {
                 panic!("injected fault: kill");

@@ -18,15 +18,20 @@
 //!   streams; adversarial runs cannot OOM the tracer.
 //! * [`chrome`] — Chrome-trace / Perfetto JSON exporter (one track per
 //!   block, one lane per warp) with a parser for round-trip tests.
-//! * [`csv`] — flat CSV exporter for the figure harness.
+//! * [`csv`] — flat CSV exporter for the figure harness, with the
+//!   inverse parser for post-hoc analysis tools.
 //! * [`json`] — the dependency-free JSON document model the exporters
 //!   are built on (the workspace builds offline, without serde).
+//! * [`validate`] — stream well-formedness checks (balanced kernel
+//!   phases, per-actor cycle monotonicity) that `db-check`'s race
+//!   detector requires of its input.
 
 pub mod chrome;
 pub mod csv;
 pub mod event;
 pub mod json;
 pub mod tracer;
+pub mod validate;
 
 pub use event::{EventKind, PhaseKind, ServeOp, TraceEvent};
 pub use tracer::{emit, CounterSnapshot, CountingTracer, NullTracer, RingBufferTracer, Tracer};

@@ -162,6 +162,12 @@ struct RingInner {
     buf: VecDeque<TraceEvent>,
     capacity: usize,
     dropped: u64,
+    /// Debug builds assert per-actor cycle monotonicity at record time
+    /// (the invariant `validate::check_stream` enforces post-hoc), so a
+    /// misbehaving engine fails its own tests instead of producing a
+    /// stream the race detector rejects later.
+    #[cfg(debug_assertions)]
+    last_cycle: std::collections::HashMap<(u32, u32), u64>,
 }
 
 impl RingBufferTracer {
@@ -172,6 +178,8 @@ impl RingBufferTracer {
                 buf: VecDeque::with_capacity(capacity.min(1 << 20)),
                 capacity,
                 dropped: 0,
+                #[cfg(debug_assertions)]
+                last_cycle: std::collections::HashMap::new(),
             }),
         }
     }
@@ -211,6 +219,21 @@ impl Tracer for RingBufferTracer {
 
     fn record(&self, ev: TraceEvent) {
         let mut g = self.lock();
+        #[cfg(debug_assertions)]
+        {
+            let prev = g
+                .last_cycle
+                .insert((ev.block, ev.warp), ev.cycle)
+                .unwrap_or(0);
+            debug_assert!(
+                ev.cycle >= prev,
+                "cycle went backwards on actor ({}, {}): {} -> {}",
+                ev.block,
+                ev.warp,
+                prev,
+                ev.cycle,
+            );
+        }
         if g.buf.len() == g.capacity {
             g.buf.pop_front();
             g.dropped += 1;

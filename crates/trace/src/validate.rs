@@ -1,0 +1,226 @@
+//! Stream well-formedness validator.
+//!
+//! Downstream consumers — the Chrome/CSV exporters, the `db-check`
+//! race detector — rely on two structural invariants that every engine
+//! is supposed to uphold but nothing previously enforced:
+//!
+//! 1. **Balanced kernel phases.** Each traced run brackets its events
+//!    in exactly one `KernelPhase Start` / `Finish` pair; concatenated
+//!    runs alternate `Start, Finish, Start, Finish, …` and end closed.
+//! 2. **Per-actor cycle monotonicity.** Within one `(block, warp)`
+//!    lane, cycles never decrease. The sim engines stamp DES cycles
+//!    (monotone by construction); the native engines stamp per-thread
+//!    elapsed nanoseconds (monotone because `Instant` is).
+//!
+//! [`check_stream`] verifies both over a drained stream, in stream
+//! order (which for every in-repo tracer is record order). Note that a
+//! drop-oldest [`RingBufferTracer`](crate::RingBufferTracer) that
+//! actually dropped events may have discarded an opening `Start` —
+//! validate full streams (`dropped() == 0`), not truncated ones.
+
+use crate::event::{EventKind, PhaseKind, TraceEvent};
+use std::collections::HashMap;
+
+/// A structural defect in a trace stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// An actor's cycle went backwards.
+    NonMonotonicCycle {
+        block: u32,
+        warp: u32,
+        /// Cycle of the actor's previous event.
+        prev: u64,
+        /// The offending (smaller) cycle.
+        next: u64,
+        /// Index of the offending event in the stream.
+        index: usize,
+    },
+    /// `KernelPhase Start` seen while a run was already open.
+    NestedStart {
+        /// Index of the offending event in the stream.
+        index: usize,
+    },
+    /// `KernelPhase Finish` seen with no run open.
+    FinishWithoutStart {
+        /// Index of the offending event in the stream.
+        index: usize,
+    },
+    /// Stream ended with a run still open.
+    UnclosedRun,
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidateError::NonMonotonicCycle {
+                block,
+                warp,
+                prev,
+                next,
+                index,
+            } => write!(
+                f,
+                "event #{index}: cycle went backwards on actor ({block},{warp}): {prev} -> {next}"
+            ),
+            ValidateError::NestedStart { index } => {
+                write!(f, "event #{index}: KernelPhase Start inside an open run")
+            }
+            ValidateError::FinishWithoutStart { index } => {
+                write!(f, "event #{index}: KernelPhase Finish with no run open")
+            }
+            ValidateError::UnclosedRun => {
+                write!(f, "stream ended with a KernelPhase run still open")
+            }
+        }
+    }
+}
+
+/// What a valid stream contained.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Total events.
+    pub events: usize,
+    /// Distinct `(block, warp)` lanes.
+    pub actors: usize,
+    /// Closed `Start`/`Finish` pairs.
+    pub runs: usize,
+}
+
+/// Checks phase pairing and per-actor cycle monotonicity over a full
+/// stream, in stream order.
+///
+/// # Errors
+///
+/// Returns the first [`ValidateError`] encountered.
+pub fn check_stream(events: &[TraceEvent]) -> Result<StreamSummary, ValidateError> {
+    let mut last: HashMap<(u32, u32), u64> = HashMap::new();
+    let mut open = false;
+    let mut runs = 0usize;
+    for (index, e) in events.iter().enumerate() {
+        match last.entry((e.block, e.warp)) {
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                let prev = *o.get();
+                if e.cycle < prev {
+                    return Err(ValidateError::NonMonotonicCycle {
+                        block: e.block,
+                        warp: e.warp,
+                        prev,
+                        next: e.cycle,
+                        index,
+                    });
+                }
+                o.insert(e.cycle);
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(e.cycle);
+            }
+        }
+        if let EventKind::KernelPhase { phase } = e.kind {
+            match phase {
+                PhaseKind::Start if open => return Err(ValidateError::NestedStart { index }),
+                PhaseKind::Start => open = true,
+                PhaseKind::Finish if !open => {
+                    return Err(ValidateError::FinishWithoutStart { index })
+                }
+                PhaseKind::Finish => {
+                    open = false;
+                    runs += 1;
+                }
+            }
+        }
+    }
+    if open {
+        return Err(ValidateError::UnclosedRun);
+    }
+    Ok(StreamSummary {
+        events: events.len(),
+        actors: last.len(),
+        runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, block: u32, warp: u32, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            block,
+            warp,
+            kind,
+        }
+    }
+
+    fn phase(cycle: u64, phase: PhaseKind) -> TraceEvent {
+        ev(cycle, 0, 0, EventKind::KernelPhase { phase })
+    }
+
+    #[test]
+    fn valid_stream_summarized() {
+        let t = vec![
+            phase(0, PhaseKind::Start),
+            ev(1, 0, 0, EventKind::Push { vertex: 1 }),
+            ev(1, 0, 1, EventKind::WarpIdle),
+            ev(2, 0, 0, EventKind::Pop { vertex: 1 }),
+            phase(3, PhaseKind::Finish),
+            // Second run concatenated onto the same stream.
+            phase(3, PhaseKind::Start),
+            phase(4, PhaseKind::Finish),
+        ];
+        let s = check_stream(&t).unwrap();
+        assert_eq!(s.events, 7);
+        assert_eq!(s.actors, 2);
+        assert_eq!(s.runs, 2);
+    }
+
+    #[test]
+    fn empty_stream_is_valid() {
+        assert_eq!(check_stream(&[]), Ok(StreamSummary::default()));
+    }
+
+    #[test]
+    fn backwards_cycle_on_one_actor_is_caught() {
+        let t = vec![
+            ev(5, 0, 1, EventKind::WarpIdle),
+            ev(7, 0, 0, EventKind::WarpIdle),
+            ev(4, 0, 1, EventKind::WarpIdle),
+        ];
+        assert_eq!(
+            check_stream(&t),
+            Err(ValidateError::NonMonotonicCycle {
+                block: 0,
+                warp: 1,
+                prev: 5,
+                next: 4,
+                index: 2,
+            })
+        );
+    }
+
+    #[test]
+    fn other_actor_cycles_are_independent() {
+        // Actor (1,0) starts below actor (0,0)'s cycle: fine.
+        let t = vec![
+            ev(100, 0, 0, EventKind::WarpIdle),
+            ev(1, 1, 0, EventKind::WarpIdle),
+        ];
+        assert!(check_stream(&t).is_ok());
+    }
+
+    #[test]
+    fn phase_defects_are_caught() {
+        assert_eq!(
+            check_stream(&[phase(0, PhaseKind::Start), phase(1, PhaseKind::Start)]),
+            Err(ValidateError::NestedStart { index: 1 })
+        );
+        assert_eq!(
+            check_stream(&[phase(0, PhaseKind::Finish)]),
+            Err(ValidateError::FinishWithoutStart { index: 0 })
+        );
+        assert_eq!(
+            check_stream(&[phase(0, PhaseKind::Start)]),
+            Err(ValidateError::UnclosedRun)
+        );
+    }
+}

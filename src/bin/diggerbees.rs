@@ -56,6 +56,15 @@
 //!                        the Prometheus text exposition
 //! --check                validate the exposition with the bundled
 //!                        parser; exit nonzero on any malformed line
+//!
+//! diggerbees check [options]        run the correctness analyses
+//!
+//! --root <dir>           repo root for the lint pass (default .)
+//! --race <trace.csv>     also race-check a recorded `--trace` CSV
+//! --skew <ns>            happens-before slack for --race (default
+//!                        1000000; built-in sim check always uses 0)
+//! --lint-only            skip the model checker and race detector
+//! --models-only          skip the lint pass and race detector
 //! ```
 //!
 //! Examples:
@@ -75,6 +84,10 @@ use diggerbees::baselines::bfs::{self, BfsFlavor};
 use diggerbees::baselines::cpu_ws::{self, CpuWsConfig, CpuWsStyle};
 use diggerbees::baselines::nvg::{self, NvgConfig};
 use diggerbees::baselines::serial;
+use diggerbees::check::race::{detect, RaceConfig};
+use diggerbees::check::{
+    lint_tree, Explorer, Model, Outcome, ProtoModel, ProtoScenario, RingModel, RingScenario,
+};
 use diggerbees::core::native::{NativeConfig, NativeEngine};
 use diggerbees::core::native_lockfree::LockFreeEngine;
 use diggerbees::core::{
@@ -82,7 +95,7 @@ use diggerbees::core::{
 };
 use diggerbees::fault::{FaultPlan, Injector};
 use diggerbees::gen::Suite;
-use diggerbees::graph::{mm, sources::select_sources, stats::graph_stats, CsrGraph};
+use diggerbees::graph::{mm, sources::select_sources, stats::graph_stats, CsrGraph, GraphBuilder};
 use diggerbees::serve::net::{fetch_metrics, fetch_prometheus};
 use diggerbees::serve::{ServeConfig, Server, TcpServer};
 use diggerbees::sim::{CycleProfiler, MachineModel, SimPhase};
@@ -189,7 +202,9 @@ fn parse_args() -> Result<Args, String> {
                             [--faults spec] [--retry-max n] [--restart-budget n] \
                             [--breaker-threshold n] [--breaker-cooldown-ms n]\n\
                             \x20      diggerbees metrics [--addr host:port] [--json] \
-                            [--check]"
+                            [--check]\n\
+                            \x20      diggerbees check [--root dir] [--race trace.csv] \
+                            [--skew ns] [--lint-only] [--models-only]"
                     .into())
             }
             other if args.graph.is_empty() && !other.starts_with('-') => {
@@ -237,6 +252,7 @@ fn main() -> ExitCode {
     match std::env::args().nth(1).as_deref() {
         Some("serve") => return serve_main(),
         Some("metrics") => return metrics_main(),
+        Some("check") => return check_main(),
         _ => {}
     }
     let args = match parse_args() {
@@ -719,4 +735,193 @@ fn serve_main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Runs one bounded-model-checker config and prints its verdict.
+/// Returns the number of findings (0 or 1).
+fn run_model_config<M: Model>(name: &str, model: &M) -> usize {
+    match Explorer::default().run(model) {
+        Outcome::Pass(s) => {
+            println!(
+                "model {name}: ok ({} states, {} transitions, {} quiescent)",
+                s.states, s.transitions, s.final_states
+            );
+            0
+        }
+        Outcome::Fail {
+            violation,
+            schedule,
+            stats,
+        } => {
+            println!(
+                "model {name}: FAIL [{}] {} (after {} states)\n  replay schedule: {:?}",
+                violation.oracle, violation.detail, stats.states, schedule
+            );
+            1
+        }
+        Outcome::BoundExceeded(s) => {
+            println!(
+                "model {name}: BOUND EXCEEDED at {} states — config too large, not a pass",
+                s.states
+            );
+            1
+        }
+    }
+}
+
+/// `diggerbees check`: run the db-check analyses — the repo lint pass,
+/// the bounded model checker over the ring/steal protocol transcriptions,
+/// and the vector-clock race detector over a freshly traced sim run
+/// (plus, with `--race`, any recorded `--trace` CSV). Exits nonzero if
+/// any analysis reports a finding.
+fn check_main() -> ExitCode {
+    let mut root = ".".to_string();
+    let mut race_file: Option<String> = None;
+    let mut skew: u64 = 1_000_000;
+    let mut lint_only = false;
+    let mut models_only = false;
+    let mut it = std::env::args().skip(2);
+    let fail = |e: String| {
+        eprintln!("{e}");
+        ExitCode::FAILURE
+    };
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        let r = (|| -> Result<(), String> {
+            match a.as_str() {
+                "--root" => root = take("--root")?,
+                "--race" => race_file = Some(take("--race")?),
+                "--skew" => {
+                    let v = take("--skew")?;
+                    skew = v.parse().map_err(|_| format!("invalid --skew: {v}"))?;
+                }
+                "--lint-only" => lint_only = true,
+                "--models-only" => models_only = true,
+                other => return Err(format!("unknown argument: {other} (see --help)")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = r {
+            return fail(e);
+        }
+    }
+    let mut findings = 0usize;
+
+    // 1. Lint pass over the source tree.
+    if !models_only {
+        match lint_tree(std::path::Path::new(&root)) {
+            Ok(hits) => {
+                for h in &hits {
+                    println!("lint: {}:{}: [{}] {}", h.file, h.line, h.rule, h.detail);
+                }
+                println!("lint: {} finding(s) in {root}", hits.len());
+                findings += hits.len();
+            }
+            Err(e) => return fail(format!("lint: cannot walk '{root}': {e}")),
+        }
+    }
+
+    // 2. Bounded model checking of the protocol transcriptions.
+    if !lint_only {
+        findings += run_model_config("ring/small", &RingModel::new(RingScenario::small()));
+        findings += run_model_config("proto/path4", &ProtoModel::new(ProtoScenario::path4(2)));
+        findings += run_model_config("proto/star4", &ProtoModel::new(ProtoScenario::star4(2)));
+        findings += run_model_config("proto/star4x3", &ProtoModel::new(ProtoScenario::star4(3)));
+        findings += run_model_config(
+            "proto/diamond4",
+            &ProtoModel::new(ProtoScenario::diamond4(2)),
+        );
+    }
+
+    // 3. Race detection: a built-in traced sim run (exact DES cycles, so
+    //    zero skew), plus any recorded trace the caller hands us.
+    if !lint_only && !models_only {
+        let mut b = GraphBuilder::undirected(16 * 16);
+        for y in 0..16u32 {
+            for x in 0..16u32 {
+                if x + 1 < 16 {
+                    b.edge(y * 16 + x, y * 16 + x + 1);
+                }
+                if y + 1 < 16 {
+                    b.edge(y * 16 + x, (y + 1) * 16 + x);
+                }
+            }
+        }
+        let g = b.build();
+        let tracer = RingBufferTracer::new(1 << 20);
+        let cfg = DiggerBeesConfig {
+            blocks: 2,
+            warps_per_block: 2,
+            hot_size: 16,
+            hot_cutoff: 4,
+            cold_cutoff: 8,
+            flush_batch: 8,
+            ..Default::default()
+        };
+        run_sim_traced(&g, 0, &cfg, &MachineModel::a100(), &tracer);
+        let events = tracer.drain();
+        match detect(&events, &RaceConfig { skew: 0 }) {
+            Ok(report) => {
+                for f in &report.findings {
+                    println!("race(sim): [{}] vertex {}: {}", f.rule, f.vertex, f.detail);
+                }
+                println!(
+                    "race(sim): {} finding(s) over {} events ({} sync edges, \
+                     {} ordered transfers)",
+                    report.findings.len(),
+                    report.events,
+                    report.sync_edges,
+                    report.ordered_transfers
+                );
+                findings += report.findings.len();
+            }
+            Err(e) => return fail(format!("race(sim): unsound trace stream: {e}")),
+        }
+    }
+    if let Some(path) = &race_file {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return fail(format!("cannot read trace '{path}': {e}")),
+        };
+        let parsed = match csv::parse_csv(&text) {
+            Ok(p) => p,
+            Err(e) => return fail(format!("cannot parse trace '{path}': {e}")),
+        };
+        if parsed.dropped > 0 {
+            eprintln!(
+                "warning: '{path}' records {} dropped events; the detector \
+                 only sees what survived the ring",
+                parsed.dropped
+            );
+        }
+        match detect(&parsed.events, &RaceConfig { skew }) {
+            Ok(report) => {
+                for f in &report.findings {
+                    println!(
+                        "race({path}): [{}] vertex {}: {}",
+                        f.rule, f.vertex, f.detail
+                    );
+                }
+                println!(
+                    "race({path}): {} finding(s) over {} events at skew {skew} ns \
+                     ({} sync edges)",
+                    report.findings.len(),
+                    report.events,
+                    report.sync_edges
+                );
+                findings += report.findings.len();
+            }
+            Err(e) => return fail(format!("race({path}): unsound trace stream: {e}")),
+        }
+    }
+
+    if findings > 0 {
+        println!("check: {findings} finding(s)");
+        ExitCode::FAILURE
+    } else {
+        println!("check: clean");
+        ExitCode::SUCCESS
+    }
 }

@@ -28,6 +28,9 @@
 //! * [`serve`] — a multi-tenant traversal service: corpus cache,
 //!   admission control, deadline-aware request-stealing worker pool,
 //!   NDJSON TCP front-end ([`db_serve`]).
+//! * [`check`] — concurrency-correctness subsystem: bounded model
+//!   checker for the ring/steal protocols, vector-clock race detector
+//!   over trace streams, and the repo lint pass ([`db_check`]).
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the reproduction
 //! notes. Runnable examples live in `examples/`: `quickstart`,
@@ -51,6 +54,7 @@
 
 pub use db_apps as apps;
 pub use db_baselines as baselines;
+pub use db_check as check;
 pub use db_core as core;
 pub use db_fault as fault;
 pub use db_gen as gen;
