@@ -55,6 +55,8 @@ struct Args {
     shutdown: bool,
     faults: Option<FaultPlan>,
     allow_failed: bool,
+    append: bool,
+    dfs_only: bool,
 }
 
 impl Default for Args {
@@ -76,6 +78,8 @@ impl Default for Args {
             shutdown: false,
             faults: None,
             allow_failed: false,
+            append: false,
+            dfs_only: false,
         }
     }
 }
@@ -88,8 +92,8 @@ fn parse_args() -> Args {
         eprintln!(
             "usage: serve_load [--workers N] [--clients N] [--requests N] [--seed S] \
              [--graphs k1,k2,...] [--mode closed|open] [--rate R] [--deadline-ms MS] \
-             [--runs N] [--out FILE] [--addr HOST:PORT] [--shutdown] \
-             [--faults SPEC] [--allow-failed]"
+             [--runs N] [--out FILE] [--append] [--dfs-only] \
+             [--addr HOST:PORT] [--shutdown] [--faults SPEC] [--allow-failed]"
         );
         std::process::exit(2);
     };
@@ -149,6 +153,8 @@ fn parse_args() -> Args {
                 )
             }
             "--allow-failed" => a.allow_failed = true,
+            "--append" => a.append = true,
+            "--dfs-only" => a.dfs_only = true,
             other => die(format!("unknown flag '{other}'")),
         }
     }
@@ -176,16 +182,16 @@ fn xorshift(state: &mut u64) -> u64 {
     state.wrapping_mul(0x2545_f491_4f6c_dd1d)
 }
 
-/// Directed corpus keys support scc/topo; undirected ones support
-/// articulation. Suite graph names are treated as undirected (all
-/// current suite recipes are).
-fn is_directed_key(key: &str) -> bool {
-    key.starts_with("dag:") || key.starts_with("ring:")
-}
-
-fn vertex_count(key: &str) -> u32 {
-    db_serve::corpus::build_graph(key)
-        .map(|g| g.num_vertices() as u32)
+/// Key metadata the generator needs: vertex count and directedness.
+/// Resolved through [`db_serve::corpus::build_store`], so `store:` keys
+/// work the same as synthetic recipes (and the pack is touched once
+/// here, not held — the server loads its own copy).
+fn key_info(key: &str) -> (u32, bool) {
+    db_serve::corpus::build_store(key)
+        .map(|s| {
+            let g = s.graph();
+            (g.num_vertices() as u32, g.is_directed())
+        })
         .unwrap_or_else(|e| {
             eprintln!("serve_load: {e}");
             std::process::exit(2);
@@ -194,19 +200,22 @@ fn vertex_count(key: &str) -> u32 {
 
 /// Deterministic request list: same seed + knobs → same requests.
 fn generate(a: &Args) -> Vec<Request> {
-    let sizes: Vec<u32> = a.graphs.iter().map(|g| vertex_count(g)).collect();
+    let infos: Vec<(u32, bool)> = a.graphs.iter().map(|g| key_info(g)).collect();
     let mut rng = a.seed ^ 0x6a09_e667_f3bc_c908;
     (0..a.requests as u64)
         .map(|id| {
             let gi = (xorshift(&mut rng) % a.graphs.len() as u64) as usize;
             let graph = a.graphs[gi].clone();
-            let n = sizes[gi].max(1);
-            let directed = is_directed_key(&graph);
+            let (n, directed) = infos[gi];
+            let n = n.max(1);
             let root = (xorshift(&mut rng) % n as u64) as u32;
             let target = (xorshift(&mut rng) % n as u64) as u32;
             let workload = match xorshift(&mut rng) % 10 {
                 0..=5 => Workload::Dfs { root },
                 6 | 7 => Workload::Reach { root, target },
+                // --dfs-only drops the serial apps workloads (Tarjan at
+                // pack scale would dominate wall clock): traversals only.
+                _ if a.dfs_only => Workload::Reach { root, target },
                 8 => {
                     if directed {
                         Workload::Scc
@@ -222,9 +231,10 @@ fn generate(a: &Args) -> Vec<Request> {
                     }
                 }
             };
-            let engine = match xorshift(&mut rng) % 4 {
+            let engine = match xorshift(&mut rng) % 5 {
                 0 | 1 => EngineKind::Native,
                 2 => EngineKind::LockFree,
+                3 => EngineKind::Partitioned,
                 _ => EngineKind::Serial,
             };
             Request {
@@ -452,7 +462,25 @@ fn report_value(a: &Args, reports: &[RunReport], deterministic: bool) -> Value {
             ])
         })
         .collect();
-    Value::Obj(vec![
+    // Packed-store provenance: size and residency of every `store:` key
+    // in the mix, so the report proves what scale it actually served.
+    let stores: Vec<Value> = a
+        .graphs
+        .iter()
+        .filter_map(|k| k.strip_prefix("store:").map(|p| (k, p)))
+        .filter_map(|(key, path)| db_store::load(path).ok().map(|s| (key, s)))
+        .map(|(key, s)| {
+            Value::Obj(vec![
+                ("key".into(), Value::str(key)),
+                ("n".into(), Value::u64(s.header().n as u64)),
+                ("arcs".into(), Value::u64(s.header().arcs)),
+                ("file_bytes".into(), Value::u64(s.file_bytes())),
+                ("compressed".into(), Value::Bool(s.header().compressed())),
+                ("mmap".into(), Value::Bool(s.is_mmap())),
+            ])
+        })
+        .collect();
+    let mut fields = vec![
         ("bench".into(), Value::str("serve_load")),
         ("mode".into(), Value::str(&a.mode)),
         ("workers".into(), Value::u64(a.workers as u64)),
@@ -462,9 +490,13 @@ fn report_value(a: &Args, reports: &[RunReport], deterministic: bool) -> Value {
             "graphs".into(),
             Value::Arr(a.graphs.iter().map(Value::str).collect()),
         ),
-        ("runs".into(), Value::Arr(runs)),
-        ("deterministic".into(), Value::Bool(deterministic)),
-    ])
+    ];
+    if !stores.is_empty() {
+        fields.push(("stores".into(), Value::Arr(stores)));
+    }
+    fields.push(("runs".into(), Value::Arr(runs)));
+    fields.push(("deterministic".into(), Value::Bool(deterministic)));
+    Value::Obj(fields)
 }
 
 fn main() {
@@ -496,10 +528,19 @@ fn main() {
     }
     let deterministic = reports.windows(2).all(|w| w[0].digest == w[1].digest);
     let doc = report_value(&a, &reports, deterministic);
-    let mut f = std::fs::File::create(&a.out).unwrap_or_else(|e| {
-        eprintln!("serve_load: cannot write {}: {e}", a.out);
-        std::process::exit(2);
-    });
+    // --append adds this report as one more NDJSON line, so one file
+    // can accumulate several configurations (e.g. the baseline corpus
+    // run plus a packed-store run).
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .write(true)
+        .append(a.append)
+        .truncate(!a.append)
+        .open(&a.out)
+        .unwrap_or_else(|e| {
+            eprintln!("serve_load: cannot write {}: {e}", a.out);
+            std::process::exit(2);
+        });
     f.write_all(doc.to_json().as_bytes()).expect("write report");
     f.write_all(b"\n").expect("write report");
     for (i, r) in reports.iter().enumerate() {

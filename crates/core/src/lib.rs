@@ -46,4 +46,6 @@ pub mod stack;
 pub use cancel::CancelToken;
 pub use config::{DiggerBeesConfig, StackLevels, VictimPolicy};
 pub use graph_check::{validate_graph, validate_input, GraphError};
-pub use sim::{run_sim, run_sim_faulted, run_sim_profiled, run_sim_traced, SimResult};
+pub use sim::{
+    run_sim, run_sim_faulted, run_sim_profiled, run_sim_store, run_sim_traced, SimResult,
+};

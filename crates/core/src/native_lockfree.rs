@@ -79,6 +79,22 @@ impl LockFreeEngine {
         self.run_traced(g, root, &NullTracer)
     }
 
+    /// Runs on any [`db_graph::GraphStore`]-backed graph (same contract
+    /// as [`crate::native::NativeEngine::run_store`]).
+    pub fn run_store(&self, store: &dyn db_graph::GraphStore, root: VertexId) -> NativeResult {
+        self.run(store.graph(), root)
+    }
+
+    /// [`LockFreeEngine::run_cancellable`] over a stored graph.
+    pub fn run_store_cancellable(
+        &self,
+        store: &dyn db_graph::GraphStore,
+        root: VertexId,
+        token: &CancelToken,
+    ) -> NativeResult {
+        self.run_cancellable(store.graph(), root, token)
+    }
+
     /// Like [`LockFreeEngine::run`], polling `token` at every worker
     /// step (same contract as
     /// [`crate::native::NativeEngine::run_cancellable`]).

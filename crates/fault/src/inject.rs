@@ -29,6 +29,9 @@ pub enum Site {
     StealCopy,
     /// Serve: a worker is about to execute a request attempt.
     Request,
+    /// Store: a pack file is about to be loaded for a `store:` corpus
+    /// key (a strike flips one loaded byte; checksums must catch it).
+    StoreLoad,
 }
 
 impl Site {
@@ -40,6 +43,7 @@ impl Site {
             Site::RingPop => "ring_pop",
             Site::StealCopy => "steal_copy",
             Site::Request => "request",
+            Site::StoreLoad => "store_load",
         }
     }
 
@@ -50,12 +54,14 @@ impl Site {
             Site::RingPop => 2,
             Site::StealCopy => 3,
             Site::Request => 4,
+            Site::StoreLoad => 5,
         }
     }
 
     fn domain(&self) -> Domain {
         match self {
             Site::Request => Domain::Worker,
+            Site::StoreLoad => Domain::Store,
             _ => Domain::Sm,
         }
     }
@@ -73,7 +79,9 @@ fn applies_at(kind: &FaultKind, site: Site) -> bool {
             site,
             Site::Dispatch | Site::RingPush | Site::RingPop | Site::Request
         ),
-        FaultKind::CorruptResult => matches!(site, Site::StealCopy | Site::Request),
+        FaultKind::CorruptResult => {
+            matches!(site, Site::StealCopy | Site::Request | Site::StoreLoad)
+        }
         FaultKind::DropSteal => matches!(site, Site::StealCopy),
     }
 }
@@ -100,6 +108,9 @@ impl Injection {
     pub fn line(&self) -> String {
         match self.site {
             Site::Request => format!("{} req={} {}", self.site.name(), self.at, self.kind),
+            // Store strikes are keyed on the corpus-key hash (worker and
+            // arrival order excluded), so double runs compare equal.
+            Site::StoreLoad => format!("{} key={:#x} {}", self.site.name(), self.at, self.kind),
             _ => format!(
                 "{} sm={} cycle={} {}",
                 self.site.name(),
@@ -156,6 +167,7 @@ impl Injector {
     /// are appended to the log.
     pub fn check(&self, site: Site, sm: u32, cycle: u64) -> Option<FaultKind> {
         debug_assert_ne!(site, Site::Request, "use check_request for serve");
+        debug_assert_ne!(site, Site::StoreLoad, "use check_store for pack loads");
         if self.plan.rules.is_empty() {
             return None;
         }
@@ -235,6 +247,48 @@ impl Injector {
         None
     }
 
+    /// Store-side check: should the pack load for corpus key `key`
+    /// (attempt `attempt` — loads are re-tried when a cached store is
+    /// evicted and rebuilt) be corrupted? Decisions are keyed on the
+    /// key's hash, never on worker or arrival order, so double runs
+    /// strike the same loads. On a strike, returns the deterministic
+    /// corruption seed to feed `db-store`'s corrupt-load path.
+    pub fn check_store(&self, key: &str, attempt: u64) -> Option<u64> {
+        if self.plan.rules.is_empty() {
+            return None;
+        }
+        let key_hash = fnv1a(key) ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut st = self.lock();
+        for (i, rule) in self.plan.rules.iter().enumerate() {
+            if rule.target.domain != Domain::Store || !applies_at(&rule.kind, Site::StoreLoad) {
+                continue;
+            }
+            let fires = match rule.trigger {
+                Trigger::AtCycle(_) | Trigger::OnRequest(_) => false,
+                Trigger::Prob(p) => self.bernoulli(i, Site::StoreLoad, key_hash, p),
+                Trigger::Always => true,
+            };
+            if fires {
+                st.log.push(Injection {
+                    site: Site::StoreLoad,
+                    unit: 0,
+                    at: key_hash,
+                    kind: rule.kind,
+                });
+                // The corruption seed is itself deterministic in (plan
+                // seed, key, attempt): same strike, same flipped byte.
+                return Some(
+                    self.plan
+                        .seed
+                        .wrapping_mul(0x2545_f491_4f6c_dd1d)
+                        .wrapping_add(key_hash)
+                        | 1,
+                );
+            }
+        }
+        None
+    }
+
     /// Deterministic Bernoulli draw for rule `i` at `site` with `key`.
     fn bernoulli(&self, i: usize, site: Site, key: u64, p: f64) -> bool {
         if p <= 0.0 {
@@ -280,6 +334,17 @@ impl Injector {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
+}
+
+/// FNV-1a over the key string — the stable, order-free identity store
+/// strikes are keyed on.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -383,6 +448,38 @@ mod tests {
             inj.check(Site::RingPop, 0, 0),
             Some(FaultKind::Stall { cycles: 9 })
         );
+    }
+
+    #[test]
+    fn store_checks_fire_deterministically_per_key() {
+        let mk = || Injector::new(plan("seed=11;corrupt:store@p=0.5"));
+        let a = mk();
+        let b = mk();
+        let mut hits = 0u32;
+        for i in 0..400 {
+            let key = format!("store:/data/g{i}.dbsg");
+            let x = a.check_store(&key, 0);
+            let y = b.check_store(&key, 0);
+            assert_eq!(x, y, "key {key}");
+            hits += x.is_some() as u32;
+        }
+        assert!((120..280).contains(&hits), "p=0.5 hit {hits}/400");
+        assert_eq!(a.log_lines(), b.log_lines());
+        // Same key, different attempt → independent decision stream.
+        let c = mk();
+        let d0 = c.check_store("store:/x.dbsg", 0);
+        let d1 = c.check_store("store:/x.dbsg", 1);
+        if let (Some(s0), Some(s1)) = (d0, d1) {
+            assert_ne!(s0, s1, "attempts must corrupt different bytes");
+        }
+        // Store rules never strike other layers, and vice versa.
+        let e = Injector::new(plan("corrupt:store@always;kill:worker=*@always"));
+        assert_eq!(e.check(Site::Dispatch, 0, 0), None);
+        assert!(e.check_store("k", 0).is_some());
+        assert_eq!(e.check_request(0, 1, 0), Some(FaultKind::Kill));
+        // Non-corrupt kinds are inert at the store site.
+        let f = Injector::new(plan("kill:store@always"));
+        assert_eq!(f.check_store("k", 0), None);
     }
 
     #[test]

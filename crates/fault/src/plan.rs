@@ -10,13 +10,16 @@
 //! entry   := 'seed=' u64 | rule
 //! rule    := kind ':' target '@' trigger
 //! kind    := 'kill' | 'stall=' u64 | 'slow=' f64 | 'corrupt' | 'dropsteal'
-//! target  := ('sm' | 'worker') '=' (u32 | '*')
+//! target  := ('sm' | 'worker' | 'store') '=' (u32 | '*') | 'store'
 //! trigger := 'cycle=' u64 | 'req=' u64 | 'p=' f64 | 'always'
 //! ```
 //!
 //! Examples: `kill:sm=3@cycle=10000` (kill SM 3 at simulated cycle
 //! 10 000), `corrupt:worker=*@p=0.25` (corrupt a quarter of serve
-//! request executions), `seed=7;stall=500:sm=*@p=0.1`.
+//! request executions), `seed=7;stall=500:sm=*@p=0.1`,
+//! `corrupt:store@p=0.5` (flip a byte in half of the pack loads —
+//! checksum verification must catch every strike; bare `store` is
+//! shorthand for `store=*`).
 //!
 //! [`FaultPlan`] round-trips `parse → Display → parse` exactly; floats
 //! use Rust's shortest-round-trip formatting, so the property holds for
@@ -75,6 +78,8 @@ pub enum Domain {
     Sm,
     /// A serve worker thread — the request-execution site.
     Worker,
+    /// The packed-graph store layer — the pack-load site (`db-store`).
+    Store,
 }
 
 /// The unit(s) a rule may strike: one SM/worker index or all of them.
@@ -91,6 +96,7 @@ impl fmt::Display for Target {
         let d = match self.domain {
             Domain::Sm => "sm",
             Domain::Worker => "worker",
+            Domain::Store => "store",
         };
         match self.unit {
             Some(u) => write!(f, "{d}={u}"),
@@ -237,12 +243,21 @@ fn parse_kind(s: &str) -> Result<FaultKind, String> {
 }
 
 fn parse_target(s: &str) -> Result<Target, String> {
+    // Bare `store` is shorthand for `store=*` (the store layer has no
+    // natural unit index; corruption draws key on the corpus key).
+    if s == "store" {
+        return Ok(Target {
+            domain: Domain::Store,
+            unit: None,
+        });
+    }
     let (d, u) = s
         .split_once('=')
-        .ok_or_else(|| format!("target '{s}': expected sm=N|sm=*|worker=N|worker=*"))?;
+        .ok_or_else(|| format!("target '{s}': expected sm=N|sm=*|worker=N|worker=*|store"))?;
     let domain = match d {
         "sm" => Domain::Sm,
         "worker" => Domain::Worker,
+        "store" => Domain::Store,
         _ => return Err(format!("unknown target domain '{d}'")),
     };
     let unit = if u == "*" {
@@ -351,6 +366,27 @@ mod tests {
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "accepted: {bad}");
         }
+    }
+
+    #[test]
+    fn store_target_parses_and_round_trips() {
+        let p = FaultPlan::parse("corrupt:store@p=0.5").unwrap();
+        assert_eq!(
+            p.rules,
+            vec![FaultRule {
+                kind: FaultKind::CorruptResult,
+                target: Target {
+                    domain: Domain::Store,
+                    unit: None,
+                },
+                trigger: Trigger::Prob(0.5),
+            }]
+        );
+        // Bare `store` normalizes to `store=*` and round-trips.
+        let shown = p.to_string();
+        assert_eq!(shown, "corrupt:store=*@p=0.5");
+        assert_eq!(FaultPlan::parse(&shown).unwrap(), p);
+        assert!(FaultPlan::parse("corrupt:store=2@always").is_ok());
     }
 
     #[test]

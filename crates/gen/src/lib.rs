@@ -18,6 +18,10 @@
 //!   heavy-tailed degrees.
 //! * [`pref`] — preferential-attachment graphs (SNAP's `amazon`,
 //!   `google`, DIMACS10's `citation`).
+//! * [`social`] — a *row-streaming* social-network generator whose
+//!   adjacency rows are pure functions of `(seed, vertex)`: the feed
+//!   for `db-store` pack writers at 50M-arc scale, where materializing
+//!   an edge list first is not an option.
 //! * [`suite`] — the registry mapping the paper's Table 4 representative
 //!   graphs (and the broader three-family benchmark sweep) to scaled
 //!   analogues, used by every figure harness in `db-bench`.
@@ -31,6 +35,8 @@ pub mod mesh;
 pub mod pref;
 pub mod rgg;
 pub mod rmat;
+pub mod social;
 pub mod suite;
 
+pub use social::{SocialGraph, SocialParams};
 pub use suite::{GraphFamily, GraphSpec, Suite};

@@ -5,6 +5,7 @@
 //! 32-bit vertex id per stored arc). Undirected graphs store each edge in
 //! both directions, which is what DFS/BFS engines traverse.
 
+use crate::store::SectionSlice;
 use crate::VertexId;
 
 /// A structural defect in raw CSR arrays, reported by
@@ -76,11 +77,15 @@ impl std::error::Error for CsrError {}
 /// An immutable CSR graph.
 ///
 /// Construct via [`crate::GraphBuilder`] or [`CsrGraph::from_sorted_parts`].
+///
+/// The two arrays live in [`SectionSlice`]s: heap `Vec`s for built
+/// graphs, or zero-copy windows into an mmap'd pack file for graphs
+/// loaded through `db-store`. Accessors return plain slices either way.
 #[derive(Clone, PartialEq, Eq)]
 pub struct CsrGraph {
     n: u32,
-    row_ptr: Vec<u64>,
-    col_idx: Vec<u32>,
+    row_ptr: SectionSlice<u64>,
+    col_idx: SectionSlice<u32>,
     directed: bool,
 }
 
@@ -90,6 +95,7 @@ impl std::fmt::Debug for CsrGraph {
             .field("n", &self.n)
             .field("arcs", &self.col_idx.len())
             .field("directed", &self.directed)
+            .field("mapped_bytes", &self.mapped_bytes())
             .finish()
     }
 }
@@ -125,8 +131,8 @@ impl CsrGraph {
     ) -> Self {
         Self {
             n,
-            row_ptr,
-            col_idx,
+            row_ptr: SectionSlice::owned(row_ptr),
+            col_idx: SectionSlice::owned(col_idx),
             directed,
         }
     }
@@ -141,31 +147,53 @@ impl CsrGraph {
         col_idx: Vec<u32>,
         directed: bool,
     ) -> Result<Self, CsrError> {
-        if row_ptr.len() != n as usize + 1 {
-            return Err(CsrError::RowPtrLength {
-                expected: n as usize + 1,
-                got: row_ptr.len(),
-            });
-        }
-        if row_ptr[0] != 0 {
-            return Err(CsrError::RowPtrStart(row_ptr[0]));
-        }
-        let last = *row_ptr.last().expect("row_ptr nonempty");
-        if last as usize != col_idx.len() {
-            return Err(CsrError::RowPtrEnd {
-                expected: col_idx.len(),
-                got: last,
-            });
-        }
-        if let Some(at) = row_ptr.windows(2).position(|w| w[0] > w[1]) {
-            return Err(CsrError::RowPtrDecreasing { at });
-        }
-        if let Some(at) = col_idx.iter().position(|&v| v >= n) {
-            return Err(CsrError::ColumnOutOfRange {
-                at,
-                value: col_idx[at],
-                n,
-            });
+        Self::try_from_backed(
+            n,
+            SectionSlice::owned(row_ptr),
+            SectionSlice::owned(col_idx),
+            directed,
+        )
+    }
+
+    /// Validating constructor over already-backed sections — the entry
+    /// point `db-store` uses so mmap-backed arrays are checked without
+    /// ever being copied. Runs exactly the
+    /// [`CsrGraph::try_from_sorted_parts`] invariants.
+    pub fn try_from_backed(
+        n: u32,
+        row_ptr: SectionSlice<u64>,
+        col_idx: SectionSlice<u32>,
+        directed: bool,
+    ) -> Result<Self, CsrError> {
+        {
+            let rp = row_ptr.as_slice();
+            let ci = col_idx.as_slice();
+            if rp.len() != n as usize + 1 {
+                return Err(CsrError::RowPtrLength {
+                    expected: n as usize + 1,
+                    got: rp.len(),
+                });
+            }
+            if rp[0] != 0 {
+                return Err(CsrError::RowPtrStart(rp[0]));
+            }
+            let last = *rp.last().expect("row_ptr nonempty");
+            if last as usize != ci.len() {
+                return Err(CsrError::RowPtrEnd {
+                    expected: ci.len(),
+                    got: last,
+                });
+            }
+            if let Some(at) = rp.windows(2).position(|w| w[0] > w[1]) {
+                return Err(CsrError::RowPtrDecreasing { at });
+            }
+            if let Some(at) = ci.iter().position(|&v| v >= n) {
+                return Err(CsrError::ColumnOutOfRange {
+                    at,
+                    value: ci[at],
+                    n,
+                });
+            }
         }
         Ok(Self {
             n,
@@ -209,27 +237,29 @@ impl CsrGraph {
     /// Out-degree of `u`.
     #[inline]
     pub fn degree(&self, u: VertexId) -> usize {
-        (self.row_ptr[u as usize + 1] - self.row_ptr[u as usize]) as usize
+        let rp = self.row_ptr.as_slice();
+        (rp[u as usize + 1] - rp[u as usize]) as usize
     }
 
     /// Slice of `u`'s neighbors (sorted ascending by construction).
     #[inline]
     pub fn neighbors(&self, u: VertexId) -> &[u32] {
-        let lo = self.row_ptr[u as usize] as usize;
-        let hi = self.row_ptr[u as usize + 1] as usize;
-        &self.col_idx[lo..hi]
+        let rp = self.row_ptr.as_slice();
+        let lo = rp[u as usize] as usize;
+        let hi = rp[u as usize + 1] as usize;
+        &self.col_idx.as_slice()[lo..hi]
     }
 
     /// The raw row-pointer array (length `n + 1`).
     #[inline]
     pub fn row_ptr(&self) -> &[u64] {
-        &self.row_ptr
+        self.row_ptr.as_slice()
     }
 
     /// The raw column-index array.
     #[inline]
     pub fn col_idx(&self) -> &[u32] {
-        &self.col_idx
+        self.col_idx.as_slice()
     }
 
     /// Whether the arc `u -> v` exists (binary search over `u`'s row).
@@ -252,6 +282,27 @@ impl CsrGraph {
     /// format").
     pub fn memory_bytes(&self) -> usize {
         self.row_ptr.len() * 8 + self.col_idx.len() * 4
+    }
+
+    /// Private heap bytes this graph owns (0 for fully mmap-backed
+    /// graphs — the mapping is shared, not private, memory).
+    pub fn heap_bytes(&self) -> usize {
+        self.row_ptr.heap_bytes() + self.col_idx.heap_bytes()
+    }
+
+    /// Shared mapped (mmap'd pack section) bytes this graph references.
+    pub fn mapped_bytes(&self) -> usize {
+        self.row_ptr.mapped_bytes() + self.col_idx.mapped_bytes()
+    }
+
+    /// Bytes to charge against a residency budget (what `CorpusCache`
+    /// accounts): full price for private heap, a quarter for mapped
+    /// sections — mmap'd pages are backed by the shared page cache and
+    /// only resident where a traversal actually touched them, and DFS
+    /// frontiers touch a skewed subset of rows. A fixed 1/4 hot-section
+    /// estimate keeps accounting deterministic (no OS residency probes).
+    pub fn charged_bytes(&self) -> usize {
+        self.heap_bytes() + self.mapped_bytes() / 4
     }
 }
 

@@ -34,15 +34,18 @@
 
 pub mod builder;
 pub mod csr;
+pub mod encode;
 pub mod mm;
 pub mod permute;
 pub mod sources;
 pub mod stats;
+pub mod store;
 pub mod traversal;
 pub mod validate;
 
 pub use builder::GraphBuilder;
 pub use csr::{CsrError, CsrGraph};
+pub use store::{GraphStore, HeapRegion, Region, SectionSlice};
 pub use traversal::{serial_dfs, DfsOutput};
 
 /// Vertex identifier. The paper's CSR uses 32-bit vertex ids; so do we.

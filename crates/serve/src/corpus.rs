@@ -12,16 +12,29 @@
 //! * `grid:W:H` — undirected W×H lattice;
 //! * `path:N` — undirected N-vertex path (worst case for DFS stealing);
 //! * `dag:N` — directed acyclic layered chain (`i → i+1`, `i → i+2`);
-//! * `ring:N` — directed N-cycle (one SCC).
+//! * `ring:N` — directed N-cycle (one SCC);
+//! * `store:/path/to/pack.dbsg` — a packed graph mmap-loaded through
+//!   `db-store` (everything after the prefix is the filesystem path).
 //!
 //! All synthetic recipes are deterministic and RNG-free, so a corpus
 //! key names the same graph in every process — a requirement for the
-//! load generator's cross-run outcome comparison.
+//! load generator's cross-run outcome comparison. A `store:` key is as
+//! deterministic as the bytes it names: the pack's checksums reject any
+//! drift.
+//!
+//! Residency accounting charges [`db_graph::GraphStore::charged_bytes`]
+//! rather than the raw CSR footprint: an mmap-loaded store's pages are
+//! shared and only page-cache resident where touched, so it charges the
+//! header plus the hot-section estimate instead of the full file — a
+//! 50M-arc pack no longer evicts the whole rest of the corpus on open.
 
-use db_graph::{builder::from_edge_list, CsrGraph, GraphBuilder};
+use db_graph::{builder::from_edge_list, CsrGraph, GraphBuilder, GraphStore};
 use db_metrics::{Counter, Gauge, Registry};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Corpus-key prefix selecting the packed-store loader.
+pub const STORE_PREFIX: &str = "store:";
 
 /// Keyed graph cache with a byte budget and LRU eviction.
 ///
@@ -38,19 +51,25 @@ pub struct CorpusCache {
     evictions: Counter,
     resident_graphs: Gauge,
     resident_bytes: Gauge,
+    store_loads: Counter,
+    store_load_failures: Counter,
+    store_corruptions: Counter,
+    store_mapped_bytes: Gauge,
 }
 
 #[derive(Debug, Default)]
 struct CacheInner {
     map: HashMap<String, Entry>,
     total_bytes: usize,
+    mapped_bytes: usize,
     tick: u64,
 }
 
 #[derive(Debug)]
 struct Entry {
-    graph: Arc<CsrGraph>,
+    store: Arc<dyn GraphStore>,
     bytes: usize,
+    mapped: usize,
     last_use: u64,
 }
 
@@ -98,7 +117,27 @@ impl CorpusCache {
             ),
             resident_bytes: reg.gauge(
                 "db_serve_resident_bytes",
-                "Bytes of CSR currently resident in the corpus cache",
+                "Charged bytes currently resident in the corpus cache",
+                &[],
+            ),
+            store_loads: reg.counter(
+                "db_store_loads_total",
+                "Packed-store loads attempted by the corpus cache",
+                &[],
+            ),
+            store_load_failures: reg.counter(
+                "db_store_load_failures_total",
+                "Packed-store loads rejected with a typed error",
+                &[],
+            ),
+            store_corruptions: reg.counter(
+                "db_store_corruptions_detected_total",
+                "Injected store corruptions caught by pack checksums",
+                &[],
+            ),
+            store_mapped_bytes: reg.gauge(
+                "db_store_resident_mapped_bytes",
+                "Zero-copy mmap bytes referenced by resident stores",
                 &[],
             ),
         }
@@ -110,20 +149,21 @@ impl CorpusCache {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// Returns the graph for `key`, building and caching it on a miss.
+    /// Returns the store for `key`, building (or mmap-loading, for
+    /// `store:` keys) and caching it on a miss.
     ///
     /// The build happens under the cache lock: concurrent requests for
     /// the same key build once and the losers wait, at the cost of
     /// serializing first-touch builds of *different* graphs. For a
     /// serving corpus (few graphs, many requests) the steady state is
     /// all hits, so the simple lock wins over per-key once-cells.
-    pub fn resolve(&self, key: &str) -> Result<(Arc<CsrGraph>, ResolveInfo), String> {
+    pub fn resolve(&self, key: &str) -> Result<(Arc<dyn GraphStore>, ResolveInfo), String> {
         let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(e) = inner.map.get_mut(key) {
             e.last_use = tick;
-            let g = Arc::clone(&e.graph);
+            let g = Arc::clone(&e.store);
             let resident = inner.map.len();
             drop(inner);
             self.hits.inc();
@@ -135,8 +175,11 @@ impl CorpusCache {
                 },
             ));
         }
-        let graph = Arc::new(build_graph(key)?);
-        let bytes = graph.memory_bytes();
+        let store = self.build_store_counted(key)?;
+        // Charged bytes, not raw footprint: mmap'd sections charge the
+        // hot-section estimate so one big pack doesn't flush the cache.
+        let bytes = store.charged_bytes();
+        let mapped = store.mapped_bytes();
         // Evict LRU entries until the newcomer fits (or nothing is left).
         while inner.total_bytes + bytes > self.budget_bytes && !inner.map.is_empty() {
             let victim = inner
@@ -147,29 +190,91 @@ impl CorpusCache {
                 .expect("nonempty map has a minimum");
             let e = inner.map.remove(&victim).expect("victim present");
             inner.total_bytes -= e.bytes;
+            inner.mapped_bytes -= e.mapped;
             self.evictions.inc();
         }
         inner.total_bytes += bytes;
+        inner.mapped_bytes += mapped;
         inner.map.insert(
             key.to_string(),
             Entry {
-                graph: Arc::clone(&graph),
+                store: Arc::clone(&store),
                 bytes,
+                mapped,
                 last_use: tick,
             },
         );
         let resident = inner.map.len();
         self.resident_graphs.set(resident as u64);
         self.resident_bytes.set(inner.total_bytes as u64);
+        self.store_mapped_bytes.set(inner.mapped_bytes as u64);
         drop(inner);
         self.misses.inc();
         Ok((
-            graph,
+            store,
             ResolveInfo {
                 hit: false,
                 resident,
             },
         ))
+    }
+
+    /// [`build_store`] with the cache's `db_store_*` load counters.
+    fn build_store_counted(&self, key: &str) -> Result<Arc<dyn GraphStore>, String> {
+        if key.starts_with(STORE_PREFIX) {
+            self.store_loads.inc();
+            let r = build_store(key);
+            if r.is_err() {
+                self.store_load_failures.inc();
+            }
+            r
+        } else {
+            build_store(key)
+        }
+    }
+
+    /// Fault-injection probe: attempts a *fresh, uncached* load of a
+    /// `store:` key with one deterministic byte flipped in a loaded
+    /// section (see `db_fault::Injector::check_store`). The pack
+    /// checksums are expected to catch the flip: the result is almost
+    /// always a typed error, which the pool turns into a per-request
+    /// failure while the cached, intact store keeps serving everyone
+    /// else. Counts `db_store_corruptions_detected_total` when the
+    /// checksum fires. Non-`store:` keys resolve normally (the
+    /// store-load fault site does not apply to built graphs).
+    pub fn resolve_corrupted(
+        &self,
+        key: &str,
+        corrupt_seed: u64,
+    ) -> Result<(Arc<dyn GraphStore>, ResolveInfo), String> {
+        let Some(path) = key.strip_prefix(STORE_PREFIX) else {
+            return self.resolve(key);
+        };
+        self.store_loads.inc();
+        let opts = db_store::LoadOptions {
+            corrupt_seed: Some(corrupt_seed),
+            ..Default::default()
+        };
+        match db_store::load_with(path, &opts) {
+            Ok(store) => {
+                // The flip landed outside any verified payload (e.g. in
+                // alignment padding) — the load is intact; serve it
+                // without caching the probe.
+                let resident = self.lock().map.len();
+                Ok((
+                    Arc::new(store) as Arc<dyn GraphStore>,
+                    ResolveInfo {
+                        hit: false,
+                        resident,
+                    },
+                ))
+            }
+            Err(e) => {
+                self.store_load_failures.inc();
+                self.store_corruptions.inc();
+                Err(format!("store load corrupted: {e}"))
+            }
+        }
     }
 
     /// Cache hits so far.
@@ -191,6 +296,20 @@ impl CorpusCache {
     pub fn resident(&self) -> (usize, usize) {
         let inner = self.lock();
         (inner.map.len(), inner.total_bytes)
+    }
+}
+
+/// Resolves a corpus key to a [`GraphStore`]: `store:` keys mmap-load a
+/// `.dbsg` pack through `db-store` (typed load errors stringified, the
+/// serve path never panics on file bytes); everything else builds an
+/// in-RAM graph via [`build_graph`].
+pub fn build_store(key: &str) -> Result<Arc<dyn GraphStore>, String> {
+    match key.strip_prefix(STORE_PREFIX) {
+        Some("") => Err("corpus key 'store:': missing path".to_string()),
+        Some(path) => db_store::load(path)
+            .map(|s| Arc::new(s) as Arc<dyn GraphStore>)
+            .map_err(|e| format!("corpus key '{key}': {e}")),
+        None => Ok(Arc::new(build_graph(key)?) as Arc<dyn GraphStore>),
     }
 }
 

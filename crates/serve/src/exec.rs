@@ -182,8 +182,25 @@ fn traverse(engine: EngineKind, g: &CsrGraph, root: u32, token: &CancelToken) ->
             let out = db_baselines::serial::run(g, root, &MachineModel::a100());
             (out.visited, true)
         }
+        EngineKind::Partitioned => {
+            // Cross-partition DFS: contiguous edge-cut shards, idle
+            // shards steal half a victim's stack. The visited set is
+            // schedule-independent, so the payload stays deterministic.
+            let spec = db_store::partition_by_arcs(g, PARTITIONS);
+            let (visited, completed, _) =
+                db_store::run_partitioned(g, &spec, root, &db_trace::tracer::NullTracer, &|| {
+                    token.is_cancelled()
+                });
+            (visited, completed)
+        }
     }
 }
+
+/// Shard count for [`EngineKind::Partitioned`] requests. Fixed (not a
+/// request knob) so a request's outcome digest never depends on server
+/// sizing; 4 exercises cross-partition stealing on any graph that has
+/// at least a few thousand arcs.
+const PARTITIONS: usize = 4;
 
 fn respond(id: u64, completed: bool, payload: Vec<(String, Value)>) -> Response {
     Response {
@@ -232,6 +249,7 @@ mod tests {
             EngineKind::LockFree,
             EngineKind::Sim,
             EngineKind::Serial,
+            EngineKind::Partitioned,
         ] {
             let r = execute(
                 &req("grid:6:6", Workload::Dfs { root: 0 }, engine),

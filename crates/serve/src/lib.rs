@@ -6,8 +6,9 @@
 //! unit, layered on the workspace's engines:
 //!
 //! * [`corpus`] — graph registry: corpus keys resolve to `Arc`-shared
-//!   [`db_graph::CsrGraph`]s, cached under a byte budget with LRU
-//!   eviction.
+//!   [`db_graph::GraphStore`]s — built in-RAM graphs or `store:`-keyed
+//!   packs mmap-loaded through `db-store` — cached under a
+//!   charged-bytes budget with LRU eviction.
 //! * [`request`] — the typed request/response model (`dfs`, `reach`,
 //!   `scc`, `topo`, `articulation` over any engine) and its NDJSON
 //!   codec.

@@ -667,28 +667,53 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) -> bool {
     let policy = &inner.cfg.resilience;
     let mut poisoned = false;
 
-    let graph = match inner.cache.resolve(&job.req.graph) {
-        Ok((graph, info)) => {
+    // Store-load fault site: a chaos plan targeting `store` strikes
+    // this request's pack load, which then runs fresh and uncached with
+    // one deterministic byte flipped. The pack checksum catches the
+    // flip and only this request fails (`failed`, not `error`) — the
+    // cached intact store keeps serving everyone else.
+    let store_fault = policy.faults.as_ref().and_then(|inj| {
+        job.req
+            .graph
+            .starts_with(crate::corpus::STORE_PREFIX)
+            .then(|| inj.check_store(&job.req.graph, 0))
+            .flatten()
+    });
+    let resolved = match store_fault {
+        Some(seed) => {
+            inner.metrics.faults_injected.inc();
+            inner.cache.resolve_corrupted(&job.req.graph, seed)
+        }
+        None => inner.cache.resolve(&job.req.graph),
+    };
+    let store = match resolved {
+        Ok((store, info)) => {
             let op = if info.hit {
                 ServeOp::CacheHit
             } else {
                 ServeOp::CacheMiss
             };
             inner.trace(worker, op, info.resident as u32);
-            graph
+            store
         }
         Err(msg) => {
+            let status = if store_fault.is_some() {
+                Status::Failed
+            } else {
+                Status::Error
+            };
             finish_job(
                 inner,
                 worker,
                 &job,
                 reply,
-                Response::failure(job.req.id, Status::Error, msg),
+                Response::failure(job.req.id, status, msg),
                 false,
             );
             return false;
         }
     };
+    let graph = store.graph();
 
     let attempts = policy.attempts().max(1);
     let mut done: Option<Response> = None;
@@ -748,7 +773,7 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) -> bool {
             if let Some(d) = stall {
                 std::thread::sleep(d);
             }
-            exec::execute(req, &graph, &token)
+            exec::execute(req, graph, &token)
         }));
         match outcome {
             Err(p) => {

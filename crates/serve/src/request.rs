@@ -63,6 +63,10 @@ pub enum EngineKind {
     Sim,
     /// Serial Algorithm-1 baseline ([`db_baselines::serial`]).
     Serial,
+    /// Cross-partition DFS with steal-half shard stealing
+    /// (`db_store::run_partitioned`): the paper's block-level stealing
+    /// lifted to partition granularity, for partitioned packed graphs.
+    Partitioned,
 }
 
 impl EngineKind {
@@ -73,6 +77,7 @@ impl EngineKind {
             EngineKind::LockFree => "lockfree",
             EngineKind::Sim => "sim",
             EngineKind::Serial => "serial",
+            EngineKind::Partitioned => "partitioned",
         }
     }
 
@@ -83,6 +88,7 @@ impl EngineKind {
             "lockfree" => EngineKind::LockFree,
             "sim" => EngineKind::Sim,
             "serial" => EngineKind::Serial,
+            "partitioned" => EngineKind::Partitioned,
             _ => return None,
         })
     }

@@ -49,6 +49,20 @@
 //! --breaker-cooldown-ms <n> open-breaker cooldown before a half-open
 //!                        probe is admitted (default 250)
 //!
+//! diggerbees store pack [options]   pack a graph into a .dbsg file
+//!
+//! --graph <key>          corpus key (grid:W:H, dag:N, suite name, …)
+//!                        or social:N — a streaming social graph that
+//!                        is packed row-by-row without materializing
+//! --out <file>           output pack path (required)
+//! --seed <s>             social-graph seed (default 1)
+//! --no-compress          store raw u32 columns (no delta+varint)
+//! --hub-threshold <n>    degree at which rows go to the raw hub
+//!                        section (default 64)
+//!
+//! diggerbees store inspect <file>   print a pack's header + layout
+//! diggerbees store verify <file>    checksum-verify and decode a pack
+//!
 //! diggerbees metrics [options]      scrape a running server
 //!
 //! --addr <host:port>     server address (default 127.0.0.1:7345)
@@ -253,6 +267,7 @@ fn main() -> ExitCode {
         Some("serve") => return serve_main(),
         Some("metrics") => return metrics_main(),
         Some("check") => return check_main(),
+        Some("store") => return store_main(),
         _ => {}
     }
     let args = match parse_args() {
@@ -539,6 +554,160 @@ fn export_profile(prof: &CycleProfiler, path: &str, makespan: u64) -> std::io::R
         );
     }
     Ok(())
+}
+
+/// `diggerbees store pack|inspect|verify`: the `.dbsg` pack toolbox.
+///
+/// `pack` streams `social:N` graphs row-by-row into the pack writer
+/// (peak memory is one adjacency row plus the `row_ptr` array), so
+/// multi-million-vertex packs never materialize a CSR; every other
+/// corpus key builds in RAM first. `inspect` prints the header and
+/// layout of an existing pack; `verify` checksum-verifies and fully
+/// decodes it, exiting nonzero on any typed load error.
+fn store_main() -> ExitCode {
+    use diggerbees::store::{load, PackOptions, PackWriter};
+
+    let fail = |e: String| {
+        eprintln!("{e}");
+        ExitCode::FAILURE
+    };
+    let mut it = std::env::args().skip(2);
+    let verb = match it.next() {
+        Some(v) => v,
+        None => return fail("usage: diggerbees store <pack|inspect|verify> ...".into()),
+    };
+    match verb.as_str() {
+        "pack" => {
+            let mut graph_key = String::new();
+            let mut out = String::new();
+            let mut seed = 1u64;
+            let mut opts = PackOptions::default();
+            while let Some(a) = it.next() {
+                let mut take = |name: &str| -> Result<String, String> {
+                    it.next().ok_or_else(|| format!("{name} requires a value"))
+                };
+                let r = (|| -> Result<(), String> {
+                    match a.as_str() {
+                        "--graph" => graph_key = take("--graph")?,
+                        "--out" => out = take("--out")?,
+                        "--seed" => seed = parse_num(&take("--seed")?)? as u64,
+                        "--no-compress" => opts.compress = false,
+                        "--hub-threshold" => {
+                            opts.hub_threshold = parse_num(&take("--hub-threshold")?)?
+                        }
+                        other => return Err(format!("unknown argument: {other}")),
+                    }
+                    Ok(())
+                })();
+                if let Err(e) = r {
+                    return fail(e);
+                }
+            }
+            if graph_key.is_empty() || out.is_empty() {
+                return fail("store pack needs --graph <key> and --out <file>".into());
+            }
+            let t0 = std::time::Instant::now();
+            let summary = if let Some(dims) = graph_key.strip_prefix("social:") {
+                let (n_str, avg_str) = match dims.split_once(':') {
+                    Some((n, avg)) => (n, Some(avg)),
+                    None => (dims, None),
+                };
+                let n: u32 = match n_str.parse::<u32>().ok().filter(|&n| n > 0) {
+                    Some(n) => n,
+                    None => {
+                        return fail(format!(
+                            "bad social key 'social:{dims}' (want social:N or social:N:AVG)"
+                        ))
+                    }
+                };
+                let mut params = diggerbees::gen::SocialParams::default();
+                if let Some(avg) = avg_str {
+                    params.avg_degree = match avg.parse::<u32>().ok().filter(|&d| d > 0) {
+                        Some(d) => d,
+                        None => {
+                            return fail(format!("bad average degree '{avg}' in '{graph_key}'"))
+                        }
+                    };
+                }
+                let sg = diggerbees::gen::SocialGraph::new(n, seed, params);
+                let mut w = match PackWriter::create(&out, n, true, opts) {
+                    Ok(w) => w,
+                    Err(e) => return fail(format!("cannot start pack '{out}': {e}")),
+                };
+                let mut err = None;
+                sg.for_each_row(|u, row| {
+                    if err.is_none() {
+                        if let Err(e) = w.push_row(row) {
+                            err = Some(format!("packing row {u}: {e}"));
+                        }
+                    }
+                });
+                if let Some(e) = err {
+                    return fail(e);
+                }
+                match w.finish() {
+                    Ok(s) => s,
+                    Err(e) => return fail(format!("sealing pack '{out}': {e}")),
+                }
+            } else {
+                let g = match diggerbees::serve::corpus::build_graph(&graph_key) {
+                    Ok(g) => g,
+                    Err(e) => return fail(e),
+                };
+                match diggerbees::store::pack_graph(&g, &out, opts) {
+                    Ok(s) => s,
+                    Err(e) => return fail(format!("packing '{graph_key}': {e}")),
+                }
+            };
+            println!(
+                "packed {graph_key} -> {out}: {} vertices, {} arcs, {} bytes \
+                 ({:.2}x vs raw CSR, {} hub rows / {} hub arcs) in {:.1}s",
+                summary.n,
+                summary.arcs,
+                summary.file_bytes,
+                summary.file_bytes as f64 / summary.csr_bytes.max(1) as f64,
+                summary.hub_rows,
+                summary.hub_arcs,
+                t0.elapsed().as_secs_f64()
+            );
+            ExitCode::SUCCESS
+        }
+        "inspect" | "verify" => {
+            let path = match it.next() {
+                Some(p) => p,
+                None => return fail(format!("usage: diggerbees store {verb} <file.dbsg>")),
+            };
+            let t0 = std::time::Instant::now();
+            match load(&path) {
+                Ok(s) => {
+                    println!("{}", diggerbees::graph::GraphStore::describe(&s));
+                    let h = s.header();
+                    println!(
+                        "header: version {} sections {} hub-threshold {} partitions {}",
+                        h.version, h.section_count, h.hub_threshold, h.partition_count
+                    );
+                    let g = diggerbees::graph::GraphStore::graph(&s);
+                    println!(
+                        "residency: {} heap bytes, {} mapped bytes, {} charged",
+                        g.heap_bytes(),
+                        g.mapped_bytes(),
+                        diggerbees::graph::GraphStore::charged_bytes(&s)
+                    );
+                    if verb == "verify" {
+                        println!(
+                            "verify: all section checksums and row decodes OK in {:.1}s",
+                            t0.elapsed().as_secs_f64()
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(format!("{verb} {path}: {e}")),
+            }
+        }
+        other => fail(format!(
+            "unknown store verb '{other}' (pack|inspect|verify)"
+        )),
+    }
 }
 
 /// `diggerbees metrics`: scrape a running server over the NDJSON

@@ -25,9 +25,13 @@
 //!   plans (kill/stall/slowdown/corrupt/drop-steal) shared by the sim's
 //!   chaos hooks and the serve layer's resilience machinery
 //!   ([`db_fault`]).
-//! * [`serve`] — a multi-tenant traversal service: corpus cache,
-//!   admission control, deadline-aware request-stealing worker pool,
-//!   NDJSON TCP front-end ([`db_serve`]).
+//! * [`store`] — the packed on-disk graph layer: compressed `.dbsg`
+//!   packs with zero-copy mmap loading and cross-partition DFS with
+//!   shard-level steal-half stealing ([`db_store`]).
+//! * [`serve`] — a multi-tenant traversal service: corpus cache
+//!   (including `store:`-keyed packs), admission control,
+//!   deadline-aware request-stealing worker pool, NDJSON TCP front-end
+//!   ([`db_serve`]).
 //! * [`check`] — concurrency-correctness subsystem: bounded model
 //!   checker for the ring/steal protocols, vector-clock race detector
 //!   over trace streams, and the repo lint pass ([`db_check`]).
@@ -62,4 +66,5 @@ pub use db_gpu_sim as sim;
 pub use db_graph as graph;
 pub use db_metrics as metrics;
 pub use db_serve as serve;
+pub use db_store as store;
 pub use db_trace as trace;
