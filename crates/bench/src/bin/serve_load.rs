@@ -14,6 +14,13 @@
 //! in flight) or `--mode open --rate R` (fixed-rate arrivals,
 //! independent of completions).
 //!
+//! Write mode: `--write-frac F` turns a seeded fraction of the load
+//! into commuting edge mutations against `delta:` corpora (reads stay
+//! on the frozen keys) and appends post-drain fence queries that fold
+//! the final epoch and graph state into the digest — so the usual
+//! double-run digest check also proves the mutation path deterministic.
+//! In-process only.
+//!
 //! Chaos mode: `--faults <spec>` runs the in-process server under a
 //! deterministic fault plan (fresh injector per run, breaker disabled,
 //! effectively unlimited worker respawns — the same policy as the
@@ -23,7 +30,8 @@
 //! driving an external `diggerbees serve --faults` endpoint, where
 //! breaker rejections and retry-exhausted failures are expected.
 //!
-//! Emits a JSON report (default `BENCH_serve.json`) with exact
+//! Emits one JSON-lines report object (default `BENCH_serve.json`;
+//! `--append` accumulates lines instead of truncating) with exact
 //! client-side latency percentiles, throughput, cache hit rate, and
 //! the per-run outcome digest. Exits nonzero on any error response,
 //! any rejection or failure (unless chaos flags say otherwise), or a
@@ -57,6 +65,7 @@ struct Args {
     allow_failed: bool,
     append: bool,
     dfs_only: bool,
+    write_frac: f64,
 }
 
 impl Default for Args {
@@ -80,6 +89,7 @@ impl Default for Args {
             allow_failed: false,
             append: false,
             dfs_only: false,
+            write_frac: 0.0,
         }
     }
 }
@@ -92,7 +102,7 @@ fn parse_args() -> Args {
         eprintln!(
             "usage: serve_load [--workers N] [--clients N] [--requests N] [--seed S] \
              [--graphs k1,k2,...] [--mode closed|open] [--rate R] [--deadline-ms MS] \
-             [--runs N] [--out FILE] [--append] [--dfs-only] \
+             [--runs N] [--out FILE] [--append] [--dfs-only] [--write-frac F] \
              [--addr HOST:PORT] [--shutdown] [--faults SPEC] [--allow-failed]"
         );
         std::process::exit(2);
@@ -155,6 +165,13 @@ fn parse_args() -> Args {
             "--allow-failed" => a.allow_failed = true,
             "--append" => a.append = true,
             "--dfs-only" => a.dfs_only = true,
+            "--write-frac" => {
+                a.write_frac = val("--write-frac")
+                    .parse()
+                    .ok()
+                    .filter(|f: &f64| (0.0..=1.0).contains(f))
+                    .unwrap_or_else(|| die("bad --write-frac (want 0.0..=1.0)".into()))
+            }
             other => die(format!("unknown flag '{other}'")),
         }
     }
@@ -163,6 +180,11 @@ fn parse_args() -> Args {
     }
     if a.mode != "closed" && a.mode != "open" {
         die(format!("unknown --mode '{}'", a.mode));
+    }
+    if a.write_frac > 0.0 && a.addr.is_some() {
+        // A remote server's delta corpora persist across runs, so the
+        // second run's epochs (and digests) could never match the first.
+        die("--write-frac requires the in-process mode (fresh delta state per run)".into());
     }
     if a.faults.is_some() && a.addr.is_some() {
         die(
@@ -199,15 +221,52 @@ fn key_info(key: &str) -> (u32, bool) {
 }
 
 /// Deterministic request list: same seed + knobs → same requests.
+///
+/// With `--write-frac F`, roughly `F` of the requests become edge
+/// mutations against the `delta:` view of their key while every read
+/// stays on the frozen corpus — mid-run read results therefore never
+/// depend on how the writes interleave. The writes themselves commute:
+/// adds only connect even-numbered vertices and deletes only cut
+/// odd-numbered pairs, so the two sets are disjoint and any schedule
+/// lands on the same final graph (base ∪ adds ∖ dels). The post-drain
+/// [`fence_requests`] digest that final state.
 fn generate(a: &Args) -> Vec<Request> {
     let infos: Vec<(u32, bool)> = a.graphs.iter().map(|g| key_info(g)).collect();
     let mut rng = a.seed ^ 0x6a09_e667_f3bc_c908;
+    let write_cut = (a.write_frac * (u32::MAX as u64 + 1) as f64) as u64;
     (0..a.requests as u64)
         .map(|id| {
             let gi = (xorshift(&mut rng) % a.graphs.len() as u64) as usize;
             let graph = a.graphs[gi].clone();
             let (n, directed) = infos[gi];
             let n = n.max(1);
+            if write_cut > 0 && n >= 4 && xorshift(&mut rng) % (u32::MAX as u64 + 1) < write_cut {
+                let half = (n / 2) as u64;
+                let del = xorshift(&mut rng).is_multiple_of(4);
+                let parity = if del { 1 } else { 0 };
+                let batch = 1 + (xorshift(&mut rng) % 3) as usize;
+                let edges: Vec<(u32, u32)> = (0..batch)
+                    .map(|_| {
+                        let u = (xorshift(&mut rng) % half) as u32 * 2 + parity;
+                        let v = (xorshift(&mut rng) % half) as u32 * 2 + parity;
+                        (u, v)
+                    })
+                    .collect();
+                return Request {
+                    id,
+                    tenant: format!("tenant{}", xorshift(&mut rng) % 4),
+                    graph: format!("delta:{graph}"),
+                    workload: if del {
+                        Workload::DelEdges { edges }
+                    } else {
+                        Workload::AddEdges { edges }
+                    },
+                    engine: EngineKind::Serial,
+                    // Writes are applied unconditionally server-side;
+                    // a deadline would only confuse the tally.
+                    deadline_ms: None,
+                };
+            }
             let root = (xorshift(&mut rng) % n as u64) as u32;
             let target = (xorshift(&mut rng) % n as u64) as u32;
             let workload = match xorshift(&mut rng) % 10 {
@@ -249,6 +308,45 @@ fn generate(a: &Args) -> Vec<Request> {
         .collect()
 }
 
+/// Post-drain fence queries for write mode: one `epoch` probe plus a
+/// full traversal and a reachability query per delta corpus. They are
+/// submitted only after every mixed-phase response is in hand, so all
+/// writes have been applied and the answers depend on nothing but the
+/// seed-determined final graph — folding them into the combined digest
+/// makes cross-run equality prove the *write* path deterministic, not
+/// just the read path.
+fn fence_requests(a: &Args, first_id: u64) -> Vec<Request> {
+    if a.write_frac == 0.0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut id = first_id;
+    for key in &a.graphs {
+        let (n, _) = key_info(key);
+        let n = n.max(1);
+        let delta = format!("delta:{key}");
+        for workload in [
+            Workload::Epoch,
+            Workload::Dfs { root: 0 },
+            Workload::Reach {
+                root: 0,
+                target: n - 1,
+            },
+        ] {
+            out.push(Request {
+                id,
+                tenant: "fence".into(),
+                graph: delta.clone(),
+                workload,
+                engine: EngineKind::Serial,
+                deadline_ms: None,
+            });
+            id += 1;
+        }
+    }
+    out
+}
+
 /// FNV-1a over all digests in id order: one number per run to compare.
 fn combined_digest(mut results: Vec<(u64, String)>) -> (u64, Vec<(u64, String)>) {
     results.sort();
@@ -279,6 +377,9 @@ struct RunReport {
     digest: u64,
     cache_hit_rate: f64,
     steals: u64,
+    /// Write mode only: `(epochs_published, compactions)` read back
+    /// from a parser-validated Prometheus scrape of the server.
+    delta: Option<(u64, u64)>,
 }
 
 fn quantile_exact(sorted: &[u64], q: f64) -> u64 {
@@ -311,11 +412,13 @@ fn tally(responses: Vec<Response>, wall: Duration, hit_rate: f64, steals: u64) -
         digest,
         cache_hit_rate: hit_rate,
         steals,
+        delta: None,
     }
 }
 
-/// One in-process run: fresh server, closed or open loop, drain.
-fn run_in_process(a: &Args, reqs: &[Request]) -> RunReport {
+/// One in-process run: fresh server, closed or open loop, drain,
+/// then the write-mode fence queries (if any).
+fn run_in_process(a: &Args, reqs: &[Request], fence: &[Request]) -> RunReport {
     // Chaos mode mirrors the chaos integration suite's policy: a fresh
     // injector per run (so runs replay identically), breaker off and an
     // effectively unlimited respawn budget (so terminal outcomes depend
@@ -378,9 +481,36 @@ fn run_in_process(a: &Args, reqs: &[Request]) -> RunReport {
             })
             .collect()
     };
+    let mut responses = responses;
+    // Every in-flight response has been collected above, so all writes
+    // have landed: the fence runs against the final delta state.
+    for r in fence {
+        responses.push(h.run(r.clone()));
+    }
     let wall = start.elapsed();
+    // Write mode reads the delta counters back through the Prometheus
+    // text format and the shared parser, so the report's numbers are
+    // exactly what a monitoring scrape of this server would have seen.
+    let delta = (a.write_frac > 0.0).then(|| {
+        let exp = db_metrics::parse_exposition(&h.prometheus()).unwrap_or_else(|e| {
+            eprintln!("serve_load: metrics scrape failed exposition parsing: {e}");
+            std::process::exit(1);
+        });
+        let get = |n: &str| {
+            exp.samples
+                .iter()
+                .find(|s| s.name == n)
+                .map_or(0.0, |s| s.value) as u64
+        };
+        (
+            get("db_delta_epochs_published_total"),
+            get("db_delta_compactions_total"),
+        )
+    });
     let m = server.shutdown();
-    tally(responses, wall, m.cache_hit_rate(), m.steals)
+    let mut report = tally(responses, wall, m.cache_hit_rate(), m.steals);
+    report.delta = delta;
+    report
 }
 
 /// One TCP run against an external endpoint; closed loop only.
@@ -430,36 +560,46 @@ fn report_value(a: &Args, reports: &[RunReport], deterministic: bool) -> Value {
         .iter()
         .map(|r| {
             let total = r.ok + r.expired + r.rejected + r.errors + r.failed;
-            Value::Obj(vec![
-                ("requests".into(), Value::u64(total)),
-                ("ok".into(), Value::u64(r.ok)),
-                ("expired".into(), Value::u64(r.expired)),
-                ("rejected".into(), Value::u64(r.rejected)),
-                ("errors".into(), Value::u64(r.errors)),
-                ("failed".into(), Value::u64(r.failed)),
-                ("wall_ms".into(), Value::u64(r.wall.as_millis() as u64)),
-                (
-                    "throughput_rps".into(),
-                    Value::Num(total as f64 / r.wall.as_secs_f64().max(1e-9)),
-                ),
-                (
-                    "p50_us".into(),
-                    Value::u64(quantile_exact(&r.latencies_us, 0.50)),
-                ),
-                (
-                    "p90_us".into(),
-                    Value::u64(quantile_exact(&r.latencies_us, 0.90)),
-                ),
-                (
-                    "p99_us".into(),
-                    Value::u64(quantile_exact(&r.latencies_us, 0.99)),
-                ),
-                ("p999_us".into(), Value::u64(r.p999_us)),
-                ("max_us".into(), Value::u64(r.max_us)),
-                ("cache_hit_rate".into(), Value::Num(r.cache_hit_rate)),
-                ("steals".into(), Value::u64(r.steals)),
-                ("digest".into(), Value::str(format!("{:016x}", r.digest))),
-            ])
+            Value::Obj(
+                vec![
+                    ("requests".into(), Value::u64(total)),
+                    ("ok".into(), Value::u64(r.ok)),
+                    ("expired".into(), Value::u64(r.expired)),
+                    ("rejected".into(), Value::u64(r.rejected)),
+                    ("errors".into(), Value::u64(r.errors)),
+                    ("failed".into(), Value::u64(r.failed)),
+                    ("wall_ms".into(), Value::u64(r.wall.as_millis() as u64)),
+                    (
+                        "throughput_rps".into(),
+                        Value::Num(total as f64 / r.wall.as_secs_f64().max(1e-9)),
+                    ),
+                    (
+                        "p50_us".into(),
+                        Value::u64(quantile_exact(&r.latencies_us, 0.50)),
+                    ),
+                    (
+                        "p90_us".into(),
+                        Value::u64(quantile_exact(&r.latencies_us, 0.90)),
+                    ),
+                    (
+                        "p99_us".into(),
+                        Value::u64(quantile_exact(&r.latencies_us, 0.99)),
+                    ),
+                    ("p999_us".into(), Value::u64(r.p999_us)),
+                    ("max_us".into(), Value::u64(r.max_us)),
+                    ("cache_hit_rate".into(), Value::Num(r.cache_hit_rate)),
+                    ("steals".into(), Value::u64(r.steals)),
+                    ("digest".into(), Value::str(format!("{:016x}", r.digest))),
+                ]
+                .into_iter()
+                .chain(r.delta.into_iter().flat_map(|(epochs, compactions)| {
+                    [
+                        ("delta_epochs_published".into(), Value::u64(epochs)),
+                        ("delta_compactions".into(), Value::u64(compactions)),
+                    ]
+                }))
+                .collect(),
+            )
         })
         .collect();
     // Packed-store provenance: size and residency of every `store:` key
@@ -481,11 +621,15 @@ fn report_value(a: &Args, reports: &[RunReport], deterministic: bool) -> Value {
         })
         .collect();
     let mut fields = vec![
+        // Bump on any incompatible change to this line format; entries
+        // without the field predate versioning (see EXPERIMENTS.md).
+        ("schema_version".into(), Value::u64(1)),
         ("bench".into(), Value::str("serve_load")),
         ("mode".into(), Value::str(&a.mode)),
         ("workers".into(), Value::u64(a.workers as u64)),
         ("clients".into(), Value::u64(a.clients as u64)),
         ("seed".into(), Value::u64(a.seed)),
+        ("write_frac".into(), Value::Num(a.write_frac)),
         (
             "graphs".into(),
             Value::Arr(a.graphs.iter().map(Value::str).collect()),
@@ -502,6 +646,7 @@ fn report_value(a: &Args, reports: &[RunReport], deterministic: bool) -> Value {
 fn main() {
     let a = parse_args();
     let reqs = generate(&a);
+    let fence = fence_requests(&a, reqs.len() as u64);
     let mut reports = Vec::new();
     if let Some(addr) = &a.addr {
         for run in 0..a.runs.max(1) {
@@ -523,7 +668,7 @@ fn main() {
                 a.requests,
                 a.workers
             );
-            reports.push(run_in_process(&a, &reqs));
+            reports.push(run_in_process(&a, &reqs, &fence));
         }
     }
     let deterministic = reports.windows(2).all(|w| w[0].digest == w[1].digest);
@@ -577,6 +722,16 @@ fn main() {
     }
     if !deterministic {
         eprintln!("serve_load: FAILED — outcome digests differ across runs");
+        std::process::exit(1);
+    }
+    // Write mode also gates on the scrape: a run that claimed to mix in
+    // writes but published no epochs means the delta path never ran.
+    if a.write_frac > 0.0
+        && reports
+            .iter()
+            .any(|r| r.delta.is_none_or(|(epochs, _)| epochs == 0))
+    {
+        eprintln!("serve_load: FAILED — write mode but db_delta_epochs_published_total is 0");
         std::process::exit(1);
     }
     eprintln!("serve_load: OK — report written to {}", a.out);

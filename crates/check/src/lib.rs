@@ -16,6 +16,12 @@
 //!   visitation, termination only at quiescence. Seeded mutations
 //!   ([`ring_model::RingMutation`], [`proto_model::ProtoMutation`])
 //!   prove the oracles can actually fail.
+//! * [`epoch_model`] — the same explorer over `db-delta`'s epoch
+//!   lifecycle (pin/publish/compact/reclaim): one writer, pinned
+//!   readers, and racing compactors. Oracles: no early reclaim past an
+//!   active pin, at most one merge in flight, layer contiguity, no
+//!   lost publish. [`epoch_model::EpochMutation`] seeds the bug
+//!   classes the protocol exists to prevent.
 //! * [`race`] — a vector-clock happens-before detector over `db-trace`
 //!   event streams (steal/recover events are the sync edges), runnable
 //!   post-hoc on any `--trace` output.
@@ -31,12 +37,14 @@
 //! watches the shipped code's actual executions. The three analyses
 //! overlap deliberately: a protocol bug must dodge all of them.
 
+pub mod epoch_model;
 pub mod explore;
 pub mod lint;
 pub mod proto_model;
 pub mod race;
 pub mod ring_model;
 
+pub use epoch_model::{EpochModel, EpochMutation, EpochScenario};
 pub use explore::{Explorer, Model, Outcome, Stats, Violation};
 pub use lint::{lint_source, lint_tree, LintFinding};
 pub use proto_model::{ProtoModel, ProtoMutation, ProtoScenario};

@@ -1,0 +1,203 @@
+//! Incremental reachability maintenance over an epoch-versioned graph.
+//!
+//! Caches the visited set of a BFS from each queried root, keyed by the
+//! epoch it was computed at. A repeat query on an unchanged epoch is a
+//! pure cache hit; when the epochs in between are *insert-only*, the
+//! cached set is extended by a dirty-set BFS seeded from the endpoints
+//! of newly inserted arcs whose source was already reachable. Deletes
+//! and tombstones (or layers already folded by compaction) force a full
+//! recompute — edge removal can disconnect arbitrary subsets, so the
+//! visited set is not incrementally maintainable in that direction.
+
+use crate::graph::{DeltaGraph, EpochPin};
+use db_graph::CsrGraph;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How a reachability query was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReachOutcome {
+    /// Cached visited set was valid as-is (same epoch).
+    Hit,
+    /// Cached set extended by a dirty-set BFS over insert-only layers.
+    Extended,
+    /// Full BFS recompute (cold cache, deletes, or folded layers).
+    Recomputed,
+}
+
+struct ReachEntry {
+    epoch: u64,
+    visited: Vec<bool>,
+}
+
+/// Per-graph incremental reachability cache. One instance serves all
+/// roots of one [`DeltaGraph`]; the serve layer keys instances by
+/// corpus.
+#[derive(Default)]
+pub struct IncrementalReach {
+    entries: HashMap<u32, ReachEntry>,
+}
+
+impl std::fmt::Debug for IncrementalReach {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IncrementalReach")
+            .field("roots", &self.entries.len())
+            .finish()
+    }
+}
+
+fn bfs(g: &CsrGraph, seeds: &[u32], visited: &mut [bool]) {
+    let mut queue: Vec<u32> = seeds.to_vec();
+    while let Some(u) = queue.pop() {
+        for &v in g.neighbors(u) {
+            if !visited[v as usize] {
+                visited[v as usize] = true;
+                queue.push(v);
+            }
+        }
+    }
+}
+
+impl IncrementalReach {
+    /// Answer "is `target` reachable from `root`?" against the pinned
+    /// snapshot, reusing or extending the cached visited set when the
+    /// epoch history allows it.
+    pub fn query(
+        &mut self,
+        dg: &Arc<DeltaGraph>,
+        pin: &EpochPin,
+        root: u32,
+        target: u32,
+    ) -> (bool, ReachOutcome) {
+        let g = pin.graph();
+        let n = g.num_vertices();
+        let epoch = pin.epoch();
+        let outcome = match self.entries.get_mut(&root) {
+            Some(entry) if entry.epoch == epoch => {
+                dg.note_incremental_hit();
+                ReachOutcome::Hit
+            }
+            Some(entry) if entry.epoch < epoch => {
+                match dg.layers_between(entry.epoch, epoch) {
+                    Some(layers) if layers.iter().all(|l| l.insert_only()) => {
+                        // Seed from targets of new arcs whose source is
+                        // already reachable; inserted edges can only
+                        // grow the visited set.
+                        let mut seeds = Vec::new();
+                        for layer in &layers {
+                            for (u, v) in layer.added_arcs() {
+                                if entry.visited[u as usize] && !entry.visited[v as usize] {
+                                    entry.visited[v as usize] = true;
+                                    seeds.push(v);
+                                }
+                            }
+                        }
+                        bfs(g, &seeds, &mut entry.visited);
+                        entry.epoch = epoch;
+                        dg.note_incremental_hit();
+                        ReachOutcome::Extended
+                    }
+                    _ => {
+                        entry.visited = vec![false; n];
+                        entry.visited[root as usize] = true;
+                        bfs(g, &[root], &mut entry.visited);
+                        entry.epoch = epoch;
+                        ReachOutcome::Recomputed
+                    }
+                }
+            }
+            _ => {
+                // Cold, or cached at a *newer* epoch than the pin (a
+                // reader on an old pin after later publishes): full
+                // recompute without touching newer cache state.
+                let mut visited = vec![false; n];
+                visited[root as usize] = true;
+                bfs(g, &[root], &mut visited);
+                let reached = visited[target as usize];
+                if self.entries.get(&root).is_none_or(|e| e.epoch < epoch) {
+                    self.entries.insert(root, ReachEntry { epoch, visited });
+                }
+                return (reached, ReachOutcome::Recomputed);
+            }
+        };
+        let entry = &self.entries[&root];
+        (entry.visited[target as usize], outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use db_graph::CsrGraph;
+
+    fn path4() -> CsrGraph {
+        CsrGraph::from_sorted_parts(4, vec![0, 1, 2, 3, 3], vec![1, 2, 3], true)
+    }
+
+    #[test]
+    fn hit_on_unchanged_epoch() {
+        let dg = Arc::new(DeltaGraph::from_csr(path4()));
+        let mut cache = IncrementalReach::default();
+        let pin = dg.pin();
+        assert_eq!(
+            cache.query(&dg, &pin, 0, 3),
+            (true, ReachOutcome::Recomputed)
+        );
+        assert_eq!(cache.query(&dg, &pin, 0, 3), (true, ReachOutcome::Hit));
+        assert_eq!(dg.stats().incremental_hits, 1);
+    }
+
+    #[test]
+    fn insert_only_extends() {
+        // 0→1→2→3, 5 isolated; add 3→4 later.
+        let g = CsrGraph::from_sorted_parts(5, vec![0, 1, 2, 3, 3, 3], vec![1, 2, 3], true);
+        let dg = Arc::new(DeltaGraph::from_csr(g));
+        let mut cache = IncrementalReach::default();
+        let pin = dg.pin();
+        assert_eq!(
+            cache.query(&dg, &pin, 0, 4),
+            (false, ReachOutcome::Recomputed)
+        );
+        drop(pin);
+        dg.add_edges(&[(3, 4)]).unwrap();
+        let pin = dg.pin();
+        assert_eq!(cache.query(&dg, &pin, 0, 4), (true, ReachOutcome::Extended));
+        assert_eq!(dg.stats().incremental_hits, 1);
+    }
+
+    #[test]
+    fn deletes_force_recompute() {
+        let dg = Arc::new(DeltaGraph::from_csr(path4()));
+        let mut cache = IncrementalReach::default();
+        let pin = dg.pin();
+        cache.query(&dg, &pin, 0, 3);
+        drop(pin);
+        dg.del_edges(&[(1, 2)]).unwrap();
+        let pin = dg.pin();
+        assert_eq!(
+            cache.query(&dg, &pin, 0, 3),
+            (false, ReachOutcome::Recomputed)
+        );
+        assert_eq!(dg.stats().incremental_hits, 0);
+    }
+
+    #[test]
+    fn extension_matches_recompute() {
+        // Random-ish growth: every extension answer must equal a fresh
+        // BFS over the same snapshot.
+        let g = CsrGraph::from_sorted_parts(8, vec![0; 9], vec![], true);
+        let dg = Arc::new(DeltaGraph::from_csr(g));
+        let mut cache = IncrementalReach::default();
+        let edges = [(0u32, 1u32), (1, 2), (5, 6), (2, 3), (0, 5), (6, 7)];
+        for chunk in edges.chunks(2) {
+            dg.add_edges(chunk).unwrap();
+            let pin = dg.pin();
+            for t in 0..8u32 {
+                let (got, _) = cache.query(&dg, &pin, 0, t);
+                let mut fresh = IncrementalReach::default();
+                let (want, _) = fresh.query(&dg, &pin, 0, t);
+                assert_eq!(got, want, "target {t}");
+            }
+        }
+    }
+}

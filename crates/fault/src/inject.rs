@@ -32,6 +32,10 @@ pub enum Site {
     /// Store: a pack file is about to be loaded for a `store:` corpus
     /// key (a strike flips one loaded byte; checksums must catch it).
     StoreLoad,
+    /// Delta: a worker is about to run a delta-graph compaction merge
+    /// (a strike aborts the merge mid-flight, modelling a crash; the
+    /// epoch lifecycle must survive with no layer lost).
+    Compaction,
 }
 
 impl Site {
@@ -44,6 +48,7 @@ impl Site {
             Site::StealCopy => "steal_copy",
             Site::Request => "request",
             Site::StoreLoad => "store_load",
+            Site::Compaction => "compaction",
         }
     }
 
@@ -55,12 +60,13 @@ impl Site {
             Site::StealCopy => 3,
             Site::Request => 4,
             Site::StoreLoad => 5,
+            Site::Compaction => 6,
         }
     }
 
     fn domain(&self) -> Domain {
         match self {
-            Site::Request => Domain::Worker,
+            Site::Request | Site::Compaction => Domain::Worker,
             Site::StoreLoad => Domain::Store,
             _ => Domain::Sm,
         }
@@ -72,7 +78,10 @@ impl Site {
 /// error, so one spec string can drive sim and serve together).
 fn applies_at(kind: &FaultKind, site: Site) -> bool {
     match kind {
-        FaultKind::Kill | FaultKind::SlowDown { .. } => {
+        FaultKind::Kill => {
+            matches!(site, Site::Dispatch | Site::Request | Site::Compaction)
+        }
+        FaultKind::SlowDown { .. } => {
             matches!(site, Site::Dispatch | Site::Request)
         }
         FaultKind::Stall { .. } => matches!(
@@ -108,9 +117,12 @@ impl Injection {
     pub fn line(&self) -> String {
         match self.site {
             Site::Request => format!("{} req={} {}", self.site.name(), self.at, self.kind),
-            // Store strikes are keyed on the corpus-key hash (worker and
-            // arrival order excluded), so double runs compare equal.
-            Site::StoreLoad => format!("{} key={:#x} {}", self.site.name(), self.at, self.kind),
+            // Store and compaction strikes are keyed on the corpus-key
+            // hash (worker and arrival order excluded), so double runs
+            // compare equal.
+            Site::StoreLoad | Site::Compaction => {
+                format!("{} key={:#x} {}", self.site.name(), self.at, self.kind)
+            }
             _ => format!(
                 "{} sm={} cycle={} {}",
                 self.site.name(),
@@ -187,7 +199,7 @@ impl Injector {
             }
             let fires = match rule.trigger {
                 Trigger::AtCycle(c) => cycle >= c && st.fired.insert((i, sm)),
-                Trigger::OnRequest(_) => false,
+                Trigger::OnRequest(_) | Trigger::OnCompaction => false,
                 Trigger::Prob(p) => self.bernoulli(i, site, draw_key, p),
                 Trigger::Always => true,
             };
@@ -226,7 +238,7 @@ impl Injector {
                 }
             }
             let fires = match rule.trigger {
-                Trigger::AtCycle(_) => false,
+                Trigger::AtCycle(_) | Trigger::OnCompaction => false,
                 Trigger::OnRequest(id) => req_id == id && attempt == 0,
                 Trigger::Prob(p) => {
                     self.bernoulli(i, Site::Request, (req_id << 8) | attempt as u64, p)
@@ -264,7 +276,7 @@ impl Injector {
                 continue;
             }
             let fires = match rule.trigger {
-                Trigger::AtCycle(_) | Trigger::OnRequest(_) => false,
+                Trigger::AtCycle(_) | Trigger::OnRequest(_) | Trigger::OnCompaction => false,
                 Trigger::Prob(p) => self.bernoulli(i, Site::StoreLoad, key_hash, p),
                 Trigger::Always => true,
             };
@@ -284,6 +296,40 @@ impl Injector {
                         .wrapping_add(key_hash)
                         | 1,
                 );
+            }
+        }
+        None
+    }
+
+    /// Delta-side check: should the `count`-th compaction attempt for
+    /// delta corpus `key` be struck? Decisions are keyed on
+    /// `(key hash, attempt count)`, never on which worker triggered the
+    /// compaction or on arrival order, so double runs strike the same
+    /// attempts. Only `Kill` rules apply (a strike aborts the merge);
+    /// `@compaction`, `@always`, and `@p=` triggers can all fire here.
+    pub fn check_compaction(&self, key: &str, count: u64) -> Option<FaultKind> {
+        if self.plan.rules.is_empty() {
+            return None;
+        }
+        let key_hash = fnv1a(key) ^ count.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut st = self.lock();
+        for (i, rule) in self.plan.rules.iter().enumerate() {
+            if rule.target.domain != Domain::Worker || !applies_at(&rule.kind, Site::Compaction) {
+                continue;
+            }
+            let fires = match rule.trigger {
+                Trigger::AtCycle(_) | Trigger::OnRequest(_) => false,
+                Trigger::OnCompaction | Trigger::Always => true,
+                Trigger::Prob(p) => self.bernoulli(i, Site::Compaction, key_hash, p),
+            };
+            if fires {
+                st.log.push(Injection {
+                    site: Site::Compaction,
+                    unit: 0,
+                    at: key_hash,
+                    kind: rule.kind,
+                });
+                return Some(rule.kind);
             }
         }
         None
@@ -480,6 +526,37 @@ mod tests {
         // Non-corrupt kinds are inert at the store site.
         let f = Injector::new(plan("kill:store@always"));
         assert_eq!(f.check_store("k", 0), None);
+    }
+
+    #[test]
+    fn compaction_checks_fire_deterministically() {
+        let mk = || Injector::new(plan("seed=5;kill:worker=*@compaction"));
+        let a = mk();
+        let b = mk();
+        for count in 0..8u64 {
+            let x = a.check_compaction("delta:path:100", count);
+            assert_eq!(x, b.check_compaction("delta:path:100", count));
+            assert_eq!(x, Some(FaultKind::Kill));
+        }
+        assert_eq!(a.log_lines(), b.log_lines());
+        // The compaction trigger never strikes sim, request, or store
+        // sites — writes keep flowing while compactions are killed.
+        assert_eq!(a.check(Site::Dispatch, 0, 0), None);
+        assert_eq!(a.check_request(0, 1, 0), None);
+        assert_eq!(a.check_store("k", 0), None);
+        // Probabilistic compaction strikes are keyed on (key, count).
+        let c = Injector::new(plan("seed=5;kill:worker=*@p=0.5"));
+        let d = Injector::new(plan("seed=5;kill:worker=*@p=0.5"));
+        let mut hits = 0u32;
+        for count in 0..400u64 {
+            let x = c.check_compaction("delta:grid:8:8", count);
+            assert_eq!(x, d.check_compaction("delta:grid:8:8", count));
+            hits += x.is_some() as u32;
+        }
+        assert!((120..280).contains(&hits), "p=0.5 hit {hits}/400");
+        // Non-kill kinds are inert at the compaction site.
+        let e = Injector::new(plan("corrupt:worker=*@compaction"));
+        assert_eq!(e.check_compaction("k", 0), None);
     }
 
     #[test]

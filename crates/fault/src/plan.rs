@@ -11,7 +11,7 @@
 //! rule    := kind ':' target '@' trigger
 //! kind    := 'kill' | 'stall=' u64 | 'slow=' f64 | 'corrupt' | 'dropsteal'
 //! target  := ('sm' | 'worker' | 'store') '=' (u32 | '*') | 'store'
-//! trigger := 'cycle=' u64 | 'req=' u64 | 'p=' f64 | 'always'
+//! trigger := 'cycle=' u64 | 'req=' u64 | 'p=' f64 | 'always' | 'compaction'
 //! ```
 //!
 //! Examples: `kill:sm=3@cycle=10000` (kill SM 3 at simulated cycle
@@ -122,6 +122,10 @@ pub enum Trigger {
     Prob(f64),
     /// Every check.
     Always,
+    /// Serve/delta only: at delta-graph compaction attempts (the
+    /// merge hook inside `db-delta`). Never fires at sim or request
+    /// sites, so a compaction rule cannot perturb the read path.
+    OnCompaction,
 }
 
 impl fmt::Display for Trigger {
@@ -131,6 +135,7 @@ impl fmt::Display for Trigger {
             Trigger::OnRequest(r) => write!(f, "req={r}"),
             Trigger::Prob(p) => write!(f, "p={p}"),
             Trigger::Always => write!(f, "always"),
+            Trigger::OnCompaction => write!(f, "compaction"),
         }
     }
 }
@@ -289,6 +294,9 @@ fn parse_trigger(s: &str) -> Result<Trigger, String> {
     if s == "always" {
         return Ok(Trigger::Always);
     }
+    if s == "compaction" {
+        return Ok(Trigger::OnCompaction);
+    }
     Err(format!("unknown trigger '{s}'"))
 }
 
@@ -340,6 +348,7 @@ mod tests {
             "kill:sm=3@cycle=10000",
             "seed=9;corrupt:worker=*@p=0.125;stall=64:sm=*@p=0.5",
             "dropsteal:sm=*@always;slow=4:sm=2@cycle=100",
+            "kill:worker=*@compaction",
             "",
         ] {
             let p = FaultPlan::parse(spec).unwrap();
@@ -387,6 +396,14 @@ mod tests {
         assert_eq!(shown, "corrupt:store=*@p=0.5");
         assert_eq!(FaultPlan::parse(&shown).unwrap(), p);
         assert!(FaultPlan::parse("corrupt:store=2@always").is_ok());
+    }
+
+    #[test]
+    fn compaction_trigger_parses() {
+        let p = FaultPlan::parse("kill:worker=*@compaction").unwrap();
+        assert_eq!(p.rules[0].trigger, Trigger::OnCompaction);
+        assert_eq!(p.rules[0].kind, FaultKind::Kill);
+        assert_eq!(p.to_string(), "kill:worker=*@compaction");
     }
 
     #[test]

@@ -29,10 +29,11 @@ fn arb_target() -> impl Strategy<Value = Target> {
 }
 
 fn arb_trigger() -> impl Strategy<Value = Trigger> {
-    (0u8..4, 0u64..10_000_000, 0u32..1001).prop_map(|(sel, n, p)| match sel {
+    (0u8..5, 0u64..10_000_000, 0u32..1001).prop_map(|(sel, n, p)| match sel {
         0 => Trigger::AtCycle(n),
         1 => Trigger::OnRequest(n % 10_000),
         2 => Trigger::Prob(p as f64 / 1000.0),
+        3 => Trigger::OnCompaction,
         _ => Trigger::Always,
     })
 }
@@ -83,6 +84,10 @@ proptest! {
             prop_assert_eq!(
                 a.check_request(unit, at, (at % 3) as u32),
                 b.check_request(unit, at, (at % 3) as u32)
+            );
+            prop_assert_eq!(
+                a.check_compaction("delta:path:10", at),
+                b.check_compaction("delta:path:10", at)
             );
         }
         prop_assert_eq!(a.log_lines(), b.log_lines());

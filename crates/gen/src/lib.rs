@@ -25,6 +25,10 @@
 //! * [`suite`] — the registry mapping the paper's Table 4 representative
 //!   graphs (and the broader three-family benchmark sweep) to scaled
 //!   analogues, used by every figure harness in `db-bench`.
+//! * [`mutation`] — seeded streams of *commuting* edge-mutation batches
+//!   for epoch-versioned (`db-delta`) corpora: read/write-mix loads
+//!   stay digest-deterministic because any interleaving of the batches
+//!   reaches the same final graph.
 //!
 //! All generators take an explicit `seed` and are fully deterministic.
 
@@ -32,11 +36,13 @@
 
 pub mod grid;
 pub mod mesh;
+pub mod mutation;
 pub mod pref;
 pub mod rgg;
 pub mod rmat;
 pub mod social;
 pub mod suite;
 
+pub use mutation::{MutationBatch, MutationStream};
 pub use social::{SocialGraph, SocialParams};
 pub use suite::{GraphFamily, GraphSpec, Suite};

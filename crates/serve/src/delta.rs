@@ -1,0 +1,576 @@
+//! Delta corpus registry: epoch-versioned dynamic graphs served under
+//! `delta:`-prefixed corpus keys.
+//!
+//! A key `delta:<inner>` wraps the frozen corpus `<inner>` (any key
+//! [`crate::corpus::build_store`] accepts, including `store:` packs) in
+//! a [`DeltaGraph`]. The wrapped graph accepts `add_edges` / `del_edges`
+//! mutation batches — each batch publishes one epoch — while reads pin
+//! the current epoch and run the ordinary engines against the pinned
+//! snapshot, so a traversal's outcome can never shear across a
+//! concurrent publish.
+//!
+//! Reachability queries go through a per-corpus [`IncrementalReach`]
+//! cache: a repeat query on an unchanged epoch is a cache hit, and
+//! insert-only epochs extend the cached set instead of recomputing.
+//!
+//! Write responses carry only the *requested batch size* (`applied`),
+//! never the epoch number a batch landed at: epoch numbers depend on
+//! arrival interleaving, and keeping them out of payloads is what lets
+//! the load generator compare double-run digests under a read/write
+//! mix. The `epoch` op reads the current epoch and is meant for fenced
+//! (post-drain) use, where it is deterministic again.
+//!
+//! Compaction runs inside the writer's publish call; the chaos plan's
+//! `compaction` trigger ([`db_fault::Injector::check_compaction`]) can
+//! abort an attempt at either hook point, modelling a worker killed
+//! mid-compaction. An aborted attempt makes zero state changes, so no
+//! epoch is lost — a later publish simply folds the backlog.
+
+use crate::request::{Request, Response, Status, Workload};
+use db_core::CancelToken;
+use db_delta::{CompactAction, CompactOutcome, CompactPoint, DeltaGraph, IncrementalReach};
+use db_fault::Injector;
+use db_metrics::{Counter, Gauge, Registry};
+use db_trace::json::Value;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Corpus-key prefix selecting the epoch-versioned delta wrapper.
+pub const DELTA_PREFIX: &str = "delta:";
+
+/// Side-effects of a delta-path request, reported back to the pool so
+/// it can emit trace events and fault metrics with worker provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaEvent {
+    /// A mutation batch published this epoch (`applied` = batch size).
+    Epoch {
+        /// Low 32 bits of the published epoch.
+        epoch: u32,
+        /// Mutations in the batch.
+        applied: u32,
+    },
+    /// A compaction attempt ran; `outcome` uses the
+    /// [`db_trace::EventKind::Compact`] dense code (0 = folded,
+    /// 1 = aborted by the fault hook, 2 = lost the swap race).
+    Compact {
+        /// Layers folded (0 unless the outcome is "folded").
+        folded: u32,
+        /// Dense outcome code.
+        outcome: u32,
+    },
+    /// The chaos plan struck this request's compaction attempt.
+    FaultInjected,
+}
+
+/// `db_delta_*` series for one server instance.
+#[derive(Debug, Clone)]
+struct DeltaMetrics {
+    epochs_published: Counter,
+    compactions: Counter,
+    compactions_aborted: Counter,
+    incremental_hits: Counter,
+    delta_bytes: Gauge,
+    delta_layers: Gauge,
+    pins_high_water: Gauge,
+    corpora: Gauge,
+}
+
+impl DeltaMetrics {
+    fn register(reg: &Registry) -> DeltaMetrics {
+        DeltaMetrics {
+            epochs_published: reg.counter(
+                "db_delta_epochs_published_total",
+                "Mutation batches published as epochs across delta corpora",
+                &[],
+            ),
+            compactions: reg.counter(
+                "db_delta_compactions_total",
+                "Delta compactions that folded layers into a new base",
+                &[],
+            ),
+            compactions_aborted: reg.counter(
+                "db_delta_compactions_aborted_total",
+                "Delta compaction attempts aborted by the chaos fault hook",
+                &[],
+            ),
+            incremental_hits: reg.counter(
+                "db_delta_incremental_hits_total",
+                "Reachability queries answered from cache or by incremental extension",
+                &[],
+            ),
+            delta_bytes: reg.gauge(
+                "db_delta_bytes",
+                "Heap bytes held by live (unfolded) delta layers",
+                &[],
+            ),
+            delta_layers: reg.gauge(
+                "db_delta_layers",
+                "Live (unfolded) delta layers across delta corpora",
+                &[],
+            ),
+            pins_high_water: reg.gauge(
+                "db_delta_pins_high_water",
+                "Largest number of simultaneously pinned epochs on any delta corpus",
+                &[],
+            ),
+            corpora: reg.gauge(
+                "db_delta_corpora",
+                "Delta corpora currently registered",
+                &[],
+            ),
+        }
+    }
+}
+
+/// One registered delta corpus.
+#[derive(Debug)]
+struct DeltaEntry {
+    graph: Arc<DeltaGraph>,
+    /// Per-corpus incremental reachability cache.
+    reach: Mutex<IncrementalReach>,
+    /// Monotone compaction-attempt counter. The chaos plan keys its
+    /// `compaction` trigger on `(corpus key, attempt index)`, so the
+    /// n-th attempt for a corpus is struck identically across runs
+    /// regardless of which worker or request carries it.
+    compact_seq: AtomicU64,
+}
+
+/// Keyed registry of [`DeltaGraph`]s, one per `delta:` corpus key,
+/// created on first use and resident for the server's lifetime (delta
+/// corpora hold writer state, so they are never LRU-evicted; the
+/// `db_delta_corpora` gauge tracks the population).
+#[derive(Debug)]
+pub struct DeltaRegistry {
+    map: Mutex<HashMap<String, Arc<DeltaEntry>>>,
+    metrics: DeltaMetrics,
+}
+
+impl DeltaRegistry {
+    /// Creates a registry whose `db_delta_*` series live in `reg`.
+    pub fn new_in(reg: &Registry) -> DeltaRegistry {
+        DeltaRegistry {
+            map: Mutex::new(HashMap::new()),
+            metrics: DeltaMetrics::register(reg),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HashMap<String, Arc<DeltaEntry>>> {
+        self.map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Resolves `key` (which must carry [`DELTA_PREFIX`]) to its entry,
+    /// building the frozen base corpus on first use.
+    fn resolve(&self, key: &str) -> Result<Arc<DeltaEntry>, String> {
+        let inner_key = match key.strip_prefix(DELTA_PREFIX) {
+            Some("") => return Err(format!("corpus key '{key}': missing inner corpus")),
+            Some(inner) => inner,
+            None => return Err(format!("corpus key '{key}': not a delta key")),
+        };
+        let mut map = self.lock();
+        if let Some(e) = map.get(key) {
+            return Ok(Arc::clone(e));
+        }
+        let base = crate::corpus::build_store(inner_key)?;
+        let entry = Arc::new(DeltaEntry {
+            graph: Arc::new(DeltaGraph::new(base)),
+            reach: Mutex::new(IncrementalReach::default()),
+            compact_seq: AtomicU64::new(0),
+        });
+        map.insert(key.to_string(), Arc::clone(&entry));
+        self.metrics.corpora.set(map.len() as u64);
+        Ok(entry)
+    }
+
+    /// Refreshes the aggregate gauges from every registered corpus.
+    /// Called after each delta op; the map is small (one entry per
+    /// distinct delta corpus), so the scan is cheap.
+    fn refresh_gauges(&self) {
+        let map = self.lock();
+        let (mut bytes, mut layers, mut hw) = (0u64, 0u64, 0u64);
+        for e in map.values() {
+            let s = e.graph.stats();
+            bytes += s.delta_bytes as u64;
+            layers += s.layers as u64;
+            hw = hw.max(s.pins_high_water);
+        }
+        drop(map);
+        self.metrics.delta_bytes.set(bytes);
+        self.metrics.delta_layers.set(layers);
+        self.metrics.pins_high_water.set(hw);
+    }
+
+    /// Executes one request against its delta corpus: mutation batches
+    /// publish epochs, `epoch` reads the current epoch, and every other
+    /// workload pins the current epoch and runs on the pinned snapshot.
+    ///
+    /// Returns the response plus the [`DeltaEvent`]s the pool should
+    /// trace (epoch publishes, compaction outcomes, injected faults).
+    pub fn execute(
+        &self,
+        req: &Request,
+        injector: Option<&Injector>,
+        token: &CancelToken,
+    ) -> (Response, Vec<DeltaEvent>) {
+        let mut events = Vec::new();
+        let entry = match self.resolve(&req.graph) {
+            Ok(e) => e,
+            Err(msg) => return (Response::failure(req.id, Status::Error, msg), events),
+        };
+        let resp = match &req.workload {
+            Workload::AddEdges { edges } => {
+                self.write(req, &entry, edges, &[], injector, &mut events)
+            }
+            Workload::DelEdges { edges } => {
+                self.write(req, &entry, &[], edges, injector, &mut events)
+            }
+            Workload::Epoch => ok(
+                req.id,
+                vec![("epoch".into(), Value::u64(entry.graph.current_epoch()))],
+            ),
+            Workload::Reach { root, target } => self.reach(req, &entry, *root, *target, token),
+            // Any traversal/analytics workload: pin the current epoch
+            // and hand the frozen snapshot to the ordinary executor.
+            // The pin guard keeps the snapshot alive past any
+            // concurrent publish or compaction.
+            _ => {
+                let pin = entry.graph.pin();
+                crate::exec::execute(req, pin.graph(), token)
+            }
+        };
+        self.refresh_gauges();
+        (resp, events)
+    }
+
+    /// Mutation batch: publish one epoch, attempt compaction with the
+    /// chaos hook wired in, and account metrics/events.
+    fn write(
+        &self,
+        req: &Request,
+        entry: &DeltaEntry,
+        adds: &[(u32, u32)],
+        dels: &[(u32, u32)],
+        injector: Option<&Injector>,
+        events: &mut Vec<DeltaEvent>,
+    ) -> Response {
+        // relaxed-ok: monotone attempt counter; only uniqueness per
+        // corpus matters, no other state is published through it
+        let seq = entry.compact_seq.fetch_add(1, Ordering::Relaxed);
+        let mut struck = false;
+        let mut hook = |_: CompactPoint| {
+            if struck {
+                return CompactAction::Abort;
+            }
+            if injector.is_some_and(|inj| inj.check_compaction(&req.graph, seq).is_some()) {
+                struck = true;
+                return CompactAction::Abort;
+            }
+            CompactAction::Continue
+        };
+        let publish = match entry.graph.mutate(adds, dels, &[], &mut hook) {
+            Ok(p) => p,
+            Err(e) => return Response::failure(req.id, Status::Error, e.to_string()),
+        };
+        if struck {
+            events.push(DeltaEvent::FaultInjected);
+        }
+        if publish.applied > 0 {
+            self.metrics.epochs_published.inc();
+            events.push(DeltaEvent::Epoch {
+                epoch: publish.epoch as u32,
+                applied: publish.applied as u32,
+            });
+        }
+        match publish.compaction {
+            CompactOutcome::Folded(k) => {
+                self.metrics.compactions.inc();
+                events.push(DeltaEvent::Compact {
+                    folded: k as u32,
+                    outcome: 0,
+                });
+            }
+            CompactOutcome::Aborted(_) => {
+                self.metrics.compactions_aborted.inc();
+                events.push(DeltaEvent::Compact {
+                    folded: 0,
+                    outcome: 1,
+                });
+            }
+            CompactOutcome::Raced => events.push(DeltaEvent::Compact {
+                folded: 0,
+                outcome: 2,
+            }),
+            CompactOutcome::NotNeeded => {}
+        }
+        // The published epoch number is schedule-dependent under
+        // concurrent writers; only the batch size goes in the payload
+        // so double-run digests stay comparable.
+        ok(
+            req.id,
+            vec![("applied".into(), Value::u64(publish.applied as u64))],
+        )
+    }
+
+    /// Reachability through the per-corpus incremental cache. The
+    /// payload mirrors the frozen-corpus executor exactly (`reachable`,
+    /// `completed`) — how the answer was derived is a metrics concern,
+    /// never a payload one.
+    fn reach(
+        &self,
+        req: &Request,
+        entry: &DeltaEntry,
+        root: u32,
+        target: u32,
+        token: &CancelToken,
+    ) -> Response {
+        let n = entry.graph.num_vertices() as u32;
+        for (v, what) in [(root, "root"), (target, "target")] {
+            if v >= n {
+                return Response::failure(
+                    req.id,
+                    Status::Error,
+                    format!("{what} {v} out of range for '{}' (n = {n})", req.graph),
+                );
+            }
+        }
+        if token.is_cancelled() {
+            return Response {
+                id: req.id,
+                status: Status::Expired,
+                error: None,
+                payload: Value::Obj(vec![("completed".into(), Value::Bool(false))]),
+                latency_us: 0,
+                deadline_missed: false,
+            };
+        }
+        let pin = entry.graph.pin();
+        let before = entry.graph.stats().incremental_hits;
+        let (reachable, _outcome) = entry
+            .reach
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .query(&entry.graph, &pin, root, target);
+        let hits = entry.graph.stats().incremental_hits - before;
+        if hits > 0 {
+            self.metrics.incremental_hits.add(hits);
+        }
+        ok(
+            req.id,
+            vec![
+                ("reachable".into(), Value::Bool(reachable)),
+                ("completed".into(), Value::Bool(true)),
+            ],
+        )
+    }
+}
+
+fn ok(id: u64, payload: Vec<(String, Value)>) -> Response {
+    Response {
+        id,
+        status: Status::Ok,
+        error: None,
+        payload: Value::Obj(payload),
+        latency_us: 0,
+        deadline_missed: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::EngineKind;
+
+    fn req(id: u64, graph: &str, workload: Workload) -> Request {
+        Request {
+            id,
+            tenant: "t".into(),
+            graph: graph.into(),
+            workload,
+            engine: EngineKind::Serial,
+            deadline_ms: None,
+        }
+    }
+
+    fn run(reg: &DeltaRegistry, r: Request) -> (Response, Vec<DeltaEvent>) {
+        reg.execute(&r, None, &CancelToken::new())
+    }
+
+    #[test]
+    fn write_then_read_sees_new_edge() {
+        let reg = DeltaRegistry::new_in(&Registry::new());
+        // path:4 = 0-1-2-3; vertex 3 unreachable from 0 once 1-2 is cut.
+        let (r, _) = run(
+            &reg,
+            req(
+                1,
+                "delta:path:4",
+                Workload::DelEdges {
+                    edges: vec![(1, 2)],
+                },
+            ),
+        );
+        assert_eq!(r.status, Status::Ok, "{:?}", r.error);
+        assert_eq!(r.payload.get("applied").unwrap().as_u64(), Some(1));
+        let (r, _) = run(
+            &reg,
+            req(2, "delta:path:4", Workload::Reach { root: 0, target: 3 }),
+        );
+        assert_eq!(r.payload.get("reachable").unwrap().as_bool(), Some(false));
+        // Reconnect through a fresh arc and re-query.
+        let (r, ev) = run(
+            &reg,
+            req(
+                3,
+                "delta:path:4",
+                Workload::AddEdges {
+                    edges: vec![(0, 3)],
+                },
+            ),
+        );
+        assert_eq!(r.status, Status::Ok);
+        assert!(matches!(ev[0], DeltaEvent::Epoch { applied: 1, .. }));
+        let (r, _) = run(
+            &reg,
+            req(4, "delta:path:4", Workload::Reach { root: 0, target: 3 }),
+        );
+        assert_eq!(r.payload.get("reachable").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn epoch_op_reads_current_epoch() {
+        let reg = DeltaRegistry::new_in(&Registry::new());
+        let (r, _) = run(&reg, req(1, "delta:grid:4:4", Workload::Epoch));
+        assert_eq!(r.payload.get("epoch").unwrap().as_u64(), Some(0));
+        run(
+            &reg,
+            req(
+                2,
+                "delta:grid:4:4",
+                Workload::AddEdges {
+                    edges: vec![(0, 5)],
+                },
+            ),
+        );
+        let (r, _) = run(&reg, req(3, "delta:grid:4:4", Workload::Epoch));
+        assert_eq!(r.payload.get("epoch").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn traversals_run_on_the_pinned_snapshot() {
+        let reg = DeltaRegistry::new_in(&Registry::new());
+        let (r, _) = run(&reg, req(1, "delta:path:6", Workload::Dfs { root: 0 }));
+        assert_eq!(r.payload.get("visited").unwrap().as_u64(), Some(6));
+        run(
+            &reg,
+            req(
+                2,
+                "delta:path:6",
+                Workload::DelEdges {
+                    edges: vec![(2, 3)],
+                },
+            ),
+        );
+        let (r, _) = run(&reg, req(3, "delta:path:6", Workload::Dfs { root: 0 }));
+        assert_eq!(r.payload.get("visited").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn bad_keys_and_bad_batches_are_typed_errors() {
+        let reg = DeltaRegistry::new_in(&Registry::new());
+        let (r, _) = run(&reg, req(1, "delta:", Workload::Epoch));
+        assert_eq!(r.status, Status::Error);
+        let (r, _) = run(&reg, req(2, "delta:nope", Workload::Epoch));
+        assert_eq!(r.status, Status::Error);
+        let (r, _) = run(
+            &reg,
+            req(
+                3,
+                "delta:path:4",
+                Workload::AddEdges {
+                    edges: vec![(0, 99)],
+                },
+            ),
+        );
+        assert_eq!(r.status, Status::Error);
+        assert!(r.error.as_deref().unwrap().contains("out of range"));
+    }
+
+    #[test]
+    fn chaos_compaction_trigger_aborts_and_backlog_folds_later() {
+        use db_fault::FaultPlan;
+        let reg = DeltaRegistry::new_in(&Registry::new());
+        let plan = FaultPlan::parse("seed=7;kill:worker=*@compaction").unwrap();
+        let inj = Injector::new(plan);
+        let key = "delta:path:50";
+        // Push well past the compaction threshold with every attempt
+        // struck: layers pile up, nothing folds, nothing is lost.
+        for i in 0..12u32 {
+            let r = req(
+                i as u64,
+                key,
+                Workload::AddEdges {
+                    edges: vec![(0, i % 50)],
+                },
+            );
+            let (resp, ev) = reg.execute(&r, Some(&inj), &CancelToken::new());
+            assert_eq!(resp.status, Status::Ok);
+            assert!(!ev.contains(&DeltaEvent::Compact {
+                folded: 0,
+                outcome: 0
+            }));
+        }
+        let entry = reg.resolve(key).unwrap();
+        let s = entry.graph.stats();
+        assert_eq!(s.current_epoch, 12, "no publish may be lost");
+        assert_eq!(s.compactions, 0);
+        assert!(s.compactions_aborted > 0);
+        // Fault-free publish: the whole backlog folds in one attempt.
+        let (resp, ev) = run(
+            &reg,
+            req(
+                99,
+                key,
+                Workload::AddEdges {
+                    edges: vec![(1, 3)],
+                },
+            ),
+        );
+        assert_eq!(resp.status, Status::Ok);
+        assert!(ev
+            .iter()
+            .any(|e| matches!(e, DeltaEvent::Compact { outcome: 0, folded } if *folded == 13)));
+        let s = entry.graph.stats();
+        assert_eq!(s.current_epoch, 13);
+        assert_eq!(s.layers, 0);
+    }
+
+    #[test]
+    fn metrics_series_move_in_the_registry() {
+        let mreg = Registry::new();
+        let reg = DeltaRegistry::new_in(&mreg);
+        run(
+            &reg,
+            req(
+                1,
+                "delta:path:8",
+                Workload::AddEdges {
+                    edges: vec![(0, 2)],
+                },
+            ),
+        );
+        for id in 2..4 {
+            run(
+                &reg,
+                req(id, "delta:path:8", Workload::Reach { root: 0, target: 7 }),
+            );
+        }
+        let exp = db_metrics::parse_exposition(&mreg.render_prometheus()).unwrap();
+        let get = |n: &str| exp.samples.iter().find(|s| s.name == n).unwrap().value;
+        assert_eq!(get("db_delta_epochs_published_total"), 1.0);
+        assert_eq!(get("db_delta_incremental_hits_total"), 1.0);
+        assert_eq!(get("db_delta_corpora"), 1.0);
+        assert!(get("db_delta_bytes") > 0.0);
+    }
+}

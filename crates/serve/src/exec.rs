@@ -52,8 +52,9 @@ pub fn execute(req: &Request, graph: &CsrGraph, token: &CancelToken) -> Response
             ))
         }
     };
-    match req.workload {
+    match &req.workload {
         Workload::Dfs { root } => {
+            let root = *root;
             if let Err(r) = check_root(root, "root") {
                 return r;
             }
@@ -69,6 +70,7 @@ pub fn execute(req: &Request, graph: &CsrGraph, token: &CancelToken) -> Response
             )
         }
         Workload::Reach { root, target } => {
+            let (root, target) = (*root, *target);
             if let Err(r) = check_root(root, "root").and(check_root(target, "target")) {
                 return r;
             }
@@ -147,6 +149,13 @@ pub fn execute(req: &Request, graph: &CsrGraph, token: &CancelToken) -> Response
                 ],
             )
         }
+        // Delta ops are intercepted by the pool (`delta:` corpora) and
+        // never reach graph execution; landing here means the corpus
+        // was a frozen one.
+        Workload::AddEdges { .. } | Workload::DelEdges { .. } | Workload::Epoch => mismatch(
+            req,
+            "delta ops require a 'delta:' corpus (e.g. graph = \"delta:path:100\")",
+        ),
     }
 }
 

@@ -9,6 +9,11 @@
 //!   [`db_graph::GraphStore`]s — built in-RAM graphs or `store:`-keyed
 //!   packs mmap-loaded through `db-store` — cached under a
 //!   charged-bytes budget with LRU eviction.
+//! * [`delta`] — epoch-versioned dynamic graphs under `delta:` corpus
+//!   keys (`db-delta`): `add_edges`/`del_edges` batches publish epochs,
+//!   reads pin snapshots (snapshot isolation), reachability goes
+//!   through a per-corpus incremental cache, and compaction folds cold
+//!   layers under the chaos plan's `compaction` trigger.
 //! * [`request`] — the typed request/response model (`dfs`, `reach`,
 //!   `scc`, `topo`, `articulation` over any engine) and its NDJSON
 //!   codec.
@@ -60,6 +65,7 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod delta;
 pub mod exec;
 pub mod metrics;
 pub mod net;
@@ -68,6 +74,7 @@ pub mod request;
 pub mod resilience;
 
 pub use corpus::CorpusCache;
+pub use delta::{DeltaRegistry, DELTA_PREFIX};
 pub use metrics::MetricsSnapshot;
 pub use net::TcpServer;
 pub use pool::{ServeConfig, ServeHandle, Server};

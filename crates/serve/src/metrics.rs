@@ -35,6 +35,9 @@ pub struct Metrics {
     pub rejected_draining: Counter,
     /// Requests refused because their tenant's circuit breaker was open.
     pub rejected_breaker: Counter,
+    /// Write requests refused because their tenant was over the
+    /// separate write quota.
+    pub rejected_writes: Counter,
     /// Requests that finished with [`crate::Status::Ok`].
     pub completed: Counter,
     /// Requests whose deadline expired.
@@ -94,6 +97,7 @@ impl Metrics {
             rejected_tenant: rejected("tenant_quota"),
             rejected_draining: rejected("draining"),
             rejected_breaker: rejected("breaker"),
+            rejected_writes: rejected("write_quota"),
             completed: finished("ok"),
             expired: finished("expired"),
             errors: finished("error"),
@@ -171,6 +175,8 @@ pub struct MetricsSnapshot {
     pub rejected_draining: u64,
     /// Refusals: tenant circuit breaker open.
     pub rejected_breaker: u64,
+    /// Refusals: tenant over the separate write quota.
+    pub rejected_writes: u64,
     /// Requests finished `ok`.
     pub completed: u64,
     /// Requests finished `expired`.
@@ -232,6 +238,7 @@ impl MetricsSnapshot {
             + self.rejected_tenant
             + self.rejected_draining
             + self.rejected_breaker
+            + self.rejected_writes
     }
 
     /// Cache hit rate in `[0, 1]`; 1.0 when the cache was never used.
@@ -258,6 +265,7 @@ impl MetricsSnapshot {
                 Value::u64(self.rejected_draining),
             ),
             ("rejected_breaker".into(), Value::u64(self.rejected_breaker)),
+            ("rejected_writes".into(), Value::u64(self.rejected_writes)),
             ("completed".into(), Value::u64(self.completed)),
             ("expired".into(), Value::u64(self.expired)),
             ("errors".into(), Value::u64(self.errors)),
@@ -300,6 +308,12 @@ impl MetricsSnapshot {
             rejected_tenant: f("rejected_tenant")?,
             rejected_draining: f("rejected_draining")?,
             rejected_breaker: f("rejected_breaker")?,
+            // Absent in documents written before the write quota
+            // existed; default rather than reject those.
+            rejected_writes: v
+                .get("rejected_writes")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
             completed: f("completed")?,
             expired: f("expired")?,
             errors: f("errors")?,
@@ -357,14 +371,23 @@ mod tests {
             .find(|s| s.name == "db_serve_admitted_total")
             .unwrap();
         assert_eq!(admitted.value, 1.0);
-        // The four rejection reasons are distinct series of one name.
+        // The five rejection reasons are distinct series of one name.
         let reasons: Vec<_> = exp
             .samples
             .iter()
             .filter(|s| s.name == "db_serve_rejected_total")
             .filter_map(|s| s.label("reason"))
             .collect();
-        assert_eq!(reasons, ["breaker", "capacity", "draining", "tenant_quota"]);
+        assert_eq!(
+            reasons,
+            [
+                "breaker",
+                "capacity",
+                "draining",
+                "tenant_quota",
+                "write_quota"
+            ]
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! with the engines' fine-grained two-level stacks).
 
 use crate::corpus::CorpusCache;
+use crate::delta::{DeltaEvent, DeltaRegistry, DELTA_PREFIX};
 use crate::exec;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::request::{EngineKind, Request, Response, Status};
@@ -44,6 +45,11 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Per-tenant bound on queued requests (`None` = unlimited).
     pub tenant_quota: Option<usize>,
+    /// Per-tenant bound on queued *write* requests (`add_edges` /
+    /// `del_edges`), checked in addition to `tenant_quota` so one
+    /// tenant's mutation stream cannot monopolize a delta corpus's
+    /// writer lock (`None` = unlimited).
+    pub write_quota: Option<usize>,
     /// Corpus-cache budget in bytes.
     pub corpus_budget_bytes: usize,
     /// Ring-buffer capacity for serve trace events; 0 disables tracing.
@@ -59,6 +65,7 @@ impl Default for ServeConfig {
             workers: 4,
             queue_capacity: 1024,
             tenant_quota: None,
+            write_quota: None,
             corpus_budget_bytes: 256 << 20,
             trace_capacity: 0,
             resilience: Resilience::default(),
@@ -92,6 +99,9 @@ struct PoolState {
     queues: Vec<VecDeque<Job>>,
     queued_total: usize,
     per_tenant: HashMap<String, usize>,
+    /// Queued write (`add_edges`/`del_edges`) requests per tenant, for
+    /// the separate write quota.
+    per_tenant_writes: HashMap<String, usize>,
     draining: bool,
     /// Workers that exhausted the restart budget and retired. Their
     /// queues take no new submissions; leftovers are stolen by
@@ -105,6 +115,8 @@ struct ServerInner {
     state: Mutex<PoolState>,
     cv: Condvar,
     cache: CorpusCache,
+    /// Epoch-versioned corpora behind `delta:` keys.
+    delta: DeltaRegistry,
     /// Instance-private registry holding every `db_serve_*` series;
     /// merged with the process-global registry at scrape time.
     registry: db_metrics::Registry,
@@ -128,12 +140,18 @@ impl ServerInner {
     /// Provenance: `block` = worker index (`u32::MAX` for the admission
     /// path), `cycle` = nanoseconds since server start.
     fn trace(&self, worker: u32, op: ServeOp, value: u32) {
+        self.trace_kind(worker, EventKind::Serve { op, value });
+    }
+
+    /// Emits an arbitrary event kind with serve provenance (used for
+    /// the delta path's `Epoch`/`Compact`/`Fault` events).
+    fn trace_kind(&self, worker: u32, kind: EventKind) {
         if let Some(t) = &self.tracer {
             t.record(TraceEvent {
                 cycle: self.started.elapsed().as_nanos() as u64,
                 block: worker,
                 warp: 0,
-                kind: EventKind::Serve { op, value },
+                kind,
             });
         }
     }
@@ -151,6 +169,7 @@ impl ServerInner {
             expired: m.expired.get(),
             errors: m.errors.get(),
             rejected_breaker: m.rejected_breaker.get(),
+            rejected_writes: m.rejected_writes.get(),
             failed: m.failed.get(),
             steals: m.steals.get(),
             retries: m.retries.get(),
@@ -226,6 +245,14 @@ impl ServeHandle {
         {
             inner.metrics.rejected_tenant.inc();
             Some("tenant over quota")
+        } else if req.workload.is_write()
+            && inner
+                .cfg
+                .write_quota
+                .is_some_and(|q| st.per_tenant_writes.get(&req.tenant).copied().unwrap_or(0) >= q)
+        {
+            inner.metrics.rejected_writes.inc();
+            Some("tenant over write quota")
         } else {
             None
         };
@@ -254,6 +281,9 @@ impl ServeHandle {
             return rx;
         };
         *st.per_tenant.entry(req.tenant.clone()).or_insert(0) += 1;
+        if req.workload.is_write() {
+            *st.per_tenant_writes.entry(req.tenant.clone()).or_insert(0) += 1;
+        }
         let job = Job {
             // relaxed-ok: unique id allocation; only atomicity matters
             seq: inner.seq.fetch_add(1, Ordering::Relaxed),
@@ -352,11 +382,13 @@ impl Server {
                 queues: (0..cfg.workers).map(|_| VecDeque::new()).collect(),
                 queued_total: 0,
                 per_tenant: HashMap::new(),
+                per_tenant_writes: HashMap::new(),
                 draining: false,
                 dead: vec![false; cfg.workers],
             }),
             cv: Condvar::new(),
             cache,
+            delta: DeltaRegistry::new_in(&registry),
             registry,
             metrics,
             tracer: (cfg.trace_capacity > 0).then(|| RingBufferTracer::new(cfg.trace_capacity)),
@@ -517,6 +549,7 @@ fn retire_worker(inner: &ServerInner, idx: usize) {
             let orphans: Vec<Job> = st.queues.iter_mut().flat_map(|q| q.drain(..)).collect();
             st.queued_total = 0;
             st.per_tenant.clear();
+            st.per_tenant_writes.clear();
             inner.metrics.queue_depth.set(0);
             orphans
         } else {
@@ -549,6 +582,14 @@ fn worker_loop(inner: &Arc<ServerInner>, idx: usize) -> WorkerExit {
                         *c = c.saturating_sub(1);
                         if *c == 0 {
                             st.per_tenant.remove(&job.req.tenant);
+                        }
+                    }
+                    if job.req.workload.is_write() {
+                        if let Some(c) = st.per_tenant_writes.get_mut(&job.req.tenant) {
+                            *c = c.saturating_sub(1);
+                            if *c == 0 {
+                                st.per_tenant_writes.remove(&job.req.tenant);
+                            }
                         }
                     }
                     break Some(job);
@@ -666,6 +707,35 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) -> bool {
     };
     let policy = &inner.cfg.resilience;
     let mut poisoned = false;
+
+    // Delta corpora take their own execution path: writes go through
+    // the epoch-publish pipeline and reads pin a snapshot, so neither
+    // needs the frozen-corpus cache or the retry ladder (the delta
+    // mutex serializes writers; a batch either publishes or returns a
+    // typed error, and a pinned read is as crash-safe as a frozen one).
+    if job.req.graph.starts_with(DELTA_PREFIX) {
+        let (resp, events) = inner
+            .delta
+            .execute(&job.req, policy.faults.as_deref(), &token);
+        for ev in events {
+            match ev {
+                DeltaEvent::Epoch { epoch, applied } => {
+                    inner.trace_kind(worker, EventKind::Epoch { epoch, applied });
+                }
+                DeltaEvent::Compact { folded, outcome } => {
+                    inner.trace_kind(worker, EventKind::Compact { folded, outcome });
+                }
+                DeltaEvent::FaultInjected => {
+                    inner.metrics.faults_injected.inc();
+                    // Code 0 = kill, the only kind live at the
+                    // compaction site.
+                    inner.trace_kind(worker, EventKind::Fault { code: 0 });
+                }
+            }
+        }
+        finish_job(inner, worker, &job, reply, resp, false);
+        return false;
+    }
 
     // Store-load fault site: a chaos plan targeting `store` strikes
     // this request's pack load, which then runs fresh and uncached with

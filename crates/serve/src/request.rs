@@ -12,8 +12,9 @@
 
 use db_trace::json::Value;
 
-/// What to compute on the resolved graph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// What to compute on the resolved graph — or, for `delta:` corpora,
+/// which mutation/introspection op to apply.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Workload {
     /// Single-root parallel DFS; payload reports the visited count.
     Dfs {
@@ -33,6 +34,23 @@ pub enum Workload {
     Topo,
     /// Articulation points and bridges (undirected graphs only).
     Articulation,
+    /// Insert a batch of arcs into a `delta:` corpus, published
+    /// atomically as one new epoch (write op; undirected corpora get
+    /// both directions).
+    AddEdges {
+        /// `(src, dst)` pairs to insert.
+        edges: Vec<(u32, u32)>,
+    },
+    /// Delete a batch of arcs from a `delta:` corpus, published
+    /// atomically as one new epoch (write op).
+    DelEdges {
+        /// `(src, dst)` pairs to delete.
+        edges: Vec<(u32, u32)>,
+    },
+    /// Report a `delta:` corpus's current epoch and lifecycle counters
+    /// (read op; also acts as a write fence — it observes every epoch
+    /// published before it was admitted).
+    Epoch,
 }
 
 impl Workload {
@@ -44,7 +62,21 @@ impl Workload {
             Workload::Scc => "scc",
             Workload::Topo => "topo",
             Workload::Articulation => "articulation",
+            Workload::AddEdges { .. } => "add_edges",
+            Workload::DelEdges { .. } => "del_edges",
+            Workload::Epoch => "epoch",
         }
+    }
+
+    /// True for mutation ops (`add_edges`/`del_edges`) — the ops the
+    /// per-tenant write quota gates.
+    pub fn is_write(&self) -> bool {
+        matches!(self, Workload::AddEdges { .. } | Workload::DelEdges { .. })
+    }
+
+    /// True for ops only valid against a `delta:` corpus.
+    pub fn is_delta_op(&self) -> bool {
+        self.is_write() || matches!(self, Workload::Epoch)
     }
 }
 
@@ -52,6 +84,17 @@ impl Workload {
 ///
 /// The apps-layer workloads (`scc`, `topo`, `articulation`) are serial
 /// algorithms and ignore this field.
+///
+/// ```
+/// use db_serve::EngineKind;
+///
+/// // Wire names round-trip; `partitioned` selects cross-partition DFS
+/// // with steal-half shard stealing on a partitioned packed graph:
+/// // {"id":1,"graph":"store:web.dbsg","engine":"partitioned",
+/// //  "workload":{"kind":"dfs","root":0}}
+/// assert_eq!(EngineKind::from_name("partitioned"), Some(EngineKind::Partitioned));
+/// assert_eq!(EngineKind::Partitioned.name(), "partitioned");
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EngineKind {
     /// Locked two-level-stack native engine ([`db_core::native`]).
@@ -117,11 +160,18 @@ impl Request {
     /// Serializes to a single-line JSON object.
     pub fn to_value(&self) -> Value {
         let mut w = vec![("kind".to_string(), Value::str(self.workload.kind()))];
-        match self.workload {
-            Workload::Dfs { root } => w.push(("root".into(), Value::u64(root as u64))),
+        match &self.workload {
+            Workload::Dfs { root } => w.push(("root".into(), Value::u64(*root as u64))),
             Workload::Reach { root, target } => {
-                w.push(("root".into(), Value::u64(root as u64)));
-                w.push(("target".into(), Value::u64(target as u64)));
+                w.push(("root".into(), Value::u64(*root as u64)));
+                w.push(("target".into(), Value::u64(*target as u64)));
+            }
+            Workload::AddEdges { edges } | Workload::DelEdges { edges } => {
+                let arr = edges
+                    .iter()
+                    .map(|&(u, v)| Value::Arr(vec![Value::u64(u as u64), Value::u64(v as u64)]))
+                    .collect();
+                w.push(("edges".into(), Value::Arr(arr)));
             }
             _ => {}
         }
@@ -177,6 +227,32 @@ impl Request {
             "scc" => Workload::Scc,
             "topo" => Workload::Topo,
             "articulation" => Workload::Articulation,
+            "add_edges" | "del_edges" => {
+                let arr = w
+                    .get("edges")
+                    .and_then(Value::as_array)
+                    .ok_or("missing or non-array 'workload.edges'")?;
+                let mut edges = Vec::with_capacity(arr.len());
+                for (i, pair) in arr.iter().enumerate() {
+                    let err = || format!("'workload.edges[{i}]' must be a [src, dst] u32 pair");
+                    let p = pair.as_array().ok_or_else(err)?;
+                    if p.len() != 2 {
+                        return Err(err());
+                    }
+                    let end = |x: &Value| -> Result<u32, String> {
+                        x.as_u64()
+                            .and_then(|n| u32::try_from(n).ok())
+                            .ok_or_else(err)
+                    };
+                    edges.push((end(&p[0])?, end(&p[1])?));
+                }
+                if kind == "add_edges" {
+                    Workload::AddEdges { edges }
+                } else {
+                    Workload::DelEdges { edges }
+                }
+            }
+            "epoch" => Workload::Epoch,
             other => return Err(format!("unknown workload kind '{other}'")),
         };
         let engine = match v.get("engine").and_then(Value::as_str) {
@@ -372,6 +448,62 @@ mod tests {
         for r in reqs {
             let line = r.to_value().to_json();
             assert_eq!(Request::parse(&line).unwrap(), r, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn write_ops_round_trip_through_json() {
+        let reqs = [
+            Request {
+                id: 20,
+                tenant: "t2".into(),
+                graph: "delta:path:100".into(),
+                workload: Workload::AddEdges {
+                    edges: vec![(3, 7), (0, 99)],
+                },
+                engine: EngineKind::Serial,
+                deadline_ms: None,
+            },
+            Request {
+                id: 21,
+                tenant: "t2".into(),
+                graph: "delta:path:100".into(),
+                workload: Workload::DelEdges {
+                    edges: vec![(1, 2)],
+                },
+                engine: EngineKind::Serial,
+                deadline_ms: Some(50),
+            },
+            Request {
+                id: 22,
+                tenant: "default".into(),
+                graph: "delta:path:100".into(),
+                workload: Workload::Epoch,
+                engine: EngineKind::Serial,
+                deadline_ms: None,
+            },
+        ];
+        for r in reqs {
+            let line = r.to_value().to_json();
+            assert_eq!(Request::parse(&line).unwrap(), r, "line: {line}");
+        }
+        assert!(Workload::AddEdges { edges: vec![] }.is_write());
+        assert!(Workload::Epoch.is_delta_op());
+        assert!(!Workload::Epoch.is_write());
+        assert!(!Workload::Dfs { root: 0 }.is_delta_op());
+    }
+
+    #[test]
+    fn malformed_edge_batches_rejected() {
+        for bad in [
+            r#"{"id":1,"graph":"g","workload":{"kind":"add_edges"}}"#,
+            r#"{"id":1,"graph":"g","workload":{"kind":"add_edges","edges":7}}"#,
+            r#"{"id":1,"graph":"g","workload":{"kind":"del_edges","edges":[[1]]}}"#,
+            r#"{"id":1,"graph":"g","workload":{"kind":"add_edges","edges":[[1,2,3]]}}"#,
+            r#"{"id":1,"graph":"g","workload":{"kind":"add_edges","edges":[[1,"x"]]}}"#,
+            r#"{"id":1,"graph":"g","workload":{"kind":"add_edges","edges":[[1,4294967296]]}}"#,
+        ] {
+            assert!(Request::parse(bad).is_err(), "accepted: {bad}");
         }
     }
 

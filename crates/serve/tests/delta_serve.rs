@@ -1,0 +1,243 @@
+//! End-to-end tests for `delta:` corpora behind the serve layer: the
+//! NDJSON mutation ops, epoch visibility, write quotas, chaos at the
+//! compaction fault point, and cross-server outcome determinism for
+//! mixed read/write schedules.
+
+use db_fault::{FaultPlan, Injector};
+use db_serve::{EngineKind, Request, Resilience, ServeConfig, Server, Status, Workload};
+use std::sync::Arc;
+
+fn req(id: u64, graph: &str, workload: Workload) -> Request {
+    Request {
+        id,
+        tenant: "t0".into(),
+        graph: graph.into(),
+        workload,
+        engine: EngineKind::Serial,
+        deadline_ms: None,
+    }
+}
+
+fn epoch_of(server: &Server, id: u64, graph: &str) -> u64 {
+    let r = server.handle().run(req(id, graph, Workload::Epoch));
+    assert_eq!(r.status, Status::Ok, "{:?}", r.error);
+    r.payload.get("epoch").unwrap().as_u64().unwrap()
+}
+
+/// The full mutate/observe loop over the service API: adds and deletes
+/// publish epochs, traversals on the delta corpus see the new edges,
+/// and the frozen corpus of the same key never changes.
+#[test]
+fn writes_publish_epochs_and_delta_reads_observe_them() {
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let h = server.handle();
+
+    assert_eq!(epoch_of(&server, 1, "delta:path:10"), 0);
+
+    // path:10 is the undirected chain 0–1–…–9. Cutting 1–2 strands
+    // {0,1}; the frozen corpus of the same key is untouched.
+    let r = h.run(req(
+        2,
+        "delta:path:10",
+        Workload::DelEdges {
+            edges: vec![(1, 2)],
+        },
+    ));
+    assert_eq!(r.status, Status::Ok, "{:?}", r.error);
+    assert_eq!(r.payload.get("applied").unwrap().as_u64(), Some(1));
+    assert_eq!(epoch_of(&server, 3, "delta:path:10"), 1);
+    let cut = h.run(req(4, "delta:path:10", Workload::Dfs { root: 0 }));
+    assert_eq!(cut.payload.get("visited").unwrap().as_u64(), Some(2));
+    let frozen = h.run(req(5, "path:10", Workload::Dfs { root: 0 }));
+    assert_eq!(frozen.payload.get("visited").unwrap().as_u64(), Some(10));
+
+    // A 0–9 bridge reconnects the two halves the long way round.
+    let r = h.run(req(
+        6,
+        "delta:path:10",
+        Workload::AddEdges {
+            edges: vec![(0, 9)],
+        },
+    ));
+    assert_eq!(r.status, Status::Ok, "{:?}", r.error);
+    assert_eq!(epoch_of(&server, 7, "delta:path:10"), 2);
+    let bridged = h.run(req(8, "delta:path:10", Workload::Dfs { root: 0 }));
+    assert_eq!(bridged.payload.get("visited").unwrap().as_u64(), Some(10));
+    let reach = h.run(req(
+        9,
+        "delta:path:10",
+        Workload::Reach { root: 2, target: 1 },
+    ));
+    assert_eq!(
+        reach.payload.get("reachable").unwrap().as_bool(),
+        Some(true)
+    );
+
+    // Delta ops against a frozen corpus are a typed client error.
+    let bad = h.run(req(8, "path:10", Workload::Epoch));
+    assert_eq!(bad.status, Status::Error);
+
+    server.shutdown();
+}
+
+/// The serve-level half of the chaos gate: with the injector killing
+/// every compaction attempt, every publish still lands (no lost
+/// epochs), reads reflect every write, and once a fault-free server
+/// takes over the same mutation stream the backlog folds cleanly.
+#[test]
+fn kill_at_compaction_loses_no_epochs_behind_the_server() {
+    let plan = FaultPlan::parse("seed=5;kill:worker=*@compaction").unwrap();
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        resilience: Resilience {
+            faults: Some(Arc::new(Injector::new(plan))),
+            breaker_threshold: 0,
+            restart_budget: 100_000,
+            ..Resilience::default()
+        },
+        ..ServeConfig::default()
+    });
+    let h = server.handle();
+
+    // Well past the default compaction threshold (8), so attempts fire
+    // and are struck repeatedly.
+    const WRITES: u64 = 24;
+    for i in 0..WRITES {
+        let r = h.run(req(
+            i,
+            "delta:path:50",
+            Workload::AddEdges {
+                edges: vec![(0, (i % 48) as u32 + 2)],
+            },
+        ));
+        assert_eq!(r.status, Status::Ok, "write {i}: {:?}", r.error);
+    }
+    assert_eq!(epoch_of(&server, 1000, "delta:path:50"), WRITES);
+
+    // Every bridge 0→k landed: one hop reaches every vertex 2..=49.
+    let r = h.run(req(1001, "delta:path:50", Workload::Dfs { root: 0 }));
+    assert_eq!(r.payload.get("visited").unwrap().as_u64(), Some(50));
+
+    let m = server.shutdown();
+    assert!(
+        m.faults_injected > 0,
+        "the compaction fault point never fired — the gate tested nothing"
+    );
+}
+
+/// Writes above the per-tenant write quota are rejected while reads
+/// from the same tenant and writes from other tenants still flow.
+#[test]
+fn write_quota_rejects_only_the_flooding_tenants_writes() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        write_quota: Some(1),
+        ..ServeConfig::default()
+    });
+    let h = server.handle();
+
+    // Park the single worker on a long traversal so submissions queue.
+    let parked = h.submit(req(1, "path:400000", Workload::Dfs { root: 0 }));
+
+    let w = |id, tenant: &str| {
+        let mut r = req(
+            id,
+            "delta:path:10",
+            Workload::AddEdges {
+                edges: vec![(0, 5)],
+            },
+        );
+        r.tenant = tenant.into();
+        r
+    };
+    let first = h.submit(w(2, "flood"));
+    let over = h.submit(w(3, "flood"));
+    let other = h.submit(w(4, "calm"));
+    let read = h.submit(req(5, "delta:path:10", Workload::Dfs { root: 0 }));
+
+    let over = over.recv().unwrap();
+    assert_eq!(over.status, Status::Rejected, "{:?}", over.error);
+    assert!(over.error.as_deref().unwrap_or("").contains("write quota"));
+    for rx in [parked, first, other, read] {
+        assert_eq!(rx.recv().unwrap().status, Status::Ok);
+    }
+    let m = server.shutdown();
+    assert_eq!(m.rejected_writes, 1);
+}
+
+/// Determinism across servers: the same commuting mutation schedule
+/// pushed through two independent servers — one hammered concurrently,
+/// one sequential — must land both on the same final epoch and the
+/// same traversal answers.
+#[test]
+fn concurrent_and_sequential_servers_agree_on_final_state() {
+    let writes: Vec<Request> = (0..40u64)
+        .map(|i| {
+            // Adds touch even pairs, deletes odd pairs: disjoint sets
+            // commute, so arrival order cannot matter.
+            let (a, b) = ((i * 2 % 30) as u32, (i * 6 % 30) as u32 + 2);
+            let workload = if i % 4 == 0 {
+                Workload::DelEdges {
+                    edges: vec![(a + 1, b + 1)],
+                }
+            } else {
+                Workload::AddEdges {
+                    edges: vec![(a, b)],
+                }
+            };
+            req(i, "delta:grid:8:8", workload)
+        })
+        .collect();
+
+    let fences = |server: &Server, base: u64| -> Vec<String> {
+        [
+            Workload::Epoch,
+            Workload::Dfs { root: 0 },
+            Workload::Reach {
+                root: 0,
+                target: 63,
+            },
+        ]
+        .into_iter()
+        .enumerate()
+        .map(|(i, wl)| {
+            let r = server
+                .handle()
+                .run(req(base + i as u64, "delta:grid:8:8", wl));
+            assert_eq!(r.status, Status::Ok, "{:?}", r.error);
+            r.digest()
+        })
+        .collect()
+    };
+
+    // Server A: 4 workers, all writes in flight at once.
+    let a = Server::start(ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    });
+    let rxs: Vec<_> = writes
+        .iter()
+        .map(|r| a.handle().submit(r.clone()))
+        .collect();
+    for rx in rxs {
+        assert_eq!(rx.recv().unwrap().status, Status::Ok);
+    }
+    let got_a = fences(&a, 500);
+    a.shutdown();
+
+    // Server B: single worker, strictly sequential.
+    let b = Server::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    for r in &writes {
+        assert_eq!(b.handle().run(r.clone()).status, Status::Ok);
+    }
+    let got_b = fences(&b, 500);
+    b.shutdown();
+
+    assert_eq!(got_a, got_b, "schedules diverged on final delta state");
+}

@@ -208,3 +208,77 @@ fn charged_bytes_accounting_on_store_keys() {
     assert_eq!(n, 1);
     std::fs::remove_file(path).unwrap();
 }
+
+/// Eviction decisions follow *charged* bytes (mapped sections at ¼),
+/// not resident CSR bytes: a budget with room for the store's charge
+/// but NOT for its raw footprint keeps the mmap'd pack — the LRU
+/// entry — resident while later graphs are admitted. Were the cache
+/// charging resident bytes, the very first admission after it would
+/// have to evict the pack.
+#[test]
+fn eviction_order_follows_charged_not_resident_bytes() {
+    // Uncompressed pack: loads fully zero-copy, so (almost) the whole
+    // footprint is mapped and the charge is ~¼ of resident bytes.
+    let g = db_gen::SocialGraph::new(6_000, 0xd1995, db_gen::SocialParams::default()).build();
+    let path = scratch("charged-order");
+    pack_graph(
+        &g,
+        &path,
+        PackOptions {
+            compress: false,
+            ..PackOptions::default()
+        },
+    )
+    .unwrap();
+    let key = format!("store:{}", path.display());
+
+    let store = db_serve::corpus::build_store(&key).unwrap();
+    let resident = store.graph().memory_bytes();
+    let charged = store.charged_bytes();
+    assert!(store.mapped_bytes() > 0, "raw pack must mmap zero-copy");
+    assert!(
+        charged <= resident / 2,
+        "mapped charge ({charged}) must sit well under resident bytes ({resident})"
+    );
+
+    // Two small in-RAM graphs, each far smaller than the pack.
+    let filler = db_serve::corpus::build_graph("path:1000")
+        .unwrap()
+        .memory_bytes();
+    assert!(filler * 4 < resident);
+
+    // Budget: the pack's CHARGE plus both fillers fits; the pack's
+    // RESIDENT bytes alone would blow it.
+    let budget = charged + filler * 2 + filler / 2;
+    assert!(budget < resident);
+    let cache = CorpusCache::new(budget);
+    cache.resolve(&key).unwrap(); // oldest — first in LRU order
+    cache.resolve("path:1000").unwrap();
+    cache.resolve("path:1001").unwrap();
+    assert_eq!(
+        cache.evictions(),
+        0,
+        "charged accounting must fit all three under the budget"
+    );
+    let (n, bytes) = cache.resident();
+    assert_eq!(n, 3);
+    assert!(bytes <= budget);
+    let (_, info) = cache.resolve(&key).unwrap();
+    assert!(
+        info.hit,
+        "the LRU pack survives because only its charge counts"
+    );
+
+    // Shrink the budget below the pack's charge plus one filler: now
+    // the pack really is evicted first, in LRU order.
+    let tight = CorpusCache::new(charged + filler + filler / 2);
+    tight.resolve(&key).unwrap();
+    tight.resolve("path:1000").unwrap();
+    tight.resolve("path:1001").unwrap(); // must push the pack out
+    assert_eq!(tight.evictions(), 1);
+    let (_, info) = tight.resolve("path:1000").unwrap();
+    assert!(info.hit, "newer RAM graph stays");
+    let (_, info) = tight.resolve(&key).unwrap();
+    assert!(!info.hit, "the pack was the LRU eviction victim");
+    std::fs::remove_file(path).unwrap();
+}

@@ -1,0 +1,129 @@
+//! Edge cases of the partitioned cross-shard DFS: hand-built specs
+//! with empty partitions, degenerate graphs, an all-edges-cut
+//! partitioning, and a property test pinning `partition_by_arcs` to
+//! its contract — every vertex (hence every stored arc) lands in
+//! exactly one partition.
+
+use db_graph::{CsrGraph, GraphBuilder};
+use db_store::{partition_by_arcs, run_partitioned, PartitionSpec};
+use db_trace::tracer::NullTracer;
+use proptest::prelude::*;
+
+fn never() -> impl Fn() -> bool + Sync {
+    || false
+}
+
+fn path(n: u32) -> CsrGraph {
+    let mut b = GraphBuilder::undirected(n);
+    for i in 0..n.saturating_sub(1) {
+        b.edge(i, i + 1);
+    }
+    b.build()
+}
+
+/// A spec with an empty middle partition still answers ownership
+/// correctly and the run drives its (workless) worker to quiescence.
+#[test]
+fn empty_partition_is_harmless() {
+    let g = path(10);
+    let spec = PartitionSpec {
+        ranges: vec![(0, 5), (5, 5), (5, 10)],
+    };
+    for v in 0..5 {
+        assert_eq!(spec.owner(v), 0);
+    }
+    for v in 5..10 {
+        assert_eq!(spec.owner(v), 2, "the empty range must own nothing");
+    }
+    let serial = db_graph::serial_dfs(&g, 0);
+    let (visited, completed, stats) = run_partitioned(&g, &spec, 0, &NullTracer, &never());
+    assert!(completed);
+    assert_eq!(visited, serial.visited);
+    assert_eq!(stats.expanded, 10);
+}
+
+/// One vertex, no edges — including a spec that pads the single real
+/// range with an empty one.
+#[test]
+fn single_vertex_graph_with_padded_spec() {
+    let g = GraphBuilder::undirected(1).build();
+    let spec = PartitionSpec {
+        ranges: vec![(0, 0), (0, 1)],
+    };
+    assert_eq!(spec.owner(0), 1);
+    let (visited, completed, stats) = run_partitioned(&g, &spec, 0, &NullTracer, &never());
+    assert!(completed);
+    assert_eq!(visited, vec![true]);
+    assert_eq!(stats.expanded, 1);
+    // The arc-balanced cutter collapses parts to n for tiny graphs.
+    assert_eq!(partition_by_arcs(&g, 8).parts(), 1);
+}
+
+/// Every partition holds exactly one vertex, so every edge of the path
+/// is a cut edge: the traversal advances purely through remote
+/// handoffs and still visits everything exactly once.
+#[test]
+fn all_edges_cut_partitioning_traverses_by_handoff_alone() {
+    const N: u32 = 24;
+    let g = path(N);
+    let spec = partition_by_arcs(&g, N as usize);
+    assert_eq!(spec.parts(), N as usize);
+    assert!(spec.ranges.iter().all(|&(s, e)| e - s == 1));
+    let serial = db_graph::serial_dfs(&g, 0);
+    let (visited, completed, stats) = run_partitioned(&g, &spec, 0, &NullTracer, &never());
+    assert!(completed);
+    assert_eq!(visited, serial.visited);
+    assert_eq!(stats.expanded, N as u64);
+    // N-1 claims, none of them local to the claiming worker.
+    assert_eq!(stats.entries_handed + stats.entries_stolen, (N - 1) as u64);
+    assert!(stats.handoffs > 0, "{stats:?}");
+}
+
+proptest! {
+    /// `partition_by_arcs` always produces ascending, gap-free ranges
+    /// covering `0..n`; consequently each vertex has exactly one owner
+    /// and each stored arc is counted by exactly one partition.
+    #[test]
+    fn every_arc_lands_in_exactly_one_partition(
+        n in 1u32..200,
+        parts in 1usize..12,
+        edges in proptest::collection::vec((0u32..200, 0u32..200), 0..400),
+        seed in any::<u64>(),
+    ) {
+        let mut b = GraphBuilder::undirected(n);
+        let mut s = seed | 1;
+        for (u, v) in edges {
+            // Map arbitrary pairs into range with a seeded offset so
+            // sparse and dense shapes both show up.
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let u = (u as u64 + s) % n as u64;
+            let v = v as u64 % n as u64;
+            if u != v {
+                b.edge(u as u32, v as u32);
+            }
+        }
+        let g = b.build();
+        let spec = partition_by_arcs(&g, parts);
+
+        // Ranges: ascending, contiguous, covering 0..n.
+        prop_assert_eq!(spec.ranges[0].0, 0);
+        prop_assert_eq!(spec.ranges.last().unwrap().1, n);
+        for w in spec.ranges.windows(2) {
+            prop_assert_eq!(w[0].1, w[1].0);
+        }
+
+        // Exactly-one-owner, vertex by vertex and arc by arc.
+        let rp = g.row_ptr();
+        let mut owned = 0u64;
+        let mut arcs = 0u64;
+        for (p, &(s, e)) in spec.ranges.iter().enumerate() {
+            for v in s..e {
+                prop_assert_eq!(spec.owner(v), p, "vertex {} owner", v);
+            }
+            owned += (e - s) as u64;
+            arcs += rp[e as usize] - rp[s as usize];
+        }
+        prop_assert_eq!(owned, n as u64);
+        prop_assert_eq!(arcs, g.num_arcs() as u64);
+    }
+}

@@ -132,6 +132,14 @@ pub fn event_to_json(e: &TraceEvent) -> Value {
             args.push(("victim_block".into(), Value::u64(victim_block as u64)));
             args.push(("entries".into(), Value::u64(entries as u64)));
         }
+        EventKind::Epoch { epoch, applied } => {
+            args.push(("epoch".into(), Value::u64(epoch as u64)));
+            args.push(("applied".into(), Value::u64(applied as u64)));
+        }
+        EventKind::Compact { folded, outcome } => {
+            args.push(("folded".into(), Value::u64(folded as u64)));
+            args.push(("outcome".into(), Value::u64(outcome as u64)));
+        }
     }
     Value::Obj(vec![
         ("name".into(), Value::str(e.kind.name())),
@@ -197,6 +205,14 @@ pub fn event_from_json(v: &Value) -> Option<TraceEvent> {
         "Recover" => EventKind::Recover {
             victim_block: arg("victim_block")?,
             entries: arg("entries")?,
+        },
+        "Epoch" => EventKind::Epoch {
+            epoch: arg("epoch")?,
+            applied: arg("applied")?,
+        },
+        "Compact" => EventKind::Compact {
+            folded: arg("folded")?,
+            outcome: arg("outcome")?,
         },
         _ => return None,
     };
@@ -287,6 +303,24 @@ mod tests {
                 kind: EventKind::Recover {
                     victim_block: 1,
                     entries: 8,
+                },
+            },
+            TraceEvent {
+                cycle: 16,
+                block: 0,
+                warp: 0,
+                kind: EventKind::Epoch {
+                    epoch: 3,
+                    applied: 12,
+                },
+            },
+            TraceEvent {
+                cycle: 17,
+                block: 0,
+                warp: 0,
+                kind: EventKind::Compact {
+                    folded: 3,
+                    outcome: 0,
                 },
             },
         ];

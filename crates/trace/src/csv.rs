@@ -42,6 +42,11 @@ fn row(e: &TraceEvent) -> String {
             victim_block,
             entries,
         } => (None, Some(victim_block), Some(entries), None),
+        // Delta lifecycle: the epoch number rides in `vertex`, the
+        // batch size in `entries`; compaction's outcome code rides in
+        // `victim`, the folded-layer count in `entries`.
+        EventKind::Epoch { epoch, applied } => (Some(epoch), None, Some(applied), None),
+        EventKind::Compact { folded, outcome } => (None, Some(outcome), Some(folded), None),
     };
     let opt = |x: Option<u32>| x.map(|v| v.to_string()).unwrap_or_default();
     format!(
@@ -181,6 +186,14 @@ pub fn parse_csv(text: &str) -> Result<ParsedCsv, String> {
             "Recover" => EventKind::Recover {
                 victim_block: field(5, "victim")?,
                 entries: field(6, "entries")?,
+            },
+            "Epoch" => EventKind::Epoch {
+                epoch: field(4, "epoch")?,
+                applied: field(6, "applied")?,
+            },
+            "Compact" => EventKind::Compact {
+                outcome: field(5, "outcome")?,
+                folded: field(6, "folded")?,
             },
             k => return Err(format!("line {lineno}: unknown event kind {k:?}")),
         };
@@ -354,6 +367,24 @@ mod tests {
             },
             TraceEvent {
                 cycle: 12,
+                block: 2,
+                warp: 0,
+                kind: EventKind::Epoch {
+                    epoch: 9,
+                    applied: 4,
+                },
+            },
+            TraceEvent {
+                cycle: 13,
+                block: 2,
+                warp: 0,
+                kind: EventKind::Compact {
+                    folded: 8,
+                    outcome: 1,
+                },
+            },
+            TraceEvent {
+                cycle: 14,
                 block: 0,
                 warp: 0,
                 kind: EventKind::KernelPhase {

@@ -102,11 +102,20 @@ pub enum EventKind {
     /// A survivor recovered `entries` stranded tasks from killed SM
     /// `victim_block`'s stacks via the recovery steal path.
     Recover { victim_block: u32, entries: u32 },
+    /// A delta-graph epoch was published (`db-delta` via `db-serve`):
+    /// `epoch` is the low 32 bits of the new epoch number, `applied`
+    /// the mutation-batch size that produced it.
+    Epoch { epoch: u32, applied: u32 },
+    /// A delta-graph compaction attempt finished; `folded` is the
+    /// number of layers merged into the new base and `outcome` the
+    /// dense result code (0 = folded, 1 = aborted by a fault hook,
+    /// 2 = lost the swap race, 3 = nothing to fold).
+    Compact { folded: u32, outcome: u32 },
 }
 
 impl EventKind {
     /// Number of distinct kinds (for counter arrays).
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 14;
 
     /// Dense index for counter arrays; stable across releases only
     /// within one trace file (the name, not the index, is exported).
@@ -124,6 +133,8 @@ impl EventKind {
             EventKind::Serve { .. } => 9,
             EventKind::Fault { .. } => 10,
             EventKind::Recover { .. } => 11,
+            EventKind::Epoch { .. } => 12,
+            EventKind::Compact { .. } => 13,
         }
     }
 
@@ -142,6 +153,8 @@ impl EventKind {
             EventKind::Serve { .. } => "Serve",
             EventKind::Fault { .. } => "Fault",
             EventKind::Recover { .. } => "Recover",
+            EventKind::Epoch { .. } => "Epoch",
+            EventKind::Compact { .. } => "Compact",
         }
     }
 
@@ -160,6 +173,8 @@ impl EventKind {
             "Serve" => 9,
             "Fault" => 10,
             "Recover" => 11,
+            "Epoch" => 12,
+            "Compact" => 13,
             _ => return None,
         })
     }
@@ -209,6 +224,14 @@ mod tests {
             EventKind::Recover {
                 victim_block: 0,
                 entries: 0,
+            },
+            EventKind::Epoch {
+                epoch: 0,
+                applied: 0,
+            },
+            EventKind::Compact {
+                folded: 0,
+                outcome: 0,
             },
         ];
         assert_eq!(kinds.len(), EventKind::COUNT);

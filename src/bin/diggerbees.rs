@@ -100,7 +100,8 @@ use diggerbees::baselines::nvg::{self, NvgConfig};
 use diggerbees::baselines::serial;
 use diggerbees::check::race::{detect, RaceConfig};
 use diggerbees::check::{
-    lint_tree, Explorer, Model, Outcome, ProtoModel, ProtoScenario, RingModel, RingScenario,
+    lint_tree, EpochModel, EpochScenario, Explorer, Model, Outcome, ProtoModel, ProtoScenario,
+    RingModel, RingScenario,
 };
 use diggerbees::core::native::{NativeConfig, NativeEngine};
 use diggerbees::core::native_lockfree::LockFreeEngine;
@@ -1002,6 +1003,7 @@ fn check_main() -> ExitCode {
             "proto/diamond4",
             &ProtoModel::new(ProtoScenario::diamond4(2)),
         );
+        findings += run_model_config("epoch/small", &EpochModel::new(EpochScenario::small()));
     }
 
     // 3. Race detection: a built-in traced sim run (exact DES cycles, so
