@@ -66,6 +66,8 @@ struct Args {
     append: bool,
     dfs_only: bool,
     write_frac: f64,
+    flight_dir: Option<String>,
+    scrape_out: Option<String>,
 }
 
 impl Default for Args {
@@ -90,6 +92,8 @@ impl Default for Args {
             append: false,
             dfs_only: false,
             write_frac: 0.0,
+            flight_dir: None,
+            scrape_out: None,
         }
     }
 }
@@ -103,7 +107,8 @@ fn parse_args() -> Args {
             "usage: serve_load [--workers N] [--clients N] [--requests N] [--seed S] \
              [--graphs k1,k2,...] [--mode closed|open] [--rate R] [--deadline-ms MS] \
              [--runs N] [--out FILE] [--append] [--dfs-only] [--write-frac F] \
-             [--addr HOST:PORT] [--shutdown] [--faults SPEC] [--allow-failed]"
+             [--addr HOST:PORT] [--shutdown] [--faults SPEC] [--allow-failed] \
+             [--flight-dir DIR] [--scrape-out FILE]"
         );
         std::process::exit(2);
     };
@@ -163,6 +168,8 @@ fn parse_args() -> Args {
                 )
             }
             "--allow-failed" => a.allow_failed = true,
+            "--flight-dir" => a.flight_dir = Some(val("--flight-dir")),
+            "--scrape-out" => a.scrape_out = Some(val("--scrape-out")),
             "--append" => a.append = true,
             "--dfs-only" => a.dfs_only = true,
             "--write-frac" => {
@@ -185,6 +192,11 @@ fn parse_args() -> Args {
         // A remote server's delta corpora persist across runs, so the
         // second run's epochs (and digests) could never match the first.
         die("--write-frac requires the in-process mode (fresh delta state per run)".into());
+    }
+    if (a.flight_dir.is_some() || a.scrape_out.is_some()) && a.addr.is_some() {
+        // Against an external endpoint use `{"op":"flight"}` / the
+        // metrics op instead; these flags configure the in-process server.
+        die("--flight-dir/--scrape-out require the in-process mode".into());
     }
     if a.faults.is_some() && a.addr.is_some() {
         die(
@@ -418,7 +430,12 @@ fn tally(responses: Vec<Response>, wall: Duration, hit_rate: f64, steals: u64) -
 
 /// One in-process run: fresh server, closed or open loop, drain,
 /// then the write-mode fence queries (if any).
-fn run_in_process(a: &Args, reqs: &[Request], fence: &[Request]) -> RunReport {
+///
+/// Only run 0 gets the flight dump dir and scrape file: the recorder
+/// itself is always on (so the digest check covers it), but auto-dumps
+/// from later runs would overwrite run 0's files with sequence-number
+/// collisions, and one scrape frame is all `diggerbees top --file` needs.
+fn run_in_process(a: &Args, reqs: &[Request], fence: &[Request], run: usize) -> RunReport {
     // Chaos mode mirrors the chaos integration suite's policy: a fresh
     // injector per run (so runs replay identically), breaker off and an
     // effectively unlimited respawn budget (so terminal outcomes depend
@@ -434,13 +451,19 @@ fn run_in_process(a: &Args, reqs: &[Request], fence: &[Request]) -> RunReport {
         },
         None => Resilience::default(),
     };
-    let server = Server::start(ServeConfig {
+    let mut cfg = ServeConfig {
         workers: a.workers,
         queue_capacity: reqs.len() + a.clients + 1,
         tenant_quota: None,
         resilience,
         ..ServeConfig::default()
-    });
+    };
+    if run == 0 {
+        if let Some(dir) = &a.flight_dir {
+            cfg.flight.dump_dir = Some(std::path::PathBuf::from(dir));
+        }
+    }
+    let server = Server::start(cfg);
     let h = server.handle();
     let start = Instant::now();
     let responses: Vec<Response> = if a.mode == "closed" {
@@ -507,6 +530,22 @@ fn run_in_process(a: &Args, reqs: &[Request], fence: &[Request]) -> RunReport {
             get("db_delta_compactions_total"),
         )
     });
+    if run == 0 {
+        if let Some(path) = &a.scrape_out {
+            // Post-drain scrape: every request (and its SLO observation)
+            // has landed, so the `db_slo_*` series reflect the full run.
+            std::fs::write(path, h.prometheus()).unwrap_or_else(|e| {
+                eprintln!("serve_load: cannot write scrape to {path}: {e}");
+                std::process::exit(2);
+            });
+        }
+        if a.flight_dir.is_some() {
+            if let Err(e) = h.flight_write(std::path::Path::new(a.flight_dir.as_deref().unwrap())) {
+                eprintln!("serve_load: flight dump failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     let m = server.shutdown();
     let mut report = tally(responses, wall, m.cache_hit_rate(), m.steals);
     report.delta = delta;
@@ -668,11 +707,17 @@ fn main() {
                 a.requests,
                 a.workers
             );
-            reports.push(run_in_process(&a, &reqs, &fence));
+            reports.push(run_in_process(&a, &reqs, &fence, run));
         }
     }
     let deterministic = reports.windows(2).all(|w| w[0].digest == w[1].digest);
     let doc = report_value(&a, &reports, deterministic);
+    // The emitter validates its own line before writing it: a harness
+    // bug fails the bench run rather than corrupting the report file.
+    if let Err(e) = db_bench::schema::validate_serve_line(&doc) {
+        eprintln!("serve_load: BUG — emitted line violates its own schema: {e}");
+        std::process::exit(1);
+    }
     // --append adds this report as one more NDJSON line, so one file
     // can accumulate several configurations (e.g. the baseline corpus
     // run plus a packed-store run).

@@ -1,0 +1,215 @@
+//! Seeded double-run benchmark of the DES engine itself.
+//!
+//! Where `serve_load` measures the service layer, this measures the
+//! simulator: how many *simulated* GPU cycles per wall-clock second the
+//! DES sustains on each corpus graph, alongside the modeled MTEPS. Each
+//! graph is run `--runs` times (default 2) from a seed-derived root and
+//! the runs must agree bit-for-bit on every simulation output — cycles,
+//! visit set, DFS-tree digest, steal counters — before the report is
+//! written; only the wall-clock side (`sim_cycles_per_sec`) is allowed
+//! to vary between runs.
+//!
+//! Emits one JSON-lines object (default `BENCH_sim.json`, `--append` to
+//! accumulate), validated against `db_bench::schema::validate_sim_line`
+//! before writing.
+
+use db_bench::schema::validate_sim_line;
+use db_core::{run_sim, DiggerBeesConfig};
+use db_gpu_sim::MachineModel;
+use db_trace::json::Value;
+use std::io::Write;
+use std::time::Instant;
+
+struct Args {
+    machine: String,
+    seed: u64,
+    graphs: Vec<String>,
+    runs: usize,
+    out: String,
+    append: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            machine: "h100".into(),
+            seed: 42,
+            graphs: ["grid:60:60", "path:5000", "dag:4000"]
+                .map(String::from)
+                .to_vec(),
+            runs: 2,
+            out: "BENCH_sim.json".into(),
+            append: false,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut a = Args::default();
+    let mut it = std::env::args().skip(1);
+    let die = |msg: String| -> ! {
+        eprintln!("sim_bench: {msg}");
+        eprintln!(
+            "usage: sim_bench [--machine a100|h100|h100-no-tma] [--seed S] \
+             [--graphs k1,k2,...] [--runs N] [--out FILE] [--append]"
+        );
+        std::process::exit(2);
+    };
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| die(format!("missing value for {name}")))
+        };
+        match flag.as_str() {
+            "--machine" => a.machine = val("--machine"),
+            "--seed" => {
+                a.seed = val("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --seed".into()))
+            }
+            "--graphs" => a.graphs = val("--graphs").split(',').map(str::to_string).collect(),
+            "--runs" => {
+                a.runs = val("--runs")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("bad --runs".into()))
+            }
+            "--out" => a.out = val("--out"),
+            "--append" => a.append = true,
+            other => die(format!("unknown flag '{other}'")),
+        }
+    }
+    if a.graphs.is_empty() {
+        die("need at least one graph".into());
+    }
+    a
+}
+
+fn machine(name: &str) -> Option<MachineModel> {
+    match name {
+        "a100" => Some(MachineModel::a100()),
+        "h100" => Some(MachineModel::h100()),
+        "h100-no-tma" => Some(MachineModel::h100_no_tma()),
+        _ => None,
+    }
+}
+
+fn fnv(h: &mut u64, bytes: impl IntoIterator<Item = u8>) {
+    for b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+}
+
+/// Everything a run must reproduce exactly; wall time is excluded.
+#[derive(PartialEq, Clone)]
+struct SimOutputs {
+    cycles: u64,
+    visited: u64,
+    edges: u64,
+    steals_intra: u64,
+    steals_inter: u64,
+    tree_digest: u64,
+}
+
+fn main() {
+    let a = parse_args();
+    let Some(m) = machine(&a.machine) else {
+        eprintln!("sim_bench: unknown machine '{}'", a.machine);
+        std::process::exit(2);
+    };
+    let cfg = DiggerBeesConfig::v4(m.sm_count);
+    let mut runs: Vec<Value> = Vec::new();
+    let mut deterministic = true;
+    for key in &a.graphs {
+        let g = db_serve::corpus::build_graph(key).unwrap_or_else(|e| {
+            eprintln!("sim_bench: {e}");
+            std::process::exit(2);
+        });
+        let n = g.num_vertices().max(1) as u64;
+        // splitmix64 over seed ^ fnv(key): same seed + key → same root.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        fnv(&mut h, key.bytes());
+        let mut z = (a.seed ^ h).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        let root = ((z ^ (z >> 31)) % n) as u32;
+        let mut first: Option<SimOutputs> = None;
+        for _ in 0..a.runs {
+            let t0 = Instant::now();
+            let r = run_sim(&g, root, &cfg, &m);
+            let wall = t0.elapsed();
+            let mut tree = 0xcbf2_9ce4_8422_2325u64;
+            fnv(&mut tree, r.parent.iter().flat_map(|p| p.to_le_bytes()));
+            let out = SimOutputs {
+                cycles: r.stats.cycles,
+                visited: r.visited.iter().filter(|&&v| v).count() as u64,
+                edges: r.stats.edges_traversed,
+                steals_intra: r.stats.steals_intra,
+                steals_inter: r.stats.steals_inter,
+                tree_digest: tree,
+            };
+            match &first {
+                None => first = Some(out.clone()),
+                Some(f) => deterministic &= *f == out,
+            }
+            let cps = out.cycles as f64 / wall.as_secs_f64().max(1e-9);
+            eprintln!(
+                "{key}: root {root}, {} cycles, {} visited, {:.1} mteps, \
+                 {:.0} sim cycles/s, {}+{} steals",
+                out.cycles, out.visited, r.mteps, cps, out.steals_intra, out.steals_inter
+            );
+            runs.push(Value::Obj(vec![
+                ("graph".into(), Value::str(key)),
+                ("root".into(), Value::u64(root as u64)),
+                ("cycles".into(), Value::u64(out.cycles)),
+                ("visited".into(), Value::u64(out.visited)),
+                ("edges_traversed".into(), Value::u64(out.edges)),
+                ("mteps".into(), Value::Num(r.mteps)),
+                ("sim_cycles_per_sec".into(), Value::Num(cps)),
+                ("wall_us".into(), Value::u64(wall.as_micros() as u64)),
+                ("steals_intra".into(), Value::u64(out.steals_intra)),
+                ("steals_inter".into(), Value::u64(out.steals_inter)),
+                (
+                    "tree_digest".into(),
+                    Value::str(format!("{:016x}", out.tree_digest)),
+                ),
+            ]));
+        }
+    }
+    let doc = Value::Obj(vec![
+        // Bump on any incompatible change to this line format.
+        ("schema_version".into(), Value::u64(1)),
+        ("bench".into(), Value::str("sim")),
+        ("machine".into(), Value::str(&a.machine)),
+        ("seed".into(), Value::u64(a.seed)),
+        (
+            "graphs".into(),
+            Value::Arr(a.graphs.iter().map(Value::str).collect()),
+        ),
+        ("runs".into(), Value::Arr(runs)),
+        ("deterministic".into(), Value::Bool(deterministic)),
+    ]);
+    if let Err(e) = validate_sim_line(&doc) {
+        eprintln!("sim_bench: BUG — emitted line violates its own schema: {e}");
+        std::process::exit(1);
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .write(true)
+        .append(a.append)
+        .truncate(!a.append)
+        .open(&a.out)
+        .unwrap_or_else(|e| {
+            eprintln!("sim_bench: cannot write {}: {e}", a.out);
+            std::process::exit(2);
+        });
+    f.write_all(doc.to_json().as_bytes()).expect("write report");
+    f.write_all(b"\n").expect("write report");
+    if !deterministic {
+        eprintln!("sim_bench: FAILED — simulation outputs differ across runs");
+        std::process::exit(1);
+    }
+    eprintln!("sim_bench: OK — report written to {}", a.out);
+}

@@ -24,6 +24,10 @@
 
 pub mod methods;
 pub mod report;
+pub mod schema;
 
 pub use methods::{average_mteps, Method, MethodOutcome};
 pub use report::Table;
+pub use schema::{
+    validate_serve_line, validate_sim_line, SERVE_SCHEMA_VERSION, SIM_SCHEMA_VERSION,
+};

@@ -1,0 +1,246 @@
+//! Line-schema validation for the repo's JSON-lines bench reports.
+//!
+//! `BENCH_serve.json` and `BENCH_sim.json` are append-only JSON-lines
+//! files read by humans, CI greps, and downstream tooling. Each line
+//! carries `schema_version` so an incompatible format change is an
+//! explicit bump, not a silent drift — and each emitter validates its
+//! own line here *before* writing, so a harness bug fails the bench
+//! run instead of corrupting the report file.
+
+use db_trace::json::Value;
+
+/// Current version of the `BENCH_serve.json` line format.
+pub const SERVE_SCHEMA_VERSION: u64 = 1;
+
+/// Current version of the `BENCH_sim.json` line format.
+pub const SIM_SCHEMA_VERSION: u64 = 1;
+
+fn want_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field '{key}'"))
+}
+
+fn want_f64(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field '{key}'"))
+}
+
+fn want_str<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing or non-string field '{key}'"))
+}
+
+fn want_arr<'a>(v: &'a Value, key: &str) -> Result<&'a [Value], String> {
+    let a = v
+        .get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("missing or non-array field '{key}'"))?;
+    if a.is_empty() {
+        return Err(format!("field '{key}' must be non-empty"));
+    }
+    Ok(a)
+}
+
+fn want_version(v: &Value, expect: u64) -> Result<(), String> {
+    let got = want_u64(v, "schema_version")?;
+    if got != expect {
+        return Err(format!("schema_version {got}, this build writes {expect}"));
+    }
+    Ok(())
+}
+
+/// Validates one parsed `BENCH_serve.json` line against schema v1.
+///
+/// Checks field presence and types, that the status counts add up to
+/// the request count, and that the digest is present on every run (the
+/// determinism check is meaningless without it).
+pub fn validate_serve_line(v: &Value) -> Result<(), String> {
+    want_version(v, SERVE_SCHEMA_VERSION)?;
+    let bench = want_str(v, "bench")?;
+    if bench != "serve_load" {
+        return Err(format!("bench '{bench}', expected 'serve_load'"));
+    }
+    let mode = want_str(v, "mode")?;
+    if mode != "closed" && mode != "open" {
+        return Err(format!("mode '{mode}', expected 'closed' or 'open'"));
+    }
+    want_u64(v, "workers")?;
+    want_u64(v, "clients")?;
+    want_u64(v, "seed")?;
+    want_f64(v, "write_frac")?;
+    for g in want_arr(v, "graphs")? {
+        if g.as_str().is_none() {
+            return Err("graphs entries must be strings".into());
+        }
+    }
+    v.get("deterministic")
+        .and_then(Value::as_bool)
+        .ok_or("missing or non-bool field 'deterministic'")?;
+    for (i, run) in want_arr(v, "runs")?.iter().enumerate() {
+        let check = || -> Result<(), String> {
+            let requests = want_u64(run, "requests")?;
+            let outcomes = ["ok", "expired", "rejected", "errors", "failed"]
+                .iter()
+                .map(|k| want_u64(run, k))
+                .sum::<Result<u64, String>>()?;
+            if outcomes != requests {
+                return Err(format!(
+                    "status counts sum to {outcomes}, expected {requests}"
+                ));
+            }
+            want_u64(run, "wall_ms")?;
+            want_f64(run, "throughput_rps")?;
+            for k in ["p50_us", "p90_us", "p99_us", "p999_us", "max_us", "steals"] {
+                want_u64(run, k)?;
+            }
+            let hit = want_f64(run, "cache_hit_rate")?;
+            if !(0.0..=1.0).contains(&hit) {
+                return Err(format!("cache_hit_rate {hit} outside [0, 1]"));
+            }
+            if want_str(run, "digest")?.is_empty() {
+                return Err("empty digest".into());
+            }
+            Ok(())
+        };
+        check().map_err(|e| format!("runs[{i}]: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Validates one parsed `BENCH_sim.json` line against schema v1.
+pub fn validate_sim_line(v: &Value) -> Result<(), String> {
+    want_version(v, SIM_SCHEMA_VERSION)?;
+    let bench = want_str(v, "bench")?;
+    if bench != "sim" {
+        return Err(format!("bench '{bench}', expected 'sim'"));
+    }
+    want_str(v, "machine")?;
+    want_u64(v, "seed")?;
+    v.get("deterministic")
+        .and_then(Value::as_bool)
+        .ok_or("missing or non-bool field 'deterministic'")?;
+    for (i, run) in want_arr(v, "runs")?.iter().enumerate() {
+        let check = || -> Result<(), String> {
+            want_str(run, "graph")?;
+            want_u64(run, "root")?;
+            if want_u64(run, "cycles")? == 0 {
+                return Err("zero simulated cycles".into());
+            }
+            if want_u64(run, "visited")? == 0 {
+                return Err("zero vertices visited".into());
+            }
+            want_f64(run, "mteps")?;
+            let cps = want_f64(run, "sim_cycles_per_sec")?;
+            if !cps.is_finite() || cps <= 0.0 {
+                return Err(format!("sim_cycles_per_sec {cps} not positive"));
+            }
+            want_u64(run, "steals_intra")?;
+            want_u64(run, "steals_inter")?;
+            Ok(())
+        };
+        check().map_err(|e| format!("runs[{i}]: {e}"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn serve_line() -> Value {
+        Value::parse(
+            r#"{"schema_version":1,"bench":"serve_load","mode":"closed",
+                "workers":2,"clients":2,"seed":42,"write_frac":0,
+                "graphs":["grid:8:8"],
+                "runs":[{"requests":10,"ok":9,"expired":0,"rejected":0,
+                         "errors":0,"failed":1,"wall_ms":5,
+                         "throughput_rps":2000.0,"p50_us":10,"p90_us":20,
+                         "p99_us":30,"p999_us":40,"max_us":40,
+                         "cache_hit_rate":0.9,"steals":1,"digest":"abc"}],
+                "deterministic":true}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accepts_a_well_formed_serve_line() {
+        validate_serve_line(&serve_line()).unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_fields_and_bad_sums() {
+        let mut bad = serve_line();
+        if let Value::Obj(fields) = &mut bad {
+            fields.retain(|(k, _)| k != "write_frac");
+        }
+        assert!(validate_serve_line(&bad)
+            .unwrap_err()
+            .contains("write_frac"));
+
+        let wrong_sum = Value::parse(
+            &serve_line()
+                .to_json()
+                .replace("\"requests\":10", "\"requests\":11"),
+        )
+        .unwrap();
+        assert!(validate_serve_line(&wrong_sum)
+            .unwrap_err()
+            .contains("sum to 10"));
+
+        let wrong_version = Value::parse(&serve_line().to_json().replace(":1,", ":9,")).unwrap();
+        assert!(validate_serve_line(&wrong_version)
+            .unwrap_err()
+            .contains("schema_version 9"));
+    }
+
+    #[test]
+    fn validates_sim_lines() {
+        let good = Value::parse(
+            r#"{"schema_version":1,"bench":"sim","machine":"a100","seed":42,
+                "graphs":["grid:8:8"],
+                "runs":[{"graph":"grid:8:8","root":0,"cycles":100,
+                         "visited":64,"mteps":12.5,
+                         "sim_cycles_per_sec":1e6,
+                         "steals_intra":3,"steals_inter":1}],
+                "deterministic":true}"#,
+        )
+        .unwrap();
+        validate_sim_line(&good).unwrap();
+        let zero_cycles =
+            Value::parse(&good.to_json().replace("\"cycles\":100", "\"cycles\":0")).unwrap();
+        assert!(validate_sim_line(&zero_cycles)
+            .unwrap_err()
+            .contains("zero simulated cycles"));
+    }
+
+    /// Every line of the committed report files must satisfy its own
+    /// schema — the emitters validate before writing, and this pins the
+    /// already-committed history to the same bar.
+    #[test]
+    fn committed_bench_files_pass_their_schemas() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        for (file, validate) in [
+            (
+                "BENCH_serve.json",
+                validate_serve_line as fn(&Value) -> Result<(), String>,
+            ),
+            (
+                "BENCH_sim.json",
+                validate_sim_line as fn(&Value) -> Result<(), String>,
+            ),
+        ] {
+            let path = root.join(file);
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue; // not generated in this checkout
+            };
+            for (i, line) in text.lines().filter(|l| !l.trim().is_empty()).enumerate() {
+                let v = Value::parse(line)
+                    .unwrap_or_else(|e| panic!("{file} line {}: bad JSON: {e}", i + 1));
+                validate(&v).unwrap_or_else(|e| panic!("{file} line {}: {e}", i + 1));
+            }
+        }
+    }
+}

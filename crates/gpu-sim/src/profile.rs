@@ -223,6 +223,24 @@ impl CycleProfiler {
         out
     }
 
+    /// The nonzero `(sm, phase_index, cycles)` cells, for span sinks:
+    /// the serve layer maps each cell onto a `SimPhase` span whose code
+    /// packs `(sm << 8) | phase_index` and whose value is the cycle
+    /// count, so a flight dump carries the sim-side cost breakdown of
+    /// the request that ran it.
+    pub fn phase_spans(&self) -> Vec<(u32, usize, u64)> {
+        let mut out = Vec::new();
+        for (sm, cell) in self.cells.iter().enumerate() {
+            for phase in SimPhase::ALL {
+                let cycles = cell[phase.index()].load(Ordering::Relaxed); // relaxed-ok: reporting
+                if cycles > 0 {
+                    out.push((sm as u32, phase.index(), cycles));
+                }
+            }
+        }
+        out
+    }
+
     /// Publishes the table as gauges in `reg`:
     /// `db_sim_phase_cycles{phase,sm}` and
     /// `db_sim_tasks_per_block{block}` (Fig. 9's distribution, from
@@ -312,6 +330,17 @@ mod tests {
         assert_eq!(p.phase_cycles(1, SimPhase::Idle), 0);
         let total0: u64 = SimPhase::ALL.iter().map(|ph| p.phase_cycles(0, *ph)).sum();
         assert_eq!(total0, 100);
+    }
+
+    #[test]
+    fn phase_spans_lists_nonzero_cells() {
+        let p = CycleProfiler::new(2);
+        p.charge(0, SimPhase::Expand, 30);
+        p.charge(1, SimPhase::StealSearch, 7);
+        let spans = p.phase_spans();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.contains(&(0, SimPhase::Expand.index(), 30)));
+        assert!(spans.contains(&(1, SimPhase::StealSearch.index(), 7)));
     }
 
     #[test]

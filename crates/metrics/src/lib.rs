@@ -26,11 +26,22 @@
 //! * [`global`] — the process-wide default registry the engines record
 //!   into (each `db_serve::Server` keeps its own instance registry on
 //!   top, so unit tests stay isolated).
+//! * [`slo`] — declarative per-tenant latency/availability objectives
+//!   with multi-window burn-rate series (`db_slo_*`), folded from
+//!   finished requests by the serve layer.
+//! * [`dash`] — the `diggerbees top` terminal dashboard renderer,
+//!   driven by a parsed scrape.
 
 #![warn(missing_docs)]
 
+pub mod dash;
 pub mod prometheus;
 pub mod registry;
+pub mod slo;
 
-pub use prometheus::{parse_exposition, validate_exposition, Sample};
-pub use registry::{global, render, Counter, Gauge, Histogram, Registry, HISTOGRAM_BUCKETS};
+pub use dash::render_dashboard;
+pub use prometheus::{parse_exposition, validate_exposition, Exposition, Sample};
+pub use registry::{
+    global, render, Counter, FloatGauge, Gauge, Histogram, Registry, HISTOGRAM_BUCKETS,
+};
+pub use slo::{SloConfig, SloSpec, SloTracker, SLO_WINDOWS};

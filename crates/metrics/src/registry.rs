@@ -78,6 +78,25 @@ impl Gauge {
     }
 }
 
+/// Float-valued last-write-wins gauge (stores `f64` bits in an
+/// `AtomicU64`). Renders as a `gauge` in the exposition; used for
+/// ratios like SLO burn rates that a `u64` [`Gauge`] cannot express.
+#[derive(Debug, Clone)]
+pub struct FloatGauge(Arc<AtomicU64>);
+
+impl FloatGauge {
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
 #[derive(Debug)]
 struct HistogramCore {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
@@ -116,25 +135,41 @@ impl Histogram {
         c.max.fetch_max(v, Ordering::Relaxed);
     }
 
-    /// Upper-bound estimate of the `q`-quantile (0 < q ≤ 1); 0 when no
-    /// samples were recorded. The top bucket reports the exact maximum
-    /// rather than an unbounded edge.
+    /// Estimate of the `q`-quantile (0 < q ≤ 1); 0 when no samples were
+    /// recorded.
+    ///
+    /// The estimate interpolates linearly within the landing bucket
+    /// rather than reporting the bucket's power-of-two ceiling — before
+    /// this, a saturated p999 always read as an edge like 32767 or
+    /// 16777215 regardless of where samples actually sat. When the
+    /// target rank is the last sample (including `q >= 1.0`) the exact
+    /// maximum is returned, and every estimate is clamped to it.
     pub fn quantile(&self, q: f64) -> u64 {
         let count = self.count();
         if count == 0 {
             return 0;
         }
         let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        if q >= 1.0 || target == count {
+            return self.max_value();
+        }
         let mut seen = 0u64;
         for (i, b) in self.0.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= target {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 && seen + n >= target {
                 if i == HISTOGRAM_BUCKETS - 1 {
                     return self.max_value();
                 }
-                // Upper edge of bucket i: 2^i - 1 (bucket 0 → 0).
-                return (1u64 << i) - 1;
+                // Bucket i spans [2^(i-1), 2^i) (bucket 0 holds only 0);
+                // place the target rank at its midpoint-adjusted
+                // position within that span.
+                let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                let hi = (1u64 << i) - 1;
+                let rank_in = (target - seen) as f64 - 0.5;
+                let est = lo as f64 + (rank_in / n as f64) * (hi - lo) as f64;
+                return (est.round() as u64).min(self.max_value());
             }
+            seen += n;
         }
         self.max_value()
     }
@@ -170,14 +205,27 @@ impl Histogram {
 enum Cell {
     Counter(Counter),
     Gauge(Gauge),
+    Float(FloatGauge),
     Histogram(Histogram),
 }
 
 impl Cell {
+    /// Exposition `# TYPE` name (float gauges render as `gauge`).
     fn type_name(&self) -> &'static str {
         match self {
             Cell::Counter(_) => "counter",
+            Cell::Gauge(_) | Cell::Float(_) => "gauge",
+            Cell::Histogram(_) => "histogram",
+        }
+    }
+
+    /// Internal handle kind, distinguishing u64 and float gauges so a
+    /// re-registration with the wrong handle type still panics.
+    fn kind_name(&self) -> &'static str {
+        match self {
+            Cell::Counter(_) => "counter",
             Cell::Gauge(_) => "gauge",
+            Cell::Float(_) => "float_gauge",
             Cell::Histogram(_) => "histogram",
         }
     }
@@ -253,7 +301,7 @@ impl Registry {
         if let Some(&i) = g.index.get(&key) {
             let cell = g.entries[i].cell.clone();
             assert_eq!(
-                cell.type_name(),
+                cell.kind_name(),
                 kind,
                 "series '{name}' re-registered as a different type"
             );
@@ -295,6 +343,20 @@ impl Registry {
             "gauge",
         ) {
             Cell::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Registers (or looks up) a float gauge.
+    pub fn float_gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> FloatGauge {
+        match self.series(
+            name,
+            help,
+            labels,
+            || Cell::Float(FloatGauge(Arc::new(AtomicU64::new(0)))),
+            "float_gauge",
+        ) {
+            Cell::Float(g) => g,
             _ => unreachable!(),
         }
     }
@@ -409,6 +471,14 @@ pub fn render(registries: &[&Registry]) -> String {
                     g.get()
                 ));
             }
+            Cell::Float(g) => {
+                out.push_str(&format!(
+                    "{}{} {}\n",
+                    e.name,
+                    label_block(&e.labels, None),
+                    g.get()
+                ));
+            }
             Cell::Histogram(h) => {
                 let counts = h.bucket_counts();
                 let mut cum = 0u64;
@@ -492,10 +562,13 @@ mod tests {
             h.observe(us);
         }
         assert_eq!(h.count(), 8);
+        // Rank 4 of 8 lands in bucket [64, 127]; interpolation places it
+        // near the low edge (it is the 1st of 3 samples in the bucket).
         let p50 = h.quantile(0.5);
-        assert!((100..=127).contains(&p50), "p50 = {p50}");
+        assert!((64..=127).contains(&p50), "p50 = {p50}");
+        // Rank 8 of 8 is the last sample: exact max, not a bucket edge.
         let p99 = h.quantile(0.99);
-        assert!((10_000..=16_383).contains(&p99), "p99 = {p99}");
+        assert_eq!(p99, 10_000, "p99 = {p99}");
         assert!(h.mean() >= 1400 && h.mean() <= 1500, "{}", h.mean());
         assert_eq!(h.max_value(), 10_000);
         assert_eq!(h.sum(), 1 + 2 + 3 + 300 + 1000 + 10_000);
@@ -514,6 +587,53 @@ mod tests {
         let h = Histogram::default();
         h.observe(u64::MAX);
         assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate_not_saturate() {
+        // 1000 samples all at 20_000µs land in bucket [16384, 32767].
+        // The old quantile returned the 32767 bucket ceiling for p999;
+        // interpolation must stay clamped at the true maximum.
+        let h = Histogram::default();
+        for _ in 0..1000 {
+            h.observe(20_000);
+        }
+        assert_eq!(h.quantile(0.999), 20_000, "p999 clamps to exact max");
+        assert_eq!(h.quantile(1.0), 20_000);
+        // Mid-rank quantiles interpolate inside the bucket and clamp to
+        // the true maximum instead of pinning at the 32767 edge.
+        let p50 = h.quantile(0.5);
+        assert!((16_384..=20_000).contains(&p50), "p50 = {p50}");
+
+        // And with a spread, the estimate moves with rank.
+        let h = Histogram::default();
+        for v in [70u64, 80, 90, 100, 110, 120] {
+            h.observe(v); // all in [64, 127]
+        }
+        let p25 = h.quantile(0.25);
+        let p75 = h.quantile(0.75);
+        assert!(p25 < p75, "p25 = {p25}, p75 = {p75}");
+        assert!((64..=127).contains(&p25));
+        assert!((64..=120).contains(&p75));
+    }
+
+    #[test]
+    fn float_gauge_renders_fractional_values() {
+        let r = Registry::new();
+        let g = r.float_gauge("db_burn", "burn rate", &[("window", "5m")]);
+        g.set(0.25);
+        assert_eq!(g.get(), 0.25);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE db_burn gauge"), "{text}");
+        assert!(text.contains("db_burn{window=\"5m\"} 0.25"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn float_and_int_gauges_do_not_alias() {
+        let r = Registry::new();
+        let _ = r.gauge("db_y", "", &[]);
+        let _ = r.float_gauge("db_y", "", &[]);
     }
 
     #[test]

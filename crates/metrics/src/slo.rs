@@ -1,0 +1,379 @@
+//! Declarative per-tenant SLOs and multi-window burn-rate tracking.
+//!
+//! An [`SloSpec`] states an objective ("99% of tenant `t0`'s requests
+//! finish under 5ms; 99.9% succeed"); the [`SloTracker`] folds every
+//! finished request into per-second buckets and publishes, for each
+//! spec, a **burn rate** over 1m/5m/1h windows:
+//!
+//! ```text
+//! burn = error_rate / (1 - objective)
+//! ```
+//!
+//! A burn rate of 1.0 means the error budget is being consumed exactly
+//! as fast as the objective allows; 10.0 means the budget disappears
+//! ten times too fast (the classic page-worthy fast-burn signal).
+//! Exposed series:
+//!
+//! * `db_slo_burn_rate{tenant,slo,window}` — float gauge, refreshed on
+//!   scrape; `slo` is `latency` or `availability`.
+//! * `db_slo_events_total{tenant}` — requests folded into the spec.
+//! * `db_slo_good_total{tenant,slo}` — requests that met the objective.
+//!
+//! Time is injected (`now_s`, seconds since server start) so the
+//! tracker is deterministic under test and never consults a wall clock.
+
+use crate::registry::{Counter, FloatGauge, Registry};
+use std::sync::Mutex;
+
+/// The burn-rate windows every spec publishes, as (seconds, label).
+pub const SLO_WINDOWS: [(u64, &str); 3] = [(60, "1m"), (300, "5m"), (3600, "1h")];
+
+/// Ring size: one bucket per second, covering the largest window.
+const BUCKETS: usize = 3600;
+
+/// One declared objective for a tenant (or `*` for all tenants).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Tenant the objective applies to; `*` matches every tenant.
+    pub tenant: String,
+    /// Latency threshold: a request is latency-good when it completes
+    /// in at most this many microseconds.
+    pub latency_target_us: u64,
+    /// Fraction of requests that must be latency-good (e.g. `0.99`).
+    pub latency_objective: f64,
+    /// Fraction of requests that must succeed (e.g. `0.999`).
+    pub availability_objective: f64,
+}
+
+impl SloSpec {
+    fn matches(&self, tenant: &str) -> bool {
+        self.tenant == "*" || self.tenant == tenant
+    }
+}
+
+/// A set of SLO specs, parseable from a compact text form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloConfig {
+    /// The declared objectives; a request can match several (e.g. its
+    /// tenant's spec and the `*` spec) and counts toward each.
+    pub specs: Vec<SloSpec>,
+}
+
+impl Default for SloConfig {
+    /// One wildcard objective: p99 latency under 50ms, 99.9% success.
+    fn default() -> Self {
+        SloConfig {
+            specs: vec![SloSpec {
+                tenant: "*".into(),
+                latency_target_us: 50_000,
+                latency_objective: 0.99,
+                availability_objective: 0.999,
+            }],
+        }
+    }
+}
+
+impl SloConfig {
+    /// Parses a spec list: `tenant:latency_us:latency_obj:avail_obj`
+    /// entries separated by commas, e.g.
+    /// `*:50000:0.99:0.999,t0:5000:0.95:0.99`.
+    pub fn parse(s: &str) -> Result<SloConfig, String> {
+        let mut specs = Vec::new();
+        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let fields: Vec<&str> = part.split(':').collect();
+            if fields.len() != 4 {
+                return Err(format!(
+                    "bad SLO spec '{part}': want tenant:latency_us:latency_obj:avail_obj"
+                ));
+            }
+            let tenant = fields[0].to_string();
+            if tenant.is_empty() {
+                return Err(format!("bad SLO spec '{part}': empty tenant"));
+            }
+            let latency_target_us: u64 = fields[1]
+                .parse()
+                .map_err(|_| format!("bad SLO spec '{part}': latency '{}'", fields[1]))?;
+            let latency_objective: f64 = fields[2]
+                .parse()
+                .map_err(|_| format!("bad SLO spec '{part}': objective '{}'", fields[2]))?;
+            let availability_objective: f64 = fields[3]
+                .parse()
+                .map_err(|_| format!("bad SLO spec '{part}': objective '{}'", fields[3]))?;
+            for obj in [latency_objective, availability_objective] {
+                if !(0.0..1.0).contains(&obj) {
+                    return Err(format!(
+                        "bad SLO spec '{part}': objective {obj} not in [0,1)"
+                    ));
+                }
+            }
+            specs.push(SloSpec {
+                tenant,
+                latency_target_us,
+                latency_objective,
+                availability_objective,
+            });
+        }
+        if specs.is_empty() {
+            return Err("empty SLO spec list".into());
+        }
+        Ok(SloConfig { specs })
+    }
+}
+
+/// One second of folded events for one spec.
+#[derive(Debug, Clone, Copy, Default)]
+struct Bucket {
+    /// The absolute second this bucket currently holds (stale buckets
+    /// are lazily reset when the ring wraps onto them).
+    second: u64,
+    events: u64,
+    good_latency: u64,
+    good_avail: u64,
+}
+
+#[derive(Debug)]
+struct TrackedSpec {
+    spec: SloSpec,
+    buckets: Vec<Bucket>,
+    events_total: Counter,
+    good_latency_total: Counter,
+    good_avail_total: Counter,
+    /// Burn gauges per window, index-aligned with [`SLO_WINDOWS`]:
+    /// `(latency, availability)`.
+    burn: Vec<(FloatGauge, FloatGauge)>,
+}
+
+impl TrackedSpec {
+    fn bucket_mut(&mut self, now_s: u64) -> &mut Bucket {
+        let b = &mut self.buckets[(now_s as usize) % BUCKETS];
+        if b.second != now_s {
+            *b = Bucket {
+                second: now_s,
+                ..Bucket::default()
+            };
+        }
+        b
+    }
+
+    /// Sums `(events, good_latency, good_avail)` over the window of
+    /// `win_s` seconds ending at `now_s` inclusive.
+    fn window_totals(&self, now_s: u64, win_s: u64) -> (u64, u64, u64) {
+        let lo = now_s.saturating_sub(win_s - 1);
+        let (mut ev, mut gl, mut ga) = (0, 0, 0);
+        for b in &self.buckets {
+            if b.second >= lo && b.second <= now_s && b.events > 0 {
+                ev += b.events;
+                gl += b.good_latency;
+                ga += b.good_avail;
+            }
+        }
+        (ev, gl, ga)
+    }
+}
+
+/// Folds finished requests into per-spec windows and publishes
+/// `db_slo_*` series into a [`Registry`].
+#[derive(Debug)]
+pub struct SloTracker {
+    specs: Mutex<Vec<TrackedSpec>>,
+}
+
+impl SloTracker {
+    /// Builds a tracker, registering each spec's series in `reg`.
+    pub fn new(cfg: &SloConfig, reg: &Registry) -> SloTracker {
+        let specs = cfg
+            .specs
+            .iter()
+            .map(|spec| {
+                let t = spec.tenant.as_str();
+                TrackedSpec {
+                    spec: spec.clone(),
+                    buckets: vec![Bucket::default(); BUCKETS],
+                    events_total: reg.counter(
+                        "db_slo_events_total",
+                        "Requests folded into this SLO spec",
+                        &[("tenant", t)],
+                    ),
+                    good_latency_total: reg.counter(
+                        "db_slo_good_total",
+                        "Requests that met the objective",
+                        &[("tenant", t), ("slo", "latency")],
+                    ),
+                    good_avail_total: reg.counter(
+                        "db_slo_good_total",
+                        "Requests that met the objective",
+                        &[("tenant", t), ("slo", "availability")],
+                    ),
+                    burn: SLO_WINDOWS
+                        .iter()
+                        .map(|&(_, w)| {
+                            (
+                                reg.float_gauge(
+                                    "db_slo_burn_rate",
+                                    "Error-budget burn rate (1.0 = budget consumed exactly \
+                                     at the objective's rate)",
+                                    &[("tenant", t), ("slo", "latency"), ("window", w)],
+                                ),
+                                reg.float_gauge(
+                                    "db_slo_burn_rate",
+                                    "Error-budget burn rate (1.0 = budget consumed exactly \
+                                     at the objective's rate)",
+                                    &[("tenant", t), ("slo", "availability"), ("window", w)],
+                                ),
+                            )
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        SloTracker {
+            specs: Mutex::new(specs),
+        }
+    }
+
+    /// Folds one finished request into every matching spec. `now_s` is
+    /// seconds since server start; `ok` is whether the request
+    /// succeeded; latency-goodness additionally requires success.
+    pub fn observe(&self, tenant: &str, latency_us: u64, ok: bool, now_s: u64) {
+        let mut specs = lock(&self.specs);
+        for ts in specs.iter_mut() {
+            if !ts.spec.matches(tenant) {
+                continue;
+            }
+            let good_latency = ok && latency_us <= ts.spec.latency_target_us;
+            ts.events_total.inc();
+            if good_latency {
+                ts.good_latency_total.inc();
+            }
+            if ok {
+                ts.good_avail_total.inc();
+            }
+            let b = ts.bucket_mut(now_s);
+            b.events += 1;
+            b.good_latency += good_latency as u64;
+            b.good_avail += ok as u64;
+        }
+    }
+
+    /// Recomputes every burn-rate gauge as of `now_s`. Called before
+    /// each scrape render (and from tests).
+    pub fn refresh(&self, now_s: u64) {
+        let specs = lock(&self.specs);
+        for ts in specs.iter() {
+            for (i, &(win_s, _)) in SLO_WINDOWS.iter().enumerate() {
+                let (ev, gl, ga) = ts.window_totals(now_s, win_s);
+                let (lat_gauge, avail_gauge) = &ts.burn[i];
+                lat_gauge.set(burn_rate(ev, gl, ts.spec.latency_objective));
+                avail_gauge.set(burn_rate(ev, ga, ts.spec.availability_objective));
+            }
+        }
+    }
+
+    /// Burn rate of one spec/slo/window, as of the last [`refresh`].
+    ///
+    /// [`refresh`]: SloTracker::refresh
+    pub fn burn(&self, tenant: &str, slo: &str, window: &str) -> Option<f64> {
+        let wi = SLO_WINDOWS.iter().position(|&(_, w)| w == window)?;
+        let specs = lock(&self.specs);
+        let ts = specs.iter().find(|ts| ts.spec.tenant == tenant)?;
+        let (lat, avail) = &ts.burn[wi];
+        match slo {
+            "latency" => Some(lat.get()),
+            "availability" => Some(avail.get()),
+            _ => None,
+        }
+    }
+}
+
+/// `error_rate / (1 - objective)`; zero when the window saw no events.
+fn burn_rate(events: u64, good: u64, objective: f64) -> f64 {
+    if events == 0 {
+        return 0.0;
+    }
+    let error_rate = (events - good) as f64 / events as f64;
+    let budget = (1.0 - objective).max(1e-9);
+    error_rate / budget
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_and_rejects_garbage() {
+        let cfg = SloConfig::parse("*:50000:0.99:0.999,t0:5000:0.95:0.99").unwrap();
+        assert_eq!(cfg.specs.len(), 2);
+        assert_eq!(cfg.specs[1].tenant, "t0");
+        assert_eq!(cfg.specs[1].latency_target_us, 5000);
+        assert!(SloConfig::parse("").is_err());
+        assert!(SloConfig::parse("t0:5000:0.95").is_err());
+        assert!(SloConfig::parse("t0:abc:0.95:0.99").is_err());
+        assert!(
+            SloConfig::parse("t0:5000:1.5:0.99").is_err(),
+            "objective >= 1"
+        );
+    }
+
+    #[test]
+    fn burn_rates_track_error_budget_consumption() {
+        let reg = Registry::new();
+        let cfg = SloConfig::parse("*:1000:0.9:0.9").unwrap();
+        let t = SloTracker::new(&cfg, &reg);
+        // 10 events at t=5s: 8 fast successes, 1 slow success, 1 failure.
+        for _ in 0..8 {
+            t.observe("t0", 100, true, 5);
+        }
+        t.observe("t0", 5000, true, 5);
+        t.observe("t0", 100, false, 5);
+        t.refresh(5);
+        // Latency: 2 of 10 missed (slow + failed) → error_rate 0.2;
+        // budget 0.1 → burn 2.0. Availability: 1 of 10 → burn 1.0.
+        let lat = t.burn("*", "latency", "1m").unwrap();
+        let avail = t.burn("*", "availability", "1m").unwrap();
+        assert!((lat - 2.0).abs() < 1e-9, "latency burn = {lat}");
+        assert!((avail - 1.0).abs() < 1e-9, "avail burn = {avail}");
+
+        // 70 seconds later the 1m window is clean but 5m still burns.
+        t.refresh(75);
+        assert_eq!(t.burn("*", "latency", "1m").unwrap(), 0.0);
+        assert!(t.burn("*", "latency", "5m").unwrap() > 0.0);
+
+        // Rendered exposition carries the fractional burn series.
+        t.refresh(5);
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains("db_slo_burn_rate{slo=\"latency\",tenant=\"*\",window=\"1m\"} 2"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn tenant_specs_only_fold_their_tenant() {
+        let reg = Registry::new();
+        let cfg = SloConfig::parse("*:1000:0.9:0.9,t0:1000:0.9:0.9").unwrap();
+        let t = SloTracker::new(&cfg, &reg);
+        t.observe("t0", 100, true, 1);
+        t.observe("t1", 100, true, 1);
+        let specs = lock(&t.specs);
+        assert_eq!(specs[0].events_total.get(), 2, "wildcard sees both");
+        assert_eq!(specs[1].events_total.get(), 1, "t0 spec sees only t0");
+    }
+
+    #[test]
+    fn ring_wrap_resets_stale_buckets() {
+        let reg = Registry::new();
+        let t = SloTracker::new(&SloConfig::default(), &reg);
+        t.observe("t0", 1, true, 10);
+        // Same ring slot, one full ring later: the stale second must not
+        // leak into the new window.
+        t.observe("t0", 1, false, 10 + 3600);
+        t.refresh(10 + 3600);
+        let avail = t.burn("*", "availability", "1m").unwrap();
+        // Only the second (failed) event is in the 1m window.
+        assert!(avail > 999.0, "avail burn = {avail}");
+    }
+}

@@ -61,6 +61,12 @@ pub enum DeltaEvent {
     },
     /// The chaos plan struck this request's compaction attempt.
     FaultInjected,
+    /// A read pinned this epoch's snapshot for the duration of its
+    /// traversal (feeds the `EpochPin` span in the flight recorder).
+    Pinned {
+        /// Low 32 bits of the pinned epoch.
+        epoch: u32,
+    },
 }
 
 /// `db_delta_*` series for one server instance.
@@ -230,13 +236,18 @@ impl DeltaRegistry {
                 req.id,
                 vec![("epoch".into(), Value::u64(entry.graph.current_epoch()))],
             ),
-            Workload::Reach { root, target } => self.reach(req, &entry, *root, *target, token),
+            Workload::Reach { root, target } => {
+                self.reach(req, &entry, *root, *target, token, &mut events)
+            }
             // Any traversal/analytics workload: pin the current epoch
             // and hand the frozen snapshot to the ordinary executor.
             // The pin guard keeps the snapshot alive past any
             // concurrent publish or compaction.
             _ => {
                 let pin = entry.graph.pin();
+                events.push(DeltaEvent::Pinned {
+                    epoch: pin.epoch() as u32,
+                });
                 crate::exec::execute(req, pin.graph(), token)
             }
         };
@@ -324,6 +335,7 @@ impl DeltaRegistry {
         root: u32,
         target: u32,
         token: &CancelToken,
+        events: &mut Vec<DeltaEvent>,
     ) -> Response {
         let n = entry.graph.num_vertices() as u32;
         for (v, what) in [(root, "root"), (target, "target")] {
@@ -343,9 +355,13 @@ impl DeltaRegistry {
                 payload: Value::Obj(vec![("completed".into(), Value::Bool(false))]),
                 latency_us: 0,
                 deadline_missed: false,
+                trace_id: 0,
             };
         }
         let pin = entry.graph.pin();
+        events.push(DeltaEvent::Pinned {
+            epoch: pin.epoch() as u32,
+        });
         let before = entry.graph.stats().incremental_hits;
         let (reachable, _outcome) = entry
             .reach
@@ -374,6 +390,7 @@ fn ok(id: u64, payload: Vec<(String, Value)>) -> Response {
         payload: Value::Obj(payload),
         latency_us: 0,
         deadline_missed: false,
+        trace_id: 0,
     }
 }
 

@@ -30,6 +30,21 @@ use db_trace::json::Value;
 /// `latency_us`/`deadline_missed` are filled by the pool afterwards
 /// (they are measured from admission, which the pool owns).
 pub fn execute(req: &Request, graph: &CsrGraph, token: &CancelToken) -> Response {
+    execute_observed(req, graph, token, None)
+}
+
+/// [`execute`] with an optional sim-phase observation sink. When `req`
+/// runs on the [`EngineKind::Sim`] engine and a sink is supplied, the
+/// traversal runs under a [`db_gpu_sim::CycleProfiler`] and the sink
+/// receives the nonzero `(sm, phase_index, cycles)` cells — the pool
+/// turns those into `SimPhase` flight-recorder spans. Profiling is
+/// observational: the response is identical with or without a sink.
+pub fn execute_observed(
+    req: &Request,
+    graph: &CsrGraph,
+    token: &CancelToken,
+    sim_spans: Option<&mut Vec<(u32, usize, u64)>>,
+) -> Response {
     // Engine-entry validation (db-core's typed GraphError), mapped to a
     // rejection-with-reason: a structurally malformed graph must never
     // reach a ring, and the client learns exactly which invariant broke.
@@ -58,7 +73,7 @@ pub fn execute(req: &Request, graph: &CsrGraph, token: &CancelToken) -> Response
             if let Err(r) = check_root(root, "root") {
                 return r;
             }
-            let (visited, completed) = traverse(req.engine, graph, root, token);
+            let (visited, completed) = traverse(req.engine, graph, root, token, sim_spans);
             let count = visited.iter().filter(|&&v| v).count() as u64;
             respond(
                 req.id,
@@ -74,7 +89,7 @@ pub fn execute(req: &Request, graph: &CsrGraph, token: &CancelToken) -> Response
             if let Err(r) = check_root(root, "root").and(check_root(target, "target")) {
                 return r;
             }
-            let (visited, completed) = traverse(req.engine, graph, root, token);
+            let (visited, completed) = traverse(req.engine, graph, root, token, sim_spans);
             // A partial traversal can prove reachability (target already
             // visited) but not unreachability; report that case as
             // expired rather than a false negative.
@@ -162,7 +177,13 @@ pub fn execute(req: &Request, graph: &CsrGraph, token: &CancelToken) -> Response
 /// Runs a single-root traversal on the requested engine; returns the
 /// visited flags and whether the run completed (non-cancellable engines
 /// always complete once started).
-fn traverse(engine: EngineKind, g: &CsrGraph, root: u32, token: &CancelToken) -> (Vec<bool>, bool) {
+fn traverse(
+    engine: EngineKind,
+    g: &CsrGraph,
+    root: u32,
+    token: &CancelToken,
+    sim_spans: Option<&mut Vec<(u32, usize, u64)>>,
+) -> (Vec<bool>, bool) {
     match engine {
         EngineKind::Native => {
             let out = NativeEngine::new(NativeConfig::default()).run_cancellable(g, root, token);
@@ -176,12 +197,24 @@ fn traverse(engine: EngineKind, g: &CsrGraph, root: u32, token: &CancelToken) ->
             if token.is_cancelled() {
                 return (vec![false; g.num_vertices()], false);
             }
-            let out = db_core::run_sim(
-                g,
-                root,
-                &db_core::DiggerBeesConfig::default(),
-                &MachineModel::a100(),
-            );
+            let cfg = db_core::DiggerBeesConfig::default();
+            let model = MachineModel::a100();
+            let out = match sim_spans {
+                Some(sink) => {
+                    let profiler = db_gpu_sim::CycleProfiler::new(cfg.blocks as usize);
+                    let out = db_core::run_sim_profiled(
+                        g,
+                        root,
+                        &cfg,
+                        &model,
+                        &db_trace::tracer::NullTracer,
+                        &profiler,
+                    );
+                    sink.extend(profiler.phase_spans());
+                    out
+                }
+                None => db_core::run_sim(g, root, &cfg, &model),
+            };
             (out.visited, true)
         }
         EngineKind::Serial => {
@@ -223,6 +256,7 @@ fn respond(id: u64, completed: bool, payload: Vec<(String, Value)>) -> Response 
         payload: Value::Obj(payload),
         latency_us: 0,
         deadline_missed: false,
+        trace_id: 0,
     }
 }
 
@@ -351,6 +385,27 @@ mod tests {
             &t,
         );
         assert_eq!(r.status, Status::Error);
+    }
+
+    #[test]
+    fn sim_observation_is_result_invariant() {
+        let g = build_graph("grid:6:6").unwrap();
+        let r = req("grid:6:6", Workload::Dfs { root: 0 }, EngineKind::Sim);
+        let plain = execute(&r, &g, &CancelToken::new());
+        let mut sink = Vec::new();
+        let observed = execute_observed(&r, &g, &CancelToken::new(), Some(&mut sink));
+        assert_eq!(
+            plain.digest(),
+            observed.digest(),
+            "profiling is observational"
+        );
+        assert!(
+            !sink.is_empty(),
+            "sim run must charge at least one phase cell"
+        );
+        assert!(sink
+            .iter()
+            .all(|&(_, p, c)| p < db_gpu_sim::SimPhase::COUNT && c > 0));
     }
 
     #[test]

@@ -402,9 +402,11 @@ mod tests {
         }
         assert_eq!(h.count(), 8);
         let p50 = h.quantile(0.5);
-        assert!((100..=127).contains(&p50), "p50 = {p50}");
+        assert!((64..=127).contains(&p50), "p50 = {p50}");
+        // Since the in-bucket interpolation fix, the final rank reports
+        // the exact maximum instead of the 16383 bucket ceiling.
         let p99 = h.quantile(0.99);
-        assert!((10_000..=16_383).contains(&p99), "p99 = {p99}");
+        assert_eq!(p99, 10_000, "p99 = {p99}");
         assert!(h.mean() >= 1400 && h.mean() <= 1500, "{}", h.mean());
         assert_eq!(h.max_value(), 10_000);
     }

@@ -265,6 +265,30 @@ fn dispatch_line(line: &str, handle: &ServeHandle, shutdown_requested: &AtomicBo
             shutdown_requested.store(true, Ordering::Release);
             Value::Obj(vec![("ok".into(), Value::Bool(true))]).to_json()
         }
+        // Operator-triggered flight dump: with "dir", writes a `.dbfr`
+        // file server-side and replies with its path; without, replies
+        // with the dump's summary counts (a liveness probe for the
+        // recorder).
+        Some("flight") => match doc.get("dir").and_then(Value::as_str) {
+            Some(dir) => match handle.flight_write(std::path::Path::new(dir)) {
+                Ok(path) => Value::Obj(vec![
+                    ("ok".into(), Value::Bool(true)),
+                    ("path".into(), Value::Str(path.display().to_string())),
+                ])
+                .to_json(),
+                Err(e) => Response::failure(0, Status::Error, e).to_value().to_json(),
+            },
+            None => {
+                let dump = handle.flight_dump();
+                Value::Obj(vec![
+                    ("ok".into(), Value::Bool(true)),
+                    ("spans".into(), Value::Num(dump.spans.len() as f64)),
+                    ("dropped".into(), Value::Num(dump.dropped as f64)),
+                    ("tenants".into(), Value::Num(dump.tenants.len() as f64)),
+                ])
+                .to_json()
+            }
+        },
         Some(other) => Response::failure(0, Status::Error, format!("unknown op '{other}'"))
             .to_value()
             .to_json(),

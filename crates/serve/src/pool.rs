@@ -25,7 +25,11 @@ use crate::request::{EngineKind, Request, Response, Status};
 use crate::resilience::{backoff_delay, BreakerEvent, BreakerMap, Resilience};
 use db_core::CancelToken;
 use db_fault::FaultKind;
-use db_metrics::Gauge;
+use db_metrics::{Gauge, SloConfig, SloTracker};
+use db_span::{
+    DumpReason, FlightConfig, FlightDump, FlightRecorder, SpanKind, SpanRecord, TraceCtx,
+    ADMISSION_WORKER, NO_TENANT,
+};
 use db_trace::{EventKind, RingBufferTracer, ServeOp, TraceEvent, Tracer};
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::{HashMap, VecDeque};
@@ -57,6 +61,12 @@ pub struct ServeConfig {
     /// Self-healing policy: retries, circuit breakers, worker-restart
     /// budget, and the optional chaos fault plan.
     pub resilience: Resilience,
+    /// Flight-recorder budget and dump policy. The recorder is always
+    /// on; this only bounds its memory and says where `.dbfr` dumps go.
+    pub flight: FlightConfig,
+    /// Per-tenant latency/availability objectives feeding the
+    /// `db_slo_*` burn-rate gauges.
+    pub slo: SloConfig,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +79,8 @@ impl Default for ServeConfig {
             corpus_budget_bytes: 256 << 20,
             trace_capacity: 0,
             resilience: Resilience::default(),
+            flight: FlightConfig::default(),
+            slo: SloConfig::default(),
         }
     }
 }
@@ -81,6 +93,57 @@ struct Job {
     submitted: Instant,
     deadline: Option<Instant>,
     reply: mpsc::Sender<Response>,
+    /// Request-scoped trace context; moves with the job across steals,
+    /// which is what keeps cross-worker parentage intact.
+    ctx: TraceCtx,
+    /// Admission time on the span clock (ns since server start); the
+    /// root span and the queue span both start here.
+    admit_ns: u64,
+}
+
+/// Stable status code for [`SpanKind::Request`] root spans
+/// (see [`SpanKind::status_name`]).
+fn status_code(s: Status) -> u32 {
+    match s {
+        Status::Ok => 0,
+        Status::Rejected => 1,
+        Status::Expired => 2,
+        Status::Error => 3,
+        Status::Failed => 4,
+    }
+}
+
+/// Stable engine index for [`SpanKind::Attempt`] / [`SpanKind::Degrade`]
+/// span values (wire-name order).
+fn engine_index(e: EngineKind) -> u64 {
+    match e {
+        EngineKind::Native => 0,
+        EngineKind::LockFree => 1,
+        EngineKind::Sim => 2,
+        EngineKind::Serial => 3,
+        EngineKind::Partitioned => 4,
+    }
+}
+
+/// Builds an admission-refusal response and closes its (two-span)
+/// trace: an `Admit` span with the reject code under a root that
+/// carries the terminal status. Refusals count against the tenant's
+/// availability SLO — shed load is still unserved load.
+fn reject_response(
+    inner: &ServerInner,
+    ctx: &TraceCtx,
+    req: &Request,
+    code: u32,
+    admit_ns: u64,
+    status: Status,
+    reason: &str,
+) -> Response {
+    inner.span(ctx, SpanKind::Admit, code, 0, ADMISSION_WORKER, admit_ns);
+    inner.close_root(ctx, req, ADMISSION_WORKER, status, admit_ns);
+    inner.slo.observe(&req.tenant, 0, false, inner.now_s());
+    let mut resp = Response::failure(req.id, status, reason);
+    resp.trace_id = ctx.trace_id();
+    resp
 }
 
 /// EDF order: earlier deadline first; no deadline sorts last; FIFO
@@ -127,6 +190,10 @@ struct ServerInner {
     breakers: BreakerMap,
     /// Worker respawns remaining pool-wide.
     restart_budget: AtomicU32,
+    /// Always-on span rings; dumped on panic / fault / deadline miss.
+    flight: FlightRecorder,
+    /// Per-tenant burn-rate accounting behind the `db_slo_*` series.
+    slo: SloTracker,
 }
 
 impl ServerInner {
@@ -154,6 +221,62 @@ impl ServerInner {
                 kind,
             });
         }
+    }
+
+    /// Nanoseconds since the server started — the shared span clock.
+    fn now_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
+
+    /// Seconds since the server started — the SLO ring clock.
+    fn now_s(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// Allocates and records one root-parented span spanning
+    /// `t0_ns..now`, returning its id so children (sim phases) can
+    /// attach underneath.
+    fn span(
+        &self,
+        ctx: &TraceCtx,
+        kind: SpanKind,
+        code: u32,
+        value: u64,
+        worker: u32,
+        t0_ns: u64,
+    ) -> u32 {
+        let span_id = ctx.next_span();
+        self.flight.record(SpanRecord {
+            trace_id: ctx.trace_id(),
+            span_id,
+            parent: ctx.root(),
+            kind,
+            code,
+            value,
+            worker,
+            tenant: NO_TENANT,
+            t0_ns,
+            t1_ns: self.now_ns().max(t0_ns),
+        });
+        span_id
+    }
+
+    /// Closes a trace: records the root `Request` span (admission to
+    /// now) carrying the terminal status and the interned tenant.
+    fn close_root(&self, ctx: &TraceCtx, req: &Request, worker: u32, status: Status, t0_ns: u64) {
+        let tenant = self.flight.tenant_idx(&req.tenant);
+        self.flight.record(SpanRecord {
+            trace_id: ctx.trace_id(),
+            span_id: ctx.root(),
+            parent: 0,
+            kind: SpanKind::Request,
+            code: status_code(status),
+            value: req.id,
+            worker,
+            tenant,
+            t0_ns,
+            t1_ns: self.now_ns().max(t0_ns),
+        });
     }
 
     fn snapshot(&self) -> MetricsSnapshot {
@@ -218,14 +341,20 @@ impl ServeHandle {
         let inner = &self.inner;
         let now = Instant::now();
         let deadline = req.deadline_ms.map(|ms| now + Duration::from_millis(ms));
+        let ctx = TraceCtx::derive(req.id, &req.tenant);
+        let admit_ns = inner.now_ns();
         // Breaker check first (its own lock): an open breaker sheds the
         // tenant's load before it can take pool capacity.
         if !inner.breakers.admit(&req.tenant) {
             inner.metrics.rejected_breaker.inc();
             inner.metrics.breaker_open.set(inner.breakers.open_count());
             inner.trace(u32::MAX, ServeOp::Reject, 0);
-            let _ = tx.send(Response::failure(
-                req.id,
+            let _ = tx.send(reject_response(
+                inner,
+                &ctx,
+                &req,
+                1,
+                admit_ns,
                 Status::Rejected,
                 "tenant circuit breaker open",
             ));
@@ -234,17 +363,17 @@ impl ServeHandle {
         let mut st = inner.lock();
         let reject = if st.draining {
             inner.metrics.rejected_draining.inc();
-            Some("server is draining")
+            Some((2, "server is draining"))
         } else if st.queued_total >= inner.cfg.queue_capacity {
             inner.metrics.rejected_capacity.inc();
-            Some("admission queue full")
+            Some((3, "admission queue full"))
         } else if inner
             .cfg
             .tenant_quota
             .is_some_and(|q| st.per_tenant.get(&req.tenant).copied().unwrap_or(0) >= q)
         {
             inner.metrics.rejected_tenant.inc();
-            Some("tenant over quota")
+            Some((4, "tenant over quota"))
         } else if req.workload.is_write()
             && inner
                 .cfg
@@ -252,15 +381,23 @@ impl ServeHandle {
                 .is_some_and(|q| st.per_tenant_writes.get(&req.tenant).copied().unwrap_or(0) >= q)
         {
             inner.metrics.rejected_writes.inc();
-            Some("tenant over write quota")
+            Some((5, "tenant over write quota"))
         } else {
             None
         };
-        if let Some(reason) = reject {
+        if let Some((code, reason)) = reject {
             let depth = st.queued_total as u32;
             drop(st);
             inner.trace(u32::MAX, ServeOp::Reject, depth);
-            let _ = tx.send(Response::failure(req.id, Status::Rejected, reason));
+            let _ = tx.send(reject_response(
+                inner,
+                &ctx,
+                &req,
+                code,
+                admit_ns,
+                Status::Rejected,
+                reason,
+            ));
             return rx;
         }
         // Place on the shallowest live queue (ties → lowest index):
@@ -273,8 +410,12 @@ impl ServeHandle {
             // Every worker exhausted the restart budget and retired.
             drop(st);
             inner.metrics.failed.inc();
-            let _ = tx.send(Response::failure(
-                req.id,
+            let _ = tx.send(reject_response(
+                inner,
+                &ctx,
+                &req,
+                6,
+                admit_ns,
                 Status::Failed,
                 "no live workers remain (restart budget exhausted)",
             ));
@@ -291,7 +432,18 @@ impl ServeHandle {
             deadline,
             reply: tx,
             req,
+            ctx,
+            admit_ns,
         };
+        let depth_after = (st.queued_total + 1) as u64;
+        inner.span(
+            &job.ctx,
+            SpanKind::Admit,
+            0,
+            depth_after,
+            ADMISSION_WORKER,
+            admit_ns,
+        );
         let q = &mut st.queues[target];
         let pos = q
             .binary_search_by(|j| edf_cmp(j, &job))
@@ -349,7 +501,27 @@ impl ServeHandle {
             .metrics
             .breaker_open
             .set(self.inner.breakers.open_count());
+        // Burn-rate gauges are window aggregates; fold the rings into
+        // them at scrape time so every scrape is current.
+        self.inner.slo.refresh(self.inner.now_s());
         db_metrics::render(&[&self.inner.registry, db_metrics::global()])
+    }
+
+    /// Snapshots the flight recorder: every worker ring merged into one
+    /// time-sorted [`FlightDump`] (the rings keep their contents).
+    pub fn flight_dump(&self) -> FlightDump {
+        self.inner.flight.dump(DumpReason::Explicit)
+    }
+
+    /// Writes an explicit `.dbfr` dump to `dir` (created if missing),
+    /// ignoring the automatic-dump cap. Returns the file path.
+    pub fn flight_write(&self, dir: &std::path::Path) -> Result<std::path::PathBuf, String> {
+        self.inner.flight.dump_to(dir, DumpReason::Explicit)
+    }
+
+    /// Spans the flight recorder's rings evicted so far.
+    pub fn flight_dropped(&self) -> u64 {
+        self.inner.flight.dropped()
     }
 }
 
@@ -377,6 +549,8 @@ impl Server {
         let registry = db_metrics::Registry::new();
         let metrics = Metrics::register(&registry);
         let cache = CorpusCache::new_in(cfg.corpus_budget_bytes, &registry);
+        let flight = FlightRecorder::new(cfg.workers, cfg.flight.clone());
+        let slo = SloTracker::new(&cfg.slo, &registry);
         let inner = Arc::new(ServerInner {
             state: Mutex::new(PoolState {
                 queues: (0..cfg.workers).map(|_| VecDeque::new()).collect(),
@@ -396,6 +570,8 @@ impl Server {
             started: Instant::now(),
             breakers: BreakerMap::new(&cfg.resilience),
             restart_budget: AtomicU32::new(cfg.resilience.restart_budget),
+            flight,
+            slo,
             cfg,
         });
         let workers = (0..inner.cfg.workers)
@@ -561,11 +737,15 @@ fn retire_worker(inner: &ServerInner, idx: usize) {
     inner.cv.notify_all();
     for job in orphans {
         inner.metrics.failed.inc();
-        let _ = job.reply.send(Response::failure(
+        inner.close_root(&job.ctx, &job.req, idx as u32, Status::Failed, job.admit_ns);
+        inner.slo.observe(&job.req.tenant, 0, false, inner.now_s());
+        let mut resp = Response::failure(
             job.req.id,
             Status::Failed,
             "no live workers remain (restart budget exhausted)",
-        ));
+        );
+        resp.trace_id = job.ctx.trace_id();
+        let _ = job.reply.send(resp);
     }
 }
 
@@ -598,6 +778,24 @@ fn worker_loop(inner: &Arc<ServerInner>, idx: usize) -> WorkerExit {
                     steal_half(&mut st, idx, victim);
                     inner.metrics.steals.inc();
                     inner.trace(idx as u32, ServeOp::Steal, victim as u32);
+                    // The thief's queue holds exactly the stolen tail
+                    // (it only steals when empty); stamp each moved
+                    // request so its trace shows the migration.
+                    let t = inner.now_ns();
+                    for j in &st.queues[idx] {
+                        inner.flight.record(SpanRecord {
+                            trace_id: j.ctx.trace_id(),
+                            span_id: j.ctx.next_span(),
+                            parent: j.ctx.root(),
+                            kind: SpanKind::Steal,
+                            code: 0,
+                            value: victim as u64,
+                            worker: idx as u32,
+                            tenant: NO_TENANT,
+                            t0_ns: t,
+                            t1_ns: t,
+                        });
+                    }
                     continue; // loop around to pop from our own queue
                 }
                 if st.draining && st.queued_total == 0 {
@@ -701,12 +899,16 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) -> bool {
     let _busy = GaugeGuard::acquire(&inner.metrics.busy_workers);
     let reply = ReplyGuard::new(job.reply.clone(), job.req.id);
     inner.trace(worker, ServeOp::Start, job.req.id as u32);
+    // The queue span covers admission to this dequeue — across any
+    // steals, because the trace context moved with the job.
+    inner.span(&job.ctx, SpanKind::Queue, 0, 0, worker, job.admit_ns);
     let token = match job.deadline {
         Some(d) => CancelToken::with_deadline(d),
         None => CancelToken::new(),
     };
     let policy = &inner.cfg.resilience;
     let mut poisoned = false;
+    let mut fault_struck = false;
 
     // Delta corpora take their own execution path: writes go through
     // the epoch-publish pipeline and reads pin a snapshot, so neither
@@ -714,6 +916,7 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) -> bool {
     // mutex serializes writers; a batch either publishes or returns a
     // typed error, and a pinned read is as crash-safe as a frozen one).
     if job.req.graph.starts_with(DELTA_PREFIX) {
+        let t_exec = inner.now_ns();
         let (resp, events) = inner
             .delta
             .execute(&job.req, policy.faults.as_deref(), &token);
@@ -721,6 +924,14 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) -> bool {
             match ev {
                 DeltaEvent::Epoch { epoch, applied } => {
                     inner.trace_kind(worker, EventKind::Epoch { epoch, applied });
+                    inner.span(
+                        &job.ctx,
+                        SpanKind::DeltaWrite,
+                        applied,
+                        u64::from(epoch),
+                        worker,
+                        t_exec,
+                    );
                 }
                 DeltaEvent::Compact { folded, outcome } => {
                     inner.trace_kind(worker, EventKind::Compact { folded, outcome });
@@ -730,10 +941,25 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) -> bool {
                     // Code 0 = kill, the only kind live at the
                     // compaction site.
                     inner.trace_kind(worker, EventKind::Fault { code: 0 });
+                    inner.span(&job.ctx, SpanKind::Fault, 0, 0, worker, t_exec);
+                    fault_struck = true;
+                }
+                DeltaEvent::Pinned { epoch } => {
+                    inner.span(
+                        &job.ctx,
+                        SpanKind::EpochPin,
+                        0,
+                        u64::from(epoch),
+                        worker,
+                        t_exec,
+                    );
                 }
             }
         }
         finish_job(inner, worker, &job, reply, resp, false);
+        if fault_struck {
+            inner.flight.trigger(DumpReason::Fault);
+        }
         return false;
     }
 
@@ -749,9 +975,12 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) -> bool {
             .then(|| inj.check_store(&job.req.graph, 0))
             .flatten()
     });
+    let t_store = inner.now_ns();
     let resolved = match store_fault {
         Some(seed) => {
             inner.metrics.faults_injected.inc();
+            fault_struck = true;
+            inner.span(&job.ctx, SpanKind::Fault, 4, seed, worker, t_store);
             inner.cache.resolve_corrupted(&job.req.graph, seed)
         }
         None => inner.cache.resolve(&job.req.graph),
@@ -764,6 +993,19 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) -> bool {
                 ServeOp::CacheMiss
             };
             inner.trace(worker, op, info.resident as u32);
+            let code = if store_fault.is_some() {
+                2
+            } else {
+                u32::from(!info.hit)
+            };
+            inner.span(
+                &job.ctx,
+                SpanKind::StoreLoad,
+                code,
+                info.resident as u64,
+                worker,
+                t_store,
+            );
             store
         }
         Err(msg) => {
@@ -772,6 +1014,8 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) -> bool {
             } else {
                 Status::Error
             };
+            let code = if store_fault.is_some() { 2 } else { 1 };
+            inner.span(&job.ctx, SpanKind::StoreLoad, code, 0, worker, t_store);
             finish_job(
                 inner,
                 worker,
@@ -780,6 +1024,9 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) -> bool {
                 Response::failure(job.req.id, status, msg),
                 false,
             );
+            if fault_struck {
+                inner.flight.trigger(DumpReason::Fault);
+            }
             return false;
         }
     };
@@ -800,6 +1047,18 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) -> bool {
             job.req.engine
         };
 
+        let t_attempt = inner.now_ns();
+        if degrade {
+            inner.span(
+                &job.ctx,
+                SpanKind::Degrade,
+                0,
+                engine_index(job.req.engine),
+                worker,
+                t_attempt,
+            );
+        }
+
         // Consult the chaos plan (one branch when no plan is loaded).
         let mut kill = false;
         let mut corrupt = false;
@@ -807,6 +1066,15 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) -> bool {
         if let Some(inj) = &policy.faults {
             if let Some(kind) = inj.check_request(worker, job.req.id, attempt) {
                 inner.metrics.faults_injected.inc();
+                fault_struck = true;
+                let fault_code = match kind {
+                    FaultKind::Kill => 0,
+                    FaultKind::CorruptResult => 1,
+                    FaultKind::Stall { .. } => 2,
+                    FaultKind::SlowDown { .. } => 3,
+                    FaultKind::DropSteal => 0,
+                };
+                inner.span(&job.ctx, SpanKind::Fault, fault_code, 0, worker, t_attempt);
                 match kind {
                     FaultKind::Kill => kill = true,
                     // Modeled as a checksum mismatch at result delivery.
@@ -834,6 +1102,10 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) -> bool {
             };
             &attempt_req
         };
+        // Attempt span id is allocated up front so the sim's phase
+        // spans (children) can attach underneath it.
+        let attempt_span = job.ctx.next_span();
+        let mut sim_spans: Vec<(u32, usize, u64)> = Vec::new();
         // guard: ReplyGuard (exactly-one response) and GaugeGuard
         // (busy_workers) at fn entry survive this unwind
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
@@ -843,8 +1115,40 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) -> bool {
             if let Some(d) = stall {
                 std::thread::sleep(d);
             }
-            exec::execute(req, graph, &token)
+            exec::execute_observed(req, graph, &token, Some(&mut sim_spans))
         }));
+        let t_done = inner.now_ns();
+        let attempt_code = match &outcome {
+            Err(_) => 1,
+            Ok(_) if corrupt => 2,
+            Ok(_) => 0,
+        };
+        inner.flight.record(SpanRecord {
+            trace_id: job.ctx.trace_id(),
+            span_id: attempt_span,
+            parent: job.ctx.root(),
+            kind: SpanKind::Attempt,
+            code: attempt_code,
+            value: engine_index(engine),
+            worker,
+            tenant: NO_TENANT,
+            t0_ns: t_attempt,
+            t1_ns: t_done,
+        });
+        for (sm, phase, cycles) in sim_spans {
+            inner.flight.record(SpanRecord {
+                trace_id: job.ctx.trace_id(),
+                span_id: job.ctx.next_span(),
+                parent: attempt_span,
+                kind: SpanKind::SimPhase,
+                code: (sm << 8) | phase as u32,
+                value: cycles,
+                worker,
+                tenant: NO_TENANT,
+                t0_ns: t_attempt,
+                t1_ns: t_done,
+            });
+        }
         match outcome {
             Err(p) => {
                 poisoned = true;
@@ -864,7 +1168,16 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) -> bool {
         }
         if attempt + 1 < attempts {
             inner.metrics.retries.inc();
+            let t_backoff = inner.now_ns();
             std::thread::sleep(backoff_delay(policy, job.req.id, attempt + 1));
+            inner.span(
+                &job.ctx,
+                SpanKind::Retry,
+                0,
+                (attempt + 1) as u64,
+                worker,
+                t_backoff,
+            );
         }
     }
 
@@ -876,6 +1189,14 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) -> bool {
         )
     });
     finish_job(inner, worker, &job, reply, resp, degraded);
+    // Dump triggers fire after the root span closes so a post-mortem
+    // reconstructs the whole request, not a headless fragment. Panic
+    // outranks fault: the kill's panic is the interesting artifact.
+    if poisoned {
+        inner.flight.trigger(DumpReason::Panic);
+    } else if fault_struck {
+        inner.flight.trigger(DumpReason::Fault);
+    }
     poisoned
 }
 
@@ -894,6 +1215,7 @@ fn finish_job(
     resp.latency_us = latency.as_micros() as u64;
     resp.deadline_missed =
         resp.status == Status::Ok && job.deadline.is_some_and(|d| Instant::now() > d);
+    resp.trace_id = job.ctx.trace_id();
     inner.metrics.latency.observe(resp.latency_us);
     match resp.status {
         Status::Ok => {
@@ -936,7 +1258,30 @@ fn finish_job(
         inner.metrics.breaker_trips.inc();
     }
     inner.metrics.breaker_open.set(inner.breakers.open_count());
+    // Close the trace: deadline-miss marker (if any), then the root
+    // span carrying terminal status, then SLO accounting.
+    let missed = resp.deadline_missed || resp.status == Status::Expired;
+    if missed {
+        inner.span(
+            &job.ctx,
+            SpanKind::DeadlineMiss,
+            0,
+            job.req.id,
+            worker,
+            inner.now_ns(),
+        );
+    }
+    inner.close_root(&job.ctx, &job.req, worker, resp.status, job.admit_ns);
+    inner.slo.observe(
+        &job.req.tenant,
+        resp.latency_us,
+        resp.status == Status::Ok,
+        inner.now_s(),
+    );
     reply.send(resp);
+    if missed {
+        inner.flight.trigger(DumpReason::DeadlineMiss);
+    }
 }
 
 #[cfg(test)]

@@ -342,6 +342,10 @@ pub struct Response {
     /// `true` when a deadline was set and completion overshot it even
     /// though the result is complete (non-preemptible engines).
     pub deadline_missed: bool,
+    /// The request's trace id, correlating this response with its span
+    /// tree in the flight recorder (`0` when untraced). Diagnostic
+    /// identity, not content: excluded from [`Response::digest`].
+    pub trace_id: u64,
 }
 
 impl Response {
@@ -354,6 +358,7 @@ impl Response {
             payload: Value::Obj(Vec::new()),
             latency_us: 0,
             deadline_missed: false,
+            trace_id: 0,
         }
     }
 
@@ -370,6 +375,9 @@ impl Response {
         fields.push(("latency_us".to_string(), Value::u64(self.latency_us)));
         if self.deadline_missed {
             fields.push(("deadline_missed".to_string(), Value::Bool(true)));
+        }
+        if self.trace_id != 0 {
+            fields.push(("trace_id".to_string(), Value::u64(self.trace_id)));
         }
         Value::Obj(fields)
     }
@@ -392,6 +400,7 @@ impl Response {
                 .get("deadline_missed")
                 .and_then(Value::as_bool)
                 .unwrap_or(false),
+            trace_id: v.get("trace_id").and_then(Value::as_u64).unwrap_or(0),
         })
     }
 
@@ -539,11 +548,17 @@ mod tests {
             payload: Value::Obj(vec![("visited".into(), Value::u64(42))]),
             latency_us: 100,
             deadline_missed: false,
+            trace_id: 0,
         };
         let mut b = a.clone();
         b.latency_us = 9_999;
         b.deadline_missed = true;
-        assert_eq!(a.digest(), b.digest());
+        b.trace_id = 0xdead_beef;
+        assert_eq!(
+            a.digest(),
+            b.digest(),
+            "timing and trace identity are not content"
+        );
         a.payload = Value::Obj(vec![("visited".into(), Value::u64(43))]);
         assert_ne!(a.digest(), b.digest());
     }
@@ -560,9 +575,11 @@ mod tests {
             ]),
             latency_us: 512,
             deadline_missed: false,
+            trace_id: 77,
         };
         let back = Response::from_value(&Value::parse(&r.to_value().to_json()).unwrap()).unwrap();
         assert_eq!(back.digest(), r.digest());
         assert_eq!(back.latency_us, 512);
+        assert_eq!(back.trace_id, 77, "trace id rides the wire");
     }
 }

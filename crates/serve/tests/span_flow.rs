@@ -1,0 +1,183 @@
+//! End-to-end span-flow tests for the flight recorder: a request that
+//! is stolen, retried, or degraded must still reconstruct as exactly
+//! one root span with every decision hanging off it, and an explicit
+//! dump must round-trip through the on-disk `.dbfr` format.
+
+use db_fault::{FaultPlan, Injector};
+use db_serve::{EngineKind, Request, Resilience, ServeConfig, Server, Status, Workload};
+use db_span::{validate_dump, FlightDump, SpanKind, TraceCtx, TraceTree};
+use std::sync::Arc;
+
+fn req(id: u64, engine: EngineKind) -> Request {
+    Request {
+        id,
+        tenant: "flow".into(),
+        graph: "grid:12:12".into(),
+        workload: Workload::Dfs { root: 0 },
+        engine,
+        deadline_ms: None,
+    }
+}
+
+fn chaos_config(spec: &str, workers: usize, retry_max: u32) -> ServeConfig {
+    ServeConfig {
+        workers,
+        resilience: Resilience {
+            retry_max,
+            retry_base_ms: 1,
+            retry_cap_ms: 4,
+            restart_budget: 100_000,
+            breaker_threshold: 0,
+            faults: Some(Arc::new(Injector::new(FaultPlan::parse(spec).unwrap()))),
+            ..Resilience::default()
+        },
+        ..ServeConfig::default()
+    }
+}
+
+/// The tree whose root records request `id`, or a panic listing what
+/// the dump actually holds.
+fn trace_of(trees: &[TraceTree], id: u64) -> TraceTree {
+    trees
+        .iter()
+        .find(|t| {
+            t.root
+                .is_some_and(|r| t.spans[r].kind == SpanKind::Request && t.spans[r].value == id)
+        })
+        .unwrap_or_else(|| {
+            panic!(
+                "no complete trace for req {id}; roots: {:?}",
+                trees
+                    .iter()
+                    .filter_map(|t| t.root.map(|r| t.spans[r].value))
+                    .collect::<Vec<_>>()
+            )
+        })
+        .clone()
+}
+
+/// A killed request retries, degrades to the serial engine on its last
+/// attempt, and the whole story — fault, panicked attempt, retry,
+/// degrade, succeeding attempt — reconstructs under a single root.
+#[test]
+fn killed_request_retries_and_degrades_under_one_root() {
+    // retry_max=1 → two attempts; `req=` strikes spend on attempt 0,
+    // so the final attempt (the degradation rung) runs clean.
+    let server = Server::start(chaos_config("kill:worker=*@req=3", 2, 1));
+    let h = server.handle();
+    for id in 0..8u64 {
+        let r = h.run(req(id, EngineKind::Native));
+        assert_eq!(r.status, Status::Ok, "req {id}: {:?}", r.error);
+        // Responses carry the seed-deterministic trace id.
+        assert_eq!(r.trace_id, TraceCtx::derive(id, "flow").trace_id());
+    }
+    let dump = h.flight_dump();
+    server.shutdown();
+    let trees = validate_dump(&dump).expect("dump validates");
+    let t = trace_of(&trees, 3);
+
+    let roots = t.spans.iter().filter(|s| s.parent == 0).count();
+    assert_eq!(roots, 1, "exactly one root span");
+    let kind_codes: Vec<(SpanKind, u32)> = t.spans.iter().map(|s| (s.kind, s.code)).collect();
+    let has = |k: SpanKind, c: u32| kind_codes.contains(&(k, c));
+    assert!(
+        has(SpanKind::Fault, 0),
+        "kill fault recorded: {kind_codes:?}"
+    );
+    assert!(
+        has(SpanKind::Attempt, 1),
+        "panicked attempt: {kind_codes:?}"
+    );
+    assert!(has(SpanKind::Retry, 0), "retry recorded: {kind_codes:?}");
+    assert!(
+        t.spans
+            .iter()
+            .any(|s| s.kind == SpanKind::Degrade && s.value == 0),
+        "degrade from native: {kind_codes:?}"
+    );
+    assert!(
+        has(SpanKind::Attempt, 0),
+        "final attempt ok: {kind_codes:?}"
+    );
+    // The unkilled neighbours stay single-attempt.
+    let clean = trace_of(&trees, 4);
+    assert_eq!(
+        clean
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Attempt)
+            .count(),
+        1
+    );
+    assert!(!clean.spans.iter().any(|s| s.kind == SpanKind::Retry));
+}
+
+/// While one worker is stalled on request 0, the other drains the
+/// stalled worker's queue through steal_half — and every stolen
+/// request's spans land in its own trace with one root, recorded on
+/// the thief.
+#[test]
+fn stolen_requests_keep_their_parentage_across_workers() {
+    // 200 ms stall: long enough that the free worker provably drains
+    // everything else, short enough to keep the suite fast.
+    let server = Server::start(chaos_config("stall=200000:worker=*@req=0", 2, 0));
+    let h = server.handle();
+    let rxs: Vec<_> = (0..20u64)
+        .map(|id| h.submit(req(id, EngineKind::Serial)))
+        .collect();
+    for (id, rx) in rxs.into_iter().enumerate() {
+        let r = rx.recv().expect("response");
+        assert_eq!(r.status, Status::Ok, "req {id}: {:?}", r.error);
+    }
+    let dump = h.flight_dump();
+    server.shutdown();
+    let trees = validate_dump(&dump).expect("dump validates");
+    let steals: Vec<(u64, TraceTree)> = trees
+        .iter()
+        .filter_map(|t| {
+            t.spans
+                .iter()
+                .find(|s| s.kind == SpanKind::Steal)
+                .map(|s| (s.value, t.clone()))
+        })
+        .collect();
+    assert!(!steals.is_empty(), "the stall forced at least one steal");
+    for (victim, t) in steals {
+        assert_eq!(
+            t.spans.iter().filter(|s| s.parent == 0).count(),
+            1,
+            "stolen trace {:#x} has exactly one root",
+            t.trace_id
+        );
+        let root = &t.spans[t.root.expect("drained requests are complete")];
+        let steal = t.spans.iter().find(|s| s.kind == SpanKind::Steal).unwrap();
+        // The steal is recorded by the thief — the worker that then
+        // finishes the request — and names a different worker as victim.
+        assert_eq!(steal.worker, root.worker, "thief finishes what it stole");
+        assert_ne!(u64::from(steal.worker), victim, "victim is another worker");
+    }
+}
+
+/// `ServeHandle::flight_write` produces a `.dbfr` file that decodes to
+/// the same spans an in-memory dump reports.
+#[test]
+fn explicit_dump_round_trips_through_disk() {
+    let dir = std::env::temp_dir().join(format!("dbfr-flow-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let h = server.handle();
+    for id in 0..6u64 {
+        assert_eq!(h.run(req(id, EngineKind::Serial)).status, Status::Ok);
+    }
+    let mem = h.flight_dump();
+    let path = h.flight_write(&dir).expect("dump written");
+    server.shutdown();
+    let disk = FlightDump::decode(&std::fs::read(&path).unwrap()).expect("file decodes");
+    assert_eq!(disk.spans, mem.spans);
+    assert_eq!(disk.tenants, mem.tenants);
+    validate_dump(&disk).expect("decoded dump validates");
+    std::fs::remove_dir_all(&dir).ok();
+}

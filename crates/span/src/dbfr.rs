@@ -1,0 +1,295 @@
+//! The versioned `.dbfr` flight-dump binary codec.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "DBFR"
+//! 4       2     version (currently 1)
+//! 6       1     dump reason code (see DumpReason)
+//! 7       1     reserved (0)
+//! 8       8     spans dropped by ring overflow before the dump
+//! 16      4     tenant-table length N
+//! …             N × { len: u32, utf-8 bytes }
+//! …       4     span count M
+//! …             M × 56-byte span record:
+//!               trace_id u64 · span_id u32 · parent u32 · kind u16 ·
+//!               reserved u16 · code u32 · value u64 · worker u32 ·
+//!               tenant u32 · t0_ns u64 · t1_ns u64
+//! ```
+//!
+//! Decoding is strict: bad magic, unknown version, unknown kind or
+//! reason codes, truncation, and trailing bytes are all typed errors —
+//! a `.dbfr` file either round-trips exactly or is rejected.
+
+use crate::recorder::DumpReason;
+use crate::span::{SpanKind, SpanRecord};
+
+/// File magic: the first four bytes of every `.dbfr` dump.
+pub const DBFR_MAGIC: [u8; 4] = *b"DBFR";
+
+/// Current format version.
+pub const DBFR_VERSION: u16 = 1;
+
+const SPAN_BYTES: usize = 56;
+
+/// A decoded (or about-to-be-encoded) flight dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightDump {
+    /// Why the dump was taken.
+    pub reason: DumpReason,
+    /// Spans the rings evicted before the dump (coverage caveat).
+    pub dropped: u64,
+    /// Tenant string table; [`SpanRecord::tenant`] indexes into it.
+    pub tenants: Vec<String>,
+    /// The spans, time-sorted.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl FlightDump {
+    /// Tenant name for a span's `tenant` index.
+    pub fn tenant(&self, idx: u32) -> Option<&str> {
+        self.tenants.get(idx as usize).map(String::as_str)
+    }
+
+    /// Serializes to `.dbfr` bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + self.spans.len() * SPAN_BYTES);
+        out.extend_from_slice(&DBFR_MAGIC);
+        out.extend_from_slice(&DBFR_VERSION.to_le_bytes());
+        out.push(self.reason.code());
+        out.push(0);
+        out.extend_from_slice(&self.dropped.to_le_bytes());
+        out.extend_from_slice(&(self.tenants.len() as u32).to_le_bytes());
+        for t in &self.tenants {
+            out.extend_from_slice(&(t.len() as u32).to_le_bytes());
+            out.extend_from_slice(t.as_bytes());
+        }
+        out.extend_from_slice(&(self.spans.len() as u32).to_le_bytes());
+        for s in &self.spans {
+            out.extend_from_slice(&s.trace_id.to_le_bytes());
+            out.extend_from_slice(&s.span_id.to_le_bytes());
+            out.extend_from_slice(&s.parent.to_le_bytes());
+            out.extend_from_slice(&s.kind.code().to_le_bytes());
+            out.extend_from_slice(&0u16.to_le_bytes());
+            out.extend_from_slice(&s.code.to_le_bytes());
+            out.extend_from_slice(&s.value.to_le_bytes());
+            out.extend_from_slice(&s.worker.to_le_bytes());
+            out.extend_from_slice(&s.tenant.to_le_bytes());
+            out.extend_from_slice(&s.t0_ns.to_le_bytes());
+            out.extend_from_slice(&s.t1_ns.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses `.dbfr` bytes; the exact inverse of [`FlightDump::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<FlightDump, String> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(4)? != DBFR_MAGIC {
+            return Err("not a .dbfr file (bad magic)".into());
+        }
+        let version = r.u16()?;
+        if version != DBFR_VERSION {
+            return Err(format!(
+                "unsupported .dbfr version {version} (expected {DBFR_VERSION})"
+            ));
+        }
+        let reason_code = r.u8()?;
+        let reason = DumpReason::from_code(reason_code)
+            .ok_or_else(|| format!("unknown dump reason code {reason_code}"))?;
+        let reserved = r.u8()?;
+        if reserved != 0 {
+            return Err(format!("nonzero reserved header byte {reserved}"));
+        }
+        let dropped = r.u64()?;
+        let n_tenants = r.u32()? as usize;
+        let mut tenants = Vec::with_capacity(n_tenants.min(1 << 16));
+        for i in 0..n_tenants {
+            let len = r.u32()? as usize;
+            let raw = r.take(len)?;
+            let s =
+                std::str::from_utf8(raw).map_err(|_| format!("tenant {i} is not valid UTF-8"))?;
+            tenants.push(s.to_string());
+        }
+        let n_spans = r.u32()? as usize;
+        if r.remaining() != n_spans * SPAN_BYTES {
+            return Err(format!(
+                "span section is {} bytes, expected {} for {n_spans} spans",
+                r.remaining(),
+                n_spans * SPAN_BYTES
+            ));
+        }
+        let mut spans = Vec::with_capacity(n_spans);
+        for i in 0..n_spans {
+            let trace_id = r.u64()?;
+            let span_id = r.u32()?;
+            let parent = r.u32()?;
+            let kind_code = r.u16()?;
+            let kind = SpanKind::from_code(kind_code)
+                .ok_or_else(|| format!("span {i}: unknown kind code {kind_code}"))?;
+            let pad = r.u16()?;
+            if pad != 0 {
+                return Err(format!("span {i}: nonzero reserved field {pad}"));
+            }
+            let code = r.u32()?;
+            let value = r.u64()?;
+            let worker = r.u32()?;
+            let tenant = r.u32()?;
+            let t0_ns = r.u64()?;
+            let t1_ns = r.u64()?;
+            spans.push(SpanRecord {
+                trace_id,
+                span_id,
+                parent,
+                kind,
+                code,
+                value,
+                worker,
+                tenant,
+                t0_ns,
+                t1_ns,
+            });
+        }
+        Ok(FlightDump {
+            reason,
+            dropped,
+            tenants,
+            spans,
+        })
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| format!("truncated .dbfr: wanted {n} bytes at offset {}", self.pos))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        // unwrap-ok: take() returned exactly 2 bytes
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        // unwrap-ok: take() returned exactly 4 bytes
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        // unwrap-ok: take() returned exactly 8 bytes
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::NO_TENANT;
+
+    fn sample() -> FlightDump {
+        FlightDump {
+            reason: DumpReason::Panic,
+            dropped: 3,
+            tenants: vec!["tenant0".into(), "".into(), "αβ".into()],
+            spans: vec![
+                SpanRecord {
+                    trace_id: 0xdead_beef_cafe_f00d,
+                    span_id: 1,
+                    parent: 0,
+                    kind: SpanKind::Request,
+                    code: 4,
+                    value: 42,
+                    worker: u32::MAX,
+                    tenant: 0,
+                    t0_ns: 10,
+                    t1_ns: 900,
+                },
+                SpanRecord {
+                    trace_id: 0xdead_beef_cafe_f00d,
+                    span_id: 2,
+                    parent: 1,
+                    kind: SpanKind::Attempt,
+                    code: 1,
+                    value: 2,
+                    worker: 3,
+                    tenant: NO_TENANT,
+                    t0_ns: 20,
+                    t1_ns: 500,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let d = sample();
+        let bytes = d.encode();
+        assert_eq!(&bytes[..4], b"DBFR");
+        let back = FlightDump::decode(&bytes).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(back.tenant(0), Some("tenant0"));
+        assert_eq!(back.tenant(9), None);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let good = sample().encode();
+        // Bad magic.
+        let mut b = good.clone();
+        b[0] = b'X';
+        assert!(FlightDump::decode(&b).unwrap_err().contains("magic"));
+        // Unknown version.
+        let mut b = good.clone();
+        b[4] = 9;
+        assert!(FlightDump::decode(&b).unwrap_err().contains("version"));
+        // Unknown reason.
+        let mut b = good.clone();
+        b[6] = 200;
+        assert!(FlightDump::decode(&b).unwrap_err().contains("reason"));
+        // Truncation, at every prefix length.
+        for cut in 0..good.len() {
+            assert!(FlightDump::decode(&good[..cut]).is_err(), "cut={cut}");
+        }
+        // Trailing garbage.
+        let mut b = good.clone();
+        b.push(0);
+        assert!(FlightDump::decode(&b).is_err());
+        // Unknown span kind: patch the second span's kind field (each
+        // span is 56 bytes; kind sits 16 bytes into the record).
+        let mut b = good.clone();
+        let span_start = b.len() - 56;
+        b[span_start + 16] = 0xee;
+        b[span_start + 17] = 0xee;
+        assert!(FlightDump::decode(&b).unwrap_err().contains("kind"));
+    }
+
+    #[test]
+    fn empty_dump_round_trips() {
+        let d = FlightDump {
+            reason: DumpReason::Explicit,
+            dropped: 0,
+            tenants: Vec::new(),
+            spans: Vec::new(),
+        };
+        assert_eq!(FlightDump::decode(&d.encode()).unwrap(), d);
+    }
+}

@@ -72,6 +72,31 @@ pub fn chrome_trace_document_with_drops(events: &[TraceEvent], dropped: u64) -> 
     ])
 }
 
+/// Builds one complete (`"ph": "X"`) duration event — the span-shaped
+/// counterpart of the engine's instant events, used by `db-span`'s
+/// flight-dump exporter. `ts`/`dur` are in microseconds per the Trace
+/// Event Format; `args` carries the caller's payload object.
+pub fn duration_event(
+    name: &str,
+    category: &str,
+    pid: u64,
+    tid: u64,
+    ts_us: f64,
+    dur_us: f64,
+    args: Value,
+) -> Value {
+    Value::Obj(vec![
+        ("name".into(), Value::str(name)),
+        ("cat".into(), Value::str(category)),
+        ("ph".into(), Value::str("X")),
+        ("pid".into(), Value::u64(pid)),
+        ("tid".into(), Value::u64(tid)),
+        ("ts".into(), Value::Num(ts_us)),
+        ("dur".into(), Value::Num(dur_us)),
+        ("args".into(), args),
+    ])
+}
+
 /// Reads `otherData.dropped_events` back out of a parsed document
 /// (0 for documents written before the field existed).
 pub fn dropped_from_document(doc: &Value) -> u64 {

@@ -48,6 +48,16 @@
 //!                        the circuit breaker (default 5; 0 disables)
 //! --breaker-cooldown-ms <n> open-breaker cooldown before a half-open
 //!                        probe is admitted (default 250)
+//! --flight-dir <dir>     write `.dbfr` flight dumps here on panic /
+//!                        fault / deadline-miss (recorder is always
+//!                        on; without a dir, dumps stay in memory)
+//! --flight-cap <n>       spans retained per worker ring (default 4096)
+//! --max-dumps <n>        automatic dump-file cap (default 8)
+//! --slo <spec>           per-tenant objectives feeding the `db_slo_*`
+//!                        burn-rate series, as comma-separated
+//!                        `tenant:latency_us:latency_obj:avail_obj`
+//!                        (e.g. '*:50000:0.99:0.999'); `*` matches
+//!                        every tenant
 //!
 //! diggerbees store pack [options]   pack a graph into a .dbsg file
 //!
@@ -70,6 +80,22 @@
 //!                        the Prometheus text exposition
 //! --check                validate the exposition with the bundled
 //!                        parser; exit nonzero on any malformed line
+//!
+//! diggerbees flight inspect <f.dbfr> [--trace <hex-id>]
+//!                        validate a flight-recorder dump and render
+//!                        its span trees (all traces, or one by id)
+//! diggerbees flight export <f.dbfr> --out <file.json>
+//!                        convert a dump to Chrome-trace JSON
+//!                        (chrome://tracing / Perfetto)
+//!
+//! diggerbees top [options]          live serve dashboard (SLO burn)
+//!
+//! --addr <host:port>     server address (default 127.0.0.1:7345)
+//! --interval-ms <n>      refresh interval (default 2000)
+//! --iters <n>            stop after n refreshes (default: forever)
+//! --once                 scrape once, print one frame, exit
+//! --file <scrape.txt>    render from a saved Prometheus scrape
+//!                        instead of a live server (for CI)
 //!
 //! diggerbees check [options]        run the correctness analyses
 //!
@@ -218,6 +244,10 @@ fn parse_args() -> Result<Args, String> {
                             [--breaker-threshold n] [--breaker-cooldown-ms n]\n\
                             \x20      diggerbees metrics [--addr host:port] [--json] \
                             [--check]\n\
+                            \x20      diggerbees flight <inspect|export> <file.dbfr> \
+                            [--trace hex] [--out file.json]\n\
+                            \x20      diggerbees top [--addr host:port] [--interval-ms n] \
+                            [--iters n] [--once] [--file scrape.txt]\n\
                             \x20      diggerbees check [--root dir] [--race trace.csv] \
                             [--skew ns] [--lint-only] [--models-only]"
                     .into())
@@ -269,6 +299,8 @@ fn main() -> ExitCode {
         Some("metrics") => return metrics_main(),
         Some("check") => return check_main(),
         Some("store") => return store_main(),
+        Some("flight") => return flight_main(),
+        Some("top") => return top_main(),
         _ => {}
     }
     let args = match parse_args() {
@@ -822,6 +854,18 @@ fn serve_main() -> ExitCode {
                     cfg.resilience.breaker_cooldown_ms =
                         parse_num(&take("--breaker-cooldown-ms")?)? as u64
                 }
+                "--flight-dir" => {
+                    cfg.flight.dump_dir = Some(std::path::PathBuf::from(take("--flight-dir")?))
+                }
+                "--flight-cap" => {
+                    cfg.flight.per_worker_capacity = parse_num(&take("--flight-cap")?)? as usize
+                }
+                "--max-dumps" => cfg.flight.max_dumps = parse_num(&take("--max-dumps")?)?,
+                "--slo" => {
+                    let spec = take("--slo")?;
+                    cfg.slo = diggerbees::metrics::SloConfig::parse(&spec)
+                        .map_err(|e| format!("bad --slo spec '{spec}': {e}"))?;
+                }
                 other => return Err(format!("unknown argument: {other} (see --help)")),
             }
             Ok(())
@@ -905,6 +949,200 @@ fn serve_main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `diggerbees flight inspect|export`: the `.dbfr` flight-dump toolbox.
+///
+/// `inspect` decodes a dump, validates its span trees (single root per
+/// trace, sound parentage, forward time) and renders them as indented
+/// text; `--trace <hex-id>` narrows to one trace. `export` converts a
+/// dump to Chrome-trace JSON for `chrome://tracing` / Perfetto.
+fn flight_main() -> ExitCode {
+    use diggerbees::span::{chrome_document, render_trace, validate_dump, FlightDump};
+
+    let fail = |e: String| {
+        eprintln!("{e}");
+        ExitCode::FAILURE
+    };
+    let mut it = std::env::args().skip(2);
+    let verb = match it.next() {
+        Some(v) => v,
+        None => return fail("usage: diggerbees flight <inspect|export> <file.dbfr> ...".into()),
+    };
+    let path = match it.next() {
+        Some(p) => p,
+        None => return fail(format!("usage: diggerbees flight {verb} <file.dbfr> ...")),
+    };
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) => return fail(format!("cannot read '{path}': {e}")),
+    };
+    let dump = match FlightDump::decode(&bytes) {
+        Ok(d) => d,
+        Err(e) => return fail(format!("'{path}' is not a valid .dbfr dump: {e}")),
+    };
+    match verb.as_str() {
+        "inspect" => {
+            let mut filter: Option<u64> = None;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--trace" => {
+                        let v = match it.next() {
+                            Some(v) => v,
+                            None => return fail("--trace requires a value".into()),
+                        };
+                        filter = match u64::from_str_radix(v.trim_start_matches("0x"), 16) {
+                            Ok(x) => Some(x),
+                            Err(_) => return fail(format!("bad trace id '{v}' (want hex)")),
+                        };
+                    }
+                    other => return fail(format!("unknown argument: {other}")),
+                }
+            }
+            let trees = match validate_dump(&dump) {
+                Ok(t) => t,
+                Err(e) => return fail(format!("'{path}' fails span-tree validation: {e}")),
+            };
+            let complete = trees.iter().filter(|t| t.is_complete()).count();
+            println!(
+                "{path}: reason={} spans={} traces={} complete={} partial={} \
+                 dropped={} tenants={}",
+                dump.reason.name(),
+                dump.spans.len(),
+                trees.len(),
+                complete,
+                trees.len() - complete,
+                dump.dropped,
+                dump.tenants.len()
+            );
+            let mut shown = 0usize;
+            for t in &trees {
+                if filter.is_some_and(|f| f != t.trace_id) {
+                    continue;
+                }
+                print!("{}", render_trace(&dump, t));
+                shown += 1;
+            }
+            if let (Some(f), 0) = (filter, shown) {
+                return fail(format!("no trace {f:#018x} in '{path}'"));
+            }
+            ExitCode::SUCCESS
+        }
+        "export" => {
+            let mut out = String::new();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--out" => {
+                        out = match it.next() {
+                            Some(v) => v,
+                            None => return fail("--out requires a value".into()),
+                        }
+                    }
+                    other => return fail(format!("unknown argument: {other}")),
+                }
+            }
+            if out.is_empty() {
+                return fail("flight export needs --out <file.json>".into());
+            }
+            let doc = chrome_document(&dump);
+            if let Err(e) = std::fs::write(&out, doc.to_json()) {
+                return fail(format!("cannot write '{out}': {e}"));
+            }
+            println!(
+                "exported {} spans ({} traces' worth, reason={}) to {out}",
+                dump.spans.len(),
+                diggerbees::span::build_traces(&dump).len(),
+                dump.reason.name()
+            );
+            ExitCode::SUCCESS
+        }
+        other => fail(format!("unknown flight verb '{other}' (inspect|export)")),
+    }
+}
+
+/// `diggerbees top`: a live terminal dashboard over the Prometheus
+/// endpoint — request rates, latency ladder quantiles, guard state and
+/// per-tenant SLO burn rates, refreshed in place. `--file` renders one
+/// frame from a saved scrape instead (no server needed; used by CI).
+fn top_main() -> ExitCode {
+    use diggerbees::metrics::{render_dashboard, validate_exposition, Exposition};
+
+    let fail = |e: String| {
+        eprintln!("{e}");
+        ExitCode::FAILURE
+    };
+    let mut addr = "127.0.0.1:7345".to_string();
+    let mut interval_ms: u64 = 2000;
+    let mut iters: Option<u64> = None;
+    let mut once = false;
+    let mut file: Option<String> = None;
+    let mut it = std::env::args().skip(2);
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        let r = (|| -> Result<(), String> {
+            match a.as_str() {
+                "--addr" => addr = take("--addr")?,
+                "--interval-ms" => interval_ms = parse_num(&take("--interval-ms")?)?.max(1) as u64,
+                "--iters" => iters = Some(parse_num(&take("--iters")?)? as u64),
+                "--once" => once = true,
+                "--file" => file = Some(take("--file")?),
+                other => return Err(format!("unknown argument: {other} (see --help)")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = r {
+            return fail(e);
+        }
+    }
+    let interval_s = interval_ms as f64 / 1000.0;
+    if let Some(path) = &file {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return fail(format!("cannot read scrape '{path}': {e}")),
+        };
+        return match validate_exposition(&text) {
+            Ok(exp) => {
+                print!("{}", render_dashboard(&exp, None, interval_s));
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(format!("malformed exposition in '{path}': {e}")),
+        };
+    }
+    use std::net::ToSocketAddrs;
+    let sock = match addr.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+        Some(s) => s,
+        None => return fail(format!("cannot resolve address '{addr}'")),
+    };
+    let mut prev: Option<Exposition> = None;
+    let mut frames = 0u64;
+    loop {
+        let text = match fetch_prometheus(&sock) {
+            Ok(t) => t,
+            Err(e) => return fail(format!("cannot scrape {addr}: {e}")),
+        };
+        let exp = match validate_exposition(&text) {
+            Ok(e) => e,
+            Err(e) => return fail(format!("malformed exposition from {addr}: {e}")),
+        };
+        let frame = render_dashboard(&exp, prev.as_ref(), interval_s);
+        if once || iters.is_some() {
+            // Scripted runs get plain frames (no control codes).
+            print!("{frame}");
+        } else {
+            // Clear + home, then the frame: redraw in place.
+            print!("\x1b[2J\x1b[H{frame}");
+            use std::io::Write;
+            let _ = std::io::stdout().flush();
+        }
+        frames += 1;
+        if once || iters.is_some_and(|k| frames >= k) {
+            return ExitCode::SUCCESS;
+        }
+        prev = Some(exp);
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
 }
 
 /// Runs one bounded-model-checker config and prints its verdict.

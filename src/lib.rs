@@ -35,6 +35,9 @@
 //! * [`check`] — concurrency-correctness subsystem: bounded model
 //!   checker for the ring/steal protocols, vector-clock race detector
 //!   over trace streams, and the repo lint pass ([`db_check`]).
+//! * [`span`] — causal request-scoped spans, the always-on flight
+//!   recorder with `.dbfr` dumps, and the span-tree / Chrome-trace
+//!   inspectors behind `diggerbees flight` ([`db_span`]).
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the reproduction
 //! notes. Runnable examples live in `examples/`: `quickstart`,
@@ -66,5 +69,6 @@ pub use db_gpu_sim as sim;
 pub use db_graph as graph;
 pub use db_metrics as metrics;
 pub use db_serve as serve;
+pub use db_span as span;
 pub use db_store as store;
 pub use db_trace as trace;
