@@ -39,7 +39,9 @@
 
 use db_fault::{FaultPlan, Injector};
 use db_serve::net::roundtrip_line;
-use db_serve::{EngineKind, Request, Resilience, Response, ServeConfig, Server, Status, Workload};
+use db_serve::{
+    Durability, EngineKind, Request, Resilience, Response, ServeConfig, Server, Status, Workload,
+};
 use db_trace::json::Value;
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
@@ -68,6 +70,12 @@ struct Args {
     write_frac: f64,
     flight_dir: Option<String>,
     scrape_out: Option<String>,
+    crash_recover: bool,
+    crash_child: bool,
+    wal_dir: Option<String>,
+    fsync: String,
+    crash_points: String,
+    acked_file: Option<String>,
 }
 
 impl Default for Args {
@@ -94,6 +102,16 @@ impl Default for Args {
             write_frac: 0.0,
             flight_dir: None,
             scrape_out: None,
+            crash_recover: false,
+            crash_child: false,
+            wal_dir: None,
+            fsync: "always".into(),
+            // Torn last: its half-written tail is the only point that
+            // leaves garbage bytes behind for recovery to truncate.
+            crash_points: "crash:wal@ckpt=pack,crash:wal@ckpt=manifest,\
+                           crash:wal@ckpt=truncate,crash:wal@lsn=11,torn:wal@lsn=6"
+                .into(),
+            acked_file: None,
         }
     }
 }
@@ -108,7 +126,8 @@ fn parse_args() -> Args {
              [--graphs k1,k2,...] [--mode closed|open] [--rate R] [--deadline-ms MS] \
              [--runs N] [--out FILE] [--append] [--dfs-only] [--write-frac F] \
              [--addr HOST:PORT] [--shutdown] [--faults SPEC] [--allow-failed] \
-             [--flight-dir DIR] [--scrape-out FILE]"
+             [--flight-dir DIR] [--scrape-out FILE] [--crash-recover] \
+             [--wal-dir DIR] [--fsync always|group=N|never] [--crash-points SPECS]"
         );
         std::process::exit(2);
     };
@@ -172,6 +191,12 @@ fn parse_args() -> Args {
             "--scrape-out" => a.scrape_out = Some(val("--scrape-out")),
             "--append" => a.append = true,
             "--dfs-only" => a.dfs_only = true,
+            "--crash-recover" => a.crash_recover = true,
+            "--crash-child" => a.crash_child = true,
+            "--wal-dir" => a.wal_dir = Some(val("--wal-dir")),
+            "--fsync" => a.fsync = val("--fsync"),
+            "--crash-points" => a.crash_points = val("--crash-points"),
+            "--acked-file" => a.acked_file = Some(val("--acked-file")),
             "--write-frac" => {
                 a.write_frac = val("--write-frac")
                     .parse()
@@ -205,6 +230,15 @@ fn parse_args() -> Args {
              --allow-failed here instead"
                 .into(),
         );
+    }
+    if (a.crash_recover || a.crash_child) && a.wal_dir.is_none() {
+        die("--crash-recover/--crash-child need --wal-dir".into());
+    }
+    if a.crash_recover && a.addr.is_some() {
+        die("--crash-recover spawns its own child processes; drop --addr".into());
+    }
+    if let Err(e) = db_wal::FsyncPolicy::parse(&a.fsync) {
+        die(format!("bad --fsync: {e}"));
     }
     a
 }
@@ -682,8 +716,369 @@ fn report_value(a: &Args, reports: &[RunReport], deterministic: bool) -> Value {
     Value::Obj(fields)
 }
 
+/// Corpus driven by the crash-recovery harness: small enough that the
+/// compaction threshold trips (and with it the checkpoint protocol)
+/// within a 16-request smoke run.
+const CRASH_CORPUS: &str = "delta:path:64";
+
+/// Deterministic per-index edge for the crash write mix (splitmix64 of
+/// `(seed, i)`). Write `i` inserts the same arc no matter which process
+/// incarnation issues it, so a restarted child resuming at the durable
+/// count regenerates exactly the suffix the crashed incarnation never
+/// finished — sequential RNG state would desynchronise across the kill.
+fn crash_edge(seed: u64, i: u64) -> (u32, u32) {
+    let mut x = seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    let u = (x as u32) % 64;
+    let mut v = ((x >> 32) as u32) % 64;
+    if v == u {
+        v = (v + 1) % 64;
+    }
+    (u, v)
+}
+
+/// `--crash-child`: one incarnation of the crash-recovery write mix.
+///
+/// Opens the WAL dir (recovering whatever a previous incarnation left),
+/// resumes the seeded single-edge write sequence at the recovered durable
+/// count, rewrites `--acked-file` *after* every acknowledged write — so
+/// the file can only undercount, and `acked ≤ durable` is exactly the
+/// zero-lost-acks invariant — then runs Epoch/DFS/Reach fences and prints
+/// one JSON outcome line. Exits 0 on success, 3 on startup failure, 4 on
+/// an unacknowledged write; an injected `crash:`/`torn:` fault exits with
+/// [`db_wal::CRASH_EXIT_CODE`] from inside the WAL.
+fn crash_child_main(a: &Args) -> ! {
+    let policy = db_wal::FsyncPolicy::parse(&a.fsync).unwrap();
+    let resilience = match &a.faults {
+        // Same policy as chaos mode: breaker off, outcome depends only
+        // on the plan.
+        Some(plan) => Resilience {
+            faults: Some(Arc::new(Injector::new(plan.clone()))),
+            breaker_threshold: 0,
+            restart_budget: 1_000_000,
+            retry_base_ms: 1,
+            retry_cap_ms: 8,
+            ..Resilience::default()
+        },
+        None => Resilience::default(),
+    };
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_capacity: a.requests + 4,
+        tenant_quota: None,
+        resilience,
+        durability: Durability {
+            wal_dir: Some(std::path::PathBuf::from(a.wal_dir.as_ref().unwrap())),
+            fsync: policy,
+        },
+        ..ServeConfig::default()
+    };
+    let server = match Server::try_start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve_load: crash child startup: {e}");
+            std::process::exit(3);
+        }
+    };
+    let h = server.handle();
+    let rec = h.recovery().unwrap_or_default();
+    let durable = rec
+        .durable_writes
+        .iter()
+        .find(|(k, _)| k == CRASH_CORPUS)
+        .map_or(0, |&(_, n)| n);
+    let run = |id: u64, workload: Workload| {
+        h.run(Request {
+            id,
+            tenant: "crash".into(),
+            graph: CRASH_CORPUS.into(),
+            workload,
+            engine: EngineKind::Serial,
+            deadline_ms: None,
+        })
+    };
+    let mut acked = durable;
+    for i in durable..a.requests as u64 {
+        let (u, v) = crash_edge(a.seed, i);
+        let resp = run(
+            i,
+            Workload::AddEdges {
+                edges: vec![(u, v)],
+            },
+        );
+        if resp.status != Status::Ok {
+            eprintln!(
+                "serve_load: write {i} not acked ({:?}: {})",
+                resp.status,
+                resp.error.as_deref().unwrap_or("")
+            );
+            std::process::exit(4);
+        }
+        acked = i + 1;
+        if let Some(f) = &a.acked_file {
+            if let Err(e) = std::fs::write(f, format!("{acked}\n")) {
+                eprintln!("serve_load: acked file: {e}");
+                std::process::exit(4);
+            }
+        }
+    }
+    // Read fences: epoch counter plus two traversals fold the final
+    // graph state into one digest comparable against the reference run.
+    let mut epoch = 0;
+    let mut results = Vec::new();
+    for (j, w) in [
+        Workload::Epoch,
+        Workload::Dfs { root: 0 },
+        Workload::Reach {
+            root: 0,
+            target: 63,
+        },
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let resp = run(1_000_000 + j as u64, w);
+        if resp.status != Status::Ok {
+            eprintln!("serve_load: fence {j} failed ({:?})", resp.status);
+            std::process::exit(4);
+        }
+        if let Some(e) = resp.payload.get("epoch").and_then(Value::as_u64) {
+            epoch = e;
+        }
+        results.push((resp.id, resp.digest()));
+    }
+    let (digest, _) = combined_digest(results);
+    if let Some(path) = &a.scrape_out {
+        std::fs::write(path, h.prometheus()).unwrap();
+    }
+    server.shutdown();
+    println!(
+        "{{\"acked\":{acked},\"durable\":{durable},\"replayed\":{},\"skipped\":{},\
+         \"torn\":{},\"epoch\":{epoch},\"digest\":\"{digest:016x}\"}}",
+        rec.replayed, rec.skipped, rec.torn_truncated
+    );
+    std::process::exit(0);
+}
+
+/// Outcome line printed by a crash child, parsed by the orchestrator.
+struct ChildOutcome {
+    acked: u64,
+    durable: u64,
+    replayed: u64,
+    torn: bool,
+    epoch: u64,
+    digest: String,
+}
+
+fn parse_child_line(stdout: &[u8]) -> Option<ChildOutcome> {
+    let line = std::str::from_utf8(stdout).ok()?.lines().last()?;
+    let v = Value::parse(line).ok()?;
+    Some(ChildOutcome {
+        acked: v.get("acked")?.as_u64()?,
+        durable: v.get("durable")?.as_u64()?,
+        replayed: v.get("replayed")?.as_u64()?,
+        torn: v.get("torn")?.as_bool()?,
+        epoch: v.get("epoch")?.as_u64()?,
+        digest: v.get("digest")?.as_str()?.to_string(),
+    })
+}
+
+/// `--crash-recover`: the kill-and-recover harness.
+///
+/// Fixes the expected outcome with a fault-free reference run, then for
+/// every `--crash-points` spec spawns a child that must die at the
+/// injected point (exit [`db_wal::CRASH_EXIT_CODE`]), restarts it
+/// fault-free, and asserts the two durability guarantees: **zero lost
+/// acks** (every write acknowledged before the kill is in the recovered
+/// durable prefix) and **bit-identical state** (post-recovery fence
+/// digest and epoch equal the reference). Recovery metrics are checked
+/// through a parser-validated Prometheus scrape. Writes one JSON report
+/// line (validated by [`db_bench::schema::validate_crash_line`]) and
+/// exits nonzero on any violation.
+fn crash_recover_main(a: &Args) -> ! {
+    let fail = |msg: String| -> ! {
+        eprintln!("serve_load: crash-recover: {msg}");
+        std::process::exit(1);
+    };
+    let base = std::path::PathBuf::from(a.wal_dir.as_ref().unwrap());
+    if let Err(e) = std::fs::create_dir_all(&base) {
+        fail(format!("create {}: {e}", base.display()));
+    }
+    let exe = std::env::current_exe().unwrap();
+    let spawn = |dir: &std::path::Path,
+                 faults: Option<&str>,
+                 acked: Option<&std::path::Path>,
+                 scrape: Option<&std::path::Path>|
+     -> (i32, Vec<u8>, Vec<u8>) {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("--crash-child")
+            .arg("--wal-dir")
+            .arg(dir)
+            .arg("--requests")
+            .arg(a.requests.to_string())
+            .arg("--seed")
+            .arg(a.seed.to_string())
+            .arg("--fsync")
+            .arg(&a.fsync);
+        if let Some(f) = faults {
+            cmd.arg("--faults").arg(format!("seed={};{f}", a.seed));
+        }
+        if let Some(p) = acked {
+            cmd.arg("--acked-file").arg(p);
+        }
+        if let Some(p) = scrape {
+            cmd.arg("--scrape-out").arg(p);
+        }
+        match cmd.output() {
+            Ok(out) => (out.status.code().unwrap_or(-1), out.stdout, out.stderr),
+            Err(e) => fail(format!("spawn child: {e}")),
+        }
+    };
+    // Reference: a fault-free run in its own subdir fixes the digest and
+    // epoch every recovered run must reproduce bit-identically.
+    let refdir = base.join("ref");
+    let (code, stdout, stderr) = spawn(&refdir, None, None, None);
+    if code != 0 {
+        std::io::stderr().write_all(&stderr).ok();
+        fail(format!("reference run exited {code}"));
+    }
+    let reference = parse_child_line(&stdout)
+        .unwrap_or_else(|| fail("reference run printed no outcome".into()));
+    if reference.acked != a.requests as u64 {
+        fail(format!(
+            "reference acked {} of {} writes",
+            reference.acked, a.requests
+        ));
+    }
+    let specs: Vec<&str> = a
+        .crash_points
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if specs.is_empty() {
+        fail("no --crash-points".into());
+    }
+    let mut points = Vec::new();
+    let mut agg_zero_lost = true;
+    let mut agg_digest = true;
+    let mut saw_replay_metric = false;
+    let mut saw_torn_metric = false;
+    for (pi, spec) in specs.iter().enumerate() {
+        let dir = base.join(format!("p{pi}"));
+        let ackp = dir.join("acked");
+        let scrapep = dir.join("scrape.prom");
+        // First incarnation must die at the injected point — anything
+        // else means the fault never fired and the point proves nothing.
+        let (c1, _o1, e1) = spawn(&dir, Some(spec), Some(&ackp), None);
+        if c1 != db_wal::CRASH_EXIT_CODE {
+            std::io::stderr().write_all(&e1).ok();
+            fail(format!("point '{spec}': child exited {c1}, expected crash"));
+        }
+        // Missing file ⇒ the kill landed before the first ack: 0 acked.
+        let acked: u64 = std::fs::read_to_string(&ackp)
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(0);
+        // Second incarnation recovers and finishes the mix fault-free.
+        let (c2, o2, e2) = spawn(&dir, None, None, Some(&scrapep));
+        if c2 != 0 {
+            std::io::stderr().write_all(&e2).ok();
+            fail(format!("point '{spec}': recovery child exited {c2}"));
+        }
+        let out = parse_child_line(&o2)
+            .unwrap_or_else(|| fail(format!("point '{spec}': no outcome line")));
+        let zero_lost = acked <= out.durable;
+        let digest_match = out.digest == reference.digest && out.epoch == reference.epoch;
+        agg_zero_lost &= zero_lost;
+        agg_digest &= digest_match;
+        if spec.starts_with("torn:") && !out.torn {
+            fail(format!("point '{spec}': torn tail not detected"));
+        }
+        // The scrape must round-trip the shared parser and carry the
+        // recovery counters the monitoring story advertises.
+        let text = std::fs::read_to_string(&scrapep)
+            .unwrap_or_else(|e| fail(format!("point '{spec}': read scrape: {e}")));
+        let exp = db_metrics::parse_exposition(&text)
+            .unwrap_or_else(|e| fail(format!("point '{spec}': scrape parse: {e}")));
+        let metric = |n: &str| {
+            exp.samples
+                .iter()
+                .find(|s| s.name == n)
+                .map_or(0.0, |s| s.value)
+        };
+        if metric("db_wal_recovery_replayed_total") > 0.0 {
+            saw_replay_metric = true;
+        }
+        if metric("db_wal_torn_truncated_total") > 0.0 {
+            saw_torn_metric = true;
+        }
+        eprintln!(
+            "point '{spec}': acked={acked} durable={} replayed={} torn={} \
+             zero_lost_acks={zero_lost} digest_match={digest_match}",
+            out.durable, out.replayed, out.torn
+        );
+        points.push(Value::Obj(vec![
+            ("spec".into(), Value::Str((*spec).into())),
+            ("exit_code".into(), Value::u64(c1 as u64)),
+            ("acked".into(), Value::u64(acked)),
+            ("durable".into(), Value::u64(out.durable)),
+            ("replayed".into(), Value::u64(out.replayed)),
+            ("torn".into(), Value::Bool(out.torn)),
+            ("zero_lost_acks".into(), Value::Bool(zero_lost)),
+            ("digest_match".into(), Value::Bool(digest_match)),
+        ]));
+    }
+    if !saw_replay_metric {
+        fail("no kill point exercised db_wal_recovery_replayed_total".into());
+    }
+    if specs.iter().any(|s| s.starts_with("torn:")) && !saw_torn_metric {
+        fail("torn point did not surface db_wal_torn_truncated_total".into());
+    }
+    let report = Value::Obj(vec![
+        (
+            "schema_version".into(),
+            Value::u64(db_bench::schema::CRASH_SCHEMA_VERSION),
+        ),
+        ("bench".into(), Value::Str("crash_recover".into())),
+        ("seed".into(), Value::u64(a.seed)),
+        ("requests".into(), Value::u64(a.requests as u64)),
+        ("fsync".into(), Value::Str(a.fsync.clone())),
+        ("digest_ref".into(), Value::Str(reference.digest.clone())),
+        ("epoch_ref".into(), Value::u64(reference.epoch)),
+        ("points".into(), Value::Arr(points)),
+        ("zero_lost_acks".into(), Value::Bool(agg_zero_lost)),
+        ("digest_match".into(), Value::Bool(agg_digest)),
+    ]);
+    if let Err(e) = db_bench::schema::validate_crash_line(&report) {
+        fail(format!("report failed schema validation: {e}"));
+    }
+    std::fs::write(&a.out, report.to_json() + "\n")
+        .unwrap_or_else(|e| fail(format!("write {}: {e}", a.out)));
+    eprintln!(
+        "crash_recover: {} point(s), zero_lost_acks={agg_zero_lost} digest_match={agg_digest} \
+         -> {}",
+        specs.len(),
+        a.out
+    );
+    if !(agg_zero_lost && agg_digest) {
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let a = parse_args();
+    if a.crash_child {
+        crash_child_main(&a);
+    }
+    if a.crash_recover {
+        crash_recover_main(&a);
+    }
     let reqs = generate(&a);
     let fence = fence_requests(&a, reqs.len() as u64);
     let mut reports = Vec::new();

@@ -110,6 +110,69 @@ pub fn validate_serve_line(v: &Value) -> Result<(), String> {
     Ok(())
 }
 
+/// Current version of the crash-recovery (`crash_recover`) line format.
+pub const CRASH_SCHEMA_VERSION: u64 = 1;
+
+/// Validates one parsed crash-recovery report line against schema v1.
+///
+/// One line summarizes a whole kill-and-recover sweep: the fault-free
+/// reference digest, one entry per seeded kill point (child exit code,
+/// acknowledged vs durable write counts, replay/torn-tail telemetry,
+/// digest and epoch equality against the reference), and the two
+/// aggregate verdicts CI greps for (`zero_lost_acks`, `digest_match`).
+pub fn validate_crash_line(v: &Value) -> Result<(), String> {
+    want_version(v, CRASH_SCHEMA_VERSION)?;
+    let bench = want_str(v, "bench")?;
+    if bench != "crash_recover" {
+        return Err(format!("bench '{bench}', expected 'crash_recover'"));
+    }
+    want_u64(v, "seed")?;
+    if want_u64(v, "requests")? == 0 {
+        return Err("zero requests".into());
+    }
+    want_str(v, "fsync")?;
+    if want_str(v, "digest_ref")?.is_empty() {
+        return Err("empty digest_ref".into());
+    }
+    want_u64(v, "epoch_ref")?;
+    let want_bool = |doc: &Value, key: &str| -> Result<bool, String> {
+        doc.get(key)
+            .and_then(Value::as_bool)
+            .ok_or_else(|| format!("missing or non-bool field '{key}'"))
+    };
+    let mut all_safe = true;
+    let mut all_match = true;
+    for (i, point) in want_arr(v, "points")?.iter().enumerate() {
+        let check = || -> Result<(bool, bool), String> {
+            if want_str(point, "spec")?.is_empty() {
+                return Err("empty spec".into());
+            }
+            want_u64(point, "exit_code")?;
+            let acked = want_u64(point, "acked")?;
+            let durable = want_u64(point, "durable")?;
+            want_u64(point, "replayed")?;
+            want_bool(point, "torn")?;
+            let zero_lost = want_bool(point, "zero_lost_acks")?;
+            if zero_lost != (acked <= durable) {
+                return Err(format!(
+                    "zero_lost_acks {zero_lost} contradicts acked {acked} / durable {durable}"
+                ));
+            }
+            Ok((zero_lost, want_bool(point, "digest_match")?))
+        };
+        let (safe, matched) = check().map_err(|e| format!("points[{i}]: {e}"))?;
+        all_safe &= safe;
+        all_match &= matched;
+    }
+    if want_bool(v, "zero_lost_acks")? != all_safe {
+        return Err("aggregate zero_lost_acks contradicts the points".into());
+    }
+    if want_bool(v, "digest_match")? != all_match {
+        return Err("aggregate digest_match contradicts the points".into());
+    }
+    Ok(())
+}
+
 /// Validates one parsed `BENCH_sim.json` line against schema v1.
 pub fn validate_sim_line(v: &Value) -> Result<(), String> {
     want_version(v, SIM_SCHEMA_VERSION)?;
@@ -214,6 +277,51 @@ mod tests {
         assert!(validate_sim_line(&zero_cycles)
             .unwrap_err()
             .contains("zero simulated cycles"));
+    }
+
+    #[test]
+    fn validates_crash_lines() {
+        let good = Value::parse(
+            r#"{"schema_version":1,"bench":"crash_recover","seed":7,
+                "requests":16,"fsync":"always","digest_ref":"abc",
+                "epoch_ref":16,
+                "points":[{"spec":"torn:wal@lsn=6","exit_code":86,
+                           "acked":6,"durable":6,"replayed":6,"torn":true,
+                           "zero_lost_acks":true,"digest_match":true}],
+                "zero_lost_acks":true,"digest_match":true}"#,
+        )
+        .unwrap();
+        validate_crash_line(&good).unwrap();
+        // A lost ack must be both self-consistent and aggregated.
+        let lost = Value::parse(
+            &good
+                .to_json()
+                .replace("\"acked\":6", "\"acked\":9")
+                .replace(
+                    "\"zero_lost_acks\":true,\"digest_match\":true}],",
+                    "\"zero_lost_acks\":false,\"digest_match\":true}],",
+                )
+                .replace(
+                    "\"zero_lost_acks\":true,\"digest_match\":true}",
+                    "\"zero_lost_acks\":false,\"digest_match\":true}",
+                ),
+        )
+        .unwrap();
+        validate_crash_line(&lost).unwrap();
+        let contradiction =
+            Value::parse(&good.to_json().replace("\"acked\":6", "\"acked\":9")).unwrap();
+        assert!(validate_crash_line(&contradiction)
+            .unwrap_err()
+            .contains("contradicts"));
+        let empty_digest = Value::parse(
+            &good
+                .to_json()
+                .replace("\"digest_ref\":\"abc\"", "\"digest_ref\":\"\""),
+        )
+        .unwrap();
+        assert!(validate_crash_line(&empty_digest)
+            .unwrap_err()
+            .contains("digest_ref"));
     }
 
     /// Every line of the committed report files must satisfy its own

@@ -22,6 +22,13 @@
 //!   active pin, at most one merge in flight, layer contiguity, no
 //!   lost publish. [`epoch_model::EpochMutation`] seeds the bug
 //!   classes the protocol exists to prevent.
+//! * [`wal_model`] — the same explorer over `db-wal`'s commit /
+//!   checkpoint / recovery protocol: append → fsync → ack commits, the
+//!   pack → manifest-rename → truncate checkpoint, a crash at every
+//!   interleaving point, and recovery from the durable artifacts.
+//!   Oracles: no lost acknowledged write, no double apply.
+//!   [`wal_model::WalMutation`] seeds the bug classes the ordering
+//!   exists to prevent.
 //! * [`race`] — a vector-clock happens-before detector over `db-trace`
 //!   event streams (steal/recover events are the sync edges), runnable
 //!   post-hoc on any `--trace` output.
@@ -43,6 +50,7 @@ pub mod lint;
 pub mod proto_model;
 pub mod race;
 pub mod ring_model;
+pub mod wal_model;
 
 pub use epoch_model::{EpochModel, EpochMutation, EpochScenario};
 pub use explore::{Explorer, Model, Outcome, Stats, Violation};
@@ -50,3 +58,4 @@ pub use lint::{lint_source, lint_tree, LintFinding};
 pub use proto_model::{ProtoModel, ProtoMutation, ProtoScenario};
 pub use race::{detect, RaceConfig, RaceError, RaceFinding, RaceReport};
 pub use ring_model::{RingModel, RingMutation, RingScenario};
+pub use wal_model::{WalModel, WalMutation, WalScenario};

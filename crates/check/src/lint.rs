@@ -1,6 +1,6 @@
 //! Repo-specific source lint pass: token/line-based, no rustc plugin.
 //!
-//! Four rules, each scoped to the paths where its invariant is
+//! Five rules, each scoped to the paths where its invariant is
 //! load-bearing and each with an explicit comment-escape so every
 //! exception is a *written-down decision* in the diff:
 //!
@@ -10,6 +10,7 @@
 //! | `R2-determinism` | no wall-clock (`std::time`, `Instant::now`, `SystemTime`) or `thread::sleep` in the deterministic crates (`gpu-sim`, `check`, `core/src/sim.rs`) | `// nondet-ok: <why>` |
 //! | `R3-no-unwrap` | no `.unwrap()` / `.expect(` on the serve request path (`pool.rs`, `net.rs`, `exec.rs`, `request.rs`) — a panic there kills a worker mid-request | `// unwrap-ok: <why>` |
 //! | `R4-guard-pairing` | every `catch_unwind(` call site names the drop-guard that restores shared state on unwind | `// guard: <which>` |
+//! | `R5-io-no-unwrap` | no `.unwrap()` / `.expect(` in the durability path (`db-wal`, `serve/delta.rs`) — an I/O panic there can tear a WAL frame or strand a half-swapped manifest | `// io-ok: <why>` |
 //!
 //! The escape (or for R4 the `guard:` marker) must appear on the same
 //! line or within the three lines above the flagged one. `#[cfg(test)]`
@@ -69,6 +70,9 @@ const R3_SCOPE: [&str; 4] = [
 
 // nondet-ok: the forbidden tokens themselves, split so the scanner
 // cannot match its own pattern table.
+const R5_SCOPE: [&str; 1] = ["crates/wal/src/"];
+const R5_EXTRA: [&str; 1] = ["crates/serve/src/delta.rs"];
+
 const R2_TOKENS: [&str; 4] = [
     concat!("std::", "time"),
     concat!("Instant::", "now"),
@@ -170,6 +174,7 @@ pub fn lint_source(file: &str, text: &str) -> Vec<LintFinding> {
     let r1 = in_scope(file, &R1_SCOPE);
     let r2 = in_scope(file, &R2_SCOPE) || R2_EXTRA.contains(&file);
     let r3 = R3_SCOPE.contains(&file);
+    let r5 = in_scope(file, &R5_SCOPE) || R5_EXTRA.contains(&file);
     let raw: Vec<&str> = text.lines().collect();
 
     let mut findings = Vec::new();
@@ -254,6 +259,19 @@ pub fn lint_source(file: &str, text: &str) -> Vec<LintFinding> {
                 line: lineno,
                 detail: "panic on the serve request path kills a worker mid-request; handle \
                          the error or annotate `// unwrap-ok:`"
+                    .into(),
+            });
+        }
+        if r5
+            && (code.contains(".unwrap()") || code.contains(".expect("))
+            && !annotated(idx, "io-ok:")
+        {
+            findings.push(LintFinding {
+                rule: "R5-io-no-unwrap",
+                file: file.into(),
+                line: lineno,
+                detail: "panic in the durability path can tear a WAL frame or strand a \
+                         half-swapped manifest; handle the error or annotate `// io-ok:`"
                     .into(),
             });
         }
@@ -442,6 +460,22 @@ end\";
         // A `use` of catch_unwind is not a call site.
         let import = "use std::panic::catch_unwind;\n";
         assert!(lint_source("crates/serve/src/pool.rs", import).is_empty());
+    }
+
+    #[test]
+    fn io_unwrap_rule_scoped_to_durability_path() {
+        let bad = "fn f() { std::fs::write(p, b).unwrap(); }\n";
+        assert_eq!(lint_source("crates/wal/src/log.rs", bad).len(), 1);
+        assert_eq!(
+            lint_source("crates/wal/src/log.rs", bad)[0].rule,
+            "R5-io-no-unwrap"
+        );
+        assert_eq!(lint_source("crates/serve/src/delta.rs", bad).len(), 1);
+        // Outside the persistence path the rule is silent.
+        assert!(lint_source("crates/serve/src/corpus.rs", bad).is_empty());
+        assert!(lint_source("crates/delta/src/graph.rs", bad).is_empty());
+        let ok = "fn f() { len.try_into().unwrap() } // io-ok: frame len is u32 by construction\n";
+        assert!(lint_source("crates/wal/src/record.rs", ok).is_empty());
     }
 
     #[test]

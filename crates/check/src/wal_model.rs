@@ -1,0 +1,423 @@
+//! Step-level model of `db-wal`'s commit / checkpoint / recovery
+//! protocol — the durability contract behind crash-consistent dynamic
+//! graphs.
+//!
+//! One writer commits records through the append → fsync → ack
+//! sequence, a checkpointer runs the pack → tmp-manifest → rename →
+//! truncate protocol, a crasher kills the process at exactly one
+//! interleaving point per schedule (the explorer places it everywhere),
+//! and a recoverer rebuilds state from the durable artifacts: the
+//! renamed manifest's pack plus the durable WAL suffix past the
+//! checkpoint LSN. Records are abstracted to their LSNs (append order);
+//! a pack is the contiguous prefix of LSNs it covers.
+//!
+//! Crash semantics: the OS page cache evaporates — the WAL tail that
+//! was appended but never fsynced is gone, and a tmp manifest that was
+//! written but never renamed is invisible to recovery. What survives
+//! is exactly what the protocol made durable, in order.
+//!
+//! Oracles (checked by the recoverer's step):
+//!
+//! * **no lost ack** — every record acknowledged before the crash is
+//!   in the recovered state (from the pack or from replay);
+//! * **no double apply** — no record reaches the recovered state
+//!   twice (checkpoint-covered records must be *skipped* by replay).
+//!
+//! [`WalMutation`] seeds the bug classes the protocol ordering exists
+//! to prevent: acknowledging before the fsync, replaying from LSN 0
+//! while ignoring the manifest, and truncating the WAL before the
+//! manifest swap lands.
+
+use crate::explore::{ActorId, Model, Violation};
+
+/// A seeded durability bug for the mutation tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalMutation {
+    /// The writer acknowledges at append time, before the fsync — a
+    /// crash in the window loses an acknowledged record.
+    AckBeforeFsync,
+    /// Recovery replays every durable WAL record from LSN 0, ignoring
+    /// the manifest's checkpoint LSN — pack-covered records apply twice.
+    ReplayFromZero,
+    /// The checkpointer truncates the WAL *before* the manifest swap —
+    /// a crash in the window leaves neither the records nor a manifest
+    /// that knows about the pack.
+    TruncateBeforeManifest,
+}
+
+impl WalMutation {
+    /// Every mutation, for exhaustive mutation tests.
+    pub const ALL: [WalMutation; 3] = [
+        WalMutation::AckBeforeFsync,
+        WalMutation::ReplayFromZero,
+        WalMutation::TruncateBeforeManifest,
+    ];
+}
+
+/// Configuration of one durability check.
+#[derive(Debug, Clone)]
+pub struct WalScenario {
+    /// Records the writer commits.
+    pub writes: u8,
+    /// Checkpoint attempts the checkpointer makes.
+    pub checkpoints: u8,
+    /// The seeded bug, or `None` for the faithful protocol.
+    pub mutation: Option<WalMutation>,
+}
+
+impl WalScenario {
+    /// The default exhaustive config: 2 commits, 1 checkpoint — small
+    /// enough to explore fully, large enough that the crash lands in
+    /// every window of both protocols (mid-commit, between pack and
+    /// rename, between rename and truncate).
+    pub fn small() -> Self {
+        WalScenario {
+            writes: 2,
+            checkpoints: 1,
+            mutation: None,
+        }
+    }
+
+    /// Same scenario with a seeded bug.
+    pub fn with_mutation(mut self, m: WalMutation) -> Self {
+        self.mutation = Some(m);
+        self
+    }
+}
+
+/// Writer program counter: one commit is append → fsync → ack.
+#[derive(Debug, Clone, Copy, Hash, PartialEq, Eq)]
+enum WriterPc {
+    Append { remaining: u8 },
+    Fsync { remaining: u8 },
+    Ack { remaining: u8 },
+    Exit,
+}
+
+/// Checkpointer program counter: pack → tmp → rename → truncate (the
+/// `TruncateBeforeManifest` mutation reorders truncate first).
+#[derive(Debug, Clone, Copy, Hash, PartialEq, Eq)]
+enum CkptPc {
+    Idle { remaining: u8 },
+    Tmp { remaining: u8, upto: u8 },
+    Rename { remaining: u8, upto: u8 },
+    Truncate { remaining: u8, upto: u8 },
+    Exit,
+}
+
+/// Full system state. LSNs fit in `u8` (the scenarios are tiny).
+#[derive(Debug, Clone, Hash, PartialEq, Eq)]
+pub struct WalState {
+    /// Records appended to the WAL (OS buffer): LSNs `0..appended`.
+    appended: u8,
+    /// Durable (fsynced) prefix: LSNs `0..durable` survive a crash.
+    durable: u8,
+    /// Records acknowledged to the client (acks are in LSN order).
+    acked: u8,
+    /// Low-water mark: WAL records below this LSN have been truncated.
+    truncated_below: u8,
+    /// Durable pack snapshot covering LSNs `0..n`, if one was written.
+    pack: Option<u8>,
+    /// Tmp manifest: written and synced, rename pending. Lost on crash.
+    tmp_manifest: Option<u8>,
+    /// The renamed (durable) manifest: checkpoint covers LSNs `0..n`.
+    manifest: Option<u8>,
+    /// Set once the crasher fired; writer and checkpointer stop.
+    crashed: bool,
+    /// Set once the recoverer ran its oracles.
+    recovered: bool,
+    writer: WriterPc,
+    ckpt: CkptPc,
+}
+
+/// The checkable model. Actor order: writer, checkpointer, crasher,
+/// recoverer.
+#[derive(Debug, Clone)]
+pub struct WalModel {
+    /// The scenario being checked.
+    pub scenario: WalScenario,
+}
+
+impl WalModel {
+    /// Creates the model for a scenario.
+    pub fn new(scenario: WalScenario) -> Self {
+        WalModel { scenario }
+    }
+
+    fn mutation(&self) -> Option<WalMutation> {
+        self.scenario.mutation
+    }
+}
+
+impl Model for WalModel {
+    type State = WalState;
+
+    fn initial(&self) -> WalState {
+        WalState {
+            appended: 0,
+            durable: 0,
+            acked: 0,
+            truncated_below: 0,
+            pack: None,
+            tmp_manifest: None,
+            manifest: None,
+            crashed: false,
+            recovered: false,
+            writer: if self.scenario.writes > 0 {
+                WriterPc::Append {
+                    remaining: self.scenario.writes,
+                }
+            } else {
+                WriterPc::Exit
+            },
+            ckpt: if self.scenario.checkpoints > 0 {
+                CkptPc::Idle {
+                    remaining: self.scenario.checkpoints,
+                }
+            } else {
+                CkptPc::Exit
+            },
+        }
+    }
+
+    fn actors(&self) -> usize {
+        4
+    }
+
+    fn done(&self, s: &WalState, a: ActorId) -> bool {
+        match a {
+            0 => s.crashed || s.writer == WriterPc::Exit,
+            1 => s.crashed || s.ckpt == CkptPc::Exit,
+            2 => s.crashed,
+            _ => s.recovered,
+        }
+    }
+
+    fn enabled(&self, s: &WalState, a: ActorId) -> bool {
+        if self.done(s, a) {
+            return false;
+        }
+        // The recoverer runs only on the post-crash state.
+        a != 3 || s.crashed
+    }
+
+    fn is_local(&self, _s: &WalState, _a: ActorId) -> bool {
+        false
+    }
+
+    fn step(&self, s: &WalState, a: ActorId) -> Result<WalState, Violation> {
+        let mut s = s.clone();
+        match a {
+            // Writer: append → fsync → ack, one phase per step.
+            0 => {
+                s.writer = match s.writer {
+                    WriterPc::Append { remaining } => {
+                        s.appended += 1;
+                        if self.mutation() == Some(WalMutation::AckBeforeFsync) {
+                            s.acked = s.appended;
+                        }
+                        WriterPc::Fsync { remaining }
+                    }
+                    WriterPc::Fsync { remaining } => {
+                        s.durable = s.appended;
+                        WriterPc::Ack { remaining }
+                    }
+                    WriterPc::Ack { remaining } => {
+                        // Faithful protocol acks here, strictly after
+                        // the fsync; the mutation already acked.
+                        if self.mutation() != Some(WalMutation::AckBeforeFsync) {
+                            s.acked = s.appended;
+                        }
+                        if remaining > 1 {
+                            WriterPc::Append {
+                                remaining: remaining - 1,
+                            }
+                        } else {
+                            WriterPc::Exit
+                        }
+                    }
+                    WriterPc::Exit => unreachable!("stepping an exited writer"),
+                };
+            }
+            // Checkpointer: pack → tmp-manifest → rename → truncate.
+            1 => {
+                s.ckpt = match s.ckpt {
+                    CkptPc::Idle { remaining } => {
+                        let upto = s.durable;
+                        if upto <= s.manifest.unwrap_or(0) {
+                            // Nothing new to cover: the attempt is
+                            // consumed with zero state changes.
+                            if remaining > 1 {
+                                CkptPc::Idle {
+                                    remaining: remaining - 1,
+                                }
+                            } else {
+                                CkptPc::Exit
+                            }
+                        } else {
+                            // Pack phase: a durable snapshot covering
+                            // every record up to the decided LSN.
+                            s.pack = Some(upto);
+                            if self.mutation() == Some(WalMutation::TruncateBeforeManifest) {
+                                // Bug: drop the WAL records first.
+                                s.truncated_below = s.truncated_below.max(upto);
+                            }
+                            CkptPc::Tmp { remaining, upto }
+                        }
+                    }
+                    CkptPc::Tmp { remaining, upto } => {
+                        s.tmp_manifest = Some(upto);
+                        CkptPc::Rename { remaining, upto }
+                    }
+                    CkptPc::Rename { remaining, upto } => {
+                        s.manifest = s.tmp_manifest.take();
+                        CkptPc::Truncate { remaining, upto }
+                    }
+                    CkptPc::Truncate { remaining, upto } => {
+                        if self.mutation() != Some(WalMutation::TruncateBeforeManifest) {
+                            s.truncated_below = s.truncated_below.max(upto);
+                        }
+                        if remaining > 1 {
+                            CkptPc::Idle {
+                                remaining: remaining - 1,
+                            }
+                        } else {
+                            CkptPc::Exit
+                        }
+                    }
+                    CkptPc::Exit => unreachable!("stepping an exited checkpointer"),
+                };
+            }
+            // Crasher: the page cache evaporates — the unsynced WAL
+            // tail and the un-renamed tmp manifest are gone.
+            2 => {
+                s.crashed = true;
+                s.appended = s.durable;
+                s.tmp_manifest = None;
+            }
+            // Recoverer: rebuild from the durable artifacts and run
+            // the two durability oracles.
+            _ => {
+                let covered = s.manifest.unwrap_or(0);
+                // Replay floor: faithful recovery skips records the
+                // checkpoint already covers; the mutation replays the
+                // whole durable WAL.
+                let floor = if self.mutation() == Some(WalMutation::ReplayFromZero) {
+                    s.truncated_below
+                } else {
+                    covered.max(s.truncated_below)
+                };
+                // Sized to cover every acked LSN too: a crash drops the
+                // unsynced tail below an early ack, and the oracle must
+                // still look at the lost record's slot.
+                let mut recovered = vec![0u8; s.appended.max(covered).max(s.acked) as usize];
+                for lsn in 0..covered {
+                    recovered[lsn as usize] += 1;
+                }
+                for lsn in floor..s.durable {
+                    recovered[lsn as usize] += 1;
+                }
+                for (lsn, &n) in recovered.iter().enumerate() {
+                    if n > 1 {
+                        return Err(Violation::new(
+                            "double-apply",
+                            format!("record {lsn} applied {n} times during recovery"),
+                        ));
+                    }
+                    if (lsn as u8) < s.acked && n == 0 {
+                        return Err(Violation::new(
+                            "lost-ack",
+                            format!("acknowledged record {lsn} missing after recovery"),
+                        ));
+                    }
+                }
+                s.recovered = true;
+            }
+        }
+        Ok(s)
+    }
+
+    fn check(&self, s: &WalState) -> Result<(), Violation> {
+        if s.durable > s.appended {
+            return Err(Violation::new(
+                "durable-overrun",
+                format!("durable {} past appended {}", s.durable, s.appended),
+            ));
+        }
+        if let Some(m) = s.manifest {
+            if s.pack.is_none_or(|p| p < m) {
+                return Err(Violation::new(
+                    "dangling-manifest",
+                    format!("manifest covers {m} but no pack reaches it"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_final(&self, s: &WalState) -> Result<(), Violation> {
+        if s.crashed && !s.recovered {
+            return Err(Violation::new(
+                "no-recovery",
+                "crashed schedule quiesced without running recovery".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{replay, Explorer, Outcome};
+
+    #[test]
+    fn faithful_protocol_has_no_counterexample() {
+        let model = WalModel::new(WalScenario::small());
+        match Explorer::default().run(&model) {
+            Outcome::Pass(stats) => {
+                assert!(stats.states > 50, "exploration too shallow: {stats:?}");
+                assert!(stats.final_states > 0);
+            }
+            other => panic!("faithful model must pass, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_mutation_is_caught_and_replays() {
+        for m in WalMutation::ALL {
+            let model = WalModel::new(WalScenario::small().with_mutation(m));
+            match Explorer::default().run(&model) {
+                Outcome::Fail {
+                    violation,
+                    schedule,
+                    ..
+                } => {
+                    let expected = match m {
+                        WalMutation::AckBeforeFsync => "lost-ack",
+                        WalMutation::ReplayFromZero => "double-apply",
+                        WalMutation::TruncateBeforeManifest => "lost-ack",
+                    };
+                    assert_eq!(violation.oracle, expected, "{m:?}");
+                    let replayed = replay(&model, &schedule)
+                        .expect_err("replaying a failing schedule must re-fail");
+                    assert_eq!(replayed.oracle, expected, "{m:?} replay");
+                }
+                other => panic!("{m:?} must be caught, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn replay_from_zero_needs_a_checkpoint_to_fire() {
+        // With no checkpointer there is never a manifest, so "replay
+        // everything from the WAL" coincides with faithful recovery.
+        let mut sc = WalScenario::small().with_mutation(WalMutation::ReplayFromZero);
+        sc.checkpoints = 0;
+        let model = WalModel::new(sc);
+        assert!(
+            matches!(Explorer::default().run(&model), Outcome::Pass(_)),
+            "no checkpoint, no double apply"
+        );
+    }
+}

@@ -87,6 +87,12 @@ fn fault_code(kind: &FaultKind) -> u32 {
         FaultKind::SlowDown { .. } => 2,
         FaultKind::CorruptResult => 3,
         FaultKind::DropSteal => 4,
+        // Storage kinds never strike sim sites; the code is carried only
+        // if a future site wires them through.
+        FaultKind::Torn => 5,
+        FaultKind::ShortWrite => 6,
+        FaultKind::FsyncLie => 7,
+        FaultKind::Crash => 8,
     }
 }
 

@@ -201,12 +201,24 @@ impl DeltaGraph {
     /// Like [`DeltaGraph::new`] with an explicit compaction threshold
     /// (0 compacts after every publish; tests use small values).
     pub fn with_threshold(base: Arc<dyn GraphStore>, compact_threshold: usize) -> Self {
+        Self::with_base_epoch(base, compact_threshold, 0)
+    }
+
+    /// Wrap a frozen base store that represents an already-advanced
+    /// epoch — the recovery path hands a checkpoint pack here so that
+    /// replaying the WAL tail republishes exactly the pre-crash epoch
+    /// numbers.
+    pub fn with_base_epoch(
+        base: Arc<dyn GraphStore>,
+        compact_threshold: usize,
+        base_epoch: u64,
+    ) -> Self {
         let g = base.graph();
         let (n, directed) = (g.num_vertices() as u32, g.is_directed());
         DeltaGraph {
             inner: Mutex::new(Inner {
                 base,
-                base_epoch: 0,
+                base_epoch,
                 layers: Vec::new(),
                 pending: PendingDelta::default(),
                 pins: BTreeMap::new(),
@@ -616,6 +628,20 @@ mod tests {
         let pin = dg.pin();
         assert_eq!(pin.graph().neighbors(3), &[0]);
         assert_eq!(pin.graph().num_arcs(), 4);
+    }
+
+    #[test]
+    fn base_epoch_offsets_published_epochs() {
+        let dg = Arc::new(DeltaGraph::with_base_epoch(
+            Arc::new(path4()),
+            DEFAULT_COMPACT_THRESHOLD,
+            9,
+        ));
+        assert_eq!(dg.current_epoch(), 9);
+        let p = dg.add_edges(&[(3, 0)]).unwrap();
+        assert_eq!(p.epoch, 10, "publishes continue from the base epoch");
+        assert_eq!(dg.pin().epoch(), 10);
+        assert_eq!(dg.stats().base_epoch, 9);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! sorted multiset (worker indices are scheduling-dependent and are
 //! excluded from serve log lines).
 
-use crate::plan::{Domain, FaultKind, FaultPlan, Trigger};
+use crate::plan::{CkptPhaseKind, Domain, FaultKind, FaultPlan, Trigger};
 use std::collections::HashSet;
 use std::fmt;
 use std::sync::Mutex;
@@ -36,6 +36,15 @@ pub enum Site {
     /// (a strike aborts the merge mid-flight, modelling a crash; the
     /// epoch lifecycle must survive with no layer lost).
     Compaction,
+    /// Wal: a record is about to be appended (a strike tears the frame,
+    /// fails the syscall, or crashes after a durable append).
+    WalAppend,
+    /// Wal: an fsync is about to be issued (a strike makes it lie —
+    /// report success without persisting).
+    WalFsync,
+    /// Wal: a checkpoint phase boundary (a strike hard-exits the
+    /// process mid-protocol).
+    WalCheckpoint,
 }
 
 impl Site {
@@ -49,6 +58,9 @@ impl Site {
             Site::Request => "request",
             Site::StoreLoad => "store_load",
             Site::Compaction => "compaction",
+            Site::WalAppend => "wal_append",
+            Site::WalFsync => "wal_fsync",
+            Site::WalCheckpoint => "wal_checkpoint",
         }
     }
 
@@ -61,6 +73,9 @@ impl Site {
             Site::Request => 4,
             Site::StoreLoad => 5,
             Site::Compaction => 6,
+            Site::WalAppend => 7,
+            Site::WalFsync => 8,
+            Site::WalCheckpoint => 9,
         }
     }
 
@@ -68,6 +83,7 @@ impl Site {
         match self {
             Site::Request | Site::Compaction => Domain::Worker,
             Site::StoreLoad => Domain::Store,
+            Site::WalAppend | Site::WalFsync | Site::WalCheckpoint => Domain::Wal,
             _ => Domain::Sm,
         }
     }
@@ -92,6 +108,9 @@ fn applies_at(kind: &FaultKind, site: Site) -> bool {
             matches!(site, Site::StealCopy | Site::Request | Site::StoreLoad)
         }
         FaultKind::DropSteal => matches!(site, Site::StealCopy),
+        FaultKind::Torn | FaultKind::ShortWrite => matches!(site, Site::WalAppend),
+        FaultKind::FsyncLie => matches!(site, Site::WalFsync),
+        FaultKind::Crash => matches!(site, Site::WalAppend | Site::WalCheckpoint),
     }
 }
 
@@ -123,6 +142,19 @@ impl Injection {
             Site::StoreLoad | Site::Compaction => {
                 format!("{} key={:#x} {}", self.site.name(), self.at, self.kind)
             }
+            // Wal strikes are keyed on the LSN (appends) or the phase
+            // index (checkpoints); there is one log per process, so no
+            // unit appears and double runs compare equal verbatim.
+            Site::WalAppend => format!("{} lsn={} {}", self.site.name(), self.at, self.kind),
+            Site::WalFsync => format!("{} n={} {}", self.site.name(), self.at, self.kind),
+            Site::WalCheckpoint => {
+                let phase = match self.at {
+                    0 => "pack",
+                    1 => "manifest",
+                    _ => "truncate",
+                };
+                format!("{} phase={} {}", self.site.name(), phase, self.kind)
+            }
             _ => format!(
                 "{} sm={} cycle={} {}",
                 self.site.name(),
@@ -143,9 +175,12 @@ impl fmt::Display for Injection {
 #[derive(Debug, Default)]
 struct InjectState {
     /// `(rule index, unit)` pairs whose one-shot `cycle=` trigger fired.
+    /// Also reused (with unit 0) by the one-shot `lsn=` wal trigger.
     fired: HashSet<(usize, u32)>,
     /// Per-site deterministic draw counters (sim sites only).
     draws: [u64; 5],
+    /// Deterministic draw counter for probabilistic wal-fsync strikes.
+    wal_fsync_draws: u64,
     log: Vec<Injection>,
 }
 
@@ -199,7 +234,10 @@ impl Injector {
             }
             let fires = match rule.trigger {
                 Trigger::AtCycle(c) => cycle >= c && st.fired.insert((i, sm)),
-                Trigger::OnRequest(_) | Trigger::OnCompaction => false,
+                Trigger::OnRequest(_)
+                | Trigger::OnCompaction
+                | Trigger::AtLsn(_)
+                | Trigger::AtCkpt(_) => false,
                 Trigger::Prob(p) => self.bernoulli(i, site, draw_key, p),
                 Trigger::Always => true,
             };
@@ -238,7 +276,10 @@ impl Injector {
                 }
             }
             let fires = match rule.trigger {
-                Trigger::AtCycle(_) | Trigger::OnCompaction => false,
+                Trigger::AtCycle(_)
+                | Trigger::OnCompaction
+                | Trigger::AtLsn(_)
+                | Trigger::AtCkpt(_) => false,
                 Trigger::OnRequest(id) => req_id == id && attempt == 0,
                 Trigger::Prob(p) => {
                     self.bernoulli(i, Site::Request, (req_id << 8) | attempt as u64, p)
@@ -276,7 +317,11 @@ impl Injector {
                 continue;
             }
             let fires = match rule.trigger {
-                Trigger::AtCycle(_) | Trigger::OnRequest(_) | Trigger::OnCompaction => false,
+                Trigger::AtCycle(_)
+                | Trigger::OnRequest(_)
+                | Trigger::OnCompaction
+                | Trigger::AtLsn(_)
+                | Trigger::AtCkpt(_) => false,
                 Trigger::Prob(p) => self.bernoulli(i, Site::StoreLoad, key_hash, p),
                 Trigger::Always => true,
             };
@@ -318,7 +363,10 @@ impl Injector {
                 continue;
             }
             let fires = match rule.trigger {
-                Trigger::AtCycle(_) | Trigger::OnRequest(_) => false,
+                Trigger::AtCycle(_)
+                | Trigger::OnRequest(_)
+                | Trigger::AtLsn(_)
+                | Trigger::AtCkpt(_) => false,
                 Trigger::OnCompaction | Trigger::Always => true,
                 Trigger::Prob(p) => self.bernoulli(i, Site::Compaction, key_hash, p),
             };
@@ -333,6 +381,118 @@ impl Injector {
             }
         }
         None
+    }
+
+    /// Storage-side check: should the WAL append carrying `lsn` be
+    /// struck? `lsn=` triggers are one-shot (a rejected-then-retried
+    /// append reuses the LSN and must not be struck twice); `p=` draws
+    /// are keyed on the LSN itself, so double runs strike the same
+    /// records regardless of thread interleaving.
+    pub fn check_wal_append(&self, lsn: u64) -> Option<FaultKind> {
+        if self.plan.rules.is_empty() {
+            return None;
+        }
+        let mut st = self.lock();
+        for (i, rule) in self.plan.rules.iter().enumerate() {
+            if rule.target.domain != Domain::Wal || !applies_at(&rule.kind, Site::WalAppend) {
+                continue;
+            }
+            let fires = match rule.trigger {
+                Trigger::AtLsn(l) => lsn == l && st.fired.insert((i, 0)),
+                Trigger::Prob(p) => self.bernoulli(i, Site::WalAppend, lsn, p),
+                Trigger::Always => true,
+                Trigger::AtCycle(_)
+                | Trigger::OnRequest(_)
+                | Trigger::OnCompaction
+                | Trigger::AtCkpt(_) => false,
+            };
+            if fires {
+                st.log.push(Injection {
+                    site: Site::WalAppend,
+                    unit: 0,
+                    at: lsn,
+                    kind: rule.kind,
+                });
+                return Some(rule.kind);
+            }
+        }
+        None
+    }
+
+    /// Storage-side check: should this fsync lie (report success while
+    /// persisting nothing)? Draws are keyed on a per-injector fsync
+    /// counter — fsync order is deterministic under a held write gate.
+    pub fn check_wal_fsync(&self) -> bool {
+        if self.plan.rules.is_empty() {
+            return false;
+        }
+        let mut st = self.lock();
+        let draw_key = st.wal_fsync_draws;
+        st.wal_fsync_draws += 1;
+        for (i, rule) in self.plan.rules.iter().enumerate() {
+            if rule.target.domain != Domain::Wal || !applies_at(&rule.kind, Site::WalFsync) {
+                continue;
+            }
+            let fires = match rule.trigger {
+                Trigger::Prob(p) => self.bernoulli(i, Site::WalFsync, draw_key, p),
+                Trigger::Always => true,
+                Trigger::AtCycle(_)
+                | Trigger::OnRequest(_)
+                | Trigger::OnCompaction
+                | Trigger::AtLsn(_)
+                | Trigger::AtCkpt(_) => false,
+            };
+            if fires {
+                st.log.push(Injection {
+                    site: Site::WalFsync,
+                    unit: 0,
+                    at: draw_key,
+                    kind: rule.kind,
+                });
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Storage-side check: should the process crash at checkpoint phase
+    /// `phase`? Only `crash` rules apply; the strike is logged before
+    /// returning (the caller exits the process, but the log write keeps
+    /// the in-memory record consistent for tests that stub the exit).
+    pub fn check_wal_ckpt(&self, phase: CkptPhaseKind) -> bool {
+        if self.plan.rules.is_empty() {
+            return false;
+        }
+        let phase_idx = match phase {
+            CkptPhaseKind::Pack => 0,
+            CkptPhaseKind::Manifest => 1,
+            CkptPhaseKind::Truncate => 2,
+        };
+        let mut st = self.lock();
+        for (i, rule) in self.plan.rules.iter().enumerate() {
+            if rule.target.domain != Domain::Wal || !applies_at(&rule.kind, Site::WalCheckpoint) {
+                continue;
+            }
+            let fires = match rule.trigger {
+                Trigger::AtCkpt(p) => p == phase,
+                Trigger::Prob(p) => self.bernoulli(i, Site::WalCheckpoint, phase_idx, p),
+                Trigger::Always => true,
+                Trigger::AtCycle(_)
+                | Trigger::OnRequest(_)
+                | Trigger::OnCompaction
+                | Trigger::AtLsn(_) => false,
+            };
+            if fires {
+                st.log.push(Injection {
+                    site: Site::WalCheckpoint,
+                    unit: 0,
+                    at: phase_idx,
+                    kind: rule.kind,
+                });
+                return true;
+            }
+        }
+        false
     }
 
     /// Deterministic Bernoulli draw for rule `i` at `site` with `key`.
@@ -557,6 +717,68 @@ mod tests {
         // Non-kill kinds are inert at the compaction site.
         let e = Injector::new(plan("corrupt:worker=*@compaction"));
         assert_eq!(e.check_compaction("k", 0), None);
+    }
+
+    #[test]
+    fn wal_append_lsn_trigger_is_one_shot() {
+        let inj = Injector::new(plan("torn:wal@lsn=6"));
+        assert_eq!(inj.check_wal_append(5), None);
+        assert_eq!(inj.check_wal_append(6), Some(FaultKind::Torn));
+        assert_eq!(
+            inj.check_wal_append(6),
+            None,
+            "a retried append at the same LSN is spared"
+        );
+        assert_eq!(inj.check_wal_append(7), None);
+        assert_eq!(inj.log_lines(), vec!["wal_append lsn=6 torn".to_string()]);
+    }
+
+    #[test]
+    fn wal_sites_gate_kinds_and_domains() {
+        // Crash applies at append and checkpoint; torn only at append.
+        let inj = Injector::new(plan("crash:wal@lsn=3"));
+        assert_eq!(inj.check_wal_append(3), Some(FaultKind::Crash));
+        assert!(!inj.check_wal_fsync());
+        // Wal rules never strike other layers, and vice versa.
+        let e = Injector::new(plan("torn:wal@always;kill:worker=*@always"));
+        assert_eq!(e.check(Site::Dispatch, 0, 0), None);
+        assert_eq!(e.check_request(0, 1, 0), Some(FaultKind::Kill));
+        assert_eq!(e.check_store("k", 0), None);
+        assert_eq!(e.check_wal_append(0), Some(FaultKind::Torn));
+        // A non-wal kind targeting wal is inert.
+        let f = Injector::new(plan("kill:wal@always"));
+        assert_eq!(f.check_wal_append(0), None);
+        assert!(!f.check_wal_ckpt(CkptPhaseKind::Pack));
+    }
+
+    #[test]
+    fn wal_ckpt_trigger_matches_its_phase_only() {
+        let inj = Injector::new(plan("crash:wal@ckpt=manifest"));
+        assert!(!inj.check_wal_ckpt(CkptPhaseKind::Pack));
+        assert!(inj.check_wal_ckpt(CkptPhaseKind::Manifest));
+        assert!(!inj.check_wal_ckpt(CkptPhaseKind::Truncate));
+        assert_eq!(
+            inj.log_lines(),
+            vec!["wal_checkpoint phase=manifest crash".to_string()]
+        );
+        // ckpt= rules never strike the append or fsync sites.
+        assert_eq!(inj.check_wal_append(0), None);
+        assert!(!inj.check_wal_fsync());
+    }
+
+    #[test]
+    fn wal_fsync_lies_are_deterministic() {
+        let mk = || Injector::new(plan("seed=13;fsynclie:wal@p=0.5"));
+        let a = mk();
+        let b = mk();
+        let mut hits = 0u32;
+        for _ in 0..400 {
+            let x = a.check_wal_fsync();
+            assert_eq!(x, b.check_wal_fsync());
+            hits += x as u32;
+        }
+        assert!((120..280).contains(&hits), "p=0.5 hit {hits}/400");
+        assert_eq!(a.log_lines(), b.log_lines());
     }
 
     #[test]

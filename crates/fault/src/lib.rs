@@ -30,4 +30,4 @@ pub mod inject;
 pub mod plan;
 
 pub use inject::{Injection, Injector, Site};
-pub use plan::{Domain, FaultKind, FaultPlan, FaultRule, Target, Trigger};
+pub use plan::{CkptPhaseKind, Domain, FaultKind, FaultPlan, FaultRule, Target, Trigger};

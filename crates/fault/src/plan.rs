@@ -10,8 +10,11 @@
 //! entry   := 'seed=' u64 | rule
 //! rule    := kind ':' target '@' trigger
 //! kind    := 'kill' | 'stall=' u64 | 'slow=' f64 | 'corrupt' | 'dropsteal'
-//! target  := ('sm' | 'worker' | 'store') '=' (u32 | '*') | 'store'
+//!          | 'torn' | 'shortwrite' | 'fsynclie' | 'crash'
+//! target  := ('sm' | 'worker' | 'store' | 'wal') '=' (u32 | '*')
+//!          | 'store' | 'wal'
 //! trigger := 'cycle=' u64 | 'req=' u64 | 'p=' f64 | 'always' | 'compaction'
+//!          | 'lsn=' u64 | 'ckpt=' ('pack' | 'manifest' | 'truncate')
 //! ```
 //!
 //! Examples: `kill:sm=3@cycle=10000` (kill SM 3 at simulated cycle
@@ -19,7 +22,11 @@
 //! request executions), `seed=7;stall=500:sm=*@p=0.1`,
 //! `corrupt:store@p=0.5` (flip a byte in half of the pack loads —
 //! checksum verification must catch every strike; bare `store` is
-//! shorthand for `store=*`).
+//! shorthand for `store=*`). The storage fault domain targets the WAL:
+//! `torn:wal@lsn=6` (tear the append of LSN 6 in half and crash),
+//! `crash:wal@ckpt=manifest` (hard process exit mid manifest swap),
+//! `fsynclie:wal@p=0.5` (half the fsyncs report success without
+//! persisting); bare `wal` is shorthand for `wal=*`.
 //!
 //! [`FaultPlan`] round-trips `parse → Display → parse` exactly; floats
 //! use Rust's shortest-round-trip formatting, so the property holds for
@@ -57,6 +64,20 @@ pub enum FaultKind {
     /// Drop an otherwise-successful steal at the copy site (the entries
     /// stay with the victim; the thief records a failed attempt).
     DropSteal,
+    /// Storage: tear a WAL append in half — flush everything staged,
+    /// write half of the struck frame, fsync, and hard-exit the
+    /// process. Recovery must truncate the torn tail.
+    Torn,
+    /// Storage: fail a WAL append at the syscall boundary (modelling
+    /// `ENOSPC`/short write) before any byte reaches the file; serve
+    /// must reject the write with a typed status, not a panic.
+    ShortWrite,
+    /// Storage: the fsync reports success but persists nothing — the
+    /// bytes stay in the modelled page cache and die with the process.
+    FsyncLie,
+    /// Storage: hard process exit (power loss) at a seeded point — a
+    /// durable append (`@lsn=`) or a checkpoint phase (`@ckpt=`).
+    Crash,
 }
 
 impl fmt::Display for FaultKind {
@@ -67,6 +88,10 @@ impl fmt::Display for FaultKind {
             FaultKind::SlowDown { factor } => write!(f, "slow={factor}"),
             FaultKind::CorruptResult => write!(f, "corrupt"),
             FaultKind::DropSteal => write!(f, "dropsteal"),
+            FaultKind::Torn => write!(f, "torn"),
+            FaultKind::ShortWrite => write!(f, "shortwrite"),
+            FaultKind::FsyncLie => write!(f, "fsynclie"),
+            FaultKind::Crash => write!(f, "crash"),
         }
     }
 }
@@ -80,6 +105,33 @@ pub enum Domain {
     Worker,
     /// The packed-graph store layer — the pack-load site (`db-store`).
     Store,
+    /// The write-ahead-log storage layer — append, fsync, and
+    /// checkpoint sites (`db-wal`).
+    Wal,
+}
+
+/// Checkpoint phase names usable in `ckpt=` triggers. Mirrors
+/// `db_wal::CkptPhase` without depending on that crate — the serve
+/// adapter maps between the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CkptPhaseKind {
+    /// After the pack snapshot is written.
+    Pack,
+    /// Mid manifest swap (temp durable, rename pending).
+    Manifest,
+    /// After the manifest swap, before WAL truncation.
+    Truncate,
+}
+
+impl CkptPhaseKind {
+    /// Stable lowercase name, as written in fault specs.
+    pub fn name(self) -> &'static str {
+        match self {
+            CkptPhaseKind::Pack => "pack",
+            CkptPhaseKind::Manifest => "manifest",
+            CkptPhaseKind::Truncate => "truncate",
+        }
+    }
 }
 
 /// The unit(s) a rule may strike: one SM/worker index or all of them.
@@ -97,6 +149,7 @@ impl fmt::Display for Target {
             Domain::Sm => "sm",
             Domain::Worker => "worker",
             Domain::Store => "store",
+            Domain::Wal => "wal",
         };
         match self.unit {
             Some(u) => write!(f, "{d}={u}"),
@@ -126,6 +179,10 @@ pub enum Trigger {
     /// merge hook inside `db-delta`). Never fires at sim or request
     /// sites, so a compaction rule cannot perturb the read path.
     OnCompaction,
+    /// Storage only: once, at the WAL append carrying exactly this LSN.
+    AtLsn(u64),
+    /// Storage only: at the named checkpoint phase.
+    AtCkpt(CkptPhaseKind),
 }
 
 impl fmt::Display for Trigger {
@@ -136,6 +193,8 @@ impl fmt::Display for Trigger {
             Trigger::Prob(p) => write!(f, "p={p}"),
             Trigger::Always => write!(f, "always"),
             Trigger::OnCompaction => write!(f, "compaction"),
+            Trigger::AtLsn(l) => write!(f, "lsn={l}"),
+            Trigger::AtCkpt(p) => write!(f, "ckpt={}", p.name()),
         }
     }
 }
@@ -243,6 +302,10 @@ fn parse_kind(s: &str) -> Result<FaultKind, String> {
         "kill" => Ok(FaultKind::Kill),
         "corrupt" => Ok(FaultKind::CorruptResult),
         "dropsteal" => Ok(FaultKind::DropSteal),
+        "torn" => Ok(FaultKind::Torn),
+        "shortwrite" => Ok(FaultKind::ShortWrite),
+        "fsynclie" => Ok(FaultKind::FsyncLie),
+        "crash" => Ok(FaultKind::Crash),
         _ => Err(format!("unknown fault kind '{s}'")),
     }
 }
@@ -256,13 +319,21 @@ fn parse_target(s: &str) -> Result<Target, String> {
             unit: None,
         });
     }
+    // Bare `wal` likewise: one log per serve process, no unit index.
+    if s == "wal" {
+        return Ok(Target {
+            domain: Domain::Wal,
+            unit: None,
+        });
+    }
     let (d, u) = s
         .split_once('=')
-        .ok_or_else(|| format!("target '{s}': expected sm=N|sm=*|worker=N|worker=*|store"))?;
+        .ok_or_else(|| format!("target '{s}': expected sm=N|sm=*|worker=N|worker=*|store|wal"))?;
     let domain = match d {
         "sm" => Domain::Sm,
         "worker" => Domain::Worker,
         "store" => Domain::Store,
+        "wal" => Domain::Wal,
         _ => return Err(format!("unknown target domain '{d}'")),
     };
     let unit = if u == "*" {
@@ -290,6 +361,20 @@ fn parse_trigger(s: &str) -> Result<Trigger, String> {
             return Err(format!("probability {p} out of [0, 1]"));
         }
         return Ok(Trigger::Prob(p));
+    }
+    if let Some(l) = s.strip_prefix("lsn=") {
+        return Ok(Trigger::AtLsn(
+            l.parse::<u64>().map_err(|e| format!("lsn '{l}': {e}"))?,
+        ));
+    }
+    if let Some(p) = s.strip_prefix("ckpt=") {
+        let phase = match p {
+            "pack" => CkptPhaseKind::Pack,
+            "manifest" => CkptPhaseKind::Manifest,
+            "truncate" => CkptPhaseKind::Truncate,
+            _ => return Err(format!("unknown checkpoint phase '{p}'")),
+        };
+        return Ok(Trigger::AtCkpt(phase));
     }
     if s == "always" {
         return Ok(Trigger::Always);
@@ -404,6 +489,45 @@ mod tests {
         assert_eq!(p.rules[0].trigger, Trigger::OnCompaction);
         assert_eq!(p.rules[0].kind, FaultKind::Kill);
         assert_eq!(p.to_string(), "kill:worker=*@compaction");
+    }
+
+    #[test]
+    fn wal_storage_grammar_parses_and_round_trips() {
+        let p = FaultPlan::parse(
+            "torn:wal@lsn=6;shortwrite:wal@lsn=2;fsynclie:wal@p=0.5;\
+             crash:wal@ckpt=manifest;crash:wal@lsn=11",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 5);
+        assert_eq!(p.rules[0].kind, FaultKind::Torn);
+        assert_eq!(p.rules[0].trigger, Trigger::AtLsn(6));
+        assert_eq!(p.rules[0].target.domain, Domain::Wal);
+        assert_eq!(p.rules[0].target.unit, None, "bare wal is wal=*");
+        assert_eq!(p.rules[1].kind, FaultKind::ShortWrite);
+        assert_eq!(p.rules[2].kind, FaultKind::FsyncLie);
+        assert_eq!(p.rules[3].trigger, Trigger::AtCkpt(CkptPhaseKind::Manifest));
+        assert_eq!(p.rules[4].kind, FaultKind::Crash);
+        // Round-trip: bare `wal` normalizes to `wal=*`.
+        let shown = p.to_string();
+        assert!(shown.contains("torn:wal=*@lsn=6"), "{shown}");
+        assert_eq!(FaultPlan::parse(&shown).unwrap(), p);
+        for phase in ["pack", "manifest", "truncate"] {
+            let spec = format!("crash:wal@ckpt={phase}");
+            let plan = FaultPlan::parse(&spec).unwrap();
+            assert_eq!(plan.to_string(), format!("crash:wal=*@ckpt={phase}"));
+        }
+    }
+
+    #[test]
+    fn wal_grammar_rejects_bad_specs() {
+        for bad in [
+            "torn:wal@lsn=abc",
+            "crash:wal@ckpt=rename",
+            "crash:wal@ckpt=",
+            "smash:wal@lsn=1",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted: {bad}");
+        }
     }
 
     #[test]

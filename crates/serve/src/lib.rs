@@ -74,7 +74,7 @@ pub mod request;
 pub mod resilience;
 
 pub use corpus::CorpusCache;
-pub use delta::{DeltaRegistry, DELTA_PREFIX};
+pub use delta::{DeltaRegistry, Durability, RecoveryInfo, DELTA_PREFIX};
 pub use metrics::MetricsSnapshot;
 pub use net::TcpServer;
 pub use pool::{ServeConfig, ServeHandle, Server};

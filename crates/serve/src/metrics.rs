@@ -38,6 +38,9 @@ pub struct Metrics {
     /// Write requests refused because their tenant was over the
     /// separate write quota.
     pub rejected_writes: Counter,
+    /// Write requests refused because the WAL append failed (short
+    /// write / ENOSPC); the batch made zero state changes.
+    pub rejected_storage: Counter,
     /// Requests that finished with [`crate::Status::Ok`].
     pub completed: Counter,
     /// Requests whose deadline expired.
@@ -98,6 +101,7 @@ impl Metrics {
             rejected_draining: rejected("draining"),
             rejected_breaker: rejected("breaker"),
             rejected_writes: rejected("write_quota"),
+            rejected_storage: rejected("storage"),
             completed: finished("ok"),
             expired: finished("expired"),
             errors: finished("error"),
@@ -177,6 +181,8 @@ pub struct MetricsSnapshot {
     pub rejected_breaker: u64,
     /// Refusals: tenant over the separate write quota.
     pub rejected_writes: u64,
+    /// Refusals: WAL append failed (short write / ENOSPC).
+    pub rejected_storage: u64,
     /// Requests finished `ok`.
     pub completed: u64,
     /// Requests finished `expired`.
@@ -239,6 +245,7 @@ impl MetricsSnapshot {
             + self.rejected_draining
             + self.rejected_breaker
             + self.rejected_writes
+            + self.rejected_storage
     }
 
     /// Cache hit rate in `[0, 1]`; 1.0 when the cache was never used.
@@ -266,6 +273,7 @@ impl MetricsSnapshot {
             ),
             ("rejected_breaker".into(), Value::u64(self.rejected_breaker)),
             ("rejected_writes".into(), Value::u64(self.rejected_writes)),
+            ("rejected_storage".into(), Value::u64(self.rejected_storage)),
             ("completed".into(), Value::u64(self.completed)),
             ("expired".into(), Value::u64(self.expired)),
             ("errors".into(), Value::u64(self.errors)),
@@ -312,6 +320,11 @@ impl MetricsSnapshot {
             // existed; default rather than reject those.
             rejected_writes: v
                 .get("rejected_writes")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+            // Same forward-compat default: absent before durability.
+            rejected_storage: v
+                .get("rejected_storage")
                 .and_then(Value::as_u64)
                 .unwrap_or(0),
             completed: f("completed")?,
@@ -371,7 +384,7 @@ mod tests {
             .find(|s| s.name == "db_serve_admitted_total")
             .unwrap();
         assert_eq!(admitted.value, 1.0);
-        // The five rejection reasons are distinct series of one name.
+        // The six rejection reasons are distinct series of one name.
         let reasons: Vec<_> = exp
             .samples
             .iter()
@@ -384,6 +397,7 @@ mod tests {
                 "breaker",
                 "capacity",
                 "draining",
+                "storage",
                 "tenant_quota",
                 "write_quota"
             ]

@@ -18,7 +18,7 @@
 //! with the engines' fine-grained two-level stacks).
 
 use crate::corpus::CorpusCache;
-use crate::delta::{DeltaEvent, DeltaRegistry, DELTA_PREFIX};
+use crate::delta::{DeltaEvent, DeltaRegistry, Durability, RecoveryInfo, DELTA_PREFIX};
 use crate::exec;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::request::{EngineKind, Request, Response, Status};
@@ -67,6 +67,9 @@ pub struct ServeConfig {
     /// Per-tenant latency/availability objectives feeding the
     /// `db_slo_*` burn-rate gauges.
     pub slo: SloConfig,
+    /// Crash-consistent durability for `delta:` corpora: WAL directory
+    /// and fsync policy. Off by default (in-memory deltas only).
+    pub durability: Durability,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +84,7 @@ impl Default for ServeConfig {
             resilience: Resilience::default(),
             flight: FlightConfig::default(),
             slo: SloConfig::default(),
+            durability: Durability::default(),
         }
     }
 }
@@ -293,6 +297,7 @@ impl ServerInner {
             errors: m.errors.get(),
             rejected_breaker: m.rejected_breaker.get(),
             rejected_writes: m.rejected_writes.get(),
+            rejected_storage: m.rejected_storage.get(),
             failed: m.failed.get(),
             steals: m.steals.get(),
             retries: m.retries.get(),
@@ -474,6 +479,12 @@ impl ServeHandle {
         self.inner.snapshot()
     }
 
+    /// The startup WAL-recovery report, when the server was configured
+    /// with a durable `wal_dir` (`None` otherwise).
+    pub fn recovery(&self) -> Option<RecoveryInfo> {
+        self.inner.delta.recovery().cloned()
+    }
+
     /// Copies the serve trace buffer (empty when tracing is disabled).
     pub fn trace_events(&self) -> Vec<TraceEvent> {
         self.inner
@@ -542,8 +553,20 @@ impl Server {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg.workers == 0` or `cfg.queue_capacity == 0`.
+    /// Panics if `cfg.workers == 0` or `cfg.queue_capacity == 0`, or if
+    /// WAL recovery fails (use [`Server::try_start`] for a typed
+    /// startup error).
     pub fn start(cfg: ServeConfig) -> Server {
+        // unwrap-ok: infallible-signature compatibility shim; callers
+        // that can handle startup errors use try_start
+        Self::try_start(cfg).unwrap_or_else(|e| panic!("server startup: {e}"))
+    }
+
+    /// [`Server::start`] with a typed startup error instead of a
+    /// panic: WAL-directory recovery (torn-tail truncation, manifest
+    /// load, pack reload, tail replay) happens here, before any worker
+    /// thread spawns or any request is admitted.
+    pub fn try_start(cfg: ServeConfig) -> Result<Server, String> {
         assert!(cfg.workers > 0, "need at least one worker");
         assert!(cfg.queue_capacity > 0, "need a nonzero admission queue");
         let registry = db_metrics::Registry::new();
@@ -551,6 +574,11 @@ impl Server {
         let cache = CorpusCache::new_in(cfg.corpus_budget_bytes, &registry);
         let flight = FlightRecorder::new(cfg.workers, cfg.flight.clone());
         let slo = SloTracker::new(&cfg.slo, &registry);
+        let delta = DeltaRegistry::with_durability(
+            &registry,
+            &cfg.durability,
+            cfg.resilience.faults.clone(),
+        )?;
         let inner = Arc::new(ServerInner {
             state: Mutex::new(PoolState {
                 queues: (0..cfg.workers).map(|_| VecDeque::new()).collect(),
@@ -562,7 +590,7 @@ impl Server {
             }),
             cv: Condvar::new(),
             cache,
-            delta: DeltaRegistry::new_in(&registry),
+            delta,
             registry,
             metrics,
             tracer: (cfg.trace_capacity > 0).then(|| RingBufferTracer::new(cfg.trace_capacity)),
@@ -574,6 +602,22 @@ impl Server {
             slo,
             cfg,
         });
+        // Startup recovery is flight-recorded like any other work: one
+        // Recovery span (value = replayed records, code 1 = a torn
+        // tail was truncated) on a synthetic trace.
+        if let Some(info) = inner.delta.recovery() {
+            if info.replayed > 0 || info.torn_truncated {
+                let ctx = TraceCtx::derive(0, "recovery");
+                inner.span(
+                    &ctx,
+                    SpanKind::Recovery,
+                    u32::from(info.torn_truncated),
+                    info.replayed,
+                    ADMISSION_WORKER,
+                    0,
+                );
+            }
+        }
         let workers = (0..inner.cfg.workers)
             .map(|idx| {
                 let inner = Arc::clone(&inner);
@@ -584,7 +628,7 @@ impl Server {
                     .expect("spawn serve worker")
             })
             .collect();
-        Server { inner, workers }
+        Ok(Server { inner, workers })
     }
 
     /// In-process client handle (clonable, sendable across threads).
@@ -954,6 +998,15 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) -> bool {
                         t_exec,
                     );
                 }
+                DeltaEvent::Wal { lsn, .. } => {
+                    inner.span(&job.ctx, SpanKind::Wal, 0, lsn, worker, t_exec);
+                }
+                DeltaEvent::Checkpoint { epoch } => {
+                    inner.span(&job.ctx, SpanKind::Wal, 1, u64::from(epoch), worker, t_exec);
+                }
+                DeltaEvent::StorageRejected => {
+                    inner.metrics.rejected_storage.inc();
+                }
             }
         }
         finish_job(inner, worker, &job, reply, resp, false);
@@ -1072,7 +1125,11 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) -> bool {
                     FaultKind::CorruptResult => 1,
                     FaultKind::Stall { .. } => 2,
                     FaultKind::SlowDown { .. } => 3,
-                    FaultKind::DropSteal => 0,
+                    FaultKind::DropSteal
+                    | FaultKind::Torn
+                    | FaultKind::ShortWrite
+                    | FaultKind::FsyncLie
+                    | FaultKind::Crash => 0,
                 };
                 inner.span(&job.ctx, SpanKind::Fault, fault_code, 0, worker, t_attempt);
                 match kind {
@@ -1088,6 +1145,12 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) -> bool {
                     }
                     // Steal-site only; check_request never yields it.
                     FaultKind::DropSteal => {}
+                    // Storage kinds strike wal sites, never request
+                    // execution; check_request never yields them.
+                    FaultKind::Torn
+                    | FaultKind::ShortWrite
+                    | FaultKind::FsyncLie
+                    | FaultKind::Crash => {}
                 }
             }
         }

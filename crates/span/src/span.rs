@@ -54,11 +54,17 @@ pub enum SpanKind {
     /// phase consumed, `code` = (sm << 8) | phase index
     /// (`db_gpu_sim::SimPhase::ALL` order).
     SimPhase,
+    /// A durability event on the write path. `code` 0 = WAL append
+    /// (`value` = LSN), 1 = checkpoint (`value` = epoch folded).
+    Wal,
+    /// Startup recovery replayed the WAL tail. `value` = records
+    /// replayed, `code` 1 if a torn tail was truncated, else 0.
+    Recovery,
 }
 
 impl SpanKind {
     /// All kinds, in wire-code order (codes start at 1).
-    pub const ALL: [SpanKind; 13] = [
+    pub const ALL: [SpanKind; 15] = [
         SpanKind::Request,
         SpanKind::Admit,
         SpanKind::Queue,
@@ -72,6 +78,8 @@ impl SpanKind {
         SpanKind::DeltaWrite,
         SpanKind::DeadlineMiss,
         SpanKind::SimPhase,
+        SpanKind::Wal,
+        SpanKind::Recovery,
     ];
 
     /// Stable wire code (1-based; 0 is reserved as invalid).
@@ -90,6 +98,8 @@ impl SpanKind {
             SpanKind::DeltaWrite => 11,
             SpanKind::DeadlineMiss => 12,
             SpanKind::SimPhase => 13,
+            SpanKind::Wal => 14,
+            SpanKind::Recovery => 15,
         }
     }
 
@@ -114,6 +124,8 @@ impl SpanKind {
             SpanKind::DeltaWrite => "delta_write",
             SpanKind::DeadlineMiss => "deadline_miss",
             SpanKind::SimPhase => "sim_phase",
+            SpanKind::Wal => "wal",
+            SpanKind::Recovery => "recovery",
         }
     }
 

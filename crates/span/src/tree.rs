@@ -161,6 +161,19 @@ fn describe(dump: &FlightDump, s: &SpanRecord) -> String {
             s.code & 0xff,
             s.value
         ),
+        SpanKind::Wal => match s.code {
+            0 => format!("append lsn={}", s.value),
+            _ => format!("checkpoint epoch={}", s.value),
+        },
+        SpanKind::Recovery => format!(
+            "replayed={}{}",
+            s.value,
+            if s.code == 1 {
+                " torn_tail=truncated"
+            } else {
+                ""
+            }
+        ),
     };
     let worker = if s.worker == crate::span::ADMISSION_WORKER {
         "admission".to_string()

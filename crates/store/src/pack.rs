@@ -368,6 +368,16 @@ impl PackWriter {
             path: self.path.clone(),
             source,
         })?;
+        // The rename is only durable once the directory entry is too: a
+        // power cut between rename and dir-fsync can make a finished pack
+        // vanish even though its bytes were synced.
+        if let Some(dir) = self.path.parent() {
+            fsync_dir(dir).map_err(|source| StoreError::Io {
+                op: "sync dir",
+                path: dir.to_path_buf(),
+                source,
+            })?;
+        }
         self.finished = true;
         self.cleanup_spools();
 
@@ -408,6 +418,21 @@ pub fn pack_graph(
         w.push_row(g.neighbors(u))?;
     }
     w.finish()
+}
+
+/// Fsyncs a directory so a rename inside it survives power loss. On
+/// non-Unix platforms this is a no-op (directory handles cannot be
+/// fsynced portably).
+fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
 }
 
 fn sibling(path: &Path, suffix: &str) -> PathBuf {

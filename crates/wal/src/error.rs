@@ -1,0 +1,96 @@
+//! The typed error surface of the WAL: every I/O failure names its
+//! operation and path, and every corruption names its byte offset.
+//! Nothing in this crate panics on a bad file — the proptest suite
+//! holds that line against arbitrary truncation and bit flips.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Why a WAL, manifest, or checkpoint operation failed.
+#[derive(Debug)]
+pub enum WalError {
+    /// An I/O operation failed (including injected short writes, which
+    /// model `ENOSPC`). `op` is the operation name, `path` the file it
+    /// was aimed at.
+    Io {
+        /// Operation name (`append`, `sync`, `rename`, …).
+        op: &'static str,
+        /// File or directory the operation targeted.
+        path: PathBuf,
+        /// Underlying OS error.
+        source: io::Error,
+    },
+    /// The file is corrupt *before* its tail: a frame with full bytes
+    /// present fails its CRC or structure check while valid data
+    /// follows it. A torn tail is NOT this error — tails are truncated
+    /// and reported, never rejected.
+    Corrupt {
+        /// The corrupt file.
+        path: PathBuf,
+        /// Byte offset of the bad frame.
+        offset: u64,
+        /// What failed (CRC mismatch, bad structure, LSN regression).
+        detail: String,
+    },
+    /// A manifest or record is structurally invalid (bad header line,
+    /// missing field, checksum mismatch on the manifest).
+    Malformed {
+        /// The offending file.
+        path: PathBuf,
+        /// What was wrong.
+        detail: String,
+    },
+    /// Recovery replay produced an epoch that disagrees with the one
+    /// logged at commit time — the rebuilt graph would not be
+    /// bit-identical to the pre-crash one.
+    Replay {
+        /// Corpus whose replay diverged.
+        corpus: String,
+        /// What diverged.
+        detail: String,
+    },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io { op, path, source } => {
+                write!(f, "wal {op} '{}': {source}", path.display())
+            }
+            WalError::Corrupt {
+                path,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "wal corrupt '{}' at byte {offset}: {detail}",
+                path.display()
+            ),
+            WalError::Malformed { path, detail } => {
+                write!(f, "wal malformed '{}': {detail}", path.display())
+            }
+            WalError::Replay { corpus, detail } => {
+                write!(f, "wal replay diverged for '{corpus}': {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Shorthand constructor for [`WalError::Io`].
+pub(crate) fn io_err(op: &'static str, path: &std::path::Path, source: io::Error) -> WalError {
+    WalError::Io {
+        op,
+        path: path.to_path_buf(),
+        source,
+    }
+}

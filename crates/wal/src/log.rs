@@ -1,0 +1,532 @@
+//! Append path of the WAL: group commit, fsync policy, compaction, and
+//! the fault hook that lets `db-fault` tear writes, lie about fsyncs, and
+//! crash the process at seeded points.
+//!
+//! Durability is modelled in user space: staged frames sit in a `Vec<u8>`
+//! buffer (standing in for the OS page cache) and only reach the file on
+//! [`Wal::flush_to_disk`]. An injected crash exits the process via
+//! [`std::process::exit`] with code [`CRASH_EXIT_CODE`] *without* flushing
+//! the buffer — exactly what power loss does to un-fsynced pages.
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::error::{io_err, WalError};
+use crate::fsync_dir;
+use crate::metrics::WalMetrics;
+use crate::record::{decode_frame, FrameError, WalRecord};
+
+/// Process exit code used by injected crash faults; the crash harness
+/// asserts on it to distinguish a seeded kill from an organic failure.
+pub const CRASH_EXIT_CODE: i32 = 86;
+
+/// When acknowledged bytes are forced to the platter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// Every append is flushed and fsynced before it is acknowledged.
+    #[default]
+    Always,
+    /// Appends are staged and fsynced once `n` records accumulate; an ack
+    /// is durable only after its group commits.
+    Group(u32),
+    /// Nothing is fsynced until checkpoint or clean shutdown; an ack
+    /// promises only apply-order, not durability.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses `always`, `group`, `group=N`, or `never`.
+    pub fn parse(s: &str) -> Result<FsyncPolicy, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            "group" => Ok(FsyncPolicy::Group(8)),
+            _ => match s.strip_prefix("group=") {
+                Some(n) => {
+                    let n: u32 = n
+                        .parse()
+                        .map_err(|_| format!("bad group size in fsync policy '{s}'"))?;
+                    if n == 0 {
+                        return Err("fsync group size must be >= 1".to_string());
+                    }
+                    Ok(FsyncPolicy::Group(n))
+                }
+                None => Err(format!(
+                    "unknown fsync policy '{s}' (expected always|group[=N]|never)"
+                )),
+            },
+        }
+    }
+}
+
+impl fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsyncPolicy::Always => write!(f, "always"),
+            FsyncPolicy::Group(n) => write!(f, "group={n}"),
+            FsyncPolicy::Never => write!(f, "never"),
+        }
+    }
+}
+
+/// What an injected fault does to one append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppendFault {
+    /// No fault: append proceeds normally.
+    None,
+    /// Flush everything staged so far, write *half* of this frame, sync,
+    /// and crash — leaves a torn tail on disk.
+    Torn,
+    /// Fail the append with an I/O error before touching the file,
+    /// modelling `ENOSPC`/short-write at the syscall boundary.
+    ShortWrite,
+    /// Flush everything including this frame, sync, and crash — a clean
+    /// kill right after a durable append.
+    Crash,
+}
+
+/// Phase of a checkpoint, used to place crash points inside the
+/// pack → manifest → truncate protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CkptPhase {
+    /// After the pack snapshot is written, before the manifest swap.
+    Pack,
+    /// Mid manifest swap: temp file written and synced, rename pending.
+    Manifest,
+    /// After the manifest swap, before the WAL is truncated.
+    Truncate,
+}
+
+impl CkptPhase {
+    /// Stable lowercase name, matching the fault-plan grammar.
+    pub fn name(self) -> &'static str {
+        match self {
+            CkptPhase::Pack => "pack",
+            CkptPhase::Manifest => "manifest",
+            CkptPhase::Truncate => "truncate",
+        }
+    }
+}
+
+/// Storage fault hook, implemented by the serve layer over `db-fault`'s
+/// injector. Every durability decision point consults it.
+pub trait WalFaultHook: Send + Sync {
+    /// Consulted before appending the record at `lsn`.
+    fn on_append(&self, lsn: u64) -> AppendFault;
+    /// Returns `true` if this fsync should *lie* — report success while
+    /// leaving the bytes buffered.
+    fn on_fsync(&self) -> bool;
+    /// Returns `true` if the process should crash at this checkpoint
+    /// phase.
+    fn on_checkpoint(&self, phase: CkptPhase) -> bool;
+}
+
+/// Crash the process with the seeded-kill exit code, flushing nothing.
+fn injected_crash() -> ! {
+    std::process::exit(CRASH_EXIT_CODE)
+}
+
+/// An open write-ahead log file.
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    /// Staged frames not yet written+fsynced — the modelled page cache.
+    buffered: Vec<u8>,
+    buffered_records: u32,
+    policy: FsyncPolicy,
+    next_lsn: u64,
+    metrics: WalMetrics,
+    hook: Option<Arc<dyn WalFaultHook>>,
+}
+
+impl fmt::Debug for Wal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Wal")
+            .field("path", &self.path)
+            .field("policy", &self.policy)
+            .field("next_lsn", &self.next_lsn)
+            .field("buffered_records", &self.buffered_records)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log at `path` for appending, with
+    /// `next_lsn` as the first LSN to hand out. Callers should have run
+    /// [`crate::recover::recover_file`] first so the tail is clean.
+    pub fn open_at(
+        path: &Path,
+        policy: FsyncPolicy,
+        next_lsn: u64,
+        metrics: WalMetrics,
+        hook: Option<Arc<dyn WalFaultHook>>,
+    ) -> Result<Wal, WalError> {
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err("open", path, e))?;
+        Ok(Wal {
+            path: path.to_path_buf(),
+            file,
+            buffered: Vec::new(),
+            buffered_records: 0,
+            policy,
+            next_lsn,
+            metrics,
+            hook,
+        })
+    }
+
+    /// The LSN the next appended record will carry.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends `rec` and commits it according to the fsync policy.
+    /// `rec.lsn` must equal [`Wal::next_lsn`]. Returns the frame size in
+    /// bytes on success. On error the file and LSN counter are untouched,
+    /// so the write can be rejected without poisoning the log.
+    pub fn append(&mut self, rec: &WalRecord) -> Result<u32, WalError> {
+        debug_assert_eq!(rec.lsn, self.next_lsn, "caller must use next_lsn()");
+        let frame = rec.encode_frame();
+        if let Some(hook) = self.hook.clone() {
+            match hook.on_append(rec.lsn) {
+                AppendFault::None => {}
+                AppendFault::ShortWrite => {
+                    return Err(io_err(
+                        "append",
+                        &self.path,
+                        std::io::Error::other("injected short write (ENOSPC)"),
+                    ));
+                }
+                AppendFault::Torn => {
+                    // Everything staged before this record really commits,
+                    // then power dies halfway through this frame.
+                    let _ = self.force_flush();
+                    let half = &frame[..frame.len() / 2];
+                    let _ = self.file.write_all(half);
+                    let _ = self.file.sync_all();
+                    injected_crash();
+                }
+                AppendFault::Crash => {
+                    // This record commits durably, then the process dies
+                    // before the ack can be returned.
+                    self.buffered.extend_from_slice(&frame);
+                    self.buffered_records += 1;
+                    let _ = self.force_flush();
+                    injected_crash();
+                }
+            }
+        }
+        self.buffered.extend_from_slice(&frame);
+        self.buffered_records += 1;
+        self.metrics.appended_records.inc();
+        self.metrics.appended_bytes.add(frame.len() as u64);
+        self.next_lsn = rec.lsn + 1;
+        match self.policy {
+            FsyncPolicy::Always => self.flush_to_disk()?,
+            FsyncPolicy::Group(n) => {
+                if self.buffered_records >= n {
+                    self.flush_to_disk()?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(frame.len() as u32)
+    }
+
+    /// Writes and fsyncs every staged frame, honouring an injected
+    /// `fsynclie` (which leaves the buffer staged and reports success).
+    pub fn flush_to_disk(&mut self) -> Result<(), WalError> {
+        if self.buffered.is_empty() {
+            return Ok(());
+        }
+        if let Some(hook) = &self.hook {
+            if hook.on_fsync() {
+                self.metrics.fsync_lies.inc();
+                return Ok(());
+            }
+        }
+        self.force_flush()
+    }
+
+    /// Writes and fsyncs every staged frame, ignoring fsync-lie faults.
+    /// Used on the crash paths where the fault itself decides durability.
+    fn force_flush(&mut self) -> Result<(), WalError> {
+        if self.buffered.is_empty() {
+            return Ok(());
+        }
+        self.file
+            .write_all(&self.buffered)
+            .map_err(|e| io_err("append", &self.path, e))?;
+        self.file
+            .sync_all()
+            .map_err(|e| io_err("sync", &self.path, e))?;
+        self.metrics.fsyncs.inc();
+        self.metrics
+            .group_size
+            .observe(u64::from(self.buffered_records));
+        self.buffered.clear();
+        self.buffered_records = 0;
+        Ok(())
+    }
+
+    /// Rewrites the log keeping only records for which `keep` returns
+    /// true, via temp + fsync + rename + dir-fsync. Used after a
+    /// checkpoint to drop records the manifest already covers. Returns
+    /// the number of records retained. `next_lsn` is unchanged.
+    pub fn compact(&mut self, keep: impl Fn(&WalRecord) -> bool) -> Result<u64, WalError> {
+        self.force_flush()?;
+        let data = fs::read(&self.path).map_err(|e| io_err("read", &self.path, e))?;
+        let mut out = Vec::new();
+        let mut kept = 0u64;
+        let mut offset = 0usize;
+        while offset < data.len() {
+            match decode_frame(&data[offset..]) {
+                Ok((rec, used)) => {
+                    if keep(&rec) {
+                        out.extend_from_slice(&data[offset..offset + used]);
+                        kept += 1;
+                    }
+                    offset += used;
+                }
+                Err(FrameError::Truncated { .. }) => break,
+                Err(e) => {
+                    return Err(WalError::Corrupt {
+                        path: self.path.clone(),
+                        offset: offset as u64,
+                        detail: format!("during compaction: {e:?}"),
+                    });
+                }
+            }
+        }
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+            f.write_all(&out).map_err(|e| io_err("write", &tmp, e))?;
+            f.sync_all().map_err(|e| io_err("sync", &tmp, e))?;
+        }
+        fs::rename(&tmp, &self.path).map_err(|e| io_err("rename", &self.path, e))?;
+        if let Some(dir) = self.path.parent() {
+            fsync_dir(dir).map_err(|e| io_err("sync dir", dir, e))?;
+        }
+        self.file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| io_err("reopen", &self.path, e))?;
+        Ok(kept)
+    }
+
+    /// Flushes any staged frames and fsyncs. Call before dropping when a
+    /// clean shutdown must be durable under `group`/`never` policies.
+    pub fn close(&mut self) -> Result<(), WalError> {
+        self.force_flush()
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        // Best effort: a clean process exit should not lose staged frames,
+        // but errors here have nowhere to go.
+        let _ = self.force_flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recover::scan_file;
+    use db_metrics::Registry;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dbwal-log-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).expect("mkdir");
+        d
+    }
+
+    fn rec(lsn: u64) -> WalRecord {
+        WalRecord {
+            lsn,
+            epoch: lsn + 1,
+            tenant: "t".to_string(),
+            corpus: "delta:g:8".to_string(),
+            adds: vec![(lsn as u32, lsn as u32 + 1)],
+            dels: vec![],
+            tombs: vec![],
+        }
+    }
+
+    #[test]
+    fn fsync_policy_parse_round_trips() {
+        for s in ["always", "never", "group=4"] {
+            let p = FsyncPolicy::parse(s).expect("parse");
+            assert_eq!(p.to_string(), s);
+        }
+        assert_eq!(
+            FsyncPolicy::parse("group").expect("parse"),
+            FsyncPolicy::Group(8)
+        );
+        assert!(FsyncPolicy::parse("sometimes").is_err());
+        assert!(FsyncPolicy::parse("group=0").is_err());
+    }
+
+    #[test]
+    fn append_always_is_immediately_durable() {
+        let dir = tmpdir("always");
+        let path = dir.join("wal.log");
+        let m = WalMetrics::register(&Registry::new());
+        let mut wal = Wal::open_at(&path, FsyncPolicy::Always, 0, m.clone(), None).expect("open");
+        for i in 0..3 {
+            wal.append(&rec(i)).expect("append");
+        }
+        // Durable without close(): scan the file while the Wal is open.
+        let scan = scan_file(&path).expect("scan");
+        assert_eq!(scan.records.len(), 3);
+        assert_eq!(wal.next_lsn(), 3);
+        assert_eq!(m.fsyncs.get(), 3);
+        assert_eq!(m.appended_records.get(), 3);
+        drop(wal);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_policy_commits_in_batches() {
+        let dir = tmpdir("group");
+        let path = dir.join("wal.log");
+        let m = WalMetrics::register(&Registry::new());
+        let mut wal = Wal::open_at(&path, FsyncPolicy::Group(3), 0, m.clone(), None).expect("open");
+        wal.append(&rec(0)).expect("append");
+        wal.append(&rec(1)).expect("append");
+        assert_eq!(scan_file(&path).expect("scan").records.len(), 0);
+        wal.append(&rec(2)).expect("append");
+        assert_eq!(scan_file(&path).expect("scan").records.len(), 3);
+        assert_eq!(m.fsyncs.get(), 1);
+        drop(wal);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn never_policy_flushes_on_close() {
+        let dir = tmpdir("never");
+        let path = dir.join("wal.log");
+        let m = WalMetrics::register(&Registry::new());
+        let mut wal = Wal::open_at(&path, FsyncPolicy::Never, 0, m, None).expect("open");
+        wal.append(&rec(0)).expect("append");
+        assert_eq!(scan_file(&path).expect("scan").records.len(), 0);
+        wal.close().expect("close");
+        assert_eq!(scan_file(&path).expect("scan").records.len(), 1);
+        drop(wal);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    struct ShortWriteOnce(AtomicU32);
+    impl WalFaultHook for ShortWriteOnce {
+        fn on_append(&self, lsn: u64) -> AppendFault {
+            if lsn == 1 && self.0.fetch_add(1, Ordering::Relaxed) == 0 {
+                AppendFault::ShortWrite
+            } else {
+                AppendFault::None
+            }
+        }
+        fn on_fsync(&self) -> bool {
+            false
+        }
+        fn on_checkpoint(&self, _phase: CkptPhase) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn short_write_fault_rejects_without_poisoning_log() {
+        let dir = tmpdir("shortwrite");
+        let path = dir.join("wal.log");
+        let m = WalMetrics::register(&Registry::new());
+        let hook = Arc::new(ShortWriteOnce(AtomicU32::new(0)));
+        let mut wal = Wal::open_at(&path, FsyncPolicy::Always, 0, m, Some(hook)).expect("open");
+        wal.append(&rec(0)).expect("append");
+        let err = wal.append(&rec(1)).expect_err("short write must fail");
+        assert!(matches!(err, WalError::Io { op: "append", .. }), "{err}");
+        assert_eq!(wal.next_lsn(), 1, "failed append must not consume the LSN");
+        // Retry succeeds and the log stays contiguous.
+        wal.append(&rec(1)).expect("retry");
+        let scan = scan_file(&path).expect("scan");
+        assert_eq!(
+            scan.records.iter().map(|r| r.lsn).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        drop(wal);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    struct LyingFsync;
+    impl WalFaultHook for LyingFsync {
+        fn on_append(&self, _lsn: u64) -> AppendFault {
+            AppendFault::None
+        }
+        fn on_fsync(&self) -> bool {
+            true
+        }
+        fn on_checkpoint(&self, _phase: CkptPhase) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn fsync_lie_keeps_bytes_buffered() {
+        let dir = tmpdir("fsynclie");
+        let path = dir.join("wal.log");
+        let m = WalMetrics::register(&Registry::new());
+        let mut wal = Wal::open_at(
+            &path,
+            FsyncPolicy::Always,
+            0,
+            m.clone(),
+            Some(Arc::new(LyingFsync)),
+        )
+        .expect("open");
+        wal.append(&rec(0)).expect("append");
+        assert_eq!(m.fsync_lies.get(), 1);
+        assert_eq!(m.fsyncs.get(), 0);
+        // Nothing reached the file: this is what power loss would expose.
+        assert_eq!(scan_file(&path).expect("scan").records.len(), 0);
+        drop(wal);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_keeps_matching_suffix() {
+        let dir = tmpdir("compact");
+        let path = dir.join("wal.log");
+        let m = WalMetrics::register(&Registry::new());
+        let mut wal = Wal::open_at(&path, FsyncPolicy::Always, 0, m, None).expect("open");
+        for i in 0..5 {
+            wal.append(&rec(i)).expect("append");
+        }
+        let kept = wal.compact(|r| r.lsn >= 3).expect("compact");
+        assert_eq!(kept, 2);
+        let scan = scan_file(&path).expect("scan");
+        assert_eq!(
+            scan.records.iter().map(|r| r.lsn).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        assert_eq!(wal.next_lsn(), 5, "compaction must not rewind the LSN");
+        // Appending after compaction still works on the reopened handle.
+        wal.append(&rec(5)).expect("append after compact");
+        assert_eq!(scan_file(&path).expect("scan").records.len(), 3);
+        drop(wal);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,296 @@
+//! Checkpoint manifest: a checksummed text file recording, per corpus,
+//! the pack snapshot and the last WAL LSN it covers.
+//!
+//! Format (`\t`-separated fields, one corpus per line, trailing CRC line
+//! over everything before it):
+//!
+//! ```text
+//! dbwal-manifest v1
+//! corpus=<key>\tepoch=<e>\tlsn=<l>\tapplied=<n>\tpack=<path or ->
+//! crc=<8 hex digits>
+//! ```
+//!
+//! The manifest is swapped atomically: write temp, fsync temp, rename
+//! over the live file, fsync the parent directory. An injected
+//! `crash:wal@ckpt=manifest` fault kills the process between the temp
+//! fsync and the rename — the window a real power cut would hit.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::error::{io_err, WalError};
+use crate::fsync_dir;
+use crate::log::{CkptPhase, WalFaultHook};
+use crate::record::crc32;
+
+/// Header line identifying the format version.
+pub const MANIFEST_HEADER: &str = "dbwal-manifest v1";
+
+/// Checkpoint state for one corpus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Corpus key (must not contain tab or newline).
+    pub corpus: String,
+    /// Epoch the pack snapshot represents.
+    pub epoch: u64,
+    /// Last WAL LSN folded into the pack; recovery replays strictly
+    /// greater LSNs only.
+    pub lsn: u64,
+    /// Acknowledged writes applied up to and including `lsn`.
+    pub applied: u64,
+    /// Pack snapshot path, or `None` for an empty-base corpus.
+    pub pack: Option<PathBuf>,
+}
+
+/// The full manifest: one entry per checkpointed corpus.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Entries keyed by corpus, in stable (sorted) order.
+    pub entries: BTreeMap<String, ManifestEntry>,
+}
+
+impl Manifest {
+    /// Serializes to the on-disk text format, CRC line included.
+    fn render(&self) -> String {
+        let mut body = String::new();
+        body.push_str(MANIFEST_HEADER);
+        body.push('\n');
+        for e in self.entries.values() {
+            let pack = e
+                .pack
+                .as_ref()
+                .map_or_else(|| "-".to_string(), |p| p.display().to_string());
+            body.push_str(&format!(
+                "corpus={}\tepoch={}\tlsn={}\tapplied={}\tpack={}\n",
+                e.corpus, e.epoch, e.lsn, e.applied, pack
+            ));
+        }
+        let crc = crc32(body.as_bytes());
+        body.push_str(&format!("crc={crc:08x}\n"));
+        body
+    }
+
+    /// Loads the manifest at `path`. A missing file is `Ok(None)` — the
+    /// first checkpoint has not happened yet. A present-but-invalid file
+    /// is a typed error: recovery must not guess.
+    pub fn load(path: &Path) -> Result<Option<Manifest>, WalError> {
+        let text = match fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(io_err("read", path, e)),
+        };
+        let malformed = |detail: String| WalError::Malformed {
+            path: path.to_path_buf(),
+            detail,
+        };
+        let crc_pos = text
+            .rfind("crc=")
+            .ok_or_else(|| malformed("missing crc line".to_string()))?;
+        let (body, crc_line) = text.split_at(crc_pos);
+        let claimed = crc_line
+            .trim_end()
+            .strip_prefix("crc=")
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| malformed("unparseable crc line".to_string()))?;
+        let actual = crc32(body.as_bytes());
+        if claimed != actual {
+            return Err(malformed(format!(
+                "checksum mismatch: file says {claimed:08x}, computed {actual:08x}"
+            )));
+        }
+        let mut lines = body.lines();
+        if lines.next() != Some(MANIFEST_HEADER) {
+            return Err(malformed(format!(
+                "bad header (expected '{MANIFEST_HEADER}')"
+            )));
+        }
+        let mut entries = BTreeMap::new();
+        for (i, line) in lines.enumerate() {
+            let mut corpus = None;
+            let mut epoch = None;
+            let mut lsn = None;
+            let mut applied = None;
+            let mut pack = None;
+            for field in line.split('\t') {
+                let (k, v) = field
+                    .split_once('=')
+                    .ok_or_else(|| malformed(format!("line {}: bad field '{field}'", i + 2)))?;
+                match k {
+                    "corpus" => corpus = Some(v.to_string()),
+                    "epoch" => epoch = v.parse::<u64>().ok(),
+                    "lsn" => lsn = v.parse::<u64>().ok(),
+                    "applied" => applied = v.parse::<u64>().ok(),
+                    "pack" => {
+                        pack = Some(if v == "-" {
+                            None
+                        } else {
+                            Some(PathBuf::from(v))
+                        })
+                    }
+                    _ => return Err(malformed(format!("line {}: unknown field '{k}'", i + 2))),
+                }
+            }
+            let entry = ManifestEntry {
+                corpus: corpus
+                    .ok_or_else(|| malformed(format!("line {}: missing corpus", i + 2)))?,
+                epoch: epoch
+                    .ok_or_else(|| malformed(format!("line {}: missing/bad epoch", i + 2)))?,
+                lsn: lsn.ok_or_else(|| malformed(format!("line {}: missing/bad lsn", i + 2)))?,
+                applied: applied
+                    .ok_or_else(|| malformed(format!("line {}: missing/bad applied", i + 2)))?,
+                pack: pack.ok_or_else(|| malformed(format!("line {}: missing pack", i + 2)))?,
+            };
+            entries.insert(entry.corpus.clone(), entry);
+        }
+        Ok(Some(Manifest { entries }))
+    }
+
+    /// Atomically replaces the manifest at `path`: temp + fsync + rename +
+    /// dir-fsync. The fault hook's `ckpt=manifest` crash point fires after
+    /// the temp file is durable but before the rename.
+    pub fn store(&self, path: &Path, hook: Option<&Arc<dyn WalFaultHook>>) -> Result<(), WalError> {
+        for key in self.entries.keys() {
+            if key.contains('\t') || key.contains('\n') {
+                return Err(WalError::Malformed {
+                    path: path.to_path_buf(),
+                    detail: format!("corpus key '{}' contains tab/newline", key.escape_debug()),
+                });
+            }
+        }
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+            f.write_all(self.render().as_bytes())
+                .map_err(|e| io_err("write", &tmp, e))?;
+            f.sync_all().map_err(|e| io_err("sync", &tmp, e))?;
+        }
+        if let Some(hook) = hook {
+            if hook.on_checkpoint(CkptPhase::Manifest) {
+                // Temp durable, rename pending: the live manifest still
+                // points at the previous checkpoint.
+                std::process::exit(crate::log::CRASH_EXIT_CODE);
+            }
+        }
+        fs::rename(&tmp, path).map_err(|e| io_err("rename", path, e))?;
+        if let Some(dir) = path.parent() {
+            fsync_dir(dir).map_err(|e| io_err("sync dir", dir, e))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dbwal-man-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).expect("mkdir");
+        d
+    }
+
+    fn sample() -> Manifest {
+        let mut m = Manifest::default();
+        m.entries.insert(
+            "delta:g:64".to_string(),
+            ManifestEntry {
+                corpus: "delta:g:64".to_string(),
+                epoch: 9,
+                lsn: 8,
+                applied: 9,
+                pack: Some(PathBuf::from("/tmp/ckpt-9.dbsg")),
+            },
+        );
+        m.entries.insert(
+            "delta:h:8".to_string(),
+            ManifestEntry {
+                corpus: "delta:h:8".to_string(),
+                epoch: 0,
+                lsn: 0,
+                applied: 0,
+                pack: None,
+            },
+        );
+        m
+    }
+
+    #[test]
+    fn store_load_round_trips() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("manifest");
+        let m = sample();
+        m.store(&path, None).expect("store");
+        let back = Manifest::load(&path).expect("load").expect("present");
+        assert_eq!(back, m);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_manifest_is_none() {
+        let dir = tmpdir("missing");
+        assert!(Manifest::load(&dir.join("manifest"))
+            .expect("load")
+            .is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_manifest_is_typed_error() {
+        let dir = tmpdir("corrupt");
+        let path = dir.join("manifest");
+        sample().store(&path, None).expect("store");
+        let mut text = fs::read_to_string(&path).expect("read");
+        text = text.replace("epoch=9", "epoch=7");
+        fs::write(&path, text).expect("write");
+        let err = Manifest::load(&path).expect_err("must fail");
+        assert!(matches!(err, WalError::Malformed { .. }), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_manifest_is_typed_error() {
+        let dir = tmpdir("trunc");
+        let path = dir.join("manifest");
+        sample().store(&path, None).expect("store");
+        let text = fs::read_to_string(&path).expect("read");
+        fs::write(&path, &text[..text.len() / 2]).expect("write");
+        assert!(Manifest::load(&path).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tab_in_corpus_key_rejected() {
+        let dir = tmpdir("tab");
+        let mut m = Manifest::default();
+        m.entries.insert(
+            "a\tb".to_string(),
+            ManifestEntry {
+                corpus: "a\tb".to_string(),
+                epoch: 0,
+                lsn: 0,
+                applied: 0,
+                pack: None,
+            },
+        );
+        assert!(m.store(&dir.join("manifest"), None).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_replaces_atomically() {
+        let dir = tmpdir("swap");
+        let path = dir.join("manifest");
+        let mut m = sample();
+        m.store(&path, None).expect("store v1");
+        m.entries.get_mut("delta:g:64").expect("entry").epoch = 12;
+        m.store(&path, None).expect("store v2");
+        let back = Manifest::load(&path).expect("load").expect("present");
+        assert_eq!(back.entries["delta:g:64"].epoch, 12);
+        assert!(!dir.join("manifest.tmp").exists(), "temp cleaned up");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -127,7 +127,7 @@ use diggerbees::baselines::serial;
 use diggerbees::check::race::{detect, RaceConfig};
 use diggerbees::check::{
     lint_tree, EpochModel, EpochScenario, Explorer, Model, Outcome, ProtoModel, ProtoScenario,
-    RingModel, RingScenario,
+    RingModel, RingScenario, WalModel, WalScenario,
 };
 use diggerbees::core::native::{NativeConfig, NativeEngine};
 use diggerbees::core::native_lockfree::LockFreeEngine;
@@ -241,13 +241,15 @@ fn parse_args() -> Result<Args, String> {
                             [--queue-cap n] [--tenant-quota n] [--budget-mb n] \
                             [--trace out.json] [--trace-format chrome|csv] \
                             [--faults spec] [--retry-max n] [--restart-budget n] \
-                            [--breaker-threshold n] [--breaker-cooldown-ms n]\n\
+                            [--breaker-threshold n] [--breaker-cooldown-ms n] \
+                            [--wal-dir dir] [--fsync always|group=N|never]\n\
                             \x20      diggerbees metrics [--addr host:port] [--json] \
                             [--check]\n\
                             \x20      diggerbees flight <inspect|export> <file.dbfr> \
                             [--trace hex] [--out file.json]\n\
                             \x20      diggerbees top [--addr host:port] [--interval-ms n] \
                             [--iters n] [--once] [--file scrape.txt]\n\
+                            \x20      diggerbees wal <inspect|verify> <dir|wal.log>\n\
                             \x20      diggerbees check [--root dir] [--race trace.csv] \
                             [--skew ns] [--lint-only] [--models-only]"
                     .into())
@@ -299,6 +301,7 @@ fn main() -> ExitCode {
         Some("metrics") => return metrics_main(),
         Some("check") => return check_main(),
         Some("store") => return store_main(),
+        Some("wal") => return wal_main(),
         Some("flight") => return flight_main(),
         Some("top") => return top_main(),
         _ => {}
@@ -743,6 +746,127 @@ fn store_main() -> ExitCode {
     }
 }
 
+/// `diggerbees wal`: offline inspection of a durability directory —
+/// the checksummed WAL and the checkpoint manifest that `serve
+/// --wal-dir` maintains. `inspect` summarizes; `verify` additionally
+/// loads every pack the manifest references. Both run read-only (the
+/// torn-tail report says what recovery *would* truncate).
+fn wal_main() -> ExitCode {
+    use diggerbees::wal::{scan_file, Manifest, MANIFEST_FILE, WAL_FILE};
+
+    let fail = |e: String| {
+        eprintln!("{e}");
+        ExitCode::FAILURE
+    };
+    let mut it = std::env::args().skip(2);
+    let verb = match it.next() {
+        Some(v) if v == "inspect" || v == "verify" => v,
+        _ => return fail("usage: diggerbees wal <inspect|verify> <dir|wal.log>".into()),
+    };
+    let path = match it.next() {
+        Some(p) => std::path::PathBuf::from(p),
+        None => return fail(format!("usage: diggerbees wal {verb} <dir|wal.log>")),
+    };
+    let (wal_path, manifest_path) = if path.is_dir() {
+        (path.join(WAL_FILE), Some(path.join(MANIFEST_FILE)))
+    } else {
+        (path.clone(), None)
+    };
+    let scan = match scan_file(&wal_path) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("{verb} {}: {e}", wal_path.display())),
+    };
+    println!(
+        "wal {}: {} record(s), next LSN {}",
+        wal_path.display(),
+        scan.records.len(),
+        scan.next_lsn
+    );
+    // Per-corpus breakdown in first-seen order.
+    let mut order: Vec<String> = Vec::new();
+    for r in &scan.records {
+        if !order.contains(&r.corpus) {
+            order.push(r.corpus.clone());
+        }
+    }
+    for corpus in &order {
+        let recs: Vec<_> = scan
+            .records
+            .iter()
+            .filter(|r| &r.corpus == corpus)
+            .collect();
+        let (adds, dels, tombs) = recs.iter().fold((0usize, 0usize, 0usize), |acc, r| {
+            (
+                acc.0 + r.adds.len(),
+                acc.1 + r.dels.len(),
+                acc.2 + r.tombs.len(),
+            )
+        });
+        println!(
+            "  corpus {corpus}: {} record(s), lsn {}..={}, epochs {}..={}, \
+             {adds} add(s) {dels} del(s) {tombs} tombstone(s)",
+            recs.len(),
+            recs.first().map_or(0, |r| r.lsn),
+            recs.last().map_or(0, |r| r.lsn),
+            recs.first().map_or(0, |r| r.epoch),
+            recs.last().map_or(0, |r| r.epoch),
+        );
+    }
+    if scan.tail.torn {
+        println!(
+            "tail: TORN — recovery would truncate {} trailing byte(s)",
+            scan.tail.truncated_bytes
+        );
+    } else {
+        println!("tail: clean");
+    }
+    let mut broken = 0usize;
+    if let Some(mp) = manifest_path {
+        match Manifest::load(&mp) {
+            Ok(Some(m)) => {
+                println!("manifest {}: {} entry(ies)", mp.display(), m.entries.len());
+                for me in m.entries.values() {
+                    let pack = me
+                        .pack
+                        .as_ref()
+                        .map_or("<none>".to_string(), |p| p.display().to_string());
+                    println!(
+                        "  corpus {}: checkpoint epoch {}, lsn {}, {} applied, pack {pack}",
+                        me.corpus, me.epoch, me.lsn, me.applied
+                    );
+                    if verb == "verify" {
+                        if let Some(p) = &me.pack {
+                            // Manifests record bare pack names resolved
+                            // against the directory they live in.
+                            let p = if p.is_absolute() {
+                                p.clone()
+                            } else {
+                                mp.parent().unwrap_or(std::path::Path::new(".")).join(p)
+                            };
+                            match diggerbees::store::load(&p) {
+                                Ok(_) => println!("    pack OK"),
+                                Err(e) => {
+                                    broken += 1;
+                                    println!("    pack BROKEN: {e}");
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(None) => println!("manifest {}: absent (no checkpoint yet)", mp.display()),
+            Err(e) => return fail(format!("{verb} {}: {e}", mp.display())),
+        }
+    }
+    if verb == "verify" {
+        if broken > 0 {
+            return fail(format!("verify: {broken} broken pack(s)"));
+        }
+        println!("verify: every frame checksum and referenced pack OK");
+    }
+    ExitCode::SUCCESS
+}
+
 /// `diggerbees metrics`: scrape a running server over the NDJSON
 /// endpoint — Prometheus text by default, `--json` for the snapshot,
 /// `--check` to validate the exposition with the bundled parser.
@@ -866,6 +990,14 @@ fn serve_main() -> ExitCode {
                     cfg.slo = diggerbees::metrics::SloConfig::parse(&spec)
                         .map_err(|e| format!("bad --slo spec '{spec}': {e}"))?;
                 }
+                "--wal-dir" => {
+                    cfg.durability.wal_dir = Some(std::path::PathBuf::from(take("--wal-dir")?))
+                }
+                "--fsync" => {
+                    let spec = take("--fsync")?;
+                    cfg.durability.fsync = diggerbees::wal::FsyncPolicy::parse(&spec)
+                        .map_err(|e| format!("bad --fsync spec '{spec}': {e}"))?;
+                }
                 other => return Err(format!("unknown argument: {other} (see --help)")),
             }
             Ok(())
@@ -884,7 +1016,23 @@ fn serve_main() -> ExitCode {
     if trace.is_some() {
         cfg.trace_capacity = TRACE_CAPACITY;
     }
-    let server = Server::start(cfg.clone());
+    let server = match Server::try_start(cfg.clone()) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("cannot start server: {e}")),
+    };
+    if let Some(info) = server.handle().recovery() {
+        println!(
+            "recovery: {} corpora, {} record(s) replayed, {} skipped{}",
+            info.corpora,
+            info.replayed,
+            info.skipped,
+            if info.torn_truncated {
+                " (torn WAL tail truncated)"
+            } else {
+                ""
+            }
+        );
+    }
     let mut tcp = match TcpServer::bind(server.handle(), &addr) {
         Ok(t) => t,
         Err(e) => return fail(format!("cannot bind {addr}: {e}")),
@@ -1242,6 +1390,7 @@ fn check_main() -> ExitCode {
             &ProtoModel::new(ProtoScenario::diamond4(2)),
         );
         findings += run_model_config("epoch/small", &EpochModel::new(EpochScenario::small()));
+        findings += run_model_config("wal/small", &WalModel::new(WalScenario::small()));
     }
 
     // 3. Race detection: a built-in traced sim run (exact DES cycles, so

@@ -72,3 +72,4 @@ pub use db_serve as serve;
 pub use db_span as span;
 pub use db_store as store;
 pub use db_trace as trace;
+pub use db_wal as wal;
