@@ -1,0 +1,189 @@
+//! SARIF 2.1.0 subset emitter.
+//!
+//! Emits one run with a rule per (analysis, kind) pair; each result
+//! carries the primary location, a single threadFlow reproducing the
+//! call-chain evidence, and the baseline fingerprint under
+//! `partialFingerprints` so SARIF consumers dedupe the same way the
+//! committed baseline does.
+
+use db_trace::json::Value;
+
+use crate::report::Finding;
+
+const SARIF_VERSION: &str = "2.1.0";
+const SCHEMA: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+
+fn location(file: &str, line: u32, message: Option<&str>) -> Value {
+    let mut fields = vec![(
+        "physicalLocation".into(),
+        Value::Obj(vec![
+            (
+                "artifactLocation".into(),
+                Value::Obj(vec![("uri".into(), Value::str(file))]),
+            ),
+            (
+                "region".into(),
+                Value::Obj(vec![(
+                    "startLine".into(),
+                    Value::u64(u64::from(line.max(1))),
+                )]),
+            ),
+        ]),
+    )];
+    if let Some(m) = message {
+        fields.push((
+            "message".into(),
+            Value::Obj(vec![("text".into(), Value::str(m))]),
+        ));
+    }
+    Value::Obj(fields)
+}
+
+fn result_of(f: &Finding) -> Value {
+    let rule_id = format!("{}/{}", f.analysis, f.kind);
+    let thread_locs: Vec<Value> = f
+        .frames
+        .iter()
+        .map(|fr| {
+            Value::Obj(vec![(
+                "location".into(),
+                location(&fr.file, fr.line, Some(&fr.function)),
+            )])
+        })
+        .collect();
+    let mut fields = vec![
+        ("ruleId".into(), Value::str(rule_id)),
+        ("level".into(), Value::str("error")),
+        (
+            "message".into(),
+            Value::Obj(vec![("text".into(), Value::str(&f.message))]),
+        ),
+        (
+            "locations".into(),
+            Value::Arr(vec![location(&f.file, f.line, None)]),
+        ),
+        (
+            "partialFingerprints".into(),
+            Value::Obj(vec![("dbAnalyze/v1".into(), Value::str(f.fingerprint()))]),
+        ),
+    ];
+    if f.frames.len() > 1 {
+        fields.push((
+            "codeFlows".into(),
+            Value::Arr(vec![Value::Obj(vec![(
+                "threadFlows".into(),
+                Value::Arr(vec![Value::Obj(vec![(
+                    "locations".into(),
+                    Value::Arr(thread_locs),
+                )])]),
+            )])]),
+        ));
+    }
+    Value::Obj(fields)
+}
+
+/// Renders findings as a SARIF 2.1.0 document.
+pub fn to_sarif(findings: &[Finding]) -> String {
+    let mut rule_ids: Vec<String> = findings
+        .iter()
+        .map(|f| format!("{}/{}", f.analysis, f.kind))
+        .collect();
+    rule_ids.sort();
+    rule_ids.dedup();
+    let rules: Vec<Value> = rule_ids
+        .iter()
+        .map(|id| Value::Obj(vec![("id".into(), Value::str(id.clone()))]))
+        .collect();
+
+    let driver = Value::Obj(vec![
+        ("name".into(), Value::str("db-analyze")),
+        (
+            "informationUri".into(),
+            Value::str("DESIGN.md#12-static-analysis"),
+        ),
+        ("rules".into(), Value::Arr(rules)),
+    ]);
+    let run = Value::Obj(vec![
+        ("tool".into(), Value::Obj(vec![("driver".into(), driver)])),
+        (
+            "results".into(),
+            Value::Arr(findings.iter().map(result_of).collect()),
+        ),
+    ]);
+    let doc = Value::Obj(vec![
+        ("$schema".into(), Value::str(SCHEMA)),
+        ("version".into(), Value::str(SARIF_VERSION)),
+        ("runs".into(), Value::Arr(vec![run])),
+    ]);
+    let mut s = doc.to_json();
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Frame;
+
+    #[test]
+    fn sarif_parses_back_and_carries_chain() {
+        let f = Finding {
+            analysis: "A4",
+            kind: "blocking-in-hot-path".into(),
+            file: "crates/s/src/io.rs".into(),
+            function: "flush".into(),
+            line: 12,
+            message: "blocking call".into(),
+            frames: vec![
+                Frame {
+                    file: "crates/s/src/pool.rs".into(),
+                    function: "worker_loop".into(),
+                    line: 3,
+                },
+                Frame {
+                    file: "crates/s/src/io.rs".into(),
+                    function: "flush".into(),
+                    line: 12,
+                },
+            ],
+            detail: "std::fs::write".into(),
+        };
+        let text = to_sarif(&[f]);
+        let doc = Value::parse(&text).expect("valid json");
+        assert_eq!(
+            doc.get("version").and_then(Value::as_str),
+            Some(SARIF_VERSION)
+        );
+        let runs = doc.get("runs").and_then(Value::as_array).expect("runs");
+        let results = runs[0]
+            .get("results")
+            .and_then(Value::as_array)
+            .expect("results");
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert_eq!(
+            r.get("ruleId").and_then(Value::as_str),
+            Some("A4/blocking-in-hot-path")
+        );
+        assert!(r.get("codeFlows").is_some());
+        let fp = r
+            .get("partialFingerprints")
+            .and_then(|p| p.get("dbAnalyze/v1"))
+            .and_then(Value::as_str)
+            .expect("fingerprint");
+        assert!(fp.starts_with("A4:blocking-in-hot-path:"));
+    }
+
+    #[test]
+    fn empty_findings_still_valid() {
+        let doc = Value::parse(&to_sarif(&[])).expect("valid json");
+        let runs = doc.get("runs").and_then(Value::as_array).expect("runs");
+        assert_eq!(
+            runs[0]
+                .get("results")
+                .and_then(Value::as_array)
+                .map(<[Value]>::len),
+            Some(0)
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Workspace-level integration tests: the analyzer against this
+//! repository's real source tree. Parser round-trip over every file,
+//! a pinned call-graph golden for the serve worker pool, and the
+//! repo-is-clean-versus-baseline gate the CI job relies on.
+
+use std::path::{Path, PathBuf};
+
+use db_analyze::analyses::Config;
+use db_analyze::parser::parse_file;
+use db_analyze::{analyze_tree, baseline, collect_rs_files, CallGraph};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root")
+}
+
+fn build_graph(root: &Path) -> CallGraph {
+    let files = collect_rs_files(root).expect("walk workspace");
+    let mut parsed = Vec::new();
+    for p in &files {
+        let rel = p
+            .strip_prefix(root)
+            .expect("under root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = std::fs::read_to_string(p).expect("read source");
+        parsed.push(parse_file(&rel, &text, false).expect("parse source"));
+    }
+    CallGraph::build(parsed)
+}
+
+/// Every workspace source file lexes and parses; the recovered
+/// function spans are structurally sound (in-bounds, non-overlapping
+/// at the same nesting level, names non-empty); and a reparse is
+/// byte-for-byte deterministic.
+#[test]
+fn parser_round_trips_every_workspace_file() {
+    let root = repo_root();
+    let files = collect_rs_files(&root).expect("walk workspace");
+    assert!(
+        files.len() > 100,
+        "workspace walk looks too small: {} files",
+        files.len()
+    );
+    let mut total_fns = 0usize;
+    for p in &files {
+        let rel = p
+            .strip_prefix(&root)
+            .expect("under root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = std::fs::read_to_string(p).expect("read source");
+        let pf = parse_file(&rel, &text, false).unwrap_or_else(|e| panic!("{rel}: {}", e.detail));
+        let ntok = pf.lexed.tokens.len();
+        for f in &pf.fns {
+            assert!(!f.name.is_empty(), "{rel}: unnamed fn");
+            assert!(
+                f.body.start <= f.body.end && f.body.end <= ntok,
+                "{rel}: fn {} body out of bounds",
+                f.name
+            );
+        }
+        let again = parse_file(&rel, &text, false).expect("reparse");
+        assert_eq!(
+            format!("{:?}", pf.fns),
+            format!("{:?}", again.fns),
+            "{rel}: parse is not deterministic"
+        );
+        total_fns += pf.fns.len();
+    }
+    assert!(
+        total_fns > 1000,
+        "function extraction looks too small: {total_fns} fns"
+    );
+}
+
+/// Call-graph golden for `crates/serve/src/pool.rs`: pins the edge
+/// count originating in the worker pool and the load-bearing edges of
+/// the steal protocol. An intentional pool change that shifts these
+/// updates the constants here — an accidental resolver regression
+/// fails loudly.
+#[test]
+fn callgraph_golden_for_serve_pool() {
+    let g = build_graph(&repo_root());
+    const POOL: &str = "crates/serve/src/pool.rs";
+    let pool_edges: usize = g
+        .edges
+        .iter()
+        .filter(|(id, _)| g.nodes[*id].file == POOL)
+        .map(|(_, es)| es.len())
+        .sum();
+    assert_eq!(
+        pool_edges, 182,
+        "edges out of pool.rs fns changed; if the pool or the resolver \
+         changed intentionally, update this golden"
+    );
+    for (from, to) in [
+        ("worker_entry", "worker_loop"),
+        ("worker_loop", "run_job"),
+        ("worker_loop", "steal_half"),
+        ("run_job", "execute_observed"),
+    ] {
+        assert!(
+            g.has_edge(POOL, from, to),
+            "expected call edge {from} -> {to} in {POOL}"
+        );
+    }
+}
+
+/// The committed `analyze-baseline.json` exactly matches what the
+/// analyzer produces on this tree: no new findings (the CI gate) and
+/// no stale entries (regenerate with
+/// `diggerbees check --analyze --write-baseline analyze-baseline.json`
+/// whenever findings legitimately change).
+#[test]
+fn repo_is_clean_against_committed_baseline() {
+    let root = repo_root();
+    let run = analyze_tree(&root, &Config::for_repo()).expect("analyze workspace");
+    let text = std::fs::read_to_string(root.join("analyze-baseline.json")).expect("read baseline");
+    let base = baseline::parse(&text).expect("parse baseline");
+    let d = baseline::diff(&run.findings, &base);
+    assert!(
+        d.new.is_empty(),
+        "new findings not in baseline:\n{}",
+        d.new
+            .iter()
+            .map(|f| f.render())
+            .collect::<Vec<_>>()
+            .join("")
+    );
+    assert!(
+        d.stale.is_empty(),
+        "stale baseline entries (regenerate the baseline): {:?}",
+        d.stale
+    );
+    assert_eq!(d.matched, base.len());
+}

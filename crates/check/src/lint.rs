@@ -6,11 +6,11 @@
 //!
 //! | rule | requirement | escape |
 //! |------|-------------|--------|
-//! | `R1-relaxed-justify` | every `Ordering::Relaxed` in the protocol crates (`core`, `baselines`, `serve`, `gpu-sim`) carries a `relaxed-ok:` justification | `// relaxed-ok: <why>` |
-//! | `R2-determinism` | no wall-clock (`std::time`, `Instant::now`, `SystemTime`) or `thread::sleep` in the deterministic crates (`gpu-sim`, `check`, `core/src/sim.rs`) | `// nondet-ok: <why>` |
+//! | `R1-relaxed-justify` | every `Ordering::Relaxed` in the protocol/durability crates (`core`, `baselines`, `serve`, `gpu-sim`, `store`, `delta`, `wal`) carries a `relaxed-ok:` justification | `// relaxed-ok: <why>` |
+//! | `R2-determinism` | no wall-clock (`std::time`, `Instant::now`, `SystemTime`) or `thread::sleep` in the deterministic crates (`gpu-sim`, `check` — including `crates/check/tests/`, `core/src/sim.rs`) | `// nondet-ok: <why>` |
 //! | `R3-no-unwrap` | no `.unwrap()` / `.expect(` on the serve request path (`pool.rs`, `net.rs`, `exec.rs`, `request.rs`) — a panic there kills a worker mid-request | `// unwrap-ok: <why>` |
 //! | `R4-guard-pairing` | every `catch_unwind(` call site names the drop-guard that restores shared state on unwind | `// guard: <which>` |
-//! | `R5-io-no-unwrap` | no `.unwrap()` / `.expect(` in the durability path (`db-wal`, `serve/delta.rs`) — an I/O panic there can tear a WAL frame or strand a half-swapped manifest | `// io-ok: <why>` |
+//! | `R5-io-no-unwrap` | no `.unwrap()` / `.expect(` in the durability path (`db-wal`, `db-store`, `db-delta`, `serve/delta.rs`) — an I/O panic there can tear a WAL frame, strand a half-swapped manifest, or abandon a half-written pack | `// io-ok: <why>` |
 //!
 //! The escape (or for R4 the `guard:` marker) must appear on the same
 //! line or within the three lines above the flagged one. `#[cfg(test)]`
@@ -20,9 +20,16 @@
 //! comments and string payloads cannot trigger rules; annotations are
 //! matched on the *raw* line because they live in comments.
 //!
-//! [`lint_tree`] walks `src/` and every `crates/*/src/` under a repo
-//! root, skipping `shims/` (vendored) and this file itself (it defines
-//! the forbidden tokens as pattern strings).
+//! [`lint_tree`] walks `src/`, every `crates/*/src/`, and (for R2)
+//! `crates/check/tests/` under a repo root — the model-checker tests
+//! are themselves determinism-critical. Vendored `shims/` and this
+//! file itself (it defines the forbidden tokens as pattern strings)
+//! are excluded.
+//!
+//! Four of the five rules have deeper interprocedural counterparts in
+//! `db-analyze` (see [`superseded_by`]): when `diggerbees check
+//! --analyze` runs, those textual findings yield to the analyzer's
+//! call-chain versions.
 
 use std::fs;
 use std::io;
@@ -51,14 +58,23 @@ impl std::fmt::Display for LintFinding {
     }
 }
 
-const R1_SCOPE: [&str; 4] = [
+const R1_SCOPE: [&str; 7] = [
     "crates/core/src/",
     "crates/baselines/src/",
     "crates/serve/src/",
     "crates/gpu-sim/src/",
+    "crates/store/src/",
+    "crates/delta/src/",
+    "crates/wal/src/",
 ];
 
-const R2_SCOPE: [&str; 2] = ["crates/gpu-sim/src/", "crates/check/src/"];
+const R2_SCOPE: [&str; 3] = [
+    "crates/gpu-sim/src/",
+    "crates/check/src/",
+    // The model-checker/differential tests are determinism-critical:
+    // a wall-clock in there makes exploration results run-dependent.
+    "crates/check/tests/",
+];
 const R2_EXTRA: [&str; 1] = ["crates/core/src/sim.rs"];
 
 const R3_SCOPE: [&str; 4] = [
@@ -70,7 +86,13 @@ const R3_SCOPE: [&str; 4] = [
 
 // nondet-ok: the forbidden tokens themselves, split so the scanner
 // cannot match its own pattern table.
-const R5_SCOPE: [&str; 1] = ["crates/wal/src/"];
+const R5_SCOPE: [&str; 3] = [
+    "crates/wal/src/",
+    // PackWriter/manifest fsync path and the epoch/compaction
+    // machinery persist state too — same blast radius as the WAL.
+    "crates/store/src/",
+    "crates/delta/src/",
+];
 const R5_EXTRA: [&str; 1] = ["crates/serve/src/delta.rs"];
 
 const R2_TOKENS: [&str; 4] = [
@@ -82,6 +104,23 @@ const R2_TOKENS: [&str; 4] = [
 
 /// How many lines above a flagged line an escape annotation may sit.
 const ANNOTATION_WINDOW: usize = 3;
+
+/// The db-analyze analysis that supersedes a textual rule, if any.
+///
+/// The interprocedural analyses see across function boundaries, so
+/// when `diggerbees check --analyze` runs, the caller drops these
+/// textual findings in favor of the analyzer's call-chain versions:
+/// R1 → A2 (atomic-ordering audit), R2 → A5 (determinism taint),
+/// R3/R5 → A1 (panic reachability). R4 has no analyzer counterpart —
+/// guard pairing is a local, per-site contract.
+pub fn superseded_by(rule: &str) -> Option<&'static str> {
+    match rule {
+        "R1-relaxed-justify" => Some("A2"),
+        "R2-determinism" => Some("A5"),
+        "R3-no-unwrap" | "R5-io-no-unwrap" => Some("A1"),
+        _ => None,
+    }
+}
 
 fn in_scope(file: &str, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|p| file.starts_with(p))
@@ -330,6 +369,12 @@ fn collect_files(root: &Path) -> io::Result<Vec<String>> {
             }
         }
     }
+    // The check crate's integration tests are determinism-critical
+    // (R2 applies there); other crates' tests stay out of scope.
+    let check_tests = root.join("crates/check/tests");
+    if check_tests.is_dir() {
+        walk(&check_tests, "crates/check/tests", &mut files)?;
+    }
     Ok(files)
 }
 
@@ -471,11 +516,84 @@ end\";
             "R5-io-no-unwrap"
         );
         assert_eq!(lint_source("crates/serve/src/delta.rs", bad).len(), 1);
+        assert_eq!(lint_source("crates/delta/src/graph.rs", bad).len(), 1);
         // Outside the persistence path the rule is silent.
         assert!(lint_source("crates/serve/src/corpus.rs", bad).is_empty());
-        assert!(lint_source("crates/delta/src/graph.rs", bad).is_empty());
         let ok = "fn f() { len.try_into().unwrap() } // io-ok: frame len is u32 by construction\n";
         assert!(lint_source("crates/wal/src/record.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn zero_hash_raw_strings_cannot_trigger() {
+        // Regression pin: `r"…"` (zero-hash raw strings) must enter
+        // the raw-string state like `r#"…"#` does, so forbidden tokens
+        // inside them stay inert.
+        let text = format!(
+            "fn f() -> &'static str {{ r\"{}\" }}\n",
+            concat!("Instant::", "now")
+        );
+        assert!(
+            lint_source("crates/gpu-sim/src/machine.rs", &text).is_empty(),
+            "token inside zero-hash raw string must not fire"
+        );
+
+        // Multi-line zero-hash raw string, token on the inner line.
+        let text = format!(
+            "const D: &str = r\"line one\n{}\nline three\";\n",
+            concat!("Instant::", "now")
+        );
+        assert!(lint_source("crates/gpu-sim/src/machine.rs", &text).is_empty());
+
+        // Trailing backslash must not escape the closing quote
+        // (raw strings have no escapes).
+        let text = format!(
+            "const P: &str = r\"C:\\\"; fn f() {{ {}(); }}\n",
+            concat!("Instant::", "now")
+        );
+        assert_eq!(
+            lint_source("crates/gpu-sim/src/machine.rs", &text).len(),
+            1,
+            "code after the raw string still fires"
+        );
+    }
+
+    #[test]
+    fn determinism_rule_covers_check_integration_tests() {
+        let sleep = format!("fn f() {{ {}(d); }}\n", concat!("thread::", "sleep"));
+        assert_eq!(
+            lint_source("crates/check/tests/differential.rs", &sleep).len(),
+            1,
+            "model-checker tests are determinism-critical"
+        );
+        // Other crates' tests stay out of scope.
+        assert!(lint_source("crates/serve/tests/smoke.rs", &sleep).is_empty());
+    }
+
+    #[test]
+    fn superseded_rules_map_to_analyses() {
+        assert_eq!(superseded_by("R1-relaxed-justify"), Some("A2"));
+        assert_eq!(superseded_by("R2-determinism"), Some("A5"));
+        assert_eq!(superseded_by("R3-no-unwrap"), Some("A1"));
+        assert_eq!(superseded_by("R5-io-no-unwrap"), Some("A1"));
+        assert_eq!(superseded_by("R4-guard-pairing"), None);
+    }
+
+    #[test]
+    fn extended_scopes_cover_store_delta_wal() {
+        let relaxed = "fn f(a: &AtomicU32) { a.store(1, Ordering::Relaxed); }\n";
+        for file in [
+            "crates/store/src/partition.rs",
+            "crates/delta/src/graph.rs",
+            "crates/wal/src/log.rs",
+        ] {
+            assert_eq!(lint_source(file, relaxed).len(), 1, "{file}");
+        }
+        let unwrap = "fn f() { std::fs::write(p, b).unwrap(); }\n";
+        for file in ["crates/store/src/pack.rs", "crates/delta/src/graph.rs"] {
+            let hits = lint_source(file, unwrap);
+            assert_eq!(hits.len(), 1, "{file}");
+            assert_eq!(hits[0].rule, "R5-io-no-unwrap");
+        }
     }
 
     #[test]

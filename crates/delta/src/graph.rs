@@ -242,6 +242,13 @@ impl DeltaGraph {
         self.n as usize
     }
 
+    /// Locks the mutable state. Poisoning means a mutator panicked
+    /// mid-batch; there is no torn on-disk state to salvage (layers
+    /// publish atomically), so propagating the panic is correct.
+    fn state(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap() // io-ok: poison implies a prior panic; nothing durable is torn
+    }
+
     /// Whether the base graph is directed. Undirected mutation batches
     /// stage both arc directions.
     pub fn is_directed(&self) -> bool {
@@ -250,13 +257,13 @@ impl DeltaGraph {
 
     /// The currently published epoch.
     pub fn current_epoch(&self) -> u64 {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.state();
         inner.base_epoch + inner.layers.len() as u64
     }
 
     /// Snapshot of the lifecycle counters.
     pub fn stats(&self) -> DeltaStats {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.state();
         let mut s = inner.stats;
         s.current_epoch = inner.base_epoch + inner.layers.len() as u64;
         s.base_epoch = inner.base_epoch;
@@ -268,14 +275,14 @@ impl DeltaGraph {
     /// Record an incremental-reach hit (called by
     /// [`IncrementalReach`](crate::IncrementalReach)).
     pub(crate) fn note_incremental_hit(&self) {
-        self.inner.lock().unwrap().stats.incremental_hits += 1;
+        self.state().stats.incremental_hits += 1;
     }
 
     /// Published layers with epochs in `(from, to]`, oldest first.
     /// Returns `None` when compaction has already folded part of that
     /// range into the base (callers must fall back to a full rebuild).
     pub fn layers_between(&self, from: u64, to: u64) -> Option<Vec<Arc<DeltaLayer>>> {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.state();
         if from < inner.base_epoch || to > inner.base_epoch + inner.layers.len() as u64 {
             return None;
         }
@@ -328,7 +335,7 @@ impl DeltaGraph {
     ) -> Result<Publish, DeltaError> {
         let applied = adds.len() + dels.len() + tombs.len();
         let epoch = {
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = self.state();
             let mut endpoints: Vec<u32> = tombs.to_vec();
             for &(u, v) in adds.iter().chain(dels) {
                 endpoints.push(u);
@@ -388,7 +395,7 @@ impl DeltaGraph {
     /// per epoch, so repeated pins of an unchanged epoch are cheap.
     pub fn pin(self: &Arc<Self>) -> EpochPin {
         let (epoch, snapshot) = {
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = self.state();
             let epoch = inner.base_epoch + inner.layers.len() as u64;
             let snapshot = Self::snapshot_locked(self.n, self.directed, &mut inner, epoch);
             *inner.pins.entry(epoch).or_insert(0) += 1;
@@ -407,7 +414,7 @@ impl DeltaGraph {
     /// pinning. `None` if `epoch` is below the current base or above
     /// the current epoch.
     pub fn snapshot_at(&self, epoch: u64) -> Option<Arc<CsrGraph>> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.state();
         if epoch < inner.base_epoch || epoch > inner.base_epoch + inner.layers.len() as u64 {
             return None;
         }
@@ -431,11 +438,12 @@ impl DeltaGraph {
     }
 
     fn unpin(&self, epoch: u64) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.state();
         let remove = {
             let count = inner
                 .pins
                 .get_mut(&epoch)
+                // io-ok: pin() inserted this entry and EpochPin::drop is the only caller
                 .expect("unpin of an epoch that was never pinned");
             *count -= 1;
             *count == 0
@@ -456,7 +464,7 @@ impl DeltaGraph {
     pub fn try_compact(&self, hook: CompactHook<'_>) -> CompactOutcome {
         // Phase 1 (locked): decide the fold limit and snapshot refs.
         let (base, layers, base_epoch, limit) = {
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = self.state();
             if inner.compacting {
                 return CompactOutcome::NotNeeded;
             }
@@ -485,21 +493,21 @@ impl DeltaGraph {
         // Phase 2 (unlocked): merge. The hook models crashes; an abort
         // leaves every published layer in place — nothing is lost.
         if hook(CompactPoint::Merge) == CompactAction::Abort {
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = self.state();
             inner.compacting = false;
             inner.stats.compactions_aborted += 1;
             return CompactOutcome::Aborted(CompactPoint::Merge);
         }
         let merged = materialize(self.n, self.directed, base.graph(), &layers);
         if hook(CompactPoint::Swap) == CompactAction::Abort {
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = self.state();
             inner.compacting = false;
             inner.stats.compactions_aborted += 1;
             return CompactOutcome::Aborted(CompactPoint::Swap);
         }
         // Phase 3 (locked): verify we still descend from the base we
         // merged and swap.
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.state();
         inner.compacting = false;
         if inner.base_epoch != base_epoch {
             return CompactOutcome::Raced;

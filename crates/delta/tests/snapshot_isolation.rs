@@ -83,6 +83,12 @@ fn pinned_traversals_are_bit_identical_under_concurrent_publishes() {
             assert_eq!(pin.graph().row_ptr(), &want_parts.0[..]);
             assert_eq!(pin.graph().col_idx(), &want_parts.1[..]);
         }
+        // Don't stop the writers until the world has verifiably moved
+        // past the pin — under parallel test load 400 reader loops are
+        // no guarantee the writer threads got scheduled at all.
+        while dg.current_epoch() <= pinned_epoch + 100 {
+            std::thread::yield_now();
+        }
         stop.store(true, Ordering::Relaxed);
     });
 

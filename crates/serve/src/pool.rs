@@ -1176,6 +1176,7 @@ fn run_job(inner: &ServerInner, worker: u32, job: Job) -> bool {
                 panic!("injected fault: kill");
             }
             if let Some(d) = stall {
+                // blocking-ok: fault-injected stall; blocking is the point
                 std::thread::sleep(d);
             }
             exec::execute_observed(req, graph, &token, Some(&mut sim_spans))

@@ -196,9 +196,11 @@ impl FlightRecorder {
         let dump = self.dump(reason);
         // relaxed-ok: sequence allocation; only atomicity matters
         let seq = self.dump_seq.fetch_add(1, Ordering::Relaxed);
+        // blocking-ok: dumps fire post-incident; capturing evidence
+        // outweighs the one-off write latency
         std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
         let path = dir.join(format!("flight-{seq:04}-{}.dbfr", reason.name()));
-        std::fs::write(&path, dump.encode())
+        std::fs::write(&path, dump.encode()) // blocking-ok: post-incident dump
             .map_err(|e| format!("write {}: {e}", path.display()))?;
         Ok(path)
     }

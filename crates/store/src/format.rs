@@ -137,6 +137,7 @@ impl Hash64 {
         }
         let mut chunks = bytes.chunks_exact(8);
         for c in &mut chunks {
+            // io-ok: chunks_exact(8) guarantees the slice length
             let w = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
             self.mix(w);
         }
@@ -240,8 +241,9 @@ impl SectionEntry {
 
     /// Decodes a 32-byte on-disk entry.
     pub fn decode(buf: &[u8; SECTION_ENTRY_LEN]) -> Self {
+        // io-ok: offsets are constants within the fixed 32-byte entry
         let u32at = |o: usize| u32::from_le_bytes(buf[o..o + 4].try_into().expect("4 bytes"));
-        let u64at = |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().expect("8 bytes"));
+        let u64at = |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().expect("8 bytes")); // io-ok: fixed offsets
         SectionEntry {
             id: u32at(0),
             offset: u64at(8),

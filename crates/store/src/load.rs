@@ -153,6 +153,7 @@ pub fn load_with(path: impl AsRef<Path>, opts: &LoadOptions) -> Result<MappedSto
     // of unchecked trust in file bytes).
     {
         let rp = row_ptr.as_slice();
+        // io-ok: section decode already verified row_ptr holds n+1 entries
         if rp[0] != 0 || *rp.last().expect("n+1 entries") != header.arcs {
             return Err(StoreError::Malformed(
                 "row_ptr endpoints disagree with header counts".into(),
@@ -208,9 +209,11 @@ pub fn parse_preamble(bytes: &[u8]) -> Result<(Header, Vec<SectionEntry>), Store
     if bytes[0..8] != MAGIC {
         return Err(StoreError::BadMagic);
     }
+    // io-ok: the length guard above proves HEADER_LEN bytes exist; offsets
+    // io-ok: below are constants inside that fixed prefix (three closures)
     let u16at = |o: usize| u16::from_le_bytes(bytes[o..o + 2].try_into().expect("2 bytes"));
-    let u32at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes"));
-    let u64at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().expect("8 bytes"));
+    let u32at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes")); // io-ok: fixed offsets
+    let u64at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().expect("8 bytes")); // io-ok: fixed offsets
     let version = u16at(8);
     if version != VERSION {
         return Err(StoreError::UnsupportedVersion(version));
@@ -244,11 +247,12 @@ pub fn parse_preamble(bytes: &[u8]) -> Result<(Header, Vec<SectionEntry>), Store
         let off = HEADER_LEN + i * SECTION_ENTRY_LEN;
         let buf: &[u8; SECTION_ENTRY_LEN] = bytes[off..off + SECTION_ENTRY_LEN]
             .try_into()
-            .expect("entry slice");
+            .expect("entry slice"); // io-ok: slice length equals the array length by construction
         let e = SectionEntry::decode(buf);
         let end = e.offset.checked_add(e.len);
         if !e.offset.is_multiple_of(8)
             || end.is_none()
+            // io-ok: is_none checked on the previous arm
             || end.expect("checked") > bytes.len() as u64
         {
             return Err(StoreError::SectionBounds { id: e.id });
@@ -287,7 +291,7 @@ fn map_u64s(
             let payload = section_payload(region.bytes(), e)?;
             let v = payload
                 .chunks_exact(8)
-                .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+                .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes"))) // io-ok: chunks_exact
                 .collect();
             Ok(SectionSlice::owned(v))
         }
@@ -306,7 +310,7 @@ fn map_u32s(
             let payload = section_payload(region.bytes(), e)?;
             let v = payload
                 .chunks_exact(4)
-                .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+                .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes"))) // io-ok: chunks_exact
                 .collect();
             Ok(SectionSlice::owned(v))
         }
@@ -339,7 +343,7 @@ fn decode_columns(
             cols.extend(
                 hub[hub_pos..end]
                     .chunks_exact(4)
-                    .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes"))),
+                    .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes"))), // io-ok: chunks_exact
             );
             hub_pos = end;
         } else {

@@ -177,6 +177,7 @@ impl PackWriter {
                 self.next_vertex, self.n
             )));
         }
+        // io-ok: row_ptr is seeded with a 0 entry in new() and only grows
         let arcs_so_far = *self.row_ptr.last().expect("row_ptr nonempty");
         self.row_ptr.push(arcs_so_far + row.len() as u64);
 
@@ -216,7 +217,7 @@ impl PackWriter {
                 self.next_vertex, self.n
             )));
         }
-        let arcs = *self.row_ptr.last().expect("row_ptr nonempty");
+        let arcs = *self.row_ptr.last().expect("row_ptr nonempty"); // io-ok: seeded in new()
 
         // Flush spools and collect their (path, len, checksum).
         self.packed.file.flush().map_err(|source| StoreError::Io {

@@ -154,10 +154,10 @@ pub fn run_partitioned<T: Tracer>(
         entries_handed: AtomicU64::new(0),
         expanded: AtomicU64::new(0),
     };
-    shared.visited[root as usize].store(true, Ordering::Relaxed);
+    shared.visited[root as usize].store(true, Ordering::Relaxed); // relaxed-ok: claim flag; the scope join below orders the final read
     {
         let owner = spec.owner(root);
-        shared.stacks[owner].lock().expect("stack lock").push(root);
+        shared.stacks[owner].lock().expect("stack lock").push(root); // io-ok: poisoned stack mutex means a worker panicked; propagate it
     }
 
     std::thread::scope(|scope| {
@@ -173,15 +173,15 @@ pub fn run_partitioned<T: Tracer>(
     let visited = shared
         .visited
         .iter()
-        .map(|b| b.load(Ordering::Relaxed))
+        .map(|b| b.load(Ordering::Relaxed)) // relaxed-ok: read after thread::scope join; join synchronizes
         .collect();
     let stats = PartitionRunStats {
-        steals: shared.steals.load(Ordering::Relaxed),
-        steal_fails: shared.steal_fails.load(Ordering::Relaxed),
-        entries_stolen: shared.entries_stolen.load(Ordering::Relaxed),
-        handoffs: shared.handoffs.load(Ordering::Relaxed),
-        entries_handed: shared.entries_handed.load(Ordering::Relaxed),
-        expanded: shared.expanded.load(Ordering::Relaxed),
+        steals: shared.steals.load(Ordering::Relaxed), // relaxed-ok: stats counter, read after join
+        steal_fails: shared.steal_fails.load(Ordering::Relaxed), // relaxed-ok: stats counter, read after join
+        entries_stolen: shared.entries_stolen.load(Ordering::Relaxed), // relaxed-ok: stats counter, read after join
+        handoffs: shared.handoffs.load(Ordering::Relaxed), // relaxed-ok: stats counter, read after join
+        entries_handed: shared.entries_handed.load(Ordering::Relaxed), // relaxed-ok: stats counter, read after join
+        expanded: shared.expanded.load(Ordering::Relaxed), // relaxed-ok: stats counter, read after join
     };
     (visited, completed, stats)
 }
@@ -201,8 +201,8 @@ fn worker<T: Tracer>(shared: &Shared<'_, T>, p: usize, cancelled: &(dyn Fn() -> 
         // 1. Local work: refill from own stack (which is also the inbox
         // remote handoffs land in).
         if local.is_empty() {
-            let mut stack = shared.stacks[p].lock().expect("stack lock");
-            // Take the top half so the bottom stays stealable.
+            let mut stack = shared.stacks[p].lock().expect("stack lock"); // io-ok: poisoned stack mutex means a worker panicked; propagate it
+                                                                          // Take the top half so the bottom stays stealable.
             let keep = stack.len() / 2;
             local.extend(stack.drain(keep..));
         }
@@ -222,19 +222,19 @@ fn worker<T: Tracer>(shared: &Shared<'_, T>, p: usize, cancelled: &(dyn Fn() -> 
         let mut stole = false;
         for delta in 1..parts {
             let victim = (p + delta) % parts;
-            let mut vstack = shared.stacks[victim].lock().expect("stack lock");
+            let mut vstack = shared.stacks[victim].lock().expect("stack lock"); // io-ok: poisoned stack mutex means a worker panicked; propagate it
             let take = vstack.len() / 2;
             if take > 0 {
                 // Steal-half from the bottom: oldest entries, the
                 // paper's inter-block ColdSeg-bottom discipline.
                 local.extend(vstack.drain(..take));
                 drop(vstack);
-                shared.steals.fetch_add(1, Ordering::Relaxed);
+                shared.steals.fetch_add(1, Ordering::Relaxed); // relaxed-ok: steal statistics only
                 shared
                     .entries_stolen
-                    .fetch_add(take as u64, Ordering::Relaxed);
+                    .fetch_add(take as u64, Ordering::Relaxed); // relaxed-ok: steal statistics only
                 emit(shared.tracer, || TraceEvent {
-                    cycle: shared.seq.fetch_add(1, Ordering::Relaxed),
+                    cycle: shared.seq.fetch_add(1, Ordering::Relaxed), // relaxed-ok: trace sequence counter; not a synchronization edge
                     block: p as u32,
                     warp: 0,
                     kind: EventKind::StealInter {
@@ -246,9 +246,9 @@ fn worker<T: Tracer>(shared: &Shared<'_, T>, p: usize, cancelled: &(dyn Fn() -> 
                 break;
             }
             drop(vstack);
-            shared.steal_fails.fetch_add(1, Ordering::Relaxed);
+            shared.steal_fails.fetch_add(1, Ordering::Relaxed); // relaxed-ok: steal statistics only
             emit(shared.tracer, || TraceEvent {
-                cycle: shared.seq.fetch_add(1, Ordering::Relaxed),
+                cycle: shared.seq.fetch_add(1, Ordering::Relaxed), // relaxed-ok: trace sequence counter; not a synchronization edge
                 block: p as u32,
                 warp: 0,
                 kind: EventKind::StealFail {
@@ -286,6 +286,7 @@ fn expand<T: Tracer>(
     out_bufs: &mut [Vec<u32>],
 ) {
     for &v in shared.g.neighbors(u) {
+        // relaxed-ok: the swap IS the claim; pending AcqRel below orders the rest
         if shared.visited[v as usize].swap(true, Ordering::Relaxed) {
             continue;
         }
@@ -301,9 +302,9 @@ fn expand<T: Tracer>(
             }
         }
     }
-    shared.expanded.fetch_add(1, Ordering::Relaxed);
-    // Children are all claimed (pending incremented) before the parent's
-    // own claim is released — the invariant termination rests on.
+    shared.expanded.fetch_add(1, Ordering::Relaxed); // relaxed-ok: expansion statistics only
+                                                     // Children are all claimed (pending incremented) before the parent's
+                                                     // own claim is released — the invariant termination rests on.
     shared.pending.fetch_sub(1, Ordering::AcqRel);
 }
 
@@ -312,9 +313,10 @@ fn flush_one<T: Tracer>(shared: &Shared<'_, T>, owner: usize, buf: &mut Vec<u32>
         return;
     }
     let entries = buf.len() as u64;
+    // io-ok: poisoned stack mutex means a worker panicked; propagate it
     shared.stacks[owner].lock().expect("stack lock").append(buf);
-    shared.handoffs.fetch_add(1, Ordering::Relaxed);
-    shared.entries_handed.fetch_add(entries, Ordering::Relaxed);
+    shared.handoffs.fetch_add(1, Ordering::Relaxed); // relaxed-ok: handoff statistics only
+    shared.entries_handed.fetch_add(entries, Ordering::Relaxed); // relaxed-ok: handoff statistics only
 }
 
 fn flush_all<T: Tracer>(shared: &Shared<'_, T>, out_bufs: &mut [Vec<u32>]) {

@@ -8,7 +8,7 @@
 //!
 //! 1. **Log** the batch ([`WalRecord`] with the epoch it *will* publish)
 //!    and commit it per the [`FsyncPolicy`].
-//! 2. **Apply** the batch to the in-memory [`db-delta`] graph.
+//! 2. **Apply** the batch to the in-memory `db-delta` graph.
 //! 3. **Ack** the client.
 //!
 //! Checkpoints fold the durable prefix into a `db-store` pack and swap

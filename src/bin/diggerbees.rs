@@ -105,6 +105,18 @@
 //!                        1000000; built-in sim check always uses 0)
 //! --lint-only            skip the model checker and race detector
 //! --models-only          skip the lint pass and race detector
+//! --analyze              also run the db-analyze static analysis:
+//!                        workspace call graph + A1..A5 checks; the
+//!                        textual lint rules each A-rule supersedes
+//!                        (R1/R2/R3/R5) are filtered from the lint
+//!                        output while it is active
+//! --baseline <file>      with --analyze: gate on *new* findings only;
+//!                        known fingerprints live in this committed
+//!                        JSON file (stale entries warn)
+//! --write-baseline <f>   with --analyze: write the current findings
+//!                        as a fresh baseline instead of gating
+//! --sarif <out>          with --analyze: also write the findings as
+//!                        SARIF 2.1.0 JSON for CI annotation
 //! ```
 //!
 //! Examples:
@@ -251,7 +263,8 @@ fn parse_args() -> Result<Args, String> {
                             [--iters n] [--once] [--file scrape.txt]\n\
                             \x20      diggerbees wal <inspect|verify> <dir|wal.log>\n\
                             \x20      diggerbees check [--root dir] [--race trace.csv] \
-                            [--skew ns] [--lint-only] [--models-only]"
+                            [--skew ns] [--lint-only] [--models-only] [--analyze] \
+                            [--baseline file] [--write-baseline file] [--sarif out]"
                     .into())
             }
             other if args.graph.is_empty() && !other.starts_with('-') => {
@@ -1336,6 +1349,10 @@ fn check_main() -> ExitCode {
     let mut skew: u64 = 1_000_000;
     let mut lint_only = false;
     let mut models_only = false;
+    let mut analyze = false;
+    let mut baseline_file: Option<String> = None;
+    let mut write_baseline: Option<String> = None;
+    let mut sarif_out: Option<String> = None;
     let mut it = std::env::args().skip(2);
     let fail = |e: String| {
         eprintln!("{e}");
@@ -1355,6 +1372,10 @@ fn check_main() -> ExitCode {
                 }
                 "--lint-only" => lint_only = true,
                 "--models-only" => models_only = true,
+                "--analyze" => analyze = true,
+                "--baseline" => baseline_file = Some(take("--baseline")?),
+                "--write-baseline" => write_baseline = Some(take("--write-baseline")?),
+                "--sarif" => sarif_out = Some(take("--sarif")?),
                 other => return Err(format!("unknown argument: {other} (see --help)")),
             }
             Ok(())
@@ -1365,17 +1386,95 @@ fn check_main() -> ExitCode {
     }
     let mut findings = 0usize;
 
-    // 1. Lint pass over the source tree.
+    // 1. Lint pass over the source tree. When the static analyzer is
+    //    active, the textual rules it supersedes (R1/R2/R3/R5 are
+    //    covered interprocedurally by A2/A5/A1) are filtered out so a
+    //    site is not reported twice under two rule names.
     if !models_only {
         match lint_tree(std::path::Path::new(&root)) {
             Ok(hits) => {
+                let mut superseded = 0usize;
                 for h in &hits {
+                    if analyze && diggerbees::check::lint::superseded_by(h.rule).is_some() {
+                        superseded += 1;
+                        continue;
+                    }
                     println!("lint: {}:{}: [{}] {}", h.file, h.line, h.rule, h.detail);
+                    findings += 1;
                 }
-                println!("lint: {} finding(s) in {root}", hits.len());
-                findings += hits.len();
+                println!("lint: {} finding(s) in {root}", hits.len() - superseded);
+                if superseded > 0 {
+                    println!(
+                        "lint: {superseded} finding(s) under superseded rules \
+                         deferred to --analyze"
+                    );
+                }
             }
             Err(e) => return fail(format!("lint: cannot walk '{root}': {e}")),
+        }
+    }
+
+    // 1b. Static analysis: workspace call graph + A1..A5, gated on the
+    //     committed baseline when one is given.
+    if analyze && !models_only {
+        let cfg = diggerbees::analyze::Config::for_repo();
+        let run = match diggerbees::analyze::analyze_tree(std::path::Path::new(&root), &cfg) {
+            Ok(r) => r,
+            Err(e) => return fail(format!("analyze: {e}")),
+        };
+        println!(
+            "analyze: {} file(s), {} function(s), {} call edge(s)",
+            run.files, run.fns, run.edges
+        );
+        if let Some(path) = &sarif_out {
+            let doc = diggerbees::analyze::sarif::to_sarif(&run.findings);
+            if let Some(dir) = std::path::Path::new(path).parent() {
+                if !dir.as_os_str().is_empty() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+            }
+            if let Err(e) = std::fs::write(path, doc) {
+                return fail(format!("analyze: cannot write SARIF '{path}': {e}"));
+            }
+            println!("analyze: SARIF written to {path}");
+        }
+        if let Some(path) = &write_baseline {
+            let doc = diggerbees::analyze::baseline::to_json(&run.findings);
+            if let Err(e) = std::fs::write(path, doc) {
+                return fail(format!("analyze: cannot write baseline '{path}': {e}"));
+            }
+            println!(
+                "analyze: baseline with {} entr{} written to {path}",
+                run.findings.len(),
+                if run.findings.len() == 1 { "y" } else { "ies" }
+            );
+        } else if let Some(path) = &baseline_file {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => return fail(format!("analyze: cannot read baseline '{path}': {e}")),
+            };
+            let base = match diggerbees::analyze::baseline::parse(&text) {
+                Ok(b) => b,
+                Err(e) => return fail(format!("analyze: bad baseline '{path}': {e}")),
+            };
+            let d = diggerbees::analyze::baseline::diff(&run.findings, &base);
+            for f in &d.new {
+                print!("{}", f.render());
+            }
+            for fp in &d.stale {
+                println!("analyze: stale baseline entry {fp} (no longer produced; remove it)");
+            }
+            println!(
+                "analyze: {} new finding(s), {} baselined, {} stale",
+                d.new.len(),
+                d.matched,
+                d.stale.len()
+            );
+            findings += d.new.len();
+        } else {
+            print!("{}", diggerbees::analyze::render_report(&run.findings));
+            println!("analyze: {} finding(s)", run.findings.len());
+            findings += run.findings.len();
         }
     }
 

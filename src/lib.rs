@@ -38,6 +38,11 @@
 //! * [`span`] — causal request-scoped spans, the always-on flight
 //!   recorder with `.dbfr` dumps, and the span-tree / Chrome-trace
 //!   inspectors behind `diggerbees flight` ([`db_span`]).
+//! * [`analyze`] — offline static analysis: workspace call graph plus
+//!   five interprocedural checks (panic reachability, atomic-ordering
+//!   audit, lock-order cycles, blocking-in-hot-path, determinism
+//!   taint) with SARIF output and a committed-baseline CI gate behind
+//!   `diggerbees check --analyze` ([`db_analyze`]).
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the reproduction
 //! notes. Runnable examples live in `examples/`: `quickstart`,
@@ -59,6 +64,7 @@
 //! validate::check_reachability(&g, 0, &out.visited).unwrap();
 //! ```
 
+pub use db_analyze as analyze;
 pub use db_apps as apps;
 pub use db_baselines as baselines;
 pub use db_check as check;
